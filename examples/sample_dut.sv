@@ -1,0 +1,53 @@
+// A small request/response engine with two covert channels, written in
+// plain SystemVerilog for the frontend flow (examples/from_verilog.exe and
+// `autocc analyze --verilog examples/sample_dut.sv`).
+//
+// Channel 1: the last key written is never cleared between processes and
+// a later probe reveals whether a guess matches it.
+// Channel 2: the response latency depends on a mode register that also
+// survives the context switch.
+module keybox (
+  input wire clk,
+  input wire rst,
+  //AutoCC Common
+  input wire [1:0] trace_level,
+  input wire req_valid,
+  input wire [7:0] req_guess,
+  input wire req_set_key,
+  input wire req_set_slow,
+  output wire resp_valid,
+  output wire [7:0] resp_data,
+  output wire [1:0] trace_echo
+);
+
+  reg [7:0] key;
+  reg slow_mode;
+  reg [1:0] delay;
+  reg pending;
+  reg match_r;
+
+  wire accept = req_valid && !pending;
+  wire is_probe = accept && !req_set_key && !req_set_slow;
+  wire done = pending && (delay == 2'd0);
+
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      key <= 8'h00;
+      slow_mode <= 1'b0;
+      delay <= 2'd0;
+      pending <= 1'b0;
+      match_r <= 1'b0;
+    end else begin
+      key <= (accept && req_set_key) ? req_guess : key;
+      slow_mode <= (accept && req_set_slow) ? req_guess[0] : slow_mode;
+      pending <= is_probe ? 1'b1 : (done ? 1'b0 : pending);
+      delay <= is_probe ? (slow_mode ? 2'd3 : 2'd1) : (pending ? delay - 2'd1 : delay);
+      match_r <= is_probe ? (req_guess == key) : match_r;
+    end
+  end
+
+  assign resp_valid = done;
+  assign resp_data = done ? {7'd0, match_r} : 8'd0;
+  assign trace_echo = trace_level;
+
+endmodule
