@@ -1,0 +1,289 @@
+(* Command-line front-end mirroring the paper's artifact flow (Appendix
+   A.5): pick a DUT, generate the FPV testbench, run the exhaustive
+   search, and inspect counterexamples — plus the system-level exploit and
+   the flush-synthesis algorithms.
+
+     autocc analyze --dut vscale --stage 2
+     autocc analyze --dut maple --fix-m2
+     autocc exploit --secret 0xdeadbeef
+     autocc synthesize --algorithm incremental
+     autocc stats *)
+
+open Cmdliner
+
+let known_duts = [ "vscale"; "maple"; "aes"; "cva6"; "divider"; "leaky" ]
+
+let build_dut name ~stage ~fix_m2 ~fix_m3 ~fix_c1 ~fix_c2 ~fix_c3 ~full_flush =
+  match name with
+  | "vscale" -> Duts.Vscale.create ()
+  | "maple" -> Duts.Maple.create ~config:{ Duts.Maple.fix_m2; fix_m3 } ()
+  | "aes" -> Duts.Aes.create ()
+  | "divider" -> Duts.Divider.create ()
+  | "cva6" ->
+      let mode = if full_flush then Duts.Cva6lite.Full_flush else Duts.Cva6lite.Microreset in
+      Duts.Cva6lite.create ~config:(Duts.Cva6lite.with_fixes ~fix_c1 ~fix_c2 ~fix_c3 mode) ()
+  | "leaky" ->
+      let open Rtl.Signal in
+      let din = input "din" 8 in
+      let capture = input "capture" 1 in
+      let query = input "query" 8 in
+      let stash = reg "stash" 8 in
+      reg_set_next stash (mux2 capture din stash);
+      Rtl.Circuit.create ~name:"leaky" ~outputs:[ ("hit", query ==: stash) ] ()
+  | other ->
+      ignore stage;
+      failwith ("unknown DUT " ^ other ^ " (expected " ^ String.concat "|" known_duts ^ ")")
+
+let ft_for name dut ~stage ~threshold =
+  match name with
+  | "vscale" ->
+      let stages = Array.of_list Duts.Vscale.stages in
+      let stage = max 0 (min stage (Array.length stages - 1)) in
+      Duts.Vscale.ft_for_stage ~threshold stages.(stage) dut
+  | "maple" ->
+      Autocc.Ft.generate ~threshold
+        ~flush_done:(Duts.Maple.flush_done ~require_outbuf_empty:true ())
+        dut
+  | "aes" ->
+      Autocc.Ft.generate ~threshold ~flush_done:(Duts.Aes.flush_done_idle ()) dut
+  | "cva6" ->
+      Autocc.Ft.generate ~threshold ~flush_done:(Duts.Cva6lite.flush_done ()) dut
+  | "divider" ->
+      Autocc.Ft.generate ~threshold ~flush_done:(Duts.Divider.flush_done_idle ()) dut
+  | _ -> Autocc.Ft.generate ~threshold dut
+
+(* {1 analyze} *)
+
+let analyze dut_name verilog top blackbox stage threshold max_depth fix_m2 fix_m3
+    fix_c1 fix_c2 fix_c3 full_flush verbose vcd =
+  let dut =
+    match verilog with
+    | Some path ->
+        (* The paper's primary flow: the path to an RTL module is all the
+           tool needs. *)
+        Frontend.Elaborate.circuit_of_file ?top path
+    | None -> (
+        match dut_name with
+        | Some name ->
+            build_dut name ~stage ~fix_m2 ~fix_m3 ~fix_c1 ~fix_c2 ~fix_c3 ~full_flush
+        | None -> failwith "provide --dut or --verilog")
+  in
+  Format.printf "DUT: %a@." Rtl.Circuit.pp_stats dut;
+  let blackbox =
+    if blackbox = "" then [] else String.split_on_char ',' blackbox
+  in
+  let ft =
+    match (verilog, dut_name) with
+    | None, Some name when blackbox = [] -> ft_for name dut ~stage ~threshold
+    | _ -> Autocc.Ft.generate ~threshold ~blackbox dut
+  in
+  Format.printf "FT : %a@." Rtl.Circuit.pp_stats ft.Autocc.Ft.wrapper;
+  Format.printf "Running BMC to depth %d...@." max_depth;
+  let t0 = Unix.gettimeofday () in
+  (match Autocc.Ft.check ~max_depth ~progress:(fun d -> if verbose then Format.printf "  depth %d@." d) ft with
+  | Bmc.Cex (cex, stats) ->
+      Format.printf "@.Counterexample found (%.2fs in the solver, %d conflicts):@.@."
+        stats.Bmc.solve_time stats.Bmc.conflicts;
+      Autocc.Report.explain Format.std_formatter ft cex;
+      (match vcd with
+      | Some path ->
+          Autocc.Report.dump_vcd ~path ft cex;
+          Format.printf "@.Waveform written to %s@." path
+      | None -> ())
+  | Bmc.Bounded_proof stats ->
+      Format.printf "@.Bounded proof: no CEX up to depth %d (%.2fs in the solver).@."
+        stats.Bmc.depth_reached stats.Bmc.solve_time);
+  Format.printf "@.Total wall-clock: %.2fs@." (Unix.gettimeofday () -. t0);
+  0
+
+(* {1 exploit} *)
+
+let exploit secret fixed =
+  let config =
+    if fixed then Duts.Maple.fixed else { Duts.Maple.fix_m2 = true; fix_m3 = false }
+  in
+  let r = Soc.Exploit.run ~config ~secret ~iterations:8 () in
+  Format.printf "secret    : 0x%08x@." secret;
+  Format.printf "recovered : 0x%08x in %d cycles (%s RTL)@." r.Soc.Exploit.recovered
+    r.Soc.Exploit.cycles
+    (if fixed then "fixed" else "vulnerable");
+  0
+
+(* {1 synthesize} *)
+
+let synthesize algorithm max_depth =
+  let open Rtl.Signal in
+  let engine () =
+    let din = input "din" 8 in
+    let cap = input "cap" 1 in
+    let set_mode = input "set_mode" 1 in
+    let query = input "query" 8 in
+    let stash = reg "stash" 8 in
+    let mode = reg "mode" 1 in
+    let heartbeat = reg "heartbeat" 4 in
+    reg_set_next stash (mux2 cap din stash);
+    reg_set_next mode (mux2 set_mode (bit din 0) mode);
+    reg_set_next heartbeat (heartbeat +: one 4);
+    let hit = query ==: stash in
+    Rtl.Circuit.create ~name:"engine"
+      ~outputs:[ ("hit", mux2 mode hit gnd); ("beat", bit heartbeat 3) ]
+      ()
+  in
+  let candidates = [ "stash"; "mode"; "heartbeat" ] in
+  let r =
+    match algorithm with
+    | "incremental" ->
+        Autocc.Synthesis.incremental ~max_depth ~threshold:2 ~candidates (engine ())
+    | "decremental" ->
+        Autocc.Synthesis.decremental ~max_depth ~threshold:2 ~candidates (engine ())
+    | other -> failwith ("unknown algorithm " ^ other)
+  in
+  List.iter
+    (fun step ->
+      match step.Autocc.Synthesis.step_result with
+      | `Cex (culprit, depth) ->
+          Format.printf "flush {%s}: CEX depth %d -> %s@."
+            (String.concat ", " step.Autocc.Synthesis.step_flush)
+            (depth + 1) culprit
+      | `Proof depth ->
+          Format.printf "flush {%s}: proof to depth %d@."
+            (String.concat ", " step.Autocc.Synthesis.step_flush)
+            (depth + 1))
+    r.Autocc.Synthesis.steps;
+  Format.printf "flush set: {%s} proved=%b@."
+    (String.concat ", " r.Autocc.Synthesis.flush_set)
+    r.Autocc.Synthesis.proved;
+  0
+
+(* {1 export} *)
+
+let export dut_name dir threshold depth arch_regs =
+  let dut =
+    build_dut dut_name ~stage:0 ~fix_m2:false ~fix_m3:false ~fix_c1:false
+      ~fix_c2:false ~fix_c3:false ~full_flush:false
+  in
+  let arch_regs = if arch_regs = "" then [] else String.split_on_char ',' arch_regs in
+  Autocc.Sva.write_flow ~dir ~threshold ~arch_regs ~depth dut;
+  let name = Rtl.Verilog.sanitize (Rtl.Circuit.name dut) in
+  Format.printf "wrote %s/%s.sv, %s/ft_%s.sv, %s/%s.sby@." dir name dir name dir name;
+  Format.printf "run with: sby -f %s/%s.sby@." dir name;
+  0
+
+(* {1 stats} *)
+
+let stats () =
+  List.iter
+    (fun name ->
+      let dut =
+        build_dut name ~stage:0 ~fix_m2:false ~fix_m3:false ~fix_c1:false
+          ~fix_c2:false ~fix_c3:false ~full_flush:false
+      in
+      Format.printf "%a@." Rtl.Circuit.pp_stats dut)
+    known_duts;
+  0
+
+(* {1 Terms} *)
+
+let dut_arg =
+  Arg.(
+    value
+    & opt (some (enum (List.map (fun d -> (d, d)) known_duts))) None
+    & info [ "dut" ] ~doc:"Bundled DUT to analyze: vscale, maple, aes, cva6, divider or leaky.")
+
+let dut_arg_required =
+  Arg.(
+    required
+    & opt (some (enum (List.map (fun d -> (d, d)) known_duts))) None
+    & info [ "dut" ] ~doc:"DUT: vscale, maple, aes, cva6, divider or leaky.")
+
+let verilog_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "verilog" ]
+        ~doc:"Path to a SystemVerilog module to analyze instead of a bundled DUT.")
+
+let stage_arg =
+  Arg.(value & opt int 0 & info [ "stage" ] ~doc:"Vscale refinement stage (0-5).")
+
+let threshold_arg =
+  Arg.(value & opt int 2 & info [ "threshold" ] ~doc:"Transfer-period length in cycles.")
+
+let max_depth_arg =
+  Arg.(value & opt int 12 & info [ "max-depth" ] ~doc:"BMC unrolling bound in cycles.")
+
+let flag name doc = Arg.(value & flag & info [ name ] ~doc)
+
+let analyze_cmd =
+  let term =
+    Term.(
+      const analyze $ dut_arg $ verilog_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "top" ] ~doc:"Top module of a multi-module Verilog source.")
+      $ Arg.(
+          value
+          & opt string ""
+          & info [ "blackbox" ]
+              ~doc:"Comma-separated submodule boundaries/instances to blackbox.")
+      $ stage_arg $ threshold_arg $ max_depth_arg
+      $ flag "fix-m2" "Apply the MAPLE M2 fix."
+      $ flag "fix-m3" "Apply the MAPLE M3 fix."
+      $ flag "fix-c1" "Apply the CVA6 C1 fix."
+      $ flag "fix-c2" "Apply the CVA6 C2 fix."
+      $ flag "fix-c3" "Apply the CVA6 C3 fix."
+      $ flag "full-flush" "Use the CVA6 full-flush fence.t instead of microreset."
+      $ flag "verbose" "Print per-depth progress."
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "vcd" ] ~doc:"Write the counterexample waveform to this VCD file."))
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Generate the AutoCC FT for a DUT and search for covert channels.") term
+
+let exploit_cmd =
+  let secret =
+    Arg.(value & opt int 0xdeadbeef & info [ "secret" ] ~doc:"32-bit secret to leak.")
+  in
+  let term = Term.(const exploit $ secret $ flag "fixed" "Run against the fixed RTL.") in
+  Cmd.v (Cmd.info "exploit" ~doc:"Run the Listing 2 covert-channel exploit at system level.") term
+
+let synthesize_cmd =
+  let algorithm =
+    Arg.(
+      value
+      & opt (enum [ ("incremental", "incremental"); ("decremental", "decremental") ]) "incremental"
+      & info [ "algorithm" ] ~doc:"Flush-construction algorithm (incremental or decremental).")
+  in
+  let term = Term.(const synthesize $ algorithm $ max_depth_arg) in
+  Cmd.v (Cmd.info "synthesize" ~doc:"Construct a minimal flush set (Sec. 3.5 algorithms).") term
+
+let stats_cmd =
+  Cmd.v (Cmd.info "stats" ~doc:"Print size statistics of the bundled DUTs.")
+    Term.(const stats $ const ())
+
+let export_cmd =
+  let dir =
+    Arg.(value & opt string "autocc_flow" & info [ "dir" ] ~doc:"Output directory.")
+  in
+  let depth =
+    Arg.(value & opt int 25 & info [ "depth" ] ~doc:"BMC depth in the SBY config.")
+  in
+  let arch_regs =
+    Arg.(
+      value & opt string ""
+      & info [ "arch-regs" ] ~doc:"Comma-separated registers for architectural_state_eq.")
+  in
+  let term = Term.(const export $ dut_arg_required $ dir $ threshold_arg $ depth $ arch_regs) in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Emit the DUT and its AutoCC testbench as SystemVerilog + SBY project.")
+    term
+
+let () =
+  let info =
+    Cmd.info "autocc" ~version:"1.0"
+      ~doc:"Automatic discovery of covert channels in time-shared hardware."
+  in
+  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; exploit_cmd; synthesize_cmd; export_cmd; stats_cmd ]))

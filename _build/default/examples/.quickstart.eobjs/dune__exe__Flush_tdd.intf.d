@@ -1,0 +1,1 @@
+examples/flush_tdd.mli:

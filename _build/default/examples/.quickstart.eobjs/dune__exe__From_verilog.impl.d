@@ -1,0 +1,1 @@
+examples/from_verilog.ml: Autocc Bmc Format Frontend List Rtl String Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Autocc Bmc Format Rtl

@@ -1,0 +1,1 @@
+examples/sby_export.ml: Array Autocc Bmc Duts Format String Sys

@@ -1,0 +1,1 @@
+examples/sby_export.mli:

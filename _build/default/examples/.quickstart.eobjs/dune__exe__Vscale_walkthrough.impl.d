@@ -1,0 +1,1 @@
+examples/vscale_walkthrough.ml: Autocc Bmc Duts Format List Rtl Unix

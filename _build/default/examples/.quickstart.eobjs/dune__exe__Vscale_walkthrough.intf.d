@@ -1,0 +1,1 @@
+examples/vscale_walkthrough.mli:

@@ -1,0 +1,112 @@
+module Circuit = Rtl.Circuit
+
+type result = {
+  found : bool;
+  trials : int;
+  sim_cycles : int;
+  seconds : float;
+  diverged_output : string option;
+}
+
+let search ?(seed = 1) ?(max_trials = 10_000) ?(victim_cycles = 20)
+    ?(spy_cycles = 20) ?(flush_script = []) ?(input_profile = fun _ _ -> None)
+    circuit =
+  let st = Random.State.make [| seed |] in
+  let t0 = Unix.gettimeofday () in
+  let inputs = Circuit.inputs circuit in
+  let outputs = Circuit.outputs circuit in
+  let sim_a = Sim.create circuit in
+  let sim_b = Sim.create circuit in
+  let total_cycles = ref 0 in
+  let random_value name width =
+    match input_profile name st with
+    | Some v -> Bitvec.of_int ~width v
+    | None -> Bitvec.random st width
+  in
+  let drive sim values =
+    List.iter (fun (name, v) -> Sim.set_input sim name v) values
+  in
+  let random_stimulus () =
+    List.map
+      (fun p ->
+        (p.Circuit.port_name, random_value p.Circuit.port_name (Rtl.Signal.width p.Circuit.signal)))
+      inputs
+  in
+  let diverged () =
+    List.find_opt
+      (fun p ->
+        not
+          (Bitvec.equal
+             (Sim.out sim_a p.Circuit.port_name)
+             (Sim.out sim_b p.Circuit.port_name)))
+      outputs
+  in
+  let run_trial () =
+    Sim.reset sim_a;
+    Sim.reset sim_b;
+    (* Victim phase: independent random executions. *)
+    for _ = 1 to victim_cycles do
+      drive sim_a (random_stimulus ());
+      drive sim_b (random_stimulus ());
+      Sim.step sim_a;
+      Sim.step sim_b;
+      total_cycles := !total_cycles + 2
+    done;
+    (* Context switch: the same scripted flush for both universes. *)
+    List.iter
+      (fun assignments ->
+        let values =
+          List.map
+            (fun p ->
+              let name = p.Circuit.port_name in
+              match List.assoc_opt name assignments with
+              | Some v -> (name, Bitvec.of_int ~width:(Rtl.Signal.width p.Circuit.signal) v)
+              | None -> (name, Bitvec.zero (Rtl.Signal.width p.Circuit.signal)))
+            inputs
+        in
+        drive sim_a values;
+        drive sim_b values;
+        Sim.step sim_a;
+        Sim.step sim_b;
+        total_cycles := !total_cycles + 2)
+      flush_script;
+    (* Spy phase: identical random stimulus, outputs compared. *)
+    let rec spy n =
+      if n = 0 then None
+      else begin
+        let stimulus = random_stimulus () in
+        drive sim_a stimulus;
+        drive sim_b stimulus;
+        match diverged () with
+        | Some p -> Some p.Circuit.port_name
+        | None ->
+            Sim.step sim_a;
+            Sim.step sim_b;
+            total_cycles := !total_cycles + 2;
+            spy (n - 1)
+      end
+    in
+    spy spy_cycles
+  in
+  let rec go trial =
+    if trial >= max_trials then
+      {
+        found = false;
+        trials = max_trials;
+        sim_cycles = !total_cycles;
+        seconds = Unix.gettimeofday () -. t0;
+        diverged_output = None;
+      }
+    else
+      match run_trial () with
+      | Some name ->
+          {
+            found = true;
+            trials = trial + 1;
+            sim_cycles = !total_cycles;
+            seconds = Unix.gettimeofday () -. t0;
+            diverged_output = Some name;
+          }
+      | None -> go (trial + 1)
+  in
+  go 0

@@ -1,0 +1,40 @@
+(** Constrained-random differential testing — the baseline AutoCC is
+    measured against.
+
+    Each trial emulates the paper's stress-test setup: two instances of
+    the DUT run independent random victim executions, a scripted context
+    switch (the flush script) is applied to both, and then both execute
+    the same random spy stimulus while their outputs are compared each
+    cycle. A divergence is a witnessed covert channel.
+
+    Random testing finds wide channels quickly but needs on the order of
+    [2^w] probes to hit a [w]-bit hidden-state channel, whereas BMC finds
+    it at its exact depth — this is the "minutes instead of many hours"
+    comparison of the paper's introduction, reproduced by
+    [bench/main.exe baseline]. *)
+
+type result = {
+  found : bool;
+  trials : int;  (** trials executed (= [max_trials] when not found) *)
+  sim_cycles : int;  (** total simulated cycles over all trials *)
+  seconds : float;
+  diverged_output : string option;
+}
+
+val search :
+  ?seed:int ->
+  ?max_trials:int ->
+  ?victim_cycles:int ->
+  ?spy_cycles:int ->
+  ?flush_script:(string * int) list list ->
+  ?input_profile:(string -> Random.State.t -> int option) ->
+  Rtl.Circuit.t ->
+  result
+(** [search dut] runs up to [max_trials] (default 10_000) trials of
+    [victim_cycles] (default 20) random victim cycles, the flush script
+    (a per-cycle list of input assignments applied to both universes,
+    default none), and [spy_cycles] (default 20) shared random spy
+    cycles.
+
+    [input_profile name st] can bias or pin the stimulus for one input;
+    returning [None] falls back to uniform random. *)

@@ -1,0 +1,311 @@
+(* Bitvectors stored as arrays of [limb_bits]-bit limbs, least significant
+   limb first. The top limb is kept normalized: bits above [width] are
+   always zero, so structural equality coincides with value equality. Limbs
+   hold 31 bits so that products of two limbs fit in a 63-bit OCaml int. *)
+
+let limb_bits = 31
+let limb_mask = (1 lsl limb_bits) - 1
+
+type t = { width : int; limbs : int array }
+
+let nlimbs width = (width + limb_bits - 1) / limb_bits
+
+(* Mask for the top limb of a vector of width [w]. *)
+let top_mask width =
+  let r = width mod limb_bits in
+  if r = 0 then limb_mask else (1 lsl r) - 1
+
+let normalize v =
+  let n = Array.length v.limbs in
+  v.limbs.(n - 1) <- v.limbs.(n - 1) land top_mask v.width;
+  v
+
+let create width =
+  if width < 1 then invalid_arg "Bitvec: width must be >= 1";
+  { width; limbs = Array.make (nlimbs width) 0 }
+
+let zero width = create width
+
+let ones width =
+  let v = create width in
+  Array.fill v.limbs 0 (Array.length v.limbs) limb_mask;
+  normalize v
+
+let width v = v.width
+
+let bit v i =
+  if i < 0 || i >= v.width then invalid_arg "Bitvec.bit: index out of range";
+  v.limbs.(i / limb_bits) lsr (i mod limb_bits) land 1 = 1
+
+(* Set bit in place; only used during construction. *)
+let set_bit_mut v i b =
+  let j = i / limb_bits and k = i mod limb_bits in
+  if b then v.limbs.(j) <- v.limbs.(j) lor (1 lsl k)
+  else v.limbs.(j) <- v.limbs.(j) land lnot (1 lsl k)
+
+let of_int ~width:w n =
+  let v = create w in
+  let n = ref n in
+  for i = 0 to Array.length v.limbs - 1 do
+    v.limbs.(i) <- !n land limb_mask;
+    (* Arithmetic shift keeps the sign bits flowing for negative [n]. *)
+    n := !n asr limb_bits
+  done;
+  normalize v
+
+let one w = of_int ~width:w 1
+let of_bool b = of_int ~width:1 (if b then 1 else 0)
+
+let of_bits bits =
+  let w = Array.length bits in
+  if w = 0 then invalid_arg "Bitvec.of_bits: empty";
+  let v = create w in
+  Array.iteri (fun i b -> if b then set_bit_mut v i true) bits;
+  v
+
+let of_binary_string s =
+  let digits =
+    String.to_seq s |> Seq.filter (fun c -> c <> '_') |> List.of_seq
+  in
+  if digits = [] then invalid_arg "Bitvec.of_binary_string: empty";
+  let w = List.length digits in
+  let v = create w in
+  List.iteri
+    (fun i c ->
+      match c with
+      | '0' -> ()
+      | '1' -> set_bit_mut v (w - 1 - i) true
+      | _ -> invalid_arg "Bitvec.of_binary_string: bad digit")
+    digits;
+  v
+
+let of_hex_string ~width:w s =
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Bitvec.of_hex_string: bad digit"
+  in
+  let digits =
+    String.to_seq s |> Seq.filter (fun c -> c <> '_') |> List.of_seq
+  in
+  if digits = [] then invalid_arg "Bitvec.of_hex_string: empty";
+  let v = create w in
+  let n = List.length digits in
+  List.iteri
+    (fun i c ->
+      let d = digit c in
+      let base = (n - 1 - i) * 4 in
+      for k = 0 to 3 do
+        if base + k < w && d lsr k land 1 = 1 then set_bit_mut v (base + k) true
+      done)
+    digits;
+  v
+
+let to_bits v = Array.init v.width (bit v)
+
+let to_int v =
+  let n = Array.length v.limbs in
+  let acc = ref 0 in
+  for i = n - 1 downto 0 do
+    if i * limb_bits < 62 then acc := (!acc lsl limb_bits) lor v.limbs.(i)
+    else if v.limbs.(i) <> 0 then
+      invalid_arg "Bitvec.to_int: value does not fit in int"
+  done;
+  if !acc < 0 then invalid_arg "Bitvec.to_int: value does not fit in int";
+  !acc
+
+let msb v = bit v (v.width - 1)
+
+let to_binary_string v =
+  String.init v.width (fun i -> if bit v (v.width - 1 - i) then '1' else '0')
+
+let to_hex_string v =
+  let ndigits = (v.width + 3) / 4 in
+  String.init ndigits (fun i ->
+      let base = (ndigits - 1 - i) * 4 in
+      let d = ref 0 in
+      for k = 3 downto 0 do
+        d := (!d lsl 1) lor (if base + k < v.width && bit v (base + k) then 1 else 0)
+      done;
+      "0123456789abcdef".[!d])
+
+let is_zero v = Array.for_all (fun l -> l = 0) v.limbs
+let is_ones v = v.limbs = (ones v.width).limbs
+let reduce_or v = not (is_zero v)
+let reduce_and v = is_ones v
+
+let reduce_xor v =
+  let parity = ref false in
+  Array.iter
+    (fun l ->
+      let l = ref l in
+      while !l <> 0 do
+        parity := not !parity;
+        l := !l land (!l - 1)
+      done)
+    v.limbs;
+  !parity
+
+let check_same_width op a b =
+  if a.width <> b.width then
+    invalid_arg (Printf.sprintf "Bitvec.%s: width mismatch (%d vs %d)" op a.width b.width)
+
+let map2 op f a b =
+  check_same_width op a b;
+  normalize
+    { width = a.width; limbs = Array.map2 (fun x y -> f x y) a.limbs b.limbs }
+
+let logand a b = map2 "logand" ( land ) a b
+let logor a b = map2 "logor" ( lor ) a b
+let logxor a b = map2 "logxor" ( lxor ) a b
+
+let lognot a =
+  normalize { width = a.width; limbs = Array.map (fun x -> lnot x land limb_mask) a.limbs }
+
+let add a b =
+  check_same_width "add" a b;
+  let n = Array.length a.limbs in
+  let out = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = a.limbs.(i) + b.limbs.(i) + !carry in
+    out.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  normalize { width = a.width; limbs = out }
+
+let neg a = add (lognot a) (one a.width)
+let sub a b = check_same_width "sub" a b; add a (neg b)
+
+let mul a b =
+  check_same_width "mul" a b;
+  let n = Array.length a.limbs in
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    if a.limbs.(i) <> 0 then begin
+      let carry = ref 0 in
+      for j = 0 to n - 1 - i do
+        let p = (a.limbs.(i) * b.limbs.(j)) + out.(i + j) + !carry in
+        out.(i + j) <- p land limb_mask;
+        carry := p lsr limb_bits
+      done
+    end
+  done;
+  normalize { width = a.width; limbs = out }
+
+let equal a b =
+  check_same_width "equal" a b;
+  a.limbs = b.limbs
+
+let compare a b =
+  check_same_width "compare" a b;
+  let n = Array.length a.limbs in
+  let rec go i =
+    if i < 0 then 0
+    else if a.limbs.(i) <> b.limbs.(i) then Stdlib.compare a.limbs.(i) b.limbs.(i)
+    else go (i - 1)
+  in
+  go (n - 1)
+
+let ult a b = compare a b < 0
+let ule a b = compare a b <= 0
+
+let slt a b =
+  check_same_width "slt" a b;
+  match (msb a, msb b) with
+  | true, false -> true
+  | false, true -> false
+  | _ -> ult a b
+
+let sle a b = slt a b || equal a b
+
+let shift_left a k =
+  if k < 0 then invalid_arg "Bitvec.shift_left: negative shift";
+  let v = create a.width in
+  for i = 0 to a.width - 1 - k do
+    if bit a i then set_bit_mut v (i + k) true
+  done;
+  v
+
+let shift_right_logical a k =
+  if k < 0 then invalid_arg "Bitvec.shift_right_logical: negative shift";
+  let v = create a.width in
+  for i = k to a.width - 1 do
+    if bit a i then set_bit_mut v (i - k) true
+  done;
+  v
+
+let shift_right_arith a k =
+  if k < 0 then invalid_arg "Bitvec.shift_right_arith: negative shift";
+  let v = shift_right_logical a k in
+  if msb a then
+    for i = max 0 (a.width - k) to a.width - 1 do
+      set_bit_mut v i true
+    done;
+  v
+
+let extract ~hi ~lo a =
+  if lo < 0 || hi >= a.width || hi < lo then
+    invalid_arg
+      (Printf.sprintf "Bitvec.extract: bad range [%d:%d] of width %d" hi lo a.width);
+  let v = create (hi - lo + 1) in
+  for i = lo to hi do
+    if bit a i then set_bit_mut v (i - lo) true
+  done;
+  v
+
+let concat hi lo =
+  let v = create (hi.width + lo.width) in
+  for i = 0 to lo.width - 1 do
+    if bit lo i then set_bit_mut v i true
+  done;
+  for i = 0 to hi.width - 1 do
+    if bit hi i then set_bit_mut v (i + lo.width) true
+  done;
+  v
+
+let concat_list = function
+  | [] -> invalid_arg "Bitvec.concat_list: empty"
+  | x :: rest -> List.fold_left (fun acc v -> concat acc v) x rest
+
+let zero_extend a w =
+  if w < a.width then invalid_arg "Bitvec.zero_extend: narrower target";
+  if w = a.width then a
+  else
+    let v = create w in
+    Array.blit a.limbs 0 v.limbs 0 (Array.length a.limbs);
+    normalize v
+
+let sign_extend a w =
+  if w < a.width then invalid_arg "Bitvec.sign_extend: narrower target";
+  if w = a.width then a
+  else if not (msb a) then zero_extend a w
+  else
+    let v = ones w in
+    for i = 0 to a.width - 1 do
+      set_bit_mut v i (bit a i)
+    done;
+    v
+
+let repeat a n =
+  if n < 1 then invalid_arg "Bitvec.repeat: count must be >= 1";
+  let rec go acc k = if k = 0 then acc else go (concat acc a) (k - 1) in
+  go a (n - 1)
+
+let to_signed_int v =
+  if msb v then
+    let m = to_int (neg v) in
+    -m
+  else to_int v
+
+let random st w =
+  let v = create w in
+  for i = 0 to Array.length v.limbs - 1 do
+    v.limbs.(i) <- Random.State.full_int st (limb_mask + 1)
+  done;
+  normalize v
+
+let pp fmt v = Format.fprintf fmt "%d'h%s" v.width (to_hex_string v)
+let hash v = Hashtbl.hash v

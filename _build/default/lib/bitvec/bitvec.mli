@@ -1,0 +1,139 @@
+(** Fixed-width bitvectors.
+
+    A value of type [t] is an immutable bitvector of a given positive width.
+    All arithmetic is modular (two's complement). Operands of binary
+    operations must have equal widths; violating this raises
+    [Invalid_argument].
+
+    This module is the single value domain shared by the RTL simulator
+    ({!Sim}), the bit-blaster ({!Cnf}) and counterexample traces ({!Bmc}). *)
+
+type t
+
+(** {1 Construction} *)
+
+val zero : int -> t
+(** [zero w] is the all-zeros vector of width [w]. Raises if [w < 1]. *)
+
+val ones : int -> t
+(** [ones w] is the all-ones vector of width [w]. *)
+
+val one : int -> t
+(** [one w] is the vector of width [w] with value 1. *)
+
+val of_int : width:int -> int -> t
+(** [of_int ~width n] truncates the two's-complement representation of [n]
+    to [width] bits. Negative [n] yields the expected two's-complement
+    pattern. *)
+
+val of_bool : bool -> t
+(** [of_bool b] is a 1-bit vector. *)
+
+val of_bits : bool array -> t
+(** [of_bits a] builds a vector from [a], least-significant bit first.
+    Raises if [a] is empty. *)
+
+val of_binary_string : string -> t
+(** [of_binary_string "1010"] parses a big-endian binary literal (the
+    leftmost character is the most significant bit). Underscores are
+    ignored. Raises on empty or malformed input. *)
+
+val of_hex_string : width:int -> string -> t
+(** [of_hex_string ~width s] parses a hexadecimal literal, truncating or
+    zero-extending to [width]. Underscores are ignored. *)
+
+(** {1 Observation} *)
+
+val width : t -> int
+
+val bit : t -> int -> bool
+(** [bit v i] is the [i]th bit, 0 being least significant. Raises if out of
+    range. *)
+
+val to_int : t -> int
+(** [to_int v] is the unsigned value of [v]. Raises [Invalid_argument] if it
+    does not fit in a non-negative OCaml [int] (i.e. width > 62 with high
+    bits set). *)
+
+val to_signed_int : t -> int
+(** Two's-complement signed value; same overflow caveat as {!to_int}. *)
+
+val to_bits : t -> bool array
+(** Least-significant bit first. *)
+
+val to_binary_string : t -> string
+val to_hex_string : t -> string
+
+val is_zero : t -> bool
+val is_ones : t -> bool
+
+val reduce_or : t -> bool
+val reduce_and : t -> bool
+val reduce_xor : t -> bool
+
+(** {1 Bitwise operations} *)
+
+val lognot : t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+(** Modular multiplication at the common width. *)
+
+(** {1 Comparisons} *)
+
+val equal : t -> t -> bool
+(** Value equality; requires equal widths. *)
+
+val compare : t -> t -> int
+(** Unsigned comparison; requires equal widths. Total order. *)
+
+val ult : t -> t -> bool
+val ule : t -> t -> bool
+val slt : t -> t -> bool
+(** Signed (two's-complement) less-than. *)
+
+val sle : t -> t -> bool
+
+(** {1 Shifts} *)
+
+val shift_left : t -> int -> t
+val shift_right_logical : t -> int -> t
+val shift_right_arith : t -> int -> t
+
+(** {1 Structure} *)
+
+val extract : hi:int -> lo:int -> t -> t
+(** [extract ~hi ~lo v] is bits [lo..hi] inclusive; width [hi - lo + 1].
+    Raises if the range is invalid. *)
+
+val concat : t -> t -> t
+(** [concat hi lo] places [hi] in the most-significant position. *)
+
+val concat_list : t list -> t
+(** [concat_list [msb; ...; lsb]]; raises on empty list. *)
+
+val zero_extend : t -> int -> t
+(** [zero_extend v w] extends (or returns [v] when [w = width v]) to width
+    [w]. Raises if [w < width v]. *)
+
+val sign_extend : t -> int -> t
+
+val repeat : t -> int -> t
+(** [repeat v n] concatenates [n] copies of [v]. Raises if [n < 1]. *)
+
+(** {1 Miscellaneous} *)
+
+val random : Random.State.t -> int -> t
+(** [random st w] draws a uniformly random vector of width [w]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [w'hHEX]. *)
+
+val hash : t -> int

@@ -1,0 +1,303 @@
+module S = Sat.Solver
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+
+type property = {
+  assumes : Rtl.Signal.t list;
+  asserts : (string * Rtl.Signal.t) list;
+}
+
+type cex = {
+  cex_depth : int;
+  cex_inputs : (string * Bitvec.t) list array;
+  cex_failed : string list;
+  cex_circuit : Rtl.Circuit.t;
+}
+
+type stats = {
+  depth_reached : int;
+  solve_time : float;
+  vars : int;
+  clauses : int;
+  conflicts : int;
+}
+
+type outcome = Cex of cex * stats | Bounded_proof of stats
+
+exception Replay_mismatch of string
+
+let check_width_1 what s =
+  if Signal.width s <> 1 then
+    invalid_arg (Printf.sprintf "Bmc: %s signal must be 1 bit wide" what)
+
+let replay cex =
+  let sim = Sim.create cex.cex_circuit in
+  sim
+
+let replay_values cex signals =
+  let sim = replay cex in
+  Sim.watch sim signals;
+  Array.iter
+    (fun assignments ->
+      List.iter (fun (n, v) -> Sim.set_input sim n v) assignments;
+      Sim.step sim)
+    cex.cex_inputs;
+  Sim.waveform sim
+
+(* Validate a candidate CEX on the interpreter: all assumptions must hold
+   on cycles 0..depth and some named assertion must be false at [depth]. *)
+let validate circuit property inputs depth =
+  let sim = Sim.create circuit in
+  let failed = ref [] in
+  Array.iteri
+    (fun cycle assignments ->
+      List.iter (fun (n, v) -> Sim.set_input sim n v) assignments;
+      List.iter
+        (fun a ->
+          if Bitvec.is_zero (Sim.peek sim a) then
+            raise
+              (Replay_mismatch
+                 (Printf.sprintf "assumption violated at cycle %d in replay" cycle)))
+        property.assumes;
+      if cycle = depth then
+        failed :=
+          List.filter_map
+            (fun (name, a) ->
+              if Bitvec.is_zero (Sim.peek sim a) then Some name else None)
+            property.asserts;
+      Sim.step sim)
+    inputs;
+  if !failed = [] then
+    raise (Replay_mismatch "no assertion failed at CEX depth in replay");
+  !failed
+
+let check ?(max_depth = 30) ?(progress = fun _ -> ()) circuit property =
+  List.iter (check_width_1 "assume") property.assumes;
+  List.iter (fun (_, s) -> check_width_1 "assert" s) property.asserts;
+  if property.asserts = [] then invalid_arg "Bmc.check: no assertions";
+  (* Property signals are usually fresh nodes over the circuit's graph;
+     elaborate an extended circuit that carries them as outputs so that
+     the blaster and the replay simulator both know them. *)
+  let circuit =
+    Rtl.Circuit.create
+      ~name:(Rtl.Circuit.name circuit ^ "_prop")
+      ~outputs:
+        (List.map (fun p -> (p.Circuit.port_name, p.Circuit.signal)) (Circuit.outputs circuit)
+        @ List.mapi (fun i a -> (Printf.sprintf "__bmc_assume_%d" i, a)) property.assumes
+        @ List.map (fun (n, a) -> ("__bmc_assert_" ^ n, a)) property.asserts)
+      ()
+  in
+  let solver = S.create () in
+  let blaster = Cnf.Blast.create solver circuit in
+  let solve_time = ref 0. in
+  let timed_solve ~assumptions () =
+    let t0 = Unix.gettimeofday () in
+    let r = S.solve ~assumptions solver in
+    solve_time := !solve_time +. (Unix.gettimeofday () -. t0);
+    r
+  in
+  let stats depth =
+    {
+      depth_reached = depth;
+      solve_time = !solve_time;
+      vars = S.num_vars solver;
+      clauses = S.num_clauses solver;
+      conflicts = S.num_conflicts solver;
+    }
+  in
+  let rec go depth =
+    if depth > max_depth then Bounded_proof (stats max_depth)
+    else begin
+      progress depth;
+      Cnf.Blast.unroll_cycle blaster;
+      (* Assumptions hold unconditionally on every cycle. *)
+      List.iter
+        (fun a -> S.add_clause solver [ Cnf.Blast.lit1 blaster ~cycle:depth a ])
+        property.assumes;
+      (* Activation literal: act -> (some assertion is false at [depth]). *)
+      let act = Cnf.Blast.fresh_var blaster in
+      S.add_clause solver
+        (S.neg act
+        :: List.map
+             (fun (_, a) -> S.neg (Cnf.Blast.lit1 blaster ~cycle:depth a))
+             property.asserts);
+      match timed_solve ~assumptions:[ act ] () with
+      | S.Sat ->
+          let inputs =
+            Array.init (depth + 1) (fun cycle ->
+                List.map
+                  (fun p ->
+                    ( p.Circuit.port_name,
+                      Cnf.Blast.input_value blaster ~cycle p.Circuit.port_name ))
+                  (Circuit.inputs circuit))
+          in
+          let failed = validate circuit property inputs depth in
+          Cex
+            ( {
+                cex_depth = depth;
+                cex_inputs = inputs;
+                cex_failed = failed;
+                cex_circuit = circuit;
+              },
+              stats depth )
+      | S.Unsat ->
+          (* No failure at this depth: deactivate and assert the properties
+             as facts for deeper searches. *)
+          S.add_clause solver [ S.neg act ];
+          List.iter
+            (fun (_, a) ->
+              S.add_clause solver [ Cnf.Blast.lit1 blaster ~cycle:depth a ])
+            property.asserts;
+          go (depth + 1)
+    end
+  in
+  go 0
+
+let pp_cex fmt cex =
+  Format.fprintf fmt "CEX at depth %d, failing: %s@."
+    cex.cex_depth
+    (String.concat ", " cex.cex_failed);
+  Array.iteri
+    (fun cycle assignments ->
+      Format.fprintf fmt "  cycle %2d:" cycle;
+      List.iter
+        (fun (n, v) ->
+          if not (Bitvec.is_zero v) then
+            Format.fprintf fmt " %s=%s" n (Bitvec.to_hex_string v))
+        assignments;
+      Format.fprintf fmt "@.")
+    cex.cex_inputs
+
+type induction_outcome =
+  | Proved of int * stats
+  | Refuted of cex * stats
+  | Unknown of stats
+
+let prove ?(max_depth = 30) ?(progress = fun _ -> ()) circuit property =
+  List.iter (check_width_1 "assume") property.assumes;
+  List.iter (fun (_, s) -> check_width_1 "assert" s) property.asserts;
+  if property.asserts = [] then invalid_arg "Bmc.prove: no assertions";
+  let circuit =
+    Rtl.Circuit.create
+      ~name:(Rtl.Circuit.name circuit ^ "_prop")
+      ~outputs:
+        (List.map (fun p -> (p.Circuit.port_name, p.Circuit.signal)) (Circuit.outputs circuit)
+        @ List.mapi (fun i a -> (Printf.sprintf "__bmc_assume_%d" i, a)) property.assumes
+        @ List.map (fun (n, a) -> ("__bmc_assert_" ^ n, a)) property.asserts)
+      ()
+  in
+  let base_solver = S.create () in
+  let base = Cnf.Blast.create base_solver circuit in
+  let step_solver = S.create () in
+  let step = Cnf.Blast.create ~free_init:true step_solver circuit in
+  let solve_time = ref 0. in
+  let timed solver assumptions =
+    let t0 = Unix.gettimeofday () in
+    let r = S.solve ~assumptions solver in
+    solve_time := !solve_time +. (Unix.gettimeofday () -. t0);
+    r
+  in
+  let stats depth =
+    {
+      depth_reached = depth;
+      solve_time = !solve_time;
+      vars = S.num_vars base_solver + S.num_vars step_solver;
+      clauses = S.num_clauses base_solver + S.num_clauses step_solver;
+      conflicts = S.num_conflicts base_solver + S.num_conflicts step_solver;
+    }
+  in
+  (* Shared per-cycle constraint installation for either blaster. *)
+  let install blaster depth =
+    Cnf.Blast.unroll_cycle blaster;
+    let solver = Cnf.Blast.solver blaster in
+    List.iter
+      (fun a -> S.add_clause solver [ Cnf.Blast.lit1 blaster ~cycle:depth a ])
+      property.assumes;
+    let act = Cnf.Blast.fresh_var blaster in
+    S.add_clause solver
+      (S.neg act
+      :: List.map
+           (fun (_, a) -> S.neg (Cnf.Blast.lit1 blaster ~cycle:depth a))
+           property.asserts);
+    act
+  in
+  let retire blaster depth act =
+    let solver = Cnf.Blast.solver blaster in
+    S.add_clause solver [ S.neg act ];
+    List.iter
+      (fun (_, a) -> S.add_clause solver [ Cnf.Blast.lit1 blaster ~cycle:depth a ])
+      property.asserts
+  in
+  let rec go k =
+    if k > max_depth then Unknown (stats max_depth)
+    else begin
+      progress k;
+      (* Base case: bad at cycle k, from reset. *)
+      let base_act = install base k in
+      match timed base_solver [ base_act ] with
+      | S.Sat ->
+          let inputs =
+            Array.init (k + 1) (fun cycle ->
+                List.map
+                  (fun p ->
+                    ( p.Circuit.port_name,
+                      Cnf.Blast.input_value base ~cycle p.Circuit.port_name ))
+                  (Circuit.inputs circuit))
+          in
+          let failed = validate circuit property inputs k in
+          Refuted
+            ( { cex_depth = k; cex_inputs = inputs; cex_failed = failed; cex_circuit = circuit },
+              stats k )
+      | S.Unsat ->
+          retire base k base_act;
+          (* Inductive step: a loop-free path of k good states reaching a
+             bad one at cycle k, from an arbitrary start. *)
+          let step_act = install step k in
+          for i = 0 to k - 1 do
+            S.add_clause step_solver [ Cnf.Blast.state_distinct step i k ]
+          done;
+          (match timed step_solver [ step_act ] with
+          | S.Unsat -> Proved (k, stats k)
+          | S.Sat ->
+              retire step k step_act;
+              go (k + 1))
+    end
+  in
+  go 0
+
+let equiv ?max_depth c1 c2 =
+  let module T = Rtl.Transform in
+  let port_names c =
+    List.sort compare (List.map (fun p -> p.Circuit.port_name) (Circuit.inputs c)),
+    List.sort compare (List.map (fun p -> p.Circuit.port_name) (Circuit.outputs c))
+  in
+  if port_names c1 <> port_names c2 then
+    invalid_arg "Bmc.equiv: circuits have different interfaces";
+  (* Clone both circuits into one graph, sharing the primary inputs. *)
+  let shared = Hashtbl.create 16 in
+  let map_input ~name ~width =
+    match Hashtbl.find_opt shared name with
+    | Some s ->
+        if Signal.width s <> width then
+          invalid_arg ("Bmc.equiv: width mismatch on input " ^ name);
+        s
+    | None ->
+        let s = Signal.input name width in
+        Hashtbl.replace shared name s;
+        s
+  in
+  let outs1, _ = T.clone_outputs ~map_input ~map_reg_name:(fun n -> "a." ^ n) c1 in
+  let outs2, _ = T.clone_outputs ~map_input ~map_reg_name:(fun n -> "b." ^ n) c2 in
+  let asserts =
+    List.map
+      (fun (n, s1) ->
+        let s2 = List.assoc n outs2 in
+        ("eq_" ^ n, Signal.( ==: ) s1 s2))
+      outs1
+  in
+  let miter =
+    Circuit.create ~name:(Circuit.name c1 ^ "_miter")
+      ~outputs:(List.map (fun (n, s) -> ("a_" ^ n, s)) outs1)
+      ()
+  in
+  check ?max_depth miter { assumes = []; asserts }

@@ -1,0 +1,1 @@
+lib/cnf/blast.ml: Array Bitvec List Option Printf Rtl Sat

@@ -1,0 +1,1 @@
+lib/cnf/blast.mli: Bitvec Rtl Sat

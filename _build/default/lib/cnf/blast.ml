@@ -1,0 +1,238 @@
+module S = Sat.Solver
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+
+type t = {
+  solver : S.t;
+  circuit : Circuit.t;
+  t_lit : S.lit; (* literal that is constant true *)
+  free_init : bool;
+  mutable frames : S.lit array array list; (* per cycle, newest first *)
+  mutable ncycles : int;
+}
+
+let solver t = t.solver
+let circuit t = t.circuit
+let cycles t = t.ncycles
+let lit_true t = t.t_lit
+let lit_false t = S.neg t.t_lit
+
+let fresh_var t = S.lit (S.new_var t.solver) true
+
+let create ?(free_init = false) solver circuit =
+  let t_lit = S.lit (S.new_var solver) true in
+  S.add_clause solver [ t_lit ];
+  { solver; circuit; t_lit; free_init; frames = []; ncycles = 0 }
+
+(* {1 Gate helpers}
+
+   Each returns a literal equivalent to the gate's output, adding Tseitin
+   clauses as needed, with local simplification on constant or equal
+   operands. *)
+
+let is_true t l = l = t.t_lit
+let is_false t l = l = S.neg t.t_lit
+
+let gand t a b =
+  if is_false t a || is_false t b then lit_false t
+  else if is_true t a then b
+  else if is_true t b then a
+  else if a = b then a
+  else if a = S.neg b then lit_false t
+  else begin
+    let x = fresh_var t in
+    S.add_clause t.solver [ S.neg x; a ];
+    S.add_clause t.solver [ S.neg x; b ];
+    S.add_clause t.solver [ x; S.neg a; S.neg b ];
+    x
+  end
+
+let gor t a b = S.neg (gand t (S.neg a) (S.neg b))
+
+let gxor t a b =
+  if is_false t a then b
+  else if is_false t b then a
+  else if is_true t a then S.neg b
+  else if is_true t b then S.neg a
+  else if a = b then lit_false t
+  else if a = S.neg b then lit_true t
+  else begin
+    let x = fresh_var t in
+    S.add_clause t.solver [ S.neg x; a; b ];
+    S.add_clause t.solver [ S.neg x; S.neg a; S.neg b ];
+    S.add_clause t.solver [ x; S.neg a; b ];
+    S.add_clause t.solver [ x; a; S.neg b ];
+    x
+  end
+
+let gmux t sel a b =
+  (* x = sel ? a : b *)
+  if is_true t sel then a
+  else if is_false t sel then b
+  else if a = b then a
+  else begin
+    let x = fresh_var t in
+    S.add_clause t.solver [ S.neg sel; S.neg x; a ];
+    S.add_clause t.solver [ S.neg sel; x; S.neg a ];
+    S.add_clause t.solver [ sel; S.neg x; b ];
+    S.add_clause t.solver [ sel; x; S.neg b ];
+    x
+  end
+
+let gand_list t = function
+  | [] -> lit_true t
+  | l :: rest -> List.fold_left (gand t) l rest
+
+(* {1 Word-level encodings} *)
+
+let enc_add t a b =
+  let n = Array.length a in
+  let out = Array.make n (lit_false t) in
+  let carry = ref (lit_false t) in
+  for i = 0 to n - 1 do
+    let axb = gxor t a.(i) b.(i) in
+    out.(i) <- gxor t axb !carry;
+    (* majority(a, b, c) = (a & b) | (c & (a ^ b)) *)
+    carry := gor t (gand t a.(i) b.(i)) (gand t !carry axb)
+  done;
+  out
+
+let enc_neg t a =
+  let n = Array.length a in
+  let inv = Array.map S.neg a in
+  let one = Array.init n (fun i -> if i = 0 then lit_true t else lit_false t) in
+  enc_add t inv one
+
+let enc_sub t a b = enc_add t a (enc_neg t b)
+
+let enc_eq t a b =
+  let bits = Array.to_list (Array.map2 (fun x y -> S.neg (gxor t x y)) a b) in
+  gand_list t bits
+
+let enc_ult t a b =
+  (* From lsb to msb: lt = (~a & b) | ((a xnor b) & lt_prev). *)
+  let lt = ref (lit_false t) in
+  Array.iteri
+    (fun i ai ->
+      let bi = b.(i) in
+      let eq = S.neg (gxor t ai bi) in
+      lt := gor t (gand t (S.neg ai) bi) (gand t eq !lt))
+    a;
+  !lt
+
+let enc_slt t a b =
+  let n = Array.length a in
+  let a' = Array.copy a and b' = Array.copy b in
+  a'.(n - 1) <- S.neg a.(n - 1);
+  b'.(n - 1) <- S.neg b.(n - 1);
+  enc_ult t a' b'
+
+let enc_mul t a b =
+  let n = Array.length a in
+  let acc = ref (Array.make n (lit_false t)) in
+  for i = 0 to n - 1 do
+    if not (is_false t b.(i)) then begin
+      (* Partial product: (a << i) masked by b_i. *)
+      let partial =
+        Array.init n (fun j -> if j < i then lit_false t else gand t a.(j - i) b.(i))
+      in
+      acc := enc_add t !acc partial
+    end
+  done;
+  !acc
+
+(* {1 Unrolling} *)
+
+let const_lits t v =
+  Array.init (Bitvec.width v) (fun i ->
+      if Bitvec.bit v i then lit_true t else lit_false t)
+
+let frame t cycle =
+  if cycle < 0 || cycle >= t.ncycles then
+    invalid_arg (Printf.sprintf "Blast: cycle %d not unrolled (have %d)" cycle t.ncycles)
+  else List.nth t.frames (t.ncycles - 1 - cycle)
+
+let lits t ~cycle s =
+  let f = frame t cycle in
+  let idx =
+    try Circuit.node_index t.circuit s
+    with Not_found -> invalid_arg "Blast.lits: node not in circuit"
+  in
+  f.(idx)
+
+let lit1 t ~cycle s =
+  let l = lits t ~cycle s in
+  if Array.length l <> 1 then invalid_arg "Blast.lit1: signal is not 1 bit";
+  l.(0)
+
+let unroll_cycle t =
+  let topo = Circuit.topo t.circuit in
+  let f = Array.make (Array.length topo) [||] in
+  let prev = if t.ncycles = 0 then None else Some (List.hd t.frames) in
+  Array.iteri
+    (fun i s ->
+      let get k = f.(Circuit.node_index t.circuit (Signal.args s).(k)) in
+      let encoded =
+        match Signal.op s with
+        | Signal.Const v -> const_lits t v
+        | Signal.Input _ ->
+            Array.init (Signal.width s) (fun _ -> fresh_var t)
+        | Signal.Reg r -> (
+            match prev with
+            | None ->
+                if t.free_init then
+                  Array.init (Signal.width s) (fun _ -> fresh_var t)
+                else const_lits t r.Signal.init
+            | Some pf ->
+                let next = Option.get r.Signal.next in
+                pf.(Circuit.node_index t.circuit next))
+        | Signal.Not -> Array.map S.neg (get 0)
+        | Signal.And -> Array.map2 (gand t) (get 0) (get 1)
+        | Signal.Or -> Array.map2 (gor t) (get 0) (get 1)
+        | Signal.Xor -> Array.map2 (gxor t) (get 0) (get 1)
+        | Signal.Add -> enc_add t (get 0) (get 1)
+        | Signal.Sub -> enc_sub t (get 0) (get 1)
+        | Signal.Mul -> enc_mul t (get 0) (get 1)
+        | Signal.Eq -> [| enc_eq t (get 0) (get 1) |]
+        | Signal.Ult -> [| enc_ult t (get 0) (get 1) |]
+        | Signal.Slt -> [| enc_slt t (get 0) (get 1) |]
+        | Signal.Mux ->
+            let sel = (get 0).(0) in
+            Array.map2 (gmux t sel) (get 1) (get 2)
+        | Signal.Concat ->
+            (* Args are msb first; bit arrays are lsb first. *)
+            let parts = Array.to_list (Array.mapi (fun k _ -> get k) (Signal.args s)) in
+            Array.concat (List.rev parts)
+        | Signal.Slice (hi, lo) ->
+            Array.sub (get 0) lo (hi - lo + 1)
+      in
+      f.(i) <- encoded)
+    topo;
+  t.frames <- f :: t.frames;
+  t.ncycles <- t.ncycles + 1
+
+let reg_lits t ~cycle =
+  Array.concat (List.map (fun r -> lits t ~cycle r) (Circuit.regs t.circuit))
+
+let state_distinct t i j =
+  let a = reg_lits t ~cycle:i and b = reg_lits t ~cycle:j in
+  if Array.length a = 0 then lit_false t
+  else
+    let xors = Array.to_list (Array.map2 (gxor t) a b) in
+    (* One literal implied by the disjunction of the per-bit differences. *)
+    let d = fresh_var t in
+    S.add_clause t.solver (S.neg d :: xors);
+    List.iter (fun x -> S.add_clause t.solver [ d; S.neg x ]) xors;
+    d
+
+let node_value t ~cycle s =
+  let ls = lits t ~cycle s in
+  Bitvec.of_bits
+    (Array.map
+       (fun l ->
+         let v = S.value t.solver (S.var_of_lit l) in
+         if S.lit_sign l then v else not v)
+       ls)
+
+let input_value t ~cycle name =
+  node_value t ~cycle (Circuit.find_input t.circuit name)

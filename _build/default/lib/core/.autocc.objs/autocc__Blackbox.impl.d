@@ -1,0 +1,1 @@
+lib/core/blackbox.ml: Array Hashtbl List Printf Rtl

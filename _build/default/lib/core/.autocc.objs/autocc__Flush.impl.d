@@ -1,0 +1,1 @@
+lib/core/flush.ml: List Printf Rtl

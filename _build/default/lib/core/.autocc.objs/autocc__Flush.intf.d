@@ -1,0 +1,1 @@
+lib/core/flush.mli: Ft Rtl

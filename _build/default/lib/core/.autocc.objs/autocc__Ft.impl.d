@@ -1,0 +1,1 @@
+lib/core/ft.ml: Array Bitvec Blackbox Bmc List Rtl

@@ -1,0 +1,1 @@
+lib/core/ft.mli: Bitvec Bmc Rtl

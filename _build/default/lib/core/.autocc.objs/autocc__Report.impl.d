@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Bitvec Bmc Format Ft List Printf Rtl String

@@ -1,0 +1,1 @@
+lib/core/sva.ml: Buffer Filename Fun List Printf Rtl String Sys

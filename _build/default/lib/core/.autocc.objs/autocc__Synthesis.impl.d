@@ -1,0 +1,1 @@
+lib/core/synthesis.ml: Bmc Flush Ft List Rtl

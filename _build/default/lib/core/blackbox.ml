@@ -1,0 +1,90 @@
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+
+let cut circuit names =
+  let boundaries = Circuit.boundaries circuit in
+  List.iter
+    (fun n ->
+      if not (List.exists (fun b -> b.Circuit.bnd_name = n) boundaries) then
+        failwith
+          (Printf.sprintf "Blackbox.cut: no boundary named %s in %s" n
+             (Circuit.name circuit)))
+    names;
+  let cut_bnds, kept_bnds =
+    List.partition (fun b -> List.mem b.Circuit.bnd_name names) boundaries
+  in
+  let wire_name b (sig_name, _) =
+    Printf.sprintf "bb_%s_%s" b.Circuit.bnd_name sig_name
+  in
+  (* Fresh inputs replacing what the cut submodules used to drive. *)
+  let replacements =
+    List.concat_map
+      (fun b ->
+        List.map
+          (fun ((_, s) as w) ->
+            (Signal.uid s, Signal.input (wire_name b w) (Signal.width s)))
+          b.Circuit.bnd_outputs)
+      cut_bnds
+  in
+  let subst s = List.assoc_opt (Signal.uid s) replacements in
+  (* The signals feeding the cut submodules become observable outputs. *)
+  let exposed =
+    List.concat_map
+      (fun b -> List.map (fun ((_, s) as w) -> (wire_name b w, s)) b.Circuit.bnd_inputs)
+      cut_bnds
+  in
+  let old_outputs =
+    List.map (fun p -> (p.Circuit.port_name, p.Circuit.signal)) (Circuit.outputs circuit)
+  in
+  (* One rebuild over all roots so old outputs and exposed wires share the
+     copied graph. *)
+  let roots = List.map snd old_outputs @ List.map snd exposed in
+  let roots', mapping = Rtl.Transform.rebuild ~subst roots in
+  let labels = List.map fst old_outputs @ List.map fst exposed in
+  let outputs' = List.combine labels roots' in
+  let remap_bnd b =
+    let remap l =
+      List.filter_map (fun (n, s) -> try Some (n, mapping s) with Not_found -> None) l
+    in
+    {
+      Circuit.bnd_name = b.Circuit.bnd_name;
+      bnd_outputs = remap b.Circuit.bnd_outputs;
+      bnd_inputs = remap b.Circuit.bnd_inputs;
+    }
+  in
+  (* Inputs that only fed the cut submodules are gone; restrict the
+     transaction and common metadata to the surviving inputs. *)
+  let live_inputs =
+    let seen = Hashtbl.create 256 in
+    let found = Hashtbl.create 16 in
+    let rec walk s =
+      if not (Hashtbl.mem seen (Signal.uid s)) then begin
+        Hashtbl.replace seen (Signal.uid s) ();
+        (match Signal.op s with
+        | Signal.Input n -> Hashtbl.replace found n ()
+        | Signal.Reg r -> (
+            match r.Signal.next with Some nx -> walk nx | None -> ())
+        | _ -> ());
+        Array.iter walk (Signal.args s)
+      end
+    in
+    List.iter (fun (_, s) -> walk s) outputs';
+    fun n -> Hashtbl.mem found n
+  in
+  let in_tx =
+    List.filter_map
+      (fun tx ->
+        if live_inputs tx.Circuit.valid then
+          match List.filter live_inputs tx.Circuit.payloads with
+          | [] -> None
+          | payloads -> Some { tx with Circuit.payloads }
+        else None)
+      (Circuit.in_tx circuit)
+  in
+  Circuit.create
+    ~name:(Circuit.name circuit ^ "_bb")
+    ~in_tx
+    ~out_tx:(Circuit.out_tx circuit)
+    ~common:(List.filter live_inputs (Circuit.common circuit))
+    ~boundaries:(List.map remap_bnd kept_bnds)
+    ~outputs:outputs' ()

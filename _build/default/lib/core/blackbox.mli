@@ -1,0 +1,14 @@
+(** Blackboxing: abstracting a submodule away from the verification engine.
+
+    Cutting a named submodule boundary moves the submodule outside the
+    DUT while leaving its wires intact (Sec. 3.4 of the paper): signals
+    the submodule used to drive become fresh primary inputs
+    ([bb_<boundary>_<signal>]), and the signals feeding the submodule
+    become primary outputs of the cut circuit. The state inside the
+    boundary disappears from the DUT, and the new wires are subject to
+    the same AutoCC input assumptions / output assertions as any other
+    interface signal. *)
+
+val cut : Rtl.Circuit.t -> string list -> Rtl.Circuit.t
+(** [cut circuit names] cuts every boundary in [names]. Raises [Failure]
+    if a name does not match a boundary declared by the circuit. *)

@@ -1,0 +1,33 @@
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+
+let instrument ?(flush_input = "flush") ~regs circuit =
+  List.iter
+    (fun n ->
+      match Circuit.find_reg circuit n with
+      | _ -> ()
+      | exception Not_found ->
+          failwith (Printf.sprintf "Flush.instrument: no register named %s" n))
+    regs;
+  let flush = Signal.input flush_input 1 in
+  let outputs', _ =
+    Rtl.Transform.clone_outputs circuit ~instrument_next:(fun ~reg ~next ->
+        let payload = Signal.reg_of reg in
+        if List.mem payload.Signal.reg_name regs then
+          Signal.mux2 flush (Signal.const payload.Signal.init) next
+        else next)
+  in
+  (* The flush wire must reach the elaborated graph even when the flush
+     set is empty; anchor it through an output. *)
+  Circuit.create
+    ~name:(Circuit.name circuit ^ "_flush")
+    ~in_tx:(Circuit.in_tx circuit)
+    ~out_tx:(Circuit.out_tx circuit)
+    ~common:(flush_input :: Circuit.common circuit)
+    ~outputs:(outputs' @ [ (flush_input ^ "_active", flush) ])
+    ()
+
+let flush_done_of_input ?(flush_input = "flush") () dut map_a _map_b =
+  (* The flush input is common, so mapping it into either universe yields
+     the single shared wire. *)
+  map_a (Circuit.find_input dut flush_input)

@@ -1,0 +1,25 @@
+(** Flush instrumentation.
+
+    Temporal partitioning (Sec. 3.5) resets microarchitectural state
+    between processes. [instrument] adds a 1-bit [flush] input to a DUT:
+    while it is asserted, every register in the flush set loads its
+    initial value instead of its normal next-state value. The instrumented
+    circuit marks the flush input common, so both universes of a generated
+    FT flush on the same cycles — matching the paper's model in which the
+    two flushes complete together. *)
+
+val instrument :
+  ?flush_input:string -> regs:string list -> Rtl.Circuit.t -> Rtl.Circuit.t
+(** [instrument ~regs circuit] returns a circuit with an added common
+    input (default name ["flush"]) that synchronously resets the named
+    registers. Unknown register names raise [Failure]. *)
+
+val flush_done_of_input :
+  ?flush_input:string ->
+  unit ->
+  Rtl.Circuit.t ->
+  Ft.mapping ->
+  Ft.mapping ->
+  Rtl.Signal.t
+(** A [flush_done] condition for {!Ft.generate} that fires on the cycles
+    where the (shared) flush input of an instrumented DUT is asserted. *)

@@ -1,0 +1,166 @@
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+
+let clog2 n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (2 * v) in
+  go 0 1
+
+let san = Rtl.Verilog.sanitize
+let width_decl w = if w = 1 then "" else Printf.sprintf "[%d:0] " (w - 1)
+
+(* The transaction (if any) governing a given port name. *)
+let tx_of txs name =
+  List.find_opt (fun tx -> List.mem name tx.Circuit.payloads) txs
+
+let wrapper ?(threshold = 4) ?(common = []) ?(arch_regs = []) dut =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let name = san (Circuit.name dut) in
+  let common = List.sort_uniq compare (common @ Circuit.common dut) in
+  let is_common p = List.mem p.Circuit.port_name common in
+  let dup_inputs = List.filter (fun p -> not (is_common p)) (Circuit.inputs dut) in
+  let common_inputs = List.filter is_common (Circuit.inputs dut) in
+  let outputs = Circuit.outputs dut in
+  let port_w p = Signal.width p.Circuit.signal in
+  (* {2 Header} *)
+  pr "// AutoCC FPV testbench for %s -- generated, do not edit.\n" name;
+  pr "// Methodology: two universes, transfer period, spy-mode properties\n";
+  pr "// (Listing 1 of the AutoCC paper).\n";
+  pr "module ft_%s (\n" name;
+  pr "  input wire clk,\n  input wire rst,\n";
+  List.iter
+    (fun p ->
+      pr "  input wire %s%s,\n" (width_decl (port_w p)) (san p.Circuit.port_name))
+    common_inputs;
+  List.iter
+    (fun p ->
+      pr "  input wire %sa_%s,\n" (width_decl (port_w p)) (san p.Circuit.port_name);
+      pr "  input wire %sb_%s,\n" (width_decl (port_w p)) (san p.Circuit.port_name))
+    dup_inputs;
+  pr "  input wire flush_done\n);\n\n";
+  pr "  localparam THRESHOLD = %d;\n\n" threshold;
+  (* {2 Instances} *)
+  List.iter
+    (fun u ->
+      List.iter
+        (fun p ->
+          pr "  wire %s%s_%s;\n" (width_decl (port_w p)) u (san p.Circuit.port_name))
+        outputs;
+      pr "  %s u%s (\n    .clk(clk),\n    .rst(rst),\n" name u;
+      let connections =
+        List.map
+          (fun p ->
+            let n = san p.Circuit.port_name in
+            if is_common p then Printf.sprintf "    .%s(%s)" n n
+            else Printf.sprintf "    .%s(%s_%s)" n u n)
+          (Circuit.inputs dut)
+        @ List.map
+            (fun p ->
+              let n = san p.Circuit.port_name in
+              Printf.sprintf "    .%s(%s_%s)" n u n)
+            outputs
+      in
+      pr "%s\n  );\n\n" (String.concat ",\n" connections))
+    [ "a"; "b" ];
+  (* {2 Equality wires} *)
+  let eq_wire txs p =
+    let n = san p.Circuit.port_name in
+    match tx_of txs p.Circuit.port_name with
+    | None -> pr "  wire %s_eq = a_%s == b_%s;\n" n n n
+    | Some tx ->
+        (* Payloads compared only while the transaction is valid. *)
+        pr "  wire %s_eq = !a_%s || a_%s == b_%s;\n" n (san tx.Circuit.valid) n n
+  in
+  List.iter (eq_wire (Circuit.in_tx dut)) dup_inputs;
+  List.iter (eq_wire (Circuit.out_tx dut)) outputs;
+  (* {2 Architectural state} *)
+  (match arch_regs with
+  | [] -> pr "\n  wire architectural_state_eq = 1'b1; // refine as CEXs are found\n"
+  | regs ->
+      pr "\n  wire architectural_state_eq =\n";
+      pr "%s;\n"
+        (String.concat " &&\n"
+           (List.map
+              (fun r -> Printf.sprintf "    ua.%s == ub.%s" (san r) (san r))
+              regs)));
+  (* {2 Transfer period and spy mode (Listing 1)} *)
+  let all_eqs =
+    List.map (fun p -> san p.Circuit.port_name ^ "_eq") (dup_inputs @ outputs)
+  in
+  pr "\n  wire transfer_cond = architectural_state_eq";
+  List.iter (fun e -> pr "\n    && %s" e) all_eqs;
+  pr ";\n\n";
+  pr "  reg [%d:0] eq_cnt;\n" (clog2 (threshold + 1));
+  pr "  reg spy_mode;\n";
+  pr "  wire spy_starts = transfer_cond && eq_cnt >= THRESHOLD;\n\n";
+  pr "  always_ff @(posedge clk)\n";
+  pr "    if (rst) begin\n      spy_mode <= '0;\n      eq_cnt <= '0;\n";
+  pr "    end else begin\n";
+  pr "      spy_mode <= spy_starts || spy_mode;\n";
+  pr "      eq_cnt <= (flush_done || eq_cnt > 0) && transfer_cond\n";
+  pr "                ? (eq_cnt >= THRESHOLD ? eq_cnt : eq_cnt + 1'b1) : '0;\n";
+  pr "    end\n\n";
+  (* {2 Properties} *)
+  List.iter
+    (fun p ->
+      pr "  am__%s_eq: assume property (@(posedge clk) spy_mode |-> %s_eq);\n"
+        (san p.Circuit.port_name) (san p.Circuit.port_name))
+    dup_inputs;
+  pr "\n";
+  List.iter
+    (fun p ->
+      pr "  as__%s_eq: assert property (@(posedge clk) spy_mode |-> %s_eq);\n"
+        (san p.Circuit.port_name) (san p.Circuit.port_name))
+    outputs;
+  pr "\nendmodule\n";
+  Buffer.contents buf
+
+let sby_config ?(depth = 25) ?(engine = "smtbmc") dut =
+  let name = san (Circuit.name dut) in
+  String.concat "\n"
+    [
+      "[options]";
+      "mode bmc";
+      Printf.sprintf "depth %d" depth;
+      "";
+      "[engines]";
+      engine;
+      "";
+      "[script]";
+      Printf.sprintf "read -formal %s.sv" name;
+      Printf.sprintf "read -formal ft_%s.sv" name;
+      Printf.sprintf "prep -top ft_%s" name;
+      "";
+      "[files]";
+      Printf.sprintf "%s.sv" name;
+      Printf.sprintf "ft_%s.sv" name;
+      "";
+    ]
+
+let jg_tcl ?(depth = 25) dut =
+  let name = san (Circuit.name dut) in
+  String.concat "\n"
+    [
+      "# JasperGold bindings for the AutoCC testbench -- generated.";
+      Printf.sprintf "analyze -sv12 %s.sv" name;
+      Printf.sprintf "analyze -sv12 ft_%s.sv" name;
+      Printf.sprintf "elaborate -top ft_%s" name;
+      "clock clk";
+      "reset rst";
+      Printf.sprintf "set_max_trace_length %d" depth;
+      "prove -all";
+      "report";
+      "";
+    ]
+
+let write_flow ~dir ?threshold ?common ?arch_regs ?depth dut =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let name = san (Circuit.name dut) in
+  let write file contents =
+    let oc = open_out (Filename.concat dir file) in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+  in
+  write (name ^ ".sv") (Rtl.Verilog.to_string dut);
+  write ("ft_" ^ name ^ ".sv") (wrapper ?threshold ?common ?arch_regs dut);
+  write (name ^ ".sby") (sby_config ?depth dut);
+  write "FPV.tcl" (jg_tcl ?depth dut)

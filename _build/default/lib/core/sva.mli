@@ -1,0 +1,45 @@
+(** SystemVerilog-Assertions export of the AutoCC testbench.
+
+    The paper's tool emits (1) a wrapper with two instances of the DUT,
+    (2) a property file in SVA following Listing 1, and (3) a
+    backend-specific command file. This module reproduces that flow for
+    the open-source SBY backend: together with {!Rtl.Verilog} it writes a
+    self-contained directory that an external [sby] installation can
+    check, so designs modeled here can be cross-verified with a second,
+    independent FPV engine.
+
+    The generated properties are exactly the built-in ones: per-input
+    assumptions and per-output assertions guarded by [spy_mode],
+    transaction payloads gated by their valids, [architectural_state_eq]
+    over the chosen registers (via hierarchical references into the two
+    instances), and the [eq_cnt]/[spy_mode] monitor of Listing 1. *)
+
+val wrapper :
+  ?threshold:int ->
+  ?common:string list ->
+  ?arch_regs:string list ->
+  Rtl.Circuit.t ->
+  string
+(** The FT wrapper module [ft_<name>] as SystemVerilog source, including
+    the assume/assert properties. [flush_done] is exposed as a free input
+    of the wrapper, as in the default Listing 1 template; constrain it in
+    the wrapper or leave it symbolic. *)
+
+val sby_config : ?depth:int -> ?engine:string -> Rtl.Circuit.t -> string
+(** An SBY project file running BMC to [depth] (default 25) with
+    [engine] (default ["smtbmc"]). *)
+
+val jg_tcl : ?depth:int -> Rtl.Circuit.t -> string
+(** A JasperGold command file (FPV.tcl) for the generated testbench — the
+    other backend the paper evaluates with. *)
+
+val write_flow :
+  dir:string ->
+  ?threshold:int ->
+  ?common:string list ->
+  ?arch_regs:string list ->
+  ?depth:int ->
+  Rtl.Circuit.t ->
+  unit
+(** Write [<name>.sv] (the DUT), [ft_<name>.sv] (the wrapper),
+    [<name>.sby] and [FPV.tcl] into [dir] (created if missing). *)

@@ -1,0 +1,105 @@
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+
+type step = {
+  step_flush : string list;
+  step_result : [ `Cex of string * int | `Proof of int ];
+}
+
+type result = { flush_set : string list; steps : step list; proved : bool }
+
+let check_with_flush ?max_depth ?threshold ?arch_regs dut flush_set =
+  let dut' = Flush.instrument ~regs:flush_set dut in
+  let ft =
+    Ft.generate ?threshold ?arch_regs
+      ~flush_done:(Flush.flush_done_of_input ())
+      dut'
+  in
+  (ft, Ft.check ?max_depth ft)
+
+(* FindCause: the first microarchitectural register from the candidate
+   pool whose two universes differ when spy mode begins. *)
+let find_cause ft cex ~candidates ~already_flushed =
+  let cycle =
+    match Ft.spy_start_cycle ft cex with
+    | Some c -> c
+    | None -> cex.Bmc.cex_depth
+  in
+  let diffs = Ft.state_diff ft cex ~cycle in
+  List.find_map
+    (fun (name, _, _) ->
+      if List.mem name candidates && not (List.mem name already_flushed) then
+        Some name
+      else None)
+    diffs
+
+let incremental ?max_depth ?threshold ?(arch_regs = []) ~candidates dut =
+  let rec go flush_set steps =
+    let ft, outcome =
+      check_with_flush ?max_depth ?threshold ~arch_regs dut flush_set
+    in
+    match outcome with
+    | Bmc.Bounded_proof stats ->
+        let step = { step_flush = flush_set; step_result = `Proof stats.Bmc.depth_reached } in
+        { flush_set; steps = List.rev (step :: steps); proved = true }
+    | Bmc.Cex (cex, _) -> (
+        match find_cause ft cex ~candidates ~already_flushed:flush_set with
+        | None ->
+            (* No candidate explains the difference: report failure. *)
+            let step =
+              { step_flush = flush_set; step_result = `Cex ("<none>", cex.Bmc.cex_depth) }
+            in
+            { flush_set; steps = List.rev (step :: steps); proved = false }
+        | Some culprit ->
+            let step =
+              { step_flush = flush_set; step_result = `Cex (culprit, cex.Bmc.cex_depth) }
+            in
+            go (flush_set @ [ culprit ]) (step :: steps))
+  in
+  go [] []
+
+let decremental ?max_depth ?threshold ?(arch_regs = []) ?initial ~candidates dut =
+  let all_regs =
+    List.map (fun r -> (Signal.reg_of r).Signal.reg_name) (Circuit.regs dut)
+  in
+  let initial =
+    match initial with
+    | Some l -> l
+    | None -> List.filter (fun n -> not (List.mem n arch_regs)) all_regs
+  in
+  let try_set flush_set =
+    snd (check_with_flush ?max_depth ?threshold ~arch_regs dut flush_set)
+  in
+  (* The starting point must prove, otherwise the invariant of the loop
+     does not hold. *)
+  match try_set initial with
+  | Bmc.Cex (cex, _) ->
+      {
+        flush_set = initial;
+        steps =
+          [ { step_flush = initial; step_result = `Cex ("<initial>", cex.Bmc.cex_depth) } ];
+        proved = false;
+      }
+  | Bmc.Bounded_proof stats0 ->
+      let steps = ref [ { step_flush = initial; step_result = `Proof stats0.Bmc.depth_reached } ] in
+      let flush_set =
+        List.fold_left
+          (fun flush_set candidate ->
+            if not (List.mem candidate flush_set) then flush_set
+            else begin
+              let attempt = List.filter (fun n -> n <> candidate) flush_set in
+              match try_set attempt with
+              | Bmc.Bounded_proof stats ->
+                  steps :=
+                    { step_flush = attempt; step_result = `Proof stats.Bmc.depth_reached }
+                    :: !steps;
+                  attempt
+              | Bmc.Cex (cex, _) ->
+                  steps :=
+                    { step_flush = attempt; step_result = `Cex (candidate, cex.Bmc.cex_depth) }
+                    :: !steps;
+                  flush_set
+            end)
+          initial candidates
+      in
+      { flush_set; steps = List.rev !steps; proved = true }

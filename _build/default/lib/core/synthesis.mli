@@ -1,0 +1,53 @@
+(** Flush-set construction — Algorithms 1 and 2 of the paper.
+
+    Both algorithms drive the full AutoCC loop (instrument a flush →
+    generate the FT → run FPV) to converge on a set of microarchitectural
+    registers whose flushing makes the DUT free of observable execution
+    differences.
+
+    {!incremental} (Algorithm 1) starts from the empty flush set and adds
+    the register [FindCause] identifies for each counterexample until a
+    bounded proof is reached.
+
+    {!decremental} (Algorithm 2) starts from a full flush and removes
+    candidate registers one at a time, keeping a removal only if the
+    bounded proof still holds. *)
+
+type step = {
+  step_flush : string list;  (** flush set tried at this step *)
+  step_result : [ `Cex of string * int | `Proof of int ];
+      (** [`Cex (culprit, depth)]: the register added (incremental) or
+          re-inserted (decremental) and the counterexample depth;
+          [`Proof d]: bounded proof of depth [d]. *)
+}
+
+type result = {
+  flush_set : string list;
+  steps : step list;  (** in execution order *)
+  proved : bool;  (** false if the algorithm ran out of candidates *)
+}
+
+val incremental :
+  ?max_depth:int ->
+  ?threshold:int ->
+  ?arch_regs:string list ->
+  candidates:string list ->
+  Rtl.Circuit.t ->
+  result
+(** [incremental ~candidates dut]: [candidates] is the pool of registers
+    [FindCause] may select from (typically all microarchitectural
+    registers). [arch_regs] are treated as architectural state handled by
+    the OS, exactly as in {!Ft.generate}. *)
+
+val decremental :
+  ?max_depth:int ->
+  ?threshold:int ->
+  ?arch_regs:string list ->
+  ?initial:string list ->
+  candidates:string list ->
+  Rtl.Circuit.t ->
+  result
+(** [decremental ~candidates dut]: [initial] defaults to every register of
+    the DUT not listed in [arch_regs]; [candidates] are the registers the
+    algorithm attempts to remove from the flush (the paper notes the
+    candidate set may be a strict subset when some flushes are free). *)

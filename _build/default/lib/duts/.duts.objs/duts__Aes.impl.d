@@ -1,0 +1,1 @@
+lib/duts/aes.ml: List Printf Rtl

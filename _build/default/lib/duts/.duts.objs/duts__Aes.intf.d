@@ -1,0 +1,1 @@
+lib/duts/aes.mli: Autocc Rtl

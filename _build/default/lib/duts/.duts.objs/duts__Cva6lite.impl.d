@@ -1,0 +1,1 @@
+lib/duts/cva6lite.ml: Array Printf Rtl

@@ -1,0 +1,1 @@
+lib/duts/cva6lite.mli: Autocc Rtl

@@ -1,0 +1,1 @@
+lib/duts/divider.ml: Rtl

@@ -1,0 +1,1 @@
+lib/duts/divider.mli: Autocc Rtl

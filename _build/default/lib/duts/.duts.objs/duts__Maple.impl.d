@@ -1,0 +1,1 @@
+lib/duts/maple.ml: Bitvec Printf Rtl

@@ -1,0 +1,1 @@
+lib/duts/maple.mli: Autocc Rtl

@@ -1,0 +1,1 @@
+lib/duts/vscale.ml: Autocc List Printf Rtl

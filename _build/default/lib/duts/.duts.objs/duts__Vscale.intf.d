@@ -1,0 +1,1 @@
+lib/duts/vscale.mli: Autocc Rtl

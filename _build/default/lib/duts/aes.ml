@@ -1,0 +1,55 @@
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+open Signal
+
+let default_stages = 8
+let w = 8
+
+let rotl1 s = concat [ select s (w - 2) 0; bit s (w - 1) ]
+
+(* One pipeline round: mix the data with the key and diffuse. *)
+let round data key = rotl1 (data ^: key)
+let round_key key = rotl1 key ^: of_int ~width:w 0x1B
+
+let encrypt ~pt ~key =
+  let rotl1_i x = ((x lsl 1) land 0xFF) lor (x lsr 7) in
+  let rec go data key n =
+    if n = 0 then data
+    else go (rotl1_i (data lxor key)) (rotl1_i key lxor 0x1B) (n - 1)
+  in
+  go pt key default_stages
+
+let stage_names stages =
+  List.init stages (fun i -> Printf.sprintf "stage%d_valid" i)
+
+let create ?(stages = default_stages) () =
+  let req_valid = input "req_valid" 1 in
+  let req_pt = input "req_pt" w in
+  let req_key = input "req_key" w in
+  let valids = List.map (fun n -> reg n 1) (stage_names stages) in
+  let datas = List.init stages (fun i -> reg (Printf.sprintf "stage%d_data" i) w) in
+  let keys = List.init stages (fun i -> reg (Printf.sprintf "stage%d_key" i) w) in
+  let rec connect prev_v prev_d prev_k vs ds ks =
+    match (vs, ds, ks) with
+    | [], [], [] -> (prev_v, prev_d)
+    | v :: vs, d :: ds, k :: ks ->
+        reg_set_next v prev_v;
+        reg_set_next d (round prev_d prev_k);
+        reg_set_next k (round_key prev_k);
+        connect v d k vs ds ks
+    | _ -> assert false
+  in
+  let resp_valid, resp_ct = connect req_valid req_pt req_key valids datas keys in
+  Circuit.create ~name:"aes"
+    ~in_tx:[ { Circuit.tx_name = "req"; valid = "req_valid"; payloads = [ "req_pt"; "req_key" ] } ]
+    ~out_tx:[ { Circuit.tx_name = "resp"; valid = "resp_valid"; payloads = [ "resp_ct" ] } ]
+    ~outputs:[ ("resp_valid", resp_valid); ("resp_ct", resp_ct) ]
+    ()
+
+let flush_done_idle ?(stages = default_stages) () dut map_a map_b =
+  let idle m =
+    List.fold_left
+      (fun acc n -> acc &: ~:(m (Circuit.find_reg dut n)))
+      vdd (stage_names stages)
+  in
+  idle map_a &: idle map_b

@@ -1,0 +1,38 @@
+(** A pipelined AES-like encryption accelerator (Sec. 4.4 of the paper).
+
+    A request (plaintext + key) enters a deep pipeline; [stages] cycles
+    later the ciphertext emerges with a valid flag. The accelerator has no
+    flush or invalidate mechanism at all — it was designed under the
+    assumption that a process releases it only after all outstanding
+    requests have completed.
+
+    Counterexample A1: requests still in the pipeline when the context
+    switch happens produce responses during the spy's time slice in one
+    universe only — an observable timing difference.
+
+    The paper's refinement models the well-behaved OS: define flush
+    completion as "no ongoing requests in either universe"
+    ({!flush_done_idle}); with it, the FPV run reaches a full proof. The
+    round function is a lightweight xor/rotate permutation standing in
+    for the AES rounds — the security argument is about the pipeline
+    occupancy, not the cipher.
+
+    Interface: inputs [req_valid], [req_pt], [req_key]; outputs
+    [resp_valid], [resp_ct] (transaction). *)
+
+val default_stages : int
+
+val create : ?stages:int -> unit -> Rtl.Circuit.t
+
+val flush_done_idle :
+  ?stages:int ->
+  unit ->
+  Rtl.Circuit.t ->
+  Autocc.Ft.mapping ->
+  Autocc.Ft.mapping ->
+  Rtl.Signal.t
+(** No valid request in any pipeline stage, in both universes. *)
+
+val encrypt : pt:int -> key:int -> int
+(** Reference model of the pipeline's permutation, for simulation
+    tests. *)

@@ -1,0 +1,310 @@
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+open Signal
+
+type mode = Plain_fence | Full_flush | Microreset
+
+type config = { mode : mode; fix_c1 : bool; fix_c2 : bool; fix_c3 : bool }
+
+let plain_fence = { mode = Plain_fence; fix_c1 = true; fix_c2 = true; fix_c3 = true }
+let full_flush = { mode = Full_flush; fix_c1 = true; fix_c2 = true; fix_c3 = true }
+let microreset_buggy = { mode = Microreset; fix_c1 = false; fix_c2 = false; fix_c3 = false }
+let microreset_fixed = { mode = Microreset; fix_c1 = true; fix_c2 = true; fix_c3 = true }
+
+let with_fixes ?(fix_c1 = true) ?(fix_c2 = true) ?(fix_c3 = true) mode =
+  { mode; fix_c1; fix_c2; fix_c3 }
+
+type params = { icache_lines : int; dcache_lines : int; btb_entries : int }
+
+let default_params = { icache_lines = 2; dcache_lines = 2; btb_entries = 2 }
+
+let clog2 n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (2 * v) in
+  go 0 1
+
+let aw = 6 (* physical/fetch address width *)
+let vw = 4 (* virtual address width on the load side *)
+let dw = 8 (* data width *)
+
+(* Load-unit FSM states. *)
+let l_idle = 0
+let l_pwalk_req = 1
+let l_pwalk_wait = 2
+let l_dc = 3
+let l_fill = 4
+let l_resp = 5
+
+(* Fence FSM states. *)
+let f_idle = 0
+let f_drain = 1
+let f_wb = 2
+let f_clear = 3
+
+let create ?(config = microreset_buggy) ?(params = default_params) () =
+  (* {2 Interface} *)
+  let fetch_ex = input "fetch_ex" 1 in
+  let axi_rvalid = input "axi_rvalid" 1 in
+  let axi_rdata = input "axi_rdata" dw in
+  let lsu_req = input "lsu_req" 1 in
+  let lsu_vaddr = input "lsu_vaddr" vw in
+  let dmem_rvalid = input "dmem_rvalid" 1 in
+  let dmem_rdata = input "dmem_rdata" dw in
+  let fence_req = input "fence_req" 1 in
+  let exc = input "exc" 1 in
+
+  (* {2 Fence controller} *)
+  let fence_state = reg "fence_state" 2 in
+  let fence_wb_cnt = reg "fence_wb_cnt" 1 in
+  let in_fence st = fence_state ==: of_int ~width:2 st in
+  let fence_clear = in_fence f_clear in
+  (* Plain fence.t completes without clearing any microarchitectural
+     state (the paper's baseline that motivates the flushing variants). *)
+  let fence_wipe =
+    match config.mode with Plain_fence -> gnd | Full_flush | Microreset -> fence_clear
+  in
+  let fence_busy = ~:(in_fence f_idle) in
+
+  (* {2 Instruction cache (2 lines, direct-mapped)} — the data array
+     models SRAM: the fence clears the valid bits but not the contents. *)
+  let pc = reg "pc" aw in
+  let nil = params.icache_lines in
+  let iv = Array.init nil (fun i -> reg (Printf.sprintf "icache_valid%d" i) 1) in
+  let itag =
+    Array.init nil (fun i ->
+        reg (Printf.sprintf "icache_tag%d" i) (aw - max 1 (clog2 nil)))
+  in
+  let idata = Array.init nil (fun i -> reg (Printf.sprintf "icache_data%d" i) dw) in
+  let axi_pending = reg "axi_pending" 1 in
+  let axi_addr = reg "axi_addr" aw in
+  let pick arr idx =
+    if Array.length arr = 1 then arr.(0) else mux idx (Array.to_list arr)
+  in
+  let ibits = max 1 (clog2 params.icache_lines) in
+  let i_idx = select pc (ibits - 1) 0 in
+  let i_tag = select pc (aw - 1) ibits in
+  let i_hit = pick iv i_idx &: (pick itag i_idx ==: i_tag) in
+  (* A fetch exception produces a valid response without a hit (C1). *)
+  let iresp_valid = i_hit |: fetch_ex in
+  let iresp_data_raw = pick idata i_idx in
+  let iresp_data =
+    if config.fix_c1 then mux2 i_hit iresp_data_raw (zero dw) else iresp_data_raw
+  in
+  (* Realigner: the "compressed" bit of the payload gates instruction
+     delivery — with C1 present it reads garbage from an invalid line. *)
+  let instr_valid = iresp_valid &: bit iresp_data 0 in
+  (* pc advance is closed after the branch predictor is defined. *)
+  (* Refills: request on miss; in microreset mode the frontend pauses
+     while the fence is busy. *)
+  let fetch_allowed =
+    match config.mode with
+    | Microreset -> ~:fence_busy
+    | Full_flush | Plain_fence -> vdd
+  in
+  let axi_issue = ~:i_hit &: ~:fetch_ex &: ~:axi_pending &: fetch_allowed in
+  let axi_fill = axi_rvalid &: axi_pending in
+  reg_set_next axi_pending (mux2 axi_issue vdd (mux2 axi_fill gnd axi_pending));
+  reg_set_next axi_addr (mux2 axi_issue pc axi_addr);
+  let fill_idx = select axi_addr (ibits - 1) 0 in
+  Array.iteri
+    (fun i v ->
+      let this = fill_idx ==: of_int ~width:ibits i in
+      let set = axi_fill &: this in
+      reg_set_next v (mux2 fence_wipe gnd (mux2 set vdd v));
+      reg_set_next itag.(i) (mux2 set (select axi_addr (aw - 1) ibits) itag.(i));
+      reg_set_next idata.(i) (mux2 set axi_rdata idata.(i)))
+    iv;
+
+  (* {2 Branch predictor (2-entry BTB)} — trained by resolved branches,
+     steers the next fetch on a hit; the flushing fence.t variants clear
+     the valid bits (the paper shrinks CVA6's predictor to 16 entries and
+     flushes it; the plain fence leaves it as a classic channel). *)
+  let br_resolve = input "br_resolve" 1 in
+  let br_taken = input "br_taken" 1 in
+  let br_pc = input "br_pc" aw in
+  let br_target = input "br_target" aw in
+  let nbtb = params.btb_entries in
+  let bbits = max 1 (clog2 nbtb) in
+  let btbv = Array.init nbtb (fun i -> reg (Printf.sprintf "btb_valid%d" i) 1) in
+  let btbtag = Array.init nbtb (fun i -> reg (Printf.sprintf "btb_tag%d" i) (aw - bbits)) in
+  let btbtgt = Array.init nbtb (fun i -> reg (Printf.sprintf "btb_target%d" i) aw) in
+  let btb_idx a = select a (bbits - 1) 0 in
+  let btb_hit =
+    pick btbv (btb_idx pc) &: (pick btbtag (btb_idx pc) ==: select pc (aw - 1) bbits)
+  in
+  Array.iteri
+    (fun i v ->
+      let this = btb_idx br_pc ==: of_int ~width:bbits i in
+      let train = br_resolve &: br_taken &: this in
+      let untrain =
+        br_resolve &: ~:br_taken &: this
+        &: (btbtag.(i) ==: select br_pc (aw - 1) bbits)
+      in
+      reg_set_next v
+        (mux2 fence_wipe gnd (mux2 train vdd (mux2 untrain gnd v)));
+      reg_set_next btbtag.(i) (mux2 train (select br_pc (aw - 1) bbits) btbtag.(i));
+      reg_set_next btbtgt.(i) (mux2 train br_target btbtgt.(i)))
+    btbv;
+
+  reg_set_next pc
+    (mux2 instr_valid (mux2 btb_hit (pick btbtgt (btb_idx pc)) (pc +: one aw)) pc);
+
+  (* {2 TLB (1 entry)} *)
+  let tlb_valid = reg "tlb_valid" 1 in
+  let tlb_vtag = reg "tlb_vtag" vw in
+  let tlb_ppn = reg "tlb_ppn" aw in
+
+  (* {2 Load unit with PTW and D$} *)
+  let lsu_state = reg "lsu_state" 3 in
+  let lsu_vaddr_r = reg "lsu_vaddr_r" vw in
+  let ndl = params.dcache_lines in
+  let dbits = max 1 (clog2 ndl) in
+  let dv = Array.init ndl (fun i -> reg (Printf.sprintf "dcache_valid%d" i) 1) in
+  let dtag = Array.init ndl (fun i -> reg (Printf.sprintf "dcache_tag%d" i) (aw - dbits)) in
+  let ddata = Array.init ndl (fun i -> reg (Printf.sprintf "dcache_data%d" i) dw) in
+  let dc_pending = reg "dc_pending" 1 in
+  let dc_fill_addr = reg "dc_fill_addr" aw in
+  let lsu_data_r = reg "lsu_data_r" dw in
+  let in_lsu st = lsu_state ==: of_int ~width:3 st in
+  let tlb_hit = tlb_valid &: (tlb_vtag ==: lsu_vaddr_r) in
+  let paddr = tlb_ppn in
+  let pte_addr = concat [ of_int ~width:(aw - vw) 2; lsu_vaddr_r ] in
+  let d_idx addr = select addr (dbits - 1) 0 in
+  let d_tag addr = select addr (aw - 1) dbits in
+  let dc_hit addr = pick dv (d_idx addr) &: (pick dtag (d_idx addr) ==: d_tag addr) in
+  (* The flush signal the PTW sees: exceptions and the fence clear. *)
+  let ptw_flush = exc |: fence_clear in
+  (* New operations are accepted in IDLE; the C3 fix also blocks them
+     while the fence is busy. *)
+  let accept_ok = if config.fix_c3 then ~:fence_busy else vdd in
+  let accept = in_lsu l_idle &: lsu_req &: accept_ok in
+  let walk_issue = in_lsu l_pwalk_req &: ~:dc_pending in
+  let dc_issue = in_lsu l_dc &: tlb_hit &: ~:(dc_hit paddr) &: ~:dc_pending in
+  let lsu_state_next =
+    onehot_mux
+      [
+        (accept, mux2 tlb_hit (of_int ~width:3 l_dc) (of_int ~width:3 l_pwalk_req));
+        ( in_lsu l_pwalk_req,
+          mux2 walk_issue (of_int ~width:3 l_pwalk_wait) lsu_state );
+        ( in_lsu l_pwalk_wait,
+          (* Normal: the PTE response sends us to the D$ stage. C2: a
+             flush in WAIT_RVALID aborts to IDLE, orphaning the pending
+             response. *)
+          mux2 dmem_rvalid (of_int ~width:3 l_dc)
+            (if config.fix_c2 then lsu_state
+             else mux2 ptw_flush (of_int ~width:3 l_idle) lsu_state) );
+        ( in_lsu l_dc,
+          mux2 tlb_hit
+            (mux2 (dc_hit paddr) (of_int ~width:3 l_resp) (of_int ~width:3 l_fill))
+            (of_int ~width:3 l_pwalk_req) );
+        (in_lsu l_fill, mux2 dmem_rvalid (of_int ~width:3 l_resp) lsu_state);
+        (in_lsu l_resp, of_int ~width:3 l_idle);
+      ]
+      ~default:lsu_state
+  in
+  reg_set_next lsu_state lsu_state_next;
+  reg_set_next lsu_vaddr_r (mux2 accept lsu_vaddr lsu_vaddr_r);
+  (* Memory-response bookkeeping: every outstanding D-side request is
+     tracked by [dc_pending]; the standing fill rule below caches the
+     response no matter what the FSM is doing by then. *)
+  let dc_req = walk_issue |: dc_issue in
+  let dc_req_addr = mux2 walk_issue pte_addr paddr in
+  let dc_fill = dmem_rvalid &: dc_pending in
+  reg_set_next dc_pending (mux2 dc_req vdd (mux2 dc_fill gnd dc_pending));
+  reg_set_next dc_fill_addr (mux2 dc_req dc_req_addr dc_fill_addr);
+  Array.iteri
+    (fun i v ->
+      let this = d_idx dc_fill_addr ==: of_int ~width:dbits i in
+      let set = dc_fill &: this in
+      reg_set_next v (mux2 fence_wipe gnd (mux2 set vdd v));
+      reg_set_next dtag.(i) (mux2 set (d_tag dc_fill_addr) dtag.(i));
+      reg_set_next ddata.(i) (mux2 set dmem_rdata ddata.(i)))
+    dv;
+  (* TLB refill on walk completion; the fence clears the valid bit. *)
+  let tlb_fill = in_lsu l_pwalk_wait &: dmem_rvalid in
+  reg_set_next tlb_valid (mux2 fence_wipe gnd (mux2 tlb_fill vdd tlb_valid));
+  reg_set_next tlb_vtag (mux2 tlb_fill lsu_vaddr_r tlb_vtag);
+  reg_set_next tlb_ppn (mux2 tlb_fill (select dmem_rdata (aw - 1) 0) tlb_ppn);
+  (* Response data: captured on a D$ hit or a fill. *)
+  reg_set_next lsu_data_r
+    (mux2 dc_fill dmem_rdata
+       (mux2 (in_lsu l_dc &: tlb_hit &: dc_hit paddr) (pick ddata (d_idx paddr)) lsu_data_r));
+  let lsu_rvalid = in_lsu l_resp in
+
+  (* {2 Fence FSM} — microreset drains (load unit idle, no outstanding
+     AXI refill, and with the C3 fix no outstanding D-side response),
+     writes back for two cycles, then clears in one cycle. Full flush
+     skips the drain entirely. *)
+  let lsu_idle = in_lsu l_idle in
+  let drained = lsu_idle &: ~:axi_pending in
+  let fence_state_next =
+    onehot_mux
+      [
+        ( in_fence f_idle,
+          mux2 fence_req
+            (of_int ~width:2
+               (match config.mode with
+               | Microreset -> f_drain
+               | Full_flush | Plain_fence -> f_wb))
+            fence_state );
+        (in_fence f_drain, mux2 drained (of_int ~width:2 f_wb) fence_state);
+        ( in_fence f_wb,
+          mux2 (fence_wb_cnt ==: one 1) (of_int ~width:2 f_clear) fence_state );
+        (in_fence f_clear, of_int ~width:2 f_idle);
+      ]
+      ~default:fence_state
+  in
+  reg_set_next fence_state fence_state_next;
+  reg_set_next fence_wb_cnt (mux2 (in_fence f_wb) (fence_wb_cnt +: one 1) (zero 1));
+
+  let dmem_req_addr_o = mux2 dc_req dc_req_addr (zero aw) in
+  let lsu_rdata_o = mux2 lsu_rvalid lsu_data_r (zero dw) in
+  Circuit.create ~name:"cva6lite"
+    ~boundaries:
+      [
+        (* The load unit as a submodule boundary (Sec. 3.4): blackboxing
+           it removes the TLB/PTW/D$ state from the DUT and turns the
+           wires at the cut into interface signals under the usual
+           assumptions/assertions. *)
+        {
+          Circuit.bnd_name = "lsu";
+          bnd_outputs =
+            [
+              ("idle", lsu_idle);
+              ("dmem_req_valid", dc_req);
+              ("dmem_req_addr", dmem_req_addr_o);
+              ("lsu_rvalid", lsu_rvalid);
+              ("lsu_rdata", lsu_rdata_o);
+            ];
+          bnd_inputs = [ ("fence_busy", fence_busy); ("fence_clear", fence_clear) ];
+        };
+      ]
+    ~in_tx:
+      [
+        { Circuit.tx_name = "axi_resp"; valid = "axi_rvalid"; payloads = [ "axi_rdata" ] };
+        { Circuit.tx_name = "lsu"; valid = "lsu_req"; payloads = [ "lsu_vaddr" ] };
+        { Circuit.tx_name = "br"; valid = "br_resolve"; payloads = [ "br_taken"; "br_pc"; "br_target" ] };
+        { Circuit.tx_name = "dmem_resp"; valid = "dmem_rvalid"; payloads = [ "dmem_rdata" ] };
+      ]
+    ~out_tx:
+      [
+        { Circuit.tx_name = "axi_req"; valid = "axi_req_valid"; payloads = [ "axi_req_addr" ] };
+        { Circuit.tx_name = "dmem_req"; valid = "dmem_req_valid"; payloads = [ "dmem_req_addr" ] };
+        { Circuit.tx_name = "lsu_resp"; valid = "lsu_rvalid"; payloads = [ "lsu_rdata" ] };
+      ]
+    ~outputs:
+      [
+        ("fetch_addr", pc);
+        ("axi_req_valid", axi_issue);
+        ("axi_req_addr", mux2 axi_issue pc (zero aw));
+        ("dmem_req_valid", dc_req);
+        ("dmem_req_addr", dmem_req_addr_o);
+        ("lsu_rvalid", lsu_rvalid);
+        ("lsu_rdata", lsu_rdata_o);
+        ("fence_busy", fence_busy);
+      ]
+    ()
+
+let flush_done () dut map_a map_b =
+  let st = Circuit.find_reg dut "fence_state" in
+  let clear m = m st ==: of_int ~width:2 f_clear in
+  clear map_a &: clear map_b

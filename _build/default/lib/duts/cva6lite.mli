@@ -1,0 +1,73 @@
+(** A downsized CVA6-like frontend and memory subsystem (Sec. 4.2).
+
+    The model contains the microarchitectural structures involved in the
+    paper's CVA6 counterexamples, sized down exactly as the paper sizes
+    down caches and TLBs:
+
+    - a fetch frontend with a 2-line instruction cache, an AXI-like
+      refill port, a 2-entry branch-target buffer trained by resolved
+      branches, and the instruction realigner;
+    - a load unit with a 1-entry TLB, a page-table walker FSM
+      (IDLE / PTE_LOOKUP / WAIT_RVALID), and a 2-line data cache whose
+      refills (including PTE fetches) go through a shared memory port;
+    - a [fence.t] controller with three implementations of increasing
+      exhaustiveness, mirroring the three CVA6 adaptations the paper
+      evaluates: [Plain_fence] (synchronize only, flush nothing),
+      [Full_flush] (clear the cache/TLB/predictor valid bits, no drain)
+      and [Microreset] (drain, write back, clear).
+
+    The three injected defects mirror C1–C3 of Table 1; each has an RTL
+    fix flag:
+
+    - C1 ([fix_c1]): the I-cache returns the (stale) line data even when
+      the response is only valid because of a fetch exception, and the
+      realigner derives its valid bit from that garbage payload;
+    - C2 ([fix_c2]): the PTW leaves WAIT_RVALID when the flush signal is
+      asserted a second time (e.g. by an exception), orphaning the
+      outstanding memory response;
+    - C3 ([fix_c3]): the fence does not block new load-unit operations
+      during its write-back window and does not drain outstanding D-cache
+      fills, so a fill initiated before the flush lands after it.
+
+    Interface:
+    - inputs  [fetch_ex], [axi_rvalid], [axi_rdata], [lsu_req],
+      [lsu_vaddr], [dmem_rvalid], [dmem_rdata], [fence_req], [exc],
+      [br_resolve], [br_taken], [br_pc], [br_target];
+    - outputs [fetch_addr], [axi_req_valid]/[axi_req_addr] (tx),
+      [dmem_req_valid]/[dmem_req_addr] (tx), [lsu_rvalid]/[lsu_rdata]
+      (tx), [fence_busy]. *)
+
+type mode = Plain_fence | Full_flush | Microreset
+
+type config = { mode : mode; fix_c1 : bool; fix_c2 : bool; fix_c3 : bool }
+
+val plain_fence : config
+(** The paper's baseline: fence.t synchronizes but flushes nothing — the
+    caches, TLB and branch predictor all remain covert channels. *)
+
+val full_flush : config
+(** Full flush, all logic fixes applied — still leaks through undrained
+    in-flight state, as the paper's validation of prior findings shows. *)
+
+val microreset_buggy : config
+(** Microreset with C1, C2 and C3 present. *)
+
+val microreset_fixed : config
+(** Microreset with all three fixes — the configuration expected to reach
+    a bounded proof. *)
+
+val with_fixes : ?fix_c1:bool -> ?fix_c2:bool -> ?fix_c3:bool -> mode -> config
+
+type params = { icache_lines : int; dcache_lines : int; btb_entries : int }
+(** Structure sizes (powers of two). The defaults (2/2/2) keep FPV
+    runtimes in seconds; the scaling benchmark sweeps them to reproduce
+    the exponential-state-growth discussion of Secs. 1 and 3.4. *)
+
+val default_params : params
+
+val create : ?config:config -> ?params:params -> unit -> Rtl.Circuit.t
+
+val flush_done :
+  unit -> Rtl.Circuit.t -> Autocc.Ft.mapping -> Autocc.Ft.mapping -> Rtl.Signal.t
+(** The fence completes (reaches its CLEAR state) in both universes on the
+    same cycle. *)

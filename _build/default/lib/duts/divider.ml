@@ -1,0 +1,78 @@
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+open Signal
+
+let width = 4
+
+let reference ~dividend ~divisor =
+  if divisor = 0 then (((1 lsl width) - 1), dividend)
+  else (dividend / divisor, dividend mod divisor)
+
+let create ?(constant_latency = false) () =
+  let start = input "start" 1 in
+  let dividend = input "dividend" width in
+  let divisor = input "divisor" width in
+
+  let busy = reg "busy" 1 in
+  let acc = reg "acc" width in
+  let quotient = reg "quotient" width in
+  let divisor_r = reg "divisor_r" width in
+  let done_valid = reg "done_valid" 1 in
+  (* The padding counter for the constant-latency variant: a division
+     retires only when it has also burned the worst-case cycle count. *)
+  let pad = reg "pad" width in
+
+  let accept = start &: ~:busy in
+  let div_zero = divisor_r ==: zero width in
+  let can_sub = (acc >=: divisor_r) &: ~:div_zero in
+  let value_done = div_zero |: ~:can_sub in
+  let pad_done =
+    if constant_latency then pad ==: ones width else vdd
+  in
+  let finish = busy &: value_done &: pad_done in
+
+  reg_set_next busy (mux2 accept vdd (mux2 finish gnd busy));
+  reg_set_next acc (mux2 accept dividend (mux2 (busy &: can_sub) (acc -: divisor_r) acc));
+  reg_set_next quotient
+    (mux2 accept (zero width)
+       (mux2
+          (busy &: can_sub)
+          (quotient +: one width)
+          (mux2 (busy &: div_zero) (ones width) quotient)));
+  reg_set_next divisor_r (mux2 accept divisor divisor_r);
+  reg_set_next pad (mux2 accept (zero width) (mux2 busy (pad +: one width) pad));
+  reg_set_next done_valid finish;
+
+  Circuit.create ~name:(if constant_latency then "divider_cl" else "divider")
+    ~in_tx:
+      [ { Circuit.tx_name = "op"; valid = "start"; payloads = [ "dividend"; "divisor" ] } ]
+    ~out_tx:
+      [
+        {
+          Circuit.tx_name = "result";
+          valid = "done_valid";
+          payloads = [ "quotient"; "remainder" ];
+        };
+      ]
+    ~outputs:
+      [
+        ("busy", busy);
+        ("done_valid", done_valid);
+        ("quotient", mux2 done_valid quotient (zero width));
+        ("remainder", mux2 done_valid acc (zero width));
+      ]
+    ()
+
+let flush_done_idle () dut map_a map_b =
+  let busy = Circuit.find_reg dut "busy" in
+  ~:(map_a busy) &: ~:(map_b busy)
+
+let constant_time_software dut map_a map_b =
+  let i n = Circuit.find_input dut n in
+  let eq s = map_a s ==: map_b s in
+  (* Divisions are only performed on public (universe-equal) data, and at
+     the same program points. *)
+  [
+    eq (i "start");
+    ~:(map_a (i "start")) |: (eq (i "dividend") &: eq (i "divisor"));
+  ]

@@ -1,0 +1,39 @@
+(** A sequential division unit with data-dependent latency — the Sec. 5
+    discussion case.
+
+    The unit divides by repeated subtraction: a division takes
+    [quotient + 1] cycles, so its timing is a function of the operands.
+    Shared across a context switch it is a covert channel; the paper's
+    discussion offers three postures, all reproducible here:
+
+    - find the channel (default FT — an in-flight division leaks);
+    - close it in hardware: the OS allocates the unit only when idle
+      ({!flush_done_idle}), and optionally the [constant_latency] variant
+      pads every division to the worst case;
+    - close it in software: constant-time programming never divides
+      secret data, modeled by the {!constant_time_software} environment
+      assumption (divisions in the two universes always carry equal
+      operands — Sec. 2.1's "constrain the FPV environment to executions
+      allowed under constant-time programming").
+
+    Interface: inputs [start], [dividend], [divisor]; outputs
+    [busy], [done_valid]/[quotient]/[remainder] (transaction). A zero
+    divisor completes immediately with an all-ones quotient. *)
+
+val width : int
+
+val create : ?constant_latency:bool -> unit -> Rtl.Circuit.t
+
+val flush_done_idle :
+  unit -> Rtl.Circuit.t -> Autocc.Ft.mapping -> Autocc.Ft.mapping -> Rtl.Signal.t
+(** The unit is idle in both universes. *)
+
+val constant_time_software :
+  Rtl.Circuit.t -> Autocc.Ft.mapping -> Autocc.Ft.mapping -> Rtl.Signal.t list
+(** Environment assumptions restricting the explored executions to
+    constant-time software: both universes start the same divisions with
+    the same operands, in the victim phase too. *)
+
+val reference : dividend:int -> divisor:int -> int * int
+(** Quotient and remainder of the model (divisor 0 gives all-ones / the
+    dividend). *)

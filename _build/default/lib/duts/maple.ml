@@ -1,0 +1,172 @@
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+open Signal
+
+type config = { fix_m2 : bool; fix_m3 : bool }
+
+let vulnerable = { fix_m2 = false; fix_m3 = false }
+let fixed = { fix_m2 = true; fix_m3 = true }
+let cfg_base = 0
+let cfg_tlb_en = 1
+let cfg_cleanup = 2
+let mapped_limit = 0xC0
+let aw = 8 (* address/data width *)
+
+type fifo2 = {
+  v0 : Signal.t;
+  d0 : Signal.t;
+  v1 : Signal.t;
+  d1 : Signal.t;
+}
+
+(* Two-entry FIFO with synchronous clear; entry 0 is the head. Push when
+   full is dropped. *)
+let fifo2 ~name ~width ~push ~push_data ~pop ~clear =
+  let v0 = reg (name ^ "_v0") 1 and d0 = reg (name ^ "_d0") width in
+  let v1 = reg (name ^ "_v1") 1 and d1 = reg (name ^ "_d1") width in
+  let pop = pop &: v0 in
+  let after_pop_v0 = mux2 pop v1 v0 in
+  let after_pop_d0 = mux2 pop d1 d0 in
+  let after_pop_v1 = mux2 pop gnd v1 in
+  let push_into0 = push &: ~:after_pop_v0 in
+  let push_into1 = push &: after_pop_v0 &: ~:after_pop_v1 in
+  reg_set_next v0 (mux2 clear gnd (after_pop_v0 |: push_into0));
+  reg_set_next d0 (mux2 push_into0 push_data after_pop_d0);
+  reg_set_next v1 (mux2 clear gnd (after_pop_v1 |: push_into1));
+  reg_set_next d1 (mux2 push_into1 push_data d1);
+  { v0; d0; v1; d1 }
+
+let create ?(config = vulnerable) ?(pad_flush = false) () =
+  (* {2 Interface} *)
+  let cfg_wen = input "cfg_wen" 1 in
+  let cfg_addr = input "cfg_addr" 2 in
+  let cfg_wdata = input "cfg_wdata" aw in
+  let req_valid = input "req_valid" 1 in
+  let req_idx = input "req_idx" 4 in
+  let noc_req_ready = input "noc_req_ready" 1 in
+  let noc_resp_valid = input "noc_resp_valid" 1 in
+  let noc_resp_data = input "noc_resp_data" aw in
+  let consume = input "consume" 1 in
+
+  (* {2 Configuration registers} *)
+  let base = reg "base" aw in
+  let tlb_en = reg ~init:(Bitvec.one 1) "tlb_en" 1 in
+
+  (* {2 Invalidation FSM} — a countdown triggered by the cleanup
+     configuration write; queue entries are cleared while it runs. The
+     next-state function is closed further down, once the queue exists:
+     the realistic latency depends on how much state there is to
+     invalidate, and [pad_flush] loads the worst case instead, making the
+     latency independent of prior execution (the microreset padding of
+     Secs. 3.2 and 4.2). *)
+  let inval_cnt = reg "inval_cnt" 2 in
+  let cleanup_fire = cfg_wen &: (cfg_addr ==: of_int ~width:2 cfg_cleanup) in
+  let invalidating = inval_cnt >: zero 2 in
+  let inval_idle = ~:invalidating -- "inval_idle" in
+
+  (* Configuration writes. The vulnerable design omits [base] and
+     [tlb_en] from the invalidation; the upstream fixes reset them during
+     cleanup. *)
+  let write_to a = cfg_wen &: (cfg_addr ==: of_int ~width:2 a) in
+  let base_next = mux2 (write_to cfg_base) cfg_wdata base in
+  let base_next =
+    if config.fix_m3 then mux2 invalidating (zero aw) base_next else base_next
+  in
+  reg_set_next base base_next;
+  let tlb_en_next = mux2 (write_to cfg_tlb_en) (bit cfg_wdata 0) tlb_en in
+  let tlb_en_next =
+    if config.fix_m2 then mux2 invalidating vdd tlb_en_next else tlb_en_next
+  in
+  reg_set_next tlb_en tlb_en_next;
+
+  (* {2 Address generation and TLB check} *)
+  let vaddr = base +: uresize req_idx aw in
+  let mapped = vaddr <: of_int ~width:aw mapped_limit in
+  let req_fire = req_valid &: ~:invalidating in
+  let fault = (req_fire &: tlb_en &: ~:mapped) -- "fault" in
+  let issue = req_fire &: ~:fault in
+
+  (* {2 NoC output buffer (two entries)} — requests wait here until the
+     NoC accepts them; M1 is this buffer holding different depths across
+     the context switch. It is intentionally not cleared: the requests
+     are already committed to the NoC protocol. *)
+  let outbuf =
+    fifo2 ~name:"outbuf" ~width:aw ~push:issue ~push_data:vaddr
+      ~pop:noc_req_ready ~clear:gnd
+  in
+
+  (* {2 Return queue (two entries, cleared by the invalidation)} *)
+  let push = noc_resp_valid &: ~:invalidating in
+  let queue =
+    fifo2 ~name:"q" ~width:aw ~push ~push_data:noc_resp_data ~pop:consume
+      ~clear:invalidating
+  in
+  let inval_load =
+    if pad_flush then of_int ~width:2 3
+    else one 2 +: uresize queue.v0 2 +: uresize queue.v1 2
+  in
+  reg_set_next inval_cnt
+    (mux2 cleanup_fire inval_load
+       (mux2 invalidating (inval_cnt -: one 2) inval_cnt));
+
+  Circuit.create ~name:"maple"
+    ~in_tx:
+      [
+        { Circuit.tx_name = "cfg"; valid = "cfg_wen"; payloads = [ "cfg_addr"; "cfg_wdata" ] };
+        { Circuit.tx_name = "req"; valid = "req_valid"; payloads = [ "req_idx" ] };
+        { Circuit.tx_name = "noc_resp"; valid = "noc_resp_valid"; payloads = [ "noc_resp_data" ] };
+      ]
+    ~out_tx:
+      [
+        { Circuit.tx_name = "noc_req"; valid = "noc_req_valid"; payloads = [ "noc_req_addr" ] };
+        { Circuit.tx_name = "resp"; valid = "resp_valid"; payloads = [ "resp_data" ] };
+      ]
+    ~outputs:
+      [
+        ("noc_req_valid", outbuf.v0);
+        ("noc_req_addr", outbuf.d0);
+        ("resp_valid", queue.v0);
+        ("resp_data", queue.d0);
+        ("fault", fault);
+        ("inval_idle", inval_idle);
+      ]
+    ()
+
+let edge_of ~rising gensym_prefix m idle =
+  let inv = Signal.( ~: ) (m idle) in
+  let prev = reg (gensym_prefix ()) 1 in
+  reg_set_next prev inv;
+  if rising then Signal.( &: ) inv (Signal.( ~: ) prev)
+  else Signal.( &: ) prev (Signal.( ~: ) inv)
+
+let gensym =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    Printf.sprintf "%s_%d" prefix !n
+
+(* The paper sets flush_done to the cycle on which the invalidation state
+   transitions to idle — a falling edge of [invalidating], detected with a
+   one-cycle history register in the monitor logic. Completion must
+   coincide in the two universes (Fig. 3: flushes may start apart but
+   finish together). *)
+let outbuf_empty dut m =
+  let v0 = Circuit.find_reg dut "outbuf_v0" in
+  let v1 = Circuit.find_reg dut "outbuf_v1" in
+  ~:(m v0) &: ~:(m v1)
+
+let flush_cond ~rising ?(require_outbuf_empty = false) () dut map_a map_b =
+  let idle = Circuit.find_output dut "inval_idle" in
+  let gp () = gensym "autocc.prev_invalidating" in
+  let cond =
+    edge_of ~rising gp map_a idle &: edge_of ~rising gp map_b idle
+  in
+  if require_outbuf_empty then
+    cond &: outbuf_empty dut map_a &: outbuf_empty dut map_b
+  else cond
+
+let flush_done ?require_outbuf_empty () dut map_a map_b =
+  flush_cond ~rising:false ?require_outbuf_empty () dut map_a map_b
+
+let flush_start ?require_outbuf_empty () dut map_a map_b =
+  flush_cond ~rising:true ?require_outbuf_empty () dut map_a map_b

@@ -1,0 +1,68 @@
+(** A downsized MAPLE memory-access engine (Sec. 4.3 of the paper).
+
+    MAPLE offloads memory fetches: software configures an array base
+    address, then issues asynchronous loads by index; data returns through
+    a hardware queue. A cleanup (invalidation) operation runs between
+    processes and is supposed to flush the microarchitectural state.
+
+    The model contains the exact structural features behind the paper's
+    counterexamples:
+
+    - M1: a NoC output buffer that can still hold a request when the
+      invalidation completes;
+    - M2: a TLB-enable flip-flop (set at reset, clearable through the
+      configuration interface) that cleanup fails to reset — a binary
+      covert channel observed through page faults;
+    - M3: the array base-address register that cleanup fails to clear —
+      the byte-wide covert channel exploited in Listing 2.
+
+    [fix_m2]/[fix_m3] correspond to the upstream RTL fixes; both default
+    to false (the vulnerable design).
+
+    Interface:
+    - inputs  [cfg_wen], [cfg_addr] (0 = base, 1 = tlb enable, 2 =
+      cleanup), [cfg_wdata]; [req_valid], [req_idx]; [noc_req_ready];
+      [noc_resp_valid], [noc_resp_data]; [consume];
+    - outputs [noc_req_valid], [noc_req_addr] (transaction);
+      [resp_valid], [resp_data] (transaction); [fault]; [inval_idle]. *)
+
+type config = { fix_m2 : bool; fix_m3 : bool }
+
+val vulnerable : config
+val fixed : config
+
+val create : ?config:config -> ?pad_flush:bool -> unit -> Rtl.Circuit.t
+(** [pad_flush] (default false) pads the invalidation to its worst-case
+    latency; without it, the latency grows with the number of occupied
+    queue entries, which is itself a covert channel when the flush event
+    is observable (Sec. 3.2). *)
+
+val flush_done :
+  ?require_outbuf_empty:bool ->
+  unit ->
+  Rtl.Circuit.t ->
+  Autocc.Ft.mapping ->
+  Autocc.Ft.mapping ->
+  Rtl.Signal.t
+(** Flush completion (falling edge of the invalidation) in both
+    universes. With [require_outbuf_empty] (the refinement that retires
+    M1), the NoC output buffer must also be empty in both universes. *)
+
+val flush_start :
+  ?require_outbuf_empty:bool ->
+  unit ->
+  Rtl.Circuit.t ->
+  Autocc.Ft.mapping ->
+  Autocc.Ft.mapping ->
+  Rtl.Signal.t
+(** Flush start (rising edge of the invalidation) in both universes, for
+    use with {!Autocc.Ft.generate}'s [~sync:Flush_start] mode. *)
+
+(** Configuration-register addresses of the software API. *)
+
+val cfg_base : int
+val cfg_tlb_en : int
+val cfg_cleanup : int
+
+val mapped_limit : int
+(** Addresses >= this value page-fault when the TLB is enabled. *)

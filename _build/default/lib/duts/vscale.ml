@@ -1,0 +1,175 @@
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+open Signal
+
+(* Instruction encoding, 8 bits: op[7:6] f1[5:4] f2[3:2] f3[1:0].
+     op=00, f1=00          NOP
+     op=00, f1=01          BR    pc <- pc_ex + {f2,f3}
+     op=00, f1=10          IRQEN irq_en <- f3[0]
+     op=01                 ALU   rf[f1] <- rf[f2] + rf[f3]
+     op=10                 JMP   pc <- rf[f1]
+     op=11, f1=00          LOAD  rf[f2] <- dmem_rdata; dmem_addr = rf[f3]
+     op=11, f1=01          STORE dmem_addr = rf[f2]; dmem_wdata = rf[f3]
+     op=11, f1=10          CSRJMP pc <- csr[f2&1]
+     op=11, f1=11          CSRW  csr[f2&1] <- rf[f3] *)
+
+let instruction i =
+  let enc op f1 f2 f3 = (op lsl 6) lor (f1 lsl 4) lor (f2 lsl 2) lor f3 in
+  match i with
+  | `Nop -> enc 0 0 0 0
+  | `Br imm -> enc 0 1 (imm lsr 2 land 3) (imm land 3)
+  | `Irqen v -> enc 0 2 0 (if v then 1 else 0)
+  | `Alu (rd, rs1, rs2) -> enc 1 rd rs1 rs2
+  | `Jmp rs1 -> enc 2 rs1 0 0
+  | `Load (rd, rs1) -> enc 3 0 rd rs1
+  | `Store (rs1, rs2) -> enc 3 1 rs1 rs2
+  | `Csrjmp c -> enc 3 2 (c land 1) 0
+  | `Csrw (c, rs1) -> enc 3 3 (c land 1) rs1
+
+let xlen = 8
+
+let create () =
+  (* {2 Interface} *)
+  let imem_instr = input "imem_instr" 8 in
+  let dmem_rdata = input "dmem_rdata" xlen in
+  let irq = input "irq" 1 in
+
+  (* {2 State} *)
+  let pc = reg "pc" xlen in
+  let pc_ex = reg "pc_ex" xlen in
+  let instr_ex = reg "instr_ex" 8 in
+  let valid_ex = reg "valid_ex" 1 in
+  let irq_pending = reg "irq_pending" 1 in
+  let irq_en = reg "irq_en" 1 in
+  let regfile = Rtl.Mem.create ~name:"regfile" ~size:4 ~width:xlen () in
+  let csr = Rtl.Mem.create ~name:"csr" ~size:2 ~width:xlen () in
+
+  (* {2 Decode of the EX-stage instruction} *)
+  let op = select instr_ex 7 6 in
+  let f1 = select instr_ex 5 4 in
+  let f2 = select instr_ex 3 2 in
+  let f3 = select instr_ex 1 0 in
+  let is_br = valid_ex &: (op ==: zero 2) &: (f1 ==: one 2) in
+  let is_irqen = valid_ex &: (op ==: zero 2) &: (f1 ==: of_int ~width:2 2) in
+  let is_alu = valid_ex &: (op ==: one 2) in
+  let is_jmp = valid_ex &: (op ==: of_int ~width:2 2) in
+  let sys = op ==: of_int ~width:2 3 in
+  let is_load = valid_ex &: sys &: (f1 ==: zero 2) in
+  let is_store = valid_ex &: sys &: (f1 ==: one 2) in
+  let is_csrjmp = valid_ex &: sys &: (f1 ==: of_int ~width:2 2) in
+  let is_csrw = valid_ex &: sys &: (f1 ==: of_int ~width:2 3) in
+
+  (* A pending interrupt traps as soon as interrupts are enabled; a
+     pending bit left by the victim is the hidden state behind V5. *)
+  let trap = irq_pending &: irq_en in
+  let exec = ~:trap in
+
+  (* {2 Register-file reads} *)
+  let rf_f1 = Rtl.Mem.read regfile f1 in
+  let rf_f2 = Rtl.Mem.read regfile f2 in
+  let rf_f3 = Rtl.Mem.read regfile f3 in
+
+  (* {2 CSR block (blackboxable boundary)} *)
+  let csr_raddr = bit f2 0 in
+  let csr_rdata = Rtl.Mem.read csr csr_raddr in
+  let csr_wen = exec &: is_csrw in
+  let csr_waddr = bit f2 0 in
+  let csr_wdata = rf_f3 in
+  Rtl.Mem.write csr ~enable:csr_wen ~addr:csr_waddr ~data:csr_wdata;
+  Rtl.Mem.finalize csr;
+
+  (* {2 Next PC} *)
+  let br_target = pc_ex +: uresize (concat [ f2; f3 ]) xlen in
+  let taken = exec &: (is_jmp |: is_br |: is_csrjmp) in
+  let target =
+    onehot_mux
+      [ (is_jmp, rf_f1); (is_br, br_target); (is_csrjmp, csr_rdata) ]
+      ~default:(zero xlen)
+  in
+  let trap_vector = of_int ~width:xlen 0xF0 in
+  let pc_next = mux2 trap trap_vector (mux2 taken target (pc +: one xlen)) in
+  reg_set_next pc pc_next;
+
+  (* {2 Pipeline registers} — squash the wrong-path fetch after a taken
+     jump or a trap. *)
+  reg_set_next pc_ex pc;
+  reg_set_next instr_ex imem_instr;
+  reg_set_next valid_ex ~:(taken |: trap);
+
+  (* {2 Register-file writes} *)
+  let rf_wen = exec &: (is_alu |: is_load) in
+  let rf_waddr = mux2 is_alu f1 f2 in
+  let rf_wdata = mux2 is_alu (rf_f2 +: rf_f3) dmem_rdata in
+  Rtl.Mem.write regfile ~enable:rf_wen ~addr:rf_waddr ~data:rf_wdata;
+  Rtl.Mem.finalize regfile;
+
+  (* {2 Interrupts} — pending is sticky until the trap is taken; the
+     enable bit is program-controlled. *)
+  reg_set_next irq_pending ((irq_pending |: irq) &: ~:trap);
+  reg_set_next irq_en (mux2 (exec &: is_irqen) (bit f3 0) irq_en);
+
+  (* {2 Memory interface} — the bus idles at zero outside memory
+     operations so the register file is only exposed by explicit
+     loads/stores. *)
+  let mem_op = exec &: (is_load |: is_store) in
+  let dmem_addr = mux2 mem_op (mux2 is_store rf_f2 rf_f3) (zero xlen) in
+  let dmem_wdata = mux2 (exec &: is_store) rf_f3 (zero xlen) in
+  let dmem_hwrite = exec &: is_store in
+
+  Circuit.create ~name:"vscale"
+    ~boundaries:
+      [
+        {
+          Circuit.bnd_name = "csr";
+          bnd_outputs = [ ("rdata", csr_rdata) ];
+          bnd_inputs =
+            [ ("wen", csr_wen); ("waddr", uresize csr_waddr 1); ("wdata", csr_wdata) ];
+        };
+      ]
+    ~outputs:
+      [
+        ("imem_addr", pc);
+        ("dmem_addr", dmem_addr);
+        ("dmem_wdata", dmem_wdata);
+        ("dmem_hwrite", dmem_hwrite);
+      ]
+    ()
+
+type refinement_stage =
+  | Default
+  | Arch_regfile
+  | Blackbox_csr
+  | Arch_pc
+  | Arch_pipeline
+  | Arch_irq
+
+let stages = [ Default; Arch_regfile; Blackbox_csr; Arch_pc; Arch_pipeline; Arch_irq ]
+
+let stage_name = function
+  | Default -> "default FT"
+  | Arch_regfile -> "+ regfile in arch state (V1)"
+  | Blackbox_csr -> "+ CSR blackboxed (V2)"
+  | Arch_pc -> "+ EX-stage PC in arch state (V3)"
+  | Arch_pipeline -> "+ pipeline registers in arch state (V4)"
+  | Arch_irq -> "+ interrupt pending/enable in arch state (V5)"
+
+let stage_index = function
+  | Default -> 0
+  | Arch_regfile -> 1
+  | Blackbox_csr -> 2
+  | Arch_pc -> 3
+  | Arch_pipeline -> 4
+  | Arch_irq -> 5
+
+let regfile_names = List.init 4 (fun i -> Printf.sprintf "regfile_%d" i)
+
+let ft_for_stage ?(threshold = 2) stage dut =
+  let n = stage_index stage in
+  let arch_regs =
+    (if n >= 1 then regfile_names else [])
+    @ (if n >= 3 then [ "pc_ex" ] else [])
+    @ (if n >= 4 then [ "instr_ex"; "valid_ex" ] else [])
+    @ if n >= 5 then [ "irq_pending"; "irq_en" ] else []
+  in
+  let blackbox = if n >= 2 then [ "csr" ] else [] in
+  Autocc.Ft.generate ~threshold ~arch_regs ~blackbox dut

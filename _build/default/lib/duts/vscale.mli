@@ -1,0 +1,56 @@
+(** A downsized Vscale-like RISC-V core (Sec. 4.1 of the paper).
+
+    Two-stage in-order pipeline (fetch, execute/write-back) with a
+    register file, a CSR block declared as a blackboxable boundary, a
+    jump-to-register instruction, a PC-relative branch, data-memory
+    load/store, and an interrupt-pending stall — the structural features
+    behind counterexamples V1–V5 of Table 2:
+
+    - V1: jump/store exposes the register file on the memory interface;
+    - V2: jump to an address read from the CSR block;
+    - V3: the EX-stage PC copy steers a PC-relative branch;
+    - V4: the EX-stage instruction register drives all control;
+    - V5: a pending interrupt from the victim stalls the spy's fetch.
+
+    Datapath width and register count are parameters; the defaults (8-bit,
+    4 registers) keep FPV runtimes in seconds, the same downsizing the
+    paper applies to caches and TLBs.
+
+    Interface:
+    - inputs  [imem_instr] (instruction at the current PC), [dmem_rdata],
+      [irq];
+    - outputs [imem_addr], [dmem_addr], [dmem_wdata], [dmem_hwrite]. *)
+
+type refinement_stage =
+  | Default  (** the FT exactly as generated, no architectural state *)
+  | Arch_regfile  (** + register file in [architectural_state_eq] (V1) *)
+  | Blackbox_csr  (** + CSR block blackboxed (V2) *)
+  | Arch_pc  (** + EX-stage PC (V3) *)
+  | Arch_pipeline  (** + EX-stage instruction/valid registers (V4) *)
+  | Arch_irq  (** + interrupt-pending flag (V5): expect a proof *)
+
+val stages : refinement_stage list
+(** All stages, in the order of Table 2's refinement walk. *)
+
+val stage_name : refinement_stage -> string
+
+val create : unit -> Rtl.Circuit.t
+(** Build the core. *)
+
+val ft_for_stage : ?threshold:int -> refinement_stage -> Rtl.Circuit.t -> Autocc.Ft.t
+(** The FT with the refinements accumulated up to (and including) the
+    given stage. *)
+
+val instruction :
+  [ `Nop
+  | `Br of int  (** pc-relative branch, 4-bit immediate *)
+  | `Irqen of bool  (** write the interrupt-enable flag *)
+  | `Alu of int * int * int  (** rd, rs1, rs2 *)
+  | `Jmp of int  (** rs1 *)
+  | `Load of int * int  (** rd, rs1 *)
+  | `Store of int * int  (** rs1, rs2 *)
+  | `Csrjmp of int  (** csr index *)
+  | `Csrw of int * int  (** csr index, rs1 *) ] ->
+  int
+(** Encode an instruction word — used by tests and the walkthrough
+    example to drive the core in simulation. *)

@@ -1,0 +1,1 @@
+lib/frontend/elaborate.ml: Array Ast Bitvec Hashtbl List Option Parser Printf Rtl String

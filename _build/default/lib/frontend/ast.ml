@@ -1,0 +1,58 @@
+type range = { msb : int; lsb : int }
+type unop = Not | Lognot | Neg
+
+type binop =
+  | And
+  | Or
+  | Xor
+  | Logand
+  | Logor
+  | Add
+  | Sub
+  | Mul
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Shl
+  | Shr
+
+type expr =
+  | Literal of { width : int option; value : Bitvec.t }
+  | Ident of string
+  | Index of string * expr
+  | Slice of string * int * int
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Ternary of expr * expr * expr
+  | Concat of expr list
+  | Repl of int * expr
+  | Signed of expr
+
+type direction = Input | Output
+
+type port = {
+  dir : direction;
+  port_range : range option;
+  port_name : string;
+  common : bool;
+}
+
+type item =
+  | Wire of { range : range option; name : string; init : expr option }
+  | Reg_decl of { range : range option; name : string }
+  | Localparam of string * expr
+  | Assign of string * expr
+  | Always of {
+      resets : (string * expr) list;
+      updates : (string * expr) list;
+    }
+  | Instance of {
+      mod_type : string;
+      inst_name : string;
+      conns : (string * expr) list;
+    }
+
+type modul = { mod_name : string; ports : port list; items : item list }

@@ -1,0 +1,70 @@
+(** Abstract syntax for the synthesizable SystemVerilog subset.
+
+    The subset covers what {!Rtl.Verilog} emits plus the common idioms of
+    hand-written RTL of that style: module declarations with ANSI ports,
+    wire/reg/localparam declarations, continuous assignments, and
+    [always_ff]/[always @(posedge clk)] blocks with a synchronous-reset
+    if/else structure. *)
+
+type range = { msb : int; lsb : int }
+
+type unop = Not  (** [~] *) | Lognot  (** [!] *) | Neg  (** [-] *)
+
+type binop =
+  | And
+  | Or
+  | Xor
+  | Logand  (** [&&] *)
+  | Logor  (** [||] *)
+  | Add
+  | Sub
+  | Mul
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Shl  (** [<<] *)
+  | Shr  (** [>>] *)
+
+type expr =
+  | Literal of { width : int option; value : Bitvec.t }
+      (** [8'hff], [42], ['0], ['1] *)
+  | Ident of string
+  | Index of string * expr  (** [x[i]] — constant index only *)
+  | Slice of string * int * int  (** [x[hi:lo]] *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Ternary of expr * expr * expr
+  | Concat of expr list
+  | Repl of int * expr  (** [{n{e}}] *)
+  | Signed of expr  (** [$signed(e)] — only sensible under comparisons *)
+
+type direction = Input | Output
+
+type port = {
+  dir : direction;
+  port_range : range option;
+  port_name : string;
+  common : bool;  (** preceded by a [//AutoCC Common] comment *)
+}
+
+type item =
+  | Wire of { range : range option; name : string; init : expr option }
+  | Reg_decl of { range : range option; name : string }
+  | Localparam of string * expr
+  | Assign of string * expr
+  | Always of {
+      resets : (string * expr) list;  (** register, reset value *)
+      updates : (string * expr) list;  (** register, next value *)
+    }
+  | Instance of {
+      mod_type : string;
+      inst_name : string;
+      conns : (string * expr) list;
+          (** named connections [.port(expr)]; output ports must connect
+              to plain identifiers *)
+    }
+
+type modul = { mod_name : string; ports : port list; items : item list }

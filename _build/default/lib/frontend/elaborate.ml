@@ -1,0 +1,586 @@
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+open Signal
+
+exception Elab_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Elab_error s)) fmt
+
+let range_width = function
+  | Some { Ast.msb; lsb } ->
+      if msb < lsb then fail "descending ranges only ([msb:lsb] with msb >= lsb)";
+      msb - lsb + 1
+  | None -> 1
+
+(* Bring two operands to a common width by zero-extension; context-sized
+   literals (width 0 markers were already resolved to 1-bit vdd/gnd by
+   [expr], so here we only see real signals). *)
+let harmonize a b =
+  let wa = width a and wb = width b in
+  if wa = wb then (a, b)
+  else if wa < wb then (uresize a wb, b)
+  else (a, uresize b wa)
+
+type env = {
+  (* name -> definition site *)
+  wires : (string, Ast.expr option) Hashtbl.t;
+  wire_widths : (string, int) Hashtbl.t;
+  regs : (string, Signal.t) Hashtbl.t;
+  params : (string, Bitvec.t) Hashtbl.t;
+  inputs : (string, Signal.t) Hashtbl.t;
+  memo : (string, Signal.t) Hashtbl.t;
+  mutable visiting : string list; (* combinational-loop detection *)
+}
+
+(* Width of an expression, needed to size context-dependent literals. 0
+   means "context-sized". *)
+let rec expr_width env e =
+  match e with
+  | Ast.Literal { width = Some 0; _ } -> 0
+  | Ast.Literal { width = Some w; _ } -> w
+  | Ast.Literal { width = None; value } -> Bitvec.width value
+  | Ast.Ident n -> name_width env n
+  | Ast.Index _ -> 1
+  | Ast.Slice (_, hi, lo) -> hi - lo + 1
+  | Ast.Unop ((Ast.Not | Ast.Neg), e) -> expr_width env e
+  | Ast.Unop (Ast.Lognot, _) -> 1
+  | Ast.Binop ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Logand | Ast.Logor), _, _) -> 1
+  | Ast.Binop ((Ast.Shl | Ast.Shr), a, _) -> expr_width env a
+  | Ast.Binop (_, a, b) -> max (expr_width env a) (expr_width env b)
+  | Ast.Ternary (_, t, f) -> max (expr_width env t) (expr_width env f)
+  | Ast.Concat parts -> List.fold_left (fun acc p -> acc + expr_width env p) 0 parts
+  | Ast.Repl (n, e) -> n * expr_width env e
+  | Ast.Signed e -> expr_width env e
+
+and name_width env n =
+  match Hashtbl.find_opt env.inputs n with
+  | Some s -> width s
+  | None -> (
+      match Hashtbl.find_opt env.regs n with
+      | Some s -> width s
+      | None -> (
+          match Hashtbl.find_opt env.wire_widths n with
+          | Some w -> w
+          | None -> (
+              match Hashtbl.find_opt env.params n with
+              | Some v -> Bitvec.width v
+              | None -> fail "unknown identifier %s" n)))
+
+(* Evaluate an expression to a signal; [ctx] is the context width used to
+   size '0/'1 and bare decimals when nothing else determines it. *)
+let rec eval env ?(ctx = 0) e =
+  match e with
+  | Ast.Literal { width = Some 0; value } ->
+      (* '0 / '1: replicate to the context width. *)
+      let w = max 1 ctx in
+      if Bitvec.is_zero value then zero w else ones w
+  | Ast.Literal { width = Some _; value } -> const value
+  | Ast.Literal { width = None; value } ->
+      (* Unsized decimal: shrink or extend to context if one exists. *)
+      if ctx = 0 then const value
+      else if Bitvec.width value >= ctx then
+        const (Bitvec.extract ~hi:(ctx - 1) ~lo:0 value)
+      else const (Bitvec.zero_extend value ctx)
+  | Ast.Ident n -> resolve env n
+  | Ast.Index (n, idx) -> (
+      let s = resolve env n in
+      match idx with
+      | Ast.Literal { value; _ } -> bit s (Bitvec.to_int value)
+      | _ ->
+          (* Dynamic bit select: shift right then take bit 0. *)
+          let amount = eval env idx in
+          lsb (log_shift_right s (uresize amount (width s))))
+  | Ast.Slice (n, hi, lo) -> select (resolve env n) hi lo
+  | Ast.Unop (op, e) -> (
+      let v = eval env ~ctx e in
+      match op with
+      | Ast.Not -> ~:v
+      | Ast.Neg -> zero (width v) -: v
+      | Ast.Lognot -> is_zero v)
+  | Ast.Binop (op, a, b) -> (
+      let wa = expr_width env a and wb = expr_width env b in
+      let ctx' = max ctx (max wa wb) in
+      let va = eval env ~ctx:ctx' a and vb = eval env ~ctx:ctx' b in
+      match op with
+      | Ast.Shl | Ast.Shr -> (
+          let vb = eval env b in
+          match op with
+          | Ast.Shl -> log_shift_left va (uresize vb (width va))
+          | _ -> log_shift_right va (uresize vb (width va)))
+      | _ -> (
+          let va, vb = harmonize va vb in
+          match op with
+          | Ast.And -> va &: vb
+          | Ast.Or -> va |: vb
+          | Ast.Xor -> va ^: vb
+          | Ast.Logand -> reduce_or va &: reduce_or vb
+          | Ast.Logor -> reduce_or va |: reduce_or vb
+          | Ast.Add -> va +: vb
+          | Ast.Sub -> va -: vb
+          | Ast.Mul -> va *: vb
+          | Ast.Eq -> va ==: vb
+          | Ast.Neq -> va <>: vb
+          | Ast.Lt -> (
+              match (a, b) with
+              | Ast.Signed _, _ | _, Ast.Signed _ -> slt va vb
+              | _ -> va <: vb)
+          | Ast.Le -> (
+              match (a, b) with
+              | Ast.Signed _, _ | _, Ast.Signed _ -> ~:(slt vb va)
+              | _ -> va <=: vb)
+          | Ast.Gt -> (
+              match (a, b) with
+              | Ast.Signed _, _ | _, Ast.Signed _ -> slt vb va
+              | _ -> va >: vb)
+          | Ast.Ge -> (
+              match (a, b) with
+              | Ast.Signed _, _ | _, Ast.Signed _ -> ~:(slt va vb)
+              | _ -> va >=: vb)
+          | Ast.Shl | Ast.Shr -> assert false))
+  | Ast.Ternary (c, t, f) ->
+      let wc = max (expr_width env t) (expr_width env f) in
+      let sel = reduce_or (eval env c) in
+      let vt = eval env ~ctx:(max ctx wc) t and vf = eval env ~ctx:(max ctx wc) f in
+      let vt, vf = harmonize vt vf in
+      mux2 sel vt vf
+  | Ast.Concat parts -> concat (List.map (fun p -> eval env p) parts)
+  | Ast.Repl (n, e) ->
+      let v = eval env e in
+      concat (List.init n (fun _ -> v))
+  | Ast.Signed e -> eval env ~ctx e
+
+and resolve env n =
+  match Hashtbl.find_opt env.memo n with
+  | Some s -> s
+  | None -> (
+      match Hashtbl.find_opt env.inputs n with
+      | Some s -> s
+      | None -> (
+          match Hashtbl.find_opt env.regs n with
+          | Some s -> s
+          | None -> (
+              match Hashtbl.find_opt env.params n with
+              | Some v -> const v
+              | None -> (
+                  match Hashtbl.find_opt env.wires n with
+                  | Some (Some rhs) ->
+                      if List.mem n env.visiting then
+                        fail "combinational cycle through %s" n;
+                      env.visiting <- n :: env.visiting;
+                      let w = Hashtbl.find env.wire_widths n in
+                      let s = eval env ~ctx:w rhs in
+                      let s =
+                        if width s = w then s
+                        else if width s < w then uresize s w
+                        else select s (w - 1) 0
+                      in
+                      env.visiting <- List.tl env.visiting;
+                      let s = s -- n in
+                      Hashtbl.replace env.memo n s;
+                      s
+                  | Some None -> fail "wire %s is never assigned" n
+                  | None -> fail "unknown identifier %s" n))))
+
+(* {1 Hierarchy flattening}
+
+   Instances are inlined: every name of the child module gets an
+   [inst.] prefix, the child's input ports become alias wires driven by
+   the (parent-scope) connection expressions, and the child's output
+   ports become parent wires driven from inside the flattened body. Each
+   instance is recorded as a blackboxable boundary. *)
+
+type flat_boundary = {
+  fb_name : string;
+  fb_outputs : (string * string) list; (* label, flattened wire name *)
+  fb_inputs : (string * string) list;
+}
+
+let rec rename_expr pfx e =
+  let r = rename_expr pfx in
+  match e with
+  | Ast.Literal _ -> e
+  | Ast.Ident n -> Ast.Ident (pfx ^ n)
+  | Ast.Index (n, i) -> Ast.Index (pfx ^ n, r i)
+  | Ast.Slice (n, hi, lo) -> Ast.Slice (pfx ^ n, hi, lo)
+  | Ast.Unop (op, a) -> Ast.Unop (op, r a)
+  | Ast.Binop (op, a, b) -> Ast.Binop (op, r a, r b)
+  | Ast.Ternary (c, t, f) -> Ast.Ternary (r c, r t, r f)
+  | Ast.Concat parts -> Ast.Concat (List.map r parts)
+  | Ast.Repl (n, a) -> Ast.Repl (n, r a)
+  | Ast.Signed a -> Ast.Signed (r a)
+
+let find_module mods name =
+  match List.find_opt (fun m -> m.Ast.mod_name = name) mods with
+  | Some m -> m
+  | None -> fail "unknown module %s" name
+
+(* Flatten the items of [m], prefixing all names with [pfx]. Connection
+   expressions arriving from the parent are already fully renamed. *)
+let rec flatten_items mods pfx items boundaries =
+  List.concat_map
+    (fun item ->
+      match item with
+      | Ast.Wire { range; name; init } ->
+          [ Ast.Wire { range; name = pfx ^ name; init = Option.map (rename_expr pfx) init } ]
+      | Ast.Reg_decl { range; name } -> [ Ast.Reg_decl { range; name = pfx ^ name } ]
+      | Ast.Localparam (n, e) -> [ Ast.Localparam (pfx ^ n, rename_expr pfx e) ]
+      | Ast.Assign (n, e) -> [ Ast.Assign (pfx ^ n, rename_expr pfx e) ]
+      | Ast.Always { resets; updates } ->
+          [
+            Ast.Always
+              {
+                resets = List.map (fun (n, e) -> (pfx ^ n, rename_expr pfx e)) resets;
+                updates = List.map (fun (n, e) -> (pfx ^ n, rename_expr pfx e)) updates;
+              };
+          ]
+      | Ast.Instance { mod_type; inst_name; conns } ->
+          let child = find_module mods mod_type in
+          let cpfx = pfx ^ inst_name ^ "." in
+          let conns =
+            List.filter (fun (p, _) -> p <> "clk" && p <> "rst") conns
+          in
+          let port_of p =
+            match List.find_opt (fun q -> q.Ast.port_name = p) child.Ast.ports with
+            | Some q -> q
+            | None -> fail "module %s has no port %s" mod_type p
+          in
+          (* Input ports: alias wires carrying the parent expressions. *)
+          let input_aliases =
+            List.filter_map
+              (fun (p, e) ->
+                let q = port_of p in
+                if q.Ast.dir = Ast.Input then
+                  Some
+                    (Ast.Wire
+                       {
+                         range = q.Ast.port_range;
+                         name = cpfx ^ p;
+                         init = Some (rename_expr pfx e);
+                       })
+                else None)
+              conns
+          in
+          (* Unconnected child inputs default to zero. *)
+          let unconnected =
+            List.filter_map
+              (fun q ->
+                if
+                  q.Ast.dir = Ast.Input
+                  && q.Ast.port_name <> "clk"
+                  && q.Ast.port_name <> "rst"
+                  && not (List.mem_assoc q.Ast.port_name conns)
+                then
+                  Some
+                    (Ast.Wire
+                       {
+                         range = q.Ast.port_range;
+                         name = cpfx ^ q.Ast.port_name;
+                         init =
+                           Some (Ast.Literal { width = Some 0; value = Bitvec.zero 1 });
+                       })
+                else None)
+              child.Ast.ports
+          in
+          (* Output ports: declare the flattened wire; the child body's
+             assign fills it. The parent connection target must be a
+             plain identifier, which becomes an alias of that wire. *)
+          let output_decls =
+            List.filter_map
+              (fun q ->
+                if q.Ast.dir = Ast.Output then
+                  Some (Ast.Wire { range = q.Ast.port_range; name = cpfx ^ q.Ast.port_name; init = None })
+                else None)
+              child.Ast.ports
+          in
+          let output_aliases =
+            List.filter_map
+              (fun (p, e) ->
+                let q = port_of p in
+                if q.Ast.dir = Ast.Output then
+                  match e with
+                  | Ast.Ident w -> Some (Ast.Assign (pfx ^ w, Ast.Ident (cpfx ^ p)))
+                  | _ -> fail "output connection .%s must be a plain identifier" p
+                else None)
+              conns
+          in
+          boundaries :=
+            {
+              fb_name = pfx ^ inst_name;
+              fb_outputs =
+                List.filter_map
+                  (fun q ->
+                    if q.Ast.dir = Ast.Output then
+                      Some (q.Ast.port_name, cpfx ^ q.Ast.port_name)
+                    else None)
+                  child.Ast.ports;
+              fb_inputs =
+                List.filter_map
+                  (fun q ->
+                    if q.Ast.dir = Ast.Input && q.Ast.port_name <> "clk" && q.Ast.port_name <> "rst"
+                    then Some (q.Ast.port_name, cpfx ^ q.Ast.port_name)
+                    else None)
+                  child.Ast.ports;
+            }
+            :: !boundaries;
+          input_aliases @ unconnected @ output_decls
+          @ flatten_items mods cpfx child.Ast.items boundaries
+          @ output_aliases)
+    items
+
+(* {1 Transaction inference (AutoSVA-style naming convention)} *)
+
+let infer_tx ports =
+  let names = List.map (fun p -> p.Ast.port_name) ports in
+  let suffix = "_valid" in
+  List.filter_map
+    (fun p ->
+      let n = p.Ast.port_name in
+      let ln = String.length n and ls = String.length suffix in
+      if ln > ls && String.sub n (ln - ls) ls = suffix && range_width p.Ast.port_range = 1
+      then begin
+        let prefix = String.sub n 0 (ln - ls) in
+        let payloads =
+          List.filter
+            (fun q ->
+              q <> n
+              && String.length q > String.length prefix
+              && String.sub q 0 (String.length prefix + 1) = prefix ^ "_"
+              && List.exists (fun r -> r.Ast.port_name = q && r.Ast.dir = p.Ast.dir) ports)
+            names
+        in
+        if payloads = [] then None
+        else Some (p.Ast.dir, { Circuit.tx_name = prefix; valid = n; payloads })
+      end
+      else None)
+    ports
+
+(* {1 Top-level elaboration} *)
+
+let elaborate ?(infer_transactions = true) ?(library = []) (m : Ast.modul) =
+  (* Inline the module hierarchy; [library] provides the definitions of
+     instantiated modules. *)
+  let flat_boundaries = ref [] in
+  let items = flatten_items (m :: library) "" m.Ast.items flat_boundaries in
+  let env =
+    {
+      wires = Hashtbl.create 64;
+      wire_widths = Hashtbl.create 64;
+      regs = Hashtbl.create 64;
+      params = Hashtbl.create 16;
+      inputs = Hashtbl.create 16;
+      memo = Hashtbl.create 64;
+      visiting = [];
+    }
+  in
+  (* Ports: clk/rst are implicit infrastructure, not data inputs. *)
+  let data_ports =
+    List.filter (fun p -> p.Ast.port_name <> "clk" && p.Ast.port_name <> "rst") m.Ast.ports
+  in
+  List.iter
+    (fun p ->
+      if p.Ast.dir = Ast.Input then
+        Hashtbl.replace env.inputs p.Ast.port_name
+          (input p.Ast.port_name (range_width p.Ast.port_range)))
+    data_ports;
+  (* Pass 1: declarations. Localparams are evaluated eagerly (they may
+     only reference earlier params and literals). *)
+  List.iter
+    (fun item ->
+      match item with
+      | Ast.Localparam (n, e) -> (
+          match e with
+          | Ast.Literal { value; _ } -> Hashtbl.replace env.params n value
+          | _ -> fail "localparam %s must be a literal" n)
+      | Ast.Wire { range; name; init } ->
+          Hashtbl.replace env.wire_widths name (range_width range);
+          Hashtbl.replace env.wires name init
+      | Ast.Reg_decl { range; name } ->
+          (* Initial value is patched from the reset branch later; create
+             with zero init and rebuild if needed. We instead collect
+             resets first, so scan below. *)
+          Hashtbl.replace env.wire_widths name (range_width range)
+      | Ast.Assign _ | Ast.Always _ -> ()
+      | Ast.Instance _ -> assert false (* flattened away *))
+    items;
+  (* Collect reset values so registers can be created with their init. *)
+  let resets = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Ast.Always { resets = rs; _ } ->
+          List.iter (fun (n, e) -> Hashtbl.replace resets n e) rs
+      | _ -> ())
+    items;
+  List.iter
+    (fun item ->
+      match item with
+      | Ast.Reg_decl { range; name } ->
+          let w = range_width range in
+          let init =
+            match Hashtbl.find_opt resets name with
+            | Some (Ast.Literal { width = Some 0; value }) ->
+                if Bitvec.is_zero value then Bitvec.zero w else Bitvec.ones w
+            | Some (Ast.Literal { value; _ }) ->
+                if Bitvec.width value = w then value
+                else if Bitvec.width value < w then Bitvec.zero_extend value w
+                else Bitvec.extract ~hi:(w - 1) ~lo:0 value
+            | Some _ -> fail "reset value of %s must be a literal" name
+            | None -> Bitvec.zero w
+          in
+          Hashtbl.replace env.regs name (reg ~init name w)
+      | _ -> ())
+    items;
+  (* Continuous assignments to declared wires (assign w = e). *)
+  List.iter
+    (function
+      | Ast.Assign (n, e) ->
+          if Hashtbl.mem env.wires n then (
+            match Hashtbl.find env.wires n with
+            | None -> Hashtbl.replace env.wires n (Some e)
+            | Some _ -> fail "wire %s assigned twice" n)
+          else begin
+            (* assign to an output port: treat as a fresh implicit wire *)
+            Hashtbl.replace env.wire_widths n
+              (match
+                 List.find_opt (fun p -> p.Ast.port_name = n) data_ports
+               with
+              | Some p -> range_width p.Ast.port_range
+              | None -> fail "assign to undeclared name %s" n);
+            Hashtbl.replace env.wires n (Some e)
+          end
+      | _ -> ())
+    items;
+  (* Register next-state functions. *)
+  let updated = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Ast.Always { updates; _ } ->
+          List.iter
+            (fun (n, e) ->
+              let r =
+                match Hashtbl.find_opt env.regs n with
+                | Some r -> r
+                | None -> fail "non-blocking assignment to non-reg %s" n
+              in
+              if Hashtbl.mem updated n then fail "register %s updated twice" n;
+              Hashtbl.replace updated n ();
+              let w = width r in
+              let next = eval env ~ctx:w e in
+              let next =
+                if width next = w then next
+                else if width next < w then uresize next w
+                else select next (w - 1) 0
+              in
+              reg_set_next r next)
+            updates
+      | _ -> ())
+    items;
+  (* Registers never updated hold their value. *)
+  Hashtbl.iter
+    (fun n r -> if not (Hashtbl.mem updated n) then reg_set_next r r)
+    env.regs;
+  (* Outputs. *)
+  let outputs =
+    List.filter_map
+      (fun p ->
+        if p.Ast.dir = Ast.Output then begin
+          let w = range_width p.Ast.port_range in
+          let s = resolve env p.Ast.port_name in
+          let s =
+            if width s = w then s
+            else fail "output %s has width %d but is driven with width %d"
+                   p.Ast.port_name w (width s)
+          in
+          Some (p.Ast.port_name, s)
+        end
+        else None)
+      data_ports
+  in
+  (* Ports that nothing references are dropped by elaboration (they
+     cannot carry information), so restrict the metadata to the inputs
+     that survive. *)
+  let reachable_inputs =
+    let seen : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let found : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+    let rec walk s =
+      if not (Hashtbl.mem seen (Signal.uid s)) then begin
+        Hashtbl.replace seen (Signal.uid s) ();
+        (match Signal.op s with
+        | Signal.Input n -> Hashtbl.replace found n ()
+        | Signal.Reg r -> (
+            match r.Signal.next with Some nx -> walk nx | None -> ())
+        | _ -> ());
+        Array.iter walk (Signal.args s)
+      end
+    in
+    List.iter (fun (_, s) -> walk s) outputs;
+    fun n -> Hashtbl.mem found n
+  in
+  let common =
+    List.filter_map
+      (fun p ->
+        if p.Ast.common && p.Ast.dir = Ast.Input && reachable_inputs p.Ast.port_name then
+          Some p.Ast.port_name
+        else None)
+      data_ports
+  in
+  let in_tx, out_tx =
+    if infer_transactions then begin
+      let txs = infer_tx data_ports in
+      (* Input transactions may only mention inputs that survived
+         elaboration. *)
+      let restrict tx =
+        if reachable_inputs tx.Circuit.valid then
+          match List.filter reachable_inputs tx.Circuit.payloads with
+          | [] -> None
+          | payloads -> Some { tx with Circuit.payloads }
+        else None
+      in
+      ( List.filter_map (fun (d, tx) -> if d = Ast.Input then restrict tx else None) txs,
+        List.filter_map (fun (d, tx) -> if d = Ast.Output then Some tx else None) txs )
+    end
+    else ([], [])
+  in
+  (* Instance boundaries, resolved into the signal graph; wires that the
+     design never uses are dropped from the boundary. *)
+  let boundaries =
+    List.filter_map
+      (fun fb ->
+        let resolve_all l =
+          List.filter_map
+            (fun (label, wire) ->
+              match resolve env wire with
+              | s -> Some (label, s)
+              | exception _ -> None)
+            l
+        in
+        match resolve_all fb.fb_outputs with
+        | [] -> None
+        | bnd_outputs ->
+            Some
+              {
+                Circuit.bnd_name = fb.fb_name;
+                bnd_outputs;
+                bnd_inputs = resolve_all fb.fb_inputs;
+              })
+      !flat_boundaries
+  in
+  Circuit.create ~name:m.Ast.mod_name ~in_tx ~out_tx ~common ~boundaries ~outputs ()
+
+let pick_top mods top =
+  match top with
+  | None -> (
+      match mods with
+      | m :: rest -> (m, rest)
+      | [] -> fail "no module in source")
+  | Some name -> (
+      match List.partition (fun m -> m.Ast.mod_name = name) mods with
+      | [ m ], rest -> (m, rest)
+      | _ -> fail "no module named %s" name)
+
+let circuit_of_string ?infer_transactions ?top source =
+  let m, library = pick_top (Parser.parse_program source) top in
+  elaborate ?infer_transactions ~library m
+
+let circuit_of_file ?infer_transactions ?top path =
+  let m, library = pick_top (Parser.parse_program_file path) top in
+  elaborate ?infer_transactions ~library m

@@ -1,0 +1,31 @@
+(** Elaboration of the parsed SystemVerilog subset into the hardware IR.
+
+    Wires become combinational nodes, [reg]s become registers (with their
+    reset values taken from the [if (rst)] branch of the always block, or
+    zero), outputs become circuit outputs, and [//AutoCC Common] inputs
+    are carried into the circuit's [common] metadata.
+
+    Width semantics follow the synthesizable-Verilog rules this subset
+    needs: operands of binary operations are zero-extended to the wider
+    side; context-sized literals (['0], ['1], unsized numbers) take the
+    width of the other operand or target. Transactions are inferred from
+    port naming: a 1-bit port [x_valid] (or [x], when ports [x_*] exist)
+    governs same-prefix payload ports — the AutoSVA convention the paper
+    reuses. *)
+
+exception Elab_error of string
+
+val elaborate :
+  ?infer_transactions:bool -> ?library:Ast.modul list -> Ast.modul -> Rtl.Circuit.t
+(** [infer_transactions] defaults to true. [library] supplies the
+    definitions of instantiated submodules; the hierarchy is flattened
+    with [instance.]-prefixed names and every instance is recorded as a
+    blackboxable boundary ({!Rtl.Circuit.boundaries}). *)
+
+val circuit_of_string :
+  ?infer_transactions:bool -> ?top:string -> string -> Rtl.Circuit.t
+(** Parse and elaborate in one step. With several modules in the source,
+    [top] picks the root (default: the first module). *)
+
+val circuit_of_file :
+  ?infer_transactions:bool -> ?top:string -> string -> Rtl.Circuit.t

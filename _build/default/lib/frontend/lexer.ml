@@ -1,0 +1,234 @@
+type token =
+  | IDENT of string
+  | NUMBER of int
+  | BASED of int option * Bitvec.t
+  | UNBASED of bool
+  | KW of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | COLON
+  | QUESTION
+  | AT
+  | DOT
+  | ASSIGN_EQ
+  | NONBLOCK
+  | OP of string
+  | AUTOCC_COMMON
+  | EOF
+
+exception Lex_error of string * int
+
+let keywords =
+  [
+    "module"; "endmodule"; "input"; "output"; "inout"; "wire"; "reg";
+    "logic"; "assign"; "always"; "always_ff"; "always_comb"; "posedge";
+    "negedge"; "begin"; "end"; "if"; "else"; "localparam"; "parameter";
+    "signed"; "unsigned";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let is_hex_digit c =
+  is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') || c = '_'
+
+(* Parse the digits of a based literal into a bitvector. The width comes
+   from the size prefix if present, otherwise from the digit count. *)
+let based_value ~line ~width base digits =
+  let digits = String.concat "" (String.split_on_char '_' digits) in
+  if digits = "" then raise (Lex_error ("empty literal digits", line));
+  let bits_per_digit, radix =
+    match base with
+    | 'h' | 'H' -> (4, 16)
+    | 'b' | 'B' -> (1, 2)
+    | 'o' | 'O' -> (3, 8)
+    | 'd' | 'D' -> (0, 10)
+    | _ -> raise (Lex_error (Printf.sprintf "unknown base %c" base, line))
+  in
+  let natural_width =
+    if radix = 10 then
+      max 1
+        (let v = int_of_string digits in
+         let rec bits n = if n = 0 then 0 else 1 + bits (n / 2) in
+         max 1 (bits v))
+    else String.length digits * bits_per_digit
+  in
+  let w = match width with Some w -> w | None -> max natural_width 32 in
+  let value =
+    if radix = 10 then Bitvec.of_int ~width:w (int_of_string digits)
+    else if radix = 16 then Bitvec.of_hex_string ~width:w digits
+    else if radix = 2 then
+      (* zero-extend or truncate binary digits to the target width *)
+      let v = Bitvec.of_binary_string digits in
+      if Bitvec.width v = w then v
+      else if Bitvec.width v < w then Bitvec.zero_extend v w
+      else Bitvec.extract ~hi:(w - 1) ~lo:0 v
+    else
+      (* octal via int; fine for the widths we use *)
+      Bitvec.of_int ~width:w (int_of_string ("0o" ^ digits))
+  in
+  (width, value)
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let toks = ref [] in
+  let push t = toks := (t, !line) :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      (* Line comment; surface the AutoCC annotation. *)
+      let start = !i + 2 in
+      let j = ref start in
+      while !j < n && src.[!j] <> '\n' do
+        incr j
+      done;
+      let body = String.trim (String.sub src start (!j - start)) in
+      if body = "AutoCC Common" then push AUTOCC_COMMON;
+      i := !j
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      let j = ref (!i + 2) in
+      while
+        !j + 1 < n && not (src.[!j] = '*' && src.[!j + 1] = '/')
+      do
+        if src.[!j] = '\n' then incr line;
+        incr j
+      done;
+      i := !j + 2
+    end
+    else if is_digit c then begin
+      (* Number, possibly the size prefix of a based literal. *)
+      let j = ref !i in
+      while !j < n && (is_digit src.[!j] || src.[!j] = '_') do
+        incr j
+      done;
+      let digits = String.sub src !i (!j - !i) in
+      let k = ref !j in
+      while !k < n && (src.[!k] = ' ' || src.[!k] = '\t') do
+        incr k
+      done;
+      if !k < n && src.[!k] = '\'' && !k + 1 < n && is_ident_start src.[!k + 1]
+      then begin
+        let base = src.[!k + 1] in
+        let vstart = !k + 2 in
+        let v = ref vstart in
+        while !v < n && is_hex_digit src.[!v] do
+          incr v
+        done;
+        let w = int_of_string (String.concat "" (String.split_on_char '_' digits)) in
+        let width, value =
+          based_value ~line:!line ~width:(Some w) base (String.sub src vstart (!v - vstart))
+        in
+        push (BASED (width, value));
+        i := !v
+      end
+      else begin
+        push (NUMBER (int_of_string (String.concat "" (String.split_on_char '_' digits))));
+        i := !j
+      end
+    end
+    else if c = '\'' then begin
+      (* '0 / '1 / unsized based literal 'h.. *)
+      match peek 1 with
+      | Some '0' ->
+          push (UNBASED false);
+          i := !i + 2
+      | Some '1' ->
+          push (UNBASED true);
+          i := !i + 2
+      | Some b when is_ident_start b ->
+          let vstart = !i + 2 in
+          let v = ref vstart in
+          while !v < n && is_hex_digit src.[!v] do
+            incr v
+          done;
+          let width, value =
+            based_value ~line:!line ~width:None b (String.sub src vstart (!v - vstart))
+          in
+          push (BASED (width, value));
+          i := !v
+      | _ -> raise (Lex_error ("stray quote", !line))
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      let word = String.sub src !i (!j - !i) in
+      if List.mem word keywords then push (KW word) else push (IDENT word);
+      i := !j
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      (match two with
+      | "==" | "!=" | "&&" | "||" | ">>" | "<<" | ">=" ->
+          push (OP two);
+          i := !i + 2
+      | "<=" ->
+          (* Disambiguated by the parser: non-blocking assignment in
+             statement position, less-or-equal in expressions. *)
+          push NONBLOCK;
+          i := !i + 2
+      | _ ->
+          (match c with
+          | '(' -> push LPAREN
+          | ')' -> push RPAREN
+          | '[' -> push LBRACKET
+          | ']' -> push RBRACKET
+          | '{' -> push LBRACE
+          | '}' -> push RBRACE
+          | ';' -> push SEMI
+          | ',' -> push COMMA
+          | ':' -> push COLON
+          | '?' -> push QUESTION
+          | '@' -> push AT
+          | '.' -> push DOT
+          | '=' -> push ASSIGN_EQ
+          | '~' | '!' | '&' | '|' | '^' | '+' | '-' | '*' | '<' | '>' ->
+              push (OP (String.make 1 c))
+          | _ -> raise (Lex_error (Printf.sprintf "unexpected character %c" c, !line)));
+          incr i)
+    end
+  done;
+  push EOF;
+  List.rev !toks
+
+let pp_token = function
+  | IDENT s -> Printf.sprintf "IDENT(%s)" s
+  | NUMBER v -> Printf.sprintf "NUMBER(%d)" v
+  | BASED (Some w, v) -> Printf.sprintf "BASED(%d'%s)" w (Bitvec.to_hex_string v)
+  | BASED (None, v) -> Printf.sprintf "BASED('%s)" (Bitvec.to_hex_string v)
+  | UNBASED b -> Printf.sprintf "UNBASED(%b)" b
+  | KW s -> Printf.sprintf "KW(%s)" s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | COLON -> ":"
+  | QUESTION -> "?"
+  | AT -> "@"
+  | DOT -> "."
+  | ASSIGN_EQ -> "="
+  | NONBLOCK -> "<="
+  | OP s -> Printf.sprintf "OP(%s)" s
+  | AUTOCC_COMMON -> "//AutoCC Common"
+  | EOF -> "EOF"

@@ -1,0 +1,36 @@
+(** Hand-written lexer for the SystemVerilog subset.
+
+    Comments are skipped, except that a [//AutoCC Common] line comment is
+    surfaced as a token so the parser can attach the paper's annotation to
+    the next input port. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of int  (** plain decimal *)
+  | BASED of int option * Bitvec.t  (** sized/unsized based literal *)
+  | UNBASED of bool  (** '0 / '1 *)
+  | KW of string  (** keyword: module, endmodule, input, ... *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | COLON
+  | QUESTION
+  | AT
+  | DOT
+  | ASSIGN_EQ  (** [=] *)
+  | NONBLOCK  (** [<=] in statement position; also lexes as LE *)
+  | OP of string  (** operators: ~ ! & | ^ + - * == != < > <= >= << >> && || *)
+  | AUTOCC_COMMON
+  | EOF
+
+exception Lex_error of string * int (* message, line *)
+
+val tokenize : string -> (token * int) list
+(** Token stream with line numbers. *)
+
+val pp_token : token -> string

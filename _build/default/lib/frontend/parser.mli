@@ -1,0 +1,18 @@
+(** Recursive-descent parser for the SystemVerilog subset.
+
+    Accepts one or more modules per source, with ANSI-style ports and
+    named-connection module instantiation. A [//AutoCC Common] comment
+    before an input port marks it common, as in the paper's
+    annotation. *)
+
+exception Parse_error of string * int (* message, line *)
+
+val parse : string -> Ast.modul
+(** Parse the first module of the source. Raises {!Parse_error} or
+    {!Lexer.Lex_error}. *)
+
+val parse_program : string -> Ast.modul list
+(** Parse every module in the source. *)
+
+val parse_file : string -> Ast.modul
+val parse_program_file : string -> Ast.modul list

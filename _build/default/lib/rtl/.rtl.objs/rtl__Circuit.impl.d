@@ -1,0 +1,1 @@
+lib/rtl/circuit.ml: Array Format Hashtbl List Printf Queue Signal String

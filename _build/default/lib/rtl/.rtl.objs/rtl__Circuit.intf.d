@@ -1,0 +1,1 @@
+lib/rtl/circuit.mli: Format Signal

@@ -1,0 +1,1 @@
+lib/rtl/mem.ml: Array Bitvec Float List Printf Signal

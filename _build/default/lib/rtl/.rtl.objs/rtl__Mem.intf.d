@@ -1,0 +1,1 @@
+lib/rtl/mem.mli: Bitvec Signal

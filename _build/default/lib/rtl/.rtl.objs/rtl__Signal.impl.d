@@ -1,0 +1,1 @@
+lib/rtl/signal.ml: Array Bitvec Format List Option Printf

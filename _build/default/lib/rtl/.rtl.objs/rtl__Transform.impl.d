@@ -1,0 +1,1 @@
+lib/rtl/transform.ml: Array Circuit Hashtbl List Signal

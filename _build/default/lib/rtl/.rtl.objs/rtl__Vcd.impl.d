@@ -1,0 +1,1 @@
+lib/rtl/vcd.ml: Array Bitvec Char Fun List Printf Signal String

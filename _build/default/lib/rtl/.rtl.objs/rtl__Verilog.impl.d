@@ -1,0 +1,1 @@
+lib/rtl/verilog.ml: Array Bitvec Circuit Format Hashtbl List Option Printf Signal String

@@ -1,0 +1,187 @@
+type port = { port_name : string; signal : Signal.t }
+
+type transaction = { tx_name : string; valid : string; payloads : string list }
+
+type boundary = {
+  bnd_name : string;
+  bnd_outputs : (string * Signal.t) list;
+  bnd_inputs : (string * Signal.t) list;
+}
+
+type t = {
+  name : string;
+  inputs : port list;
+  outputs : port list;
+  regs : Signal.t list;
+  topo : Signal.t array;
+  index : (int, int) Hashtbl.t; (* signal uid -> position in topo *)
+  in_tx : transaction list;
+  out_tx : transaction list;
+  common : string list;
+  boundaries : boundary list;
+}
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+(* Depth-first post-order over combinational edges. Registers, inputs and
+   constants are sources: we do not traverse into a register's [next] here
+   (that happens via the worklist in [collect]), so any cycle found is a
+   true combinational loop. *)
+let topo_sort roots =
+  let order = ref [] in
+  let state = Hashtbl.create 1024 in
+  (* 0 = visiting, 1 = done *)
+  let rec visit path s =
+    match Hashtbl.find_opt state (Signal.uid s) with
+    | Some 1 -> ()
+    | Some _ ->
+        let cycle =
+          List.map (Format.asprintf "%a" Signal.pp) (s :: path) |> String.concat " <- "
+        in
+        fail "combinational loop: %s" cycle
+    | None ->
+        Hashtbl.replace state (Signal.uid s) 0;
+        (match Signal.op s with
+        | Const _ | Input _ | Reg _ -> ()
+        | _ -> Array.iter (visit (s :: path)) (Signal.args s));
+        Hashtbl.replace state (Signal.uid s) 1;
+        order := s :: !order
+  in
+  List.iter (visit []) roots;
+  List.rev !order
+
+(* Collect every node reachable from [outputs], following register
+   next-state functions. Returns nodes in topological order with sources
+   first. *)
+let collect outputs =
+  let seen = Hashtbl.create 1024 in
+  let regs = ref [] in
+  let sources = ref [] in
+  let comb_roots = ref [] in
+  let queue = Queue.create () in
+  List.iter (fun s -> Queue.add s queue) outputs;
+  let rec walk s =
+    if not (Hashtbl.mem seen (Signal.uid s)) then begin
+      Hashtbl.replace seen (Signal.uid s) ();
+      (match Signal.op s with
+      | Const _ | Input _ -> sources := s :: !sources
+      | Reg r ->
+          regs := s :: !regs;
+          sources := s :: !sources;
+          (match r.Signal.next with
+          | Some next -> Queue.add next queue
+          | None -> fail "register %s has no next-state function" r.Signal.reg_name)
+      | _ -> Array.iter walk (Signal.args s))
+    end
+  in
+  while not (Queue.is_empty queue) do
+    let root = Queue.pop queue in
+    comb_roots := root :: !comb_roots;
+    walk root
+  done;
+  let comb = topo_sort (List.rev !comb_roots) in
+  (* [comb] already contains sources in post-order; keep a single list with
+     sources first for clarity of iteration in consumers. *)
+  let is_source s =
+    match Signal.op s with Const _ | Input _ | Reg _ -> true | _ -> false
+  in
+  let srcs, rest = List.partition is_source comb in
+  (srcs @ rest, List.rev !regs)
+
+let check_unique what names =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem tbl n then fail "duplicate %s name: %s" what n
+      else Hashtbl.replace tbl n ())
+    names
+
+let create ~name ?(in_tx = []) ?(out_tx = []) ?(common = []) ?(boundaries = [])
+    ~outputs () =
+  check_unique "output" (List.map fst outputs);
+  let nodes, regs = collect (List.map snd outputs) in
+  let inputs =
+    List.filter_map
+      (fun s -> match Signal.op s with Signal.Input n -> Some (n, s) | _ -> None)
+      nodes
+    |> List.sort (fun (_, a) (_, b) -> compare (Signal.uid a) (Signal.uid b))
+  in
+  check_unique "input" (List.map fst inputs);
+  check_unique "register"
+    (List.map (fun r -> (Signal.reg_of r).Signal.reg_name) regs);
+  let topo = Array.of_list nodes in
+  let index = Hashtbl.create (Array.length topo) in
+  Array.iteri (fun i s -> Hashtbl.replace index (Signal.uid s) i) topo;
+  let t =
+    {
+      name;
+      inputs = List.map (fun (n, s) -> { port_name = n; signal = s }) inputs;
+      outputs = List.map (fun (n, s) -> { port_name = n; signal = s }) outputs;
+      regs;
+      topo;
+      index;
+      in_tx;
+      out_tx;
+      common;
+      boundaries;
+    }
+  in
+  (* Transactions and common annotations must refer to real ports. *)
+  let input_names = List.map (fun p -> p.port_name) t.inputs in
+  let output_names = List.map (fun p -> p.port_name) t.outputs in
+  List.iter
+    (fun tx ->
+      List.iter
+        (fun n ->
+          if not (List.mem n input_names) then
+            fail "in_tx %s refers to unknown input %s" tx.tx_name n)
+        (tx.valid :: tx.payloads))
+    in_tx;
+  List.iter
+    (fun tx ->
+      List.iter
+        (fun n ->
+          if not (List.mem n output_names) then
+            fail "out_tx %s refers to unknown output %s" tx.tx_name n)
+        (tx.valid :: tx.payloads))
+    out_tx;
+  List.iter
+    (fun n ->
+      if not (List.mem n input_names) then fail "common refers to unknown input %s" n)
+    common;
+  t
+
+let name t = t.name
+let inputs t = t.inputs
+let outputs t = t.outputs
+let regs t = t.regs
+let topo t = t.topo
+let num_nodes t = Array.length t.topo
+let node_index t s = Hashtbl.find t.index (Signal.uid s)
+let mem_node t s = Hashtbl.mem t.index (Signal.uid s)
+let in_tx t = t.in_tx
+let out_tx t = t.out_tx
+let common t = t.common
+let boundaries t = t.boundaries
+
+let find_port what ports n =
+  match List.find_opt (fun p -> p.port_name = n) ports with
+  | Some p -> p.signal
+  | None -> fail "no %s named %s" what n
+
+let find_input t n = find_port "input" t.inputs n
+let find_output t n = find_port "output" t.outputs n
+
+let find_reg t n =
+  match
+    List.find_opt (fun r -> (Signal.reg_of r).Signal.reg_name = n) t.regs
+  with
+  | Some r -> r
+  | None -> raise Not_found
+
+let state_bits t = List.fold_left (fun acc r -> acc + Signal.width r) 0 t.regs
+
+let pp_stats fmt t =
+  Format.fprintf fmt "%s: %d nodes, %d inputs, %d outputs, %d registers (%d state bits)"
+    t.name (num_nodes t) (List.length t.inputs) (List.length t.outputs)
+    (List.length t.regs) (state_bits t)

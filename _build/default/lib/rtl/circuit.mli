@@ -1,0 +1,78 @@
+(** Elaborated circuits.
+
+    A circuit packages a named set of output signals together with the
+    derived netlist: all reachable nodes in a checked topological order,
+    the primary inputs, and the registers. Elaboration fails on registers
+    without a next-state function, on combinational loops, and on duplicate
+    port names.
+
+    Circuits also carry the interface metadata AutoCC consumes:
+    transactions (a 1-bit valid port governing payload ports), [common]
+    inputs (the paper's [//AutoCC Common] annotation), and named submodule
+    boundaries used for blackboxing. *)
+
+type port = { port_name : string; signal : Signal.t }
+
+type transaction = {
+  tx_name : string;
+  valid : string;  (** port name of the 1-bit valid *)
+  payloads : string list;  (** port names governed by [valid] *)
+}
+
+type boundary = {
+  bnd_name : string;
+  bnd_outputs : (string * Signal.t) list;
+      (** signals the submodule drives into the rest of the circuit *)
+  bnd_inputs : (string * Signal.t) list;
+      (** signals of the circuit that feed the submodule *)
+}
+
+type t
+
+val create :
+  name:string ->
+  ?in_tx:transaction list ->
+  ?out_tx:transaction list ->
+  ?common:string list ->
+  ?boundaries:boundary list ->
+  outputs:(string * Signal.t) list ->
+  unit ->
+  t
+(** Elaborates the graph reachable from [outputs] (and transitively from
+    register next-state functions). Raises [Failure] with a diagnostic on
+    elaboration errors. *)
+
+val name : t -> string
+
+val inputs : t -> port list
+(** Primary inputs, ordered by creation. *)
+
+val outputs : t -> port list
+val regs : t -> Signal.t list
+
+val topo : t -> Signal.t array
+(** All reachable nodes in evaluation order: sources (constants, inputs,
+    registers) first, then each combinational node after its arguments. *)
+
+val num_nodes : t -> int
+
+val node_index : t -> Signal.t -> int
+(** Dense index of a node into [topo]-indexed arrays. Raises [Not_found]
+    if the node is not part of the circuit. *)
+
+val mem_node : t -> Signal.t -> bool
+val in_tx : t -> transaction list
+val out_tx : t -> transaction list
+val common : t -> string list
+val boundaries : t -> boundary list
+val find_input : t -> string -> Signal.t
+val find_output : t -> string -> Signal.t
+
+val find_reg : t -> string -> Signal.t
+(** Look up a register by its [reg_name]. Raises [Not_found]. *)
+
+val state_bits : t -> int
+(** Total number of register bits — the size of the DUT state in the sense
+    of the paper's Definition 1. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+type write_port = { enable : Signal.t; addr : Signal.t; data : Signal.t }
+
+type t = {
+  name : string;
+  width : int;
+  cells : Signal.t array;
+  inits : Bitvec.t array;
+  mutable writes : write_port list; (* reverse order of [write] calls *)
+  mutable finalized : bool;
+  addr_bits : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ~name ~size ~width ?(init = fun _ -> Bitvec.zero width) () =
+  if not (is_power_of_two size) then invalid_arg "Mem.create: size must be a power of two";
+  let inits = Array.init size init in
+  let cells =
+    Array.init size (fun i ->
+        Signal.reg ~init:inits.(i) (Printf.sprintf "%s_%d" name i) width)
+  in
+  let addr_bits = max 1 (int_of_float (Float.round (Float.log2 (float_of_int size)))) in
+  { name; width; cells; inits; writes = []; finalized = false; addr_bits }
+
+let size t = Array.length t.cells
+let width t = t.width
+let reg_at t i = t.cells.(i)
+let regs t = Array.to_list t.cells
+
+let narrow_addr t addr =
+  if Signal.width addr < t.addr_bits then
+    invalid_arg (Printf.sprintf "Mem(%s): address too narrow" t.name)
+  else Signal.select addr (t.addr_bits - 1) 0
+
+let read t addr =
+  if size t = 1 then t.cells.(0)
+  else Signal.mux (narrow_addr t addr) (Array.to_list t.cells)
+
+let write t ~enable ~addr ~data =
+  if Signal.width enable <> 1 then invalid_arg "Mem.write: enable must be 1 bit";
+  if Signal.width data <> t.width then invalid_arg "Mem.write: data width mismatch";
+  let addr = if size t = 1 then addr else narrow_addr t addr in
+  t.writes <- { enable; addr; data } :: t.writes
+
+let finalize ?clear t =
+  if t.finalized then invalid_arg (Printf.sprintf "Mem(%s): finalize called twice" t.name);
+  t.finalized <- true;
+  Array.iteri
+    (fun i cell ->
+      let idx = Signal.of_int ~width:t.addr_bits i in
+      let next =
+        (* Writes were accumulated latest-first; fold in call order so the
+           latest [write] call wraps outermost and therefore wins. *)
+        List.fold_left
+          (fun acc w ->
+            let hit =
+              if size t = 1 then w.enable
+              else Signal.( &: ) w.enable (Signal.( ==: ) w.addr idx)
+            in
+            Signal.mux2 hit w.data acc)
+          cell (List.rev t.writes)
+      in
+      let next =
+        match clear with
+        | Some c -> Signal.mux2 c (Signal.const t.inits.(i)) next
+        | None -> next
+      in
+      Signal.reg_set_next cell next)
+    t.cells

@@ -1,0 +1,32 @@
+(** Register-file style memories.
+
+    Small memories are modeled as arrays of registers with mux-tree read
+    ports — the standard FPV downsizing technique the paper applies to
+    caches and TLBs. Writes accumulate until {!finalize} closes every
+    register's next-state function; later writes take priority over
+    earlier ones on the same cycle. *)
+
+type t
+
+val create : name:string -> size:int -> width:int -> ?init:(int -> Bitvec.t) -> unit -> t
+(** [size] must be a power of two so that address decoding is total. *)
+
+val size : t -> int
+val width : t -> int
+
+val read : t -> Signal.t -> Signal.t
+(** [read t addr] asynchronous read port; [addr] must be wide enough to
+    index the whole memory (extra high bits are ignored by clamping). *)
+
+val reg_at : t -> int -> Signal.t
+(** Direct access to the backing register of one entry. *)
+
+val regs : t -> Signal.t list
+
+val write : t -> enable:Signal.t -> addr:Signal.t -> data:Signal.t -> unit
+(** Queue a write port. [enable] is 1 bit wide. *)
+
+val finalize : ?clear:Signal.t -> t -> unit
+(** Close all next-state functions. When [clear] (1 bit) is high the whole
+    memory resets to its initial contents, overriding any write — this is
+    the flush path. Must be called exactly once. *)

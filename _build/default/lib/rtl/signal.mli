@@ -1,0 +1,139 @@
+(** Hardware signals.
+
+    A signal is a node of a directed graph describing synchronous hardware:
+    combinational operators over fixed-width bitvectors, primary inputs, and
+    registers. Registers are created first and given their next-state
+    function afterwards ({!reg_set_next}), which is how feedback loops are
+    closed.
+
+    Signals carry globally unique ids; a {!Circuit} elaborates a set of
+    output signals into a checked, topologically ordered netlist. *)
+
+type t
+
+(** Operator of a node, exposed for consumers (simulator, bit-blaster,
+    printers) that traverse the graph. *)
+type op =
+  | Const of Bitvec.t
+  | Input of string
+  | Reg of reg
+  | Not
+  | And
+  | Or
+  | Xor
+  | Add
+  | Sub
+  | Mul
+  | Eq  (** 1-bit result *)
+  | Ult  (** unsigned less-than, 1-bit result *)
+  | Slt  (** signed less-than, 1-bit result *)
+  | Mux  (** args = [sel; on_true; on_false], [sel] 1 bit wide *)
+  | Concat  (** args are most-significant first *)
+  | Slice of int * int  (** [Slice (hi, lo)], single argument *)
+
+and reg = {
+  reg_name : string;
+  init : Bitvec.t;
+  mutable next : t option;
+}
+
+val uid : t -> int
+val width : t -> int
+val op : t -> op
+val args : t -> t array
+
+val name : t -> string option
+(** Debug name, if one was attached with {!( -- )}. *)
+
+val ( -- ) : t -> string -> t
+(** [s -- n] attaches debug name [n] to [s] and returns [s]. *)
+
+(** {1 Sources} *)
+
+val const : Bitvec.t -> t
+val of_int : width:int -> int -> t
+val zero : int -> t
+val one : int -> t
+val ones : int -> t
+val vdd : t  (** fresh 1-bit constant 1 *)
+
+val gnd : t  (** fresh 1-bit constant 0 *)
+
+val input : string -> int -> t
+(** [input name width] declares a primary input. *)
+
+val reg : ?init:Bitvec.t -> string -> int -> t
+(** [reg name width] creates a register initialized to [init] (default
+    zero). Its next-state function must be set with {!reg_set_next} before
+    elaboration. *)
+
+val reg_set_next : t -> t -> unit
+(** [reg_set_next r next] closes the feedback loop. Raises if [r] is not a
+    register, widths differ, or the next is already set. *)
+
+val reg_of : t -> reg
+(** The register payload of a [Reg] node. Raises otherwise. *)
+
+(** {1 Combinational operators}
+
+    All operators check widths and raise [Invalid_argument] on mismatch.
+    Constant folding is applied where both operands are constants. *)
+
+val ( ~: ) : t -> t
+val ( &: ) : t -> t -> t
+val ( |: ) : t -> t -> t
+val ( ^: ) : t -> t -> t
+val ( +: ) : t -> t -> t
+val ( -: ) : t -> t -> t
+val ( *: ) : t -> t -> t
+val ( ==: ) : t -> t -> t
+val ( <>: ) : t -> t -> t
+val ( <: ) : t -> t -> t  (** unsigned *)
+
+val ( <=: ) : t -> t -> t
+val ( >: ) : t -> t -> t
+val ( >=: ) : t -> t -> t
+val slt : t -> t -> t
+
+val mux2 : t -> t -> t -> t
+(** [mux2 sel on_true on_false]. *)
+
+val mux : t -> t list -> t
+(** [mux sel cases] selects [List.nth cases (value sel)]; the last case is
+    replicated for out-of-range select values. Raises on empty list. *)
+
+val concat : t list -> t
+(** Most-significant first. *)
+
+val select : t -> int -> int -> t
+(** [select s hi lo]. *)
+
+val bit : t -> int -> t
+val msb : t -> t
+val lsb : t -> t
+
+val uresize : t -> int -> t
+(** Zero-extend or truncate to the given width. *)
+
+val sresize : t -> int -> t
+
+val reduce_or : t -> t
+val reduce_and : t -> t
+
+val is_zero : t -> t
+(** [is_zero s] is a 1-bit signal, true when all bits of [s] are 0. *)
+
+val sll : t -> int -> t
+(** Shift left by a constant, keeping width. *)
+
+val srl : t -> int -> t
+val log_shift_left : t -> t -> t
+(** Dynamic shift, as a mux tree over the bits of the shift amount. *)
+
+val log_shift_right : t -> t -> t
+
+val onehot_mux : (t * t) list -> default:t -> t
+(** [onehot_mux [(c0, v0); ...] ~default] is a priority mux: the value of
+    the first pair whose 1-bit condition holds, else [default]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+type mapping = Signal.t -> Signal.t
+
+let rebuild ?(subst = fun _ -> None)
+    ?(map_input = fun ~name ~width -> Signal.input name width)
+    ?(map_reg_name = fun n -> n) ?(instrument_next = fun ~reg:_ ~next -> next)
+    roots =
+  let memo : (int, Signal.t) Hashtbl.t = Hashtbl.create 1024 in
+  let copy_name old fresh =
+    match Signal.name old with
+    | Some n -> ignore (Signal.( -- ) fresh n)
+    | None -> ()
+  in
+  let rec clone s =
+    match Hashtbl.find_opt memo (Signal.uid s) with
+    | Some s' -> s'
+    | None -> (
+        match subst s with
+        | Some replacement ->
+            Hashtbl.replace memo (Signal.uid s) replacement;
+            replacement
+        | None -> (
+            match Signal.op s with
+            | Signal.Const v ->
+                let s' = Signal.const v in
+                copy_name s s';
+                Hashtbl.replace memo (Signal.uid s) s';
+                s'
+            | Signal.Input n ->
+                let s' = map_input ~name:n ~width:(Signal.width s) in
+                Hashtbl.replace memo (Signal.uid s) s';
+                s'
+            | Signal.Reg r ->
+                let s' =
+                  Signal.reg ~init:r.Signal.init
+                    (map_reg_name r.Signal.reg_name)
+                    (Signal.width s)
+                in
+                copy_name s s';
+                (* Memoize before recursing: next-state functions typically
+                   refer back to the register itself. *)
+                Hashtbl.replace memo (Signal.uid s) s';
+                let next =
+                  match r.Signal.next with
+                  | Some n -> clone n
+                  | None ->
+                      failwith
+                        ("Transform.rebuild: register without next: " ^ r.Signal.reg_name)
+                in
+                Signal.reg_set_next s' (instrument_next ~reg:s' ~next);
+                s'
+            | op ->
+                let args = Array.map clone (Signal.args s) in
+                let s' = rebuild_op op args in
+                copy_name s s';
+                Hashtbl.replace memo (Signal.uid s) s';
+                s'))
+  and rebuild_op op args =
+    let a i = args.(i) in
+    match op with
+    | Signal.Not -> Signal.( ~: ) (a 0)
+    | Signal.And -> Signal.( &: ) (a 0) (a 1)
+    | Signal.Or -> Signal.( |: ) (a 0) (a 1)
+    | Signal.Xor -> Signal.( ^: ) (a 0) (a 1)
+    | Signal.Add -> Signal.( +: ) (a 0) (a 1)
+    | Signal.Sub -> Signal.( -: ) (a 0) (a 1)
+    | Signal.Mul -> Signal.( *: ) (a 0) (a 1)
+    | Signal.Eq -> Signal.( ==: ) (a 0) (a 1)
+    | Signal.Ult -> Signal.( <: ) (a 0) (a 1)
+    | Signal.Slt -> Signal.slt (a 0) (a 1)
+    | Signal.Mux -> Signal.mux2 (a 0) (a 1) (a 2)
+    | Signal.Concat -> Signal.concat (Array.to_list args)
+    | Signal.Slice (hi, lo) -> Signal.select (a 0) hi lo
+    | Signal.Const _ | Signal.Input _ | Signal.Reg _ ->
+        assert false (* handled above *)
+  in
+  let roots' = List.map clone roots in
+  let mapping s = Hashtbl.find memo (Signal.uid s) in
+  (roots', mapping)
+
+let clone_outputs ?subst ?map_input ?map_reg_name ?instrument_next circuit =
+  let ports = Circuit.outputs circuit in
+  let roots = List.map (fun p -> p.Circuit.signal) ports in
+  let roots', mapping =
+    rebuild ?subst ?map_input ?map_reg_name ?instrument_next roots
+  in
+  (List.map2 (fun p s -> (p.Circuit.port_name, s)) ports roots', mapping)

@@ -1,0 +1,43 @@
+(** Graph rewriting.
+
+    [rebuild] deep-copies the signal graph reachable from a list of roots,
+    producing fresh nodes. Hooks allow the copy to diverge from the
+    original; they are the basis of module instantiation (cloning a DUT
+    twice into the AutoCC wrapper), blackboxing (cutting a submodule
+    boundary) and flush instrumentation (muxing a reset value into
+    register next-state functions). *)
+
+type mapping = Signal.t -> Signal.t
+(** Maps an original node to its copy. Raises [Not_found] for nodes that
+    were not reachable from the rebuilt roots. *)
+
+val rebuild :
+  ?subst:(Signal.t -> Signal.t option) ->
+  ?map_input:(name:string -> width:int -> Signal.t) ->
+  ?map_reg_name:(string -> string) ->
+  ?instrument_next:(reg:Signal.t -> next:Signal.t -> Signal.t) ->
+  Signal.t list ->
+  Signal.t list * mapping
+(** [rebuild roots] returns the copies of [roots] and the old-to-new
+    mapping.
+
+    - [subst old] is consulted first for every node; returning [Some n]
+      grafts [n] (a node of the {e new} graph) in place of the copy of
+      [old] without recursing into [old]'s arguments.
+    - [map_input ~name ~width] produces the copy of each primary input
+      (default: a fresh input with the same name). Called once per input
+      node.
+    - [map_reg_name] renames registers (default: identity).
+    - [instrument_next ~reg ~next] post-processes each register's copied
+      next-state function; [reg] is the {e new} register node. Default:
+      [next] unchanged. *)
+
+val clone_outputs :
+  ?subst:(Signal.t -> Signal.t option) ->
+  ?map_input:(name:string -> width:int -> Signal.t) ->
+  ?map_reg_name:(string -> string) ->
+  ?instrument_next:(reg:Signal.t -> next:Signal.t -> Signal.t) ->
+  Circuit.t ->
+  (string * Signal.t) list * mapping
+(** Clone a whole circuit through its output ports; returns the copied
+    outputs labelled with their original port names. *)

@@ -1,0 +1,19 @@
+(** Value-change-dump (VCD) output.
+
+    Writes waveforms viewable in GTKWave & co. — the workflow the paper
+    follows with JasperGold's waveform viewer when root-causing a CEX. *)
+
+val write :
+  path:string ->
+  ?timescale:string ->
+  ?module_name:string ->
+  (string * Bitvec.t array) list ->
+  unit
+(** [write ~path traces] writes one VCD variable per [(name, values)]
+    pair, one timestep per array index. All arrays must have the same
+    length, and each signal a consistent width. Raises [Invalid_argument]
+    on empty or ragged input. *)
+
+val of_waveform : (Signal.t * Bitvec.t array) list -> (string * Bitvec.t array) list
+(** Label a {!Sim.waveform} result with the signals' debug names (falling
+    back to a generated label). *)

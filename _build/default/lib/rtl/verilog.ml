@@ -1,0 +1,125 @@
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let width_decl w = if w = 1 then "" else Printf.sprintf "[%d:0] " (w - 1)
+
+let const_literal v =
+  Printf.sprintf "%d'h%s" (Bitvec.width v) (Bitvec.to_hex_string v)
+
+(* Build the naming table: inputs keep their port names; registers keep
+   their (sanitized) names unless that would collide with a port, in
+   which case they get a [_q] suffix; everything else is [w<uid>]. *)
+let naming circuit =
+  let port_names =
+    List.map (fun p -> sanitize p.Circuit.port_name) (Circuit.inputs circuit)
+    @ List.map (fun p -> sanitize p.Circuit.port_name) (Circuit.outputs circuit)
+  in
+  let table = Hashtbl.create 64 in
+  Array.iter
+    (fun s ->
+      let name =
+        match Signal.op s with
+        | Signal.Input n -> sanitize n
+        | Signal.Reg r ->
+            let n = sanitize r.Signal.reg_name in
+            if List.mem n port_names then n ^ "_q" else n
+        | _ -> Printf.sprintf "w%d" (Signal.uid s)
+      in
+      Hashtbl.replace table (Signal.uid s) name)
+    (Circuit.topo circuit);
+  table
+
+let emit fmt circuit =
+  let names = naming circuit in
+  let ref_name s = Hashtbl.find names (Signal.uid s) in
+  let rhs s =
+    let a i = ref_name (Signal.args s).(i) in
+    match Signal.op s with
+    | Signal.Const v -> const_literal v
+    | Signal.Input _ | Signal.Reg _ -> assert false (* not assigned *)
+    | Signal.Not -> Printf.sprintf "~%s" (a 0)
+    | Signal.And -> Printf.sprintf "%s & %s" (a 0) (a 1)
+    | Signal.Or -> Printf.sprintf "%s | %s" (a 0) (a 1)
+    | Signal.Xor -> Printf.sprintf "%s ^ %s" (a 0) (a 1)
+    | Signal.Add -> Printf.sprintf "%s + %s" (a 0) (a 1)
+    | Signal.Sub -> Printf.sprintf "%s - %s" (a 0) (a 1)
+    | Signal.Mul -> Printf.sprintf "%s * %s" (a 0) (a 1)
+    | Signal.Eq -> Printf.sprintf "%s == %s" (a 0) (a 1)
+    | Signal.Ult -> Printf.sprintf "%s < %s" (a 0) (a 1)
+    | Signal.Slt -> Printf.sprintf "$signed(%s) < $signed(%s)" (a 0) (a 1)
+    | Signal.Mux -> Printf.sprintf "%s ? %s : %s" (a 0) (a 1) (a 2)
+    | Signal.Concat ->
+        let parts = Array.to_list (Array.map ref_name (Signal.args s)) in
+        Printf.sprintf "{%s}" (String.concat ", " parts)
+    | Signal.Slice (hi, lo) ->
+        if hi = lo then Printf.sprintf "%s[%d]" (a 0) hi
+        else Printf.sprintf "%s[%d:%d]" (a 0) hi lo
+  in
+  let ports =
+    [ "input wire clk"; "input wire rst" ]
+    @ List.map
+        (fun p ->
+          Printf.sprintf "input wire %s%s"
+            (width_decl (Signal.width p.Circuit.signal))
+            (sanitize p.Circuit.port_name))
+        (Circuit.inputs circuit)
+    @ List.map
+        (fun p ->
+          Printf.sprintf "output wire %s%s"
+            (width_decl (Signal.width p.Circuit.signal))
+            (sanitize p.Circuit.port_name))
+        (Circuit.outputs circuit)
+  in
+  Format.fprintf fmt "module %s (@." (sanitize (Circuit.name circuit));
+  let nports = List.length ports in
+  List.iteri
+    (fun i p -> Format.fprintf fmt "  %s%s@." p (if i = nports - 1 then "" else ","))
+    ports;
+  Format.fprintf fmt ");@.@.";
+  (* Declarations and combinational assignments in topological order. *)
+  Array.iter
+    (fun s ->
+      match Signal.op s with
+      | Signal.Input _ -> ()
+      | Signal.Reg _ ->
+          Format.fprintf fmt "  reg %s%s;@." (width_decl (Signal.width s)) (ref_name s)
+      | Signal.Const _ | Signal.Not | Signal.And | Signal.Or | Signal.Xor
+      | Signal.Add | Signal.Sub | Signal.Mul | Signal.Eq | Signal.Ult
+      | Signal.Slt | Signal.Mux | Signal.Concat | Signal.Slice _ ->
+          Format.fprintf fmt "  wire %s%s = %s;@."
+            (width_decl (Signal.width s))
+            (ref_name s) (rhs s))
+    (Circuit.topo circuit);
+  (* Register updates. *)
+  if Circuit.regs circuit <> [] then begin
+    Format.fprintf fmt "@.  always_ff @@(posedge clk) begin@.";
+    Format.fprintf fmt "    if (rst) begin@.";
+    List.iter
+      (fun r ->
+        Format.fprintf fmt "      %s <= %s;@." (ref_name r)
+          (const_literal (Signal.reg_of r).Signal.init))
+      (Circuit.regs circuit);
+    Format.fprintf fmt "    end else begin@.";
+    List.iter
+      (fun r ->
+        Format.fprintf fmt "      %s <= %s;@." (ref_name r)
+          (ref_name (Option.get (Signal.reg_of r).Signal.next)))
+      (Circuit.regs circuit);
+    Format.fprintf fmt "    end@.  end@."
+  end;
+  (* Output bindings. *)
+  Format.fprintf fmt "@.";
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "  assign %s = %s;@."
+        (sanitize p.Circuit.port_name)
+        (ref_name p.Circuit.signal))
+    (Circuit.outputs circuit);
+  Format.fprintf fmt "@.endmodule@."
+
+let to_string circuit = Format.asprintf "%a" emit circuit

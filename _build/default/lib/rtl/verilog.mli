@@ -1,0 +1,18 @@
+(** SystemVerilog emission.
+
+    Renders an elaborated circuit as a synthesizable SystemVerilog
+    module with a [clk]/[rst] pair: every combinational node becomes an
+    [assign], every register an [always_ff] with synchronous reset to its
+    initial value. The output is the form consumed by the open-source
+    SBY flow the paper targets, so designs modeled in this library can be
+    re-verified with an external FPV engine. *)
+
+val emit : Format.formatter -> Circuit.t -> unit
+(** Write the module. Port names are used verbatim; internal nodes get
+    generated [w<n>] wire names; register names are sanitized
+    ([.] becomes [_]). *)
+
+val to_string : Circuit.t -> string
+
+val sanitize : string -> string
+(** The identifier sanitization applied to register and port names. *)

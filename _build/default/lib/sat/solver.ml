@@ -1,0 +1,556 @@
+(* CDCL SAT solver in the MiniSat lineage.
+
+   Literal encoding: literal [2*v] is variable [v], literal [2*v+1] is its
+   negation. Assignment encoding per variable: 0 = unassigned, 1 = true,
+   2 = false; the value of a literal flips 1<->2 via [lxor 3] when the
+   literal is negative.
+
+   Invariants:
+   - The two watched literals of every live clause are at positions 0 and 1.
+   - When a clause becomes the reason of an implied literal, that literal
+     is at position 0 (conflict analysis relies on this).
+   - The trail holds assigned literals in assignment order; [trail_lim]
+     marks decision-level boundaries. Assumption decisions occupy the
+     lowest levels during a [solve] call. *)
+
+type lit = int
+type result = Sat | Unsat
+
+type clause = {
+  lits : int array;
+  learnt : bool;
+  mutable cact : float;
+  mutable deleted : bool;
+}
+
+let dummy_clause = { lits = [||]; learnt = false; cact = 0.; deleted = true }
+
+type t = {
+  mutable assigns : int array; (* var -> 0/1/2 *)
+  mutable level : int array;
+  mutable reason : clause array; (* dummy_clause = no reason *)
+  mutable activity : float array;
+  mutable polarity : bool array; (* saved phase: last assigned value *)
+  mutable heap : int array;
+  mutable heap_index : int array; (* -1 when not in heap *)
+  mutable heap_size : int;
+  mutable watches : clause Vec.t array; (* indexed by literal *)
+  mutable seen : bool array;
+  trail : int Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable nvars : int;
+  mutable ok : bool;
+  mutable model : bool array;
+  mutable model_valid : bool;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+}
+
+let lit v sign = if sign then 2 * v else (2 * v) + 1
+let neg l = l lxor 1
+let var_of_lit l = l lsr 1
+let lit_sign l = l land 1 = 0
+
+let create () =
+  {
+    assigns = Array.make 16 0;
+    level = Array.make 16 0;
+    reason = Array.make 16 dummy_clause;
+    activity = Array.make 16 0.;
+    polarity = Array.make 16 false;
+    heap = Array.make 16 0;
+    heap_index = Array.make 16 (-1);
+    heap_size = 0;
+    watches = Array.init 32 (fun _ -> Vec.create dummy_clause);
+    seen = Array.make 16 false;
+    trail = Vec.create 0;
+    trail_lim = Vec.create 0;
+    qhead = 0;
+    clauses = Vec.create dummy_clause;
+    learnts = Vec.create dummy_clause;
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    nvars = 0;
+    ok = true;
+    model = [||];
+    model_valid = false;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+  }
+
+let num_vars s = s.nvars
+let num_clauses s = Vec.size s.clauses
+let num_learnts s = Vec.size s.learnts
+let num_conflicts s = s.conflicts
+let num_decisions s = s.decisions
+let num_propagations s = s.propagations
+
+(* {1 Variable order: binary max-heap on activity} *)
+
+let heap_lt s a b = s.activity.(a) > s.activity.(b)
+
+let rec sift_up s i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if heap_lt s s.heap.(i) s.heap.(parent) then begin
+      let a = s.heap.(i) and b = s.heap.(parent) in
+      s.heap.(i) <- b;
+      s.heap.(parent) <- a;
+      s.heap_index.(b) <- i;
+      s.heap_index.(a) <- parent;
+      sift_up s parent
+    end
+  end
+
+let rec sift_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_size && heap_lt s s.heap.(l) s.heap.(!best) then best := l;
+  if r < s.heap_size && heap_lt s s.heap.(r) s.heap.(!best) then best := r;
+  if !best <> i then begin
+    let a = s.heap.(i) and b = s.heap.(!best) in
+    s.heap.(i) <- b;
+    s.heap.(!best) <- a;
+    s.heap_index.(b) <- i;
+    s.heap_index.(a) <- !best;
+    sift_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_index.(v) < 0 then begin
+    s.heap.(s.heap_size) <- v;
+    s.heap_index.(v) <- s.heap_size;
+    s.heap_size <- s.heap_size + 1;
+    sift_up s (s.heap_size - 1)
+  end
+
+let heap_pop s =
+  let top = s.heap.(0) in
+  s.heap_size <- s.heap_size - 1;
+  s.heap_index.(top) <- -1;
+  if s.heap_size > 0 then begin
+    s.heap.(0) <- s.heap.(s.heap_size);
+    s.heap_index.(s.heap.(0)) <- 0;
+    sift_down s 0
+  end;
+  top
+
+(* {1 Growth} *)
+
+let grow_array a n dummy =
+  if Array.length a >= n then a
+  else begin
+    let a' = Array.make (max n (2 * Array.length a)) dummy in
+    Array.blit a 0 a' 0 (Array.length a);
+    a'
+  end
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  let n = s.nvars in
+  s.assigns <- grow_array s.assigns n 0;
+  s.level <- grow_array s.level n 0;
+  s.reason <- grow_array s.reason n dummy_clause;
+  s.activity <- grow_array s.activity n 0.;
+  s.polarity <- grow_array s.polarity n false;
+  s.heap <- grow_array s.heap n 0;
+  s.seen <- grow_array s.seen n false;
+  if Array.length s.heap_index < n then begin
+    let old = s.heap_index in
+    let a' = Array.make (max n (2 * Array.length old)) (-1) in
+    Array.blit old 0 a' 0 (Array.length old);
+    s.heap_index <- a'
+  end;
+  if Array.length s.watches < 2 * n then begin
+    let old = s.watches in
+    let a' =
+      Array.init (max (2 * n) (2 * Array.length old)) (fun i ->
+          if i < Array.length old then old.(i) else Vec.create dummy_clause)
+    in
+    s.watches <- a'
+  end;
+  heap_insert s v;
+  v
+
+(* {1 Values and assignment} *)
+
+let value_lit s l = match s.assigns.(l lsr 1) with 0 -> 0 | a -> if l land 1 = 0 then a else a lxor 3
+
+let decision_level s = Vec.size s.trail_lim
+
+(* Make literal [l] true with the given reason. Precondition: unassigned. *)
+let assign s l reason =
+  let v = l lsr 1 in
+  s.assigns.(v) <- (if l land 1 = 0 then 1 else 2);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  s.polarity.(v) <- l land 1 = 0;
+  Vec.push s.trail l
+
+(* Returns false on inconsistency (literal already false). *)
+let enqueue s l reason =
+  match value_lit s l with
+  | 1 -> true
+  | 2 -> false
+  | _ ->
+      assign s l reason;
+      true
+
+let cancel_until s lv =
+  if decision_level s > lv then begin
+    let bound = Vec.get s.trail_lim lv in
+    for i = Vec.size s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = l lsr 1 in
+      s.assigns.(v) <- 0;
+      s.reason.(v) <- dummy_clause;
+      heap_insert s v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim lv;
+    s.qhead <- bound
+  end
+
+(* {1 Activities} *)
+
+let var_decay = 1.0 /. 0.95
+let cla_decay = 1.0 /. 0.999
+
+let bump_var s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  if s.heap_index.(v) >= 0 then sift_up s s.heap_index.(v)
+
+let bump_clause s c =
+  c.cact <- c.cact +. s.cla_inc;
+  if c.cact > 1e20 then begin
+    Vec.iter (fun c -> c.cact <- c.cact *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let decay_activities s =
+  s.var_inc <- s.var_inc *. var_decay;
+  s.cla_inc <- s.cla_inc *. cla_decay
+
+(* {1 Propagation} *)
+
+exception Conflict of clause
+
+let propagate s =
+  try
+    while s.qhead < Vec.size s.trail do
+      let p = Vec.get s.trail s.qhead in
+      s.qhead <- s.qhead + 1;
+      s.propagations <- s.propagations + 1;
+      let false_lit = neg p in
+      let ws = s.watches.(false_lit) in
+      let n = Vec.size ws in
+      let j = ref 0 in
+      (try
+         let i = ref 0 in
+         while !i < n do
+           let c = Vec.get ws !i in
+           incr i;
+           if not c.deleted then begin
+             (* Ensure the false literal is at position 1. *)
+             if c.lits.(0) = false_lit then begin
+               c.lits.(0) <- c.lits.(1);
+               c.lits.(1) <- false_lit
+             end;
+             let first = c.lits.(0) in
+             if value_lit s first = 1 then begin
+               (* Clause satisfied; keep the watch. *)
+               Vec.set ws !j c;
+               incr j
+             end
+             else begin
+               (* Look for a replacement watch. *)
+               let len = Array.length c.lits in
+               let k = ref 2 in
+               while !k < len && value_lit s c.lits.(!k) = 2 do
+                 incr k
+               done;
+               if !k < len then begin
+                 c.lits.(1) <- c.lits.(!k);
+                 c.lits.(!k) <- false_lit;
+                 Vec.push s.watches.(c.lits.(1)) c
+               end
+               else begin
+                 (* Unit or conflicting. *)
+                 Vec.set ws !j c;
+                 incr j;
+                 if not (enqueue s first c) then begin
+                   (* Conflict: keep the remaining watchers and abort. *)
+                   while !i < n do
+                     Vec.set ws !j (Vec.get ws !i);
+                     incr j;
+                     incr i
+                   done;
+                   Vec.shrink ws !j;
+                   raise (Conflict c)
+                 end
+               end
+             end
+           end
+         done;
+         Vec.shrink ws !j
+       with Conflict _ as e -> raise e)
+    done;
+    None
+  with Conflict c -> Some c
+
+(* {1 Conflict analysis (first UIP)} *)
+
+let analyze s confl =
+  let learnt = ref [] in
+  let to_clear = ref [] in
+  let counter = ref 0 in
+  let btlevel = ref 0 in
+  let p = ref (-1) in
+  let confl = ref confl in
+  let idx = ref (Vec.size s.trail - 1) in
+  let continue = ref true in
+  let first = ref true in
+  while !continue do
+    let c = !confl in
+    if c.learnt then bump_clause s c;
+    let start = if !first then 0 else 1 in
+    for j = start to Array.length c.lits - 1 do
+      let q = c.lits.(j) in
+      let v = q lsr 1 in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        to_clear := v :: !to_clear;
+        bump_var s v;
+        if s.level.(v) >= decision_level s then incr counter
+        else begin
+          learnt := q :: !learnt;
+          if s.level.(v) > !btlevel then btlevel := s.level.(v)
+        end
+      end
+    done;
+    (* Walk the trail back to the next marked literal. *)
+    while not s.seen.((Vec.get s.trail !idx) lsr 1) do
+      decr idx
+    done;
+    p := Vec.get s.trail !idx;
+    decr idx;
+    s.seen.(!p lsr 1) <- false;
+    decr counter;
+    first := false;
+    if !counter = 0 then continue := false else confl := s.reason.(!p lsr 1)
+  done;
+  (* Conflict-clause minimization: a literal is redundant when its reason's
+     antecedents are all either at level 0, already in the clause (still
+     marked seen), or recursively redundant. Memoized per variable; the
+     reason graph is acyclic towards earlier trail positions. *)
+  let redundant q =
+    (* Local (non-recursive) check, as in basic MiniSat minimization. *)
+    let c = s.reason.(q lsr 1) in
+    c != dummy_clause
+    && Array.length c.lits > 1
+    &&
+    let ok = ref true in
+    for j = 1 to Array.length c.lits - 1 do
+      let w = c.lits.(j) lsr 1 in
+      if s.level.(w) > 0 && not s.seen.(w) then ok := false
+    done;
+    !ok
+  in
+  let learnt = List.filter (fun q -> not (redundant q)) !learnt in
+  let btlevel =
+    List.fold_left (fun acc q -> max acc s.level.(q lsr 1)) 0 learnt
+  in
+  List.iter (fun v -> s.seen.(v) <- false) !to_clear;
+  (Array.of_list (neg !p :: learnt), btlevel)
+
+(* {1 Clause management} *)
+
+let watch_clause s c =
+  Vec.push s.watches.(c.lits.(0)) c;
+  Vec.push s.watches.(c.lits.(1)) c
+
+let is_locked s c =
+  Array.length c.lits > 0
+  &&
+  let v = c.lits.(0) lsr 1 in
+  s.reason.(v) == c && s.assigns.(v) <> 0
+
+let reduce_db s =
+  (* Remove the less active half of the learnt clauses. *)
+  let arr = Array.init (Vec.size s.learnts) (Vec.get s.learnts) in
+  Array.sort (fun a b -> compare a.cact b.cact) arr;
+  let limit = Array.length arr / 2 in
+  Array.iteri
+    (fun i c ->
+      if i < limit && Array.length c.lits > 2 && not (is_locked s c) then
+        c.deleted <- true)
+    arr;
+  let keep = Array.to_list arr |> List.filter (fun c -> not c.deleted) in
+  Vec.clear s.learnts;
+  List.iter (Vec.push s.learnts) keep
+
+let record_learnt s lits btlevel =
+  cancel_until s btlevel;
+  if Array.length lits = 1 then begin
+    if not (enqueue s lits.(0) dummy_clause) then s.ok <- false
+  end
+  else begin
+    (* Position 1 must hold a literal from the backtrack level so the
+       watches are on the two highest-level literals. *)
+    let best = ref 1 in
+    for k = 2 to Array.length lits - 1 do
+      if s.level.(lits.(!best) lsr 1) < s.level.(lits.(k) lsr 1) then best := k
+    done;
+    let tmp = lits.(1) in
+    lits.(1) <- lits.(!best);
+    lits.(!best) <- tmp;
+    let c = { lits; learnt = true; cact = 0.; deleted = false } in
+    bump_clause s c;
+    watch_clause s c;
+    Vec.push s.learnts c;
+    ignore (enqueue s lits.(0) c)
+  end
+
+let add_clause s lits =
+  if s.ok then begin
+    assert (decision_level s = 0);
+    (* Simplify: drop duplicates and false literals, detect tautologies and
+       satisfied clauses. *)
+    let lits = List.sort_uniq compare lits in
+    let tautology =
+      List.exists (fun l -> List.mem (neg l) lits) lits
+      || List.exists (fun l -> value_lit s l = 1) lits
+    in
+    if not tautology then begin
+      let lits = List.filter (fun l -> value_lit s l <> 2) lits in
+      match lits with
+      | [] -> s.ok <- false
+      | [ l ] -> if not (enqueue s l dummy_clause) then s.ok <- false
+      | _ ->
+          let c =
+            { lits = Array.of_list lits; learnt = false; cact = 0.; deleted = false }
+          in
+          watch_clause s c;
+          Vec.push s.clauses c
+    end
+  end
+
+(* {1 Search} *)
+
+let luby y x =
+  (* Luby restart sequence, as in MiniSat. *)
+  let rec find_size size seq x = if size < x + 1 then find_size ((2 * size) + 1) (seq + 1) x else (size, seq) in
+  let rec go size seq x =
+    if size - 1 = x then Float.pow y (float_of_int seq)
+    else
+      let size = (size - 1) / 2 in
+      let seq = seq - 1 in
+      go size seq (x mod size)
+  in
+  let size, seq = find_size 1 0 x in
+  go size seq x
+
+let decide s =
+  let rec pick () =
+    if s.heap_size = 0 then -1
+    else
+      let v = heap_pop s in
+      if s.assigns.(v) = 0 then v else pick ()
+  in
+  let v = pick () in
+  if v < 0 then false
+  else begin
+    s.decisions <- s.decisions + 1;
+    Vec.push s.trail_lim (Vec.size s.trail);
+    assign s (lit v s.polarity.(v)) dummy_clause;
+    true
+  end
+
+let solve ?(assumptions = []) s =
+  s.model_valid <- false;
+  if not s.ok then Unsat
+  else begin
+    let assumptions = Array.of_list assumptions in
+    let max_learnts = ref (float_of_int (max 1000 (Vec.size s.clauses / 3))) in
+    let restart = ref 0 in
+    let status = ref None in
+    while !status = None do
+      let budget = int_of_float (100. *. luby 2. !restart) in
+      incr restart;
+      let conflict_count = ref 0 in
+      (* One restart period. *)
+      let inner_done = ref false in
+      while (not !inner_done) && !status = None do
+        match propagate s with
+        | Some confl ->
+            s.conflicts <- s.conflicts + 1;
+            incr conflict_count;
+            if decision_level s = 0 then begin
+              s.ok <- false;
+              status := Some Unsat
+            end
+            else begin
+              let learnt, btlevel = analyze s confl in
+              record_learnt s learnt btlevel;
+              decay_activities s;
+              if not s.ok then status := Some Unsat
+            end
+        | None ->
+            if !conflict_count >= budget then begin
+              cancel_until s 0;
+              inner_done := true
+            end
+            else if float_of_int (Vec.size s.learnts) > !max_learnts then begin
+              max_learnts := !max_learnts *. 1.5;
+              reduce_db s
+            end
+            else if decision_level s < Array.length assumptions then begin
+              let p = assumptions.(decision_level s) in
+              match value_lit s p with
+              | 1 ->
+                  (* Already true: open a dummy decision level. *)
+                  Vec.push s.trail_lim (Vec.size s.trail)
+              | 2 -> status := Some Unsat
+              | _ ->
+                  Vec.push s.trail_lim (Vec.size s.trail);
+                  assign s p dummy_clause
+            end
+            else if not (decide s) then begin
+              (* All variables assigned: a model. *)
+              s.model <- Array.init s.nvars (fun v -> s.assigns.(v) = 1);
+              s.model_valid <- true;
+              status := Some Sat
+            end
+      done
+    done;
+    cancel_until s 0;
+    s.qhead <- 0;
+    (match !status with
+    | Some Sat -> ()
+    | _ -> s.model_valid <- false);
+    Option.get !status
+  end
+
+let value s v =
+  if not s.model_valid then failwith "Sat.value: no model available";
+  if v < Array.length s.model then s.model.(v) else false
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d propagations=%d"
+    s.nvars (Vec.size s.clauses) (Vec.size s.learnts) s.conflicts s.decisions
+    s.propagations

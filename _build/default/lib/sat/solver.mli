@@ -1,0 +1,54 @@
+(** A CDCL SAT solver.
+
+    Conflict-driven clause learning in the MiniSat lineage: two-watched-
+    literal propagation, first-UIP conflict analysis, VSIDS variable
+    activities with phase saving, Luby restarts, and activity-based
+    deletion of learned clauses.
+
+    The solver is incremental: clauses and variables may be added between
+    {!solve} calls, and each call may carry a list of assumption literals
+    that hold only for that call — the mechanism {!Bmc} uses to activate
+    per-depth constraints. *)
+
+type t
+
+type lit = private int
+(** A literal; obtain with {!lit} or {!neg}. *)
+
+type result = Sat | Unsat
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable; returns its id (>= 0). *)
+
+val num_vars : t -> int
+
+val lit : int -> bool -> lit
+(** [lit v sign] is [v] when [sign], [¬v] otherwise. *)
+
+val neg : lit -> lit
+val var_of_lit : lit -> int
+val lit_sign : lit -> bool
+
+val add_clause : t -> lit list -> unit
+(** Add a clause. Adding the empty clause (or a clause that simplifies to
+    it) makes the instance permanently unsatisfiable. All variables must
+    have been allocated. *)
+
+val solve : ?assumptions:lit list -> t -> result
+(** Solve under the given assumptions. After [Sat], {!value} reads the
+    model. After [Unsat] under assumptions, the solver remains usable. *)
+
+val value : t -> int -> bool
+(** Model value of a variable after a [Sat] answer. Unconstrained
+    variables read [false]. Raises [Failure] if the last call was not
+    satisfiable. *)
+
+val num_clauses : t -> int
+val num_learnts : t -> int
+val num_conflicts : t -> int
+val num_decisions : t -> int
+val num_propagations : t -> int
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+(* Growable arrays, used for watcher lists and the trail. *)
+
+type 'a t = { mutable data : 'a array; mutable size : int; dummy : 'a }
+
+let create dummy = { data = Array.make 8 dummy; size = 0; dummy }
+let size v = v.size
+let get v i = v.data.(i)
+let set v i x = v.data.(i) <- x
+
+let push v x =
+  if v.size = Array.length v.data then begin
+    let data = Array.make (2 * Array.length v.data) v.dummy in
+    Array.blit v.data 0 data 0 v.size;
+    v.data <- data
+  end;
+  v.data.(v.size) <- x;
+  v.size <- v.size + 1
+
+let pop v =
+  v.size <- v.size - 1;
+  let x = v.data.(v.size) in
+  v.data.(v.size) <- v.dummy;
+  x
+
+let last v = v.data.(v.size - 1)
+
+let shrink v n =
+  for i = n to v.size - 1 do
+    v.data.(i) <- v.dummy
+  done;
+  v.size <- n
+
+let clear v = shrink v 0
+
+let iter f v =
+  for i = 0 to v.size - 1 do
+    f v.data.(i)
+  done
+
+let to_list v =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (v.data.(i) :: acc) in
+  go (v.size - 1) []

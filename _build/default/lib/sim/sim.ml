@@ -1,0 +1,142 @@
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+
+type t = {
+  circuit : Circuit.t;
+  values : Bitvec.t array; (* indexed by Circuit.node_index *)
+  state : (int, Bitvec.t) Hashtbl.t; (* register uid -> current value *)
+  inputs : (string, Bitvec.t ref) Hashtbl.t;
+  mutable dirty : bool; (* inputs changed since last evaluation *)
+  mutable cycle : int;
+  mutable watched : (Signal.t * Bitvec.t list ref) list; (* values latest-first *)
+}
+
+let create circuit =
+  let values =
+    Array.map (fun s -> Bitvec.zero (Signal.width s)) (Circuit.topo circuit)
+  in
+  let state = Hashtbl.create 64 in
+  List.iter
+    (fun r -> Hashtbl.replace state (Signal.uid r) (Signal.reg_of r).Signal.init)
+    (Circuit.regs circuit);
+  let inputs = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace inputs p.Circuit.port_name
+        (ref (Bitvec.zero (Signal.width p.Circuit.signal))))
+    (Circuit.inputs circuit);
+  { circuit; values; state; inputs; dirty = true; cycle = 0; watched = [] }
+
+let circuit t = t.circuit
+
+let reset t =
+  List.iter
+    (fun r -> Hashtbl.replace t.state (Signal.uid r) (Signal.reg_of r).Signal.init)
+    (Circuit.regs t.circuit);
+  Hashtbl.iter (fun _ v -> v := Bitvec.zero (Bitvec.width !v)) t.inputs;
+  t.cycle <- 0;
+  t.dirty <- true;
+  List.iter (fun (_, log) -> log := []) t.watched
+
+let set_input t name v =
+  match Hashtbl.find_opt t.inputs name with
+  | None -> failwith ("Sim.set_input: unknown input " ^ name)
+  | Some r ->
+      if Bitvec.width v <> Bitvec.width !r then
+        failwith
+          (Printf.sprintf "Sim.set_input(%s): width mismatch (%d vs %d)" name
+             (Bitvec.width v) (Bitvec.width !r));
+      r := v;
+      t.dirty <- true
+
+let set_input_int t name n =
+  match Hashtbl.find_opt t.inputs name with
+  | None -> failwith ("Sim.set_input_int: unknown input " ^ name)
+  | Some r -> set_input t name (Bitvec.of_int ~width:(Bitvec.width !r) n)
+
+let eval t =
+  if t.dirty then begin
+    let topo = Circuit.topo t.circuit in
+    Array.iteri
+      (fun i s ->
+        let v =
+          match Signal.op s with
+          | Signal.Const v -> v
+          | Signal.Input n -> !(Hashtbl.find t.inputs n)
+          | Signal.Reg _ -> Hashtbl.find t.state (Signal.uid s)
+          | op ->
+              let arg k =
+                t.values.(Circuit.node_index t.circuit (Signal.args s).(k))
+              in
+              (match op with
+              | Signal.Not -> Bitvec.lognot (arg 0)
+              | Signal.And -> Bitvec.logand (arg 0) (arg 1)
+              | Signal.Or -> Bitvec.logor (arg 0) (arg 1)
+              | Signal.Xor -> Bitvec.logxor (arg 0) (arg 1)
+              | Signal.Add -> Bitvec.add (arg 0) (arg 1)
+              | Signal.Sub -> Bitvec.sub (arg 0) (arg 1)
+              | Signal.Mul -> Bitvec.mul (arg 0) (arg 1)
+              | Signal.Eq -> Bitvec.of_bool (Bitvec.equal (arg 0) (arg 1))
+              | Signal.Ult -> Bitvec.of_bool (Bitvec.ult (arg 0) (arg 1))
+              | Signal.Slt -> Bitvec.of_bool (Bitvec.slt (arg 0) (arg 1))
+              | Signal.Mux -> if Bitvec.bit (arg 0) 0 then arg 1 else arg 2
+              | Signal.Concat ->
+                  Bitvec.concat_list
+                    (Array.to_list (Array.mapi (fun k _ -> arg k) (Signal.args s)))
+              | Signal.Slice (hi, lo) -> Bitvec.extract ~hi ~lo (arg 0)
+              | Signal.Const _ | Signal.Input _ | Signal.Reg _ -> assert false)
+        in
+        t.values.(i) <- v)
+      topo;
+    t.dirty <- false
+  end
+
+let peek t s =
+  eval t;
+  t.values.(Circuit.node_index t.circuit s)
+
+let out t name = peek t (Circuit.find_output t.circuit name)
+let out_int t name = Bitvec.to_int (out t name)
+
+let reg_value t name =
+  Hashtbl.find t.state (Signal.uid (Circuit.find_reg t.circuit name))
+
+let step t =
+  eval t;
+  List.iter
+    (fun (s, log) -> log := t.values.(Circuit.node_index t.circuit s) :: !log)
+    t.watched;
+  (* Read every next value before latching: updates must be simultaneous. *)
+  let updates =
+    List.map
+      (fun r ->
+        let next = Option.get (Signal.reg_of r).Signal.next in
+        (Signal.uid r, t.values.(Circuit.node_index t.circuit next)))
+      (Circuit.regs t.circuit)
+  in
+  List.iter (fun (uid, v) -> Hashtbl.replace t.state uid v) updates;
+  t.cycle <- t.cycle + 1;
+  t.dirty <- true
+
+let cycle t = t.cycle
+
+let watch t signals =
+  t.watched <- t.watched @ List.map (fun s -> (s, ref [])) signals
+
+let waveform t =
+  List.map (fun (s, log) -> (s, Array.of_list (List.rev !log))) t.watched
+
+let pp_waveform fmt t =
+  let wf = waveform t in
+  let label s =
+    match Signal.name s with
+    | Some n -> n
+    | None -> Format.asprintf "%a" Signal.pp s
+  in
+  let width = List.fold_left (fun m (s, _) -> max m (String.length (label s))) 0 wf in
+  List.iter
+    (fun (s, vs) ->
+      Format.fprintf fmt "%-*s |" width (label s);
+      Array.iter (fun v -> Format.fprintf fmt " %s" (Bitvec.to_hex_string v)) vs;
+      Format.fprintf fmt "@.")
+    wf

@@ -1,0 +1,48 @@
+(** Cycle-accurate interpreter for elaborated circuits.
+
+    The usage protocol per cycle is: drive inputs with {!set_input}, read
+    combinational results with {!peek} / {!out} (which evaluate lazily),
+    then {!step} to latch registers and advance time. {!reset} returns all
+    registers to their initial values. *)
+
+type t
+
+val create : Rtl.Circuit.t -> t
+(** A fresh simulator, in reset state, all inputs zero. *)
+
+val circuit : t -> Rtl.Circuit.t
+val reset : t -> unit
+
+val set_input : t -> string -> Bitvec.t -> unit
+(** Raises [Failure] on unknown input or width mismatch. *)
+
+val set_input_int : t -> string -> int -> unit
+
+val peek : t -> Rtl.Signal.t -> Bitvec.t
+(** Combinational value of any node of the circuit in the current cycle,
+    given the currently driven inputs. *)
+
+val out : t -> string -> Bitvec.t
+(** Value of an output port. *)
+
+val out_int : t -> string -> int
+
+val reg_value : t -> string -> Bitvec.t
+(** Current (pre-step) value of a register looked up by name. *)
+
+val step : t -> unit
+(** Latch all registers with their next-state values and advance one
+    cycle. *)
+
+val cycle : t -> int
+(** Number of [step]s since the last reset. *)
+
+val watch : t -> Rtl.Signal.t list -> unit
+(** Record the values of the given signals at every subsequent {!step};
+    used for waveform output. *)
+
+val waveform : t -> (Rtl.Signal.t * Bitvec.t array) list
+(** Recorded values, one array entry per stepped cycle. *)
+
+val pp_waveform : Format.formatter -> t -> unit
+(** Render the recorded waveform as an ASCII table, one signal per row. *)

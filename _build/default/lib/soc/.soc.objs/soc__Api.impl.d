@@ -1,0 +1,1 @@
+lib/soc/api.ml: Duts List Sim

@@ -1,0 +1,1 @@
+lib/soc/api.mli: Duts

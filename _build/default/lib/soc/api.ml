@@ -1,0 +1,89 @@
+let vaddr_array = 0x10
+let array_size = 16
+
+type t = {
+  sim : Sim.t;
+  mutable cycles : int;
+  mutable resp_pending : int option; (* address accepted last cycle *)
+  mutable last_fault : bool;
+}
+
+let create ?config () =
+  let sim = Sim.create (Duts.Maple.create ?config ()) in
+  Sim.set_input_int sim "noc_req_ready" 1;
+  { sim; cycles = 0; resp_pending = None; last_fault = false }
+
+let cycles t = t.cycles
+
+(* The memory model: an identity array at [vaddr_array], zeros
+   elsewhere. *)
+let memory addr =
+  if addr >= vaddr_array && addr < vaddr_array + array_size then addr - vaddr_array
+  else 0
+
+(* Advance one cycle: the memory model turns last cycle's accepted NoC
+   request into this cycle's response. *)
+let step t =
+  (match t.resp_pending with
+  | Some addr ->
+      Sim.set_input_int t.sim "noc_resp_valid" 1;
+      Sim.set_input_int t.sim "noc_resp_data" (memory addr)
+  | None -> Sim.set_input_int t.sim "noc_resp_valid" 0);
+  let accepted =
+    if Sim.out_int t.sim "noc_req_valid" = 1 then
+      Some (Sim.out_int t.sim "noc_req_addr")
+    else None
+  in
+  t.last_fault <- Sim.out_int t.sim "fault" = 1 || t.last_fault;
+  Sim.step t.sim;
+  t.cycles <- t.cycles + 1;
+  t.resp_pending <- accepted
+
+let idle_inputs t =
+  List.iter
+    (fun n -> Sim.set_input_int t.sim n 0)
+    [ "cfg_wen"; "req_valid"; "consume" ]
+
+let cfg_write t addr data =
+  idle_inputs t;
+  Sim.set_input_int t.sim "cfg_wen" 1;
+  Sim.set_input_int t.sim "cfg_addr" addr;
+  Sim.set_input_int t.sim "cfg_wdata" data;
+  step t;
+  idle_inputs t
+
+let dec_init t =
+  cfg_write t Duts.Maple.cfg_cleanup 0;
+  (* Wait for the invalidation FSM to return to idle. *)
+  while Sim.out_int t.sim "inval_idle" = 0 do
+    step t
+  done
+
+let dec_close t = ignore t
+let dec_set_array_base t base = cfg_write t Duts.Maple.cfg_base base
+let dec_set_tlb_enable t en = cfg_write t Duts.Maple.cfg_tlb_en (if en then 1 else 0)
+
+let dec_load_word_async t idx =
+  idle_inputs t;
+  t.last_fault <- false;
+  Sim.set_input_int t.sim "req_valid" 1;
+  Sim.set_input_int t.sim "req_idx" (idx land 0xF);
+  step t;
+  idle_inputs t
+
+let dec_consume_word t =
+  idle_inputs t;
+  let guard = ref 0 in
+  while Sim.out_int t.sim "resp_valid" = 0 && !guard < 100 do
+    step t;
+    incr guard
+  done;
+  if Sim.out_int t.sim "resp_valid" = 0 then
+    failwith "dec_consume_word: no response (request faulted or dropped)";
+  let data = Sim.out_int t.sim "resp_data" in
+  Sim.set_input_int t.sim "consume" 1;
+  step t;
+  idle_inputs t;
+  data
+
+let last_fault t = t.last_fault

@@ -1,0 +1,41 @@
+(** System-level co-simulation of the MAPLE engine.
+
+    This is the Listing 2 substrate: the MAPLE RTL runs in the
+    cycle-accurate simulator against a small memory model (the NoC and
+    memory controller of the OpenPiton setup), and this module exposes the
+    software API the paper's C test uses ([dec_init],
+    [dec_set_array_base], [dec_load_word_async], [dec_consume_word]).
+
+    The memory model serves a 16-entry identity array ([array[i] = i]) at
+    {!vaddr_array}, standing in for the 256-entry [mmap]ed array of the
+    paper's exploit (the model's address space is 8 bits wide, so a
+    nibble rather than a byte is leaked per iteration). *)
+
+type t
+
+val vaddr_array : int
+(** Base virtual address of the spy's identity array. *)
+
+val array_size : int
+
+val create : ?config:Duts.Maple.config -> unit -> t
+val cycles : t -> int
+
+val dec_init : t -> unit
+(** Allocate the engine: runs the cleanup (invalidation) operation and
+    waits for it to complete — the context-switch flush. *)
+
+val dec_close : t -> unit
+(** De-allocate; a no-op in hardware terms, kept for API fidelity. *)
+
+val dec_set_array_base : t -> int -> unit
+val dec_set_tlb_enable : t -> bool -> unit
+
+val dec_load_word_async : t -> int -> unit
+(** Ask MAPLE to fetch [array_base + idx]. *)
+
+val dec_consume_word : t -> int
+(** Block until data is available in the return queue and pop it. *)
+
+val last_fault : t -> bool
+(** Whether the most recent load faulted in the TLB check. *)

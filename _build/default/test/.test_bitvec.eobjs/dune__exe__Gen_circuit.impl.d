@@ -1,0 +1,1 @@
+test/gen_circuit.ml: Bitvec List Printf Random Rtl Sim

@@ -1,0 +1,1 @@
+test/lexer_tokens.ml: Frontend List

@@ -1,0 +1,1 @@
+test/test_autocc.ml: Alcotest Autocc Bmc Filename Format List Option Printf Rtl Sim String Sys

@@ -1,0 +1,1 @@
+test/test_bmc.ml: Alcotest Array Bitvec Bmc List Printf Rtl

@@ -1,0 +1,1 @@
+test/test_cnf.ml: Alcotest Array Bitvec Cnf Fun Gen Gen_circuit List QCheck QCheck_alcotest Random Rtl Sat Sim

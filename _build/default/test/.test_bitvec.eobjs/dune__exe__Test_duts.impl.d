@@ -1,0 +1,1 @@
+test/test_duts.ml: Alcotest Autocc Bitvec Bmc Duts List Printf Rtl Sim String

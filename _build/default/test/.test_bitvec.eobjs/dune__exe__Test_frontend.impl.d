@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Autocc Bitvec Bmc Duts Frontend Gen Gen_circuit Lexer_tokens List QCheck QCheck_alcotest Random Rtl Sim

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Autocc Bitvec Bmc Cnf Duts Filename Fun Gen Hashtbl List Printf QCheck QCheck_alcotest Random Rtl Sat Sim String Sys

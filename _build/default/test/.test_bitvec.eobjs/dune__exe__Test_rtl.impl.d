@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Array Bitvec Format Gen Gen_circuit List Printf QCheck QCheck_alcotest Random Rtl Sim String

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Gen List QCheck QCheck_alcotest Random Sat

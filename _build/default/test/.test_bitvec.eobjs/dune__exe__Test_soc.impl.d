@@ -1,0 +1,1 @@
+test/test_soc.ml: Alcotest Autocc Baseline Bmc Duts List Printf Rtl Soc

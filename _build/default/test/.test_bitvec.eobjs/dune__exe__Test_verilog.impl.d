@@ -1,0 +1,1 @@
+test/test_verilog.ml: Alcotest Array Autocc Buffer Duts Filename Hashtbl List Printf Rtl String Sys

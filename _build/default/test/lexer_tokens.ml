@@ -1,0 +1,6 @@
+(* Small helper for the lexer tests: render a token stream as strings. *)
+
+exception Error = Frontend.Lexer.Lex_error
+
+let of_string src =
+  List.map (fun (t, _) -> Frontend.Lexer.pp_token t) (Frontend.Lexer.tokenize src)

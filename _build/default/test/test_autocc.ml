@@ -1,0 +1,426 @@
+(* End-to-end tests of the AutoCC methodology on purpose-built DUTs with
+   known covert channels: FT generation, CEX discovery, root-cause state
+   diffing, transactions, common inputs, blackboxing, flush
+   instrumentation, and the two flush-synthesis algorithms. *)
+
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+open Signal
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* A DUT with a classic hidden-state covert channel: [stash] captures
+   input data on demand and is never flushed; the output reveals whether a
+   later query matches the stashed value. *)
+let leaky_dut () =
+  let din = input "din" 4 in
+  let capture = input "capture" 1 in
+  let query = input "query" 4 in
+  let stash = reg "stash" 4 in
+  reg_set_next stash (mux2 capture din stash);
+  Circuit.create ~name:"leaky"
+    ~outputs:[ ("hit", query ==: stash) ]
+    ()
+
+(* The same DUT with a flush input that clears the stash. *)
+let fixed_dut () = Autocc.Flush.instrument ~regs:[ "stash" ] (leaky_dut ())
+
+let find_cex ?(threshold = 2) ?(max_depth = 12) ?arch_regs ?common ?blackbox ?flush_done dut =
+  let ft = Autocc.Ft.generate ~threshold ?arch_regs ?common ?blackbox ?flush_done dut in
+  (ft, Autocc.Ft.check ~max_depth ft)
+
+let test_leak_found () =
+  let ft, outcome = find_cex (leaky_dut ()) in
+  match outcome with
+  | Bmc.Bounded_proof _ -> Alcotest.fail "expected a covert-channel CEX"
+  | Bmc.Cex (cex, _) ->
+      Alcotest.(check (list string)) "output assertion fails"
+        [ "as__hit_eq" ] cex.Bmc.cex_failed;
+      (* Root cause: the stash registers differ when spy mode begins. *)
+      (match Autocc.Ft.spy_start_cycle ft cex with
+      | None -> Alcotest.fail "spy mode must be reached"
+      | Some cycle ->
+          let diffs = Autocc.Ft.state_diff ft cex ~cycle in
+          Alcotest.(check bool) "stash differs" true
+            (List.exists (fun (n, _, _) -> n = "stash") diffs));
+      (* The summary mentions the culprit. *)
+      let s = Autocc.Report.summary ft cex in
+      Alcotest.(check bool) "summary names stash" true (contains s "stash")
+
+let test_flush_fixes_leak () =
+  let dut = fixed_dut () in
+  let _, outcome =
+    find_cex ~flush_done:(Autocc.Flush.flush_done_of_input ()) dut
+  in
+  match outcome with
+  | Bmc.Bounded_proof stats ->
+      Alcotest.(check bool) "reasonable depth" true (stats.Bmc.depth_reached >= 10)
+  | Bmc.Cex (cex, _) ->
+      Alcotest.failf "leak should be closed, got CEX at depth %d" cex.Bmc.cex_depth
+
+let test_flush_instrument_sim () =
+  (* The instrumented flush behaves in simulation. *)
+  let dut = fixed_dut () in
+  let s = Sim.create dut in
+  Sim.set_input_int s "capture" 1;
+  Sim.set_input_int s "din" 9;
+  Sim.step s;
+  Sim.set_input_int s "capture" 0;
+  Sim.set_input_int s "query" 9;
+  Alcotest.(check int) "stashed" 1 (Sim.out_int s "hit");
+  Sim.set_input_int s "flush" 1;
+  Sim.step s;
+  Sim.set_input_int s "flush" 0;
+  Alcotest.(check int) "flushed" 0 (Sim.out_int s "hit")
+
+(* Architectural state: a register the OS swaps (e.g. the register file)
+   must be excluded by adding it to architectural_state_eq, otherwise it
+   shows up as a spurious CEX — this mirrors Vscale CEX V1. *)
+let arch_dut () =
+  let din = input "din" 4 in
+  let wen = input "wen" 1 in
+  let jump = input "jump" 1 in
+  let rf = reg "regfile" 4 in
+  reg_set_next rf (mux2 wen din rf);
+  (* The register is observable only on a jump — like V1's jump to an
+     address read from the register file. *)
+  Circuit.create ~name:"archy" ~outputs:[ ("pc", mux2 jump rf (zero 4)) ] ()
+
+let test_arch_refinement () =
+  (* Without refinement: CEX blaming the register file. *)
+  (let ft, outcome = find_cex (arch_dut ()) in
+   match outcome with
+   | Bmc.Bounded_proof _ -> Alcotest.fail "default FT must report the regfile"
+   | Bmc.Cex (cex, _) ->
+       let cycle = Option.get (Autocc.Ft.spy_start_cycle ft cex) in
+       Alcotest.(check bool) "regfile blamed" true
+         (List.exists
+            (fun (n, _, _) -> n = "regfile")
+            (Autocc.Ft.state_diff ft cex ~cycle)));
+  (* With the regfile declared architectural: proof. *)
+  let _, outcome = find_cex ~arch_regs:[ "regfile" ] (arch_dut ()) in
+  match outcome with
+  | Bmc.Bounded_proof _ -> ()
+  | Bmc.Cex _ -> Alcotest.fail "arch_regs refinement should close the CEX"
+
+(* Common inputs: a debug input forwarded to an output is a false channel
+   unless shared between universes. *)
+let debug_dut () =
+  let dbg = input "debug" 4 in
+  let q = reg "q" 4 in
+  reg_set_next q q;
+  Circuit.create ~name:"dbg" ~outputs:[ ("out", dbg +: q) ] ()
+
+let test_common_inputs () =
+  (let _, outcome = find_cex (debug_dut ()) in
+   match outcome with
+   | Bmc.Cex _ -> Alcotest.fail "duplicated debug inputs are assumed equal in spy mode"
+   | Bmc.Bounded_proof _ -> ());
+  let _, outcome = find_cex ~common:[ "debug" ] (debug_dut ()) in
+  match outcome with
+  | Bmc.Bounded_proof _ -> ()
+  | Bmc.Cex _ -> Alcotest.fail "common debug input cannot leak"
+
+(* Transactions: an accumulator exposed only under a valid response. With
+   the transaction annotation the channel is found; without it the FT is
+   overconstrained (strict payload equality blocks the transfer period)
+   and the channel is masked — the overconstraint pitfall of Sec. 3.3. *)
+let tx_dut ~annotate () =
+  let req = input "req" 1 in
+  let din = input "din" 4 in
+  let acc = reg "acc" 4 in
+  let resp_valid = reg "resp_valid" 1 in
+  let resp_data = reg "resp_data" 4 in
+  reg_set_next acc (mux2 req (acc +: din) acc);
+  reg_set_next resp_valid req;
+  reg_set_next resp_data (mux2 req (acc +: din) resp_data);
+  let out_tx =
+    if annotate then
+      [ { Circuit.tx_name = "resp"; valid = "resp_valid"; payloads = [ "resp_data" ] } ]
+    else []
+  in
+  Circuit.create ~name:"txdut" ~out_tx
+    ~outputs:[ ("resp_valid", resp_valid); ("resp_data", resp_data) ]
+    ()
+
+let test_transactions () =
+  (let _, outcome = find_cex (tx_dut ~annotate:true ()) in
+   match outcome with
+   | Bmc.Cex (cex, _) ->
+       Alcotest.(check bool) "payload assertion fails" true
+         (List.mem "as__resp_data_eq" cex.Bmc.cex_failed
+         || List.mem "as__resp_valid_eq" cex.Bmc.cex_failed)
+   | Bmc.Bounded_proof _ -> Alcotest.fail "annotated FT must find the accumulator channel");
+  let _, outcome = find_cex ~max_depth:8 (tx_dut ~annotate:false ()) in
+  match outcome with
+  | Bmc.Bounded_proof _ -> ()
+  | Bmc.Cex _ ->
+      Alcotest.fail "without the annotation the strict FT is overconstrained"
+
+(* Blackboxing: a CSR-like submodule holds state; cutting its boundary
+   removes that state from the DUT and replaces it with interface
+   assumptions/assertions. *)
+let csr_dut () =
+  let wen = input "csr_wen" 1 in
+  let wdata = input "csr_wdata" 4 in
+  let sel = input "sel" 1 in
+  let csr = reg "csr_data" 4 in
+  reg_set_next csr (mux2 wen wdata csr);
+  let rdata = csr +: one 4 in
+  let dout = mux2 sel rdata (zero 4) in
+  Circuit.create ~name:"csrdut"
+    ~boundaries:
+      [
+        {
+          Circuit.bnd_name = "csr";
+          bnd_outputs = [ ("rdata", rdata) ];
+          bnd_inputs = [ ("wen", wen); ("wdata", wdata) ];
+        };
+      ]
+    ~outputs:[ ("dout", dout) ]
+    ()
+
+let test_blackbox () =
+  (let ft, outcome = find_cex (csr_dut ()) in
+   ignore ft;
+   match outcome with
+   | Bmc.Cex _ -> ()
+   | Bmc.Bounded_proof _ -> Alcotest.fail "CSR state must leak without blackboxing");
+  let ft, outcome = find_cex ~blackbox:[ "csr" ] (csr_dut ()) in
+  (match outcome with
+  | Bmc.Bounded_proof _ -> ()
+  | Bmc.Cex _ -> Alcotest.fail "blackboxed CSR leaves no state to leak");
+  (* The blackboxed DUT exposes the boundary wires as interface ports. *)
+  let names = List.map (fun p -> p.Circuit.port_name) (Circuit.inputs ft.Autocc.Ft.dut) in
+  Alcotest.(check bool) "bb input present" true (List.mem "bb_csr_rdata" names);
+  let onames = List.map (fun p -> p.Circuit.port_name) (Circuit.outputs ft.Autocc.Ft.dut) in
+  Alcotest.(check bool) "bb outputs present" true
+    (List.mem "bb_csr_wen" onames && List.mem "bb_csr_wdata" onames)
+
+(* Flush synthesis on a DUT with two independent leaky registers and one
+   benign register. *)
+let two_leak_dut () =
+  let din = input "din" 4 in
+  let cap1 = input "cap1" 1 in
+  let cap2 = input "cap2" 1 in
+  let query = input "query" 4 in
+  let stash1 = reg "stash1" 4 in
+  let stash2 = reg "stash2" 4 in
+  let benign = reg "benign" 4 in
+  reg_set_next stash1 (mux2 cap1 din stash1);
+  reg_set_next stash2 (mux2 cap2 din stash2);
+  (* A free-running counter: identical in both universes, never leaks. *)
+  reg_set_next benign (benign +: one 4);
+  Circuit.create ~name:"twoleak"
+    ~outputs:[ ("hit1", query ==: stash1); ("hit2", query ==: stash2) ]
+    ()
+
+let test_incremental_synthesis () =
+  let result =
+    Autocc.Synthesis.incremental ~max_depth:10 ~threshold:2
+      ~candidates:[ "stash1"; "stash2"; "benign" ]
+      (two_leak_dut ())
+  in
+  Alcotest.(check bool) "proved" true result.Autocc.Synthesis.proved;
+  Alcotest.(check (list string)) "flush set"
+    [ "stash1"; "stash2" ]
+    (List.sort compare result.Autocc.Synthesis.flush_set);
+  Alcotest.(check bool) "took one CEX per leak" true
+    (List.length result.Autocc.Synthesis.steps >= 3)
+
+let test_decremental_synthesis () =
+  let result =
+    Autocc.Synthesis.decremental ~max_depth:10 ~threshold:2
+      ~candidates:[ "benign"; "stash1"; "stash2" ]
+      (two_leak_dut ())
+  in
+  Alcotest.(check bool) "proved" true result.Autocc.Synthesis.proved;
+  Alcotest.(check (list string)) "minimal flush set"
+    [ "stash1"; "stash2" ]
+    (List.sort compare result.Autocc.Synthesis.flush_set)
+
+(* Legal-input assumptions (Sec. 3.4): a protocol monitor flags a
+   response that arrives with no outstanding request; without an
+   environment assumption this spurious behaviour produces a CEX, with it
+   the FT proves. *)
+let protocol_dut () =
+  let req = input "req" 1 in
+  let resp = input "resp" 1 in
+  let status_query = input "status_query" 1 in
+  let pending = reg "pending" 1 in
+  let err = reg "err" 1 in
+  reg_set_next pending (mux2 req vdd (mux2 resp gnd pending));
+  reg_set_next err (err |: (resp &: ~:pending));
+  Circuit.create ~name:"protocol"
+    ~outputs:[ ("status", mux2 status_query err gnd) ]
+    ()
+
+let test_legal_input_assumptions () =
+  (let _, outcome = find_cex (protocol_dut ()) in
+   match outcome with
+   | Bmc.Cex (cex, _) ->
+       Alcotest.(check (list string)) "spurious CEX from illegal input"
+         [ "as__status_eq" ] cex.Bmc.cex_failed
+   | Bmc.Bounded_proof _ -> Alcotest.fail "unconstrained environment must look leaky");
+  let legal dut map_a map_b =
+    (* No response without an outstanding request, in either universe. *)
+    let resp = Circuit.find_input dut "resp" in
+    let pending = Circuit.find_reg dut "pending" in
+    let ok m = ~:(m resp) |: m pending in
+    [ ok map_a; ok map_b ]
+  in
+  let ft = Autocc.Ft.generate ~threshold:2 ~assumes:legal (protocol_dut ()) in
+  match Autocc.Ft.check ~max_depth:10 ft with
+  | Bmc.Bounded_proof _ -> ()
+  | Bmc.Cex _ -> Alcotest.fail "legal-input assumption should remove the spurious CEX"
+
+(* Flush-start synchronization (Sec. 3.2): a flush whose latency depends
+   on prior execution is invisible with end-sync and a CEX with
+   start-sync. *)
+let latency_dut ~pad () =
+  let start = input "start" 1 in
+  let load = input "load" 1 in
+  let level = reg "level" 2 in
+  let busy_cnt = reg "busy_cnt" 2 in
+  let busy = busy_cnt >: zero 2 in
+  (* Victim work accumulates [level]; the flush takes 1 + level cycles
+     (or always the worst case when padded) and resets it. *)
+  reg_set_next level
+    (mux2 busy (zero 2)
+       (mux2 (load &: (level <: of_int ~width:2 2)) (level +: one 2) level));
+  reg_set_next busy_cnt
+    (mux2 (start &: ~:busy)
+       (if pad then of_int ~width:2 3 else one 2 +: level)
+       (mux2 busy (busy_cnt -: one 2) busy_cnt));
+  Circuit.create ~name:"latency" ~outputs:[ ("busy", busy) ] ()
+
+let flush_edge ~rising dut map_a map_b =
+  let busy = Circuit.find_output dut "busy" in
+  let edge m =
+    let prev = reg (Printf.sprintf "prev_busy_%d" (Signal.uid (m busy))) 1 in
+    reg_set_next prev (m busy);
+    if rising then m busy &: ~:prev else prev &: ~:(m busy)
+  in
+  edge map_a &: edge map_b
+
+let test_flush_start_sync () =
+  (* End-sync: the latency difference is absorbed before the spy runs. *)
+  (let ft =
+     Autocc.Ft.generate ~threshold:2 ~flush_done:(flush_edge ~rising:false)
+       (latency_dut ~pad:false ())
+   in
+   match Autocc.Ft.check ~max_depth:12 ft with
+   | Bmc.Bounded_proof _ -> ()
+   | Bmc.Cex _ -> Alcotest.fail "end-sync is blind to flush latency");
+  (* Start-sync: the modulated latency is a covert channel. *)
+  (let ft =
+     Autocc.Ft.generate ~threshold:2 ~sync:Autocc.Ft.Flush_start
+       ~flush_done:(flush_edge ~rising:true)
+       (latency_dut ~pad:false ())
+   in
+   match Autocc.Ft.check ~max_depth:12 ft with
+   | Bmc.Cex (cex, _) ->
+       Alcotest.(check (list string)) "busy timing leaks" [ "as__busy_eq" ]
+         cex.Bmc.cex_failed
+   | Bmc.Bounded_proof _ -> Alcotest.fail "start-sync must expose the latency channel");
+  (* Worst-case padding closes it. *)
+  let ft =
+    Autocc.Ft.generate ~threshold:2 ~sync:Autocc.Ft.Flush_start
+      ~flush_done:(flush_edge ~rising:true)
+      (latency_dut ~pad:true ())
+  in
+  match Autocc.Ft.check ~max_depth:12 ft with
+  | Bmc.Bounded_proof _ -> ()
+  | Bmc.Cex _ -> Alcotest.fail "padding should close the latency channel"
+
+let test_vcd_dump () =
+  let ft, outcome = find_cex (leaky_dut ()) in
+  match outcome with
+  | Bmc.Cex (cex, _) ->
+      let path = Filename.temp_file "autocc" ".vcd" in
+      Autocc.Report.dump_vcd ~path ft cex;
+      let ic = open_in path in
+      let first = input_line ic in
+      let lines = ref 1 in
+      (try
+         while true do
+           ignore (input_line ic);
+           incr lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Sys.remove path;
+      Alcotest.(check bool) "vcd header" true (String.length first > 5 && String.sub first 0 5 = "$date");
+      Alcotest.(check bool) "has content" true (!lines > 15)
+  | Bmc.Bounded_proof _ -> Alcotest.fail "expected CEX"
+
+let test_blackbox_two_boundaries () =
+  (* Two independent stash submodules; cutting one leaves the other's
+     channel findable, cutting both proves. *)
+  let two_unit_dut () =
+    let mk tag =
+      let din = input (tag ^ "_din") 4 in
+      let cap = input (tag ^ "_cap") 1 in
+      let query = input (tag ^ "_query") 4 in
+      let stash = reg (tag ^ "_stash") 4 in
+      reg_set_next stash (mux2 cap din stash);
+      let hit = query ==: stash in
+      ( hit,
+        {
+          Circuit.bnd_name = tag;
+          bnd_outputs = [ ("hit", hit) ];
+          bnd_inputs = [ ("din", din); ("cap", cap); ("query", query) ];
+        } )
+    in
+    let hit_a, bnd_a = mk "ua" in
+    let hit_b, bnd_b = mk "ub" in
+    Circuit.create ~name:"two_units"
+      ~boundaries:[ bnd_a; bnd_b ]
+      ~outputs:[ ("hit_a", hit_a); ("hit_b", hit_b) ]
+      ()
+  in
+  (match find_cex ~blackbox:[ "ua" ] (two_unit_dut ()) with
+  | ft, Bmc.Cex (cex, _) ->
+      let cycle = Option.get (Autocc.Ft.spy_start_cycle ft cex) in
+      Alcotest.(check bool) "remaining channel is ub's" true
+        (List.exists (fun (n, _, _) -> n = "ub_stash") (Autocc.Ft.state_diff ft cex ~cycle))
+  | _, Bmc.Bounded_proof _ -> Alcotest.fail "ub's channel must remain");
+  match find_cex ~blackbox:[ "ua"; "ub" ] (two_unit_dut ()) with
+  | _, Bmc.Bounded_proof _ -> ()
+  | _, Bmc.Cex _ -> Alcotest.fail "both cut: no state left"
+
+let test_report_renders () =
+  let ft, outcome = find_cex (leaky_dut ()) in
+  match outcome with
+  | Bmc.Cex (cex, _) ->
+      let text = Format.asprintf "%a" (fun fmt -> Autocc.Report.explain fmt ft) cex in
+      Alcotest.(check bool) "mentions spy" true (contains text "Spy process begins")
+  | Bmc.Bounded_proof _ -> Alcotest.fail "expected CEX"
+
+let () =
+  Alcotest.run "autocc"
+    [
+      ( "methodology",
+        [
+          Alcotest.test_case "finds hidden-state channel" `Quick test_leak_found;
+          Alcotest.test_case "flush closes channel" `Quick test_flush_fixes_leak;
+          Alcotest.test_case "flush works in sim" `Quick test_flush_instrument_sim;
+          Alcotest.test_case "arch-state refinement" `Quick test_arch_refinement;
+          Alcotest.test_case "common inputs" `Quick test_common_inputs;
+          Alcotest.test_case "transactions" `Quick test_transactions;
+          Alcotest.test_case "blackboxing" `Quick test_blackbox;
+          Alcotest.test_case "two boundaries" `Quick test_blackbox_two_boundaries;
+          Alcotest.test_case "report rendering" `Quick test_report_renders;
+          Alcotest.test_case "legal-input assumptions" `Quick test_legal_input_assumptions;
+          Alcotest.test_case "flush-start sync (latency)" `Quick test_flush_start_sync;
+          Alcotest.test_case "vcd dump" `Quick test_vcd_dump;
+        ] );
+      ( "synthesis",
+        [
+          Alcotest.test_case "algorithm 1 (incremental)" `Quick test_incremental_synthesis;
+          Alcotest.test_case "algorithm 2 (decremental)" `Quick test_decremental_synthesis;
+        ] );
+    ]

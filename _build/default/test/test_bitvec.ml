@@ -1,0 +1,140 @@
+(* Unit and property tests for the Bitvec module. Properties compare the
+   limb-based implementation against plain OCaml int arithmetic at widths
+   <= 30, where int arithmetic is exact. *)
+
+let bv = Alcotest.testable Bitvec.pp Bitvec.equal
+
+let test_construct () =
+  Alcotest.(check int) "width zero" 8 (Bitvec.width (Bitvec.zero 8));
+  Alcotest.(check int) "of_int value" 0xAB (Bitvec.to_int (Bitvec.of_int ~width:8 0xAB));
+  Alcotest.(check int) "of_int truncates" 0x34 (Bitvec.to_int (Bitvec.of_int ~width:8 0x1234));
+  Alcotest.(check int) "negative of_int" 0xFF (Bitvec.to_int (Bitvec.of_int ~width:8 (-1)));
+  Alcotest.check bv "ones = of_int -1" (Bitvec.ones 13) (Bitvec.of_int ~width:13 (-1));
+  Alcotest.(check bool) "raise on width 0"
+    true
+    (try ignore (Bitvec.zero 0); false with Invalid_argument _ -> true)
+
+let test_wide () =
+  (* Widths that span several limbs. *)
+  let v = Bitvec.ones 100 in
+  Alcotest.(check int) "width 100" 100 (Bitvec.width v);
+  Alcotest.(check bool) "is_ones" true (Bitvec.is_ones v);
+  Alcotest.(check bool) "reduce_and" true (Bitvec.reduce_and v);
+  let v' = Bitvec.logxor v v in
+  Alcotest.(check bool) "xor self is zero" true (Bitvec.is_zero v');
+  let x = Bitvec.shift_left (Bitvec.one 100) 99 in
+  Alcotest.(check bool) "msb set" true (Bitvec.bit x 99);
+  Alcotest.(check bool) "to_int overflow raises" true
+    (try ignore (Bitvec.to_int x); false with Invalid_argument _ -> true);
+  Alcotest.check bv "add wraps" (Bitvec.zero 100) (Bitvec.add (Bitvec.ones 100) (Bitvec.one 100))
+
+let test_strings () =
+  Alcotest.(check int) "binary parse" 0b1010 (Bitvec.to_int (Bitvec.of_binary_string "1010"));
+  Alcotest.(check string) "binary print" "1010" (Bitvec.to_binary_string (Bitvec.of_int ~width:4 10));
+  Alcotest.(check int) "hex parse" 0xdeadbeef
+    (Bitvec.to_int (Bitvec.of_hex_string ~width:32 "dead_beef"));
+  Alcotest.(check string) "hex print" "deadbeef"
+    (Bitvec.to_hex_string (Bitvec.of_int ~width:32 0xdeadbeef));
+  Alcotest.(check string) "hex print pads" "0f" (Bitvec.to_hex_string (Bitvec.of_int ~width:8 15))
+
+let test_extract_concat () =
+  let v = Bitvec.of_int ~width:16 0xABCD in
+  Alcotest.(check int) "low byte" 0xCD (Bitvec.to_int (Bitvec.extract ~hi:7 ~lo:0 v));
+  Alcotest.(check int) "high nibble" 0xA (Bitvec.to_int (Bitvec.extract ~hi:15 ~lo:12 v));
+  let hi = Bitvec.of_int ~width:8 0xAB and lo = Bitvec.of_int ~width:8 0xCD in
+  Alcotest.check bv "concat" v (Bitvec.concat hi lo);
+  Alcotest.check bv "concat_list" v (Bitvec.concat_list [ hi; lo ]);
+  Alcotest.(check int) "repeat" 0b101010
+    (Bitvec.to_int (Bitvec.repeat (Bitvec.of_binary_string "10") 3))
+
+let test_signed () =
+  Alcotest.(check int) "to_signed -1" (-1) (Bitvec.to_signed_int (Bitvec.ones 8));
+  Alcotest.(check int) "to_signed min" (-128) (Bitvec.to_signed_int (Bitvec.of_int ~width:8 0x80));
+  Alcotest.(check bool) "slt neg < pos" true
+    (Bitvec.slt (Bitvec.of_int ~width:8 (-3)) (Bitvec.of_int ~width:8 5));
+  Alcotest.(check bool) "ult as unsigned" false
+    (Bitvec.ult (Bitvec.of_int ~width:8 (-3)) (Bitvec.of_int ~width:8 5));
+  Alcotest.check bv "sign_extend" (Bitvec.of_int ~width:16 (-3))
+    (Bitvec.sign_extend (Bitvec.of_int ~width:8 (-3)) 16);
+  Alcotest.check bv "zero_extend" (Bitvec.of_int ~width:16 0xFD)
+    (Bitvec.zero_extend (Bitvec.of_int ~width:8 (-3)) 16)
+
+let test_width_mismatch () =
+  let a = Bitvec.zero 8 and b = Bitvec.zero 9 in
+  List.iter
+    (fun (name, f) ->
+      Alcotest.(check bool) name true
+        (try ignore (f a b); false with Invalid_argument _ -> true))
+    [ ("add", Bitvec.add); ("logand", Bitvec.logand); ("mul", Bitvec.mul) ]
+
+(* Property tests against exact int arithmetic at small widths. *)
+
+let arb_pair =
+  QCheck.make
+    ~print:(fun (w, a, b) -> Printf.sprintf "w=%d a=%d b=%d" w a b)
+    QCheck.Gen.(
+      int_range 1 30 >>= fun w ->
+      let m = (1 lsl w) - 1 in
+      pair (int_bound m) (int_bound m) >>= fun (a, b) -> return (w, a, b))
+
+let mask w n = n land ((1 lsl w) - 1)
+
+let prop name f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:500 ~name arb_pair f)
+
+let props =
+  [
+    prop "add matches int" (fun (w, a, b) ->
+        Bitvec.to_int (Bitvec.add (Bitvec.of_int ~width:w a) (Bitvec.of_int ~width:w b))
+        = mask w (a + b));
+    prop "sub matches int" (fun (w, a, b) ->
+        Bitvec.to_int (Bitvec.sub (Bitvec.of_int ~width:w a) (Bitvec.of_int ~width:w b))
+        = mask w (a - b));
+    prop "mul matches int" (fun (w, a, b) ->
+        Bitvec.to_int (Bitvec.mul (Bitvec.of_int ~width:w a) (Bitvec.of_int ~width:w b))
+        = mask w (a * b));
+    prop "logic matches int" (fun (w, a, b) ->
+        let va = Bitvec.of_int ~width:w a and vb = Bitvec.of_int ~width:w b in
+        Bitvec.to_int (Bitvec.logand va vb) = a land b
+        && Bitvec.to_int (Bitvec.logor va vb) = a lor b
+        && Bitvec.to_int (Bitvec.logxor va vb) = a lxor b
+        && Bitvec.to_int (Bitvec.lognot va) = mask w (lnot a));
+    prop "compare matches int" (fun (w, a, b) ->
+        let va = Bitvec.of_int ~width:w a and vb = Bitvec.of_int ~width:w b in
+        Bitvec.ult va vb = (a < b) && Bitvec.equal va vb = (a = b));
+    prop "string roundtrip" (fun (w, a, _) ->
+        let v = Bitvec.of_int ~width:w a in
+        Bitvec.equal v (Bitvec.of_binary_string (Bitvec.to_binary_string v))
+        && Bitvec.equal v (Bitvec.of_hex_string ~width:w (Bitvec.to_hex_string v)));
+    prop "bits roundtrip" (fun (w, a, _) ->
+        let v = Bitvec.of_int ~width:w a in
+        Bitvec.equal v (Bitvec.of_bits (Bitvec.to_bits v)));
+    prop "shifts match int" (fun (w, a, b) ->
+        let k = b mod (w + 2) in
+        let v = Bitvec.of_int ~width:w a in
+        Bitvec.to_int (Bitvec.shift_left v k) = mask w (if k > 62 then 0 else a lsl k)
+        && Bitvec.to_int (Bitvec.shift_right_logical v k) = (a lsr min k 62));
+    prop "neg is two's complement" (fun (w, a, _) ->
+        Bitvec.to_int (Bitvec.neg (Bitvec.of_int ~width:w a)) = mask w (-a));
+    prop "reduce ops" (fun (w, a, _) ->
+        let v = Bitvec.of_int ~width:w a in
+        Bitvec.reduce_or v = (a <> 0)
+        && Bitvec.reduce_and v = (a = mask w (-1))
+        && Bitvec.reduce_xor v
+           = (let rec pop n = if n = 0 then 0 else (n land 1) + pop (n lsr 1) in
+              pop a mod 2 = 1));
+  ]
+
+let () =
+  Alcotest.run "bitvec"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "construct" `Quick test_construct;
+          Alcotest.test_case "wide" `Quick test_wide;
+          Alcotest.test_case "strings" `Quick test_strings;
+          Alcotest.test_case "extract/concat" `Quick test_extract_concat;
+          Alcotest.test_case "signed" `Quick test_signed;
+          Alcotest.test_case "width mismatch" `Quick test_width_mismatch;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,142 @@
+(* Differential testing of the bit-blaster: for random circuits and random
+   input traces, the SAT model obtained by pinning the inputs must agree
+   with the interpreter on every output at every cycle. This exercises
+   every operator encoding through multiple unrolled cycles (register
+   chaining included). *)
+
+module S = Sat.Solver
+
+let pin_inputs blaster cycle assignments =
+  let circuit = Cnf.Blast.circuit blaster in
+  List.iter
+    (fun (name, v) ->
+      match
+        List.find_opt (fun p -> p.Rtl.Circuit.port_name = name) (Rtl.Circuit.inputs circuit)
+      with
+      | None -> ()
+      | Some p ->
+          let ls = Cnf.Blast.lits blaster ~cycle p.Rtl.Circuit.signal in
+          Array.iteri
+            (fun i l ->
+              let want = Bitvec.bit v i in
+              S.add_clause (Cnf.Blast.solver blaster) [ (if want then l else S.neg l) ])
+            ls)
+    assignments
+
+let prop_blast_matches_sim seed =
+  let st = Random.State.make [| seed |] in
+  let circuit = Gen_circuit.random_circuit st ~num_nodes:30 ~num_regs:3 in
+  let cycles = 1 + Random.State.int st 6 in
+  let trace = List.init cycles (fun _ -> Gen_circuit.random_inputs st) in
+  (* Simulator reference. *)
+  let sim = Sim.create circuit in
+  let expected = Gen_circuit.run_outputs sim trace in
+  (* SAT model. *)
+  let solver = S.create () in
+  let blaster = Cnf.Blast.create solver circuit in
+  List.iteri
+    (fun cycle assignments ->
+      Cnf.Blast.unroll_cycle blaster;
+      pin_inputs blaster cycle assignments)
+    trace;
+  match S.solve solver with
+  | S.Unsat -> false
+  | S.Sat ->
+      List.for_all2
+        (fun cycle outs ->
+          List.for_all
+            (fun (name, v) ->
+              let got =
+                Cnf.Blast.node_value blaster ~cycle
+                  (Rtl.Circuit.find_output circuit name)
+              in
+              Bitvec.equal got v)
+            outs)
+        (List.init cycles Fun.id)
+        expected
+
+let test_constant_bits () =
+  (* Constants must not allocate solver variables beyond the reserved
+     true literal. *)
+  let open Rtl.Signal in
+  let c =
+    Rtl.Circuit.create ~name:"konst"
+      ~outputs:[ ("o", of_int ~width:8 0xA5 +: of_int ~width:8 0x01) ]
+      ()
+  in
+  let solver = S.create () in
+  let blaster = Cnf.Blast.create solver c in
+  Cnf.Blast.unroll_cycle blaster;
+  (match S.solve solver with
+  | S.Sat ->
+      Alcotest.(check int) "constant value" 0xA6
+        (Bitvec.to_int (Cnf.Blast.node_value blaster ~cycle:0 (Rtl.Circuit.find_output c "o")))
+  | S.Unsat -> Alcotest.fail "unsat on constant circuit");
+  Alcotest.(check int) "only the reserved var" 1 (S.num_vars solver)
+
+let test_register_chain () =
+  (* A register pipeline delays its input by its length. *)
+  let open Rtl.Signal in
+  let d = input "d" 4 in
+  let r1 = reg "r1" 4 and r2 = reg "r2" 4 in
+  reg_set_next r1 d;
+  reg_set_next r2 r1;
+  let c = Rtl.Circuit.create ~name:"pipe" ~outputs:[ ("q", r2) ] () in
+  let solver = S.create () in
+  let blaster = Cnf.Blast.create solver c in
+  for _ = 0 to 3 do
+    Cnf.Blast.unroll_cycle blaster
+  done;
+  (* Pin d at each cycle to the cycle number + 3. *)
+  for cyc = 0 to 3 do
+    pin_inputs blaster cyc [ ("d", Bitvec.of_int ~width:4 (cyc + 3)) ]
+  done;
+  (match S.solve solver with
+  | S.Sat ->
+      let q cyc =
+        Bitvec.to_int (Cnf.Blast.node_value blaster ~cycle:cyc (Rtl.Circuit.find_output c "q"))
+      in
+      Alcotest.(check int) "cycle 0" 0 (q 0);
+      Alcotest.(check int) "cycle 1" 0 (q 1);
+      Alcotest.(check int) "cycle 2" 3 (q 2);
+      Alcotest.(check int) "cycle 3" 4 (q 3)
+  | S.Unsat -> Alcotest.fail "unsat on pipeline")
+
+let test_sat_can_choose_inputs () =
+  (* Leave inputs free and ask the solver to make the output equal 7. *)
+  let open Rtl.Signal in
+  let a = input "a" 4 and b = input "b" 4 in
+  let c = Rtl.Circuit.create ~name:"addmul" ~outputs:[ ("o", (a +: b) *: of_int ~width:4 3) ] () in
+  let solver = S.create () in
+  let blaster = Cnf.Blast.create solver c in
+  Cnf.Blast.unroll_cycle blaster;
+  let out = Cnf.Blast.lits blaster ~cycle:0 (Rtl.Circuit.find_output c "o") in
+  let want = Bitvec.of_int ~width:4 9 in
+  Array.iteri
+    (fun i l -> S.add_clause solver [ (if Bitvec.bit want i then l else S.neg l) ])
+    out;
+  match S.solve solver with
+  | S.Sat ->
+      let va = Cnf.Blast.input_value blaster ~cycle:0 "a" in
+      let vb = Cnf.Blast.input_value blaster ~cycle:0 "b" in
+      let sum = Bitvec.add va vb in
+      Alcotest.(check int) "(a+b)*3 = 9"
+        9
+        (Bitvec.to_int (Bitvec.mul sum (Bitvec.of_int ~width:4 3)))
+  | S.Unsat -> Alcotest.fail "expected a solution"
+
+let qprop name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name QCheck.(make Gen.(int_bound 1_000_000)) f)
+
+let () =
+  Alcotest.run "cnf"
+    [
+      ( "directed",
+        [
+          Alcotest.test_case "constant bits" `Quick test_constant_bits;
+          Alcotest.test_case "register chain" `Quick test_register_chain;
+          Alcotest.test_case "solver chooses inputs" `Quick test_sat_can_choose_inputs;
+        ] );
+      ("properties", [ qprop "blast matches sim" prop_blast_matches_sim ]);
+    ]

@@ -1,0 +1,521 @@
+(* Tests for the four paper DUTs: instruction-level simulation checks that
+   each design actually works as hardware, and AutoCC-level checks that
+   each known counterexample family appears (and disappears with the
+   corresponding fix / refinement). *)
+
+module V = Duts.Vscale
+module M = Duts.Maple
+module A = Duts.Aes
+module C = Duts.Cva6lite
+
+(* {1 Vscale} *)
+
+(* Drive the core against an instruction memory image; unset addresses
+   fetch NOPs. *)
+let vscale_run ?(dmem_rdata = 0) program cycles =
+  let sim = Sim.create (V.create ()) in
+  Sim.set_input_int sim "dmem_rdata" dmem_rdata;
+  for _ = 1 to cycles do
+    let pc = Sim.out_int sim "imem_addr" in
+    let instr = match List.assoc_opt pc program with Some i -> V.instruction i | None -> V.instruction `Nop in
+    Sim.set_input_int sim "imem_instr" instr;
+    Sim.step sim
+  done;
+  sim
+
+let test_vscale_alu_store () =
+  (* Load 7 into r1 (via LOAD from dmem), add r1+r1 into r2, store r2. *)
+  let program =
+    [
+      (0, `Load (1, 0)) (* r1 <- dmem (7) *);
+      (1, `Alu (2, 1, 1)) (* r2 <- r1 + r1 = 14 *);
+      (2, `Store (3, 2)) (* dmem[r3] <- r2 *);
+    ]
+  in
+  let sim = vscale_run ~dmem_rdata:7 program 5 in
+  ignore sim;
+  (* Re-run and watch the write cycle. *)
+  let sim = Sim.create (V.create ()) in
+  Sim.set_input_int sim "dmem_rdata" 7;
+  let wrote = ref None in
+  for _ = 1 to 6 do
+    let pc = Sim.out_int sim "imem_addr" in
+    let instr = match List.assoc_opt pc program with Some i -> V.instruction i | None -> V.instruction `Nop in
+    Sim.set_input_int sim "imem_instr" instr;
+    if Sim.out_int sim "dmem_hwrite" = 1 then wrote := Some (Sim.out_int sim "dmem_wdata");
+    Sim.step sim
+  done;
+  Alcotest.(check (option int)) "stored r1+r1" (Some 14) !wrote
+
+let test_vscale_jump () =
+  let program = [ (0, `Load (1, 0)); (1, `Jmp 1) ] in
+  let sim = Sim.create (V.create ()) in
+  Sim.set_input_int sim "dmem_rdata" 0x30;
+  let pcs = ref [] in
+  for _ = 1 to 6 do
+    let pc = Sim.out_int sim "imem_addr" in
+    pcs := pc :: !pcs;
+    let instr = match List.assoc_opt pc program with Some i -> V.instruction i | None -> V.instruction `Nop in
+    Sim.set_input_int sim "imem_instr" instr;
+    Sim.step sim
+  done;
+  Alcotest.(check bool) "jumped to r1 = 0x30" true (List.mem 0x30 !pcs)
+
+let test_vscale_irq_trap () =
+  let sim = Sim.create (V.create ()) in
+  (* Raise an interrupt while disabled, then enable: the trap must fire
+     and redirect the PC to the vector. *)
+  Sim.set_input_int sim "irq" 1;
+  Sim.set_input_int sim "imem_instr" (V.instruction `Nop);
+  Sim.step sim;
+  Sim.set_input_int sim "irq" 0;
+  Sim.step sim;
+  Alcotest.(check int) "pending latched" 1 (Bitvec.to_int (Sim.reg_value sim "irq_pending"));
+  Sim.set_input_int sim "imem_instr" (V.instruction (`Irqen true));
+  Sim.step sim;
+  (* IRQEN reaches EX one cycle later; the trap the cycle after. *)
+  Sim.set_input_int sim "imem_instr" (V.instruction `Nop);
+  Sim.step sim;
+  Sim.step sim;
+  Alcotest.(check int) "trapped to vector" 0xF0 (Sim.out_int sim "imem_addr")
+
+let test_vscale_refinement_walk () =
+  let dut = V.create () in
+  (* Every stage but the last yields a CEX; the last proves. *)
+  List.iter
+    (fun stage ->
+      let ft = V.ft_for_stage stage dut in
+      match (stage, Autocc.Ft.check ~max_depth:6 ft) with
+      | V.Arch_irq, Bmc.Bounded_proof _ -> ()
+      | V.Arch_irq, Bmc.Cex (cex, _) ->
+          Alcotest.failf "final stage should prove, CEX at %d (%s)" cex.Bmc.cex_depth
+            (Autocc.Report.summary ft cex)
+      | _, Bmc.Cex _ -> ()
+      | s, Bmc.Bounded_proof _ ->
+          Alcotest.failf "stage %s should yield a CEX" (V.stage_name s))
+    V.stages
+
+(* {1 MAPLE} *)
+
+let maple_check ?(require_outbuf_empty = true) config =
+  let dut = M.create ~config () in
+  let ft =
+    Autocc.Ft.generate ~threshold:2
+      ~flush_done:(M.flush_done ~require_outbuf_empty ())
+      dut
+  in
+  (ft, Autocc.Ft.check ~max_depth:10 ft)
+
+let test_maple_m2_m3 () =
+  (match maple_check M.vulnerable with
+  | _, Bmc.Cex _ -> ()
+  | _ -> Alcotest.fail "vulnerable MAPLE must leak (M2/M3)");
+  (match maple_check { M.fix_m2 = true; fix_m3 = false } with
+  | _, Bmc.Cex _ -> ()
+  | _ -> Alcotest.fail "fix_m2 alone leaves the M3 channel");
+  match maple_check M.fixed with
+  | _, Bmc.Bounded_proof _ -> ()
+  | ft, Bmc.Cex (cex, _) ->
+      Alcotest.failf "fixed MAPLE should prove: %s" (Autocc.Report.summary ft cex)
+
+let test_maple_m1 () =
+  (* With the register fixes in place, the remaining channel without the
+     buffer-empty condition is the NoC output buffer (M1). *)
+  match maple_check ~require_outbuf_empty:false M.fixed with
+  | ft, Bmc.Cex (cex, _) ->
+      let cycle =
+        match Autocc.Ft.spy_start_cycle ft cex with Some c -> c | None -> cex.Bmc.cex_depth
+      in
+      let diffs = Autocc.Ft.state_diff ft cex ~cycle in
+      Alcotest.(check bool) "outbuf state differs" true
+        (List.exists (fun (n, _, _) -> String.length n >= 6 && String.sub n 0 6 = "outbuf") diffs)
+  | _, Bmc.Bounded_proof _ -> Alcotest.fail "M1 channel expected"
+
+let test_maple_latency_channel () =
+  let dut pad = M.create ~config:M.fixed ~pad_flush:pad () in
+  (* End-sync is blind to the data-dependent invalidation latency. *)
+  (match
+     Autocc.Ft.check ~max_depth:12
+       (Autocc.Ft.generate ~threshold:2
+          ~flush_done:(M.flush_done ~require_outbuf_empty:true ())
+          (dut false))
+   with
+  | Bmc.Bounded_proof _ -> ()
+  | Bmc.Cex _ -> Alcotest.fail "end-sync should still prove");
+  (* Start-sync exposes it. *)
+  (match
+     Autocc.Ft.check ~max_depth:12
+       (Autocc.Ft.generate ~threshold:2 ~sync:Autocc.Ft.Flush_start
+          ~flush_done:(M.flush_start ~require_outbuf_empty:true ())
+          (dut false))
+   with
+  | Bmc.Cex (cex, _) ->
+      Alcotest.(check bool) "invalidation timing leaks" true
+        (List.mem "as__inval_idle_eq" cex.Bmc.cex_failed
+        || List.mem "as__resp_valid_eq" cex.Bmc.cex_failed)
+  | Bmc.Bounded_proof _ -> Alcotest.fail "latency channel expected");
+  (* Worst-case padding restores the proof. *)
+  match
+    Autocc.Ft.check ~max_depth:12
+      (Autocc.Ft.generate ~threshold:2 ~sync:Autocc.Ft.Flush_start
+         ~flush_done:(M.flush_start ~require_outbuf_empty:true ())
+         (dut true))
+  with
+  | Bmc.Bounded_proof _ -> ()
+  | Bmc.Cex _ -> Alcotest.fail "padding should close the latency channel"
+
+let test_maple_inval_latency_sim () =
+  (* The invalidation takes 1 + occupancy cycles; padded: always 3. *)
+  let run ?pad_flush entries =
+    let sim = Sim.create (M.create ?pad_flush ()) in
+    (* Fill [entries] queue slots. *)
+    for _ = 1 to entries do
+      Sim.set_input_int sim "noc_resp_valid" 1;
+      Sim.set_input_int sim "noc_resp_data" 0x5;
+      Sim.step sim
+    done;
+    Sim.set_input_int sim "noc_resp_valid" 0;
+    (* Trigger the cleanup and count cycles until idle. *)
+    Sim.set_input_int sim "cfg_wen" 1;
+    Sim.set_input_int sim "cfg_addr" M.cfg_cleanup;
+    Sim.step sim;
+    Sim.set_input_int sim "cfg_wen" 0;
+    let n = ref 0 in
+    while Sim.out_int sim "inval_idle" = 0 && !n < 10 do
+      Sim.step sim;
+      incr n
+    done;
+    !n
+  in
+  Alcotest.(check int) "empty queue: 1 cycle" 1 (run 0);
+  Alcotest.(check int) "one entry: 2 cycles" 2 (run 1);
+  Alcotest.(check int) "two entries: 3 cycles" 3 (run 2);
+  Alcotest.(check int) "padded empty: 3 cycles" 3 (run ~pad_flush:true 0)
+
+(* {1 AES} *)
+
+let test_aes_encrypt_matches_reference () =
+  let sim = Sim.create (A.create ()) in
+  let pt = 0x3C and key = 0xA7 in
+  Sim.set_input_int sim "req_valid" 1;
+  Sim.set_input_int sim "req_pt" pt;
+  Sim.set_input_int sim "req_key" key;
+  Sim.step sim;
+  Sim.set_input_int sim "req_valid" 0;
+  let latency = ref 0 and result = ref None in
+  for cycle = 1 to A.default_stages + 2 do
+    if Sim.out_int sim "resp_valid" = 1 && !result = None then begin
+      latency := cycle;
+      result := Some (Sim.out_int sim "resp_ct")
+    end;
+    Sim.step sim
+  done;
+  Alcotest.(check (option int)) "ciphertext" (Some (A.encrypt ~pt ~key)) !result;
+  Alcotest.(check int) "pipeline latency" A.default_stages !latency
+
+let test_aes_pipelined_throughput () =
+  (* Back-to-back requests produce back-to-back responses. *)
+  let sim = Sim.create (A.create ()) in
+  let inputs = [ (0x11, 0x22); (0x33, 0x44); (0x55, 0x66) ] in
+  let outs = ref [] in
+  for cycle = 0 to A.default_stages + 4 do
+    (match List.nth_opt inputs cycle with
+    | Some (pt, key) ->
+        Sim.set_input_int sim "req_valid" 1;
+        Sim.set_input_int sim "req_pt" pt;
+        Sim.set_input_int sim "req_key" key
+    | None -> Sim.set_input_int sim "req_valid" 0);
+    if Sim.out_int sim "resp_valid" = 1 then outs := Sim.out_int sim "resp_ct" :: !outs;
+    Sim.step sim
+  done;
+  let expected = List.map (fun (pt, key) -> A.encrypt ~pt ~key) inputs in
+  Alcotest.(check (list int)) "pipelined results" expected (List.rev !outs)
+
+let test_aes_a1_and_proof () =
+  let dut = A.create () in
+  (match Autocc.Ft.check ~max_depth:12 (Autocc.Ft.generate ~threshold:2 dut) with
+  | Bmc.Cex (cex, _) ->
+      Alcotest.(check bool) "response interface diverges" true
+        (List.exists
+           (fun n -> n = "as__resp_valid_eq" || n = "as__resp_ct_eq")
+           cex.Bmc.cex_failed)
+  | Bmc.Bounded_proof _ -> Alcotest.fail "A1 expected");
+  match
+    Autocc.Ft.check ~max_depth:12
+      (Autocc.Ft.generate ~threshold:2 ~flush_done:(A.flush_done_idle ()) dut)
+  with
+  | Bmc.Bounded_proof _ -> ()
+  | Bmc.Cex _ -> Alcotest.fail "idle-flush refinement should reach a proof"
+
+(* {1 CVA6-lite} *)
+
+let cva6_check ?(max_depth = 11) config =
+  let dut = C.create ~config () in
+  let ft = Autocc.Ft.generate ~threshold:2 ~flush_done:(C.flush_done ()) dut in
+  Autocc.Ft.check ~max_depth ft
+
+let test_cva6_sim_btb () =
+  let sim = Sim.create (C.create ~config:C.microreset_fixed ()) in
+  (* Train the BTB while the cold I$ miss is being refilled: branch at
+     pc 0 jumps to 0x20. *)
+  Sim.set_input_int sim "br_resolve" 1;
+  Sim.set_input_int sim "br_taken" 1;
+  Sim.set_input_int sim "br_pc" 0;
+  Sim.set_input_int sim "br_target" 0x20;
+  Sim.step sim;
+  Sim.set_input_int sim "br_resolve" 0;
+  Sim.set_input_int sim "axi_rvalid" 1;
+  Sim.set_input_int sim "axi_rdata" 0x01;
+  Sim.step sim;
+  Sim.set_input_int sim "axi_rvalid" 0;
+  (* The line is now valid and the BTB trained: the instruction delivered
+     at pc 0 redirects the fetch to the predicted target. *)
+  Sim.step sim;
+  Alcotest.(check int) "predicted to 0x20" 0x20 (Sim.out_int sim "fetch_addr");
+  (* Quieten the frontend (suppress new refills, answer the outstanding
+     one) and run the fence; the prediction must be forgotten. *)
+  Sim.set_input_int sim "fetch_ex" 1;
+  Sim.set_input_int sim "axi_rvalid" 1;
+  Sim.set_input_int sim "axi_rdata" 0;
+  Sim.step sim;
+  Sim.set_input_int sim "axi_rvalid" 0;
+  Sim.set_input_int sim "fence_req" 1;
+  Sim.step sim;
+  Sim.set_input_int sim "fence_req" 0;
+  let guard = ref 0 in
+  while Sim.out_int sim "fence_busy" = 1 && !guard < 20 do
+    Sim.step sim;
+    incr guard
+  done;
+  Alcotest.(check int) "btb cleared" 0 (Bitvec.to_int (Sim.reg_value sim "btb_valid0"))
+
+let test_cva6_sim_fetch_refill () =
+  let sim = Sim.create (C.create ~config:C.microreset_fixed ()) in
+  (* Cold fetch: miss, refill over AXI, then the PC advances when the
+     realigner sees a compressed instruction (bit 0 set). *)
+  Alcotest.(check int) "axi request on miss" 1 (Sim.out_int sim "axi_req_valid");
+  Sim.step sim;
+  Sim.set_input_int sim "axi_rvalid" 1;
+  Sim.set_input_int sim "axi_rdata" 0x01;
+  Sim.step sim;
+  Sim.set_input_int sim "axi_rvalid" 0;
+  Alcotest.(check int) "pc still 0" 0 (Sim.out_int sim "fetch_addr");
+  Sim.step sim;
+  Alcotest.(check int) "pc advanced after hit" 1 (Sim.out_int sim "fetch_addr")
+
+let test_cva6_sim_lsu_walk () =
+  let sim = Sim.create (C.create ~config:C.microreset_fixed ()) in
+  (* Issue a load; expect a PTE request, then a data request, then the
+     response. *)
+  Sim.set_input_int sim "lsu_req" 1;
+  Sim.set_input_int sim "lsu_vaddr" 0x5;
+  Sim.step sim;
+  Sim.set_input_int sim "lsu_req" 0;
+  (* PWALK_REQ: the PTE request appears. *)
+  Alcotest.(check int) "pte request" 1 (Sim.out_int sim "dmem_req_valid");
+  let pte_addr = Sim.out_int sim "dmem_req_addr" in
+  Alcotest.(check int) "pte address embeds vaddr" 0x25 pte_addr;
+  Sim.step sim;
+  (* PWALK_WAIT: deliver the PTE (ppn = 0x12). *)
+  Sim.set_input_int sim "dmem_rvalid" 1;
+  Sim.set_input_int sim "dmem_rdata" 0x12;
+  Sim.step sim;
+  Sim.set_input_int sim "dmem_rvalid" 0;
+  (* DC stage: the PTE fill cached line 0x25's data; the data access
+     misses and requests paddr 0x12. *)
+  Alcotest.(check int) "data request" 1 (Sim.out_int sim "dmem_req_valid");
+  Alcotest.(check int) "data address is ppn" 0x12 (Sim.out_int sim "dmem_req_addr");
+  Sim.step sim;
+  Sim.set_input_int sim "dmem_rvalid" 1;
+  Sim.set_input_int sim "dmem_rdata" 0x99;
+  Sim.step sim;
+  Sim.set_input_int sim "dmem_rvalid" 0;
+  Alcotest.(check int) "response" 1 (Sim.out_int sim "lsu_rvalid");
+  Alcotest.(check int) "response data" 0x99 (Sim.out_int sim "lsu_rdata")
+
+let test_cva6_sim_fence_clears () =
+  let sim = Sim.create (C.create ~config:C.microreset_fixed ()) in
+  (* Keep the frontend quiet (a permanent fetch exception suppresses AXI
+     refills) so the drain phase only depends on the load unit. *)
+  Sim.set_input_int sim "fetch_ex" 1;
+  (* Fill the TLB via a walk (as above, compressed). *)
+  Sim.set_input_int sim "lsu_req" 1;
+  Sim.set_input_int sim "lsu_vaddr" 0x5;
+  Sim.step sim;
+  Sim.set_input_int sim "lsu_req" 0;
+  Sim.step sim;
+  Sim.set_input_int sim "dmem_rvalid" 1;
+  Sim.set_input_int sim "dmem_rdata" 0x12;
+  Sim.step sim;
+  (* The D$ stage issues the data request this cycle; the response can
+     arrive the next cycle at the earliest. *)
+  Sim.set_input_int sim "dmem_rvalid" 0;
+  Sim.step sim;
+  Sim.set_input_int sim "dmem_rvalid" 1;
+  Sim.set_input_int sim "dmem_rdata" 0x99;
+  Sim.step sim;
+  Sim.set_input_int sim "dmem_rvalid" 0;
+  Sim.step sim;
+  Alcotest.(check int) "tlb valid" 1 (Bitvec.to_int (Sim.reg_value sim "tlb_valid"));
+  (* Run the fence to completion. *)
+  Sim.set_input_int sim "fence_req" 1;
+  Sim.step sim;
+  Sim.set_input_int sim "fence_req" 0;
+  let guard = ref 0 in
+  while Sim.out_int sim "fence_busy" = 1 && !guard < 20 do
+    Sim.step sim;
+    incr guard
+  done;
+  Alcotest.(check int) "tlb cleared" 0 (Bitvec.to_int (Sim.reg_value sim "tlb_valid"));
+  Alcotest.(check int) "dcache cleared" 0 (Bitvec.to_int (Sim.reg_value sim "dcache_valid0"))
+
+let test_cva6_channels () =
+  (match cva6_check C.plain_fence with
+  | Bmc.Cex _ -> ()
+  | Bmc.Bounded_proof _ -> Alcotest.fail "a plain fence flushes nothing");
+  (match cva6_check C.full_flush with
+  | Bmc.Cex _ -> ()
+  | Bmc.Bounded_proof _ -> Alcotest.fail "full flush leaves in-flight state (known channels)");
+  (match cva6_check ~max_depth:15 (C.with_fixes ~fix_c1:false C.Microreset) with
+  | Bmc.Cex _ -> ()
+  | Bmc.Bounded_proof _ -> Alcotest.fail "C1 expected");
+  (match cva6_check (C.with_fixes ~fix_c2:false C.Microreset) with
+  | Bmc.Cex _ -> ()
+  | Bmc.Bounded_proof _ -> Alcotest.fail "C2 expected");
+  (match cva6_check (C.with_fixes ~fix_c3:false C.Microreset) with
+  | Bmc.Cex _ -> ()
+  | Bmc.Bounded_proof _ -> Alcotest.fail "C3 expected");
+  match cva6_check C.microreset_fixed with
+  | Bmc.Bounded_proof _ -> ()
+  | Bmc.Cex _ -> Alcotest.fail "fixed microreset should prove"
+
+(* {1 Divider (Sec. 5 discussion)} *)
+
+let divider_divide sim dividend divisor =
+  Sim.set_input_int sim "start" 1;
+  Sim.set_input_int sim "dividend" dividend;
+  Sim.set_input_int sim "divisor" divisor;
+  Sim.step sim;
+  Sim.set_input_int sim "start" 0;
+  let latency = ref 1 in
+  while Sim.out_int sim "done_valid" = 0 && !latency < 40 do
+    Sim.step sim;
+    incr latency
+  done;
+  let result = (Sim.out_int sim "quotient", Sim.out_int sim "remainder") in
+  Sim.step sim;
+  (result, !latency)
+
+let test_divider_exhaustive () =
+  (* All 256 operand pairs against the reference model. *)
+  let sim = Sim.create (Duts.Divider.create ()) in
+  for dividend = 0 to 15 do
+    for divisor = 0 to 15 do
+      let result, _ = divider_divide sim dividend divisor in
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "%d/%d" dividend divisor)
+        (Duts.Divider.reference ~dividend ~divisor)
+        result
+    done
+  done
+
+let test_divider_latency () =
+  (* Variable latency equals quotient + 2 observation cycles; the
+     constant-latency variant always takes the worst case. *)
+  let sim = Sim.create (Duts.Divider.create ()) in
+  let _, l1 = divider_divide sim 15 1 in
+  let _, l2 = divider_divide sim 3 3 in
+  Alcotest.(check bool) "latency depends on data" true (l1 > l2);
+  let sim = Sim.create (Duts.Divider.create ~constant_latency:true ()) in
+  let _, c1 = divider_divide sim 15 1 in
+  let _, c2 = divider_divide sim 3 3 in
+  Alcotest.(check int) "padded latency equal" c1 c2;
+  Alcotest.(check bool) "padded to the worst case" true (c1 >= l1)
+
+let test_divider_channels () =
+  (* The shared unit leaks by default; waiting for idle or restricting to
+     constant-time software both close it. *)
+  (match Autocc.Ft.check ~max_depth:12 (Autocc.Ft.generate ~threshold:2 (Duts.Divider.create ())) with
+  | Bmc.Cex _ -> ()
+  | Bmc.Bounded_proof _ -> Alcotest.fail "in-flight division must leak");
+  (match
+     Autocc.Ft.check ~max_depth:12
+       (Autocc.Ft.generate ~threshold:2
+          ~flush_done:(Duts.Divider.flush_done_idle ())
+          (Duts.Divider.create ()))
+   with
+  | Bmc.Bounded_proof _ -> ()
+  | Bmc.Cex _ -> Alcotest.fail "idle allocation should prove");
+  match
+    Autocc.Ft.check ~max_depth:12
+      (Autocc.Ft.generate ~threshold:2 ~assumes:Duts.Divider.constant_time_software
+         (Duts.Divider.create ()))
+  with
+  | Bmc.Bounded_proof _ -> ()
+  | Bmc.Cex _ -> Alcotest.fail "constant-time software should prove"
+
+let test_cva6_lsu_blackbox () =
+  (* Sec. 3.4: blackboxing the load unit removes its state and still
+     proves (the idle wire at the cut carries the drain condition). *)
+  let dut = C.create ~config:C.microreset_fixed () in
+  let ft =
+    Autocc.Ft.generate ~threshold:2 ~blackbox:[ "lsu" ] ~flush_done:(C.flush_done ())
+      dut
+  in
+  Alcotest.(check bool) "state reduced" true
+    (Rtl.Circuit.state_bits ft.Autocc.Ft.dut < Rtl.Circuit.state_bits dut);
+  match Autocc.Ft.check ~max_depth:10 ft with
+  | Bmc.Bounded_proof _ -> ()
+  | Bmc.Cex (cex, _) ->
+      Alcotest.failf "blackboxed LSU should prove: %s" (Autocc.Report.summary ft cex)
+
+let test_aes_unbounded_proof () =
+  let ft =
+    Autocc.Ft.generate ~threshold:2 ~flush_done:(A.flush_done_idle ()) (A.create ())
+  in
+  match Autocc.Ft.prove ~max_depth:20 ft with
+  | Bmc.Proved (k, _) ->
+      Alcotest.(check bool) "k near the pipeline depth" true (k <= A.default_stages + 4)
+  | Bmc.Refuted _ -> Alcotest.fail "the idle-flush AES cannot leak"
+  | Bmc.Unknown _ -> Alcotest.fail "AES should be k-inductive"
+
+let () =
+  Alcotest.run "duts"
+    [
+      ( "vscale",
+        [
+          Alcotest.test_case "alu + store" `Quick test_vscale_alu_store;
+          Alcotest.test_case "jump to register" `Quick test_vscale_jump;
+          Alcotest.test_case "irq trap" `Quick test_vscale_irq_trap;
+          Alcotest.test_case "refinement walk" `Slow test_vscale_refinement_walk;
+        ] );
+      ( "maple",
+        [
+          Alcotest.test_case "m2/m3 channels and fixes" `Slow test_maple_m2_m3;
+          Alcotest.test_case "m1 output buffer" `Slow test_maple_m1;
+          Alcotest.test_case "latency channel (3.2)" `Slow test_maple_latency_channel;
+          Alcotest.test_case "invalidation latency sim" `Quick test_maple_inval_latency_sim;
+        ] );
+      ( "aes",
+        [
+          Alcotest.test_case "encrypt matches reference" `Quick test_aes_encrypt_matches_reference;
+          Alcotest.test_case "pipelined throughput" `Quick test_aes_pipelined_throughput;
+          Alcotest.test_case "a1 and proof" `Slow test_aes_a1_and_proof;
+          Alcotest.test_case "unbounded proof (k-induction)" `Quick test_aes_unbounded_proof;
+        ] );
+      ( "divider",
+        [
+          Alcotest.test_case "exhaustive vs reference" `Quick test_divider_exhaustive;
+          Alcotest.test_case "latency behaviour" `Quick test_divider_latency;
+          Alcotest.test_case "channel and two closures" `Slow test_divider_channels;
+        ] );
+      ( "cva6lite",
+        [
+          Alcotest.test_case "fetch refill" `Quick test_cva6_sim_fetch_refill;
+          Alcotest.test_case "branch predictor" `Quick test_cva6_sim_btb;
+          Alcotest.test_case "lsu walk" `Quick test_cva6_sim_lsu_walk;
+          Alcotest.test_case "fence clears" `Quick test_cva6_sim_fence_clears;
+          Alcotest.test_case "c1-c3 channels and fixes" `Slow test_cva6_channels;
+          Alcotest.test_case "lsu blackbox (3.4)" `Slow test_cva6_lsu_blackbox;
+        ] );
+    ]

@@ -1,0 +1,389 @@
+(* Tests for the SystemVerilog frontend: lexer, parser, elaboration
+   semantics, round-tripping our own emitter's output (differential
+   simulation and formal equivalence), the //AutoCC Common annotation,
+   and AutoSVA-style transaction inference — culminating in the paper's
+   headline flow: a covert channel found from nothing but an .sv file. *)
+
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+
+let elab = Frontend.Elaborate.circuit_of_string
+
+(* {1 Lexer} *)
+
+let test_lexer_literals () =
+  let toks = Lexer_tokens.of_string "8'hff 4'b1010 42 '0 '1 16'd100" in
+  Alcotest.(check (list string)) "literals"
+    [ "BASED(8'ff)"; "BASED(4'a)"; "NUMBER(42)"; "UNBASED(false)"; "UNBASED(true)"; "BASED(16'0064)"; "EOF" ]
+    toks
+
+and test_lexer_comments () =
+  let toks = Lexer_tokens.of_string "a /* block\ncomment */ b // line\nc\n//AutoCC Common\nd" in
+  Alcotest.(check (list string)) "comments skipped, annotation kept"
+    [ "IDENT(a)"; "IDENT(b)"; "IDENT(c)"; "//AutoCC Common"; "IDENT(d)"; "EOF" ]
+    toks
+
+and test_lexer_operators () =
+  let toks = Lexer_tokens.of_string "== != <= >= << >> && || ~ ^" in
+  Alcotest.(check (list string)) "operators"
+    [ "OP(==)"; "OP(!=)"; "<="; "OP(>=)"; "OP(<<)"; "OP(>>)"; "OP(&&)"; "OP(||)"; "OP(~)"; "OP(^)"; "EOF" ]
+    toks
+
+(* {1 Parser + elaboration semantics} *)
+
+(* Evaluate a module with one 8-bit output [o] as a function of inputs. *)
+let eval_sv source inputs =
+  let c = elab source in
+  let sim = Sim.create c in
+  let known n = List.exists (fun p -> p.Circuit.port_name = n) (Circuit.inputs c) in
+  List.iter (fun (n, v) -> if known n then Sim.set_input_int sim n v) inputs;
+  Sim.out_int sim "o"
+
+let test_expression_semantics () =
+  let header = "module m (input wire [7:0] a, input wire [7:0] b, output wire [7:0] o);" in
+  let cases =
+    [
+      ("assign o = a + b;", 200, 100, (200 + 100) land 0xFF);
+      ("assign o = a - b;", 5, 9, (5 - 9) land 0xFF);
+      ("assign o = a & b | 8'h0f;", 0xF0, 0xAA, 0xF0 land 0xAA lor 0x0F);
+      ("assign o = a ^ b;", 0x5A, 0xFF, 0x5A lxor 0xFF);
+      ("assign o = {8{a == b}};", 7, 7, 0xFF);
+      ("assign o = a < b ? 8'd1 : 8'd2;", 3, 4, 1);
+      ("assign o = {a[3:0], b[7:4]};", 0xAB, 0xCD, 0xBC);
+      ("assign o = a << 2;", 0x81, 0, 0x04);
+      ("assign o = a >> 3;", 0x81, 0, 0x10);
+      ("assign o = ~a;", 0x0F, 0, 0xF0);
+      ("assign o = {7'd0, a && b};", 2, 0, 0);
+      ("assign o = {7'd0, a || b};", 2, 0, 1);
+      ("assign o = {7'd0, !a};", 0, 0, 1);
+      ("assign o = -a;", 1, 0, 0xFF);
+      ("assign o = a * b;", 7, 9, 63);
+      ("assign o = {7'd0, $signed(a) < $signed(b)};", 0xFF (* -1 *), 1, 1);
+    ]
+  in
+  List.iter
+    (fun (body, a, b, expect) ->
+      let src = header ^ body ^ " endmodule" in
+      Alcotest.(check int) body expect (eval_sv src [ ("a", a); ("b", b) ]))
+    cases
+
+let test_register_semantics () =
+  let src =
+    "module m (input wire clk, input wire rst, input wire en,\n\
+     input wire [7:0] d, output wire [7:0] o);\n\
+     reg [7:0] q;\n\
+     always_ff @(posedge clk) begin\n\
+     if (rst) begin q <= 8'h2a; end else begin q <= en ? d : q; end\n\
+     end\n\
+     assign o = q;\n\
+     endmodule"
+  in
+  let c = elab src in
+  let sim = Sim.create c in
+  Alcotest.(check int) "reset value" 0x2A (Sim.out_int sim "o");
+  Sim.set_input_int sim "en" 1;
+  Sim.set_input_int sim "d" 0x77;
+  Sim.step sim;
+  Alcotest.(check int) "loaded" 0x77 (Sim.out_int sim "o");
+  Sim.set_input_int sim "en" 0;
+  Sim.set_input_int sim "d" 0x11;
+  Sim.step sim;
+  Alcotest.(check int) "held" 0x77 (Sim.out_int sim "o")
+
+let test_localparam_and_repl () =
+  let src =
+    "module m (input wire [7:0] a, output wire [7:0] o);\n\
+     localparam MAGIC = 8'h0f;\n\
+     wire [7:0] t = a & MAGIC;\n\
+     assign o = {2{t[3:0]}};\n\
+     endmodule"
+  in
+  Alcotest.(check int) "localparam + replication" 0x55 (eval_sv src [ ("a", 0xF5) ])
+
+let test_errors () =
+  let expect_fail name src =
+    Alcotest.(check bool) name true
+      (try
+         ignore (elab src);
+         false
+       with
+      | Frontend.Elaborate.Elab_error _ | Frontend.Parser.Parse_error _
+      | Lexer_tokens.Error _ | Failure _ ->
+          true)
+  in
+  expect_fail "unknown identifier"
+    "module m (output wire o); assign o = nonexistent; endmodule";
+  expect_fail "combinational cycle"
+    "module m (output wire o); wire a = b; wire b = a; assign o = a; endmodule";
+  expect_fail "double wire assign"
+    "module m (input wire i, output wire o); wire a = i; assign a = i; assign o = a; endmodule";
+  expect_fail "syntax error" "module m (input wire i, output wire o); assign o = ; endmodule"
+
+(* {1 Round-trip: emit -> parse -> elaborate} *)
+
+let duts () =
+  [
+    ("vscale", Duts.Vscale.create ());
+    ("maple", Duts.Maple.create ());
+    ("aes", Duts.Aes.create ());
+    ("cva6", Duts.Cva6lite.create ());
+    ("divider", Duts.Divider.create ());
+  ]
+
+let test_round_trip_sim () =
+  List.iter
+    (fun (name, dut) ->
+      let dut' = elab (Rtl.Verilog.to_string dut) in
+      let st = Random.State.make [| 11 |] in
+      let sim1 = Sim.create dut and sim2 = Sim.create dut' in
+      for _ = 1 to 60 do
+        List.iter
+          (fun p ->
+            let v = Bitvec.random st (Signal.width p.Circuit.signal) in
+            Sim.set_input sim1 p.Circuit.port_name v;
+            Sim.set_input sim2 p.Circuit.port_name v)
+          (Circuit.inputs dut);
+        List.iter
+          (fun p ->
+            let n = p.Circuit.port_name in
+            if not (Bitvec.equal (Sim.out sim1 n) (Sim.out sim2 n)) then
+              Alcotest.failf "%s: output %s differs after round trip" name n)
+          (Circuit.outputs dut);
+        Sim.step sim1;
+        Sim.step sim2
+      done)
+    (duts ())
+
+let test_round_trip_formal () =
+  (* Formal equivalence of the round trip, on the smaller designs. *)
+  List.iter
+    (fun (name, dut) ->
+      let dut' = elab (Rtl.Verilog.to_string dut) in
+      match Bmc.equiv ~max_depth:6 dut dut' with
+      | Bmc.Bounded_proof _ -> ()
+      | Bmc.Cex (cex, _) ->
+          Alcotest.failf "%s: formally inequivalent after round trip (depth %d)" name
+            cex.Bmc.cex_depth)
+    [ ("maple", Duts.Maple.create ()); ("divider", Duts.Divider.create ()) ]
+
+let prop_random_circuit_round_trip seed =
+  (* Random circuits through the emitter and back: behaviourally equal. *)
+  let st = Random.State.make [| seed |] in
+  let dut = Gen_circuit.random_circuit st ~num_nodes:25 ~num_regs:2 in
+  let dut' = elab (Rtl.Verilog.to_string dut) in
+  let sim1 = Sim.create dut and sim2 = Sim.create dut' in
+  let trace = List.init 8 (fun _ -> Gen_circuit.random_inputs st) in
+  Gen_circuit.run_outputs sim1 trace = Gen_circuit.run_outputs sim2 trace
+
+let round_trip_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"random circuits round-trip"
+       QCheck.(make Gen.(int_bound 1_000_000))
+       prop_random_circuit_round_trip)
+
+(* {1 Hierarchy: multi-module sources, instances, boundaries} *)
+
+let hier_sv =
+  "module stash_unit (\n\
+  \  input wire clk, input wire rst,\n\
+  \  input wire cap, input wire [7:0] din, input wire [7:0] query,\n\
+  \  output wire hit\n\
+   );\n\
+  \  reg [7:0] stash;\n\
+  \  always_ff @(posedge clk) begin\n\
+  \    if (rst) begin stash <= 8'h00; end\n\
+  \    else begin stash <= cap ? din : stash; end\n\
+  \  end\n\
+  \  assign hit = query == stash;\n\
+   endmodule\n\
+   module top (\n\
+  \  input wire clk, input wire rst,\n\
+  \  input wire capture, input wire [7:0] data, input wire [7:0] probe,\n\
+  \  output wire found\n\
+   );\n\
+  \  wire unit_hit;\n\
+  \  stash_unit u0 (.clk(clk), .rst(rst), .cap(capture), .din(data),\n\
+  \                 .query(probe), .hit(unit_hit));\n\
+  \  assign found = unit_hit;\n\
+   endmodule\n"
+
+let test_hierarchy_elaboration () =
+  let dut = Frontend.Elaborate.circuit_of_string ~top:"top" hier_sv in
+  (* The flattened register carries the instance path. *)
+  Alcotest.(check bool) "prefixed register" true
+    (match Circuit.find_reg dut "u0.stash" with _ -> true | exception Not_found -> false);
+  (* The instance was recorded as a boundary. *)
+  Alcotest.(check (list string)) "boundary names" [ "u0" ]
+    (List.map (fun b -> b.Circuit.bnd_name) (Circuit.boundaries dut));
+  (* Behaviour. *)
+  let sim = Sim.create dut in
+  Sim.set_input_int sim "capture" 1;
+  Sim.set_input_int sim "data" 0x42;
+  Sim.step sim;
+  Sim.set_input_int sim "capture" 0;
+  Sim.set_input_int sim "probe" 0x42;
+  Alcotest.(check int) "hit through hierarchy" 1 (Sim.out_int sim "found");
+  Sim.set_input_int sim "probe" 0x41;
+  Alcotest.(check int) "miss" 0 (Sim.out_int sim "found")
+
+let test_hierarchy_blackbox () =
+  let dut = Frontend.Elaborate.circuit_of_string ~top:"top" hier_sv in
+  (* The full design leaks through the stash; blackboxing the instance
+     (declared purely in source) removes that state. *)
+  (match Autocc.Ft.check ~max_depth:10 (Autocc.Ft.generate ~threshold:2 dut) with
+  | Bmc.Cex _ -> ()
+  | Bmc.Bounded_proof _ -> Alcotest.fail "the stash instance must leak");
+  match
+    Autocc.Ft.check ~max_depth:10
+      (Autocc.Ft.generate ~threshold:2 ~blackbox:[ "u0" ] dut)
+  with
+  | Bmc.Bounded_proof _ -> ()
+  | Bmc.Cex _ -> Alcotest.fail "blackboxing the instance removes the state"
+
+let test_nested_hierarchy () =
+  (* Two levels of instantiation; state and boundaries nest with dotted
+     paths. *)
+  let src =
+    "module leaf (input wire clk, input wire rst, input wire [3:0] d,\n\
+    \             output wire [3:0] q);\n\
+    \  reg [3:0] r;\n\
+    \  always_ff @(posedge clk) begin\n\
+    \    if (rst) begin r <= 4'h0; end else begin r <= d; end end\n\
+    \  assign q = r;\n\
+     endmodule\n\
+     module mid (input wire clk, input wire rst, input wire [3:0] x,\n\
+    \            output wire [3:0] y);\n\
+    \  wire [3:0] t;\n\
+    \  leaf l (.clk(clk), .rst(rst), .d(x), .q(t));\n\
+    \  assign y = t + 4'd1;\n\
+     endmodule\n\
+     module root (input wire clk, input wire rst, input wire [3:0] a,\n\
+    \             output wire [3:0] z);\n\
+    \  wire [3:0] m;\n\
+    \  mid inner (.clk(clk), .rst(rst), .x(a), .y(m));\n\
+    \  assign z = m;\n\
+     endmodule\n"
+  in
+  let dut = Frontend.Elaborate.circuit_of_string ~top:"root" src in
+  Alcotest.(check bool) "nested register path" true
+    (match Circuit.find_reg dut "inner.l.r" with _ -> true | exception Not_found -> false);
+  Alcotest.(check (list string)) "nested boundaries" [ "inner"; "inner.l" ]
+    (List.sort compare (List.map (fun b -> b.Circuit.bnd_name) (Circuit.boundaries dut)));
+  let sim = Sim.create dut in
+  Sim.set_input_int sim "a" 7;
+  Sim.step sim;
+  Alcotest.(check int) "pipeline through two levels" 8 (Sim.out_int sim "z")
+
+let test_hierarchy_errors () =
+  let expect_fail name src =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Frontend.Elaborate.circuit_of_string ~top:"top" src);
+         false
+       with _ -> true)
+  in
+  expect_fail "unknown module"
+    "module top (input wire i, output wire o);\n\
+     ghost g (.x(i), .y(o));\nassign o = i;\nendmodule";
+  expect_fail "unknown port"
+    "module sub (input wire p, output wire q); assign q = p; endmodule\n\
+     module top (input wire i, output wire o);\n\
+     wire w; sub s (.nope(i), .q(w)); assign o = w; endmodule";
+  expect_fail "output connection must be an identifier"
+    "module sub (input wire p, output wire q); assign q = p; endmodule\n\
+     module top (input wire i, output wire o);\n\
+     sub s (.p(i), .q(i & i)); assign o = i; endmodule"
+
+(* {1 The paper's headline flow: .sv file in, covert channel out} *)
+
+let leaky_sv =
+  "// A lookup engine with a hidden stash register.\n\
+   module lookup (\n\
+  \  input wire clk,\n\
+  \  input wire rst,\n\
+  \  //AutoCC Common\n\
+  \  input wire [3:0] debug_level,\n\
+  \  input wire req_valid,\n\
+  \  input wire [7:0] req_data,\n\
+  \  input wire req_capture,\n\
+  \  output wire hit,\n\
+  \  output wire [3:0] dbg\n\
+   );\n\
+  \  reg [7:0] stash;\n\
+  \  always_ff @(posedge clk) begin\n\
+  \    if (rst) begin stash <= 8'h00; end\n\
+  \    else begin stash <= (req_valid && req_capture) ? req_data : stash; end\n\
+  \  end\n\
+  \  assign hit = req_valid && (req_data == stash);\n\
+  \  assign dbg = debug_level;\n\
+   endmodule\n"
+
+let test_sv_to_covert_channel () =
+  let dut = elab leaky_sv in
+  (* The annotation and the naming convention were picked up. *)
+  Alcotest.(check (list string)) "common input" [ "debug_level" ] (Circuit.common dut);
+  Alcotest.(check bool) "req transaction inferred" true
+    (List.exists
+       (fun tx -> tx.Circuit.valid = "req_valid" && List.mem "req_data" tx.Circuit.payloads)
+       (Circuit.in_tx dut));
+  (* The full paper flow: FT from the parsed module, CEX via the stash. *)
+  let ft = Autocc.Ft.generate ~threshold:2 dut in
+  match Autocc.Ft.check ~max_depth:12 ft with
+  | Bmc.Bounded_proof _ -> Alcotest.fail "the stash must leak"
+  | Bmc.Cex (cex, _) -> (
+      match Autocc.Ft.spy_start_cycle ft cex with
+      | None -> Alcotest.fail "spy mode must be reached"
+      | Some cycle ->
+          Alcotest.(check bool) "stash root-caused" true
+            (List.exists
+               (fun (n, _, _) -> n = "stash")
+               (Autocc.Ft.state_diff ft cex ~cycle)))
+
+let test_sv_fix_and_prove () =
+  (* Instrument the parsed module with a flush and prove the channel
+     closed — end-to-end from source text. *)
+  let dut = Autocc.Flush.instrument ~regs:[ "stash" ] (elab leaky_sv) in
+  let ft =
+    Autocc.Ft.generate ~threshold:2
+      ~flush_done:(Autocc.Flush.flush_done_of_input ())
+      dut
+  in
+  match Autocc.Ft.check ~max_depth:12 ft with
+  | Bmc.Bounded_proof _ -> ()
+  | Bmc.Cex _ -> Alcotest.fail "flushing the stash closes the channel"
+
+let () =
+  Alcotest.run "frontend"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "literals" `Quick test_lexer_literals;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+        ] );
+      ( "elaboration",
+        [
+          Alcotest.test_case "expression semantics" `Quick test_expression_semantics;
+          Alcotest.test_case "register semantics" `Quick test_register_semantics;
+          Alcotest.test_case "localparam + replication" `Quick test_localparam_and_repl;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ( "round-trip",
+        [
+          Alcotest.test_case "all DUTs (simulation)" `Quick test_round_trip_sim;
+          Alcotest.test_case "formal equivalence" `Quick test_round_trip_formal;
+          round_trip_prop;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "elaboration" `Quick test_hierarchy_elaboration;
+          Alcotest.test_case "instance blackboxing" `Quick test_hierarchy_blackbox;
+          Alcotest.test_case "nested instances" `Quick test_nested_hierarchy;
+          Alcotest.test_case "errors" `Quick test_hierarchy_errors;
+        ] );
+      ( "autocc-from-sv",
+        [
+          Alcotest.test_case "covert channel from .sv" `Quick test_sv_to_covert_channel;
+          Alcotest.test_case "fix and prove from .sv" `Quick test_sv_fix_and_prove;
+        ] );
+    ]

@@ -1,0 +1,202 @@
+(* Cross-layer integration and property tests: the bit-blaster against
+   the interpreter on the real DUTs, memories against a reference array
+   model, temporal root-causing, and VCD identifier uniqueness. *)
+
+module S = Sat.Solver
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+
+(* {1 Blaster vs interpreter on the shipped DUTs} *)
+
+let pin blaster cycle name v =
+  let circuit = Cnf.Blast.circuit blaster in
+  let ls = Cnf.Blast.lits blaster ~cycle (Circuit.find_input circuit name) in
+  Array.iteri
+    (fun i l ->
+      S.add_clause (Cnf.Blast.solver blaster)
+        [ (if Bitvec.bit v i then l else S.neg l) ])
+    ls
+
+let blast_matches_sim dut seed =
+  let st = Random.State.make [| seed |] in
+  let cycles = 6 in
+  let trace =
+    List.init cycles (fun _ ->
+        List.map
+          (fun p ->
+            (p.Circuit.port_name, Bitvec.random st (Signal.width p.Circuit.signal)))
+          (Circuit.inputs dut))
+  in
+  let sim = Sim.create dut in
+  let expected =
+    List.map
+      (fun assignments ->
+        List.iter (fun (n, v) -> Sim.set_input sim n v) assignments;
+        let outs =
+          List.map (fun p -> Sim.out sim p.Circuit.port_name) (Circuit.outputs dut)
+        in
+        Sim.step sim;
+        outs)
+      trace
+  in
+  let solver = S.create () in
+  let blaster = Cnf.Blast.create solver dut in
+  List.iteri
+    (fun cycle assignments ->
+      Cnf.Blast.unroll_cycle blaster;
+      List.iter (fun (n, v) -> pin blaster cycle n v) assignments)
+    trace;
+  match S.solve solver with
+  | S.Unsat -> false
+  | S.Sat ->
+      List.for_all2
+        (fun cycle outs ->
+          List.for_all2
+            (fun p expect ->
+              Bitvec.equal
+                (Cnf.Blast.node_value blaster ~cycle p.Circuit.signal)
+                expect)
+            (Circuit.outputs dut) outs)
+        (List.init cycles Fun.id)
+        expected
+
+let qprop name f count =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name QCheck.(make Gen.(int_bound 1_000_000)) f)
+
+let dut_props =
+  [
+    qprop "vscale blast = sim" (fun s -> blast_matches_sim (Duts.Vscale.create ()) s) 25;
+    qprop "maple blast = sim" (fun s -> blast_matches_sim (Duts.Maple.create ()) s) 25;
+    qprop "aes blast = sim" (fun s -> blast_matches_sim (Duts.Aes.create ()) s) 25;
+    qprop "cva6 blast = sim" (fun s -> blast_matches_sim (Duts.Cva6lite.create ()) s) 15;
+    qprop "divider blast = sim" (fun s -> blast_matches_sim (Duts.Divider.create ()) s) 25;
+  ]
+
+(* {1 Memories against an array model} *)
+
+let prop_mem_model seed =
+  let st = Random.State.make [| seed |] in
+  let size = 4 in
+  let open Signal in
+  let wen = input "wen" 1 and waddr = input "waddr" 2 in
+  let wdata = input "wdata" 8 and raddr = input "raddr" 2 in
+  let m = Rtl.Mem.create ~name:"m" ~size ~width:8 () in
+  Rtl.Mem.write m ~enable:wen ~addr:waddr ~data:wdata;
+  Rtl.Mem.finalize m;
+  let c = Circuit.create ~name:"m" ~outputs:[ ("rdata", Rtl.Mem.read m raddr) ] () in
+  let sim = Sim.create c in
+  let model = Array.make size 0 in
+  let steps = 40 in
+  let ok = ref true in
+  for _ = 1 to steps do
+    let we = Random.State.bool st in
+    let wa = Random.State.int st size and ra = Random.State.int st size in
+    let wd = Random.State.int st 256 in
+    Sim.set_input_int sim "wen" (if we then 1 else 0);
+    Sim.set_input_int sim "waddr" wa;
+    Sim.set_input_int sim "wdata" wd;
+    Sim.set_input_int sim "raddr" ra;
+    if Sim.out_int sim "rdata" <> model.(ra) then ok := false;
+    Sim.step sim;
+    if we then model.(wa) <- wd
+  done;
+  !ok
+
+(* {1 Temporal root cause} *)
+
+let test_first_divergence_order () =
+  (* [stash] diverges when captured; [echo] follows one cycle later. The
+     earliest-divergence ranking must name the stash first. *)
+  let open Signal in
+  let din = input "din" 4 in
+  let capture = input "capture" 1 in
+  let query = input "query" 4 in
+  let stash = reg "stash" 4 in
+  let echo = reg "echo" 4 in
+  reg_set_next stash (mux2 capture din stash);
+  reg_set_next echo stash;
+  let dut =
+    Circuit.create ~name:"chain" ~outputs:[ ("hit", query ==: echo) ] ()
+  in
+  let ft = Autocc.Ft.generate ~threshold:2 dut in
+  match Autocc.Ft.check ~max_depth:12 ft with
+  | Bmc.Bounded_proof _ -> Alcotest.fail "chain must leak"
+  | Bmc.Cex (cex, _) -> (
+      match Autocc.Report.first_divergence ft cex with
+      | (first, c1) :: rest ->
+          Alcotest.(check string) "stash first" "stash" first;
+          (match List.assoc_opt "echo" rest with
+          | Some c2 -> Alcotest.(check bool) "echo later" true (c2 > c1)
+          | None -> Alcotest.fail "echo must also diverge")
+      | [] -> Alcotest.fail "divergence expected")
+
+(* {1 VCD identifiers} *)
+
+let test_vcd_many_signals () =
+  (* Hundreds of variables must all get distinct id codes. *)
+  let n = 300 in
+  let traces =
+    List.init n (fun i ->
+        (Printf.sprintf "sig%d" i, [| Bitvec.of_int ~width:8 i |]))
+  in
+  let path = Filename.temp_file "autocc" ".vcd" in
+  Rtl.Vcd.write ~path traces;
+  let ic = open_in path in
+  let ids = Hashtbl.create 64 in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.length line > 4 && String.sub line 0 4 = "$var" then begin
+         match String.split_on_char ' ' line with
+         | _ :: _ :: _ :: id :: _ ->
+             if Hashtbl.mem ids id then Alcotest.failf "duplicate id %s" id;
+             Hashtbl.replace ids id ()
+         | _ -> ()
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check int) "all declared" n (Hashtbl.length ids)
+
+(* {1 Vscale CSR path in simulation} *)
+
+let test_vscale_csr_ops () =
+  let module V = Duts.Vscale in
+  let program =
+    [
+      (0, `Load (1, 0)) (* r1 <- dmem = 0x2A *);
+      (1, `Csrw (0, 1)) (* csr0 <- r1 *);
+      (2, `Csrjmp 0) (* pc <- csr0 = 0x2A *);
+    ]
+  in
+  let sim = Sim.create (V.create ()) in
+  Sim.set_input_int sim "dmem_rdata" 0x2A;
+  let pcs = ref [] in
+  for _ = 1 to 8 do
+    let pc = Sim.out_int sim "imem_addr" in
+    pcs := pc :: !pcs;
+    let instr =
+      match List.assoc_opt pc program with
+      | Some i -> V.instruction i
+      | None -> V.instruction `Nop
+    in
+    Sim.set_input_int sim "imem_instr" instr;
+    Sim.step sim
+  done;
+  Alcotest.(check bool) "jumped via CSR" true (List.mem 0x2A !pcs)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ("blast-vs-sim", dut_props);
+      ( "mem",
+        [ qprop "mem matches array model" prop_mem_model 100 ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "first divergence order" `Quick test_first_divergence_order;
+          Alcotest.test_case "vcd many signals" `Quick test_vcd_many_signals;
+          Alcotest.test_case "vscale csr ops" `Quick test_vscale_csr_ops;
+        ] );
+    ]

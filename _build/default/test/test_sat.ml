@@ -1,0 +1,242 @@
+(* The SAT solver is validated against brute-force enumeration on random
+   instances, plus directed tests: unit propagation chains, pigeonhole
+   principle (unsat), assumptions, and incremental use. *)
+
+module S = Sat.Solver
+
+let make_solver nvars =
+  let s = S.create () in
+  for _ = 1 to nvars do
+    ignore (S.new_var s)
+  done;
+  s
+
+(* A CNF is a list of clauses; a clause a list of (var, sign). *)
+let brute_force nvars cnf =
+  let rec go assignment v =
+    if v = nvars then
+      List.for_all
+        (fun clause ->
+          List.exists (fun (x, sign) -> assignment.(x) = sign) clause)
+        cnf
+    else begin
+      assignment.(v) <- true;
+      go assignment (v + 1)
+      ||
+      (assignment.(v) <- false;
+       go assignment (v + 1))
+    end
+  in
+  go (Array.make nvars false) 0
+
+let solve_cnf nvars cnf =
+  let s = make_solver nvars in
+  List.iter (fun clause -> S.add_clause s (List.map (fun (v, sign) -> S.lit v sign) clause)) cnf;
+  (s, S.solve s)
+
+let check_model s cnf =
+  List.for_all
+    (fun clause -> List.exists (fun (v, sign) -> S.value s v = sign) clause)
+    cnf
+
+let random_cnf st nvars nclauses =
+  List.init nclauses (fun _ ->
+      let len = 1 + Random.State.int st 4 in
+      List.init len (fun _ ->
+          (Random.State.int st nvars, Random.State.bool st)))
+
+let prop_random_cnf seed =
+  let st = Random.State.make [| seed |] in
+  let nvars = 1 + Random.State.int st 12 in
+  let nclauses = 1 + Random.State.int st 50 in
+  let cnf = random_cnf st nvars nclauses in
+  let expected = brute_force nvars cnf in
+  let s, result = solve_cnf nvars cnf in
+  match result with
+  | S.Sat -> expected && check_model s cnf
+  | S.Unsat -> not expected
+
+let prop_assumptions seed =
+  (* Solving under assumptions must agree with adding them as unit
+     clauses, and must not poison later solves. *)
+  let st = Random.State.make [| seed |] in
+  let nvars = 1 + Random.State.int st 10 in
+  let cnf = random_cnf st nvars (1 + Random.State.int st 30) in
+  let n_assum = 1 + Random.State.int st 3 in
+  let assum = List.init n_assum (fun _ -> (Random.State.int st nvars, Random.State.bool st)) in
+  let s, _ = solve_cnf nvars cnf in
+  let assumptions = List.map (fun (v, sign) -> S.lit v sign) assum in
+  let with_assumptions = S.solve ~assumptions s in
+  let expected =
+    brute_force nvars (cnf @ List.map (fun a -> [ a ]) assum)
+  in
+  let plain_after = S.solve s in
+  let plain_expected = brute_force nvars cnf in
+  (match with_assumptions with S.Sat -> expected | S.Unsat -> not expected)
+  && (match plain_after with S.Sat -> plain_expected | S.Unsat -> not plain_expected)
+
+let prop_incremental seed =
+  (* Adding clauses one batch at a time must give the same verdicts as
+     solving each prefix from scratch. *)
+  let st = Random.State.make [| seed |] in
+  let nvars = 1 + Random.State.int st 10 in
+  let batches = List.init 3 (fun _ -> random_cnf st nvars (1 + Random.State.int st 15)) in
+  let s = make_solver nvars in
+  let acc = ref [] in
+  List.for_all
+    (fun batch ->
+      acc := !acc @ batch;
+      List.iter
+        (fun clause ->
+          S.add_clause s (List.map (fun (v, sign) -> S.lit v sign) clause))
+        batch;
+      let expected = brute_force nvars !acc in
+      match S.solve s with S.Sat -> expected | S.Unsat -> not expected)
+    batches
+
+let test_trivial () =
+  let s = make_solver 2 in
+  Alcotest.(check bool) "empty instance sat" true (S.solve s = S.Sat);
+  S.add_clause s [ S.lit 0 true ];
+  S.add_clause s [ S.lit 0 false; S.lit 1 true ];
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat);
+  Alcotest.(check bool) "v0" true (S.value s 0);
+  Alcotest.(check bool) "v1 implied" true (S.value s 1);
+  S.add_clause s [ S.lit 1 false ];
+  Alcotest.(check bool) "now unsat" true (S.solve s = S.Unsat)
+
+let test_empty_clause () =
+  let s = make_solver 1 in
+  S.add_clause s [];
+  Alcotest.(check bool) "empty clause unsat" true (S.solve s = S.Unsat)
+
+let test_pigeonhole () =
+  (* PHP(n+1, n): n+1 pigeons in n holes, classic unsat family that
+     requires real conflict analysis. Variable p*n + h = pigeon p in hole
+     h. *)
+  let pigeons = 5 and holes = 4 in
+  let s = make_solver (pigeons * holes) in
+  let v p h = (p * holes) + h in
+  for p = 0 to pigeons - 1 do
+    S.add_clause s (List.init holes (fun h -> S.lit (v p h) true))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        S.add_clause s [ S.lit (v p1 h) false; S.lit (v p2 h) false ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "pigeonhole unsat" true (S.solve s = S.Unsat)
+
+let test_graph_coloring () =
+  (* 3-coloring of a 5-cycle is satisfiable; 2-coloring is not. *)
+  let cycle = [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ] in
+  let solve_coloring colors =
+    let s = make_solver (5 * colors) in
+    let v node c = (node * colors) + c in
+    for node = 0 to 4 do
+      S.add_clause s (List.init colors (fun c -> S.lit (v node c) true))
+    done;
+    List.iter
+      (fun (a, b) ->
+        for c = 0 to colors - 1 do
+          S.add_clause s [ S.lit (v a c) false; S.lit (v b c) false ]
+        done)
+      cycle;
+    S.solve s
+  in
+  Alcotest.(check bool) "3-colorable" true (solve_coloring 3 = S.Sat);
+  Alcotest.(check bool) "not 2-colorable" true (solve_coloring 2 = S.Unsat)
+
+let test_assumption_basics () =
+  let s = make_solver 2 in
+  S.add_clause s [ S.lit 0 false; S.lit 1 true ];
+  Alcotest.(check bool) "assume x0 -> sat with x1" true
+    (S.solve ~assumptions:[ S.lit 0 true ] s = S.Sat && S.value s 1);
+  Alcotest.(check bool) "conflicting assumptions unsat" true
+    (S.solve ~assumptions:[ S.lit 1 false; S.lit 0 true ] s = S.Unsat);
+  Alcotest.(check bool) "recovers" true (S.solve s = S.Sat)
+
+let test_larger_random_unsat () =
+  (* A dense random instance far above the sat threshold: should be unsat
+     and exercise restarts/learning. 20 vars, clause ratio ~ 10. *)
+  let st = Random.State.make [| 42 |] in
+  let nvars = 20 in
+  let cnf =
+    List.init 200 (fun _ ->
+        List.init 3 (fun _ -> (Random.State.int st nvars, Random.State.bool st)))
+  in
+  let _, result = solve_cnf nvars cnf in
+  let expected = brute_force nvars cnf in
+  Alcotest.(check bool) "matches brute force" true
+    (match result with S.Sat -> expected | S.Unsat -> not expected)
+
+let test_implication_chain () =
+  (* x0 and a 300-long implication chain force every variable true; the
+     model must reflect the full propagation. *)
+  let n = 300 in
+  let s = make_solver n in
+  S.add_clause s [ S.lit 0 true ];
+  for i = 0 to n - 2 do
+    S.add_clause s [ S.lit i false; S.lit (i + 1) true ]
+  done;
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat);
+  for i = 0 to n - 1 do
+    if not (S.value s i) then Alcotest.failf "x%d not propagated" i
+  done;
+  Alcotest.(check bool) "propagations counted" true (S.num_propagations s >= n - 1);
+  (* Now close the chain into a contradiction. *)
+  S.add_clause s [ S.lit (n - 1) false ];
+  Alcotest.(check bool) "contradiction" true (S.solve s = S.Unsat)
+
+let test_xor_chain_unsat () =
+  (* Tseitin-encoded xor chain with contradictory endpoints: classic
+     resolution-hard family at small size. y_i = y_{i-1} xor x_i. *)
+  let n = 12 in
+  let s = make_solver (2 * n + 1) in
+  let y i = i and x i = n + i in
+  let xor_clauses a b c =
+    (* c = a xor b *)
+    S.add_clause s [ S.lit c false; S.lit a true; S.lit b true ];
+    S.add_clause s [ S.lit c false; S.lit a false; S.lit b false ];
+    S.add_clause s [ S.lit c true; S.lit a false; S.lit b true ];
+    S.add_clause s [ S.lit c true; S.lit a true; S.lit b false ]
+  in
+  for i = 1 to n - 1 do
+    xor_clauses (y (i - 1)) (x i) (y i)
+  done;
+  (* Pin every x_i to false, y0 true, y_{n-1} false: unsat since the
+     chain preserves y. *)
+  for i = 1 to n - 1 do
+    S.add_clause s [ S.lit (x i) false ]
+  done;
+  S.add_clause s [ S.lit (y 0) true ];
+  S.add_clause s [ S.lit (y (n - 1)) false ];
+  Alcotest.(check bool) "xor chain unsat" true (S.solve s = S.Unsat)
+
+let qprop name f =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name QCheck.(make Gen.(int_bound 1_000_000)) f)
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "directed",
+        [
+          Alcotest.test_case "trivial" `Quick test_trivial;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+          Alcotest.test_case "graph coloring" `Quick test_graph_coloring;
+          Alcotest.test_case "assumptions" `Quick test_assumption_basics;
+          Alcotest.test_case "dense random" `Quick test_larger_random_unsat;
+          Alcotest.test_case "implication chain" `Quick test_implication_chain;
+          Alcotest.test_case "xor chain" `Quick test_xor_chain_unsat;
+        ] );
+      ( "properties",
+        [
+          qprop "random cnf vs brute force" prop_random_cnf;
+          qprop "assumptions vs unit clauses" prop_assumptions;
+          qprop "incremental prefixes" prop_incremental;
+        ] );
+    ]

@@ -1,0 +1,201 @@
+(* Tests for the SystemVerilog and SVA exporters: structural linting of
+   the emitted text (declaration-before-use, balanced module/endmodule,
+   port coverage) and content checks against the Listing 1 template. *)
+
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let count_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i acc =
+    if i + nn > nh then acc
+    else if String.sub hay i nn = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+(* Collect identifiers: crude tokenizer good enough for our emitter's
+   output. *)
+let identifiers text =
+  let toks = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      toks := Buffer.contents buf :: !toks;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' -> Buffer.add_char buf c
+      | _ -> flush ())
+    text;
+  flush ();
+  List.rev !toks
+
+(* Declaration-before-use lint: every [w<n>] wire referenced must be
+   declared somewhere in the module. *)
+let undeclared_wires text =
+  let decls = Hashtbl.create 64 in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         match identifiers line with
+         | _ when contains line " wire " || contains line "  reg " -> (
+             (* declaration lines look like: wire [w:0] name = ...; *)
+             let ids = identifiers line in
+             let rec find = function
+               | "wire" :: rest | "reg" :: rest -> (
+                   match List.filter (fun t -> not (String.length t > 0 && t.[0] >= '0' && t.[0] <= '9')) rest with
+                   | name :: _ -> Hashtbl.replace decls name ()
+                   | [] -> ())
+               | _ :: rest -> find rest
+               | [] -> ()
+             in
+             find ids)
+         | _ -> ());
+  identifiers text
+  |> List.filter (fun t ->
+         String.length t > 1 && t.[0] = 'w'
+         && (match int_of_string_opt (String.sub t 1 (String.length t - 1)) with
+            | Some _ -> not (Hashtbl.mem decls t)
+            | None -> false))
+
+let all_duts () =
+  [
+    ("vscale", Duts.Vscale.create ());
+    ("maple", Duts.Maple.create ());
+    ("aes", Duts.Aes.create ());
+    ("cva6lite", Duts.Cva6lite.create ());
+  ]
+
+let test_emit_all_duts () =
+  List.iter
+    (fun (name, dut) ->
+      let text = Rtl.Verilog.to_string dut in
+      Alcotest.(check int) (name ^ ": one module") 1 (count_substring text "\nendmodule");
+      Alcotest.(check (list string)) (name ^ ": wires declared") [] (undeclared_wires text);
+      (* Every port appears in the header. *)
+      List.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: port %s present" name p.Circuit.port_name)
+            true
+            (contains text (Rtl.Verilog.sanitize p.Circuit.port_name)))
+        (Circuit.inputs dut @ Circuit.outputs dut);
+      (* One register update per register. *)
+      Alcotest.(check bool) (name ^ ": has always_ff") true (contains text "always_ff"))
+    (all_duts ())
+
+let test_reg_port_collision () =
+  (* A register with the same name as an output port must be renamed. *)
+  let open Signal in
+  let count = reg "count" 4 in
+  reg_set_next count (count +: one 4);
+  let c = Circuit.create ~name:"clash" ~outputs:[ ("count", count) ] () in
+  let text = Rtl.Verilog.to_string c in
+  Alcotest.(check bool) "renamed reg declared" true (contains text "reg [3:0] count_q;");
+  Alcotest.(check bool) "output assigned from reg" true
+    (contains text "assign count = count_q;")
+
+let test_constants_and_ops () =
+  let open Signal in
+  let a = input "a" 8 and b = input "b" 8 in
+  let c =
+    Circuit.create ~name:"ops"
+      ~outputs:
+        [
+          ("sum", a +: b);
+          ("prod", a *: b);
+          ("lt", a <: b);
+          ("slt", slt a b);
+          ("slice", select a 6 2);
+          ("cat", concat [ a; b ]);
+          ("k", of_int ~width:8 0xA5);
+        ]
+      ()
+  in
+  let text = Rtl.Verilog.to_string c in
+  List.iter
+    (fun frag -> Alcotest.(check bool) frag true (contains text frag))
+    [ "a + b"; "a * b"; "a < b"; "$signed(a) < $signed(b)"; "a[6:2]"; "{a, b}"; "8'ha5" ]
+
+let test_sva_wrapper_structure () =
+  let dut = Duts.Maple.create () in
+  let text = Autocc.Sva.wrapper ~threshold:4 ~arch_regs:[ "base"; "tlb_en" ] dut in
+  List.iter
+    (fun frag -> Alcotest.(check bool) frag true (contains text frag))
+    [
+      "module ft_maple";
+      "localparam THRESHOLD = 4;";
+      "maple ua (";
+      "maple ub (";
+      (* Transaction gating from the circuit's annotations. *)
+      "wire noc_req_addr_eq = !a_noc_req_valid || a_noc_req_addr == b_noc_req_addr;";
+      "ua.base == ub.base";
+      "ua.tlb_en == ub.tlb_en";
+      "wire spy_starts = transfer_cond && eq_cnt >= THRESHOLD;";
+      "assume property (@(posedge clk) spy_mode |-> cfg_wen_eq);";
+      "assert property (@(posedge clk) spy_mode |-> resp_valid_eq);";
+    ];
+  (* One assumption per duplicated input, one assertion per output. *)
+  Alcotest.(check int) "assumption count" (List.length (Circuit.inputs dut))
+    (count_substring text "assume property");
+  Alcotest.(check int) "assertion count" (List.length (Circuit.outputs dut))
+    (count_substring text "assert property")
+
+let test_sva_common_inputs () =
+  let open Signal in
+  let dbg = input "debug" 4 in
+  let d = input "din" 4 in
+  let q = reg "q" 4 in
+  reg_set_next q d;
+  let c =
+    Circuit.create ~name:"cm" ~common:[ "debug" ] ~outputs:[ ("o", q +: dbg) ] ()
+  in
+  let text = Autocc.Sva.wrapper c in
+  Alcotest.(check bool) "single common port" true (contains text "input wire [3:0] debug,");
+  Alcotest.(check bool) "no duplicated common" false (contains text "a_debug");
+  Alcotest.(check bool) "no assume on common" false (contains text "debug_eq")
+
+let test_sby_and_flow () =
+  let dut = Duts.Aes.create () in
+  let cfg = Autocc.Sva.sby_config ~depth:30 dut in
+  List.iter
+    (fun frag -> Alcotest.(check bool) frag true (contains cfg frag))
+    [ "mode bmc"; "depth 30"; "read -formal aes.sv"; "prep -top ft_aes" ];
+  let tcl = Autocc.Sva.jg_tcl dut in
+  List.iter
+    (fun frag -> Alcotest.(check bool) frag true (contains tcl frag))
+    [ "analyze -sv12 ft_aes.sv"; "elaborate -top ft_aes"; "prove -all" ];
+  let dir = Filename.temp_file "autocc" "" in
+  Sys.remove dir;
+  Autocc.Sva.write_flow ~dir dut;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (f ^ " exists") true (Sys.file_exists (Filename.concat dir f)))
+    [ "aes.sv"; "ft_aes.sv"; "aes.sby"; "FPV.tcl" ];
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let () =
+  Alcotest.run "verilog"
+    [
+      ( "verilog",
+        [
+          Alcotest.test_case "emit all DUTs" `Quick test_emit_all_duts;
+          Alcotest.test_case "reg/port collision" `Quick test_reg_port_collision;
+          Alcotest.test_case "operators" `Quick test_constants_and_ops;
+        ] );
+      ( "sva",
+        [
+          Alcotest.test_case "wrapper structure" `Quick test_sva_wrapper_structure;
+          Alcotest.test_case "common inputs" `Quick test_sva_common_inputs;
+          Alcotest.test_case "sby config and flow" `Quick test_sby_and_flow;
+        ] );
+    ]
