@@ -7,7 +7,12 @@
    fixes turn CEXs into proofs — must match.
 
    Usage: dune exec bench/main.exe [table1|table2|exploit|aes_proof|
-                                    fixes|baseline|flush_tdd|bechamel|all]
+                                    fixes|baseline|flush_tdd|parallel|bechamel|all]
+
+   The [parallel] subcommand re-runs representative Table 1 rows on the
+   sequential engine and on the domain-sharded parallel engine
+   (lib/bmc/parallel.ml), checks the verdicts and CEX depths agree, and
+   prints the per-row speedup (AUTOCC_JOBS overrides the worker count).
 
    The [bechamel] subcommand runs one Bechamel micro-benchmark per table
    on representative kernels. *)
@@ -424,6 +429,68 @@ let flush_tdd () =
     (Unix.gettimeofday () -. t0)
     r2.Autocc.Synthesis.proved
 
+(* {1 Parallel engine: sequential vs sharded/portfolio wall-clock} *)
+
+let parallel_bench () =
+  header
+    "Parallel — sequential engine vs domain-sharded verification (same verdicts, wall-clock speedup)";
+  let jobs =
+    match Sys.getenv_opt "AUTOCC_JOBS" with
+    | Some s -> ( try int_of_string s with _ -> Parallel.default_jobs ())
+    | None -> Parallel.default_jobs ()
+  in
+  Printf.printf "worker domains: %d (cores: %d; set AUTOCC_JOBS to override)\n\n"
+    jobs
+    (Domain.recommended_domain_count ());
+  let describe = function
+    | Bmc.Cex (cex, _) -> Printf.sprintf "CEX depth %d" (cex.Bmc.cex_depth + 1)
+    | Bmc.Bounded_proof st -> Printf.sprintf "proof to %d" (st.Bmc.depth_reached + 1)
+  in
+  let mismatches = ref 0 in
+  let row id description ?portfolio ft ~max_depth =
+    let t0 = Unix.gettimeofday () in
+    let seq = Autocc.Ft.check ~max_depth ft in
+    let seq_t = Unix.gettimeofday () -. t0 in
+    let t0 = Unix.gettimeofday () in
+    let par, detail = Autocc.Ft.check_detailed ~max_depth ~jobs ?portfolio ft in
+    let par_t = Unix.gettimeofday () -. t0 in
+    (* The acceptance bar: identical outcome kind, CEX depth and (for
+       sharding, which re-validates on the full property) a failing set
+       that the sequential engine could also have reported. *)
+    let agree =
+      match (seq, par) with
+      | Bmc.Cex (c1, _), Bmc.Cex (c2, _) -> c1.Bmc.cex_depth = c2.Bmc.cex_depth
+      | Bmc.Bounded_proof _, Bmc.Bounded_proof _ -> true
+      | _ -> false
+    in
+    if not agree then incr mismatches;
+    Printf.printf "%-4s %-40s seq %-14s %7.2fs | par %-14s %7.2fs | %5.2fx%s\n" id
+      description (describe seq) seq_t (describe par) par_t
+      (seq_t /. Float.max 1e-9 par_t)
+      (if agree then "" else "  MISMATCH");
+    Printf.printf "     %s\n"
+      (Format.asprintf "%a" Autocc.Report.pp_merged (Autocc.Report.merge_stats detail))
+  in
+  let vscale = V.create () in
+  row "V5" "Vscale: pending-IRQ channel (Table 1 row)"
+    (V.ft_for_stage V.Arch_pipeline vscale)
+    ~max_depth:8;
+  row "M3" "MAPLE: base-address leak"
+    (maple_ft { M.fix_m2 = true; fix_m3 = false })
+    ~max_depth:10;
+  row "C0" "CVA6: microreset, all fixes (bounded proof)" (cva6_ft C.microreset_fixed)
+    ~max_depth:11;
+  row "A1" "AES: idle flush, portfolio of 4" ~portfolio:4
+    (Autocc.Ft.generate ~threshold:2 ~flush_done:(A.flush_done_idle ()) (A.create ()))
+    ~max_depth:12;
+  print_newline ();
+  if !mismatches = 0 then
+    print_endline "     all parallel verdicts and CEX depths match the sequential engine"
+  else begin
+    Printf.printf "     %d MISMATCH(ES) between sequential and parallel runs\n" !mismatches;
+    exit 1
+  end
+
 (* {1 Bechamel micro-benchmarks: one Test.make per table} *)
 
 let bechamel () =
@@ -511,10 +578,11 @@ let () =
   | "divider" -> divider ()
   | "scaling" -> scaling ()
   | "flush_tdd" -> flush_tdd ()
+  | "parallel" -> parallel_bench ()
   | "bechamel" -> bechamel ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
-        "unknown experiment %s (try table1|table2|exploit|aes_proof|fixes|baseline|latency|flush_tdd|bechamel|all)\n"
+        "unknown experiment %s (try table1|table2|exploit|aes_proof|fixes|baseline|latency|flush_tdd|parallel|bechamel|all)\n"
         other;
       exit 1

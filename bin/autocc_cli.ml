@@ -54,8 +54,8 @@ let ft_for name dut ~stage ~threshold =
 
 (* {1 analyze} *)
 
-let analyze dut_name verilog top blackbox stage threshold max_depth fix_m2 fix_m3
-    fix_c1 fix_c2 fix_c3 full_flush verbose vcd =
+let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfolio
+    fix_m2 fix_m3 fix_c1 fix_c2 fix_c3 full_flush verbose vcd =
   let dut =
     match verilog with
     | Some path ->
@@ -78,9 +78,24 @@ let analyze dut_name verilog top blackbox stage threshold max_depth fix_m2 fix_m
     | _ -> Autocc.Ft.generate ~threshold ~blackbox dut
   in
   Format.printf "FT : %a@." Rtl.Circuit.pp_stats ft.Autocc.Ft.wrapper;
-  Format.printf "Running BMC to depth %d...@." max_depth;
+  let jobs = if jobs = 0 then Parallel.default_jobs () else jobs in
+  let progress d = if verbose then Format.printf "  depth %d@." d in
+  Format.printf "Running BMC to depth %d%s...@." max_depth
+    (if portfolio > 1 then Printf.sprintf " (portfolio of %d on %d domains)" portfolio jobs
+     else if jobs > 1 then Printf.sprintf " (%d worker domains)" jobs
+     else "");
   let t0 = Unix.gettimeofday () in
-  (match Autocc.Ft.check ~max_depth ~progress:(fun d -> if verbose then Format.printf "  depth %d@." d) ft with
+  let outcome =
+    if jobs > 1 || portfolio > 1 then begin
+      let portfolio = if portfolio > 1 then Some portfolio else None in
+      let outcome, detail = Autocc.Ft.check_detailed ~max_depth ~progress ~jobs ?portfolio ft in
+      Format.printf "Parallel run: %a@." Autocc.Report.pp_merged
+        (Autocc.Report.merge_stats detail);
+      outcome
+    end
+    else Autocc.Ft.check ~max_depth ~progress ft
+  in
+  (match outcome with
   | Bmc.Cex (cex, stats) ->
       Format.printf "@.Counterexample found (%.2fs in the solver, %d conflicts):@.@."
         stats.Bmc.solve_time stats.Bmc.conflicts;
@@ -212,6 +227,24 @@ let threshold_arg =
 let max_depth_arg =
   Arg.(value & opt int 12 & info [ "max-depth" ] ~doc:"BMC unrolling bound in cycles.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ]
+        ~doc:
+          "Worker domains for parallel verification: assertions are sharded \
+           across this many domains. 1 (the default) runs the sequential \
+           engine; 0 uses one domain per core.")
+
+let portfolio_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "portfolio" ]
+        ~doc:
+          "Race this many solver configurations on the whole property instead \
+           of sharding assertions; the first answer wins. Implies the parallel \
+           engine.")
+
 let flag name doc = Arg.(value & flag & info [ name ] ~doc)
 
 let analyze_cmd =
@@ -227,7 +260,7 @@ let analyze_cmd =
           & opt string ""
           & info [ "blackbox" ]
               ~doc:"Comma-separated submodule boundaries/instances to blackbox.")
-      $ stage_arg $ threshold_arg $ max_depth_arg
+      $ stage_arg $ threshold_arg $ max_depth_arg $ jobs_arg $ portfolio_arg
       $ flag "fix-m2" "Apply the MAPLE M2 fix."
       $ flag "fix-m3" "Apply the MAPLE M3 fix."
       $ flag "fix-c1" "Apply the CVA6 C1 fix."

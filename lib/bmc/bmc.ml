@@ -25,6 +25,7 @@ type stats = {
 type outcome = Cex of cex * stats | Bounded_proof of stats
 
 exception Replay_mismatch of string
+exception Cancelled of stats
 
 let check_width_1 what s =
   if Signal.width s <> 1 then
@@ -71,23 +72,29 @@ let validate circuit property inputs depth =
     raise (Replay_mismatch "no assertion failed at CEX depth in replay");
   !failed
 
-let check ?(max_depth = 30) ?(progress = fun _ -> ()) circuit property =
+let check_property what property =
   List.iter (check_width_1 "assume") property.assumes;
   List.iter (fun (_, s) -> check_width_1 "assert" s) property.asserts;
-  if property.asserts = [] then invalid_arg "Bmc.check: no assertions";
-  (* Property signals are usually fresh nodes over the circuit's graph;
-     elaborate an extended circuit that carries them as outputs so that
-     the blaster and the replay simulator both know them. *)
-  let circuit =
-    Rtl.Circuit.create
-      ~name:(Rtl.Circuit.name circuit ^ "_prop")
-      ~outputs:
-        (List.map (fun p -> (p.Circuit.port_name, p.Circuit.signal)) (Circuit.outputs circuit)
-        @ List.mapi (fun i a -> (Printf.sprintf "__bmc_assume_%d" i, a)) property.assumes
-        @ List.map (fun (n, a) -> ("__bmc_assert_" ^ n, a)) property.asserts)
-      ()
-  in
-  let solver = S.create () in
+  if property.asserts = [] then invalid_arg (what ^ ": no assertions")
+
+(* Property signals are usually fresh nodes over the circuit's graph;
+   elaborate an extended circuit that carries them as outputs so that the
+   blaster and the replay simulator both know them. Creates no new signal
+   nodes, so it is safe to call from worker domains. *)
+let instrument circuit property =
+  Rtl.Circuit.create
+    ~name:(Rtl.Circuit.name circuit ^ "_prop")
+    ~outputs:
+      (List.map (fun p -> (p.Circuit.port_name, p.Circuit.signal)) (Circuit.outputs circuit)
+      @ List.mapi (fun i a -> (Printf.sprintf "__bmc_assume_%d" i, a)) property.assumes
+      @ List.map (fun (n, a) -> ("__bmc_assert_" ^ n, a)) property.asserts)
+    ()
+
+let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
+    ?(stop = fun () -> false) circuit property =
+  check_property "Bmc.check" property;
+  let circuit = instrument circuit property in
+  let solver = S.create ?config:solver_config ~stop () in
   let blaster = Cnf.Blast.create solver circuit in
   let solve_time = ref 0. in
   let timed_solve ~assumptions () =
@@ -105,9 +112,12 @@ let check ?(max_depth = 30) ?(progress = fun _ -> ()) circuit property =
       conflicts = S.num_conflicts solver;
     }
   in
+  let cur_depth = ref 0 in
   let rec go depth =
     if depth > max_depth then Bounded_proof (stats max_depth)
     else begin
+      cur_depth := depth;
+      if stop () then raise S.Stopped;
       progress depth;
       Cnf.Blast.unroll_cycle blaster;
       (* Assumptions hold unconditionally on every cycle. *)
@@ -151,7 +161,7 @@ let check ?(max_depth = 30) ?(progress = fun _ -> ()) circuit property =
           go (depth + 1)
     end
   in
-  go 0
+  try go 0 with S.Stopped -> raise (Cancelled (stats !cur_depth))
 
 let pp_cex fmt cex =
   Format.fprintf fmt "CEX at depth %d, failing: %s@."
@@ -173,22 +183,13 @@ type induction_outcome =
   | Refuted of cex * stats
   | Unknown of stats
 
-let prove ?(max_depth = 30) ?(progress = fun _ -> ()) circuit property =
-  List.iter (check_width_1 "assume") property.assumes;
-  List.iter (fun (_, s) -> check_width_1 "assert" s) property.asserts;
-  if property.asserts = [] then invalid_arg "Bmc.prove: no assertions";
-  let circuit =
-    Rtl.Circuit.create
-      ~name:(Rtl.Circuit.name circuit ^ "_prop")
-      ~outputs:
-        (List.map (fun p -> (p.Circuit.port_name, p.Circuit.signal)) (Circuit.outputs circuit)
-        @ List.mapi (fun i a -> (Printf.sprintf "__bmc_assume_%d" i, a)) property.assumes
-        @ List.map (fun (n, a) -> ("__bmc_assert_" ^ n, a)) property.asserts)
-      ()
-  in
-  let base_solver = S.create () in
+let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
+    ?(stop = fun () -> false) circuit property =
+  check_property "Bmc.prove" property;
+  let circuit = instrument circuit property in
+  let base_solver = S.create ?config:solver_config ~stop () in
   let base = Cnf.Blast.create base_solver circuit in
-  let step_solver = S.create () in
+  let step_solver = S.create ?config:solver_config ~stop () in
   let step = Cnf.Blast.create ~free_init:true step_solver circuit in
   let solve_time = ref 0. in
   let timed solver assumptions =
@@ -228,9 +229,12 @@ let prove ?(max_depth = 30) ?(progress = fun _ -> ()) circuit property =
       (fun (_, a) -> S.add_clause solver [ Cnf.Blast.lit1 blaster ~cycle:depth a ])
       property.asserts
   in
+  let cur_depth = ref 0 in
   let rec go k =
     if k > max_depth then Unknown (stats max_depth)
     else begin
+      cur_depth := k;
+      if stop () then raise S.Stopped;
       progress k;
       (* Base case: bad at cycle k, from reset. *)
       let base_act = install base k in
@@ -263,9 +267,9 @@ let prove ?(max_depth = 30) ?(progress = fun _ -> ()) circuit property =
               go (k + 1))
     end
   in
-  go 0
+  try go 0 with S.Stopped -> raise (Cancelled (stats !cur_depth))
 
-let equiv ?max_depth c1 c2 =
+let miter c1 c2 =
   let module T = Rtl.Transform in
   let port_names c =
     List.sort compare (List.map (fun p -> p.Circuit.port_name) (Circuit.inputs c)),
@@ -300,4 +304,8 @@ let equiv ?max_depth c1 c2 =
       ~outputs:(List.map (fun (n, s) -> ("a_" ^ n, s)) outs1)
       ()
   in
-  check ?max_depth miter { assumes = []; asserts }
+  (miter, { assumes = []; asserts })
+
+let equiv ?max_depth c1 c2 =
+  let m, p = miter c1 c2 in
+  check ?max_depth m p

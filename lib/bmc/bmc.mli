@@ -43,13 +43,52 @@ exception Replay_mismatch of string
 (** Raised if a SAT counterexample fails to reproduce in simulation —
     indicates a bug in the blasting or solving layer. *)
 
+exception Cancelled of stats
+(** Raised by {!check} / {!prove} when the [stop] hook fires mid-search.
+    Carries the statistics accumulated up to the cancellation point;
+    [depth_reached] is the depth that was being explored. Used by
+    {!Parallel} to abandon jobs once a shallower counterexample exists. *)
+
 val check :
   ?max_depth:int ->
   ?progress:(int -> unit) ->
+  ?solver_config:Sat.Solver.config ->
+  ?stop:(unit -> bool) ->
   Rtl.Circuit.t ->
   property ->
   outcome
-(** [check circuit property] with [max_depth] defaulting to 30 cycles. *)
+(** [check circuit property] with [max_depth] defaulting to 30 cycles.
+
+    [progress] is invoked with each depth just before it is solved.
+    Reentrancy contract: it is always called from the domain that called
+    [check], never from another domain — {!Parallel} relies on this by
+    giving each worker job its own callback and marshalling user-visible
+    ticks back to the coordinating domain through a mutex-protected
+    queue. The callback must not call back into this [check] run.
+
+    [solver_config] selects the SAT heuristics (see
+    {!Sat.Solver.config}); [stop] is polled in the solver's propagation
+    loop and between depths, and a firing stop aborts the run by raising
+    {!Cancelled}. *)
+
+val instrument : Rtl.Circuit.t -> property -> Rtl.Circuit.t
+(** The extended circuit [check] verifies: the original outputs plus one
+    output per assumption ([__bmc_assume_<i>]) and per assertion
+    ([__bmc_assert_<name>]). Allocates no new signal nodes, so it is safe
+    to call concurrently from several domains on a shared signal graph. *)
+
+val validate :
+  Rtl.Circuit.t ->
+  property ->
+  (string * Bitvec.t) list array ->
+  int ->
+  string list
+(** [validate circuit property inputs depth] replays a candidate
+    counterexample on the {!Sim} interpreter: all assumptions must hold
+    on cycles [0 .. depth] and some assertion must be false at [depth].
+    Returns the names of every failing assertion at [depth]; raises
+    {!Replay_mismatch} otherwise. [circuit] must carry the property
+    signals (use {!instrument}). *)
 
 val replay : cex -> Sim.t
 (** A simulator advanced to just before cycle 0 with watches installed;
@@ -61,6 +100,13 @@ val replay_values : cex -> Rtl.Signal.t list -> (Rtl.Signal.t * Bitvec.t array) 
 
 val pp_cex : Format.formatter -> cex -> unit
 (** Print the trace: per-cycle inputs and the failing assertions. *)
+
+val miter : Rtl.Circuit.t -> Rtl.Circuit.t -> Rtl.Circuit.t * property
+(** The shared-input miter of two interface-identical circuits and the
+    per-output equality property {!equiv} checks. Raises
+    [Invalid_argument] if the interfaces differ — validated eagerly, so
+    parallel callers fail in the calling domain before any worker
+    spawns. *)
 
 val equiv : ?max_depth:int -> Rtl.Circuit.t -> Rtl.Circuit.t -> outcome
 (** [equiv a b] checks that two circuits with identical port interfaces
@@ -89,8 +135,12 @@ type induction_outcome =
 val prove :
   ?max_depth:int ->
   ?progress:(int -> unit) ->
+  ?solver_config:Sat.Solver.config ->
+  ?stop:(unit -> bool) ->
   Rtl.Circuit.t ->
   property ->
   induction_outcome
 (** [prove circuit property] interleaves the base case and the inductive
-    step, deepening [k] until one of them answers. *)
+    step, deepening [k] until one of them answers. [progress],
+    [solver_config] and [stop] behave exactly as in {!check} (including
+    the calling-domain-only contract on [progress]). *)

@@ -1,0 +1,416 @@
+(* Parallel BMC/induction over OCaml 5 domains.
+
+   Two strategies over the same small scheduler:
+
+   - sharding: one job per assertion (group); each job runs the ordinary
+     sequential engine on a slim copy of the circuit whose outputs are
+     just its own assertions, so the blaster only encodes the cone of
+     those assertions plus the assumptions. The shallowest CEX wins and
+     cancels every job that cannot beat it.
+   - portfolio: k differently-configured solvers race on the whole
+     property; first answer wins and cancels the rest.
+
+   Scheduler shape: jobs are closures in an array; worker domains pull
+   the next unstarted index off an atomic cursor (work stealing with a
+   single cursor — an idle worker always takes the next job, so
+   imbalance costs at most one job's latency). Progress ticks and
+   completions travel to the coordinating domain through one
+   mutex-protected queue; user callbacks only ever run on the calling
+   domain (see the reentrancy contract on Bmc.check's [progress]).
+
+   Domain-safety notes: signal construction is NOT domain-safe (global
+   uid counter), so every circuit a worker touches is either built here
+   in the calling domain before any spawn, or built by Circuit.create /
+   Bmc.instrument, which only walk existing nodes. Solvers, blasters and
+   simulators are created per job and never shared. *)
+
+module S = Sat.Solver
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+type job_verdict =
+  | Job_cex of Bmc.cex
+  | Job_bounded
+  | Job_proved of int
+  | Job_unknown
+  | Job_cancelled
+  | Job_failed of exn
+
+type job_result = {
+  job_label : string;
+  job_verdict : job_verdict;
+  job_stats : Bmc.stats;
+  job_wall : float;
+}
+
+type detail = {
+  par_strategy : string;
+  par_workers : int;
+  par_results : job_result list;
+}
+
+let zero_stats =
+  { Bmc.depth_reached = 0; solve_time = 0.; vars = 0; clauses = 0; conflicts = 0 }
+
+(* {1 The domain pool} *)
+
+let run_tasks ~workers ~progress (tasks : (tick:(int -> unit) -> job_result) array)
+    =
+  let n = Array.length tasks in
+  let reported = ref (-1) in
+  let report d =
+    if d > !reported then begin
+      reported := d;
+      progress d
+    end
+  in
+  let workers = max 1 (min workers n) in
+  if workers = 1 then
+    (* Single-domain fallback (-j 1): same jobs, same merge path, ticks
+       delivered directly — no domains are spawned at all. *)
+    Array.map (fun task -> task ~tick:report) tasks
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let m = Mutex.create () in
+    let cond = Condition.create () in
+    let ticks = Queue.create () in
+    let completed = ref 0 in
+    let post f =
+      Mutex.lock m;
+      f ();
+      Condition.signal cond;
+      Mutex.unlock m
+    in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          let r = tasks.(i) ~tick:(fun d -> post (fun () -> Queue.push d ticks)) in
+          post (fun () ->
+              results.(i) <- Some r;
+              incr completed);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init workers (fun _ -> Domain.spawn worker) in
+    (* Coordinator: drain ticks (running the user callback here, in the
+       calling domain) until every job has reported a result. *)
+    let rec drain () =
+      Mutex.lock m;
+      while Queue.is_empty ticks && !completed < n do
+        Condition.wait cond m
+      done;
+      let pending = List.of_seq (Queue.to_seq ticks) in
+      Queue.clear ticks;
+      let finished = !completed = n in
+      Mutex.unlock m;
+      List.iter report (List.sort compare pending);
+      if not finished then drain ()
+    in
+    drain ();
+    Array.iter Domain.join domains;
+    Array.map Option.get results
+  end
+
+(* {1 Shared helpers} *)
+
+let rec atomic_min a v =
+  let c = Atomic.get a in
+  if v < c && not (Atomic.compare_and_set a c v) then atomic_min a v
+
+let validate_property what (p : Bmc.property) =
+  List.iter
+    (fun s ->
+      if Signal.width s <> 1 then
+        invalid_arg (what ^ ": assume signal must be 1 bit wide"))
+    p.Bmc.assumes;
+  List.iter
+    (fun (_, s) ->
+      if Signal.width s <> 1 then
+        invalid_arg (what ^ ": assert signal must be 1 bit wide"))
+    p.Bmc.asserts;
+  if p.Bmc.asserts = [] then invalid_arg (what ^ ": no assertions")
+
+let rec chunk size l =
+  match l with
+  | [] -> []
+  | _ ->
+      let rec take k = function
+        | x :: rest when k > 0 ->
+            let h, t = take (k - 1) rest in
+            (x :: h, t)
+        | rest -> ([], rest)
+      in
+      let h, t = take size l in
+      h :: chunk size t
+
+let label_of_group g = String.concat "," (List.map fst g)
+
+let merge_stats ~depth results =
+  Array.fold_left
+    (fun acc r ->
+      {
+        Bmc.depth_reached = depth;
+        solve_time = acc.Bmc.solve_time +. r.job_stats.Bmc.solve_time;
+        vars = acc.Bmc.vars + r.job_stats.Bmc.vars;
+        clauses = acc.Bmc.clauses + r.job_stats.Bmc.clauses;
+        conflicts = acc.Bmc.conflicts + r.job_stats.Bmc.conflicts;
+      })
+    { zero_stats with Bmc.depth_reached = depth }
+    results
+
+(* A job that raised poisons the whole run: re-raise the first failure
+   (in job order, for determinism) in the calling domain. By the time we
+   get here every worker has been joined, so nothing deadlocks. *)
+let reraise_failures results =
+  Array.iter
+    (fun r -> match r.job_verdict with Job_failed e -> raise e | _ -> ())
+    results
+
+(* Rebuild the winning shard's counterexample over the full property:
+   extend the input trace to every input of the fully-instrumented
+   circuit (inputs outside the shard's cone cannot influence the
+   assumptions or the winning assertion, so zeros are as good as any
+   value) and re-validate on the interpreter to recover the complete
+   failing-assertion set for this trace. *)
+let widen_cex circuit property (win : Bmc.cex) =
+  let full = Bmc.instrument circuit property in
+  let inputs =
+    Array.map
+      (fun assignments ->
+        List.map
+          (fun p ->
+            let name = p.Circuit.port_name in
+            match List.assoc_opt name assignments with
+            | Some v -> (name, v)
+            | None -> (name, Bitvec.zero (Signal.width p.Circuit.signal)))
+          (Circuit.inputs full))
+      win.Bmc.cex_inputs
+  in
+  let failed = Bmc.validate full property inputs win.Bmc.cex_depth in
+  {
+    Bmc.cex_depth = win.Bmc.cex_depth;
+    cex_inputs = inputs;
+    cex_failed = failed;
+    cex_circuit = full;
+  }
+
+let shallowest results =
+  let best = ref None in
+  Array.iter
+    (fun r ->
+      match (r.job_verdict, !best) with
+      | Job_cex c, None -> best := Some c
+      | Job_cex c, Some b when c.Bmc.cex_depth < b.Bmc.cex_depth -> best := Some c
+      | _ -> ())
+    results;
+  !best
+
+(* {1 Assertion sharding} *)
+
+let check_sharded ~workers ~group_size ~max_depth ~progress circuit property =
+  let groups = chunk (max 1 group_size) property.Bmc.asserts in
+  (* Slim per-shard circuits, built in the calling domain: outputs are
+     only this group's assertions, so each shard blasts only their cone
+     (plus the assumption cones added back by Bmc.check's
+     instrumentation). *)
+  let slim =
+    List.map (fun g -> Circuit.create ~name:(Circuit.name circuit) ~outputs:g ()) groups
+  in
+  let best = Atomic.make max_int in
+  let halt = Atomic.make false in
+  let task g c ~tick =
+    let cur = ref 0 in
+    let stop () = Atomic.get halt || Atomic.get best <= !cur in
+    let t0 = Unix.gettimeofday () in
+    let finish verdict stats =
+      {
+        job_label = label_of_group g;
+        job_verdict = verdict;
+        job_stats = stats;
+        job_wall = Unix.gettimeofday () -. t0;
+      }
+    in
+    try
+      match
+        Bmc.check ~max_depth
+          ~progress:(fun d ->
+            cur := d;
+            tick d)
+          ~stop c
+          { Bmc.assumes = property.Bmc.assumes; asserts = g }
+      with
+      | Bmc.Cex (cex, st) ->
+          atomic_min best cex.Bmc.cex_depth;
+          finish (Job_cex cex) st
+      | Bmc.Bounded_proof st -> finish Job_bounded st
+    with
+    | Bmc.Cancelled st -> finish Job_cancelled st
+    | e ->
+        Atomic.set halt true;
+        finish (Job_failed e) zero_stats
+  in
+  let tasks = Array.of_list (List.map2 (fun g c ~tick -> task g c ~tick) groups slim) in
+  let results = run_tasks ~workers ~progress tasks in
+  reraise_failures results;
+  let detail =
+    {
+      par_strategy = "shard";
+      par_workers = max 1 (min workers (Array.length tasks));
+      par_results = Array.to_list results;
+    }
+  in
+  match shallowest results with
+  | None -> (Bmc.Bounded_proof (merge_stats ~depth:max_depth results), detail)
+  | Some win ->
+      let cex = widen_cex circuit property win in
+      (Bmc.Cex (cex, merge_stats ~depth:win.Bmc.cex_depth results), detail)
+
+(* {1 Portfolio} *)
+
+let check_portfolio ~workers ~k ~max_depth ~progress circuit property =
+  let configs = S.portfolio k in
+  let finished = Atomic.make false in
+  let task cfg ~tick =
+    let stop () = Atomic.get finished in
+    let t0 = Unix.gettimeofday () in
+    let finish verdict stats =
+      {
+        job_label = cfg.S.cfg_name;
+        job_verdict = verdict;
+        job_stats = stats;
+        job_wall = Unix.gettimeofday () -. t0;
+      }
+    in
+    try
+      match Bmc.check ~max_depth ~progress:tick ~solver_config:cfg ~stop circuit property with
+      | Bmc.Cex (cex, st) ->
+          Atomic.set finished true;
+          finish (Job_cex cex) st
+      | Bmc.Bounded_proof st ->
+          Atomic.set finished true;
+          finish Job_bounded st
+    with
+    | Bmc.Cancelled st -> finish Job_cancelled st
+    | e ->
+        Atomic.set finished true;
+        finish (Job_failed e) zero_stats
+  in
+  let tasks = Array.of_list (List.map (fun cfg ~tick -> task cfg ~tick) configs) in
+  let results = run_tasks ~workers ~progress tasks in
+  reraise_failures results;
+  let detail =
+    {
+      par_strategy = "portfolio";
+      par_workers = max 1 (min workers (Array.length tasks));
+      par_results = Array.to_list results;
+    }
+  in
+  (* Every configuration answers the same deepening queries, so whichever
+     finished first has THE shallowest depth; the first completer in job
+     order keeps reports deterministic modulo the race. *)
+  match shallowest results with
+  | Some win -> (Bmc.Cex (win, merge_stats ~depth:win.Bmc.cex_depth results), detail)
+  | None -> (Bmc.Bounded_proof (merge_stats ~depth:max_depth results), detail)
+
+(* {1 Entry points} *)
+
+let check_detailed ?jobs ?portfolio ?(group_size = 1) ?(max_depth = 30)
+    ?(progress = fun _ -> ()) circuit property =
+  validate_property "Parallel.check" property;
+  let workers = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  match portfolio with
+  | Some k when k > 1 -> check_portfolio ~workers ~k ~max_depth ~progress circuit property
+  | _ -> check_sharded ~workers ~group_size ~max_depth ~progress circuit property
+
+let check ?jobs ?portfolio ?group_size ?max_depth ?progress circuit property =
+  fst (check_detailed ?jobs ?portfolio ?group_size ?max_depth ?progress circuit property)
+
+let prove_detailed ?jobs ?(group_size = 1) ?(max_depth = 30)
+    ?(progress = fun _ -> ()) circuit property =
+  validate_property "Parallel.prove" property;
+  let workers = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let groups = chunk (max 1 group_size) property.Bmc.asserts in
+  let slim =
+    List.map (fun g -> Circuit.create ~name:(Circuit.name circuit) ~outputs:g ()) groups
+  in
+  let best = Atomic.make max_int in
+  let halt = Atomic.make false in
+  let task g c ~tick =
+    let cur = ref 0 in
+    (* Only refutations cancel the others: a shard that proves its own
+       assertions says nothing about the remaining shards. *)
+    let stop () = Atomic.get halt || Atomic.get best <= !cur in
+    let t0 = Unix.gettimeofday () in
+    let finish verdict stats =
+      {
+        job_label = label_of_group g;
+        job_verdict = verdict;
+        job_stats = stats;
+        job_wall = Unix.gettimeofday () -. t0;
+      }
+    in
+    try
+      match
+        Bmc.prove ~max_depth
+          ~progress:(fun d ->
+            cur := d;
+            tick d)
+          ~stop c
+          { Bmc.assumes = property.Bmc.assumes; asserts = g }
+      with
+      | Bmc.Proved (k, st) -> finish (Job_proved k) st
+      | Bmc.Refuted (cex, st) ->
+          atomic_min best cex.Bmc.cex_depth;
+          finish (Job_cex cex) st
+      | Bmc.Unknown st -> finish Job_unknown st
+    with
+    | Bmc.Cancelled st -> finish Job_cancelled st
+    | e ->
+        Atomic.set halt true;
+        finish (Job_failed e) zero_stats
+  in
+  let tasks = Array.of_list (List.map2 (fun g c ~tick -> task g c ~tick) groups slim) in
+  let results = run_tasks ~workers ~progress tasks in
+  reraise_failures results;
+  let detail =
+    {
+      par_strategy = "shard";
+      par_workers = max 1 (min workers (Array.length tasks));
+      par_results = Array.to_list results;
+    }
+  in
+  match shallowest results with
+  | Some win ->
+      let cex = widen_cex circuit property win in
+      (Bmc.Refuted (cex, merge_stats ~depth:win.Bmc.cex_depth results), detail)
+  | None ->
+      let unknown =
+        Array.exists
+          (fun r ->
+            match r.job_verdict with Job_unknown | Job_cancelled -> true | _ -> false)
+          results
+      in
+      if unknown then (Bmc.Unknown (merge_stats ~depth:max_depth results), detail)
+      else
+        let k =
+          Array.fold_left
+            (fun acc r ->
+              match r.job_verdict with Job_proved k -> max acc k | _ -> acc)
+            0 results
+        in
+        (Bmc.Proved (k, merge_stats ~depth:k results), detail)
+
+let prove ?jobs ?group_size ?max_depth ?progress circuit property =
+  fst (prove_detailed ?jobs ?group_size ?max_depth ?progress circuit property)
+
+let equiv ?jobs ?max_depth c1 c2 =
+  (* Interface validation happens in the calling domain, inside miter —
+     mismatches raise Invalid_argument before any worker exists. *)
+  let m, p = Bmc.miter c1 c2 in
+  check ?jobs ?max_depth m p

@@ -1,0 +1,128 @@
+(** Parallel bounded model checking over OCaml 5 domains.
+
+    Every AutoCC run checks many independent assertions over the same
+    two-universe miter, and solver wall-clock is the usability bottleneck
+    of the refine/re-run loop. This module shards that work across a
+    domain pool, with two composable strategies:
+
+    - {b assertion sharding} ({!check}, {!prove}): a property with [n]
+      assertions is split into per-assertion (or per-group) jobs, each
+      verified by an independent solver over the cone of its own
+      assertions. Outcomes merge back into the ordinary {!Bmc.outcome} /
+      {!Bmc.induction_outcome}: the shallowest counterexample wins, and
+      as soon as one is found every job searching at the same depth or
+      deeper is cancelled through an atomic stop flag polled in the
+      solvers' propagation loops ({!Sat.Solver.Stopped}).
+    - {b portfolio} ({!check} with [~portfolio:k]): [k] solver
+      configurations ({!Sat.Solver.portfolio} — differing restart
+      cadence, decay, polarity and decision-randomization seeds) race on
+      the {e whole} property; the first answer wins and cancels the
+      rest.
+
+    {b Determinism.} The outcome kind and the counterexample depth are
+    deterministic: a shard can only be cancelled once a counterexample at
+    most as shallow as its current depth exists, so the minimum depth is
+    always discovered. The reported input trace (and hence the failing-
+    assertion set, which is re-validated on the winning trace against the
+    {e full} property) is deterministic modulo which equally-shallow
+    counterexample wins the race — the same caveat that applies to any
+    portfolio FPV tool.
+
+    {b Callbacks.} [progress] is only ever invoked from the calling
+    domain, with a strictly increasing sequence of depths: worker domains
+    enqueue ticks into a mutex-protected queue that the coordinating
+    (calling) domain drains. User code never runs on a worker domain.
+
+    {b Counterexamples} found by a shard are replayed on the {!Sim}
+    interpreter against the full property before being returned, exactly
+    like the sequential engine, so a returned CEX is always
+    simulation-validated and its [cex_failed] set is complete for its
+    trace. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+(** Per-job accounting, for merged reports ({!Report.merge_stats}). *)
+type job_verdict =
+  | Job_cex of Bmc.cex  (** this job found a counterexample *)
+  | Job_bounded  (** no CEX within the bound *)
+  | Job_proved of int  (** k-induction succeeded at the carried [k] *)
+  | Job_unknown  (** induction inconclusive within the bound *)
+  | Job_cancelled  (** stopped because another job answered first *)
+  | Job_failed of exn  (** the job raised; re-raised after the pool drains *)
+
+type job_result = {
+  job_label : string;  (** assertion names (shard) or config name (portfolio) *)
+  job_verdict : job_verdict;
+  job_stats : Bmc.stats;  (** this job's own solver statistics *)
+  job_wall : float;  (** seconds of wall-clock this job occupied a worker *)
+}
+
+type detail = {
+  par_strategy : string;  (** ["shard"] or ["portfolio"] *)
+  par_workers : int;  (** domains used (1 = in-calling-domain fallback) *)
+  par_results : job_result list;  (** in job order *)
+}
+
+val check :
+  ?jobs:int ->
+  ?portfolio:int ->
+  ?group_size:int ->
+  ?max_depth:int ->
+  ?progress:(int -> unit) ->
+  Rtl.Circuit.t ->
+  Bmc.property ->
+  Bmc.outcome
+(** Drop-in parallel replacement for {!Bmc.check}.
+
+    @param jobs worker-domain cap; defaults to {!default_jobs}. [1] runs
+      every job in the calling domain (the single-domain fallback path —
+      same scheduler and merge code, no spawns).
+    @param portfolio when given (> 1), race that many solver
+      configurations on the whole property instead of sharding.
+    @param group_size assertions per shard job (default 1, i.e. one job
+      per assertion; larger groups amortize blasting for very cheap
+      assertions). Ignored in portfolio mode. *)
+
+val check_detailed :
+  ?jobs:int ->
+  ?portfolio:int ->
+  ?group_size:int ->
+  ?max_depth:int ->
+  ?progress:(int -> unit) ->
+  Rtl.Circuit.t ->
+  Bmc.property ->
+  Bmc.outcome * detail
+(** {!check}, plus per-job accounting. *)
+
+val prove :
+  ?jobs:int ->
+  ?group_size:int ->
+  ?max_depth:int ->
+  ?progress:(int -> unit) ->
+  Rtl.Circuit.t ->
+  Bmc.property ->
+  Bmc.induction_outcome
+(** Parallel k-induction by assertion sharding. Sound but possibly less
+    complete than {!Bmc.prove}: each shard's inductive step may only
+    assume {e its own} assertions held on the previous [k] cycles, so a
+    property that is only jointly inductive merges as [Unknown] even
+    though the sequential engine proves it. [Refuted] results are exact
+    (the base case is plain BMC) and merge earliest-depth-first;
+    [Proved] requires every shard to prove, and carries the largest [k]. *)
+
+val prove_detailed :
+  ?jobs:int ->
+  ?group_size:int ->
+  ?max_depth:int ->
+  ?progress:(int -> unit) ->
+  Rtl.Circuit.t ->
+  Bmc.property ->
+  Bmc.induction_outcome * detail
+
+val equiv :
+  ?jobs:int -> ?max_depth:int -> Rtl.Circuit.t -> Rtl.Circuit.t -> Bmc.outcome
+(** Parallel {!Bmc.equiv}: the per-output equality assertions of the
+    miter are sharded across the pool. Interface mismatches raise
+    [Invalid_argument] from the calling domain before any worker is
+    spawned, exactly like the sequential version. *)

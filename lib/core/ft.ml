@@ -193,8 +193,21 @@ let generate ?(threshold = 4) ?(sync = Flush_end) ?(common = []) ?(blackbox = []
     property = { Bmc.assumes; asserts };
   }
 
-let check ?max_depth ?progress ft = Bmc.check ?max_depth ?progress ft.wrapper ft.property
-let prove ?max_depth ?progress ft = Bmc.prove ?max_depth ?progress ft.wrapper ft.property
+(* [jobs]/[portfolio] route through the parallel engine; the default (no
+   jobs, no portfolio) stays on the sequential engine so existing callers
+   and the differential-fuzz baseline are untouched. *)
+let check ?max_depth ?progress ?jobs ?portfolio ft =
+  match (jobs, portfolio) with
+  | (None | Some 1), None -> Bmc.check ?max_depth ?progress ft.wrapper ft.property
+  | _ -> Parallel.check ?jobs ?portfolio ?max_depth ?progress ft.wrapper ft.property
+
+let check_detailed ?max_depth ?progress ?jobs ?portfolio ft =
+  Parallel.check_detailed ?jobs ?portfolio ?max_depth ?progress ft.wrapper ft.property
+
+let prove ?max_depth ?progress ?jobs ft =
+  match jobs with
+  | None | Some 1 -> Bmc.prove ?max_depth ?progress ft.wrapper ft.property
+  | _ -> Parallel.prove ?jobs ?max_depth ?progress ft.wrapper ft.property
 
 let spy_start_cycle ft cex =
   match Bmc.replay_values cex [ ft.spy_mode ] with

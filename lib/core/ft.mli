@@ -80,12 +80,39 @@ val generate :
       FPV tool to legal input sequences (e.g. "no memory response without
       an outstanding request") when spurious CEXs appear. *)
 
-val check : ?max_depth:int -> ?progress:(int -> unit) -> t -> Bmc.outcome
-(** Run BMC over the generated property set. *)
+val check :
+  ?max_depth:int ->
+  ?progress:(int -> unit) ->
+  ?jobs:int ->
+  ?portfolio:int ->
+  t ->
+  Bmc.outcome
+(** Run BMC over the generated property set. With [jobs] > 1 or
+    [portfolio] set the work runs on the parallel engine ({!Parallel}):
+    assertion sharding by default, a configuration race with
+    [~portfolio:k]. Without either, the sequential engine is used
+    unchanged. *)
 
-val prove : ?max_depth:int -> ?progress:(int -> unit) -> t -> Bmc.induction_outcome
+val check_detailed :
+  ?max_depth:int ->
+  ?progress:(int -> unit) ->
+  ?jobs:int ->
+  ?portfolio:int ->
+  t ->
+  Bmc.outcome * Parallel.detail
+(** {!check} via the parallel engine, returning per-job accounting
+    (always parallel-engine, even at [jobs:1]). *)
+
+val prove :
+  ?max_depth:int ->
+  ?progress:(int -> unit) ->
+  ?jobs:int ->
+  t ->
+  Bmc.induction_outcome
 (** Attempt an unbounded proof of the property set by k-induction — the
-    "full proof" the paper reaches on the AES accelerator. *)
+    "full proof" the paper reaches on the AES accelerator. [jobs] > 1
+    shards assertions across domains (see the completeness caveat on
+    {!Parallel.prove}). *)
 
 val spy_start_cycle : t -> Bmc.cex -> int option
 (** First cycle at which [spy_mode] is set along a counterexample

@@ -70,6 +70,51 @@ let summary ft cex =
     (String.concat "," cex.Bmc.cex_failed)
     (cex.Bmc.cex_depth + 1) culprits
 
+type merged_stats = {
+  m_strategy : string;
+  m_jobs : int;
+  m_workers : int;
+  m_cancelled : int;
+  m_solve_time : float;
+  m_critical_path : float;
+  m_vars : int;
+  m_clauses : int;
+  m_conflicts : int;
+}
+
+let merge_stats (d : Parallel.detail) =
+  List.fold_left
+    (fun acc (r : Parallel.job_result) ->
+      {
+        acc with
+        m_cancelled =
+          (acc.m_cancelled
+          + match r.Parallel.job_verdict with Parallel.Job_cancelled -> 1 | _ -> 0);
+        m_solve_time = acc.m_solve_time +. r.Parallel.job_stats.Bmc.solve_time;
+        m_critical_path = Float.max acc.m_critical_path r.Parallel.job_wall;
+        m_vars = acc.m_vars + r.Parallel.job_stats.Bmc.vars;
+        m_clauses = acc.m_clauses + r.Parallel.job_stats.Bmc.clauses;
+        m_conflicts = acc.m_conflicts + r.Parallel.job_stats.Bmc.conflicts;
+      })
+    {
+      m_strategy = d.Parallel.par_strategy;
+      m_jobs = List.length d.Parallel.par_results;
+      m_workers = d.Parallel.par_workers;
+      m_cancelled = 0;
+      m_solve_time = 0.;
+      m_critical_path = 0.;
+      m_vars = 0;
+      m_clauses = 0;
+      m_conflicts = 0;
+    }
+    d.Parallel.par_results
+
+let pp_merged fmt m =
+  Format.fprintf fmt
+    "%s: %d jobs on %d workers (%d cancelled), solver %.3fs total / %.3fs critical path, %d vars %d clauses %d conflicts"
+    m.m_strategy m.m_jobs m.m_workers m.m_cancelled m.m_solve_time
+    m.m_critical_path m.m_vars m.m_clauses m.m_conflicts
+
 let dump_vcd ~path ft cex =
   let module Signal = Rtl.Signal in
   let module Circuit = Rtl.Circuit in

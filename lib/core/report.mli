@@ -18,6 +18,30 @@ val first_divergence : Ft.t -> Bmc.cex -> (string * int) list
     earliest first. The head of this list is usually the true root cause;
     registers that diverge later are downstream effects. *)
 
+(** {1 Parallel-run accounting} *)
+
+type merged_stats = {
+  m_strategy : string;  (** ["shard"] or ["portfolio"] *)
+  m_jobs : int;
+  m_workers : int;
+  m_cancelled : int;  (** jobs abandoned after another job answered *)
+  m_solve_time : float;  (** total solver seconds, summed across jobs *)
+  m_critical_path : float;
+      (** longest single job's wall-clock — the lower bound on parallel
+          wall time with unlimited workers *)
+  m_vars : int;
+  m_clauses : int;
+  m_conflicts : int;
+}
+
+val merge_stats : Parallel.detail -> merged_stats
+(** Aggregate the per-job results of a {!Parallel} run: solver time and
+    instance sizes are summed, the critical path is the longest job. *)
+
+val pp_merged : Format.formatter -> merged_stats -> unit
+(** One-line rendering of {!merge_stats}, as printed by the CLI under
+    [--jobs]. *)
+
 val dump_vcd : path:string -> Ft.t -> Bmc.cex -> unit
 (** Write the counterexample as a VCD waveform: the monitor signals
     (spy_mode, transfer_cond, eq_cnt, flush_done), every DUT output in

@@ -16,6 +16,51 @@
 type lit = int
 type result = Sat | Unsat
 
+(* A solver configuration. All search heuristics that are safe to vary
+   without affecting soundness live here, so that a portfolio can race
+   differently-configured solvers on the same query. Every field is
+   deterministic: two solvers built from the same configuration and fed
+   the same clauses perform the same search (randomized decisions come
+   from a PRNG seeded by [seed]). *)
+type config = {
+  cfg_name : string;
+  var_decay : float; (* VSIDS decay, in (0, 1); MiniSat uses 0.95 *)
+  restart_first : int; (* conflicts in the first Luby restart period *)
+  default_polarity : bool; (* initial saved phase of fresh variables *)
+  random_freq : float; (* probability of a randomized decision, in [0, 1] *)
+  seed : int; (* PRNG seed for randomized decisions *)
+}
+
+let default_config =
+  {
+    cfg_name = "default";
+    var_decay = 0.95;
+    restart_first = 100;
+    default_polarity = false;
+    random_freq = 0.0;
+    seed = 0;
+  }
+
+(* Diverse configurations for portfolio solving. Index 0 is always the
+   default configuration so a 1-solver portfolio degenerates to the
+   sequential engine. *)
+let portfolio k =
+  let decays = [| 0.95; 0.85; 0.99; 0.91 |] in
+  let restarts = [| 100; 50; 400; 150 |] in
+  List.init k (fun i ->
+      if i = 0 then default_config
+      else
+        {
+          cfg_name = Printf.sprintf "p%d" i;
+          var_decay = decays.(i mod 4);
+          restart_first = restarts.((i + 1) mod 4);
+          default_polarity = i mod 2 = 1;
+          random_freq = (if i >= 4 then 0.02 else 0.0);
+          seed = (91 * i) + 17;
+        })
+
+exception Stopped
+
 type clause = {
   lits : int array;
   learnt : bool;
@@ -26,6 +71,9 @@ type clause = {
 let dummy_clause = { lits = [||]; learnt = false; cact = 0.; deleted = true }
 
 type t = {
+  config : config;
+  rng : Random.State.t;
+  stop : unit -> bool; (* polled during propagation; true aborts the search *)
   mutable assigns : int array; (* var -> 0/1/2 *)
   mutable level : int array;
   mutable reason : clause array; (* dummy_clause = no reason *)
@@ -57,13 +105,16 @@ let neg l = l lxor 1
 let var_of_lit l = l lsr 1
 let lit_sign l = l land 1 = 0
 
-let create () =
+let create ?(config = default_config) ?(stop = fun () -> false) () =
   {
+    config;
+    rng = Random.State.make [| config.seed; 0x5a7; config.seed lxor 0x2c9 |];
+    stop;
     assigns = Array.make 16 0;
     level = Array.make 16 0;
     reason = Array.make 16 dummy_clause;
     activity = Array.make 16 0.;
-    polarity = Array.make 16 false;
+    polarity = Array.make 16 config.default_polarity;
     heap = Array.make 16 0;
     heap_index = Array.make 16 (-1);
     heap_size = 0;
@@ -160,7 +211,7 @@ let new_var s =
   s.level <- grow_array s.level n 0;
   s.reason <- grow_array s.reason n dummy_clause;
   s.activity <- grow_array s.activity n 0.;
-  s.polarity <- grow_array s.polarity n false;
+  s.polarity <- grow_array s.polarity n s.config.default_polarity;
   s.heap <- grow_array s.heap n 0;
   s.seen <- grow_array s.seen n false;
   if Array.length s.heap_index < n then begin
@@ -221,7 +272,6 @@ let cancel_until s lv =
 
 (* {1 Activities} *)
 
-let var_decay = 1.0 /. 0.95
 let cla_decay = 1.0 /. 0.999
 
 let bump_var s v =
@@ -242,7 +292,7 @@ let bump_clause s c =
   end
 
 let decay_activities s =
-  s.var_inc <- s.var_inc *. var_decay;
+  s.var_inc <- s.var_inc *. (1.0 /. s.config.var_decay);
   s.cla_inc <- s.cla_inc *. cla_decay
 
 (* {1 Propagation} *)
@@ -255,6 +305,10 @@ let propagate s =
       let p = Vec.get s.trail s.qhead in
       s.qhead <- s.qhead + 1;
       s.propagations <- s.propagations + 1;
+      (* Cancellation point: cheap modulo check so the poll costs nothing
+         on the hot path; a firing stop aborts the whole solve and leaves
+         the solver in an undefined search state (see {!Stopped}). *)
+      if s.propagations land 1023 = 0 && s.stop () then raise Stopped;
       let false_lit = neg p in
       let ws = s.watches.(false_lit) in
       let n = Vec.size ws in
@@ -471,7 +525,20 @@ let decide s =
       let v = heap_pop s in
       if s.assigns.(v) = 0 then v else pick ()
   in
-  let v = pick () in
+  (* Occasional randomized decision (portfolio diversification): peek at a
+     random heap slot without disturbing the heap; assigned entries are
+     skipped, falling back to the activity order. *)
+  let random_pick () =
+    if
+      s.config.random_freq > 0.0
+      && s.heap_size > 0
+      && Random.State.float s.rng 1.0 < s.config.random_freq
+    then
+      let v = s.heap.(Random.State.int s.rng s.heap_size) in
+      if s.assigns.(v) = 0 then v else -1
+    else -1
+  in
+  let v = match random_pick () with -1 -> pick () | v -> v in
   if v < 0 then false
   else begin
     s.decisions <- s.decisions + 1;
@@ -489,7 +556,9 @@ let solve ?(assumptions = []) s =
     let restart = ref 0 in
     let status = ref None in
     while !status = None do
-      let budget = int_of_float (100. *. luby 2. !restart) in
+      let budget =
+        int_of_float (float_of_int s.config.restart_first *. luby 2. !restart)
+      in
       incr restart;
       let conflict_count = ref 0 in
       (* One restart period. *)
@@ -548,6 +617,8 @@ let solve ?(assumptions = []) s =
 let value s v =
   if not s.model_valid then failwith "Sat.value: no model available";
   if v < Array.length s.model then s.model.(v) else false
+
+let config s = s.config
 
 let pp_stats fmt s =
   Format.fprintf fmt

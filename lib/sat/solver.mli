@@ -17,7 +17,42 @@ type lit = private int
 
 type result = Sat | Unsat
 
-val create : unit -> t
+type config = {
+  cfg_name : string;  (** label used in portfolio reports *)
+  var_decay : float;  (** VSIDS activity decay, in (0, 1) *)
+  restart_first : int;  (** conflicts in the first Luby restart period *)
+  default_polarity : bool;  (** initial saved phase of fresh variables *)
+  random_freq : float;  (** probability of a randomized decision *)
+  seed : int;  (** PRNG seed for randomized decisions *)
+}
+(** Search-heuristic knobs, none of which affect soundness. A solver's
+    behaviour is a deterministic function of its configuration and the
+    clause/solve sequence it is fed: randomized decisions draw from a
+    private PRNG seeded by [seed], so two solvers with equal
+    configurations run identical searches — the property the portfolio
+    mode of {!Parallel} relies on before racing configurations across
+    domains. *)
+
+val default_config : config
+
+val portfolio : int -> config list
+(** [portfolio k] is [k] diverse configurations (varying decay, restart
+    cadence, default polarity and decision randomization). The first is
+    always {!default_config}. *)
+
+exception Stopped
+(** Raised from inside {!solve} when the [stop] hook passed to {!create}
+    returns true. After [Stopped] the solver's search state is undefined
+    and the instance must be discarded — the mechanism used to cancel
+    still-running jobs once a counterexample is found elsewhere. *)
+
+val create : ?config:config -> ?stop:(unit -> bool) -> unit -> t
+(** [create ()] uses {!default_config} and a never-firing stop hook.
+    [stop] is polled from the propagation loop (roughly once per thousand
+    propagations); it must be cheap and safe to call from the domain
+    running the solve. *)
+
+val config : t -> config
 
 val new_var : t -> int
 (** Allocate a fresh variable; returns its id (>= 0). *)

@@ -69,6 +69,70 @@ let random_circuit st ~num_nodes ~num_regs =
 let random_inputs st =
   List.map (fun (n, w) -> (n, Bitvec.random st w)) input_specs
 
+(* A random multi-assert property over an existing circuit, for
+   differential testing of the parallel engine. Assertion shapes are
+   mixed so that counterexample depths vary within one property:
+
+   - "reachable": simulate one random execution and assert a node never
+     takes a value it was just observed to take — refutable within the
+     sampled depth (unless an assumption happens to block the trace);
+   - "random constant": the node never equals a random value — sometimes
+     shallow, sometimes unreachable within the bound;
+   - a raw low bit, failing immediately on many traces;
+   - [s ==: s], never failing, so shards also exercise bounded proofs.
+
+   Occasionally one 1-bit assumption over an input bit is added, which
+   every engine must apply on every cycle. *)
+let random_property st circuit ~num_asserts =
+  let module Circuit = Rtl.Circuit in
+  let pool =
+    List.map (fun p -> p.Circuit.signal) (Circuit.outputs circuit)
+    @ Circuit.regs circuit
+  in
+  let pick l = List.nth l (Random.State.int st (List.length l)) in
+  let samples =
+    let sim = Sim.create circuit in
+    let depth = 1 + Random.State.int st 5 in
+    List.concat
+      (List.init depth (fun _ ->
+           List.iter
+             (fun p ->
+               Sim.set_input sim p.Circuit.port_name
+                 (Bitvec.random st (Signal.width p.Circuit.signal)))
+             (Circuit.inputs circuit);
+           let here = List.map (fun s -> (s, Sim.peek sim s)) pool in
+           Sim.step sim;
+           here))
+  in
+  let asserts =
+    List.init num_asserts (fun i ->
+        let body =
+          match Random.State.int st 6 with
+          | 0 | 1 ->
+              let s, v = pick samples in
+              Signal.( ~: ) (Signal.( ==: ) s (Signal.const v))
+          | 2 | 3 ->
+              let s = pick pool in
+              Signal.( ~: )
+                (Signal.( ==: ) s (Signal.const (Bitvec.random st (Signal.width s))))
+          | 4 -> Signal.select (pick pool) 0 0
+          | _ ->
+              let s = pick pool in
+              Signal.( ==: ) s s
+        in
+        (Printf.sprintf "p%d" i, body))
+  in
+  let assumes =
+    (* The cone of a random circuit's outputs may touch no input at all,
+       in which case there is nothing to assume over. *)
+    if Circuit.inputs circuit <> [] && Random.State.int st 3 = 0 then
+      let p = pick (Circuit.inputs circuit) in
+      let b = Signal.select p.Circuit.signal 0 0 in
+      [ (if Random.State.bool st then b else Signal.( ~: ) b) ]
+    else []
+  in
+  { Bmc.assumes; asserts }
+
 (* Drive a simulator with per-cycle input assignments and collect output
    values after combinational settling in each cycle. *)
 let run_outputs sim cycles_inputs =
