@@ -7,12 +7,19 @@
    fixes turn CEXs into proofs — must match.
 
    Usage: dune exec bench/main.exe [table1|table2|exploit|aes_proof|
-                                    fixes|baseline|flush_tdd|parallel|bechamel|all]
+                                    fixes|baseline|flush_tdd|parallel|
+                                    opt|smoke|bechamel|all]
 
    The [parallel] subcommand re-runs representative Table 1 rows on the
    sequential engine and on the domain-sharded parallel engine
    (lib/bmc/parallel.ml), checks the verdicts and CEX depths agree, and
    prints the per-row speedup (AUTOCC_JOBS overrides the worker count).
+   The [opt] subcommand re-runs the Table 1 rows end-to-end at -O0 and
+   -O2, asserts identical verdicts and CEX depths, and reports the
+   wall-clock speedup from the lib/opt netlist pipeline; [smoke] is its
+   single-row variant hooked into [dune runtest] via @bench-smoke.
+   [parallel] and [opt] each write a machine-readable BENCH_<name>.json
+   next to the table.
 
    The [bechamel] subcommand runs one Bechamel micro-benchmark per table
    on representative kernels. *)
@@ -21,6 +28,111 @@ module V = Duts.Vscale
 module M = Duts.Maple
 module A = Duts.Aes
 module C = Duts.Cva6lite
+
+(* {1 Machine-readable output}
+
+   Hand-rolled JSON (no json library in the toolchain): each perf-bearing
+   subcommand dumps BENCH_<name>.json next to the stdout table so the
+   repo's perf trajectory can be tracked across commits. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let add_string b s =
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"'
+
+  let rec add b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (string_of_bool v)
+    | Int n -> Buffer.add_string b (string_of_int n)
+    | Float f -> Buffer.add_string b (Printf.sprintf "%.6f" f)
+    | Str s -> add_string b s
+    | List l ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            add b x)
+          l;
+        Buffer.add_char b ']'
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            add_string b k;
+            Buffer.add_char b ':';
+            add b v)
+          kvs;
+        Buffer.add_char b '}'
+
+  let write ~path t =
+    let b = Buffer.create 4096 in
+    add b t;
+    Buffer.add_char b '\n';
+    let oc = open_out path in
+    output_string oc (Buffer.contents b);
+    close_out oc;
+    Printf.printf "     machine-readable results written to %s\n" path
+end
+
+let json_of_opt_stats = function
+  | None -> Json.Null
+  | Some (o : Opt.stats) ->
+      Json.Obj
+        [
+          ("nodes_before", Json.Int o.Opt.o_nodes_before);
+          ("nodes_after", Json.Int o.Opt.o_nodes_after);
+          ("coi_dropped", Json.Int o.Opt.o_coi_dropped);
+          ("cse_merged", Json.Int o.Opt.o_cse_merged);
+          ("rewrites", Json.Int o.Opt.o_rewrites);
+          ("sweep_candidates", Json.Int o.Opt.o_sweep_candidates);
+          ("sweep_merged", Json.Int o.Opt.o_sweep_merged);
+          ("sweep_refuted", Json.Int o.Opt.o_sweep_refuted);
+          ("regs_merged", Json.Int o.Opt.o_regs_merged);
+          ("sat_queries", Json.Int o.Opt.o_sat_queries);
+          ("opt_time_s", Json.Float o.Opt.o_time);
+        ]
+
+(* One outcome (verdict kind, CEX/proof depth, solver stats) as JSON. *)
+let json_of_outcome outcome ~wall =
+  let stats =
+    match outcome with Bmc.Cex (_, st) | Bmc.Bounded_proof st -> st
+  in
+  let verdict, depth =
+    match outcome with
+    | Bmc.Cex (cex, _) -> ("cex", cex.Bmc.cex_depth)
+    | Bmc.Bounded_proof st -> ("bounded_proof", st.Bmc.depth_reached)
+  in
+  Json.Obj
+    [
+      ("verdict", Json.Str verdict);
+      ("depth", Json.Int depth);
+      ("wall_s", Json.Float wall);
+      ("solve_s", Json.Float stats.Bmc.solve_time);
+      ("vars", Json.Int stats.Bmc.vars);
+      ("clauses", Json.Int stats.Bmc.clauses);
+      ("conflicts", Json.Int stats.Bmc.conflicts);
+      ("opt", json_of_opt_stats stats.Bmc.opt);
+    ]
 
 let line () = print_endline (String.make 100 '-')
 
@@ -447,6 +559,7 @@ let parallel_bench () =
     | Bmc.Bounded_proof st -> Printf.sprintf "proof to %d" (st.Bmc.depth_reached + 1)
   in
   let mismatches = ref 0 in
+  let json_rows = ref [] in
   let row id description ?portfolio ft ~max_depth =
     let t0 = Unix.gettimeofday () in
     let seq = Autocc.Ft.check ~max_depth ft in
@@ -469,7 +582,21 @@ let parallel_bench () =
       (seq_t /. Float.max 1e-9 par_t)
       (if agree then "" else "  MISMATCH");
     Printf.printf "     %s\n"
-      (Format.asprintf "%a" Autocc.Report.pp_merged (Autocc.Report.merge_stats detail))
+      (Format.asprintf "%a" Autocc.Report.pp_merged (Autocc.Report.merge_stats detail));
+    json_rows :=
+      Json.Obj
+        [
+          ("id", Json.Str id);
+          ("description", Json.Str description);
+          ( "portfolio",
+            match portfolio with Some p -> Json.Int p | None -> Json.Null );
+          ("max_depth", Json.Int max_depth);
+          ("sequential", json_of_outcome seq ~wall:seq_t);
+          ("parallel", json_of_outcome par ~wall:par_t);
+          ("speedup", Json.Float (seq_t /. Float.max 1e-9 par_t));
+          ("agree", Json.Bool agree);
+        ]
+      :: !json_rows
   in
   let vscale = V.create () in
   row "V5" "Vscale: pending-IRQ channel (Table 1 row)"
@@ -484,10 +611,148 @@ let parallel_bench () =
     (Autocc.Ft.generate ~threshold:2 ~flush_done:(A.flush_done_idle ()) (A.create ()))
     ~max_depth:12;
   print_newline ();
+  Json.write ~path:"BENCH_parallel.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "parallel");
+         ("jobs", Json.Int jobs);
+         ("rows", Json.List (List.rev !json_rows));
+         ("mismatches", Json.Int !mismatches);
+       ]);
   if !mismatches = 0 then
     print_endline "     all parallel verdicts and CEX depths match the sequential engine"
   else begin
     Printf.printf "     %d MISMATCH(ES) between sequential and parallel runs\n" !mismatches;
+    exit 1
+  end
+
+(* {1 Optimizer benchmark: -O0 vs -O2 end-to-end, identical verdicts} *)
+
+(* The Table-1 row set shared by [opt_bench] and the [@bench-smoke]
+   runtest hook. Thunks, so each run rebuilds the FT fresh. *)
+let opt_rows () =
+  let vscale = V.create () in
+  [
+    ( "V5",
+      "Vscale: pending-IRQ channel",
+      (fun () -> V.ft_for_stage V.Arch_pipeline vscale),
+      8 );
+    ( "C1",
+      "CVA6: I-cache leak to next PC",
+      (fun () -> cva6_ft (C.with_fixes ~fix_c1:false C.Microreset)),
+      15 );
+    ( "C2",
+      "CVA6: wrong PTW FSM transition",
+      (fun () -> cva6_ft (C.with_fixes ~fix_c2:false C.Microreset)),
+      11 );
+    ( "M2",
+      "MAPLE: TLB-disabled leak",
+      (fun () -> maple_ft { M.fix_m2 = false; fix_m3 = true }),
+      10 );
+    ( "M3",
+      "MAPLE: base-address leak",
+      (fun () -> maple_ft { M.fix_m2 = true; fix_m3 = false }),
+      10 );
+    ( "A1",
+      "AES: request in pipeline at switch",
+      (fun () -> Autocc.Ft.generate ~threshold:2 (A.create ())),
+      12 );
+    ( "C0",
+      "CVA6: microreset, all fixes (bounded proof)",
+      (fun () -> cva6_ft C.microreset_fixed),
+      11 );
+    (* Proof-heavy rows: deep unrollings dominated by solver time, where
+       the netlist pipeline pays for itself many times over. *)
+    ( "V",
+      "Vscale: full arch refinement (deep proof)",
+      (fun () -> V.ft_for_stage V.Arch_irq vscale),
+      9 );
+    ( "V3",
+      "Vscale: CSR blackboxed (Table 2 stage)",
+      (fun () -> V.ft_for_stage V.Blackbox_csr vscale),
+      8 );
+    ( "C0+",
+      "CVA6: microreset proof, deeper bound",
+      (fun () -> cva6_ft C.microreset_fixed),
+      13 );
+  ]
+
+(* One row at both optimization levels; returns (json, agree, speedup). *)
+let opt_row (id, description, mk_ft, max_depth) =
+  let run opt =
+    let ft = mk_ft () in
+    let t0 = Unix.gettimeofday () in
+    let outcome = Autocc.Ft.check ~max_depth ~opt ft in
+    (outcome, Unix.gettimeofday () -. t0)
+  in
+  let o0, t0_s = run Opt.O0 in
+  let o2, t2_s = run Opt.O2 in
+  let agree =
+    match (o0, o2) with
+    | Bmc.Cex (c1, _), Bmc.Cex (c2, _) -> c1.Bmc.cex_depth = c2.Bmc.cex_depth
+    | Bmc.Bounded_proof s1, Bmc.Bounded_proof s2 ->
+        s1.Bmc.depth_reached = s2.Bmc.depth_reached
+    | _ -> false
+  in
+  let describe = function
+    | Bmc.Cex (cex, _) -> Printf.sprintf "CEX depth %d" (cex.Bmc.cex_depth + 1)
+    | Bmc.Bounded_proof st -> Printf.sprintf "proof to %d" (st.Bmc.depth_reached + 1)
+  in
+  let speedup = t0_s /. Float.max 1e-9 t2_s in
+  Printf.printf "%-4s %-44s O0 %-14s %7.2fs | O2 %-14s %7.2fs | %5.2fx%s\n" id
+    description (describe o0) t0_s (describe o2) t2_s speedup
+    (if agree then "" else "  MISMATCH");
+  let json =
+    Json.Obj
+      [
+        ("id", Json.Str id);
+        ("description", Json.Str description);
+        ("max_depth", Json.Int max_depth);
+        ("o0", json_of_outcome o0 ~wall:t0_s);
+        ("o2", json_of_outcome o2 ~wall:t2_s);
+        ("speedup", Json.Float speedup);
+        ("agree", Json.Bool agree);
+      ]
+  in
+  (json, agree, speedup)
+
+let opt_bench () =
+  header
+    "Optimizer — end-to-end BMC at -O0 vs -O2 (identical verdicts and CEX depths, wall-clock speedup)";
+  let results = List.map opt_row (opt_rows ()) in
+  let mismatches = List.length (List.filter (fun (_, a, _) -> not a) results) in
+  let fast = List.length (List.filter (fun (_, _, s) -> s >= 1.5) results) in
+  print_newline ();
+  Json.write ~path:"BENCH_opt.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "opt");
+         ("rows", Json.List (List.map (fun (j, _, _) -> j) results));
+         ("mismatches", Json.Int mismatches);
+         ("rows_speedup_ge_1_5", Json.Int fast);
+       ]);
+  Printf.printf "     %d/%d rows at >= 1.5x speedup under -O2\n" fast
+    (List.length results);
+  if mismatches = 0 then
+    print_endline "     all -O2 verdicts and CEX depths match -O0"
+  else begin
+    Printf.printf "     %d MISMATCH(ES) between -O0 and -O2 runs\n" mismatches;
+    exit 1
+  end
+
+(* One tiny Table-1 row end-to-end at both levels — seconds, not minutes.
+   Wired into [dune runtest] via the [@bench-smoke] alias so every test
+   run exercises the full generate-FT -> optimize -> blast -> solve ->
+   replay path on a real DUT. *)
+let smoke () =
+  header "Bench smoke — one Table-1 row, -O0 vs -O2";
+  let row =
+    List.find (fun (id, _, _, _) -> id = "M3") (opt_rows ())
+  in
+  let _, agree, _ = opt_row row in
+  if agree then print_endline "     smoke OK: verdict and CEX depth agree across -O0/-O2"
+  else begin
+    print_endline "     smoke FAILED: -O0 and -O2 disagree";
     exit 1
   end
 
@@ -579,10 +844,12 @@ let () =
   | "scaling" -> scaling ()
   | "flush_tdd" -> flush_tdd ()
   | "parallel" -> parallel_bench ()
+  | "opt" -> opt_bench ()
+  | "smoke" -> smoke ()
   | "bechamel" -> bechamel ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
-        "unknown experiment %s (try table1|table2|exploit|aes_proof|fixes|baseline|latency|flush_tdd|parallel|bechamel|all)\n"
+        "unknown experiment %s (try table1|table2|exploit|aes_proof|fixes|baseline|latency|flush_tdd|parallel|opt|smoke|bechamel|all)\n"
         other;
       exit 1

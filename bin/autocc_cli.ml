@@ -55,7 +55,7 @@ let ft_for name dut ~stage ~threshold =
 (* {1 analyze} *)
 
 let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfolio
-    fix_m2 fix_m3 fix_c1 fix_c2 fix_c3 full_flush verbose vcd =
+    opt_level fix_m2 fix_m3 fix_c1 fix_c2 fix_c3 full_flush verbose vcd =
   let dut =
     match verilog with
     | Some path ->
@@ -79,8 +79,10 @@ let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfol
   in
   Format.printf "FT : %a@." Rtl.Circuit.pp_stats ft.Autocc.Ft.wrapper;
   let jobs = if jobs = 0 then Parallel.default_jobs () else jobs in
+  let opt = Opt.level_of_int opt_level in
   let progress d = if verbose then Format.printf "  depth %d@." d in
-  Format.printf "Running BMC to depth %d%s...@." max_depth
+  Format.printf "Running BMC to depth %d at -O%d%s...@." max_depth
+    (Opt.level_to_int opt)
     (if portfolio > 1 then Printf.sprintf " (portfolio of %d on %d domains)" portfolio jobs
      else if jobs > 1 then Printf.sprintf " (%d worker domains)" jobs
      else "");
@@ -88,15 +90,24 @@ let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfol
   let outcome =
     if jobs > 1 || portfolio > 1 then begin
       let portfolio = if portfolio > 1 then Some portfolio else None in
-      let outcome, detail = Autocc.Ft.check_detailed ~max_depth ~progress ~jobs ?portfolio ft in
+      let outcome, detail =
+        Autocc.Ft.check_detailed ~max_depth ~progress ~jobs ?portfolio ~opt ft
+      in
       Format.printf "Parallel run: %a@." Autocc.Report.pp_merged
         (Autocc.Report.merge_stats detail);
       outcome
     end
-    else Autocc.Ft.check ~max_depth ~progress ft
+    else Autocc.Ft.check ~max_depth ~progress ~opt ft
+  in
+  let report_opt (stats : Bmc.stats) =
+    match stats.Bmc.opt with
+    | Some o when jobs <= 1 && portfolio <= 1 ->
+        Format.printf "Optimizer: %a@." Opt.pp_stats o
+    | _ -> ()
   in
   (match outcome with
   | Bmc.Cex (cex, stats) ->
+      report_opt stats;
       Format.printf "@.Counterexample found (%.2fs in the solver, %d conflicts):@.@."
         stats.Bmc.solve_time stats.Bmc.conflicts;
       Autocc.Report.explain Format.std_formatter ft cex;
@@ -106,6 +117,7 @@ let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfol
           Format.printf "@.Waveform written to %s@." path
       | None -> ())
   | Bmc.Bounded_proof stats ->
+      report_opt stats;
       Format.printf "@.Bounded proof: no CEX up to depth %d (%.2fs in the solver).@."
         stats.Bmc.depth_reached stats.Bmc.solve_time);
   Format.printf "@.Total wall-clock: %.2fs@." (Unix.gettimeofday () -. t0);
@@ -227,9 +239,24 @@ let threshold_arg =
 let max_depth_arg =
   Arg.(value & opt int 12 & info [ "max-depth" ] ~doc:"BMC unrolling bound in cycles.")
 
+(* A non-negative int converter: --jobs/-portfolio semantics give 0 a
+   meaning ("auto" / "off"), but negative values used to fall through to
+   the domain-pool layer — reject them here with a proper cmdliner
+   error. *)
+let nonneg_int what =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Ok n when n >= 0 -> Ok n
+    | Ok n ->
+        Error (`Msg (Printf.sprintf "%s must be >= 0 (got %d)" what n))
+    | Error _ as e -> e
+  in
+  Arg.conv (parse, Arg.conv_printer Arg.int)
+
 let jobs_arg =
   Arg.(
-    value & opt int 1
+    value
+    & opt (nonneg_int "--jobs") 1
     & info [ "jobs"; "j" ]
         ~doc:
           "Worker domains for parallel verification: assertions are sharded \
@@ -238,12 +265,32 @@ let jobs_arg =
 
 let portfolio_arg =
   Arg.(
-    value & opt int 0
+    value
+    & opt (nonneg_int "--portfolio") 0
     & info [ "portfolio" ]
         ~doc:
           "Race this many solver configurations on the whole property instead \
            of sharding assertions; the first answer wins. Implies the parallel \
            engine.")
+
+let opt_arg =
+  let level =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n >= 0 && n <= 2 -> Ok n
+      | Ok n -> Error (`Msg (Printf.sprintf "-O expects 0, 1 or 2 (got %d)" n))
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(
+    value & opt level 2
+    & info [ "O"; "opt" ]
+        ~doc:
+          "Netlist-optimization level applied to the miter before \
+           bit-blasting: 0 disables, 1 runs strash/rewrites/cone-of-influence, \
+           2 (the default) adds SAT sweeping and register correspondence. \
+           Verdicts and counterexample depths are unaffected.")
 
 let flag name doc = Arg.(value & flag & info [ name ] ~doc)
 
@@ -260,7 +307,7 @@ let analyze_cmd =
           & opt string ""
           & info [ "blackbox" ]
               ~doc:"Comma-separated submodule boundaries/instances to blackbox.")
-      $ stage_arg $ threshold_arg $ max_depth_arg $ jobs_arg $ portfolio_arg
+      $ stage_arg $ threshold_arg $ max_depth_arg $ jobs_arg $ portfolio_arg $ opt_arg
       $ flag "fix-m2" "Apply the MAPLE M2 fix."
       $ flag "fix-m3" "Apply the MAPLE M3 fix."
       $ flag "fix-c1" "Apply the CVA6 C1 fix."

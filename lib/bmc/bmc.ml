@@ -20,6 +20,7 @@ type stats = {
   vars : int;
   clauses : int;
   conflicts : int;
+  opt : Opt.stats option;
 }
 
 type outcome = Cex of cex * stats | Bounded_proof of stats
@@ -90,10 +91,50 @@ let instrument circuit property =
       @ List.map (fun (n, a) -> ("__bmc_assert_" ^ n, a)) property.asserts)
     ()
 
+(* Output names the optimizer must keep: the property signals. *)
+let prop_output_names property =
+  List.mapi (fun i _ -> Printf.sprintf "__bmc_assume_%d" i) property.assumes
+  @ List.map (fun (n, _) -> "__bmc_assert_" ^ n) property.asserts
+
+(* Optimize the instrumented circuit around the property cone. Returns
+   the circuit to blast, the property re-rooted into it, and a widening
+   function taking a CEX input trace of the slim circuit back to a full
+   assignment of the original instrumented circuit's inputs
+   (cone-dropped inputs are provably irrelevant, so zeros do) — the CEX
+   is then validated against the unoptimized circuit, which catches any
+   optimizer unsoundness as a {!Replay_mismatch}. *)
+let optimize_instrumented ~opt full property =
+  match opt with
+  | Opt.O0 -> (full, property, (fun inputs -> inputs), None)
+  | _ ->
+      let o = Opt.optimize ~level:opt ~keep_outputs:(prop_output_names property) full in
+      let property' =
+        {
+          assumes = List.map o.Opt.opt_map property.assumes;
+          asserts = List.map (fun (n, a) -> (n, o.Opt.opt_map a)) property.asserts;
+        }
+      in
+      let widen inputs =
+        Array.map
+          (fun assignments ->
+            List.map
+              (fun p ->
+                let name = p.Circuit.port_name in
+                match List.assoc_opt name assignments with
+                | Some v -> (name, v)
+                | None -> (name, Bitvec.zero (Signal.width p.Circuit.signal)))
+              (Circuit.inputs full))
+          inputs
+      in
+      (o.Opt.opt_circuit, property', widen, Some o.Opt.opt_stats)
+
 let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
-    ?(stop = fun () -> false) circuit property =
+    ?(stop = fun () -> false) ?(opt = Opt.O0) circuit property =
   check_property "Bmc.check" property;
-  let circuit = instrument circuit property in
+  let full = instrument circuit property in
+  let circuit, sprop, widen, opt_stats =
+    optimize_instrumented ~opt full property
+  in
   let solver = S.create ?config:solver_config ~stop () in
   let blaster = Cnf.Blast.create solver circuit in
   let solve_time = ref 0. in
@@ -110,6 +151,7 @@ let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
       vars = S.num_vars solver;
       clauses = S.num_clauses solver;
       conflicts = S.num_conflicts solver;
+      opt = opt_stats;
     }
   in
   let cur_depth = ref 0 in
@@ -123,14 +165,14 @@ let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
       (* Assumptions hold unconditionally on every cycle. *)
       List.iter
         (fun a -> S.add_clause solver [ Cnf.Blast.lit1 blaster ~cycle:depth a ])
-        property.assumes;
+        sprop.assumes;
       (* Activation literal: act -> (some assertion is false at [depth]). *)
       let act = Cnf.Blast.fresh_var blaster in
       S.add_clause solver
         (S.neg act
         :: List.map
              (fun (_, a) -> S.neg (Cnf.Blast.lit1 blaster ~cycle:depth a))
-             property.asserts);
+             sprop.asserts);
       match timed_solve ~assumptions:[ act ] () with
       | S.Sat ->
           let inputs =
@@ -141,13 +183,16 @@ let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
                       Cnf.Blast.input_value blaster ~cycle p.Circuit.port_name ))
                   (Circuit.inputs circuit))
           in
-          let failed = validate circuit property inputs depth in
+          (* Replay on the unoptimized instrumented circuit with the
+             original property roots. *)
+          let inputs = widen inputs in
+          let failed = validate full property inputs depth in
           Cex
             ( {
                 cex_depth = depth;
                 cex_inputs = inputs;
                 cex_failed = failed;
-                cex_circuit = circuit;
+                cex_circuit = full;
               },
               stats depth )
       | S.Unsat ->
@@ -157,7 +202,7 @@ let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
           List.iter
             (fun (_, a) ->
               S.add_clause solver [ Cnf.Blast.lit1 blaster ~cycle:depth a ])
-            property.asserts;
+            sprop.asserts;
           go (depth + 1)
     end
   in
@@ -184,9 +229,12 @@ type induction_outcome =
   | Unknown of stats
 
 let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
-    ?(stop = fun () -> false) circuit property =
+    ?(stop = fun () -> false) ?(opt = Opt.O0) circuit property =
   check_property "Bmc.prove" property;
-  let circuit = instrument circuit property in
+  let full = instrument circuit property in
+  let circuit, sprop, widen, opt_stats =
+    optimize_instrumented ~opt full property
+  in
   let base_solver = S.create ?config:solver_config ~stop () in
   let base = Cnf.Blast.create base_solver circuit in
   let step_solver = S.create ?config:solver_config ~stop () in
@@ -205,6 +253,7 @@ let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
       vars = S.num_vars base_solver + S.num_vars step_solver;
       clauses = S.num_clauses base_solver + S.num_clauses step_solver;
       conflicts = S.num_conflicts base_solver + S.num_conflicts step_solver;
+      opt = opt_stats;
     }
   in
   (* Shared per-cycle constraint installation for either blaster. *)
@@ -213,13 +262,13 @@ let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
     let solver = Cnf.Blast.solver blaster in
     List.iter
       (fun a -> S.add_clause solver [ Cnf.Blast.lit1 blaster ~cycle:depth a ])
-      property.assumes;
+      sprop.assumes;
     let act = Cnf.Blast.fresh_var blaster in
     S.add_clause solver
       (S.neg act
       :: List.map
            (fun (_, a) -> S.neg (Cnf.Blast.lit1 blaster ~cycle:depth a))
-           property.asserts);
+           sprop.asserts);
     act
   in
   let retire blaster depth act =
@@ -227,7 +276,7 @@ let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
     S.add_clause solver [ S.neg act ];
     List.iter
       (fun (_, a) -> S.add_clause solver [ Cnf.Blast.lit1 blaster ~cycle:depth a ])
-      property.asserts
+      sprop.asserts
   in
   let cur_depth = ref 0 in
   let rec go k =
@@ -248,9 +297,10 @@ let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
                       Cnf.Blast.input_value base ~cycle p.Circuit.port_name ))
                   (Circuit.inputs circuit))
           in
-          let failed = validate circuit property inputs k in
+          let inputs = widen inputs in
+          let failed = validate full property inputs k in
           Refuted
-            ( { cex_depth = k; cex_inputs = inputs; cex_failed = failed; cex_circuit = circuit },
+            ( { cex_depth = k; cex_inputs = inputs; cex_failed = failed; cex_circuit = full },
               stats k )
       | S.Unsat ->
           retire base k base_act;
@@ -306,6 +356,6 @@ let miter c1 c2 =
   in
   (miter, { assumes = []; asserts })
 
-let equiv ?max_depth c1 c2 =
+let equiv ?max_depth ?opt c1 c2 =
   let m, p = miter c1 c2 in
-  check ?max_depth m p
+  check ?max_depth ?opt m p

@@ -32,6 +32,9 @@ type stats = {
   vars : int;
   clauses : int;
   conflicts : int;
+  opt : Opt.stats option;
+      (** netlist-optimization counters when running at [-O1]/[-O2];
+          [None] at [-O0] *)
 }
 
 type outcome =
@@ -54,10 +57,19 @@ val check :
   ?progress:(int -> unit) ->
   ?solver_config:Sat.Solver.config ->
   ?stop:(unit -> bool) ->
+  ?opt:Opt.level ->
   Rtl.Circuit.t ->
   property ->
   outcome
 (** [check circuit property] with [max_depth] defaulting to 30 cycles.
+
+    [opt] (default {!Opt.O0}) runs the {!Opt} netlist pipeline over the
+    instrumented circuit, restricted to the property's
+    cone-of-influence, before blasting. Verdicts and counterexample
+    depths are unchanged by construction; any counterexample found on
+    the optimized circuit is widened (cone-dropped inputs are zero) and
+    replayed on the {e unoptimized} circuit, so [cex_circuit] and
+    [cex_inputs] always describe the original instrumented design.
 
     [progress] is invoked with each depth just before it is solved.
     Reentrancy contract: it is always called from the domain that called
@@ -108,7 +120,8 @@ val miter : Rtl.Circuit.t -> Rtl.Circuit.t -> Rtl.Circuit.t * property
     parallel callers fail in the calling domain before any worker
     spawns. *)
 
-val equiv : ?max_depth:int -> Rtl.Circuit.t -> Rtl.Circuit.t -> outcome
+val equiv :
+  ?max_depth:int -> ?opt:Opt.level -> Rtl.Circuit.t -> Rtl.Circuit.t -> outcome
 (** [equiv a b] checks that two circuits with identical port interfaces
     are cycle-for-cycle observationally equal: a miter drives both with
     the same inputs and asserts every output pair equal, bounded to
@@ -137,10 +150,13 @@ val prove :
   ?progress:(int -> unit) ->
   ?solver_config:Sat.Solver.config ->
   ?stop:(unit -> bool) ->
+  ?opt:Opt.level ->
   Rtl.Circuit.t ->
   property ->
   induction_outcome
 (** [prove circuit property] interleaves the base case and the inductive
     step, deepening [k] until one of them answers. [progress],
-    [solver_config] and [stop] behave exactly as in {!check} (including
-    the calling-domain-only contract on [progress]). *)
+    [solver_config], [stop] and [opt] behave exactly as in {!check}
+    (including the calling-domain-only contract on [progress]). The
+    register merges {!Opt} commits are inductive invariants, so they are
+    sound under the arbitrary-start-state encoding of the step case. *)

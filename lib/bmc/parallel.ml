@@ -18,11 +18,13 @@
    mutex-protected queue; user callbacks only ever run on the calling
    domain (see the reentrancy contract on Bmc.check's [progress]).
 
-   Domain-safety notes: signal construction is NOT domain-safe (global
-   uid counter), so every circuit a worker touches is either built here
-   in the calling domain before any spawn, or built by Circuit.create /
-   Bmc.instrument, which only walk existing nodes. Solvers, blasters and
-   simulators are created per job and never shared. *)
+   Domain-safety notes: the signal uid counter is atomic, so workers may
+   build fresh nodes (the Opt passes each shard runs do); the shared
+   original graph is only ever read. Every pre-existing circuit a worker
+   touches is built here in the calling domain before any spawn, or by
+   Circuit.create / Bmc.instrument, which only walk existing nodes.
+   Solvers, blasters and simulators are created per job and never
+   shared. *)
 
 module S = Sat.Solver
 module Signal = Rtl.Signal
@@ -52,7 +54,14 @@ type detail = {
 }
 
 let zero_stats =
-  { Bmc.depth_reached = 0; solve_time = 0.; vars = 0; clauses = 0; conflicts = 0 }
+  {
+    Bmc.depth_reached = 0;
+    solve_time = 0.;
+    vars = 0;
+    clauses = 0;
+    conflicts = 0;
+    opt = None;
+  }
 
 (* {1 The domain pool} *)
 
@@ -151,6 +160,11 @@ let rec chunk size l =
 
 let label_of_group g = String.concat "," (List.map fst g)
 
+let merge_opt a b =
+  match (a, b) with
+  | None, o | o, None -> o
+  | Some x, Some y -> Some (Opt.add_stats x y)
+
 let merge_stats ~depth results =
   Array.fold_left
     (fun acc r ->
@@ -160,6 +174,7 @@ let merge_stats ~depth results =
         vars = acc.Bmc.vars + r.job_stats.Bmc.vars;
         clauses = acc.Bmc.clauses + r.job_stats.Bmc.clauses;
         conflicts = acc.Bmc.conflicts + r.job_stats.Bmc.conflicts;
+        opt = merge_opt acc.Bmc.opt r.job_stats.Bmc.opt;
       })
     { zero_stats with Bmc.depth_reached = depth }
     results
@@ -213,7 +228,7 @@ let shallowest results =
 
 (* {1 Assertion sharding} *)
 
-let check_sharded ~workers ~group_size ~max_depth ~progress circuit property =
+let check_sharded ~workers ~group_size ~max_depth ~progress ~opt circuit property =
   let groups = chunk (max 1 group_size) property.Bmc.asserts in
   (* Slim per-shard circuits, built in the calling domain: outputs are
      only this group's assertions, so each shard blasts only their cone
@@ -242,7 +257,7 @@ let check_sharded ~workers ~group_size ~max_depth ~progress circuit property =
           ~progress:(fun d ->
             cur := d;
             tick d)
-          ~stop c
+          ~stop ~opt c
           { Bmc.assumes = property.Bmc.assumes; asserts = g }
       with
       | Bmc.Cex (cex, st) ->
@@ -273,7 +288,7 @@ let check_sharded ~workers ~group_size ~max_depth ~progress circuit property =
 
 (* {1 Portfolio} *)
 
-let check_portfolio ~workers ~k ~max_depth ~progress circuit property =
+let check_portfolio ~workers ~k ~max_depth ~progress ~opt circuit property =
   let configs = S.portfolio k in
   let finished = Atomic.make false in
   let task cfg ~tick =
@@ -288,7 +303,7 @@ let check_portfolio ~workers ~k ~max_depth ~progress circuit property =
       }
     in
     try
-      match Bmc.check ~max_depth ~progress:tick ~solver_config:cfg ~stop circuit property with
+      match Bmc.check ~max_depth ~progress:tick ~solver_config:cfg ~stop ~opt circuit property with
       | Bmc.Cex (cex, st) ->
           Atomic.set finished true;
           finish (Job_cex cex) st
@@ -321,18 +336,21 @@ let check_portfolio ~workers ~k ~max_depth ~progress circuit property =
 (* {1 Entry points} *)
 
 let check_detailed ?jobs ?portfolio ?(group_size = 1) ?(max_depth = 30)
-    ?(progress = fun _ -> ()) circuit property =
+    ?(progress = fun _ -> ()) ?(opt = Opt.O0) circuit property =
   validate_property "Parallel.check" property;
   let workers = match jobs with Some j -> max 1 j | None -> default_jobs () in
   match portfolio with
-  | Some k when k > 1 -> check_portfolio ~workers ~k ~max_depth ~progress circuit property
-  | _ -> check_sharded ~workers ~group_size ~max_depth ~progress circuit property
+  | Some k when k > 1 ->
+      check_portfolio ~workers ~k ~max_depth ~progress ~opt circuit property
+  | _ -> check_sharded ~workers ~group_size ~max_depth ~progress ~opt circuit property
 
-let check ?jobs ?portfolio ?group_size ?max_depth ?progress circuit property =
-  fst (check_detailed ?jobs ?portfolio ?group_size ?max_depth ?progress circuit property)
+let check ?jobs ?portfolio ?group_size ?max_depth ?progress ?opt circuit property =
+  fst
+    (check_detailed ?jobs ?portfolio ?group_size ?max_depth ?progress ?opt circuit
+       property)
 
 let prove_detailed ?jobs ?(group_size = 1) ?(max_depth = 30)
-    ?(progress = fun _ -> ()) circuit property =
+    ?(progress = fun _ -> ()) ?(opt = Opt.O0) circuit property =
   validate_property "Parallel.prove" property;
   let workers = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let groups = chunk (max 1 group_size) property.Bmc.asserts in
@@ -361,7 +379,7 @@ let prove_detailed ?jobs ?(group_size = 1) ?(max_depth = 30)
           ~progress:(fun d ->
             cur := d;
             tick d)
-          ~stop c
+          ~stop ~opt c
           { Bmc.assumes = property.Bmc.assumes; asserts = g }
       with
       | Bmc.Proved (k, st) -> finish (Job_proved k) st
@@ -406,11 +424,11 @@ let prove_detailed ?jobs ?(group_size = 1) ?(max_depth = 30)
         in
         (Bmc.Proved (k, merge_stats ~depth:k results), detail)
 
-let prove ?jobs ?group_size ?max_depth ?progress circuit property =
-  fst (prove_detailed ?jobs ?group_size ?max_depth ?progress circuit property)
+let prove ?jobs ?group_size ?max_depth ?progress ?opt circuit property =
+  fst (prove_detailed ?jobs ?group_size ?max_depth ?progress ?opt circuit property)
 
-let equiv ?jobs ?max_depth c1 c2 =
+let equiv ?jobs ?max_depth ?opt c1 c2 =
   (* Interface validation happens in the calling domain, inside miter —
      mismatches raise Invalid_argument before any worker exists. *)
   let m, p = Bmc.miter c1 c2 in
-  check ?jobs ?max_depth m p
+  check ?jobs ?max_depth ?opt m p

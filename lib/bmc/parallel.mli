@@ -70,6 +70,7 @@ val check :
   ?group_size:int ->
   ?max_depth:int ->
   ?progress:(int -> unit) ->
+  ?opt:Opt.level ->
   Rtl.Circuit.t ->
   Bmc.property ->
   Bmc.outcome
@@ -82,7 +83,11 @@ val check :
       configurations on the whole property instead of sharding.
     @param group_size assertions per shard job (default 1, i.e. one job
       per assertion; larger groups amortize blasting for very cheap
-      assertions). Ignored in portfolio mode. *)
+      assertions). Ignored in portfolio mode.
+    @param opt netlist-optimization level (default {!Opt.O0}), forwarded
+      to the sequential engine inside each job — every shard optimizes
+      its own slim circuit independently, in its worker domain, so the
+      optimization work is parallelized along with the solving. *)
 
 val check_detailed :
   ?jobs:int ->
@@ -90,6 +95,7 @@ val check_detailed :
   ?group_size:int ->
   ?max_depth:int ->
   ?progress:(int -> unit) ->
+  ?opt:Opt.level ->
   Rtl.Circuit.t ->
   Bmc.property ->
   Bmc.outcome * detail
@@ -100,6 +106,7 @@ val prove :
   ?group_size:int ->
   ?max_depth:int ->
   ?progress:(int -> unit) ->
+  ?opt:Opt.level ->
   Rtl.Circuit.t ->
   Bmc.property ->
   Bmc.induction_outcome
@@ -116,12 +123,18 @@ val prove_detailed :
   ?group_size:int ->
   ?max_depth:int ->
   ?progress:(int -> unit) ->
+  ?opt:Opt.level ->
   Rtl.Circuit.t ->
   Bmc.property ->
   Bmc.induction_outcome * detail
 
 val equiv :
-  ?jobs:int -> ?max_depth:int -> Rtl.Circuit.t -> Rtl.Circuit.t -> Bmc.outcome
+  ?jobs:int ->
+  ?max_depth:int ->
+  ?opt:Opt.level ->
+  Rtl.Circuit.t ->
+  Rtl.Circuit.t ->
+  Bmc.outcome
 (** Parallel {!Bmc.equiv}: the per-output equality assertions of the
     miter are sharded across the pool. Interface mismatches raise
     [Invalid_argument] from the calling domain before any worker is

@@ -236,3 +236,5 @@ let node_value t ~cycle s =
 
 let input_value t ~cycle name =
   node_value t ~cycle (Circuit.find_input t.circuit name)
+
+let xor_lit = gxor

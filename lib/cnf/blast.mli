@@ -53,6 +53,10 @@ val fresh_var : t -> Sat.Solver.lit
 (** A fresh positive literal for auxiliary constraints (e.g. activation
     literals for bounded checks). *)
 
+val xor_lit : t -> Sat.Solver.lit -> Sat.Solver.lit -> Sat.Solver.lit
+(** Tseitin XOR of two literals, with local constant simplification —
+    building block for external miter constraints (e.g. SAT sweeping). *)
+
 val state_distinct : t -> int -> int -> Sat.Solver.lit
 (** [state_distinct t i j] is a literal that is true iff the register
     state vectors at cycles [i] and [j] differ — the loop-free-path

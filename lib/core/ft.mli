@@ -85,19 +85,23 @@ val check :
   ?progress:(int -> unit) ->
   ?jobs:int ->
   ?portfolio:int ->
+  ?opt:Opt.level ->
   t ->
   Bmc.outcome
 (** Run BMC over the generated property set. With [jobs] > 1 or
     [portfolio] set the work runs on the parallel engine ({!Parallel}):
     assertion sharding by default, a configuration race with
     [~portfolio:k]. Without either, the sequential engine is used
-    unchanged. *)
+    unchanged. [opt] (default {!Opt.O2} — this is the product path) runs
+    the {!Opt} netlist pipeline on the miter before blasting; verdicts
+    and CEX depths are unchanged by construction. *)
 
 val check_detailed :
   ?max_depth:int ->
   ?progress:(int -> unit) ->
   ?jobs:int ->
   ?portfolio:int ->
+  ?opt:Opt.level ->
   t ->
   Bmc.outcome * Parallel.detail
 (** {!check} via the parallel engine, returning per-job accounting
@@ -107,6 +111,7 @@ val prove :
   ?max_depth:int ->
   ?progress:(int -> unit) ->
   ?jobs:int ->
+  ?opt:Opt.level ->
   t ->
   Bmc.induction_outcome
 (** Attempt an unbounded proof of the property set by k-induction — the

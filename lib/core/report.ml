@@ -80,6 +80,7 @@ type merged_stats = {
   m_vars : int;
   m_clauses : int;
   m_conflicts : int;
+  m_opt : Opt.stats option;
 }
 
 let merge_stats (d : Parallel.detail) =
@@ -95,6 +96,10 @@ let merge_stats (d : Parallel.detail) =
         m_vars = acc.m_vars + r.Parallel.job_stats.Bmc.vars;
         m_clauses = acc.m_clauses + r.Parallel.job_stats.Bmc.clauses;
         m_conflicts = acc.m_conflicts + r.Parallel.job_stats.Bmc.conflicts;
+        m_opt =
+          (match (acc.m_opt, r.Parallel.job_stats.Bmc.opt) with
+          | None, o | o, None -> o
+          | Some x, Some y -> Some (Opt.add_stats x y));
       })
     {
       m_strategy = d.Parallel.par_strategy;
@@ -106,6 +111,7 @@ let merge_stats (d : Parallel.detail) =
       m_vars = 0;
       m_clauses = 0;
       m_conflicts = 0;
+      m_opt = None;
     }
     d.Parallel.par_results
 
@@ -113,7 +119,10 @@ let pp_merged fmt m =
   Format.fprintf fmt
     "%s: %d jobs on %d workers (%d cancelled), solver %.3fs total / %.3fs critical path, %d vars %d clauses %d conflicts"
     m.m_strategy m.m_jobs m.m_workers m.m_cancelled m.m_solve_time
-    m.m_critical_path m.m_vars m.m_clauses m.m_conflicts
+    m.m_critical_path m.m_vars m.m_clauses m.m_conflicts;
+  match m.m_opt with
+  | None -> ()
+  | Some o -> Format.fprintf fmt "@.opt: %a" Opt.pp_stats o
 
 let dump_vcd ~path ft cex =
   let module Signal = Rtl.Signal in

@@ -32,6 +32,9 @@ type merged_stats = {
   m_vars : int;
   m_clauses : int;
   m_conflicts : int;
+  m_opt : Opt.stats option;
+      (** summed netlist-optimization counters across jobs; [None] when
+          every job ran at [-O0] *)
 }
 
 val merge_stats : Parallel.detail -> merged_stats

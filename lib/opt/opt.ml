@@ -1,0 +1,776 @@
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+module S = Sat.Solver
+module Blast = Cnf.Blast
+
+type level = O0 | O1 | O2
+
+let level_of_int = function
+  | n when n < 0 -> invalid_arg "Opt.level_of_int: negative level"
+  | 0 -> O0
+  | 1 -> O1
+  | _ -> O2
+
+let level_to_int = function O0 -> 0 | O1 -> 1 | O2 -> 2
+
+type stats = {
+  o_nodes_before : int;
+  o_nodes_after : int;
+  o_coi_dropped : int;
+  o_cse_merged : int;
+  o_rewrites : int;
+  o_sweep_candidates : int;
+  o_sweep_merged : int;
+  o_sweep_refuted : int;
+  o_regs_merged : int;
+  o_sat_queries : int;
+  o_time : float;
+}
+
+let empty_stats =
+  {
+    o_nodes_before = 0;
+    o_nodes_after = 0;
+    o_coi_dropped = 0;
+    o_cse_merged = 0;
+    o_rewrites = 0;
+    o_sweep_candidates = 0;
+    o_sweep_merged = 0;
+    o_sweep_refuted = 0;
+    o_regs_merged = 0;
+    o_sat_queries = 0;
+    o_time = 0.;
+  }
+
+let add_stats a b =
+  {
+    o_nodes_before = a.o_nodes_before + b.o_nodes_before;
+    o_nodes_after = a.o_nodes_after + b.o_nodes_after;
+    o_coi_dropped = a.o_coi_dropped + b.o_coi_dropped;
+    o_cse_merged = a.o_cse_merged + b.o_cse_merged;
+    o_rewrites = a.o_rewrites + b.o_rewrites;
+    o_sweep_candidates = a.o_sweep_candidates + b.o_sweep_candidates;
+    o_sweep_merged = a.o_sweep_merged + b.o_sweep_merged;
+    o_sweep_refuted = a.o_sweep_refuted + b.o_sweep_refuted;
+    o_regs_merged = a.o_regs_merged + b.o_regs_merged;
+    o_sat_queries = a.o_sat_queries + b.o_sat_queries;
+    o_time = a.o_time +. b.o_time;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "%d -> %d nodes (coi -%d, cse %d, rw %d; sweep %d/%d merged, %d refuted, %d regs, %d queries) %.3fs"
+    s.o_nodes_before s.o_nodes_after s.o_coi_dropped s.o_cse_merged s.o_rewrites
+    s.o_sweep_merged s.o_sweep_candidates s.o_sweep_refuted s.o_regs_merged
+    s.o_sat_queries s.o_time
+
+type result = {
+  opt_circuit : Circuit.t;
+  opt_map : Signal.t -> Signal.t;
+  opt_stats : stats;
+}
+
+(* {1 Structural rebuild: hash-consing + algebraic rewrites}
+
+   One bottom-up pass over the (resolved) graph. Every rebuilt node is
+   interned in a structural hash table keyed by operator, width and
+   argument uids (commutative operands sorted), so structurally equal
+   gates collapse; before a fresh gate is created the algebraic rules
+   below get a chance to return an existing node instead. *)
+
+type counters = { mutable cse : int; mutable rw : int }
+
+let op_tag = function
+  | Signal.Not -> "not"
+  | Signal.And -> "and"
+  | Signal.Or -> "or"
+  | Signal.Xor -> "xor"
+  | Signal.Add -> "add"
+  | Signal.Sub -> "sub"
+  | Signal.Mul -> "mul"
+  | Signal.Eq -> "eq"
+  | Signal.Ult -> "ult"
+  | Signal.Slt -> "slt"
+  | Signal.Mux -> "mux"
+  | Signal.Concat -> "concat"
+  | Signal.Slice (hi, lo) -> Printf.sprintf "slice:%d:%d" hi lo
+  | Signal.Const _ | Signal.Input _ | Signal.Reg _ -> assert false
+
+let key_of op args w =
+  let uids = Array.to_list (Array.map Signal.uid args) in
+  match op with
+  | Signal.And | Signal.Or | Signal.Xor | Signal.Add | Signal.Mul | Signal.Eq ->
+      (op_tag op, w, List.sort compare uids)
+  | _ -> (op_tag op, w, uids)
+
+(* The rebuild closure set: [clone] walks old nodes, [mk] interns and
+   rewrites one operator application over already-rebuilt arguments. *)
+let rebuild ~cnt ~resolve roots =
+  let memo : (int, Signal.t) Hashtbl.t = Hashtbl.create 1024 in
+  let strash : (string * int * int list, Signal.t) Hashtbl.t = Hashtbl.create 1024 in
+  let copy_name old fresh =
+    match Signal.name old with
+    | Some n -> ignore (Signal.( -- ) fresh n)
+    | None -> ()
+  in
+  let const v =
+    let key = ("const:" ^ Bitvec.to_hex_string v, Bitvec.width v, []) in
+    match Hashtbl.find_opt strash key with
+    | Some n -> n
+    | None ->
+        let n = Signal.const v in
+        Hashtbl.replace strash key n;
+        n
+  in
+  let cv = Signal.const_value in
+  let is0 s = match cv s with Some v -> Bitvec.is_zero v | None -> false in
+  let isF s = match cv s with Some v -> Bitvec.is_ones v | None -> false in
+  let is_one s =
+    match cv s with
+    | Some v -> Bitvec.equal v (Bitvec.one (Bitvec.width v))
+    | None -> false
+  in
+  let same a b = Signal.uid a = Signal.uid b in
+  (* Concat normalization: splice nested concats in, merge adjacent
+     constant parts (most-significant first). *)
+  let normalize op args =
+    match op with
+    | Signal.Concat ->
+        let parts =
+          Array.to_list args
+          |> List.concat_map (fun a ->
+                 match Signal.op a with
+                 | Signal.Concat -> Array.to_list (Signal.args a)
+                 | _ -> [ a ])
+        in
+        let merged =
+          List.fold_left
+            (fun acc p ->
+              match (acc, cv p) with
+              | prev :: rest, Some v -> (
+                  match cv prev with
+                  | Some pv -> const (Bitvec.concat_list [ pv; v ]) :: rest
+                  | None -> p :: acc)
+              | _ -> p :: acc)
+            [] parts
+          |> List.rev
+        in
+        if List.length merged <> Array.length args then cnt.rw <- cnt.rw + 1;
+        (op, Array.of_list merged)
+    | _ -> (op, args)
+  in
+  let rec mk op args w =
+    match op with
+    | Signal.Const v -> const v
+    | Signal.Input n -> (
+        let key = ("input:" ^ n, w, []) in
+        match Hashtbl.find_opt strash key with
+        | Some s -> s
+        | None ->
+            let s = Signal.input n w in
+            Hashtbl.replace strash key s;
+            s)
+    | Signal.Reg _ -> assert false (* handled in [clone] *)
+    | _ -> (
+        let op, args = normalize op args in
+        let key = key_of op args w in
+        match Hashtbl.find_opt strash key with
+        | Some n ->
+            cnt.cse <- cnt.cse + 1;
+            n
+        | None ->
+            let node = rewrite op args w in
+            Hashtbl.replace strash key node;
+            node)
+  and rewrite op args w =
+    let hit n =
+      cnt.rw <- cnt.rw + 1;
+      n
+    in
+    let a i = args.(i) in
+    match op with
+    | Signal.Not -> (
+        match Signal.op (a 0) with
+        | Signal.Not -> hit (Signal.args (a 0)).(0)
+        | _ -> Signal.( ~: ) (a 0))
+    | Signal.And ->
+        if same (a 0) (a 1) then hit (a 0)
+        else if is0 (a 0) || is0 (a 1) then hit (const (Bitvec.zero w))
+        else if isF (a 0) then hit (a 1)
+        else if isF (a 1) then hit (a 0)
+        else Signal.( &: ) (a 0) (a 1)
+    | Signal.Or ->
+        if same (a 0) (a 1) then hit (a 0)
+        else if isF (a 0) || isF (a 1) then hit (const (Bitvec.ones w))
+        else if is0 (a 0) then hit (a 1)
+        else if is0 (a 1) then hit (a 0)
+        else Signal.( |: ) (a 0) (a 1)
+    | Signal.Xor ->
+        if same (a 0) (a 1) then hit (const (Bitvec.zero w))
+        else if is0 (a 0) then hit (a 1)
+        else if is0 (a 1) then hit (a 0)
+        else if isF (a 0) then hit (mk Signal.Not [| a 1 |] w)
+        else if isF (a 1) then hit (mk Signal.Not [| a 0 |] w)
+        else Signal.( ^: ) (a 0) (a 1)
+    | Signal.Add ->
+        if is0 (a 0) then hit (a 1)
+        else if is0 (a 1) then hit (a 0)
+        else Signal.( +: ) (a 0) (a 1)
+    | Signal.Sub ->
+        if is0 (a 1) then hit (a 0)
+        else if same (a 0) (a 1) then hit (const (Bitvec.zero w))
+        else Signal.( -: ) (a 0) (a 1)
+    | Signal.Mul ->
+        if is0 (a 0) || is0 (a 1) then hit (const (Bitvec.zero w))
+        else if is_one (a 0) then hit (a 1)
+        else if is_one (a 1) then hit (a 0)
+        else Signal.( *: ) (a 0) (a 1)
+    | Signal.Eq -> (
+        if same (a 0) (a 1) then hit (const (Bitvec.one 1))
+        else
+          let x = a 0 and y = a 1 in
+          (* An equality over a concatenation splits into part-wise
+             equalities: constant parts fold away and unit propagation
+             becomes local to each field (tag compares in caches, opcode
+             fields in decoders). *)
+          let split_concat c other =
+            let parts_lsb = List.rev (Array.to_list (Signal.args c)) in
+            let rec go off acc = function
+              | [] -> acc
+              | p :: rest ->
+                  let pw = Signal.width p in
+                  let o = mk (Signal.Slice (off + pw - 1, off)) [| other |] pw in
+                  go (off + pw) (mk Signal.Eq [| p; o |] 1 :: acc) rest
+            in
+            match go 0 [] parts_lsb with
+            | [] -> const (Bitvec.one 1)
+            | e :: es ->
+                List.fold_left (fun acc e -> mk Signal.And [| acc; e |] 1) e es
+          in
+          (* [mux(s,t,f) == c] with a constant [c] and a constant arm
+             distributes the compare into the mux: the constant arm folds
+             to a boolean and the whole equality collapses towards the
+             selector (FSM state-compare chains). *)
+          let mux_const_arm m =
+            let ma = Signal.args m in
+            cv ma.(1) <> None || cv ma.(2) <> None
+          in
+          let distribute m c =
+            let ma = Signal.args m in
+            mk Signal.Mux
+              [|
+                ma.(0);
+                mk Signal.Eq [| ma.(1); c |] 1;
+                mk Signal.Eq [| ma.(2); c |] 1;
+              |]
+              1
+          in
+          match (Signal.op x, Signal.op y) with
+          | Signal.Concat, _ -> hit (split_concat x y)
+          | _, Signal.Concat -> hit (split_concat y x)
+          | Signal.Mux, Signal.Const _ when mux_const_arm x ->
+              hit (distribute x y)
+          | Signal.Const _, Signal.Mux when mux_const_arm y ->
+              hit (distribute y x)
+          | _ -> Signal.( ==: ) x y)
+    | Signal.Ult ->
+        (* a < a and a < 0 are never true; ones is the unsigned maximum. *)
+        if same (a 0) (a 1) || is0 (a 1) || isF (a 0) then
+          hit (const (Bitvec.zero 1))
+        else Signal.( <: ) (a 0) (a 1)
+    | Signal.Slt ->
+        if same (a 0) (a 1) then hit (const (Bitvec.zero 1))
+        else Signal.slt (a 0) (a 1)
+    | Signal.Mux ->
+        let s = a 0 and t = a 1 and f = a 2 in
+        if same t f then hit t
+        else if w = 1 && is_one t && is0 f then hit s
+        else if w = 1 && is0 t && is_one f then hit (mk Signal.Not [| s |] 1)
+        else begin
+          (* Nested muxes on the same selector are redundant on one arm. *)
+          let t' =
+            match Signal.op t with
+            | Signal.Mux when same (Signal.args t).(0) s -> (Signal.args t).(1)
+            | _ -> t
+          in
+          let f' =
+            match Signal.op f with
+            | Signal.Mux when same (Signal.args f).(0) s -> (Signal.args f).(2)
+            | _ -> f
+          in
+          if not (same t t') || not (same f f') then cnt.rw <- cnt.rw + 1;
+          if same t' f' then t' else Signal.mux2 s t' f'
+        end
+    | Signal.Concat -> Signal.concat (Array.to_list args)
+    | Signal.Slice (hi, lo) -> (
+        let x = a 0 in
+        if lo = 0 && hi = Signal.width x - 1 then x
+        else
+          match Signal.op x with
+          | Signal.Slice (_, lo') ->
+              hit (mk (Signal.Slice (lo' + hi, lo' + lo)) [| (Signal.args x).(0) |] w)
+          | Signal.Concat ->
+              (* Re-slice only the parts the range overlaps; parts are
+                 stored most-significant first. *)
+              let parts_lsb = List.rev (Array.to_list (Signal.args x)) in
+              let rec collect off acc = function
+                | [] -> acc (* built lsb-to-msb by prepending: msb first *)
+                | p :: rest ->
+                    let pw = Signal.width p in
+                    let acc =
+                      if off + pw <= lo || off > hi then acc
+                      else
+                        let phi = min (hi - off) (pw - 1)
+                        and plo = max 0 (lo - off) in
+                        mk (Signal.Slice (phi, plo)) [| p |] (phi - plo + 1)
+                        :: acc
+                    in
+                    collect (off + pw) acc rest
+              in
+              hit (mk Signal.Concat (Array.of_list (collect 0 [] parts_lsb)) w)
+          | _ -> Signal.select x hi lo)
+    | Signal.Const _ | Signal.Input _ | Signal.Reg _ -> assert false
+  in
+  let rec clone s0 =
+    let s = resolve s0 in
+    match Hashtbl.find_opt memo (Signal.uid s) with
+    | Some s' ->
+        if Signal.uid s0 <> Signal.uid s then
+          Hashtbl.replace memo (Signal.uid s0) s';
+        s'
+    | None ->
+        let s' =
+          match Signal.op s with
+          | Signal.Const v -> const v
+          | Signal.Input n -> mk (Signal.Input n) [||] (Signal.width s)
+          | Signal.Reg r ->
+              let fresh =
+                Signal.reg ~init:r.Signal.init r.Signal.reg_name (Signal.width s)
+              in
+              copy_name s fresh;
+              (* Memoize before recursing: next-state functions refer back
+                 to the register. *)
+              Hashtbl.replace memo (Signal.uid s) fresh;
+              Hashtbl.replace memo (Signal.uid s0) fresh;
+              Signal.reg_set_next fresh (clone (Option.get r.Signal.next));
+              fresh
+          | op -> mk op (Array.map clone (Signal.args s)) (Signal.width s)
+        in
+        copy_name s s';
+        Hashtbl.replace memo (Signal.uid s) s';
+        Hashtbl.replace memo (Signal.uid s0) s';
+        s'
+  in
+  let roots' = List.map (fun (n, s) -> (n, clone s)) roots in
+  (roots', memo)
+
+(* {1 SAT sweeping and register correspondence}
+
+   Both passes share one solver and one [free_init] single-cycle blast of
+   the circuit: at cycle 0 every input AND every register is a fresh
+   variable, so a literal-level equivalence proof is an equivalence for
+   every valuation of inputs and current state. *)
+
+type sweep_counters = {
+  mutable sw_cand : int;
+  mutable sw_merged : int;
+  mutable sw_refuted : int;
+  mutable sw_regs : int;
+  mutable sw_queries : int;
+}
+
+(* Candidate detection: simulate random traces {e from reset} and group
+   nodes by their value sequences. Sampling reachable states (rather
+   than random state valuations) keeps as candidates the pairs that are
+   equal on every reachable state but differ on some unreachable one —
+   exactly the merges only the inductive pass below can discharge. *)
+let trace_signatures ?(free_state = false) st ~ntraces ~len circuit =
+  let topo = Circuit.topo circuit in
+  let n = Array.length topo in
+  let sigs = Array.make n [] in
+  let vals = Array.make n (Bitvec.zero 1) in
+  let state = Array.make n (Bitvec.zero 1) in
+  let regs = Circuit.regs circuit in
+  let idx s = Circuit.node_index circuit s in
+  for _ = 1 to ntraces do
+    List.iter
+      (fun r ->
+        state.(idx r) <-
+          (if free_state then Bitvec.random st (Signal.width r)
+           else (Signal.reg_of r).Signal.init))
+      regs;
+    for _ = 1 to len do
+      Array.iteri
+        (fun i s ->
+          let arg k = vals.(idx (Signal.args s).(k)) in
+          let v =
+            match Signal.op s with
+            | Signal.Const c -> c
+            | Signal.Input _ -> Bitvec.random st (Signal.width s)
+            | Signal.Reg _ -> state.(i)
+            | Signal.Not -> Bitvec.lognot (arg 0)
+            | Signal.And -> Bitvec.logand (arg 0) (arg 1)
+            | Signal.Or -> Bitvec.logor (arg 0) (arg 1)
+            | Signal.Xor -> Bitvec.logxor (arg 0) (arg 1)
+            | Signal.Add -> Bitvec.add (arg 0) (arg 1)
+            | Signal.Sub -> Bitvec.sub (arg 0) (arg 1)
+            | Signal.Mul -> Bitvec.mul (arg 0) (arg 1)
+            | Signal.Eq -> Bitvec.of_bool (Bitvec.equal (arg 0) (arg 1))
+            | Signal.Ult -> Bitvec.of_bool (Bitvec.ult (arg 0) (arg 1))
+            | Signal.Slt -> Bitvec.of_bool (Bitvec.slt (arg 0) (arg 1))
+            | Signal.Mux -> if Bitvec.bit (arg 0) 0 then arg 1 else arg 2
+            | Signal.Concat ->
+                Bitvec.concat_list
+                  (Array.to_list (Array.mapi (fun k _ -> arg k) (Signal.args s)))
+            | Signal.Slice (hi, lo) -> Bitvec.extract ~hi ~lo (arg 0)
+          in
+          vals.(i) <- v;
+          sigs.(i) <- v :: sigs.(i))
+        topo;
+      List.iter
+        (fun r ->
+          state.(idx r) <-
+            vals.(idx (Option.get (Signal.reg_of r).Signal.next)))
+        regs
+    done
+  done;
+  sigs
+
+(* Group a list by a key function, preserving first-seen key order and
+   within-class element order; classes of fewer than two elements drop. *)
+let group_by key elems =
+  let tbl : (string, Signal.t list) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      let k = key s in
+      (match Hashtbl.find_opt tbl k with
+      | None -> order := k :: !order
+      | Some _ -> ());
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl k) in
+      Hashtbl.replace tbl k (s :: prev))
+    elems;
+  List.rev !order
+  |> List.filter_map (fun k ->
+         match List.rev (Hashtbl.find tbl k) with
+         | _ :: _ :: _ as cls -> Some cls
+         | _ -> None)
+
+let sweep ?(max_queries = 4000) circuit =
+  let sc =
+    { sw_cand = 0; sw_merged = 0; sw_refuted = 0; sw_regs = 0; sw_queries = 0 }
+  in
+  let merges : (int, Signal.t) Hashtbl.t = Hashtbl.create 64 in
+  let topo = Circuit.topo circuit in
+  let st = Random.State.make [| 0x0517AC; Array.length topo |] in
+  let sigs = trace_signatures st ~ntraces:12 ~len:6 circuit in
+  (* Free-state frames sharpen the combinational filter: a pair that
+     differs on some random (state, input) valuation is almost never a
+     profitable speculative merge, even when its from-reset traces
+     agree — every candidate filtered here saves a refuting SAT query. *)
+  let free_sigs = trace_signatures ~free_state:true st ~ntraces:64 ~len:1 circuit in
+  let sig_of s =
+    String.concat ","
+      (List.map Bitvec.to_hex_string sigs.(Circuit.node_index circuit s))
+  in
+  let free_sig_of s =
+    String.concat ","
+      (List.map Bitvec.to_hex_string free_sigs.(Circuit.node_index circuit s))
+  in
+  (* Combinational candidate classes: topo order puts the representative
+     (the class head) strictly before its members, so a member's cone can
+     never contain its representative and merging cannot create cycles.
+     Constants and inputs may lead a class (members merge into them) but
+     never merge away themselves. *)
+  let mergeable m =
+    match Signal.op m with
+    | Signal.Const _ | Signal.Input _ | Signal.Reg _ -> false
+    | _ -> true
+  in
+  let comb_classes =
+    Array.to_list topo
+    |> List.filter (fun s ->
+           match Signal.op s with Signal.Reg _ -> false | _ -> true)
+    |> group_by (fun s ->
+           Printf.sprintf "%d:%s:%s" (Signal.width s) (sig_of s) (free_sig_of s))
+    |> List.filter_map (fun cls ->
+           match cls with
+           | rep :: members -> (
+               match List.filter mergeable members with
+               | [] -> None
+               | ms -> Some (rep :: ms))
+           | [] -> None)
+  in
+  (* Register candidate classes: same width, same reset value, same
+     from-reset behaviour on the sampled traces. *)
+  let reg_classes =
+    group_by
+      (fun r ->
+        Printf.sprintf "%d:%s:%s" (Signal.width r)
+          (Bitvec.to_hex_string (Signal.reg_of r).Signal.init)
+          (sig_of r))
+      (Circuit.regs circuit)
+  in
+  let all_classes = comb_classes @ reg_classes in
+  List.iter
+    (fun cls -> sc.sw_cand <- sc.sw_cand + List.length cls - 1)
+    all_classes;
+  if all_classes = [] then (merges, sc)
+  else begin
+    (* Induction step instance: two unrolled frames with a free starting
+       state. Assuming the candidate equalities on frame 0 and proving a
+       pair equal on frame 1 discharges the induction step for every
+       (state, input) pair at once; registers read their frame-1 value
+       from their frame-0 next-state cone, so combinational nodes and
+       registers are handled uniformly. *)
+    let ssolver = S.create () in
+    let sblaster = Blast.create ~free_init:true ssolver circuit in
+    Blast.unroll_cycle sblaster;
+    Blast.unroll_cycle sblaster;
+    (* Base-case instance: one frame from the genuine reset state, inputs
+       free. Register pairs in a class share a reset value, so their
+       frame-0 literals coincide and the base case is free for them. *)
+    let bsolver = S.create () in
+    let bblaster = Blast.create bsolver circuit in
+    Blast.unroll_cycle bblaster;
+    (* A literal whose assumption forces [a <> b] at [cycle]; [None] when
+       the two nodes already blast to identical literals. *)
+    let diff blaster ~cycle a b =
+      let la = Blast.lits blaster ~cycle a and lb = Blast.lits blaster ~cycle b in
+      let xs = ref [] in
+      Array.iteri
+        (fun i ai ->
+          let x = Blast.xor_lit blaster ai lb.(i) in
+          if x <> Blast.lit_false blaster then xs := x :: !xs)
+        la;
+      match !xs with
+      | [] -> None
+      | xs ->
+          let d = Blast.fresh_var blaster in
+          S.add_clause (Blast.solver blaster) (S.neg d :: xs);
+          Some d
+    in
+    let budget_left () = sc.sw_queries < max_queries in
+    let aborted = ref false in
+    (* Refinement is counterexample-guided: a refuting model satisfies
+       the frame-0 equalities of {e every} class, so its frame-1 values
+       re-partition all classes at once. Structures full of same-shape
+       but inequivalent nodes (cache lines) collapse to singletons in a
+       couple of models instead of one SAT query per member per round. *)
+    let model_key s =
+      Bitvec.to_hex_string (Blast.node_value sblaster ~cycle:1 s)
+    in
+    let split_by_model classes = List.concat_map (group_by model_key) classes in
+    let rec refine classes round =
+      if classes = [] then []
+      else if round > 64 || not (budget_left ()) then begin
+        aborted := true;
+        []
+      end
+      else begin
+        let act = Blast.fresh_var sblaster in
+        List.iter
+          (fun cls ->
+            match cls with
+            | rep :: members ->
+                let la = Blast.lits sblaster ~cycle:0 rep in
+                List.iter
+                  (fun m ->
+                    let lb = Blast.lits sblaster ~cycle:0 m in
+                    Array.iteri
+                      (fun i ai ->
+                        S.add_clause ssolver [ S.neg act; S.neg ai; lb.(i) ];
+                        S.add_clause ssolver [ S.neg act; ai; S.neg lb.(i) ])
+                      la)
+                  members
+            | [] -> ())
+          classes;
+        (* Walk every pair until one is refuted; [Some _] re-splits the
+           whole round's classes by the refuting model. *)
+        let rec walk = function
+          | [] -> None
+          | (rep :: members) :: rest ->
+              let rec go = function
+                | [] -> walk rest
+                | m :: ms -> (
+                    if not (budget_left ()) then begin
+                      aborted := true;
+                      None
+                    end
+                    else
+                      match diff sblaster ~cycle:1 rep m with
+                      | None -> go ms
+                      | Some d ->
+                          sc.sw_queries <- sc.sw_queries + 1;
+                          let r = S.solve ~assumptions:[ act; d ] ssolver in
+                          let resplit =
+                            match r with
+                            | S.Sat -> Some (split_by_model classes)
+                            | S.Unsat -> None
+                          in
+                          S.add_clause ssolver [ S.neg d ];
+                          if r = S.Unsat then go ms else resplit)
+              in
+              go members
+          | [] :: rest -> walk rest
+        in
+        let resplit = walk classes in
+        S.add_clause ssolver [ S.neg act ];
+        match resplit with
+        | Some classes' -> refine classes' (round + 1)
+        | None -> if !aborted then [] else classes
+      end
+    in
+    (* The induction fixpoint must also hold at reset for every input; a
+       member failing the base case weakens the induction hypothesis the
+       others used, so refinement reruns without it. *)
+    let rec establish classes =
+      match refine classes 1 with
+      | [] -> []
+      | classes -> (
+          let dropped = ref false in
+          let classes' =
+            List.filter_map
+              (fun cls ->
+                match cls with
+                | rep :: members -> (
+                    let keep =
+                      List.filter
+                        (fun m ->
+                          if !aborted then false
+                          else
+                            match diff bblaster ~cycle:0 rep m with
+                            | None -> true
+                            | Some d ->
+                                if not (budget_left ()) then begin
+                                  aborted := true;
+                                  false
+                                end
+                                else begin
+                                  sc.sw_queries <- sc.sw_queries + 1;
+                                  let r = S.solve ~assumptions:[ d ] bsolver in
+                                  S.add_clause bsolver [ S.neg d ];
+                                  if r <> S.Unsat then dropped := true;
+                                  r = S.Unsat
+                                end)
+                        members
+                    in
+                    match keep with [] -> None | _ -> Some (rep :: keep))
+                | [] -> None)
+              classes
+          in
+          if !aborted then []
+          else if !dropped then establish classes'
+          else classes')
+    in
+    List.iter
+      (fun cls ->
+        match cls with
+        | rep :: members ->
+            List.iter
+              (fun m ->
+                Hashtbl.replace merges (Signal.uid m) rep;
+                match Signal.op m with
+                | Signal.Reg _ -> sc.sw_regs <- sc.sw_regs + 1
+                | _ -> sc.sw_merged <- sc.sw_merged + 1)
+              members
+        | [] -> ())
+      (establish all_classes);
+    sc.sw_refuted <- sc.sw_cand - sc.sw_merged - sc.sw_regs;
+    (merges, sc)
+  end
+
+(* {1 Driver} *)
+
+let optimize ?(level = O2) ?keep_outputs circuit =
+  let t0 = Unix.gettimeofday () in
+  let nodes_before = Circuit.num_nodes circuit in
+  match level with
+  | O0 ->
+      {
+        opt_circuit = circuit;
+        opt_map = (fun s -> s);
+        opt_stats =
+          {
+            empty_stats with
+            o_nodes_before = nodes_before;
+            o_nodes_after = nodes_before;
+          };
+      }
+  | O1 | O2 ->
+      let all_ports = Circuit.outputs circuit in
+      let kept =
+        match keep_outputs with
+        | None -> all_ports
+        | Some names -> (
+            match
+              List.filter
+                (fun p -> List.mem p.Circuit.port_name names)
+                all_ports
+            with
+            | [] -> all_ports
+            | l -> l)
+      in
+      let roots =
+        List.map (fun p -> (p.Circuit.port_name, p.Circuit.signal)) kept
+      in
+      let cnt = { cse = 0; rw = 0 } in
+      let roots1, memo1 = rebuild ~cnt ~resolve:(fun s -> s) roots in
+      let visited = Hashtbl.length memo1 in
+      let mid =
+        Circuit.create ~name:(Circuit.name circuit) ~outputs:roots1 ()
+      in
+      let final, map2, sc =
+        if level = O1 then (mid, None, None)
+        else
+          let merges, sc = sweep mid in
+          if Hashtbl.length merges = 0 then (mid, None, Some sc)
+          else begin
+            let rec resolve s =
+              match Hashtbl.find_opt merges (Signal.uid s) with
+              | Some s' when Signal.uid s' <> Signal.uid s -> resolve s'
+              | _ -> s
+            in
+            let roots2, memo2 = rebuild ~cnt ~resolve roots1 in
+            let final =
+              Circuit.create ~name:(Circuit.name circuit) ~outputs:roots2 ()
+            in
+            (final, Some memo2, Some sc)
+          end
+      in
+      let opt_map s =
+        let m1 = Hashtbl.find memo1 (Signal.uid s) in
+        match map2 with
+        | None -> m1
+        | Some memo2 -> Hashtbl.find memo2 (Signal.uid m1)
+      in
+      let sw =
+        Option.value
+          ~default:
+            {
+              sw_cand = 0;
+              sw_merged = 0;
+              sw_refuted = 0;
+              sw_regs = 0;
+              sw_queries = 0;
+            }
+          sc
+      in
+      {
+        opt_circuit = final;
+        opt_map;
+        opt_stats =
+          {
+            o_nodes_before = nodes_before;
+            o_nodes_after = Circuit.num_nodes final;
+            o_coi_dropped = nodes_before - visited;
+            o_cse_merged = cnt.cse;
+            o_rewrites = cnt.rw;
+            o_sweep_candidates = sw.sw_cand;
+            o_sweep_merged = sw.sw_merged;
+            o_sweep_refuted = sw.sw_refuted;
+            o_regs_merged = sw.sw_regs;
+            o_sat_queries = sw.sw_queries;
+            o_time = Unix.gettimeofday () -. t0;
+          };
+      }

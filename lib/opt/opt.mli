@@ -1,0 +1,85 @@
+(** Word-level netlist optimization, run between FT construction and
+    bit-blasting.
+
+    The two-universe miter AutoCC builds duplicates every DUT gate, and
+    the BMC loop re-encodes the whole signal DAG at every unrolled depth,
+    so netlist reductions are paid back [max_depth] times per run. The
+    pipeline applies, in order:
+
+    + {b structural hash-consing (strash/CSE)}: structurally identical
+      gates (commutative operands normalized) collapse to one node;
+    + {b constant folding and algebraic rewrites}: identity/annihilator
+      operands, double negation, muxes with equal arms, slice-of-slice
+      and slice-of-concat collapsing, nested-concat flattening;
+    + {b cone-of-influence restriction}: only the outputs named in
+      [keep_outputs] (for BMC: the property signals) are kept as roots —
+      logic feeding no assumption or assertion is never encoded;
+    + {b inductive SAT sweep with register correspondence} (level {!O2},
+      the van Eijk pass): candidate equivalence classes are proposed by
+      two signature families — reset-reachable random-simulation traces
+      and free-state frames (inputs {e and} registers random) — then
+      discharged by 2-frame induction on one incremental solver: class
+      equalities are assumed at cycle 0 under an activation literal,
+      each pair is queried at cycle 1, and a refuting model re-partitions
+      every class by its model values (CEGAR) until a fixpoint; a second
+      solver checks the base case from reset. Register pairs with equal
+      reset values merge the same way through their next-state
+      functions — in an AutoCC miter this is what collapses α/β register
+      pairs whose cones depend only on shared (common) inputs.
+
+    {b Soundness.} Classes surviving base + step are inductive
+    invariants: they hold on every reachable (state, input) pair, so
+    merging them preserves all traces from the initial state — the
+    optimized circuit is cycle-accurate against the original on the
+    simulator, and BMC verdicts {e and counterexample depths} are
+    unchanged. {!Bmc} additionally replays every counterexample found on
+    an optimized circuit against the {e unoptimized} instrumented
+    circuit, so optimizer bugs surface as {!Bmc.Replay_mismatch} rather
+    than as wrong answers. *)
+
+type level = O0 | O1 | O2
+(** [O0] disables the pipeline, [O1] runs the structural passes
+    (strash, rewrites, cone-of-influence), [O2] adds the SAT-backed
+    sweeping and register-correspondence passes. *)
+
+val level_of_int : int -> level
+(** [0 -> O0], [1 -> O1], anything larger [-> O2]. Raises
+    [Invalid_argument] on negatives. *)
+
+val level_to_int : level -> int
+
+type stats = {
+  o_nodes_before : int;  (** nodes of the input circuit *)
+  o_nodes_after : int;  (** nodes of the optimized circuit *)
+  o_coi_dropped : int;  (** nodes outside the kept outputs' cones *)
+  o_cse_merged : int;  (** structural-hash hits *)
+  o_rewrites : int;  (** algebraic-rewrite hits *)
+  o_sweep_candidates : int;  (** class members proposed by the signatures *)
+  o_sweep_merged : int;  (** nodes proven equivalent and merged *)
+  o_sweep_refuted : int;  (** candidates dropped by induction/base checks *)
+  o_regs_merged : int;  (** registers merged by correspondence *)
+  o_sat_queries : int;  (** discharge queries issued *)
+  o_time : float;  (** seconds spent optimizing (including SAT) *)
+}
+
+val empty_stats : stats
+
+val add_stats : stats -> stats -> stats
+(** Componentwise sum — used when merging per-shard reports. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+type result = {
+  opt_circuit : Rtl.Circuit.t;
+  opt_map : Rtl.Signal.t -> Rtl.Signal.t;
+      (** Maps a node of the input circuit (within the kept cones) to
+          its optimized counterpart. Raises [Not_found] for nodes whose
+          cone was dropped. *)
+  opt_stats : stats;
+}
+
+val optimize :
+  ?level:level -> ?keep_outputs:string list -> Rtl.Circuit.t -> result
+(** [optimize circuit] runs the pipeline (default level {!O2}) over the
+    outputs named in [keep_outputs] (default: all outputs). At {!O0} the
+    circuit is returned unchanged with the identity map. *)

@@ -26,11 +26,18 @@ and t = {
   mutable s_name : string option;
 }
 
-let counter = ref 0
+(* Atomic so that signal construction is domain-safe: Parallel workers
+   run the Opt netlist passes, which build fresh nodes concurrently. *)
+let counter = Atomic.make 1
 
 let make width op args =
-  incr counter;
-  { s_uid = !counter; s_width = width; s_op = op; s_args = args; s_name = None }
+  {
+    s_uid = Atomic.fetch_and_add counter 1;
+    s_width = width;
+    s_op = op;
+    s_args = args;
+    s_name = None;
+  }
 
 let uid s = s.s_uid
 let width s = s.s_width

@@ -51,6 +51,10 @@ val ( -- ) : t -> string -> t
 (** {1 Sources} *)
 
 val const : Bitvec.t -> t
+
+(** [const_value s] is [Some v] when the node is a constant — the hook
+    used by constant folding in optimization passes. *)
+val const_value : t -> Bitvec.t option
 val of_int : width:int -> int -> t
 val zero : int -> t
 val one : int -> t

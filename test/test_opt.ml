@@ -1,0 +1,273 @@
+(* The word-level optimization pipeline, cross-checked against the
+   simulator and the unoptimized BMC engine.
+
+   Deterministic cases pin each pass individually (strash/CSE, algebraic
+   rewrites, cone-of-influence, the inductive SAT sweep and register
+   correspondence); the fuzz section then drives [Opt.optimize] over
+   random circuits and requires
+
+   - cycle-accuracy: the optimized circuit and the original produce
+     identical output streams on the [Sim] interpreter under the same
+     random stimulus;
+   - verdict stability: [Bmc.check] at -O0 and -O2, and
+     [Parallel.check ~opt:O2], agree on the outcome kind and the
+     counterexample depth, and every -O2 counterexample replays on the
+     full unoptimized circuit via [Bmc.validate].
+
+   Like test_parallel, the binary honours AUTOCC_JOBS so the dune rules
+   exercise both the in-calling-domain fallback (1) and a real worker
+   pool (4). *)
+
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+
+let jobs =
+  match Sys.getenv_opt "AUTOCC_JOBS" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+(* {1 Deterministic pass tests} *)
+
+let test_level_of_int () =
+  Alcotest.(check bool) "0" true (Opt.level_of_int 0 = Opt.O0);
+  Alcotest.(check bool) "1" true (Opt.level_of_int 1 = Opt.O1);
+  Alcotest.(check bool) "2" true (Opt.level_of_int 2 = Opt.O2);
+  Alcotest.(check bool) "9" true (Opt.level_of_int 9 = Opt.O2);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Opt.level_of_int: negative level") (fun () ->
+      ignore (Opt.level_of_int (-1)))
+
+let test_identity_at_o0 () =
+  let open Signal in
+  let a = input "a" 4 in
+  let c = Circuit.create ~name:"id" ~outputs:[ ("o", a +: one 4) ] () in
+  let r = Opt.optimize ~level:Opt.O0 c in
+  Alcotest.(check bool) "same circuit" true (r.Opt.opt_circuit == c);
+  Alcotest.(check int) "no nodes dropped" r.Opt.opt_stats.Opt.o_nodes_before
+    r.Opt.opt_stats.Opt.o_nodes_after
+
+let test_cse () =
+  (* Two structurally identical adders built as distinct nodes must
+     collapse to one; commutative normalization also catches b+a. *)
+  let open Signal in
+  let a = input "a" 4 and b = input "b" 4 in
+  let c =
+    Circuit.create ~name:"cse"
+      ~outputs:[ ("o0", a +: b); ("o1", a +: b); ("o2", b +: a) ]
+      ()
+  in
+  let r = Opt.optimize ~level:Opt.O1 c in
+  Alcotest.(check bool) "cse hits" true (r.Opt.opt_stats.Opt.o_cse_merged >= 2);
+  let outs = Circuit.outputs r.Opt.opt_circuit in
+  let sig_of n =
+    (List.find (fun p -> p.Circuit.port_name = n) outs).Circuit.signal
+  in
+  Alcotest.(check bool) "o0 == o1" true (sig_of "o0" == sig_of "o1");
+  Alcotest.(check bool) "o0 == o2" true (sig_of "o0" == sig_of "o2")
+
+let test_rewrites () =
+  (* Annihilators, identities and mux-equal-arms must fold away without
+     SAT: the whole cone reduces to the inputs themselves. *)
+  let open Signal in
+  let a = input "a" 4 and c = input "c" 1 in
+  let z = zero 4 in
+  let circuit =
+    Circuit.create ~name:"rw"
+      ~outputs:
+        [
+          ("and0", a &: z); (* -> 0 *)
+          ("or0", a |: z); (* -> a *)
+          ("muxeq", mux2 c a a); (* -> a *)
+          ("notnot", ~:(~:a)); (* -> a *)
+        ]
+      ()
+  in
+  let r = Opt.optimize ~level:Opt.O1 circuit in
+  Alcotest.(check bool) "rewrites fired" true (r.Opt.opt_stats.Opt.o_rewrites >= 4);
+  let outs = Circuit.outputs r.Opt.opt_circuit in
+  let sig_of n =
+    (List.find (fun p -> p.Circuit.port_name = n) outs).Circuit.signal
+  in
+  let is_const s = Signal.const_value s <> None in
+  let is_input s = match Signal.op s with Signal.Input _ -> true | _ -> false in
+  Alcotest.(check bool) "a&0 is const" true (is_const (sig_of "and0"));
+  Alcotest.(check bool) "a|0 is a" true (is_input (sig_of "or0"));
+  Alcotest.(check bool) "mux2 c a a is a" true (is_input (sig_of "muxeq"));
+  Alcotest.(check bool) "~~a is a" true (is_input (sig_of "notnot"))
+
+let test_eq_over_concat () =
+  (* Eq of two concats splits into part-wise equalities, which lets the
+     shared low part cancel structurally: {x,a} == {y,a} -> x == y. *)
+  let open Signal in
+  let a = input "a" 4 and x = input "c" 1 and y = input "d" 7 in
+  let y0 = select y 0 0 in
+  let circuit =
+    Circuit.create ~name:"eqcat"
+      ~outputs:[ ("o", concat [ x; a ] ==: concat [ y0; a ]) ]
+      ()
+  in
+  let r = Opt.optimize ~level:Opt.O1 circuit in
+  Alcotest.(check bool) "rewrites fired" true (r.Opt.opt_stats.Opt.o_rewrites >= 1);
+  (* a == a folded to 1; the survivor depends only on the 1-bit parts. *)
+  Alcotest.(check bool) "smaller" true
+    (r.Opt.opt_stats.Opt.o_nodes_after < r.Opt.opt_stats.Opt.o_nodes_before)
+
+let test_coi () =
+  let open Signal in
+  let a = input "a" 4 and b = input "b" 4 in
+  let dead = reg "dead" 4 in
+  reg_set_next dead (dead *: b);
+  let circuit =
+    Circuit.create ~name:"coi"
+      ~outputs:[ ("live", a +: one 4); ("dead", dead) ]
+      ()
+  in
+  let r = Opt.optimize ~level:Opt.O1 ~keep_outputs:[ "live" ] circuit in
+  Alcotest.(check bool) "dropped the dead cone" true
+    (r.Opt.opt_stats.Opt.o_coi_dropped > 0);
+  Alcotest.(check int) "one output left" 1
+    (List.length (Circuit.outputs r.Opt.opt_circuit));
+  Alcotest.(check int) "no registers left" 0
+    (List.length (Circuit.regs r.Opt.opt_circuit))
+
+let test_sweep_comb_merge () =
+  (* XOR written two ways: structurally different, so strash cannot see
+     it, but the inductive sweep proves the equivalence and merges. *)
+  let open Signal in
+  let a = input "a" 4 and b = input "b" 4 in
+  let x1 = a ^: b in
+  let x2 = (a |: b) &: ~:(a &: b) in
+  let circuit =
+    Circuit.create ~name:"sweep" ~outputs:[ ("o0", x1); ("o1", x2) ] ()
+  in
+  let r = Opt.optimize ~level:Opt.O2 circuit in
+  Alcotest.(check bool) "sweep merged" true
+    (r.Opt.opt_stats.Opt.o_sweep_merged >= 1);
+  let outs = Circuit.outputs r.Opt.opt_circuit in
+  let sig_of n =
+    (List.find (fun p -> p.Circuit.port_name = n) outs).Circuit.signal
+  in
+  Alcotest.(check bool) "outputs share one node" true
+    (sig_of "o0" == sig_of "o1")
+
+let test_reg_correspondence () =
+  (* Twin registers with the same reset value and pointwise-equal (but
+     structurally distinct) next-state functions: only the inductive
+     register-correspondence pass can merge them. *)
+  let open Signal in
+  let a = input "a" 4 in
+  let r1 = reg "r1" 4 and r2 = reg "r2" 4 in
+  reg_set_next r1 (r1 +: a);
+  reg_set_next r2 (r2 +: a);
+  let circuit =
+    Circuit.create ~name:"twins" ~outputs:[ ("eq", r1 ==: r2) ] ()
+  in
+  let r = Opt.optimize ~level:Opt.O2 circuit in
+  Alcotest.(check bool) "registers merged" true
+    (r.Opt.opt_stats.Opt.o_regs_merged >= 1);
+  (* With r1 and r2 merged, eq folds to constant 1 — after which the
+     cone-of-influence pass drops the register cone entirely. *)
+  let o = (List.hd (Circuit.outputs r.Opt.opt_circuit)).Circuit.signal in
+  Alcotest.(check bool) "eq is const" true (Signal.const_value o <> None);
+  Alcotest.(check bool) "at most one register left" true
+    (List.length (Circuit.regs r.Opt.opt_circuit) <= 1)
+
+let test_sweep_respects_difference () =
+  (* Same shapes as the twins above but different reset values: the base
+     case refutes the merge, and BMC still finds the depth-0 failure. *)
+  let open Signal in
+  let a = input "a" 4 in
+  let r1 = reg "r1" 4 in
+  let r2 = reg ~init:(Bitvec.of_int ~width:4 1) "r2" 4 in
+  reg_set_next r1 (r1 +: a);
+  reg_set_next r2 (r2 +: a);
+  let circuit =
+    Circuit.create ~name:"twins_ne" ~outputs:[ ("eq", r1 ==: r2) ] ()
+  in
+  let r = Opt.optimize ~level:Opt.O2 circuit in
+  Alcotest.(check int) "no register merged" 0 r.Opt.opt_stats.Opt.o_regs_merged;
+  let property =
+    { Bmc.assumes = []; asserts = [ ("ne", ~:(r1 ==: r2)) ] }
+  in
+  match
+    ( Bmc.check ~max_depth:3 ~opt:Opt.O0 circuit property,
+      Bmc.check ~max_depth:3 ~opt:Opt.O2 circuit property )
+  with
+  | Bmc.Bounded_proof _, Bmc.Bounded_proof _ -> ()
+  | _ -> Alcotest.fail "r1 <> r2 should hold (r2 starts at 1)"
+
+(* {1 Differential fuzzing}
+
+   Each seed draws one random circuit and checks, in order: simulator
+   cycle-accuracy of the optimized netlist, then verdict/depth agreement
+   of -O0 vs -O2 vs the parallel engine at -O2 on a random property. *)
+
+let outputs_agree c1 c2 cycles =
+  let o1 = Gen_circuit.run_outputs (Sim.create c1) cycles in
+  let o2 = Gen_circuit.run_outputs (Sim.create c2) cycles in
+  List.for_all2
+    (fun r1 r2 ->
+      List.for_all2
+        (fun (n1, v1) (n2, v2) -> n1 = n2 && Bitvec.equal v1 v2)
+        r1 r2)
+    o1 o2
+
+let check_opt seed =
+  let st = Random.State.make [| seed |] in
+  let circuit = Gen_circuit.random_circuit st ~num_nodes:25 ~num_regs:3 in
+  (* Simulator cross-check on the full circuit (all outputs kept). *)
+  let r = Opt.optimize ~level:Opt.O2 circuit in
+  let cycles = List.init 8 (fun _ -> Gen_circuit.random_inputs st) in
+  if not (outputs_agree circuit r.Opt.opt_circuit cycles) then false
+  else
+    (* Verdict cross-check on a random multi-assert property. *)
+    let property =
+      Gen_circuit.random_property st circuit
+        ~num_asserts:(2 + Random.State.int st 3)
+    in
+    let max_depth = 6 in
+    let o0 = Bmc.check ~max_depth ~opt:Opt.O0 circuit property in
+    let o2 = Bmc.check ~max_depth ~opt:Opt.O2 circuit property in
+    let par = Parallel.check ~jobs ~max_depth ~opt:Opt.O2 circuit property in
+    let agree a b =
+      match (a, b) with
+      | Bmc.Bounded_proof _, Bmc.Bounded_proof _ -> true
+      | Bmc.Cex (c1, _), Bmc.Cex (c2, _) ->
+          c1.Bmc.cex_depth = c2.Bmc.cex_depth
+          (* The -O2 trace must replay on the FULL unoptimized circuit
+             with exactly the failing set the engine reported. *)
+          && List.sort compare c2.Bmc.cex_failed
+             = List.sort compare
+                 (Bmc.validate c2.Bmc.cex_circuit property c2.Bmc.cex_inputs
+                    c2.Bmc.cex_depth)
+      | _ -> false
+    in
+    agree o0 o2 && agree o0 par
+
+let fuzz ~count name =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name
+       QCheck.(make Gen.(int_bound 1_000_000))
+       check_opt)
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "passes",
+        [
+          Alcotest.test_case "level_of_int" `Quick test_level_of_int;
+          Alcotest.test_case "O0 is the identity" `Quick test_identity_at_o0;
+          Alcotest.test_case "strash/CSE" `Quick test_cse;
+          Alcotest.test_case "algebraic rewrites" `Quick test_rewrites;
+          Alcotest.test_case "eq-over-concat split" `Quick test_eq_over_concat;
+          Alcotest.test_case "cone of influence" `Quick test_coi;
+          Alcotest.test_case "sweep merges equivalent logic" `Quick
+            test_sweep_comb_merge;
+          Alcotest.test_case "register correspondence merges twins" `Quick
+            test_reg_correspondence;
+          Alcotest.test_case "sweep keeps distinct registers apart" `Quick
+            test_sweep_respects_difference;
+        ] );
+      ( "fuzz",
+        [ fuzz ~count:200 "optimized == original (sim, bmc, parallel)" ] );
+    ]
