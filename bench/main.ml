@@ -36,83 +36,16 @@ module C = Duts.Cva6lite
    repo's perf trajectory can be tracked across commits. *)
 
 module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  let add_string b s =
-    Buffer.add_char b '"';
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string b "\\\""
-        | '\\' -> Buffer.add_string b "\\\\"
-        | '\n' -> Buffer.add_string b "\\n"
-        | c when Char.code c < 0x20 ->
-            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char b c)
-      s;
-    Buffer.add_char b '"'
-
-  let rec add b = function
-    | Null -> Buffer.add_string b "null"
-    | Bool v -> Buffer.add_string b (string_of_bool v)
-    | Int n -> Buffer.add_string b (string_of_int n)
-    | Float f -> Buffer.add_string b (Printf.sprintf "%.6f" f)
-    | Str s -> add_string b s
-    | List l ->
-        Buffer.add_char b '[';
-        List.iteri
-          (fun i x ->
-            if i > 0 then Buffer.add_char b ',';
-            add b x)
-          l;
-        Buffer.add_char b ']'
-    | Obj kvs ->
-        Buffer.add_char b '{';
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then Buffer.add_char b ',';
-            add_string b k;
-            Buffer.add_char b ':';
-            add b v)
-          kvs;
-        Buffer.add_char b '}'
+  include Obs.Json
 
   let write ~path t =
-    let b = Buffer.create 4096 in
-    add b t;
-    Buffer.add_char b '\n';
-    let oc = open_out path in
-    output_string oc (Buffer.contents b);
-    close_out oc;
+    write_file ~path t;
     Printf.printf "     machine-readable results written to %s\n" path
 end
 
-let json_of_opt_stats = function
-  | None -> Json.Null
-  | Some (o : Opt.stats) ->
-      Json.Obj
-        [
-          ("nodes_before", Json.Int o.Opt.o_nodes_before);
-          ("nodes_after", Json.Int o.Opt.o_nodes_after);
-          ("coi_dropped", Json.Int o.Opt.o_coi_dropped);
-          ("cse_merged", Json.Int o.Opt.o_cse_merged);
-          ("rewrites", Json.Int o.Opt.o_rewrites);
-          ("sweep_candidates", Json.Int o.Opt.o_sweep_candidates);
-          ("sweep_merged", Json.Int o.Opt.o_sweep_merged);
-          ("sweep_refuted", Json.Int o.Opt.o_sweep_refuted);
-          ("regs_merged", Json.Int o.Opt.o_regs_merged);
-          ("sat_queries", Json.Int o.Opt.o_sat_queries);
-          ("opt_time_s", Json.Float o.Opt.o_time);
-        ]
-
-(* One outcome (verdict kind, CEX/proof depth, solver stats) as JSON. *)
+(* One outcome (verdict kind, CEX/proof depth, solver stats) as JSON.
+   The stats shape comes from {!Autocc.Report.json_of_bmc_stats} — the
+   one schema shared with the CLI. *)
 let json_of_outcome outcome ~wall =
   let stats =
     match outcome with Bmc.Cex (_, st) | Bmc.Bounded_proof st -> st
@@ -127,11 +60,7 @@ let json_of_outcome outcome ~wall =
       ("verdict", Json.Str verdict);
       ("depth", Json.Int depth);
       ("wall_s", Json.Float wall);
-      ("solve_s", Json.Float stats.Bmc.solve_time);
-      ("vars", Json.Int stats.Bmc.vars);
-      ("clauses", Json.Int stats.Bmc.clauses);
-      ("conflicts", Json.Int stats.Bmc.conflicts);
-      ("opt", json_of_opt_stats stats.Bmc.opt);
+      ("stats", Autocc.Report.json_of_bmc_stats stats);
     ]
 
 let line () = print_endline (String.make 100 '-')
@@ -546,6 +475,8 @@ let flush_tdd () =
 let parallel_bench () =
   header
     "Parallel — sequential engine vs domain-sharded verification (same verdicts, wall-clock speedup)";
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
   let jobs =
     match Sys.getenv_opt "AUTOCC_JOBS" with
     | Some s -> ( try int_of_string s with _ -> Parallel.default_jobs ())
@@ -581,8 +512,9 @@ let parallel_bench () =
       description (describe seq) seq_t (describe par) par_t
       (seq_t /. Float.max 1e-9 par_t)
       (if agree then "" else "  MISMATCH");
+    let merged = Autocc.Report.merge_stats detail in
     Printf.printf "     %s\n"
-      (Format.asprintf "%a" Autocc.Report.pp_merged (Autocc.Report.merge_stats detail));
+      (Format.asprintf "%a" Autocc.Report.pp_merged merged);
     json_rows :=
       Json.Obj
         [
@@ -593,6 +525,7 @@ let parallel_bench () =
           ("max_depth", Json.Int max_depth);
           ("sequential", json_of_outcome seq ~wall:seq_t);
           ("parallel", json_of_outcome par ~wall:par_t);
+          ("merged", Autocc.Report.json_of_merged merged);
           ("speedup", Json.Float (seq_t /. Float.max 1e-9 par_t));
           ("agree", Json.Bool agree);
         ]
@@ -618,6 +551,7 @@ let parallel_bench () =
          ("jobs", Json.Int jobs);
          ("rows", Json.List (List.rev !json_rows));
          ("mismatches", Json.Int !mismatches);
+         ("telemetry", Obs.Metrics.json_of_snapshot ());
        ]);
   if !mismatches = 0 then
     print_endline "     all parallel verdicts and CEX depths match the sequential engine"
@@ -719,6 +653,8 @@ let opt_row (id, description, mk_ft, max_depth) =
 let opt_bench () =
   header
     "Optimizer — end-to-end BMC at -O0 vs -O2 (identical verdicts and CEX depths, wall-clock speedup)";
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
   let results = List.map opt_row (opt_rows ()) in
   let mismatches = List.length (List.filter (fun (_, a, _) -> not a) results) in
   let fast = List.length (List.filter (fun (_, _, s) -> s >= 1.5) results) in
@@ -730,6 +666,7 @@ let opt_bench () =
          ("rows", Json.List (List.map (fun (j, _, _) -> j) results));
          ("mismatches", Json.Int mismatches);
          ("rows_speedup_ge_1_5", Json.Int fast);
+         ("telemetry", Obs.Metrics.json_of_snapshot ());
        ]);
   Printf.printf "     %d/%d rows at >= 1.5x speedup under -O2\n" fast
     (List.length results);
@@ -746,7 +683,7 @@ let opt_bench () =
    replay path on a real DUT. *)
 let smoke () =
   header "Bench smoke — one Table-1 row, -O0 vs -O2";
-  let row =
+  let ((_, _, mk_ft, max_depth) as row) =
     List.find (fun (id, _, _, _) -> id = "M3") (opt_rows ())
   in
   let _, agree, _ = opt_row row in
@@ -754,7 +691,41 @@ let smoke () =
   else begin
     print_endline "     smoke FAILED: -O0 and -O2 disagree";
     exit 1
+  end;
+  (* Telemetry-overhead gate: the same row at -O2 with every telemetry
+     face on (metrics + JSONL sink + trace writer) must stay within
+     budget of the plain run. min-of-two per config to shave scheduler
+     noise; the bound is deliberately loose (the DESIGN.md budget of
+     <= 2% applies to telemetry *disabled*, which the tier-1 runs
+     already exercise — here we bound the *enabled* cost). *)
+  let time_once () =
+    let ft = mk_ft () in
+    let t0 = Unix.gettimeofday () in
+    ignore (Autocc.Ft.check ~max_depth ~opt:Opt.O2 ft);
+    Unix.gettimeofday () -. t0
+  in
+  let min_of_two f =
+    let a = f () in
+    let b = f () in
+    Float.min a b
+  in
+  let plain = min_of_two time_once in
+  let trace_path = Filename.temp_file "autocc_smoke" ".trace.json" in
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  Obs.set_log_sink (Some (fun _ -> ()));
+  Obs.trace_to_file trace_path;
+  let instrumented = min_of_two time_once in
+  Obs.shutdown ();
+  (try Sys.remove trace_path with Sys_error _ -> ());
+  let ratio = instrumented /. Float.max 1e-9 plain in
+  Printf.printf "     telemetry overhead: plain %.3fs, instrumented %.3fs (%.2fx)\n"
+    plain instrumented ratio;
+  if ratio > 1.25 then begin
+    print_endline "     smoke FAILED: telemetry-enabled overhead above 1.25x budget";
+    exit 1
   end
+  else print_endline "     smoke OK: telemetry overhead within budget"
 
 (* {1 Bechamel micro-benchmarks: one Test.make per table} *)
 

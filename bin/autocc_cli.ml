@@ -4,12 +4,54 @@
    the flush-synthesis algorithms.
 
      autocc analyze --dut vscale --stage 2
-     autocc analyze --dut maple --fix-m2
+     autocc analyze --dut maple --fix-m2 --trace maple.json
+     autocc prove --dut aes
      autocc exploit --secret 0xdeadbeef
      autocc synthesize --algorithm incremental
      autocc stats *)
 
 open Cmdliner
+
+(* {1 Telemetry}
+
+   Every verification subcommand accepts --trace/--log-json/--log-level;
+   any of the outputs being requested also turns the metric registry on,
+   so the run's counters land in the [stats]-style summary and the
+   structured logs. *)
+
+let setup_telemetry trace log_json log_level =
+  (match Obs.level_of_string log_level with
+  | Ok l -> Obs.set_level l
+  | Error msg -> failwith msg);
+  Option.iter Obs.trace_to_file trace;
+  Option.iter Obs.log_to_file log_json;
+  if trace <> None || log_json <> None then Obs.Metrics.enable ()
+
+let with_telemetry trace log_json log_level f =
+  setup_telemetry trace log_json log_level;
+  let r = Fun.protect ~finally:Obs.shutdown f in
+  Option.iter (fun p -> Format.printf "Trace written to %s (load at ui.perfetto.dev)@." p) trace;
+  Option.iter (fun p -> Format.printf "Structured log written to %s@." p) log_json;
+  r
+
+let print_metrics_summary () =
+  let render = function
+    | Obs.Metrics.Counter n -> string_of_int n
+    | Obs.Metrics.Gauge g -> Printf.sprintf "%.6g" g
+    | Obs.Metrics.Histogram h ->
+        Printf.sprintf "count=%d sum=%.4fs%s" h.count h.sum
+          (if h.count = 0 then ""
+           else Printf.sprintf " mean=%.4fs" (h.sum /. float_of_int h.count))
+    | Obs.Metrics.Series a ->
+        String.concat " "
+          (Array.to_list
+             (Array.mapi (fun i x -> Printf.sprintf "[%d]=%.3fs" i x) a))
+  in
+  Format.printf "@.%-26s value@." "metric";
+  Format.printf "%s@." (String.make 60 '-');
+  List.iter
+    (fun (name, v) -> Format.printf "%-26s %s@." name (render v))
+    (Obs.Metrics.snapshot ())
 
 let known_duts = [ "vscale"; "maple"; "aes"; "cva6"; "divider"; "leaky" ]
 
@@ -55,7 +97,9 @@ let ft_for name dut ~stage ~threshold =
 (* {1 analyze} *)
 
 let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfolio
-    opt_level fix_m2 fix_m3 fix_c1 fix_c2 fix_c3 full_flush verbose vcd =
+    opt_level fix_m2 fix_m3 fix_c1 fix_c2 fix_c3 full_flush verbose vcd trace
+    log_json log_level =
+  with_telemetry trace log_json log_level @@ fun () ->
   let dut =
     match verilog with
     | Some path ->
@@ -121,6 +165,55 @@ let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfol
       Format.printf "@.Bounded proof: no CEX up to depth %d (%.2fs in the solver).@."
         stats.Bmc.depth_reached stats.Bmc.solve_time);
   Format.printf "@.Total wall-clock: %.2fs@." (Unix.gettimeofday () -. t0);
+  if Obs.Metrics.enabled () then print_metrics_summary ();
+  0
+
+(* {1 prove} *)
+
+let prove dut_name verilog top stage threshold max_depth jobs opt_level verbose
+    trace log_json log_level =
+  with_telemetry trace log_json log_level @@ fun () ->
+  let dut =
+    match verilog with
+    | Some path -> Frontend.Elaborate.circuit_of_file ?top path
+    | None -> (
+        match dut_name with
+        | Some name ->
+            build_dut name ~stage ~fix_m2:false ~fix_m3:false ~fix_c1:false
+              ~fix_c2:false ~fix_c3:false ~full_flush:false
+        | None -> failwith "provide --dut or --verilog")
+  in
+  Format.printf "DUT: %a@." Rtl.Circuit.pp_stats dut;
+  let ft =
+    match (verilog, dut_name) with
+    | None, Some name -> ft_for name dut ~stage ~threshold
+    | _ -> Autocc.Ft.generate ~threshold dut
+  in
+  Format.printf "FT : %a@." Rtl.Circuit.pp_stats ft.Autocc.Ft.wrapper;
+  let jobs = if jobs = 0 then Parallel.default_jobs () else jobs in
+  let opt = Opt.level_of_int opt_level in
+  let progress k = if verbose then Format.printf "  k=%d@." k in
+  Format.printf "Running k-induction to depth %d at -O%d%s...@." max_depth
+    (Opt.level_to_int opt)
+    (if jobs > 1 then Printf.sprintf " (%d worker domains)" jobs else "");
+  let t0 = Unix.gettimeofday () in
+  let outcome = Autocc.Ft.prove ~max_depth ~progress ~jobs ~opt ft in
+  (match outcome with
+  | Bmc.Proved (k, stats) ->
+      Format.printf
+        "@.Proved by %d-induction (%.2fs in the solver, %d conflicts, %d propagations).@."
+        k stats.Bmc.solve_time stats.Bmc.conflicts stats.Bmc.propagations
+  | Bmc.Refuted (cex, stats) ->
+      Format.printf
+        "@.Counterexample found (%.2fs in the solver, %d conflicts):@.@."
+        stats.Bmc.solve_time stats.Bmc.conflicts;
+      Autocc.Report.explain Format.std_formatter ft cex
+  | Bmc.Unknown stats ->
+      Format.printf
+        "@.Unknown: neither proved nor refuted within depth %d (%.2fs in the solver).@."
+        stats.Bmc.depth_reached stats.Bmc.solve_time);
+  Format.printf "@.Total wall-clock: %.2fs@." (Unix.gettimeofday () -. t0);
+  if Obs.Metrics.enabled () then print_metrics_summary ();
   0
 
 (* {1 exploit} *)
@@ -198,7 +291,8 @@ let export dut_name dir threshold depth arch_regs =
 
 (* {1 stats} *)
 
-let stats () =
+let stats dut_name max_depth jobs opt_level trace log_json log_level =
+  with_telemetry trace log_json log_level @@ fun () ->
   List.iter
     (fun name ->
       let dut =
@@ -207,6 +301,28 @@ let stats () =
       in
       Format.printf "%a@." Rtl.Circuit.pp_stats dut)
     known_duts;
+  (* Instrumented run: enable the metric registry, check one DUT, and
+     print the whole-pipeline telemetry summary (solver counters, CNF
+     sizes, per-depth timings, opt reductions). *)
+  Obs.Metrics.enable ();
+  let dut =
+    build_dut dut_name ~stage:0 ~fix_m2:false ~fix_m3:false ~fix_c1:false
+      ~fix_c2:false ~fix_c3:false ~full_flush:false
+  in
+  let ft = ft_for dut_name dut ~stage:0 ~threshold:2 in
+  let jobs = if jobs = 0 then Parallel.default_jobs () else jobs in
+  let opt = Opt.level_of_int opt_level in
+  Format.printf "@.Instrumented BMC on %s to depth %d at -O%d...@." dut_name
+    max_depth (Opt.level_to_int opt);
+  let t0 = Unix.gettimeofday () in
+  let outcome = Autocc.Ft.check ~max_depth ~jobs ~opt ft in
+  (match outcome with
+  | Bmc.Cex (cex, _) ->
+      Format.printf "verdict: CEX at depth %d@." cex.Bmc.cex_depth
+  | Bmc.Bounded_proof st ->
+      Format.printf "verdict: bounded proof to depth %d@." st.Bmc.depth_reached);
+  Format.printf "wall: %.2fs@." (Unix.gettimeofday () -. t0);
+  print_metrics_summary ();
   0
 
 (* {1 Terms} *)
@@ -294,6 +410,28 @@ let opt_arg =
 
 let flag name doc = Arg.(value & flag & info [ name ] ~doc)
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome/Perfetto trace-event JSON profile of the run to \
+           $(docv); load it at ui.perfetto.dev or chrome://tracing.")
+
+let log_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-json" ] ~docv:"FILE"
+        ~doc:"Write structured logs to $(docv), one JSON object per line.")
+
+let log_level_arg =
+  Arg.(
+    value & opt string "info"
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:"Structured-log verbosity: error, warn, info or debug.")
+
 let analyze_cmd =
   let term =
     Term.(
@@ -318,9 +456,29 @@ let analyze_cmd =
       $ Arg.(
           value
           & opt (some string) None
-          & info [ "vcd" ] ~doc:"Write the counterexample waveform to this VCD file."))
+          & info [ "vcd" ] ~doc:"Write the counterexample waveform to this VCD file.")
+      $ trace_arg $ log_json_arg $ log_level_arg)
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Generate the AutoCC FT for a DUT and search for covert channels.") term
+
+let prove_cmd =
+  let term =
+    Term.(
+      const prove $ dut_arg $ verilog_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "top" ] ~doc:"Top module of a multi-module Verilog source.")
+      $ stage_arg $ threshold_arg $ max_depth_arg $ jobs_arg $ opt_arg
+      $ flag "verbose" "Print per-depth progress."
+      $ trace_arg $ log_json_arg $ log_level_arg)
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:
+         "Attempt an unbounded proof of non-interference by k-induction (the \
+          paper's full proof on the AES accelerator).")
+    term
 
 let exploit_cmd =
   let secret =
@@ -340,8 +498,23 @@ let synthesize_cmd =
   Cmd.v (Cmd.info "synthesize" ~doc:"Construct a minimal flush set (Sec. 3.5 algorithms).") term
 
 let stats_cmd =
-  Cmd.v (Cmd.info "stats" ~doc:"Print size statistics of the bundled DUTs.")
-    Term.(const stats $ const ())
+  let dut =
+    Arg.(
+      value
+      & opt (enum (List.map (fun d -> (d, d)) known_duts)) "vscale"
+      & info [ "dut" ]
+          ~doc:"DUT for the instrumented run (default vscale).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Print size statistics of the bundled DUTs, then run an \
+          instrumented BMC search and print the pipeline telemetry summary \
+          (solver conflict/propagation counts, CNF sizes, per-depth \
+          timings).")
+    Term.(
+      const stats $ dut $ max_depth_arg $ jobs_arg $ opt_arg $ trace_arg
+      $ log_json_arg $ log_level_arg)
 
 let export_cmd =
   let dir =
@@ -366,4 +539,7 @@ let () =
     Cmd.info "autocc" ~version:"1.0"
       ~doc:"Automatic discovery of covert channels in time-shared hardware."
   in
-  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; exploit_cmd; synthesize_cmd; export_cmd; stats_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ analyze_cmd; prove_cmd; exploit_cmd; synthesize_cmd; export_cmd; stats_cmd ]))

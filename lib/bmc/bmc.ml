@@ -20,6 +20,9 @@ type stats = {
   vars : int;
   clauses : int;
   conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
   opt : Opt.stats option;
 }
 
@@ -128,6 +131,47 @@ let optimize_instrumented ~opt full property =
       in
       (o.Opt.opt_circuit, property', widen, Some o.Opt.opt_stats)
 
+(* {1 Telemetry}
+
+   The solver stays dependency-free; this is where its sampling hook and
+   final counters get wired into {!Obs}. Counters are global atomics, so
+   worker domains running concurrent checks all fold into one total. *)
+
+let m_sat_conflicts = lazy (Obs.Metrics.counter "sat.conflicts")
+let m_sat_decisions = lazy (Obs.Metrics.counter "sat.decisions")
+let m_sat_propagations = lazy (Obs.Metrics.counter "sat.propagations")
+let m_sat_restarts = lazy (Obs.Metrics.counter "sat.restarts")
+let m_sat_reduces = lazy (Obs.Metrics.counter "sat.reduces")
+let m_sat_learned = lazy (Obs.Metrics.counter "sat.learned_clauses")
+let m_depth_seconds = lazy (Obs.Metrics.series "bmc.depth_seconds")
+
+(* Emit solver-progress counter tracks every 1024 conflicts while
+   tracing. The hook runs on the domain executing the solve. *)
+let attach_sampling label solver =
+  if Obs.enabled () then
+    S.on_sample solver ~every:1024 (fun st ->
+        Obs.counter_event ("sat." ^ label)
+          [
+            ("conflicts", float_of_int st.S.s_conflicts);
+            ("propagations", float_of_int st.S.s_propagations);
+            ("learnts", float_of_int st.S.s_learnts);
+          ])
+
+(* Fold a run's final solver counters into the metric registry; each
+   engine entry point calls this exactly once, on any exit path. *)
+let flush_solver_metrics solvers =
+  if Obs.Metrics.enabled () then
+    List.iter
+      (fun solver ->
+        let st = S.stats solver in
+        Obs.Metrics.add (Lazy.force m_sat_conflicts) st.S.s_conflicts;
+        Obs.Metrics.add (Lazy.force m_sat_decisions) st.S.s_decisions;
+        Obs.Metrics.add (Lazy.force m_sat_propagations) st.S.s_propagations;
+        Obs.Metrics.add (Lazy.force m_sat_restarts) st.S.s_restarts;
+        Obs.Metrics.add (Lazy.force m_sat_reduces) st.S.s_reduces;
+        Obs.Metrics.add (Lazy.force m_sat_learned) st.S.s_learned_total)
+      solvers
+
 let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
     ?(stop = fun () -> false) ?(opt = Opt.O0) circuit property =
   check_property "Bmc.check" property;
@@ -136,21 +180,28 @@ let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
     optimize_instrumented ~opt full property
   in
   let solver = S.create ?config:solver_config ~stop () in
+  attach_sampling "check" solver;
   let blaster = Cnf.Blast.create solver circuit in
   let solve_time = ref 0. in
-  let timed_solve ~assumptions () =
+  let timed_solve ~depth ~assumptions () =
+    Obs.span "sat.solve" ~attrs:[ ("depth", Obs.Json.Int depth) ] @@ fun () ->
     let t0 = Unix.gettimeofday () in
     let r = S.solve ~assumptions solver in
     solve_time := !solve_time +. (Unix.gettimeofday () -. t0);
     r
   in
   let stats depth =
+    flush_solver_metrics [ solver ];
+    let st = S.stats solver in
     {
       depth_reached = depth;
       solve_time = !solve_time;
-      vars = S.num_vars solver;
-      clauses = S.num_clauses solver;
-      conflicts = S.num_conflicts solver;
+      vars = st.S.s_vars;
+      clauses = st.S.s_clauses;
+      conflicts = st.S.s_conflicts;
+      decisions = st.S.s_decisions;
+      propagations = st.S.s_propagations;
+      restarts = st.S.s_restarts;
       opt = opt_stats;
     }
   in
@@ -161,49 +212,72 @@ let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
       cur_depth := depth;
       if stop () then raise S.Stopped;
       progress depth;
-      Cnf.Blast.unroll_cycle blaster;
-      (* Assumptions hold unconditionally on every cycle. *)
-      List.iter
-        (fun a -> S.add_clause solver [ Cnf.Blast.lit1 blaster ~cycle:depth a ])
-        sprop.assumes;
-      (* Activation literal: act -> (some assertion is false at [depth]). *)
-      let act = Cnf.Blast.fresh_var blaster in
-      S.add_clause solver
-        (S.neg act
-        :: List.map
-             (fun (_, a) -> S.neg (Cnf.Blast.lit1 blaster ~cycle:depth a))
-             sprop.asserts);
-      match timed_solve ~assumptions:[ act ] () with
-      | S.Sat ->
-          let inputs =
-            Array.init (depth + 1) (fun cycle ->
-                List.map
-                  (fun p ->
-                    ( p.Circuit.port_name,
-                      Cnf.Blast.input_value blaster ~cycle p.Circuit.port_name ))
-                  (Circuit.inputs circuit))
-          in
-          (* Replay on the unoptimized instrumented circuit with the
-             original property roots. *)
-          let inputs = widen inputs in
-          let failed = validate full property inputs depth in
-          Cex
-            ( {
-                cex_depth = depth;
-                cex_inputs = inputs;
-                cex_failed = failed;
-                cex_circuit = full;
-              },
-              stats depth )
-      | S.Unsat ->
-          (* No failure at this depth: deactivate and assert the properties
-             as facts for deeper searches. *)
-          S.add_clause solver [ S.neg act ];
-          List.iter
-            (fun (_, a) ->
-              S.add_clause solver [ Cnf.Blast.lit1 blaster ~cycle:depth a ])
-            sprop.asserts;
-          go (depth + 1)
+      let t_depth = Unix.gettimeofday () in
+      let found =
+        Obs.span "bmc.depth" ~attrs:[ ("depth", Obs.Json.Int depth) ]
+        @@ fun () ->
+        Obs.log ~attrs:[ ("depth", Obs.Json.Int depth) ] Debug "bmc.depth";
+        Cnf.Blast.unroll_cycle blaster;
+        (* Assumptions hold unconditionally on every cycle. *)
+        List.iter
+          (fun a ->
+            S.add_clause solver [ Cnf.Blast.lit1 blaster ~cycle:depth a ])
+          sprop.assumes;
+        (* Activation literal: act -> (some assertion is false at [depth]). *)
+        let act = Cnf.Blast.fresh_var blaster in
+        S.add_clause solver
+          (S.neg act
+          :: List.map
+               (fun (_, a) -> S.neg (Cnf.Blast.lit1 blaster ~cycle:depth a))
+               sprop.asserts);
+        match timed_solve ~depth ~assumptions:[ act ] () with
+        | S.Sat ->
+            let inputs =
+              Array.init (depth + 1) (fun cycle ->
+                  List.map
+                    (fun p ->
+                      ( p.Circuit.port_name,
+                        Cnf.Blast.input_value blaster ~cycle p.Circuit.port_name
+                      ))
+                    (Circuit.inputs circuit))
+            in
+            (* Replay on the unoptimized instrumented circuit with the
+               original property roots. *)
+            let inputs = widen inputs in
+            let failed = validate full property inputs depth in
+            Obs.instant ~attrs:[ ("depth", Obs.Json.Int depth) ] "bmc.cex";
+            Obs.log
+              ~attrs:
+                [
+                  ("depth", Obs.Json.Int depth);
+                  ( "failed",
+                    Obs.Json.List (List.map (fun n -> Obs.Json.Str n) failed)
+                  );
+                ]
+              Info "bmc.cex";
+            Some
+              (Cex
+                 ( {
+                     cex_depth = depth;
+                     cex_inputs = inputs;
+                     cex_failed = failed;
+                     cex_circuit = full;
+                   },
+                   stats depth ))
+        | S.Unsat ->
+            (* No failure at this depth: deactivate and assert the properties
+               as facts for deeper searches. *)
+            S.add_clause solver [ S.neg act ];
+            List.iter
+              (fun (_, a) ->
+                S.add_clause solver [ Cnf.Blast.lit1 blaster ~cycle:depth a ])
+              sprop.asserts;
+            None
+      in
+      if Obs.Metrics.enabled () then
+        Obs.Metrics.record (Lazy.force m_depth_seconds)
+          (Unix.gettimeofday () -. t_depth);
+      match found with Some outcome -> outcome | None -> go (depth + 1)
     end
   in
   try go 0 with S.Stopped -> raise (Cancelled (stats !cur_depth))
@@ -236,23 +310,36 @@ let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
     optimize_instrumented ~opt full property
   in
   let base_solver = S.create ?config:solver_config ~stop () in
+  attach_sampling "base" base_solver;
   let base = Cnf.Blast.create base_solver circuit in
   let step_solver = S.create ?config:solver_config ~stop () in
+  attach_sampling "step" step_solver;
   let step = Cnf.Blast.create ~free_init:true step_solver circuit in
   let solve_time = ref 0. in
-  let timed solver assumptions =
+  let timed ~case ~depth solver assumptions =
+    Obs.span ("bmc." ^ case) ~attrs:[ ("depth", Obs.Json.Int depth) ]
+    @@ fun () ->
     let t0 = Unix.gettimeofday () in
-    let r = S.solve ~assumptions solver in
+    let r =
+      Obs.span "sat.solve"
+        ~attrs:[ ("case", Obs.Json.Str case); ("depth", Obs.Json.Int depth) ]
+        (fun () -> S.solve ~assumptions solver)
+    in
     solve_time := !solve_time +. (Unix.gettimeofday () -. t0);
     r
   in
   let stats depth =
+    flush_solver_metrics [ base_solver; step_solver ];
+    let b = S.stats base_solver and s = S.stats step_solver in
     {
       depth_reached = depth;
       solve_time = !solve_time;
-      vars = S.num_vars base_solver + S.num_vars step_solver;
-      clauses = S.num_clauses base_solver + S.num_clauses step_solver;
-      conflicts = S.num_conflicts base_solver + S.num_conflicts step_solver;
+      vars = b.S.s_vars + s.S.s_vars;
+      clauses = b.S.s_clauses + s.S.s_clauses;
+      conflicts = b.S.s_conflicts + s.S.s_conflicts;
+      decisions = b.S.s_decisions + s.S.s_decisions;
+      propagations = b.S.s_propagations + s.S.s_propagations;
+      restarts = b.S.s_restarts + s.S.s_restarts;
       opt = opt_stats;
     }
   in
@@ -285,9 +372,11 @@ let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
       cur_depth := k;
       if stop () then raise S.Stopped;
       progress k;
+      let t_depth = Unix.gettimeofday () in
+      Obs.log ~attrs:[ ("depth", Obs.Json.Int k) ] Debug "bmc.induction_depth";
       (* Base case: bad at cycle k, from reset. *)
       let base_act = install base k in
-      match timed base_solver [ base_act ] with
+      match timed ~case:"base" ~depth:k base_solver [ base_act ] with
       | S.Sat ->
           let inputs =
             Array.init (k + 1) (fun cycle ->
@@ -299,6 +388,14 @@ let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
           in
           let inputs = widen inputs in
           let failed = validate full property inputs k in
+          Obs.instant ~attrs:[ ("depth", Obs.Json.Int k) ] "bmc.cex";
+          Obs.log
+            ~attrs:
+              [
+                ("depth", Obs.Json.Int k);
+                ("failed", Obs.Json.List (List.map (fun n -> Obs.Json.Str n) failed));
+              ]
+            Info "bmc.refuted";
           Refuted
             ( { cex_depth = k; cex_inputs = inputs; cex_failed = failed; cex_circuit = full },
               stats k )
@@ -310,10 +407,16 @@ let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
           for i = 0 to k - 1 do
             S.add_clause step_solver [ Cnf.Blast.state_distinct step i k ]
           done;
-          (match timed step_solver [ step_act ] with
-          | S.Unsat -> Proved (k, stats k)
+          (match timed ~case:"step" ~depth:k step_solver [ step_act ] with
+          | S.Unsat ->
+              Obs.instant ~attrs:[ ("depth", Obs.Json.Int k) ] "bmc.proved";
+              Obs.log ~attrs:[ ("k", Obs.Json.Int k) ] Info "bmc.proved";
+              Proved (k, stats k)
           | S.Sat ->
               retire step k step_act;
+              if Obs.Metrics.enabled () then
+                Obs.Metrics.record (Lazy.force m_depth_seconds)
+                  (Unix.gettimeofday () -. t_depth);
               go (k + 1))
     end
   in

@@ -32,6 +32,9 @@ type stats = {
   vars : int;
   clauses : int;
   conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;  (** Luby restart periods completed *)
   opt : Opt.stats option;
       (** netlist-optimization counters when running at [-O1]/[-O2];
           [None] at [-O0] *)

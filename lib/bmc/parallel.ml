@@ -45,11 +45,15 @@ type job_result = {
   job_verdict : job_verdict;
   job_stats : Bmc.stats;
   job_wall : float;
+  job_cpu : float;
+      (* CPU seconds consumed by the domain that ran the job; filled in
+         by the scheduler, so the per-job [finish] helpers leave it 0. *)
 }
 
 type detail = {
   par_strategy : string;
   par_workers : int;
+  par_wall : float;
   par_results : job_result list;
 }
 
@@ -60,10 +64,44 @@ let zero_stats =
     vars = 0;
     clauses = 0;
     conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
     opt = None;
   }
 
 (* {1 The domain pool} *)
+
+(* Run one job with telemetry: a [par.job] span on the executing domain,
+   start/done events through the mutex-guarded {!Obs} log sink (worker
+   domains must never write user-visible output directly — see the
+   reentrancy contract on [Bmc.check]'s [progress]), and the executing
+   domain's CPU time measured around the job. *)
+let run_job ~index task ~tick =
+  Obs.span "par.job" ~attrs:[ ("index", Obs.Json.Int index) ] @@ fun () ->
+  Obs.log ~attrs:[ ("index", Obs.Json.Int index) ] Debug "par.job_start";
+  let c0 = Obs.Clock.thread_cpu_s () in
+  let r = task ~tick in
+  let r = { r with job_cpu = Obs.Clock.thread_cpu_s () -. c0 } in
+  Obs.log
+    ~attrs:
+      [
+        ("index", Obs.Json.Int index);
+        ("label", Obs.Json.Str r.job_label);
+        ( "verdict",
+          Obs.Json.Str
+            (match r.job_verdict with
+            | Job_cex c -> Printf.sprintf "cex@%d" c.Bmc.cex_depth
+            | Job_bounded -> "bounded"
+            | Job_proved k -> Printf.sprintf "proved@%d" k
+            | Job_unknown -> "unknown"
+            | Job_cancelled -> "cancelled"
+            | Job_failed _ -> "failed") );
+        ("wall_s", Obs.Json.Float r.job_wall);
+        ("cpu_s", Obs.Json.Float r.job_cpu);
+      ]
+    Debug "par.job_done";
+  r
 
 let run_tasks ~workers ~progress (tasks : (tick:(int -> unit) -> job_result) array)
     =
@@ -79,7 +117,7 @@ let run_tasks ~workers ~progress (tasks : (tick:(int -> unit) -> job_result) arr
   if workers = 1 then
     (* Single-domain fallback (-j 1): same jobs, same merge path, ticks
        delivered directly — no domains are spawned at all. *)
-    Array.map (fun task -> task ~tick:report) tasks
+    Array.mapi (fun i task -> run_job ~index:i task ~tick:report) tasks
   else begin
     let results = Array.make n None in
     let cursor = Atomic.make 0 in
@@ -97,7 +135,10 @@ let run_tasks ~workers ~progress (tasks : (tick:(int -> unit) -> job_result) arr
       let rec loop () =
         let i = Atomic.fetch_and_add cursor 1 in
         if i < n then begin
-          let r = tasks.(i) ~tick:(fun d -> post (fun () -> Queue.push d ticks)) in
+          let r =
+            run_job ~index:i tasks.(i)
+              ~tick:(fun d -> post (fun () -> Queue.push d ticks))
+          in
           post (fun () ->
               results.(i) <- Some r;
               incr completed);
@@ -131,6 +172,60 @@ let run_tasks ~workers ~progress (tasks : (tick:(int -> unit) -> job_result) arr
 let rec atomic_min a v =
   let c = Atomic.get a in
   if v < c && not (Atomic.compare_and_set a c v) then atomic_min a v
+
+let rec atomic_min_float a v =
+  let c = Atomic.get a in
+  if v < c && not (Atomic.compare_and_set a c v) then atomic_min_float a v
+
+(* {1 Cancellation telemetry}
+
+   [t_req] holds the wall time of the earliest cancellation request
+   (infinity until one happens). The latency histogram measures how long
+   a running solve takes to observe the request and unwind — the figure
+   that bounds how much work a won race keeps burning. *)
+
+let m_cancel_latency =
+  lazy
+    (Obs.Metrics.histogram "par.cancel_latency_s"
+       ~buckets:[| 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10. |])
+
+let m_utilization = lazy (Obs.Metrics.gauge "par.utilization")
+
+let note_cancel_request t_req =
+  atomic_min_float t_req (Unix.gettimeofday ());
+  Obs.instant "par.cancel_request"
+
+let observe_cancelled t_req =
+  (if Obs.Metrics.enabled () then
+     let t = Atomic.get t_req in
+     if t < infinity then
+       Obs.Metrics.observe
+         (Lazy.force m_cancel_latency)
+         (Unix.gettimeofday () -. t));
+  Obs.instant "par.cancelled"
+
+let make_detail ~strategy ~workers ~t0 results =
+  let wall = Unix.gettimeofday () -. t0 in
+  let busy = Array.fold_left (fun a r -> a +. r.job_wall) 0. results in
+  let util = if wall > 0. then busy /. (float_of_int workers *. wall) else 1. in
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.set (Lazy.force m_utilization) util;
+  Obs.log
+    ~attrs:
+      [
+        ("strategy", Obs.Json.Str strategy);
+        ("jobs", Obs.Json.Int (Array.length results));
+        ("workers", Obs.Json.Int workers);
+        ("wall_s", Obs.Json.Float wall);
+        ("utilization", Obs.Json.Float util);
+      ]
+    Info "par.done";
+  {
+    par_strategy = strategy;
+    par_workers = workers;
+    par_wall = wall;
+    par_results = Array.to_list results;
+  }
 
 let validate_property what (p : Bmc.property) =
   List.iter
@@ -174,6 +269,9 @@ let merge_stats ~depth results =
         vars = acc.Bmc.vars + r.job_stats.Bmc.vars;
         clauses = acc.Bmc.clauses + r.job_stats.Bmc.clauses;
         conflicts = acc.Bmc.conflicts + r.job_stats.Bmc.conflicts;
+        decisions = acc.Bmc.decisions + r.job_stats.Bmc.decisions;
+        propagations = acc.Bmc.propagations + r.job_stats.Bmc.propagations;
+        restarts = acc.Bmc.restarts + r.job_stats.Bmc.restarts;
         opt = merge_opt acc.Bmc.opt r.job_stats.Bmc.opt;
       })
     { zero_stats with Bmc.depth_reached = depth }
@@ -239,6 +337,7 @@ let check_sharded ~workers ~group_size ~max_depth ~progress ~opt circuit propert
   in
   let best = Atomic.make max_int in
   let halt = Atomic.make false in
+  let t_req = Atomic.make infinity in
   let task g c ~tick =
     let cur = ref 0 in
     let stop () = Atomic.get halt || Atomic.get best <= !cur in
@@ -249,6 +348,7 @@ let check_sharded ~workers ~group_size ~max_depth ~progress ~opt circuit propert
         job_verdict = verdict;
         job_stats = stats;
         job_wall = Unix.gettimeofday () -. t0;
+        job_cpu = 0.;
       }
     in
     try
@@ -262,23 +362,26 @@ let check_sharded ~workers ~group_size ~max_depth ~progress ~opt circuit propert
       with
       | Bmc.Cex (cex, st) ->
           atomic_min best cex.Bmc.cex_depth;
+          note_cancel_request t_req;
           finish (Job_cex cex) st
       | Bmc.Bounded_proof st -> finish Job_bounded st
     with
-    | Bmc.Cancelled st -> finish Job_cancelled st
+    | Bmc.Cancelled st ->
+        observe_cancelled t_req;
+        finish Job_cancelled st
     | e ->
         Atomic.set halt true;
+        note_cancel_request t_req;
         finish (Job_failed e) zero_stats
   in
   let tasks = Array.of_list (List.map2 (fun g c ~tick -> task g c ~tick) groups slim) in
+  let t0_run = Unix.gettimeofday () in
   let results = run_tasks ~workers ~progress tasks in
   reraise_failures results;
   let detail =
-    {
-      par_strategy = "shard";
-      par_workers = max 1 (min workers (Array.length tasks));
-      par_results = Array.to_list results;
-    }
+    make_detail ~strategy:"shard"
+      ~workers:(max 1 (min workers (Array.length tasks)))
+      ~t0:t0_run results
   in
   match shallowest results with
   | None -> (Bmc.Bounded_proof (merge_stats ~depth:max_depth results), detail)
@@ -291,6 +394,7 @@ let check_sharded ~workers ~group_size ~max_depth ~progress ~opt circuit propert
 let check_portfolio ~workers ~k ~max_depth ~progress ~opt circuit property =
   let configs = S.portfolio k in
   let finished = Atomic.make false in
+  let t_req = Atomic.make infinity in
   let task cfg ~tick =
     let stop () = Atomic.get finished in
     let t0 = Unix.gettimeofday () in
@@ -300,31 +404,36 @@ let check_portfolio ~workers ~k ~max_depth ~progress ~opt circuit property =
         job_verdict = verdict;
         job_stats = stats;
         job_wall = Unix.gettimeofday () -. t0;
+        job_cpu = 0.;
       }
     in
     try
       match Bmc.check ~max_depth ~progress:tick ~solver_config:cfg ~stop ~opt circuit property with
       | Bmc.Cex (cex, st) ->
           Atomic.set finished true;
+          note_cancel_request t_req;
           finish (Job_cex cex) st
       | Bmc.Bounded_proof st ->
           Atomic.set finished true;
+          note_cancel_request t_req;
           finish Job_bounded st
     with
-    | Bmc.Cancelled st -> finish Job_cancelled st
+    | Bmc.Cancelled st ->
+        observe_cancelled t_req;
+        finish Job_cancelled st
     | e ->
         Atomic.set finished true;
+        note_cancel_request t_req;
         finish (Job_failed e) zero_stats
   in
   let tasks = Array.of_list (List.map (fun cfg ~tick -> task cfg ~tick) configs) in
+  let t0_run = Unix.gettimeofday () in
   let results = run_tasks ~workers ~progress tasks in
   reraise_failures results;
   let detail =
-    {
-      par_strategy = "portfolio";
-      par_workers = max 1 (min workers (Array.length tasks));
-      par_results = Array.to_list results;
-    }
+    make_detail ~strategy:"portfolio"
+      ~workers:(max 1 (min workers (Array.length tasks)))
+      ~t0:t0_run results
   in
   (* Every configuration answers the same deepening queries, so whichever
      finished first has THE shallowest depth; the first completer in job
@@ -359,6 +468,7 @@ let prove_detailed ?jobs ?(group_size = 1) ?(max_depth = 30)
   in
   let best = Atomic.make max_int in
   let halt = Atomic.make false in
+  let t_req = Atomic.make infinity in
   let task g c ~tick =
     let cur = ref 0 in
     (* Only refutations cancel the others: a shard that proves its own
@@ -371,6 +481,7 @@ let prove_detailed ?jobs ?(group_size = 1) ?(max_depth = 30)
         job_verdict = verdict;
         job_stats = stats;
         job_wall = Unix.gettimeofday () -. t0;
+        job_cpu = 0.;
       }
     in
     try
@@ -385,23 +496,26 @@ let prove_detailed ?jobs ?(group_size = 1) ?(max_depth = 30)
       | Bmc.Proved (k, st) -> finish (Job_proved k) st
       | Bmc.Refuted (cex, st) ->
           atomic_min best cex.Bmc.cex_depth;
+          note_cancel_request t_req;
           finish (Job_cex cex) st
       | Bmc.Unknown st -> finish Job_unknown st
     with
-    | Bmc.Cancelled st -> finish Job_cancelled st
+    | Bmc.Cancelled st ->
+        observe_cancelled t_req;
+        finish Job_cancelled st
     | e ->
         Atomic.set halt true;
+        note_cancel_request t_req;
         finish (Job_failed e) zero_stats
   in
   let tasks = Array.of_list (List.map2 (fun g c ~tick -> task g c ~tick) groups slim) in
+  let t0_run = Unix.gettimeofday () in
   let results = run_tasks ~workers ~progress tasks in
   reraise_failures results;
   let detail =
-    {
-      par_strategy = "shard";
-      par_workers = max 1 (min workers (Array.length tasks));
-      par_results = Array.to_list results;
-    }
+    make_detail ~strategy:"shard"
+      ~workers:(max 1 (min workers (Array.length tasks)))
+      ~t0:t0_run results
   in
   match shallowest results with
   | Some win ->

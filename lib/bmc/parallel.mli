@@ -56,11 +56,18 @@ type job_result = {
   job_verdict : job_verdict;
   job_stats : Bmc.stats;  (** this job's own solver statistics *)
   job_wall : float;  (** seconds of wall-clock this job occupied a worker *)
+  job_cpu : float;
+      (** CPU seconds of the worker domain while it ran this job
+          ({!Obs.Clock.thread_cpu_s}); [job_wall -. job_cpu] is time the
+          job spent descheduled or blocked *)
 }
 
 type detail = {
   par_strategy : string;  (** ["shard"] or ["portfolio"] *)
   par_workers : int;  (** domains used (1 = in-calling-domain fallback) *)
+  par_wall : float;
+      (** wall-clock seconds of the whole parallel run, spawn to join —
+          the denominator of pool utilization *)
   par_results : job_result list;  (** in job order *)
 }
 

@@ -165,7 +165,13 @@ let lit1 t ~cycle s =
   if Array.length l <> 1 then invalid_arg "Blast.lit1: signal is not 1 bit";
   l.(0)
 
+let m_cnf_vars = lazy (Obs.Metrics.gauge "cnf.vars")
+let m_cnf_clauses = lazy (Obs.Metrics.gauge "cnf.clauses")
+let m_cnf_cycles = lazy (Obs.Metrics.counter "cnf.cycles_unrolled")
+
 let unroll_cycle t =
+  Obs.span "cnf.unroll" ~attrs:[ ("cycle", Obs.Json.Int t.ncycles) ]
+  @@ fun () ->
   let topo = Circuit.topo t.circuit in
   let f = Array.make (Array.length topo) [||] in
   let prev = if t.ncycles = 0 then None else Some (List.hd t.frames) in
@@ -209,7 +215,19 @@ let unroll_cycle t =
       f.(i) <- encoded)
     topo;
   t.frames <- f :: t.frames;
-  t.ncycles <- t.ncycles + 1
+  t.ncycles <- t.ncycles + 1;
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.set (Lazy.force m_cnf_vars) (float_of_int (S.num_vars t.solver));
+    Obs.Metrics.set (Lazy.force m_cnf_clauses)
+      (float_of_int (S.num_clauses t.solver));
+    Obs.Metrics.add (Lazy.force m_cnf_cycles) 1
+  end;
+  if Obs.tracing () then
+    Obs.counter_event "cnf"
+      [
+        ("vars", float_of_int (S.num_vars t.solver));
+        ("clauses", float_of_int (S.num_clauses t.solver));
+      ]
 
 let reg_lits t ~cycle =
   Array.concat (List.map (fun r -> lits t ~cycle r) (Circuit.regs t.circuit))

@@ -54,6 +54,9 @@ type sync = Flush_end | Flush_start
 
 let generate ?(threshold = 4) ?(sync = Flush_end) ?(common = []) ?(blackbox = [])
     ?(arch_regs = []) ?arch_eq ?flush_done ?assumes dut =
+  Obs.span "ft.generate"
+    ~attrs:[ ("dut", Obs.Json.Str (Circuit.name dut)) ]
+  @@ fun () ->
   let dut = if blackbox = [] then dut else Blackbox.cut dut blackbox in
   let common = List.sort_uniq compare (common @ Circuit.common dut) in
   List.iter

@@ -77,9 +77,15 @@ type merged_stats = {
   m_cancelled : int;
   m_solve_time : float;
   m_critical_path : float;
+  m_wall : float;
+  m_busy : float;
+  m_cpu : float;
   m_vars : int;
   m_clauses : int;
   m_conflicts : int;
+  m_decisions : int;
+  m_propagations : int;
+  m_restarts : int;
   m_opt : Opt.stats option;
 }
 
@@ -93,9 +99,15 @@ let merge_stats (d : Parallel.detail) =
           + match r.Parallel.job_verdict with Parallel.Job_cancelled -> 1 | _ -> 0);
         m_solve_time = acc.m_solve_time +. r.Parallel.job_stats.Bmc.solve_time;
         m_critical_path = Float.max acc.m_critical_path r.Parallel.job_wall;
+        m_busy = acc.m_busy +. r.Parallel.job_wall;
+        m_cpu = acc.m_cpu +. r.Parallel.job_cpu;
         m_vars = acc.m_vars + r.Parallel.job_stats.Bmc.vars;
         m_clauses = acc.m_clauses + r.Parallel.job_stats.Bmc.clauses;
         m_conflicts = acc.m_conflicts + r.Parallel.job_stats.Bmc.conflicts;
+        m_decisions = acc.m_decisions + r.Parallel.job_stats.Bmc.decisions;
+        m_propagations =
+          acc.m_propagations + r.Parallel.job_stats.Bmc.propagations;
+        m_restarts = acc.m_restarts + r.Parallel.job_stats.Bmc.restarts;
         m_opt =
           (match (acc.m_opt, r.Parallel.job_stats.Bmc.opt) with
           | None, o | o, None -> o
@@ -108,9 +120,15 @@ let merge_stats (d : Parallel.detail) =
       m_cancelled = 0;
       m_solve_time = 0.;
       m_critical_path = 0.;
+      m_wall = d.Parallel.par_wall;
+      m_busy = 0.;
+      m_cpu = 0.;
       m_vars = 0;
       m_clauses = 0;
       m_conflicts = 0;
+      m_decisions = 0;
+      m_propagations = 0;
+      m_restarts = 0;
       m_opt = None;
     }
     d.Parallel.par_results
@@ -120,9 +138,76 @@ let pp_merged fmt m =
     "%s: %d jobs on %d workers (%d cancelled), solver %.3fs total / %.3fs critical path, %d vars %d clauses %d conflicts"
     m.m_strategy m.m_jobs m.m_workers m.m_cancelled m.m_solve_time
     m.m_critical_path m.m_vars m.m_clauses m.m_conflicts;
+  Format.fprintf fmt
+    "@.pool: %.3fs wall, %.3fs busy, %.3fs cpu (utilization %.0f%%)" m.m_wall
+    m.m_busy m.m_cpu
+    (if m.m_wall > 0. && m.m_workers > 0 then
+       100. *. m.m_busy /. (float_of_int m.m_workers *. m.m_wall)
+     else 0.);
   match m.m_opt with
   | None -> ()
   | Some o -> Format.fprintf fmt "@.opt: %a" Opt.pp_stats o
+
+(* {1 JSON schema}
+
+   The one place the shapes of machine-readable stats are defined; the
+   [bench] executable and the CLI both emit through these, so
+   [BENCH_*.json] and [--log-json] reports never drift apart. *)
+
+module Json = Obs.Json
+
+let json_of_opt_stats = function
+  | None -> Json.Null
+  | Some (o : Opt.stats) ->
+      Json.Obj
+        [
+          ("nodes_before", Json.Int o.Opt.o_nodes_before);
+          ("nodes_after", Json.Int o.Opt.o_nodes_after);
+          ("coi_dropped", Json.Int o.Opt.o_coi_dropped);
+          ("cse_merged", Json.Int o.Opt.o_cse_merged);
+          ("rewrites", Json.Int o.Opt.o_rewrites);
+          ("sweep_candidates", Json.Int o.Opt.o_sweep_candidates);
+          ("sweep_merged", Json.Int o.Opt.o_sweep_merged);
+          ("sweep_refuted", Json.Int o.Opt.o_sweep_refuted);
+          ("regs_merged", Json.Int o.Opt.o_regs_merged);
+          ("sat_queries", Json.Int o.Opt.o_sat_queries);
+          ("opt_time_s", Json.Float o.Opt.o_time);
+        ]
+
+let json_of_bmc_stats (st : Bmc.stats) =
+  Json.Obj
+    [
+      ("depth_reached", Json.Int st.Bmc.depth_reached);
+      ("solve_s", Json.Float st.Bmc.solve_time);
+      ("vars", Json.Int st.Bmc.vars);
+      ("clauses", Json.Int st.Bmc.clauses);
+      ("conflicts", Json.Int st.Bmc.conflicts);
+      ("decisions", Json.Int st.Bmc.decisions);
+      ("propagations", Json.Int st.Bmc.propagations);
+      ("restarts", Json.Int st.Bmc.restarts);
+      ("opt", json_of_opt_stats st.Bmc.opt);
+    ]
+
+let json_of_merged m =
+  Json.Obj
+    [
+      ("strategy", Json.Str m.m_strategy);
+      ("jobs", Json.Int m.m_jobs);
+      ("workers", Json.Int m.m_workers);
+      ("cancelled", Json.Int m.m_cancelled);
+      ("solve_s", Json.Float m.m_solve_time);
+      ("critical_path_s", Json.Float m.m_critical_path);
+      ("wall_s", Json.Float m.m_wall);
+      ("busy_s", Json.Float m.m_busy);
+      ("cpu_s", Json.Float m.m_cpu);
+      ("vars", Json.Int m.m_vars);
+      ("clauses", Json.Int m.m_clauses);
+      ("conflicts", Json.Int m.m_conflicts);
+      ("decisions", Json.Int m.m_decisions);
+      ("propagations", Json.Int m.m_propagations);
+      ("restarts", Json.Int m.m_restarts);
+      ("opt", json_of_opt_stats m.m_opt);
+    ]
 
 let dump_vcd ~path ft cex =
   let module Signal = Rtl.Signal in

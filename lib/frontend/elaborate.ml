@@ -578,9 +578,20 @@ let pick_top mods top =
       | _ -> fail "no module named %s" name)
 
 let circuit_of_string ?infer_transactions ?top source =
-  let m, library = pick_top (Parser.parse_program source) top in
-  elaborate ?infer_transactions ~library m
+  let m, library =
+    Obs.span "frontend.parse" (fun () ->
+        pick_top (Parser.parse_program source) top)
+  in
+  Obs.span "frontend.elaborate"
+    ~attrs:[ ("module", Obs.Json.Str m.Ast.mod_name) ]
+    (fun () -> elaborate ?infer_transactions ~library m)
 
 let circuit_of_file ?infer_transactions ?top path =
-  let m, library = pick_top (Parser.parse_program_file path) top in
-  elaborate ?infer_transactions ~library m
+  let m, library =
+    Obs.span "frontend.parse"
+      ~attrs:[ ("path", Obs.Json.Str path) ]
+      (fun () -> pick_top (Parser.parse_program_file path) top)
+  in
+  Obs.span "frontend.elaborate"
+    ~attrs:[ ("module", Obs.Json.Str m.Ast.mod_name) ]
+    (fun () -> elaborate ?infer_transactions ~library m)

@@ -1,0 +1,692 @@
+(* Telemetry substrate: spans -> Chrome trace events, metrics registry,
+   leveled JSONL logging. Everything here must be cheap when disabled
+   (one Atomic.get per call site) and callable from any domain. *)
+
+(* {1 JSON} *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let add_string b s =
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"'
+
+  let add_float b f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string b (Printf.sprintf "%.1f" f)
+    else if Float.is_nan f || Float.abs f = Float.infinity then
+      (* JSON has no NaN/inf; null is the least-wrong encoding. *)
+      Buffer.add_string b "null"
+    else Buffer.add_string b (Printf.sprintf "%.9g" f)
+
+  let rec to_buffer b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (string_of_bool v)
+    | Int n -> Buffer.add_string b (string_of_int n)
+    | Float f -> add_float b f
+    | Str s -> add_string b s
+    | List l ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            to_buffer b x)
+          l;
+        Buffer.add_char b ']'
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            add_string b k;
+            Buffer.add_char b ':';
+            to_buffer b v)
+          kvs;
+        Buffer.add_char b '}'
+
+  let to_string t =
+    let b = Buffer.create 256 in
+    to_buffer b t;
+    Buffer.contents b
+
+  exception Parse_error of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents b
+        | '\\' -> (
+            if !pos >= n then fail "unterminated escape";
+            let e = s.[!pos] in
+            advance ();
+            match e with
+            | '"' -> Buffer.add_char b '"'; go ()
+            | '\\' -> Buffer.add_char b '\\'; go ()
+            | '/' -> Buffer.add_char b '/'; go ()
+            | 'b' -> Buffer.add_char b '\b'; go ()
+            | 'f' -> Buffer.add_char b '\012'; go ()
+            | 'n' -> Buffer.add_char b '\n'; go ()
+            | 'r' -> Buffer.add_char b '\r'; go ()
+            | 't' -> Buffer.add_char b '\t'; go ()
+            | 'u' ->
+                if !pos + 4 > n then fail "truncated \\u escape";
+                let hex = String.sub s !pos 4 in
+                pos := !pos + 4;
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail "bad \\u escape"
+                in
+                (* UTF-8 encode; surrogates decode to U+FFFD. *)
+                let code = if code >= 0xd800 && code <= 0xdfff then 0xfffd else code in
+                if code < 0x80 then Buffer.add_char b (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
+                  Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+                end
+                else begin
+                  Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
+                  Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+                  Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+                end;
+                go ()
+            | _ -> fail "bad escape")
+        | c -> Buffer.add_char b c; go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_float = ref false in
+      let rec go () =
+        match peek () with
+        | Some ('0' .. '9' | '-' | '+') ->
+            advance ();
+            go ()
+        | Some ('.' | 'e' | 'E') ->
+            is_float := true;
+            advance ();
+            go ()
+        | _ -> ()
+      in
+      go ();
+      let text = String.sub s start (!pos - start) in
+      if !is_float then
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail "bad number"
+      else
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> (
+            match float_of_string_opt text with
+            | Some f -> Float f
+            | None -> fail "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '"' -> Str (parse_string ())
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  items (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            items []
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else
+            let rec fields acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  fields ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            fields []
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error msg -> Error msg
+
+  let member key = function
+    | Obj kvs -> List.assoc_opt key kvs
+    | _ -> None
+
+  let write_file ~path t =
+    let oc = open_out path in
+    let b = Buffer.create 4096 in
+    to_buffer b t;
+    Buffer.add_char b '\n';
+    output_string oc (Buffer.contents b);
+    close_out oc
+end
+
+(* {1 Clocks} *)
+
+module Clock = struct
+  let wall_s = Unix.gettimeofday
+
+  let epoch = Unix.gettimeofday ()
+
+  let elapsed_us () = (Unix.gettimeofday () -. epoch) *. 1e6
+
+  (* Per-thread CPU: utime+stime from /proc/thread-self/stat (fields 14
+     and 15, counted after the parenthesized comm, in USER_HZ ticks —
+     100/s on every Linux ABI). Worker domains map 1:1 onto system
+     threads, so this is per-domain CPU. Non-Linux falls back to
+     process CPU time, which overcounts under parallelism but keeps the
+     field meaningful at -j1. *)
+  let user_hz = 100.0
+
+  let thread_cpu_s () =
+    match open_in "/proc/thread-self/stat" with
+    | exception _ -> Sys.time ()
+    | ic -> (
+        let line = try input_line ic with _ -> "" in
+        close_in ic;
+        match String.rindex_opt line ')' with
+        | None -> Sys.time ()
+        | Some i -> (
+            let rest = String.sub line (i + 1) (String.length line - i - 1) in
+            let fields =
+              String.split_on_char ' ' rest |> List.filter (fun s -> s <> "")
+            in
+            (* fields: state ppid pgrp session tty_nr tpgid flags minflt
+               cminflt majflt cmajflt utime stime ... *)
+            match (List.nth_opt fields 11, List.nth_opt fields 12) with
+            | Some ut, Some st -> (
+                match (float_of_string_opt ut, float_of_string_opt st) with
+                | Some u, Some s -> (u +. s) /. user_hz
+                | _ -> Sys.time ())
+            | _ -> Sys.time ()))
+end
+
+let domain_id () = (Domain.self () :> int)
+
+(* {1 Structured logging} *)
+
+type level = Error | Warn | Info | Debug
+
+let level_to_int = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+let level_to_string = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string = function
+  | "error" -> Ok Error
+  | "warn" | "warning" -> Ok Warn
+  | "info" -> Ok Info
+  | "debug" -> Ok Debug
+  | other -> Error (Printf.sprintf "unknown log level %S (error|warn|info|debug)" other)
+
+let cur_level = Atomic.make (level_to_int Info)
+let set_level l = Atomic.set cur_level (level_to_int l)
+
+let get_level () =
+  match Atomic.get cur_level with
+  | 0 -> Error
+  | 1 -> Warn
+  | 2 -> Info
+  | _ -> Debug
+
+(* The one mutex-guarded sink every domain logs through. [log_on] is the
+   fast-path gate so a disabled log costs one atomic load. *)
+let log_on = Atomic.make false
+let log_mutex = Mutex.create ()
+let log_sink : (string -> unit) option ref = ref None
+let log_channel : out_channel option ref = ref None
+
+let close_log_locked () =
+  (match !log_channel with
+  | Some oc ->
+      (try close_out oc with _ -> ());
+      log_channel := None
+  | None -> ());
+  log_sink := None;
+  Atomic.set log_on false
+
+let close_log () =
+  Mutex.lock log_mutex;
+  close_log_locked ();
+  Mutex.unlock log_mutex
+
+let set_log_sink sink =
+  Mutex.lock log_mutex;
+  close_log_locked ();
+  (match sink with
+  | Some _ ->
+      log_sink := sink;
+      Atomic.set log_on true
+  | None -> ());
+  Mutex.unlock log_mutex
+
+let log_to_file path =
+  Mutex.lock log_mutex;
+  close_log_locked ();
+  let oc = open_out path in
+  log_channel := Some oc;
+  log_sink :=
+    Some
+      (fun line ->
+        output_string oc line;
+        output_char oc '\n');
+  Atomic.set log_on true;
+  Mutex.unlock log_mutex
+
+let logging level =
+  Atomic.get log_on && level_to_int level <= Atomic.get cur_level
+
+let log ?(attrs = []) level event =
+  if logging level then begin
+    let line =
+      Json.to_string
+        (Json.Obj
+           (("ts_us", Json.Float (Clock.elapsed_us ()))
+           :: ("level", Json.Str (level_to_string level))
+           :: ("tid", Json.Int (domain_id ()))
+           :: ("event", Json.Str event)
+           :: attrs))
+    in
+    Mutex.lock log_mutex;
+    (match !log_sink with Some sink -> (try sink line with _ -> ()) | None -> ());
+    Mutex.unlock log_mutex
+  end
+
+(* {1 Tracing} *)
+
+type trace_event = {
+  ev_name : string;
+  ev_ph : char; (* 'X' complete, 'i' instant, 'C' counter *)
+  ev_ts : float; (* microseconds *)
+  ev_dur : float; (* microseconds; complete events only *)
+  ev_tid : int;
+  ev_args : (string * Json.t) list;
+}
+
+let tracing_on = Atomic.make false
+let trace_mutex = Mutex.create ()
+let trace_path : string option ref = ref None
+let trace_events : trace_event list ref = ref [] (* newest first *)
+
+let tracing () = Atomic.get tracing_on
+
+let trace_to_file path =
+  Mutex.lock trace_mutex;
+  trace_path := Some path;
+  trace_events := [];
+  Atomic.set tracing_on true;
+  Mutex.unlock trace_mutex
+
+let record ev =
+  Mutex.lock trace_mutex;
+  trace_events := ev :: !trace_events;
+  Mutex.unlock trace_mutex
+
+let category name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let json_of_event ev =
+  let base =
+    [
+      ("name", Json.Str ev.ev_name);
+      ("cat", Json.Str (category ev.ev_name));
+      ("ph", Json.Str (String.make 1 ev.ev_ph));
+      ("ts", Json.Float ev.ev_ts);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int ev.ev_tid);
+    ]
+  in
+  let base = if ev.ev_ph = 'X' then base @ [ ("dur", Json.Float ev.ev_dur) ] else base in
+  let base = if ev.ev_ph = 'i' then base @ [ ("s", Json.Str "t") ] else base in
+  Json.Obj (if ev.ev_args = [] then base else base @ [ ("args", Json.Obj ev.ev_args) ])
+
+let trace_json () =
+  Mutex.lock trace_mutex;
+  let evs = List.rev !trace_events in
+  Mutex.unlock trace_mutex;
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map json_of_event evs));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let close_trace () =
+  if Atomic.get tracing_on then begin
+    Atomic.set tracing_on false;
+    let j = trace_json () in
+    Mutex.lock trace_mutex;
+    let path = !trace_path in
+    trace_path := None;
+    Mutex.unlock trace_mutex;
+    match path with Some p -> Json.write_file ~path:p j | None -> ()
+  end
+
+let span ?(attrs = []) name f =
+  if not (Atomic.get tracing_on) then f ()
+  else begin
+    let t0 = Clock.elapsed_us () in
+    let finish () =
+      record
+        {
+          ev_name = name;
+          ev_ph = 'X';
+          ev_ts = t0;
+          ev_dur = Clock.elapsed_us () -. t0;
+          ev_tid = domain_id ();
+          ev_args = attrs;
+        }
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        finish ();
+        Printexc.raise_with_backtrace e bt
+  end
+
+let instant ?(attrs = []) name =
+  if Atomic.get tracing_on then
+    record
+      {
+        ev_name = name;
+        ev_ph = 'i';
+        ev_ts = Clock.elapsed_us ();
+        ev_dur = 0.;
+        ev_tid = domain_id ();
+        ev_args = attrs;
+      }
+
+let counter_event name values =
+  if Atomic.get tracing_on then
+    record
+      {
+        ev_name = name;
+        ev_ph = 'C';
+        ev_ts = Clock.elapsed_us ();
+        ev_dur = 0.;
+        ev_tid = domain_id ();
+        ev_args = List.map (fun (k, v) -> (k, Json.Float v)) values;
+      }
+
+(* {1 Metrics} *)
+
+module Metrics = struct
+  type counter = int Atomic.t
+  type gauge = float Atomic.t
+
+  type hist = {
+    h_buckets : float array;
+    h_counts : int array; (* length = buckets + 1; overflow last *)
+    mutable h_sum : float;
+    mutable h_count : int;
+  }
+
+  type histogram = hist
+  type series = float list ref (* newest first *)
+
+  type kind =
+    | Kcounter of counter
+    | Kgauge of gauge
+    | Khist of hist
+    | Kseries of series
+
+  let on = Atomic.make false
+  let enable () = Atomic.set on true
+  let disable () = Atomic.set on false
+  let enabled () = Atomic.get on
+
+  let registry : (string, kind) Hashtbl.t = Hashtbl.create 64
+  let reg_mutex = Mutex.create ()
+
+  let get_or_create name mk describe =
+    Mutex.lock reg_mutex;
+    let r =
+      match Hashtbl.find_opt registry name with
+      | Some k -> k
+      | None ->
+          let k = mk () in
+          Hashtbl.replace registry name k;
+          k
+    in
+    Mutex.unlock reg_mutex;
+    match describe r with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Obs.Metrics: %s exists with another kind" name)
+
+  let counter name =
+    get_or_create name
+      (fun () -> Kcounter (Atomic.make 0))
+      (function Kcounter c -> Some c | _ -> None)
+
+  let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c n)
+
+  let gauge name =
+    get_or_create name
+      (fun () -> Kgauge (Atomic.make 0.))
+      (function Kgauge g -> Some g | _ -> None)
+
+  let set g v = if Atomic.get on then Atomic.set g v
+
+  let rec max_gauge g v =
+    if Atomic.get on then begin
+      let cur = Atomic.get g in
+      if v > cur && not (Atomic.compare_and_set g cur v) then max_gauge g v
+    end
+
+  let default_buckets =
+    [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10.; 100.; 1000. |]
+
+  let histogram ?(buckets = default_buckets) name =
+    let ok = ref true in
+    Array.iteri (fun i b -> if i > 0 && b <= buckets.(i - 1) then ok := false) buckets;
+    if (not !ok) || Array.length buckets = 0 then
+      invalid_arg "Obs.Metrics.histogram: buckets must be strictly increasing";
+    get_or_create name
+      (fun () ->
+        Khist
+          {
+            h_buckets = Array.copy buckets;
+            h_counts = Array.make (Array.length buckets + 1) 0;
+            h_sum = 0.;
+            h_count = 0;
+          })
+      (function Khist h -> Some h | _ -> None)
+
+  let observe h v =
+    if Atomic.get on then begin
+      Mutex.lock reg_mutex;
+      let n = Array.length h.h_buckets in
+      let rec idx i = if i >= n then n else if v <= h.h_buckets.(i) then i else idx (i + 1) in
+      let i = idx 0 in
+      h.h_counts.(i) <- h.h_counts.(i) + 1;
+      h.h_sum <- h.h_sum +. v;
+      h.h_count <- h.h_count + 1;
+      Mutex.unlock reg_mutex
+    end
+
+  let series name =
+    get_or_create name
+      (fun () -> Kseries (ref []))
+      (function Kseries s -> Some s | _ -> None)
+
+  let record s v =
+    if Atomic.get on then begin
+      Mutex.lock reg_mutex;
+      s := v :: !s;
+      Mutex.unlock reg_mutex
+    end
+
+  type value =
+    | Counter of int
+    | Gauge of float
+    | Histogram of {
+        buckets : float array;
+        counts : int array;
+        sum : float;
+        count : int;
+      }
+    | Series of float array
+
+  let snapshot () =
+    Mutex.lock reg_mutex;
+    let items =
+      Hashtbl.fold
+        (fun name k acc ->
+          let v =
+            match k with
+            | Kcounter c -> Counter (Atomic.get c)
+            | Kgauge g -> Gauge (Atomic.get g)
+            | Khist h ->
+                Histogram
+                  {
+                    buckets = Array.copy h.h_buckets;
+                    counts = Array.copy h.h_counts;
+                    sum = h.h_sum;
+                    count = h.h_count;
+                  }
+            | Kseries s -> Series (Array.of_list (List.rev !s))
+          in
+          (name, v) :: acc)
+        registry []
+    in
+    Mutex.unlock reg_mutex;
+    List.sort (fun (a, _) (b, _) -> compare a b) items
+
+  let find name = List.assoc_opt name (snapshot ())
+
+  let reset () =
+    Mutex.lock reg_mutex;
+    Hashtbl.iter
+      (fun _ k ->
+        match k with
+        | Kcounter c -> Atomic.set c 0
+        | Kgauge g -> Atomic.set g 0.
+        | Khist h ->
+            Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+            h.h_sum <- 0.;
+            h.h_count <- 0
+        | Kseries s -> s := [])
+      registry;
+    Mutex.unlock reg_mutex
+
+  let json_of_value = function
+    | Counter n -> Json.Int n
+    | Gauge v -> Json.Float v
+    | Histogram { buckets; counts; sum; count } ->
+        Json.Obj
+          [
+            ("buckets", Json.List (Array.to_list (Array.map (fun b -> Json.Float b) buckets)));
+            ("counts", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) counts)));
+            ("sum", Json.Float sum);
+            ("count", Json.Int count);
+          ]
+    | Series vs ->
+        Json.List (Array.to_list (Array.map (fun v -> Json.Float v) vs))
+
+  let json_of_snapshot () =
+    Json.Obj (List.map (fun (name, v) -> (name, json_of_value v)) (snapshot ()))
+end
+
+let enabled () = tracing () || Atomic.get log_on || Metrics.enabled ()
+
+let shutdown () =
+  close_trace ();
+  close_log ();
+  Metrics.disable ()

@@ -1,0 +1,222 @@
+(** Unified telemetry for the whole FPV pipeline.
+
+    Three faces, all off by default and all safe to leave compiled into
+    hot paths:
+
+    - {b spans} ({!span}): nestable, domain-safe timed regions exported
+      as Chrome/Perfetto trace-event JSON ({!trace_to_file}), so a whole
+      [prove] run — elaborate, opt passes, per-depth unroll, blast, SAT
+      solve, across parallel shards — is visible on one timeline;
+    - {b metrics} ({!Metrics}): a registry of counters, gauges,
+      histograms and series (append-only float sequences, used for
+      per-depth timings), snapshotted into reports and [BENCH_*.json];
+    - {b structured logging} ({!log}): leveled JSONL events through one
+      mutex-guarded sink, replacing scattered [Printf] progress output —
+      in particular, worker domains of {!Parallel} log through this sink
+      instead of interleaving writes to stderr.
+
+    {b Overhead contract.} With telemetry disabled (no trace sink, no
+    log sink, metrics off — the default), {!span} is one atomic load and
+    a closure call, {!log} is one atomic load, and every {!Metrics}
+    recorder is one atomic load; the end-to-end budget is <= 2% on
+    [bench smoke]. With tracing enabled, each span records one
+    heap-allocated event under a mutex at exit.
+
+    {b Clocks.} Timestamps come from [Unix.gettimeofday] rebased to the
+    process start (the toolchain has no monotonic clock; an NTP step
+    mid-run can skew a trace, which we accept). Per-domain CPU time
+    reads [/proc/thread-self/stat] on Linux and falls back to process
+    CPU time ([Sys.time]) elsewhere.
+
+    {b Domain safety.} Every entry point may be called from any domain
+    concurrently. Sinks are guarded by one mutex each; counters are
+    atomics. *)
+
+(** {1 JSON}
+
+    A minimal JSON value type with a printer and a parser — shared by
+    the trace exporter, the JSONL logger, [Report]'s schema functions
+    and the [BENCH_*.json] emitters (the toolchain has no JSON
+    library). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_buffer : Buffer.t -> t -> unit
+  val to_string : t -> string
+
+  val parse : string -> (t, string) result
+  (** Strict recursive-descent parser for the subset this module prints
+      (all of JSON minus surrogate-pair escapes, which decode to
+      U+FFFD). Numbers with [.], [e] or [E] parse as [Float], others as
+      [Int]. *)
+
+  val member : string -> t -> t option
+  (** Field lookup in an [Obj]; [None] on missing field or non-object. *)
+
+  val write_file : path:string -> t -> unit
+  (** Write the value plus a trailing newline. *)
+end
+
+(** {1 Clocks} *)
+module Clock : sig
+  val wall_s : unit -> float
+  (** Seconds since the Unix epoch ([Unix.gettimeofday]). *)
+
+  val elapsed_us : unit -> float
+  (** Microseconds since this module was initialized — the trace
+      timestamp base. *)
+
+  val thread_cpu_s : unit -> float
+  (** CPU seconds consumed by the {e calling thread} (so, by the calling
+      domain): [/proc/thread-self/stat] utime+stime on Linux, process
+      CPU time as a fallback. Differences of this across a job measure
+      per-domain CPU. *)
+end
+
+val domain_id : unit -> int
+(** The calling domain's id — the [tid] of every event it records. *)
+
+(** {1 Structured logging} *)
+
+type level = Error | Warn | Info | Debug
+
+val set_level : level -> unit
+(** Drop log events above this level (default [Info]). Tracing and
+    metrics are unaffected. *)
+
+val get_level : unit -> level
+val level_of_string : string -> (level, string) result
+val level_to_string : level -> string
+
+val log_to_file : string -> unit
+(** Open [path] and send one JSON object per line to it:
+    [{"ts_us":..,"level":..,"tid":..,"event":..,<attrs>}]. Replaces any
+    previous sink (which is closed). *)
+
+val set_log_sink : (string -> unit) option -> unit
+(** Install a custom sink receiving each serialized line (no trailing
+    newline), or [None] to disable logging. Used by tests. *)
+
+val close_log : unit -> unit
+(** Flush and drop the sink. *)
+
+val log : ?attrs:(string * Json.t) list -> level -> string -> unit
+(** [log level event] emits one line if a sink is installed and [level]
+    passes the filter. [event] names follow the span taxonomy
+    ("layer.what": [bmc.depth], [par.cancelled], ...). *)
+
+val logging : level -> bool
+(** Would {!log} at this level emit? Lets callers skip building attrs. *)
+
+(** {1 Tracing} *)
+
+val trace_to_file : string -> unit
+(** Start collecting trace events; {!close_trace} writes them to [path]
+    as [{"traceEvents": [...]}] — loadable by Perfetto
+    ({{:https://ui.perfetto.dev}ui.perfetto.dev}) and [chrome://tracing].
+    Clears any previously collected events. *)
+
+val tracing : unit -> bool
+
+val span : ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] and, when tracing, records a complete ("X")
+    event named [name] with the span's wall duration, the calling
+    domain as [tid], and [attrs] as [args]. The category is the part of
+    [name] before the first ['.']. Exceptions propagate (with their
+    backtrace) after the event is recorded, so a cancelled solve still
+    closes its span. When tracing is off: one atomic load, then
+    [f ()]. *)
+
+val instant : ?attrs:(string * Json.t) list -> string -> unit
+(** A zero-duration instant ("i") event — cancellation requests,
+    CEX-found moments. No-op when tracing is off. *)
+
+val counter_event : string -> (string * float) list -> unit
+(** A counter ("C") sample: Perfetto renders each key as a stacked
+    track under [name]. Used for solver-progress and CNF-size curves.
+    No-op when tracing is off. *)
+
+val close_trace : unit -> unit
+(** Stop tracing and write the collected events to the path given to
+    {!trace_to_file} (no-op if tracing was never started). *)
+
+val trace_json : unit -> Json.t
+(** The trace collected so far, as the object {!close_trace} would
+    write. For tests and in-memory consumers. *)
+
+(** {1 Metrics} *)
+module Metrics : sig
+  type counter
+  type gauge
+  type histogram
+  type series
+
+  val enable : unit -> unit
+  val disable : unit -> unit
+  val enabled : unit -> bool
+  (** Recording is gated on this flag (default off) so that fully
+      disabled telemetry costs one atomic load per call site. Handles
+      may be created, and {!snapshot} read, regardless. *)
+
+  val counter : string -> counter
+  (** Get or create. Raises [Invalid_argument] if [name] exists with a
+      different kind (same for the other constructors). *)
+
+  val add : counter -> int -> unit
+
+  val gauge : string -> gauge
+  val set : gauge -> float -> unit
+  val max_gauge : gauge -> float -> unit  (** set to max(current, v) *)
+
+  val histogram : ?buckets:float array -> string -> histogram
+  (** [buckets] are upper bounds, strictly increasing; an observation
+      lands in the first bucket with [v <= bound], or in the implicit
+      overflow bucket. Default buckets: powers of ten from 1e-6 to 1e3.
+      [buckets] is ignored when the histogram already exists. *)
+
+  val observe : histogram -> float -> unit
+
+  val series : string -> series
+  val record : series -> float -> unit
+  (** Append one value — e.g. seconds spent at each BMC depth, in depth
+      order. *)
+
+  (** A read-only snapshot of one metric. *)
+  type value =
+    | Counter of int
+    | Gauge of float
+    | Histogram of {
+        buckets : float array;
+        counts : int array;  (** length = buckets + 1 (overflow last) *)
+        sum : float;
+        count : int;
+      }
+    | Series of float array
+
+  val snapshot : unit -> (string * value) list
+  (** Every registered metric, sorted by name. *)
+
+  val find : string -> value option
+
+  val reset : unit -> unit
+  (** Zero every metric (registrations survive). *)
+
+  val json_of_snapshot : unit -> Json.t
+  (** The snapshot as one JSON object keyed by metric name — the
+      ["telemetry"] field of [BENCH_*.json]. *)
+end
+
+val enabled : unit -> bool
+(** True when any face is on (tracing, logging, or metrics) — the gate
+    instrumented layers use before installing sampling hooks. *)
+
+val shutdown : unit -> unit
+(** [close_trace], [close_log], [Metrics.disable] — idempotent; wired
+    to CLI exit. *)

@@ -682,7 +682,7 @@ let sweep ?(max_queries = 4000) circuit =
 
 (* {1 Driver} *)
 
-let optimize ?(level = O2) ?keep_outputs circuit =
+let run_optimize ~level ?keep_outputs circuit =
   let t0 = Unix.gettimeofday () in
   let nodes_before = Circuit.num_nodes circuit in
   match level with
@@ -715,7 +715,10 @@ let optimize ?(level = O2) ?keep_outputs circuit =
         List.map (fun p -> (p.Circuit.port_name, p.Circuit.signal)) kept
       in
       let cnt = { cse = 0; rw = 0 } in
-      let roots1, memo1 = rebuild ~cnt ~resolve:(fun s -> s) roots in
+      let roots1, memo1 =
+        Obs.span "opt.strash" ~attrs:[ ("pass", Obs.Json.Int 1) ] @@ fun () ->
+        rebuild ~cnt ~resolve:(fun s -> s) roots
+      in
       let visited = Hashtbl.length memo1 in
       let mid =
         Circuit.create ~name:(Circuit.name circuit) ~outputs:roots1 ()
@@ -723,7 +726,7 @@ let optimize ?(level = O2) ?keep_outputs circuit =
       let final, map2, sc =
         if level = O1 then (mid, None, None)
         else
-          let merges, sc = sweep mid in
+          let merges, sc = Obs.span "opt.sweep" (fun () -> sweep mid) in
           if Hashtbl.length merges = 0 then (mid, None, Some sc)
           else begin
             let rec resolve s =
@@ -731,7 +734,10 @@ let optimize ?(level = O2) ?keep_outputs circuit =
               | Some s' when Signal.uid s' <> Signal.uid s -> resolve s'
               | _ -> s
             in
-            let roots2, memo2 = rebuild ~cnt ~resolve roots1 in
+            let roots2, memo2 =
+              Obs.span "opt.strash" ~attrs:[ ("pass", Obs.Json.Int 2) ]
+              @@ fun () -> rebuild ~cnt ~resolve roots1
+            in
             let final =
               Circuit.create ~name:(Circuit.name circuit) ~outputs:roots2 ()
             in
@@ -774,3 +780,33 @@ let optimize ?(level = O2) ?keep_outputs circuit =
             o_time = Unix.gettimeofday () -. t0;
           };
       }
+
+let m_opt_nodes_removed = lazy (Obs.Metrics.counter "opt.nodes_removed")
+let m_opt_cse = lazy (Obs.Metrics.counter "opt.cse_merged")
+let m_opt_rewrites = lazy (Obs.Metrics.counter "opt.rewrites")
+let m_opt_sweep_merged = lazy (Obs.Metrics.counter "opt.sweep_merged")
+let m_opt_sat_queries = lazy (Obs.Metrics.counter "opt.sat_queries")
+let m_opt_time = lazy (Obs.Metrics.series "opt.pass_seconds")
+
+let level_name = function O0 -> "O0" | O1 -> "O1" | O2 -> "O2"
+
+let optimize ?(level = O2) ?keep_outputs circuit =
+  Obs.span "opt.optimize"
+    ~attrs:
+      [
+        ("level", Obs.Json.Str (level_name level));
+        ("nodes", Obs.Json.Int (Circuit.num_nodes circuit));
+      ]
+  @@ fun () ->
+  let res = run_optimize ~level ?keep_outputs circuit in
+  let st = res.opt_stats in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.add (Lazy.force m_opt_nodes_removed)
+      (st.o_nodes_before - st.o_nodes_after);
+    Obs.Metrics.add (Lazy.force m_opt_cse) st.o_cse_merged;
+    Obs.Metrics.add (Lazy.force m_opt_rewrites) st.o_rewrites;
+    Obs.Metrics.add (Lazy.force m_opt_sweep_merged) st.o_sweep_merged;
+    Obs.Metrics.add (Lazy.force m_opt_sat_queries) st.o_sat_queries;
+    Obs.Metrics.record (Lazy.force m_opt_time) st.o_time
+  end;
+  res

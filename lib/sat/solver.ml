@@ -98,6 +98,27 @@ type t = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable restarts : int;
+  mutable reduces : int;
+  mutable learned_total : int;
+  (* Periodic statistics sampling: [sample_hook] (when installed) runs
+     every [sample_every] conflicts, on the domain running the solve.
+     The telemetry layer hooks this to publish solver-progress curves;
+     with no hook the per-conflict cost is one comparison. *)
+  mutable sample_every : int;
+  mutable sample_hook : (stats -> unit) option;
+}
+
+and stats = {
+  s_vars : int;
+  s_clauses : int;
+  s_learnts : int;
+  s_conflicts : int;
+  s_decisions : int;
+  s_propagations : int;
+  s_restarts : int;
+  s_reduces : int;
+  s_learned_total : int;
 }
 
 let lit v sign = if sign then 2 * v else (2 * v) + 1
@@ -134,6 +155,11 @@ let create ?(config = default_config) ?(stop = fun () -> false) () =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    restarts = 0;
+    reduces = 0;
+    learned_total = 0;
+    sample_every = 0;
+    sample_hook = None;
   }
 
 let num_vars s = s.nvars
@@ -142,6 +168,28 @@ let num_learnts s = Vec.size s.learnts
 let num_conflicts s = s.conflicts
 let num_decisions s = s.decisions
 let num_propagations s = s.propagations
+
+let stats s =
+  {
+    s_vars = s.nvars;
+    s_clauses = Vec.size s.clauses;
+    s_learnts = Vec.size s.learnts;
+    s_conflicts = s.conflicts;
+    s_decisions = s.decisions;
+    s_propagations = s.propagations;
+    s_restarts = s.restarts;
+    s_reduces = s.reduces;
+    s_learned_total = s.learned_total;
+  }
+
+let on_sample s ~every hook =
+  if every <= 0 then invalid_arg "Sat.Solver.on_sample: every must be positive";
+  s.sample_every <- every;
+  s.sample_hook <- Some hook
+
+let clear_sample s =
+  s.sample_every <- 0;
+  s.sample_hook <- None
 
 (* {1 Variable order: binary max-heap on activity} *)
 
@@ -444,6 +492,7 @@ let is_locked s c =
   s.reason.(v) == c && s.assigns.(v) <> 0
 
 let reduce_db s =
+  s.reduces <- s.reduces + 1;
   (* Remove the less active half of the learnt clauses. *)
   let arr = Array.init (Vec.size s.learnts) (Vec.get s.learnts) in
   Array.sort (fun a b -> compare a.cact b.cact) arr;
@@ -458,6 +507,7 @@ let reduce_db s =
   List.iter (Vec.push s.learnts) keep
 
 let record_learnt s lits btlevel =
+  s.learned_total <- s.learned_total + 1;
   cancel_until s btlevel;
   if Array.length lits = 1 then begin
     if not (enqueue s lits.(0) dummy_clause) then s.ok <- false
@@ -568,6 +618,9 @@ let solve ?(assumptions = []) s =
         | Some confl ->
             s.conflicts <- s.conflicts + 1;
             incr conflict_count;
+            (match s.sample_hook with
+            | Some hook when s.conflicts mod s.sample_every = 0 -> hook (stats s)
+            | _ -> ());
             if decision_level s = 0 then begin
               s.ok <- false;
               status := Some Unsat
@@ -580,6 +633,7 @@ let solve ?(assumptions = []) s =
             end
         | None ->
             if !conflict_count >= budget then begin
+              s.restarts <- s.restarts + 1;
               cancel_until s 0;
               inner_done := true
             end
@@ -622,6 +676,7 @@ let config s = s.config
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d propagations=%d"
+    "vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d propagations=%d \
+     restarts=%d reduces=%d"
     s.nvars (Vec.size s.clauses) (Vec.size s.learnts) s.conflicts s.decisions
-    s.propagations
+    s.propagations s.restarts s.reduces

@@ -86,4 +86,35 @@ val num_conflicts : t -> int
 val num_decisions : t -> int
 val num_propagations : t -> int
 
+(** {1 Statistics and sampling}
+
+    The solver keeps this library dependency-free: it exposes a plain
+    stats struct and a periodic callback, and the telemetry layer
+    ({!Obs}) is wired in by callers ({!Bmc}) that can see both. *)
+
+type stats = {
+  s_vars : int;
+  s_clauses : int;  (** problem clauses *)
+  s_learnts : int;  (** currently-live learnt clauses *)
+  s_conflicts : int;
+  s_decisions : int;
+  s_propagations : int;
+  s_restarts : int;  (** Luby restart periods completed *)
+  s_reduces : int;  (** learnt-database reductions *)
+  s_learned_total : int;  (** learnt clauses ever recorded (incl. units) *)
+}
+
+val stats : t -> stats
+(** A consistent snapshot; callable between (not during) [solve]s from
+    the owning domain, and from the sampling hook. *)
+
+val on_sample : t -> every:int -> (stats -> unit) -> unit
+(** Install a hook called every [every] conflicts from inside [solve],
+    on the domain running the solve. The hook must be cheap and must not
+    call back into the solver. Raises [Invalid_argument] when
+    [every <= 0]. With no hook installed the per-conflict overhead is a
+    single comparison. *)
+
+val clear_sample : t -> unit
+
 val pp_stats : Format.formatter -> t -> unit

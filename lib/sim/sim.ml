@@ -11,7 +11,12 @@ type t = {
   mutable watched : (Signal.t * Bitvec.t list ref) list; (* values latest-first *)
 }
 
+let m_sim_steps = lazy (Obs.Metrics.counter "sim.steps")
+
 let create circuit =
+  Obs.span "sim.create"
+    ~attrs:[ ("circuit", Obs.Json.Str (Circuit.name circuit)) ]
+  @@ fun () ->
   let values =
     Array.map (fun s -> Bitvec.zero (Signal.width s)) (Circuit.topo circuit)
   in
@@ -116,7 +121,8 @@ let step t =
   in
   List.iter (fun (uid, v) -> Hashtbl.replace t.state uid v) updates;
   t.cycle <- t.cycle + 1;
-  t.dirty <- true
+  t.dirty <- true;
+  if Obs.Metrics.enabled () then Obs.Metrics.add (Lazy.force m_sim_steps) 1
 
 let cycle t = t.cycle
 

@@ -1,0 +1,357 @@
+(* The telemetry layer itself: JSON round-trips, Chrome trace-event
+   structure, span nesting across worker domains, histogram bucket
+   boundaries and log-level filtering — plus a determinism fuzz:
+   telemetry-on and telemetry-off runs of the full
+   optimize -> blast -> solve pipeline must produce identical verdicts
+   and counterexample depths. *)
+
+module Json = Obs.Json
+module Signal = Rtl.Signal
+module Circuit = Rtl.Circuit
+
+(* Every test drives the same global sinks, so leave them clean. *)
+let with_clean_obs f =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.shutdown ();
+      Obs.set_level Obs.Info;
+      Obs.Metrics.reset ())
+    f
+
+(* Collect trace events in memory: point the writer at a temp path (the
+   only way to start collecting), snapshot via [trace_json], and never
+   let the file survive. *)
+let with_trace f =
+  let path = Filename.temp_file "test_obs" ".trace.json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.close_trace ();
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Obs.trace_to_file path;
+      let r = f () in
+      let events =
+        match Json.member "traceEvents" (Obs.trace_json ()) with
+        | Some (Json.List evs) -> evs
+        | _ -> Alcotest.fail "trace_json lacks a traceEvents list"
+      in
+      (r, events))
+
+let str_field name ev =
+  match Json.member name ev with
+  | Some (Json.Str s) -> s
+  | _ -> Alcotest.failf "event lacks string field %S: %s" name (Json.to_string ev)
+
+let num_field name ev =
+  match Json.member name ev with
+  | Some (Json.Float f) -> f
+  | Some (Json.Int i) -> float_of_int i
+  | _ -> Alcotest.failf "event lacks numeric field %S: %s" name (Json.to_string ev)
+
+(* {1 JSON round-trip} *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Bool false;
+      Json.Int 0;
+      Json.Int (-42);
+      Json.Int max_int;
+      (* Floats survive as long as 9 significant digits do (the
+         printer's %.9g); integral floats print as "x.0" so they come
+         back as Float, not Int. *)
+      Json.Float 1.5;
+      Json.Float (-0.25);
+      Json.Float 3.0;
+      Json.Float 1e-9;
+      Json.Str "";
+      Json.Str "plain";
+      Json.Str "esc \"quotes\" \\back\nnewline\ttab\x01ctl";
+      Json.Str "caf\xc3\xa9";
+      Json.List [];
+      Json.List [ Json.Int 1; Json.Str "two"; Json.Null ];
+      Json.Obj [];
+      Json.Obj
+        [
+          ("a", Json.Int 1);
+          ("nested", Json.Obj [ ("b", Json.List [ Json.Bool false ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      match Json.parse (Json.to_string v) with
+      | Ok v' -> Alcotest.(check bool) (Json.to_string v) true (v' = v)
+      | Error e -> Alcotest.failf "parse of %s failed: %s" (Json.to_string v) e)
+    cases;
+  (* Whitespace and rejects. *)
+  Alcotest.(check bool) "whitespace" true
+    (Json.parse "  { \"a\" : [ 1 , 2 ] }  " = Ok (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Int 2 ]) ]));
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "parser accepted %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "tru"; "\"unterminated"; "1 2"; "{\"a\":}" ]
+
+(* {1 Trace events: structure and span nesting} *)
+
+let test_span_structure () =
+  with_clean_obs @@ fun () ->
+  let (), events =
+    with_trace (fun () ->
+        Obs.span "t.outer" ~attrs:[ ("k", Json.Int 7) ] (fun () ->
+            Obs.span "t.inner" (fun () -> ignore (Sys.opaque_identity 1));
+            Obs.instant "t.mark";
+            Obs.counter_event "t.counter" [ ("v", 3.0) ]))
+  in
+  Alcotest.(check int) "four events" 4 (List.length events);
+  let by_name n = List.find (fun e -> str_field "name" e = n) events in
+  let outer = by_name "t.outer" and inner = by_name "t.inner" in
+  Alcotest.(check string) "complete event" "X" (str_field "ph" outer);
+  Alcotest.(check string) "category from prefix" "t" (str_field "cat" outer);
+  Alcotest.(check bool) "attrs in args" true
+    (match Json.member "args" outer with
+    | Some args -> Json.member "k" args = Some (Json.Int 7)
+    | None -> false);
+  (* Nesting in time: inner starts no earlier and ends no later. *)
+  let t0 = num_field "ts" outer and d0 = num_field "dur" outer in
+  let t1 = num_field "ts" inner and d1 = num_field "dur" inner in
+  Alcotest.(check bool) "inner starts inside outer" true (t1 >= t0);
+  Alcotest.(check bool) "inner ends inside outer" true (t1 +. d1 <= t0 +. d0 +. 1.0);
+  Alcotest.(check string) "instant" "i" (str_field "ph" (by_name "t.mark"));
+  Alcotest.(check string) "counter" "C" (str_field "ph" (by_name "t.counter"))
+
+let test_span_exception () =
+  with_clean_obs @@ fun () ->
+  let raised, events =
+    with_trace (fun () ->
+        try
+          Obs.span "t.boom" (fun () ->
+              if Sys.opaque_identity true then failwith "cancelled mid-span");
+          false
+        with Failure _ -> true)
+  in
+  Alcotest.(check bool) "exception propagates" true raised;
+  Alcotest.(check int) "span still recorded" 1 (List.length events)
+
+let test_span_nesting_across_domains () =
+  with_clean_obs @@ fun () ->
+  let n_domains = 4 and per_domain = 3 in
+  let (), events =
+    with_trace (fun () ->
+        let worker i () =
+          Obs.span "t.job" ~attrs:[ ("worker", Json.Int i) ] (fun () ->
+              for s = 0 to per_domain - 1 do
+                Obs.span "t.sub" ~attrs:[ ("step", Json.Int s) ] (fun () ->
+                    ignore (Sys.opaque_identity (i + s)))
+              done)
+        in
+        let ds = List.init n_domains (fun i -> Domain.spawn (worker i)) in
+        List.iter Domain.join ds)
+  in
+  let named n = List.filter (fun e -> str_field "name" e = n) events in
+  Alcotest.(check int) "one job span per domain" n_domains
+    (List.length (named "t.job"));
+  Alcotest.(check int) "all sub spans" (n_domains * per_domain)
+    (List.length (named "t.sub"));
+  (* Each domain's events carry its own tid, and the job span encloses
+     every sub span recorded by the same domain. *)
+  List.iter
+    (fun job ->
+      let tid = num_field "tid" job in
+      let t0 = num_field "ts" job and d0 = num_field "dur" job in
+      let subs = List.filter (fun e -> num_field "tid" e = tid) (named "t.sub") in
+      Alcotest.(check int) "subs share the job's tid" per_domain (List.length subs);
+      List.iter
+        (fun sub ->
+          let t1 = num_field "ts" sub and d1 = num_field "dur" sub in
+          Alcotest.(check bool) "sub inside job" true
+            (t1 >= t0 && t1 +. d1 <= t0 +. d0 +. 1.0))
+        subs)
+    (named "t.job");
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> num_field "tid" e) (named "t.job"))
+  in
+  Alcotest.(check int) "four distinct tids" n_domains (List.length tids)
+
+let test_trace_file_roundtrip () =
+  with_clean_obs @@ fun () ->
+  let path = Filename.temp_file "test_obs" ".trace.json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Obs.trace_to_file path;
+      Obs.span "t.once" (fun () -> ());
+      (* Normalize the in-memory value through the printer: timestamps
+         are full-precision floats in memory but %.9g on disk. *)
+      let in_memory =
+        match Json.parse (Json.to_string (Obs.trace_json ())) with
+        | Ok v -> v
+        | Error e -> Alcotest.failf "trace_json does not round-trip: %s" e
+      in
+      Obs.close_trace ();
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      match Json.parse contents with
+      | Ok on_disk ->
+          Alcotest.(check bool) "file equals trace_json" true (on_disk = in_memory)
+      | Error e -> Alcotest.failf "trace file does not parse: %s" e)
+
+(* {1 Metrics} *)
+
+let test_histogram_buckets () =
+  with_clean_obs @@ fun () ->
+  Obs.Metrics.enable ();
+  let h = Obs.Metrics.histogram ~buckets:[| 1.0; 2.0; 5.0 |] "test.hist" in
+  List.iter (Obs.Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 5.0; 7.0 ];
+  (match Obs.Metrics.find "test.hist" with
+  | Some (Obs.Metrics.Histogram { buckets; counts; sum; count }) ->
+      Alcotest.(check int) "bucket count" 3 (Array.length buckets);
+      (* Upper bounds are inclusive: 1.0 lands in <=1, 2.0 in <=2,
+         5.0 in <=5; only 7.0 overflows. *)
+      Alcotest.(check (array int)) "counts" [| 2; 2; 1; 1 |] counts;
+      Alcotest.(check int) "total" 6 count;
+      Alcotest.(check bool) "sum" true (Float.abs (sum -. 17.0) < 1e-9)
+  | _ -> Alcotest.fail "test.hist not found or wrong kind");
+  (* Disabled metrics cost nothing and record nothing. *)
+  Obs.Metrics.reset ();
+  Obs.Metrics.disable ();
+  Obs.Metrics.observe h 1.0;
+  (match Obs.Metrics.find "test.hist" with
+  | Some (Obs.Metrics.Histogram { count; _ }) ->
+      Alcotest.(check int) "no observation while disabled" 0 count
+  | _ -> Alcotest.fail "test.hist vanished");
+  (* Kind mismatch on an existing name is a programming error. *)
+  Alcotest.(check bool) "kind clash raises" true
+    (try
+       ignore (Obs.Metrics.counter "test.hist");
+       false
+     with Invalid_argument _ -> true)
+
+let test_counter_gauge_series () =
+  with_clean_obs @@ fun () ->
+  Obs.Metrics.enable ();
+  let c = Obs.Metrics.counter "test.ctr" in
+  Obs.Metrics.add c 3;
+  Obs.Metrics.add c 4;
+  let g = Obs.Metrics.gauge "test.gauge" in
+  Obs.Metrics.set g 2.5;
+  Obs.Metrics.max_gauge g 1.0;
+  Obs.Metrics.max_gauge g 9.0;
+  let s = Obs.Metrics.series "test.series" in
+  Obs.Metrics.record s 0.25;
+  Obs.Metrics.record s 0.5;
+  Alcotest.(check bool) "counter sums" true
+    (Obs.Metrics.find "test.ctr" = Some (Obs.Metrics.Counter 7));
+  Alcotest.(check bool) "max_gauge keeps the max" true
+    (Obs.Metrics.find "test.gauge" = Some (Obs.Metrics.Gauge 9.0));
+  Alcotest.(check bool) "series appends in order" true
+    (Obs.Metrics.find "test.series" = Some (Obs.Metrics.Series [| 0.25; 0.5 |]));
+  (* The snapshot JSON round-trips through the parser. *)
+  let j = Obs.Metrics.json_of_snapshot () in
+  match Json.parse (Json.to_string j) with
+  | Ok j' -> Alcotest.(check bool) "snapshot JSON round-trips" true (j = j')
+  | Error e -> Alcotest.failf "snapshot JSON does not parse: %s" e
+
+(* {1 Structured logging} *)
+
+let test_log_levels () =
+  with_clean_obs @@ fun () ->
+  let lines = ref [] in
+  Obs.set_log_sink (Some (fun l -> lines := l :: !lines));
+  Obs.set_level Obs.Warn;
+  Obs.log Obs.Info "t.dropped";
+  Obs.log ~attrs:[ ("n", Json.Int 1) ] Obs.Warn "t.kept";
+  Obs.log Obs.Error "t.kept_too";
+  Alcotest.(check bool) "logging gate" true (Obs.logging Obs.Warn);
+  Alcotest.(check bool) "logging gate filters" false (Obs.logging Obs.Debug);
+  Alcotest.(check int) "only warn+error emitted" 2 (List.length !lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Ok ev ->
+          ignore (num_field "ts_us" ev);
+          ignore (num_field "tid" ev);
+          Alcotest.(check bool) "event name present" true
+            (String.length (str_field "event" ev) > 0)
+      | Error e -> Alcotest.failf "log line does not parse: %s (%s)" line e)
+    !lines;
+  let kept = List.find (fun l -> Json.parse l |> function Ok ev -> str_field "event" ev = "t.kept" | _ -> false) !lines in
+  (match Json.parse kept with
+  | Ok ev ->
+      Alcotest.(check bool) "attrs flattened into the object" true
+        (Json.member "n" ev = Some (Json.Int 1));
+      Alcotest.(check string) "level name" "warn" (str_field "level" ev)
+  | Error _ -> assert false)
+
+(* {1 Determinism: telemetry must not change verdicts}
+
+   The same random circuit and property, checked with every telemetry
+   face off and then with all of them on (metrics, a null log sink at
+   debug level, a trace collector): outcome kind and CEX depth must
+   match exactly. *)
+
+let check_determinism seed =
+  let st = Random.State.make [| seed |] in
+  let circuit = Gen_circuit.random_circuit st ~num_nodes:20 ~num_regs:3 in
+  let property =
+    Gen_circuit.random_property st circuit ~num_asserts:(1 + Random.State.int st 3)
+  in
+  let max_depth = 5 in
+  let quiet = Bmc.check ~max_depth ~opt:Opt.O2 circuit property in
+  let path = Filename.temp_file "test_obs" ".trace.json" in
+  let noisy =
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.shutdown ();
+        Obs.set_level Obs.Info;
+        try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        Obs.Metrics.reset ();
+        Obs.Metrics.enable ();
+        Obs.set_log_sink (Some (fun _ -> ()));
+        Obs.set_level Obs.Debug;
+        Obs.trace_to_file path;
+        Bmc.check ~max_depth ~opt:Opt.O2 circuit property)
+  in
+  match (quiet, noisy) with
+  | Bmc.Bounded_proof s1, Bmc.Bounded_proof s2 ->
+      s1.Bmc.depth_reached = s2.Bmc.depth_reached
+  | Bmc.Cex (c1, _), Bmc.Cex (c2, _) ->
+      c1.Bmc.cex_depth = c2.Bmc.cex_depth
+      && List.sort compare c1.Bmc.cex_failed = List.sort compare c2.Bmc.cex_failed
+  | _ -> false
+
+let fuzz_determinism =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:20 ~name:"telemetry on/off -> identical verdicts"
+       QCheck.(make Gen.(int_bound 1_000_000))
+       check_determinism)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("json", [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip ]);
+      ( "trace",
+        [
+          Alcotest.test_case "span structure" `Quick test_span_structure;
+          Alcotest.test_case "span survives exceptions" `Quick test_span_exception;
+          Alcotest.test_case "nesting across 4 domains" `Quick
+            test_span_nesting_across_domains;
+          Alcotest.test_case "file equals in-memory trace" `Quick
+            test_trace_file_roundtrip;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram bucket boundaries" `Quick
+            test_histogram_buckets;
+          Alcotest.test_case "counter/gauge/series" `Quick test_counter_gauge_series;
+        ] );
+      ("log", [ Alcotest.test_case "levels and line shape" `Quick test_log_levels ]);
+      ("fuzz", [ fuzz_determinism ]);
+    ]

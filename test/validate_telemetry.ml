@@ -1,0 +1,104 @@
+(* Validates the telemetry artifacts of a real CLI run — the
+   [@telemetry-smoke] gate. Usage:
+
+     validate_telemetry.exe TRACE.json LOG.jsonl
+
+   Checks that the trace is well-formed Chrome trace-event JSON
+   (traceEvents list; every event has name/ph/ts/pid/tid; complete
+   events have dur), that it round-trips through the printer/parser
+   pair, that spans from the sat, cnf, bmc and opt layers are all
+   present, and that every line of the JSONL log parses with the
+   ts_us/level/tid/event shape. Exits non-zero with a message on the
+   first violation. *)
+
+module Json = Obs.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  contents
+
+let str_field name ev =
+  match Json.member name ev with
+  | Some (Json.Str s) -> s
+  | _ -> fail "event lacks string field %S: %s" name (Json.to_string ev)
+
+let require_num name ev =
+  match Json.member name ev with
+  | Some (Json.Float _ | Json.Int _) -> ()
+  | _ -> fail "event lacks numeric field %S: %s" name (Json.to_string ev)
+
+let check_trace path =
+  let contents = read_file path in
+  let trace =
+    match Json.parse contents with
+    | Ok t -> t
+    | Error e -> fail "%s does not parse: %s" path e
+  in
+  (* Round-trip: print what we parsed and parse it again. *)
+  (match Json.parse (Json.to_string trace) with
+  | Ok trace' when trace' = trace -> ()
+  | Ok _ -> fail "%s does not round-trip through the JSON printer" path
+  | Error e -> fail "%s re-parse failed: %s" path e);
+  let events =
+    match Json.member "traceEvents" trace with
+    | Some (Json.List evs) -> evs
+    | _ -> fail "%s lacks a traceEvents list" path
+  in
+  if events = [] then fail "%s has no trace events" path;
+  let spans = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      let name = str_field "name" ev in
+      let ph = str_field "ph" ev in
+      require_num "ts" ev;
+      require_num "pid" ev;
+      require_num "tid" ev;
+      if ph = "X" then begin
+        require_num "dur" ev;
+        let layer =
+          match String.index_opt name '.' with
+          | Some i -> String.sub name 0 i
+          | None -> name
+        in
+        Hashtbl.replace spans layer ()
+      end)
+    events;
+  List.iter
+    (fun layer ->
+      if not (Hashtbl.mem spans layer) then
+        fail "%s has no spans from the %s layer" path layer)
+    [ "sat"; "cnf"; "bmc"; "opt" ];
+  Printf.printf "trace OK: %s (%d events, span layers: %s)\n" path
+    (List.length events)
+    (String.concat ", " (List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) spans [])))
+
+let check_log path =
+  let lines =
+    String.split_on_char '\n' (read_file path)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  if lines = [] then fail "%s has no log lines" path;
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Ok ev ->
+          require_num "ts_us" ev;
+          require_num "tid" ev;
+          ignore (str_field "level" ev);
+          ignore (str_field "event" ev)
+      | Error e -> fail "%s: line does not parse: %s (%s)" path line e)
+    lines;
+  Printf.printf "log OK: %s (%d lines)\n" path (List.length lines)
+
+let () =
+  match Sys.argv with
+  | [| _; trace; log |] ->
+      check_trace trace;
+      check_log log
+  | _ ->
+      prerr_endline "usage: validate_telemetry TRACE.json LOG.jsonl";
+      exit 2
