@@ -8,7 +8,7 @@
 
    Usage: dune exec bench/main.exe [table1|table2|exploit|aes_proof|
                                     fixes|baseline|flush_tdd|parallel|
-                                    opt|smoke|bechamel|all]
+                                    opt|campaign|smoke|bechamel|all]
 
    The [parallel] subcommand re-runs representative Table 1 rows on the
    sequential engine and on the domain-sharded parallel engine
@@ -727,6 +727,88 @@ let smoke () =
   end
   else print_endline "     smoke OK: telemetry overhead within budget"
 
+(* {1 Campaign: per-assertion sweep + provenance/clustering over the
+   Table-1 row set, one JSON artifact per deduplicated channel} *)
+
+let campaign_bench () =
+  header
+    "Campaign — per-assertion CEX sweep, sliced/minimized/clustered into distinct channels";
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  let vscale = V.create () in
+  let entries =
+    [
+      {
+        Explain.Campaign.e_label = "vscale_arch_pipeline";
+        e_dut = "vscale";
+        e_ft = (fun () -> V.ft_for_stage V.Arch_pipeline vscale);
+        e_max_depth = 8;
+      };
+      {
+        Explain.Campaign.e_label = "maple_m3";
+        e_dut = "maple";
+        e_ft = (fun () -> maple_ft { M.fix_m2 = true; fix_m3 = false });
+        e_max_depth = 10;
+      };
+      {
+        Explain.Campaign.e_label = "divider";
+        e_dut = "divider";
+        e_ft =
+          (fun () -> Autocc.Ft.generate ~threshold:2 (Duts.Divider.create ()));
+        e_max_depth = 12;
+      };
+      {
+        Explain.Campaign.e_label = "maple_fixed";
+        e_dut = "maple";
+        e_ft = (fun () -> maple_ft M.fixed);
+        e_max_depth = 8;
+      };
+    ]
+  in
+  let t0 = Unix.gettimeofday () in
+  let result = Explain.Campaign.run ~opt:Opt.O2 ~out_dir:"autocc_campaign" entries in
+  Explain.Campaign.pp Format.std_formatter result;
+  Printf.printf "\n     %d artifacts under autocc_campaign/ in %.2fs\n"
+    (List.length result.Explain.Campaign.c_artifacts)
+    (Unix.gettimeofday () -. t0);
+  (* The acceptance bar: CEX-bearing entries must dedupe into at least
+     one channel each, every minimized witness already replay-verified
+     by Explain.minimize; the fixed row must report zero channels. *)
+  let failures = ref 0 in
+  List.iter
+    (fun r ->
+      let n = List.length r.Explain.Campaign.r_channels in
+      let expect_channels = r.Explain.Campaign.r_label <> "maple_fixed" in
+      if expect_channels && n = 0 then begin
+        Printf.printf "     FAILED: %s found no channel\n" r.Explain.Campaign.r_label;
+        incr failures
+      end;
+      if (not expect_channels) && n > 0 then begin
+        Printf.printf "     FAILED: %s reported %d channel(s) on fixed RTL\n"
+          r.Explain.Campaign.r_label n;
+        incr failures
+      end;
+      if r.Explain.Campaign.r_raw_cexs < n then begin
+        Printf.printf "     FAILED: %s has more channels than raw CEXs\n"
+          r.Explain.Campaign.r_label;
+        incr failures
+      end)
+    result.Explain.Campaign.c_results;
+  Json.write ~path:"BENCH_campaign.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "campaign");
+         ("campaign", Explain.Campaign.json_of_campaign result);
+         ("failures", Json.Int !failures);
+         ("telemetry", Obs.Metrics.json_of_snapshot ());
+       ]);
+  if !failures = 0 then
+    print_endline "     all entries clustered as expected (fixed RTL: no channels)"
+  else begin
+    Printf.printf "     %d FAILURE(S) in campaign expectations\n" !failures;
+    exit 1
+  end
+
 (* {1 Bechamel micro-benchmarks: one Test.make per table} *)
 
 let bechamel () =
@@ -816,11 +898,12 @@ let () =
   | "flush_tdd" -> flush_tdd ()
   | "parallel" -> parallel_bench ()
   | "opt" -> opt_bench ()
+  | "campaign" -> campaign_bench ()
   | "smoke" -> smoke ()
   | "bechamel" -> bechamel ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
-        "unknown experiment %s (try table1|table2|exploit|aes_proof|fixes|baseline|latency|flush_tdd|parallel|opt|smoke|bechamel|all)\n"
+        "unknown experiment %s (try table1|table2|exploit|aes_proof|fixes|baseline|latency|flush_tdd|parallel|opt|campaign|smoke|bechamel|all)\n"
         other;
       exit 1

@@ -155,6 +155,9 @@ let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfol
       Format.printf "@.Counterexample found (%.2fs in the solver, %d conflicts):@.@."
         stats.Bmc.solve_time stats.Bmc.conflicts;
       Autocc.Report.explain Format.std_formatter ft cex;
+      Autocc.Report.pp_first_divergence Format.std_formatter ft cex;
+      Format.printf "@.@.Provenance:@.";
+      Explain.pp_slice Format.std_formatter (Explain.slice ft cex);
       (match vcd with
       | Some path ->
           Autocc.Report.dump_vcd ~path ft cex;
@@ -171,7 +174,7 @@ let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfol
 (* {1 prove} *)
 
 let prove dut_name verilog top stage threshold max_depth jobs opt_level verbose
-    trace log_json log_level =
+    vcd trace log_json log_level =
   with_telemetry trace log_json log_level @@ fun () ->
   let dut =
     match verilog with
@@ -207,7 +210,15 @@ let prove dut_name verilog top stage threshold max_depth jobs opt_level verbose
       Format.printf
         "@.Counterexample found (%.2fs in the solver, %d conflicts):@.@."
         stats.Bmc.solve_time stats.Bmc.conflicts;
-      Autocc.Report.explain Format.std_formatter ft cex
+      Autocc.Report.explain Format.std_formatter ft cex;
+      Autocc.Report.pp_first_divergence Format.std_formatter ft cex;
+      Format.printf "@.@.Provenance:@.";
+      Explain.pp_slice Format.std_formatter (Explain.slice ft cex);
+      (match vcd with
+      | Some path ->
+          Autocc.Report.dump_vcd ~path ft cex;
+          Format.printf "@.Waveform written to %s@." path
+      | None -> ())
   | Bmc.Unknown stats ->
       Format.printf
         "@.Unknown: neither proved nor refuted within depth %d (%.2fs in the solver).@."
@@ -318,11 +329,52 @@ let stats dut_name max_depth jobs opt_level trace log_json log_level =
   let outcome = Autocc.Ft.check ~max_depth ~jobs ~opt ft in
   (match outcome with
   | Bmc.Cex (cex, _) ->
-      Format.printf "verdict: CEX at depth %d@." cex.Bmc.cex_depth
+      Format.printf "verdict: CEX at depth %d@." cex.Bmc.cex_depth;
+      Autocc.Report.pp_first_divergence Format.std_formatter ft cex;
+      Format.printf "@."
   | Bmc.Bounded_proof st ->
       Format.printf "verdict: bounded proof to depth %d@." st.Bmc.depth_reached);
   Format.printf "wall: %.2fs@." (Unix.gettimeofday () -. t0);
   print_metrics_summary ();
+  0
+
+(* {1 campaign} *)
+
+let campaign duts threshold max_depth opt_level out_dir trace log_json log_level =
+  with_telemetry trace log_json log_level @@ fun () ->
+  (* The artifacts embed a telemetry snapshot, so the registry is always
+     on for a campaign. *)
+  Obs.Metrics.enable ();
+  let entries =
+    List.map
+      (fun name ->
+        {
+          Explain.Campaign.e_label = name;
+          e_dut = name;
+          e_ft =
+            (fun () ->
+              let dut =
+                build_dut name ~stage:0 ~fix_m2:false ~fix_m3:false
+                  ~fix_c1:false ~fix_c2:false ~fix_c3:false ~full_flush:false
+              in
+              ft_for name dut ~stage:0 ~threshold);
+          e_max_depth = max_depth;
+        })
+      duts
+  in
+  let opt = Opt.level_of_int opt_level in
+  Format.printf
+    "Campaign over %s: per-assertion CEX sweep to depth %d at -O%d, then \
+     slice, minimize and cluster.@.@."
+    (String.concat ", " duts) max_depth (Opt.level_to_int opt);
+  let t0 = Unix.gettimeofday () in
+  let result = Explain.Campaign.run ~opt ~out_dir entries in
+  Explain.Campaign.pp Format.std_formatter result;
+  Format.printf "@.Total wall-clock: %.2fs@." (Unix.gettimeofday () -. t0);
+  List.iter
+    (fun p -> Format.printf "artifact: %s@." p)
+    result.Explain.Campaign.c_artifacts;
+  if Obs.Metrics.enabled () then print_metrics_summary ();
   0
 
 (* {1 Terms} *)
@@ -471,6 +523,11 @@ let prove_cmd =
           & info [ "top" ] ~doc:"Top module of a multi-module Verilog source.")
       $ stage_arg $ threshold_arg $ max_depth_arg $ jobs_arg $ opt_arg
       $ flag "verbose" "Print per-depth progress."
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "vcd" ]
+              ~doc:"Write the refutation waveform to this VCD file.")
       $ trace_arg $ log_json_arg $ log_level_arg)
   in
   Cmd.v
@@ -516,6 +573,36 @@ let stats_cmd =
       const stats $ dut $ max_depth_arg $ jobs_arg $ opt_arg $ trace_arg
       $ log_json_arg $ log_level_arg)
 
+let campaign_cmd =
+  let duts =
+    Arg.(
+      value
+      & opt (list (enum (List.map (fun d -> (d, d)) known_duts))) [ "leaky" ]
+      & info [ "duts"; "dut" ] ~docv:"DUT,..."
+          ~doc:
+            "Comma-separated DUTs to sweep (vscale, maple, aes, cva6, divider, \
+             leaky).")
+  in
+  let out_dir =
+    Arg.(
+      value & opt string "autocc_campaign"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Directory for the campaign artifacts: campaign.json, one \
+             channel_*.json per deduplicated channel, and a self-contained \
+             report.html.")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Sweep DUT configurations with a per-assertion CEX search, then \
+          slice, minimize and cluster every counterexample into named covert \
+          channels (Table-1 style), writing one JSON artifact per channel \
+          and an HTML report.")
+    Term.(
+      const campaign $ duts $ threshold_arg $ max_depth_arg $ opt_arg $ out_dir
+      $ trace_arg $ log_json_arg $ log_level_arg)
+
 let export_cmd =
   let dir =
     Arg.(value & opt string "autocc_flow" & info [ "dir" ] ~doc:"Output directory.")
@@ -542,4 +629,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ analyze_cmd; prove_cmd; exploit_cmd; synthesize_cmd; export_cmd; stats_cmd ]))
+          [
+            analyze_cmd;
+            prove_cmd;
+            exploit_cmd;
+            synthesize_cmd;
+            export_cmd;
+            stats_cmd;
+            campaign_cmd;
+          ]))

@@ -42,11 +42,7 @@ let replay cex =
 let replay_values cex signals =
   let sim = replay cex in
   Sim.watch sim signals;
-  Array.iter
-    (fun assignments ->
-      List.iter (fun (n, v) -> Sim.set_input sim n v) assignments;
-      Sim.step sim)
-    cex.cex_inputs;
+  Sim.run sim cex.cex_inputs;
   Sim.waveform sim
 
 (* Validate a candidate CEX on the interpreter: all assumptions must hold
@@ -281,6 +277,24 @@ let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
     end
   in
   try go 0 with S.Stopped -> raise (Cancelled (stats !cur_depth))
+
+(* One independent bounded check per assertion, every assumption kept.
+   Where [check] stops at the first (shallowest) failure of {e any}
+   assertion, this sweep reports a witness per failing output — the raw
+   CEX pool a campaign dedups into distinct channels. Each check runs on
+   its own solver; the per-assertion cone restriction at [-O1]/[-O2]
+   keeps the instances small. *)
+let check_each ?max_depth ?progress ?solver_config ?stop ?opt circuit property
+    =
+  List.map
+    (fun (name, a) ->
+      let sub = { assumes = property.assumes; asserts = [ (name, a) ] } in
+      ( name,
+        Obs.span "bmc.check_each" ~attrs:[ ("assert", Obs.Json.Str name) ]
+          (fun () ->
+            check ?max_depth ?progress ?solver_config ?stop ?opt circuit sub)
+      ))
+    property.asserts
 
 let pp_cex fmt cex =
   Format.fprintf fmt "CEX at depth %d, failing: %s@."

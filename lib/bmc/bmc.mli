@@ -86,6 +86,23 @@ val check :
     loop and between depths, and a firing stop aborts the run by raising
     {!Cancelled}. *)
 
+val check_each :
+  ?max_depth:int ->
+  ?progress:(int -> unit) ->
+  ?solver_config:Sat.Solver.config ->
+  ?stop:(unit -> bool) ->
+  ?opt:Opt.level ->
+  Rtl.Circuit.t ->
+  property ->
+  (string * outcome) list
+(** [check_each circuit property] runs one independent {!check} per
+    assertion (all assumptions kept), in declaration order. Where
+    {!check} stops at the shallowest failure of {e any} assertion, this
+    sweep returns a witness (or bounded proof) for {e every} assertion —
+    the raw counterexample pool a campaign deduplicates into distinct
+    covert channels. Optional arguments behave as in {!check} and apply
+    to each sub-check. *)
+
 val instrument : Rtl.Circuit.t -> property -> Rtl.Circuit.t
 (** The extended circuit [check] verifies: the original outputs plus one
     output per assumption ([__bmc_assume_<i>]) and per assertion

@@ -27,6 +27,14 @@ let first_divergence ft cex =
     pairs
   |> List.stable_sort (fun (_, c1) (_, c2) -> compare c1 c2)
 
+let pp_first_divergence fmt ft cex =
+  match first_divergence ft cex with
+  | [] -> Format.fprintf fmt "first divergence: none (no register differs)"
+  | l ->
+      Format.fprintf fmt "first divergence: %s"
+        (String.concat ", "
+           (List.map (fun (n, c) -> Printf.sprintf "%s@%d" n c) l))
+
 let explain fmt ft cex =
   Format.fprintf fmt "=== AutoCC counterexample ===@.";
   Format.fprintf fmt "DUT: %s@." (Rtl.Circuit.name ft.Ft.dut);

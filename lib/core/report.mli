@@ -18,6 +18,12 @@ val first_divergence : Ft.t -> Bmc.cex -> (string * int) list
     earliest first. The head of this list is usually the true root cause;
     registers that diverge later are downstream effects. *)
 
+val pp_first_divergence : Format.formatter -> Ft.t -> Bmc.cex -> unit
+(** One line per diverging register, earliest first:
+    ["first divergence: stash@3, echo@4"]. The rendering every
+    CEX-producing CLI command prints (analyze, prove, stats,
+    campaign). *)
+
 (** {1 Parallel-run accounting} *)
 
 type merged_stats = {

@@ -27,6 +27,19 @@ type result = {
   proved : bool;  (** false if the algorithm ran out of candidates *)
 }
 
+val find_cause :
+  Ft.t ->
+  Bmc.cex ->
+  candidates:string list ->
+  already_flushed:string list ->
+  string option
+(** [FindCause] of Algorithm 1: the first register from [candidates]
+    (and not in [already_flushed]) whose two universes differ at the
+    spy-start cycle of the counterexample (falling back to the failure
+    cycle when spy mode is never reached). Exposed so the provenance
+    engine ({!Explain}) can name the culprit of a sliced trace with the
+    exact primitive the synthesis loop uses. *)
+
 val incremental :
   ?max_depth:int ->
   ?threshold:int ->

@@ -1,0 +1,177 @@
+(** Counterexample provenance and campaign observability.
+
+    A {!Bmc.cex} prints as a flat input trace; root-causing it is a
+    manual waveform walk, exactly as Sec. 4 of the paper narrates. This
+    module turns a raw CEX into the paper's actual deliverable — a
+    {e classified covert channel} (Tables 1 and 2: culprit state element,
+    divergence path, observable output) — in three steps:
+
+    - {b backward trace slicing} ({!slice}): starting from the failing
+      output at [cex_depth], walk the DUT's fan-in cone (via {!Opt.cone})
+      cycle by cycle, keeping only signal pairs whose α/β values actually
+      differ along the replayed trace. The walk yields a {e provenance
+      chain} from the culprit register at the context switch, through
+      the combinational/sequential logic that propagated the difference,
+      to the observable output — the UPEC-style propagation analysis
+      that turns a counterexample into a security finding;
+    - {b minimization} ({!minimize}): greedily truncate the witness
+      depth and rewrite don't-care input bits to zero, accepting a
+      rewrite only if the trace, replayed on the interpreter
+      ({!Bmc.validate}), still violates the same assertion under all
+      assumptions — so every minimized witness is replay-verified;
+    - {b clustering} ({!cluster}): fingerprint each CEX by (culprit
+      register, register-level divergence-path signature) and
+      deduplicate a whole run's CEX pool into distinct named channels,
+      Table-1 style.
+
+    {!Campaign} sweeps a list of DUT configurations, runs the
+    per-assertion CEX sweep ({!Bmc.check_each}), explains and clusters
+    every witness, and persists one JSON artifact per channel plus a
+    self-contained static HTML report with a waveform strip per channel
+    rendered from the sliced trace.
+
+    All passes are instrumented with {!Obs} spans and metrics
+    ([explain.slice], [explain.minimize], [explain.cluster]; slice width
+    per cycle, minimization iterations, cluster count), so [--trace]
+    covers explanation time too. *)
+
+(** {1 Trace slicing} *)
+
+type link_kind = Reg | Input | Output | Node
+
+type link = {
+  link_cycle : int;  (** cycle at which this hop's divergence is observed *)
+  link_label : string;  (** register/port/debug name, or an op label *)
+  link_kind : link_kind;
+  link_a : Bitvec.t;  (** value in universe α at [link_cycle] *)
+  link_b : Bitvec.t;  (** value in universe β at [link_cycle] *)
+}
+
+type slice = {
+  sl_assert : string;  (** failing assertion the slice explains *)
+  sl_output : string option;  (** DUT output port behind the assertion *)
+  sl_chain : link list;
+      (** provenance chain, origin first and observable output last; only
+          named hops (registers, inputs, outputs, debug-named nodes) are
+          kept *)
+  sl_culprit : string option;
+      (** the culprit register: the chain's earliest register still
+          diverging when spy mode begins — {!Synthesis.find_cause} on the
+          sliced register set *)
+  sl_spy_start : int option;  (** first spy-mode cycle along the trace *)
+  sl_depth : int;  (** [cex_depth] of the sliced witness *)
+  sl_widths : int array;
+      (** per-cycle count of diverging cone signals — the slice width,
+          also recorded as the [explain.slice_width] metric series *)
+  sl_trace : (string * link_kind * Bitvec.t array * Bitvec.t array) list;
+      (** per-cycle α/β values of every chain hop plus the monitor
+          signals, cycles [0 .. sl_depth] — the waveform strip the HTML
+          report renders *)
+}
+
+val slice : Autocc.Ft.t -> Bmc.cex -> slice
+(** Slice one counterexample. The failing assertion is
+    [List.hd cex.cex_failed]; use {!slice_assert} to target another. *)
+
+val slice_assert : Autocc.Ft.t -> Bmc.cex -> string -> slice
+(** Slice with respect to a specific failing assertion name
+    (["as__<output>_eq"]). *)
+
+val pp_slice : Format.formatter -> slice -> unit
+(** Human rendering: the provenance chain with per-hop α/β values, the
+    culprit, and the slice width profile. *)
+
+(** {1 Minimization} *)
+
+type minimized = {
+  mn_cex : Bmc.cex;  (** the minimized, replay-verified witness *)
+  mn_depth_delta : int;  (** cycles removed from the original depth *)
+  mn_zeroed_bits : int;  (** input bits rewritten from 1 to 0 *)
+  mn_iterations : int;  (** replay trials performed *)
+}
+
+val minimize : Autocc.Ft.t -> Bmc.cex -> minimized
+(** Greedy replay-checked reduction: first shrink [cex_depth] (BMC
+    already returns shallowest-first, so this usually holds the depth),
+    then rewrite whole input words and then individual set bits to zero.
+    Every accepted rewrite is validated with {!Bmc.validate} — the
+    assumptions must hold on every cycle and the {e original} failing
+    assertion must still fail at the final depth, so the result provably
+    witnesses the same channel. *)
+
+(** {1 Clustering} *)
+
+type channel = {
+  ch_name : string;  (** ["<culprit> -> <output>"], unique per campaign entry *)
+  ch_fingerprint : string;  (** culprit + register-path signature *)
+  ch_culprit : string option;
+  ch_asserts : string list;  (** failing assertions merged into this channel *)
+  ch_raw_cexs : int;  (** raw CEXs deduplicated into this channel *)
+  ch_slice : slice;  (** representative (shallowest) slice *)
+  ch_min : minimized;  (** minimized representative witness *)
+}
+
+val fingerprint : slice -> string
+(** The dedup key: culprit register plus the ordered register hops of the
+    provenance chain (observable outputs excluded, so the same stale
+    state read through two output ports is one channel). *)
+
+val cluster : Autocc.Ft.t -> Bmc.cex list -> channel list
+(** Slice + minimize every CEX and group them by {!fingerprint},
+    shallowest representative first. *)
+
+(** {1 Campaign driver} *)
+
+module Campaign : sig
+  type entry = {
+    e_label : string;  (** e.g. ["maple/m3"] *)
+    e_dut : string;
+    e_ft : unit -> Autocc.Ft.t;  (** fresh FT per run *)
+    e_max_depth : int;
+  }
+
+  type entry_result = {
+    r_label : string;
+    r_dut : string;
+    r_channels : channel list;  (** empty for a bounded proof *)
+    r_raw_cexs : int;  (** size of the per-assertion CEX pool *)
+    r_asserts : int;  (** assertions swept *)
+    r_depth : int;  (** max depth checked *)
+    r_wall : float;
+  }
+
+  type t = {
+    c_results : entry_result list;
+    c_artifacts : string list;  (** paths written, campaign.json first *)
+  }
+
+  val run :
+    ?opt:Opt.level ->
+    ?out_dir:string ->
+    entry list ->
+    t
+  (** Sweep the entries: per entry, run {!Bmc.check_each} over the FT's
+      property set, explain and {!cluster} every counterexample. With
+      [out_dir] set, persist the artifacts: [campaign.json] (index),
+      one [channel_<entry>_<n>.json] per channel ({!json_of_channel},
+      schema ["autocc.channel/1"]) and a self-contained [report.html]
+      with a waveform strip per channel. The directory is created if
+      missing. *)
+
+  val json_of_channel : label:string -> dut:string -> channel -> Obs.Json.t
+  (** The per-channel artifact: schema tag, channel naming, provenance
+      chain, minimized witness (inputs as hex), slice widths, spy start
+      and a telemetry snapshot. *)
+
+  val json_of_campaign : t -> Obs.Json.t
+  (** The [campaign.json] index: schema ["autocc.campaign/1"], one entry
+      per result with channel names and artifact paths, plus the metric
+      registry snapshot. *)
+
+  val html_report : t -> string
+  (** The self-contained static HTML report. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Table-1-style text rendering: one line per entry, channels with
+      culprit → output provenance and minimized depth. *)
+end

@@ -70,6 +70,26 @@ type result = {
   opt_stats : stats;
 }
 
+(* Backward reachability from [roots] through args and register
+   next-state functions — the same closure the [keep_outputs] restriction
+   computes implicitly during the rebuild pass, exposed for trace
+   slicing. *)
+let cone circuit ~roots =
+  let seen = Hashtbl.create 256 in
+  let rec visit s =
+    if Circuit.mem_node circuit s && not (Hashtbl.mem seen (Signal.uid s))
+    then begin
+      Hashtbl.replace seen (Signal.uid s) ();
+      Array.iter visit (Signal.args s);
+      match Signal.op s with
+      | Signal.Reg r -> Option.iter visit r.Signal.next
+      | _ -> ()
+    end
+  in
+  List.iter visit roots;
+  Array.to_list (Circuit.topo circuit)
+  |> List.filter (fun s -> Hashtbl.mem seen (Signal.uid s))
+
 (* {1 Structural rebuild: hash-consing + algebraic rewrites}
 
    One bottom-up pass over the (resolved) graph. Every rebuilt node is

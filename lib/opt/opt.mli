@@ -69,6 +69,15 @@ val add_stats : stats -> stats -> stats
 
 val pp_stats : Format.formatter -> stats -> unit
 
+val cone : Rtl.Circuit.t -> roots:Rtl.Signal.t list -> Rtl.Signal.t list
+(** Backward fan-in cone-of-influence: every node of the circuit reachable
+    from [roots] through operator arguments and register next-state
+    functions, returned in the circuit's topological order. This is the
+    same reachability the [keep_outputs] restriction of {!optimize} prunes
+    by; exposed so trace slicing ({!Explain}) can watch exactly the nodes
+    that can affect a failing assertion. Roots outside the circuit are
+    ignored. *)
+
 type result = {
   opt_circuit : Rtl.Circuit.t;
   opt_map : Rtl.Signal.t -> Rtl.Signal.t;

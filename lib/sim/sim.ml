@@ -126,6 +126,13 @@ let step t =
 
 let cycle t = t.cycle
 
+let run t inputs =
+  Array.iter
+    (fun assignments ->
+      List.iter (fun (n, v) -> set_input t n v) assignments;
+      step t)
+    inputs
+
 let watch t signals =
   t.watched <- t.watched @ List.map (fun s -> (s, ref [])) signals
 

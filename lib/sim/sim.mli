@@ -37,6 +37,12 @@ val step : t -> unit
 val cycle : t -> int
 (** Number of [step]s since the last reset. *)
 
+val run : t -> (string * Bitvec.t) list array -> unit
+(** [run t inputs] drives a recorded input trace: for each cycle, apply
+    the per-cycle assignments with {!set_input}, then {!step}. This is
+    the shape of a BMC counterexample's input trace; watched signals
+    record one sample per cycle as usual. *)
+
 val watch : t -> Rtl.Signal.t list -> unit
 (** Record the values of the given signals at every subsequent {!step};
     used for waveform output. *)

@@ -336,25 +336,106 @@ let test_flush_start_sync () =
   | Bmc.Bounded_proof _ -> ()
   | Bmc.Cex _ -> Alcotest.fail "padding should close the latency channel"
 
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !lines
+
+(* Structural VCD check: a well-formed header ($date, $timescale, scope,
+   $enddefinitions), parseable $var declarations with unique id codes,
+   and a value-change section in which every line is a timestep, a 1-bit
+   change [01]<id> or a multi-bit change b<bits> <id> against a declared
+   id of the declared width. *)
+let check_vcd_structure lines =
+  (match lines with
+  | first :: _ ->
+      Alcotest.(check bool) "vcd $date header" true
+        (String.length first > 5 && String.sub first 0 5 = "$date")
+  | [] -> Alcotest.fail "empty vcd");
+  Alcotest.(check bool) "vcd $timescale" true
+    (List.exists (fun l -> l = "$timescale 1 ns $end") lines);
+  Alcotest.(check bool) "vcd scope" true
+    (List.exists
+       (fun l -> String.length l > 6 && String.sub l 0 6 = "$scope")
+       lines);
+  Alcotest.(check bool) "vcd $enddefinitions" true
+    (List.mem "$enddefinitions $end" lines);
+  (* Declarations. *)
+  let widths = Hashtbl.create 64 in
+  List.iter
+    (fun line ->
+      if String.length line > 4 && String.sub line 0 4 = "$var" then
+        match String.split_on_char ' ' line with
+        | [ "$var"; "wire"; w; id; name; "$end" ] ->
+            let w = int_of_string w in
+            Alcotest.(check bool) ("positive width for " ^ name) true (w > 0);
+            if Hashtbl.mem widths id then Alcotest.failf "duplicate id %s" id;
+            Hashtbl.replace widths id w
+        | _ -> Alcotest.failf "unparseable $var line: %s" line)
+    lines;
+  Alcotest.(check bool) "has variables" true (Hashtbl.length widths > 0);
+  (* Value changes: everything after $enddefinitions. *)
+  let rec after = function
+    | "$enddefinitions $end" :: rest -> rest
+    | _ :: rest -> after rest
+    | [] -> []
+  in
+  let timesteps = ref 0 and scalar = ref 0 and vector = ref 0 in
+  List.iter
+    (fun line ->
+      if line = "" then ()
+      else if line.[0] = '#' then begin
+        ignore (int_of_string (String.sub line 1 (String.length line - 1)));
+        incr timesteps
+      end
+      else if line.[0] = '0' || line.[0] = '1' then begin
+        let id = String.sub line 1 (String.length line - 1) in
+        (match Hashtbl.find_opt widths id with
+        | Some 1 -> ()
+        | Some w -> Alcotest.failf "scalar change on %d-bit id %s" w id
+        | None -> Alcotest.failf "scalar change on undeclared id %s" id);
+        incr scalar
+      end
+      else if line.[0] = 'b' then begin
+        match String.split_on_char ' ' line with
+        | [ bits; id ] ->
+            let bits = String.sub bits 1 (String.length bits - 1) in
+            String.iter
+              (fun c -> if c <> '0' && c <> '1' then Alcotest.failf "bad bit %c" c)
+              bits;
+            (match Hashtbl.find_opt widths id with
+            | Some w ->
+                Alcotest.(check int) ("vector width for id " ^ id) w
+                  (String.length bits)
+            | None -> Alcotest.failf "vector change on undeclared id %s" id);
+            incr vector
+        | _ -> Alcotest.failf "unparseable vector change: %s" line
+      end
+      else Alcotest.failf "unexpected value-change line: %s" line)
+    (after lines);
+  (!timesteps, !scalar, !vector, Hashtbl.length widths)
+
 let test_vcd_dump () =
   let ft, outcome = find_cex (leaky_dut ()) in
   match outcome with
   | Bmc.Cex (cex, _) ->
       let path = Filename.temp_file "autocc" ".vcd" in
       Autocc.Report.dump_vcd ~path ft cex;
-      let ic = open_in path in
-      let first = input_line ic in
-      let lines = ref 1 in
-      (try
-         while true do
-           ignore (input_line ic);
-           incr lines
-         done
-       with End_of_file -> ());
-      close_in ic;
+      let lines = read_lines path in
       Sys.remove path;
-      Alcotest.(check bool) "vcd header" true (String.length first > 5 && String.sub first 0 5 = "$date");
-      Alcotest.(check bool) "has content" true (!lines > 15)
+      let timesteps, scalar, vector, vars = check_vcd_structure lines in
+      (* One timestep per trace cycle; the FT has both 1-bit monitor
+         signals and multi-bit data, so both change encodings appear. *)
+      Alcotest.(check int) "one timestep per cycle" (cex.Bmc.cex_depth + 1) timesteps;
+      Alcotest.(check bool) "scalar changes present" true (scalar > 0);
+      Alcotest.(check bool) "vector changes present" true (vector > 0);
+      Alcotest.(check bool) "several variables" true (vars > 4)
   | Bmc.Bounded_proof _ -> Alcotest.fail "expected CEX"
 
 let test_blackbox_two_boundaries () =

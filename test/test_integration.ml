@@ -134,7 +134,9 @@ let test_first_divergence_order () =
 (* {1 VCD identifiers} *)
 
 let test_vcd_many_signals () =
-  (* Hundreds of variables must all get distinct id codes. *)
+  (* Hundreds of variables: distinct id codes (2-char codes past the 94
+     printable singles), a well-formed header, and every multi-bit value
+     line referencing a declared id with the declared width. *)
   let n = 300 in
   let traces =
     List.init n (fun i ->
@@ -143,22 +145,57 @@ let test_vcd_many_signals () =
   let path = Filename.temp_file "autocc" ".vcd" in
   Rtl.Vcd.write ~path traces;
   let ic = open_in path in
-  let ids = Hashtbl.create 64 in
+  let lines = ref [] in
   (try
      while true do
-       let line = input_line ic in
-       if String.length line > 4 && String.sub line 0 4 = "$var" then begin
-         match String.split_on_char ' ' line with
-         | _ :: _ :: _ :: id :: _ ->
-             if Hashtbl.mem ids id then Alcotest.failf "duplicate id %s" id;
-             Hashtbl.replace ids id ()
-         | _ -> ()
-       end
+       lines := input_line ic :: !lines
      done
    with End_of_file -> ());
   close_in ic;
   Sys.remove path;
-  Alcotest.(check int) "all declared" n (Hashtbl.length ids)
+  let lines = List.rev !lines in
+  Alcotest.(check bool) "timescale declared" true
+    (List.mem "$timescale 1 ns $end" lines);
+  Alcotest.(check bool) "definitions closed" true
+    (List.mem "$enddefinitions $end" lines);
+  let ids = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun line ->
+      if String.length line > 4 && String.sub line 0 4 = "$var" then
+        match String.split_on_char ' ' line with
+        | [ "$var"; "wire"; w; id; name; "$end" ] ->
+            Alcotest.(check int) ("width of " ^ name) 8 (int_of_string w);
+            if Hashtbl.mem ids id then Alcotest.failf "duplicate id %s" id;
+            Hashtbl.replace ids id ();
+            order := id :: !order
+        | _ -> Alcotest.failf "unparseable $var line: %s" line)
+    lines;
+  Alcotest.(check int) "all declared" n (Hashtbl.length ids);
+  (* 94 single-char codes, then two-char codes for the rest. *)
+  let order = Array.of_list (List.rev !order) in
+  Array.iteri
+    (fun i id ->
+      Alcotest.(check int)
+        (Printf.sprintf "id length of var %d" i)
+        (if i < 94 then 1 else 2)
+        (String.length id))
+    order;
+  (* Every 8-bit signal changes at #0: one b-line per variable, each
+     referencing a declared id with an 8-bit pattern. *)
+  let vector = ref 0 in
+  List.iter
+    (fun line ->
+      if String.length line > 0 && line.[0] = 'b' then
+        match String.split_on_char ' ' line with
+        | [ bits; id ] ->
+            Alcotest.(check int) "8-bit pattern" 9 (String.length bits);
+            if not (Hashtbl.mem ids id) then
+              Alcotest.failf "value change on undeclared id %s" id;
+            incr vector
+        | _ -> Alcotest.failf "unparseable vector change: %s" line)
+    lines;
+  Alcotest.(check int) "one change per variable" n !vector
 
 (* {1 Vscale CSR path in simulation} *)
 

@@ -1,0 +1,201 @@
+(* Validates the campaign artifacts of a real CLI run — the
+   [@explain-smoke] gate. Usage:
+
+     validate_explain.exe CAMPAIGN.json CHANNEL.json REPORT.html
+
+   Checks that the campaign index follows the autocc.campaign/1 schema
+   (entries with label/dut/counters and channel records that reference
+   their per-channel artifacts), that the channel artifact follows
+   autocc.channel/1 (channel naming, replay-minimized witness with one
+   input record per cycle, a non-empty provenance chain ending at an
+   observable output, slice metadata, telemetry snapshot), that the two
+   agree on the channel name, and that the HTML report is well-formed
+   enough to open (doctype, matched tags, channel name present). Exits
+   non-zero with a message on the first violation. *)
+
+module Json = Obs.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  contents
+
+let parse path =
+  match Json.parse (read_file path) with
+  | Ok j ->
+      (* Round-trip through the printer/parser pair. *)
+      (match Json.parse (Json.to_string j) with
+      | Ok j' when j' = j -> ()
+      | Ok _ -> fail "%s does not round-trip through the JSON printer" path
+      | Error e -> fail "%s re-parse failed: %s" path e);
+      j
+  | Error e -> fail "%s does not parse: %s" path e
+
+let str_field what name j =
+  match Json.member name j with
+  | Some (Json.Str s) -> s
+  | _ -> fail "%s lacks string field %S: %s" what name (Json.to_string j)
+
+let int_field what name j =
+  match Json.member name j with
+  | Some (Json.Int i) -> i
+  | _ -> fail "%s lacks int field %S: %s" what name (Json.to_string j)
+
+let num_field what name j =
+  match Json.member name j with
+  | Some (Json.Float _ | Json.Int _) -> ()
+  | _ -> fail "%s lacks numeric field %S: %s" what name (Json.to_string j)
+
+let list_field what name j =
+  match Json.member name j with
+  | Some (Json.List l) -> l
+  | _ -> fail "%s lacks list field %S" what name
+
+let obj_field what name j =
+  match Json.member name j with
+  | Some (Json.Obj _ as o) -> o
+  | _ -> fail "%s lacks object field %S" what name
+
+let require_schema what tag j =
+  let s = str_field what "schema" j in
+  if s <> tag then fail "%s has schema %S, expected %S" what s tag
+
+(* The campaign index; returns (channel name, artifact basename) of the
+   first channel so the caller can cross-check the channel artifact. *)
+let check_campaign path =
+  let j = parse path in
+  require_schema path "autocc.campaign/1" j;
+  ignore (obj_field path "telemetry" j);
+  let entries = list_field path "entries" j in
+  if entries = [] then fail "%s has no entries" path;
+  let first = ref None in
+  List.iter
+    (fun e ->
+      let label = str_field path "label" e in
+      ignore (str_field path "dut" e);
+      let asserts = int_field path "asserts" e in
+      let raw = int_field path "raw_cexs" e in
+      ignore (int_field path "max_depth" e);
+      num_field path "wall_s" e;
+      let channels = list_field path "channels" e in
+      if raw > asserts then
+        fail "%s: entry %s reports more raw CEXs than assertions" path label;
+      if List.length channels > raw then
+        fail "%s: entry %s reports more channels than raw CEXs" path label;
+      List.iter
+        (fun ch ->
+          let name = str_field path "name" ch in
+          ignore (Json.member "culprit" ch);
+          ignore (int_field path "minimized_depth" ch);
+          let artifact = str_field path "artifact" ch in
+          if Filename.dirname artifact <> "." then
+            fail "%s: artifact %S must be a bare file name" path artifact;
+          if !first = None then first := Some (name, artifact))
+        channels)
+    entries;
+  match !first with
+  | Some r ->
+      Printf.printf "campaign OK: %s (%d entries)\n" path (List.length entries);
+      r
+  | None -> fail "%s: campaign found no channels — the leaky DUT must leak" path
+
+let check_channel path ~index_name ~index_artifact =
+  if Filename.basename path <> index_artifact then
+    fail "%s is not the artifact the index references (%s)" path index_artifact;
+  let j = parse path in
+  require_schema path "autocc.channel/1" j;
+  ignore (str_field path "label" j);
+  ignore (str_field path "dut" j);
+  ignore (obj_field path "telemetry" j);
+  let ch = obj_field path "channel" j in
+  let name = str_field path "name" ch in
+  if name <> index_name then
+    fail "%s: channel name %S disagrees with the index (%S)" path name index_name;
+  ignore (str_field path "fingerprint" ch);
+  if list_field path "asserts" ch = [] then fail "%s: channel has no assertions" path;
+  ignore (int_field path "raw_cexs" ch);
+  let wit = obj_field path "witness" j in
+  let depth = int_field path "depth" wit in
+  ignore (int_field path "depth_delta" wit);
+  ignore (int_field path "zeroed_bits" wit);
+  if int_field path "iterations" wit <= 0 then
+    fail "%s: witness reports no replay trials" path;
+  let inputs = list_field path "inputs" wit in
+  if List.length inputs <> depth + 1 then
+    fail "%s: witness has %d input records for depth %d" path (List.length inputs) depth;
+  let prov = list_field path "provenance" j in
+  if prov = [] then fail "%s: empty provenance chain" path;
+  List.iter
+    (fun l ->
+      ignore (int_field path "cycle" l);
+      ignore (str_field path "signal" l);
+      ignore (str_field path "alpha" l);
+      ignore (str_field path "beta" l);
+      let kind = str_field path "kind" l in
+      if not (List.mem kind [ "reg"; "input"; "output"; "node" ]) then
+        fail "%s: unknown provenance kind %S" path kind)
+    prov;
+  let last = List.nth prov (List.length prov - 1) in
+  if str_field path "kind" last <> "output" then
+    fail "%s: provenance chain must end at an observable output" path;
+  let sl = obj_field path "slice" j in
+  ignore (str_field path "assert" sl);
+  if list_field path "widths" sl = [] then fail "%s: empty slice width profile" path;
+  Printf.printf "channel OK: %s (%s, %d hops, depth %d)\n" path name
+    (List.length prov) depth
+
+let count_occurrences hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i acc =
+    if i + nn > nh then acc
+    else if String.sub hay i nn = needle then go (i + nn) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let contains hay needle = count_occurrences hay needle > 0
+
+let check_html path ~channel_name =
+  let html = read_file path in
+  if not (String.length html > 15 && String.sub html 0 15 = "<!doctype html>") then
+    fail "%s does not start with <!doctype html>" path;
+  List.iter
+    (fun (o, c) ->
+      let no = count_occurrences html o and nc = count_occurrences html c in
+      if no <> nc then fail "%s: %d %s but %d %s" path no o nc c)
+    [
+      ("<html", "</html>");
+      ("<table", "</table>");
+      ("<tr", "</tr>");
+      ("<ol", "</ol>");
+      ("<details", "</details>");
+    ];
+  (* The channel name is HTML-escaped in the report. *)
+  let escaped =
+    let b = Buffer.create (String.length channel_name) in
+    String.iter
+      (function
+        | '<' -> Buffer.add_string b "&lt;"
+        | '>' -> Buffer.add_string b "&gt;"
+        | '&' -> Buffer.add_string b "&amp;"
+        | '"' -> Buffer.add_string b "&quot;"
+        | c -> Buffer.add_char b c)
+      channel_name;
+    Buffer.contents b
+  in
+  if not (contains html escaped) then
+    fail "%s does not mention channel %S" path channel_name;
+  Printf.printf "html OK: %s (%d bytes)\n" path (String.length html)
+
+let () =
+  match Sys.argv with
+  | [| _; campaign; channel; html |] ->
+      let index_name, index_artifact = check_campaign campaign in
+      check_channel channel ~index_name ~index_artifact;
+      check_html html ~channel_name:index_name
+  | _ ->
+      prerr_endline "usage: validate_explain CAMPAIGN.json CHANNEL.json REPORT.html";
+      exit 2
