@@ -48,12 +48,15 @@ end
    one schema shared with the CLI. *)
 let json_of_outcome outcome ~wall =
   let stats =
-    match outcome with Bmc.Cex (_, st) | Bmc.Bounded_proof st -> st
+    match outcome with
+    | Bmc.Cex (_, st) | Bmc.Bounded_proof st | Bmc.Unknown (_, st) -> st
   in
   let verdict, depth =
     match outcome with
     | Bmc.Cex (cex, _) -> ("cex", cex.Bmc.cex_depth)
     | Bmc.Bounded_proof st -> ("bounded_proof", st.Bmc.depth_reached)
+    | Bmc.Unknown (r, st) ->
+        ("unknown:" ^ Bmc.unknown_reason_to_string r, st.Bmc.depth_reached)
   in
   Json.Obj
     [
@@ -112,6 +115,16 @@ let run_ft id description paper ft ~max_depth =
         proof_depth = Some (stats.Bmc.depth_reached + 1);
         seconds = Unix.gettimeofday () -. t0;
         detail = "";
+      }
+  | Bmc.Unknown (reason, _) ->
+      {
+        id;
+        description;
+        paper;
+        depth = None;
+        proof_depth = None;
+        seconds = Unix.gettimeofday () -. t0;
+        detail = "unknown (" ^ Bmc.unknown_reason_to_string reason ^ ")";
       }
 
 (* {1 Table 1: valuable CEXs across the four DUTs} *)
@@ -292,6 +305,8 @@ let baseline () =
             Printf.sprintf "CEX depth %d in %.2fs" (cex.Bmc.cex_depth + 1)
               (Unix.gettimeofday () -. t0)
         | Bmc.Bounded_proof _ -> "missed!"
+        | Bmc.Unknown (r, _) ->
+            "unknown (" ^ Bmc.unknown_reason_to_string r ^ ")"
       in
       let r = Baseline.search ~max_trials:20_000 ~victim_cycles:10 ~spy_cycles:10 dut in
       let rnd =
@@ -405,6 +420,10 @@ let scaling () =
     | Bmc.Cex (cex, _) ->
         (Rtl.Circuit.state_bits ft.Autocc.Ft.dut,
          Printf.sprintf "CEX at %d (unexpected)" cex.Bmc.cex_depth)
+    | Bmc.Unknown (r, _) ->
+        ( Rtl.Circuit.state_bits ft.Autocc.Ft.dut,
+          Printf.sprintf "unknown (%s, unexpected)"
+            (Bmc.unknown_reason_to_string r) )
   in
   List.iter
     (fun n ->
@@ -488,6 +507,8 @@ let parallel_bench () =
   let describe = function
     | Bmc.Cex (cex, _) -> Printf.sprintf "CEX depth %d" (cex.Bmc.cex_depth + 1)
     | Bmc.Bounded_proof st -> Printf.sprintf "proof to %d" (st.Bmc.depth_reached + 1)
+    | Bmc.Unknown (r, _) ->
+        Printf.sprintf "unknown (%s)" (Bmc.unknown_reason_to_string r)
   in
   let mismatches = ref 0 in
   let json_rows = ref [] in
@@ -631,6 +652,8 @@ let opt_row (id, description, mk_ft, max_depth) =
   let describe = function
     | Bmc.Cex (cex, _) -> Printf.sprintf "CEX depth %d" (cex.Bmc.cex_depth + 1)
     | Bmc.Bounded_proof st -> Printf.sprintf "proof to %d" (st.Bmc.depth_reached + 1)
+    | Bmc.Unknown (r, _) ->
+        Printf.sprintf "unknown (%s)" (Bmc.unknown_reason_to_string r)
   in
   let speedup = t0_s /. Float.max 1e-9 t2_s in
   Printf.printf "%-4s %-44s O0 %-14s %7.2fs | O2 %-14s %7.2fs | %5.2fx%s\n" id
@@ -809,6 +832,90 @@ let campaign_bench () =
     exit 1
   end
 
+(* {1 Robustness: budget-forced Unknown verdicts, retry accounting, and
+   the unbudgeted rerun completing with the reference verdict} *)
+
+let robustness_bench () =
+  header
+    "Robustness — budgets only downgrade verdicts to Unknown; retries are accounted; the unbudgeted run completes";
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  let mk_ft () = maple_ft { M.fix_m2 = true; fix_m3 = false } in
+  let max_depth = 10 in
+  let describe = function
+    | Bmc.Cex (cex, _) -> Printf.sprintf "CEX depth %d" (cex.Bmc.cex_depth + 1)
+    | Bmc.Bounded_proof st ->
+        Printf.sprintf "proof to %d" (st.Bmc.depth_reached + 1)
+    | Bmc.Unknown (r, st) ->
+        Printf.sprintf "unknown (%s), clean to %d"
+          (Bmc.unknown_reason_to_string r)
+          (st.Bmc.depth_reached + 1)
+  in
+  let failures = ref 0 in
+  (* A deadline already in the past when the first solve starts:
+     deterministically Unknown on any machine, no matter how fast. *)
+  let tiny = Bmc.budget ~wall_s:1e-6 () in
+  let retry =
+    Retry.policy ~max_attempts:3 ~backoff_base_s:0.001 ~backoff_cap_s:0.002 ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let budgeted, detail =
+    Autocc.Ft.check_detailed ~max_depth ~jobs:2 ~budget:tiny ~retry (mk_ft ())
+  in
+  let budget_t = Unix.gettimeofday () -. t0 in
+  let merged = Autocc.Report.merge_stats detail in
+  Printf.printf
+    "tiny budget : %-36s %6.2fs  (%d unknown, %d timeouts, %d retries)\n"
+    (describe budgeted) budget_t merged.Autocc.Report.m_unknown
+    merged.Autocc.Report.m_timeout merged.Autocc.Report.m_retries;
+  let t0 = Unix.gettimeofday () in
+  let full = Autocc.Ft.check ~max_depth (mk_ft ()) in
+  let full_t = Unix.gettimeofday () -. t0 in
+  Printf.printf "no budget   : %-36s %6.2fs\n" (describe full) full_t;
+  (* The soundness bar: exhaustion may only downgrade to Unknown — a
+     conclusive verdict under the expired budget must equal the
+     reference one. *)
+  (match (budgeted, full) with
+  | Bmc.Unknown _, _ -> ()
+  | Bmc.Cex (c1, _), Bmc.Cex (c2, _) when c1.Bmc.cex_depth = c2.Bmc.cex_depth
+    ->
+      ()
+  | Bmc.Bounded_proof _, Bmc.Bounded_proof _ -> ()
+  | _ ->
+      print_endline "     FAILED: the budget changed the verdict";
+      incr failures);
+  (match full with
+  | Bmc.Unknown _ ->
+      print_endline "     FAILED: the unbudgeted run did not complete";
+      incr failures
+  | _ -> ());
+  if merged.Autocc.Report.m_unknown > 0 && merged.Autocc.Report.m_retries = 0
+  then begin
+    print_endline "     FAILED: Unknown jobs recorded no retry attempts";
+    incr failures
+  end;
+  Json.write ~path:"BENCH_robustness.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "robustness");
+         ("max_depth", Json.Int max_depth);
+         ("budgeted", json_of_outcome budgeted ~wall:budget_t);
+         ("unbudgeted", json_of_outcome full ~wall:full_t);
+         ("merged", Autocc.Report.json_of_merged merged);
+         ("unknown", Json.Int merged.Autocc.Report.m_unknown);
+         ("timeouts", Json.Int merged.Autocc.Report.m_timeout);
+         ("retries", Json.Int merged.Autocc.Report.m_retries);
+         ("failures", Json.Int !failures);
+         ("telemetry", Obs.Metrics.json_of_snapshot ());
+       ]);
+  if !failures = 0 then
+    print_endline
+      "     budgets only downgraded verdicts to Unknown; retries accounted; reference run conclusive"
+  else begin
+    Printf.printf "     %d FAILURE(S) in robustness expectations\n" !failures;
+    exit 1
+  end
+
 (* {1 Bechamel micro-benchmarks: one Test.make per table} *)
 
 let bechamel () =
@@ -899,11 +1006,12 @@ let () =
   | "parallel" -> parallel_bench ()
   | "opt" -> opt_bench ()
   | "campaign" -> campaign_bench ()
+  | "robustness" -> robustness_bench ()
   | "smoke" -> smoke ()
   | "bechamel" -> bechamel ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
-        "unknown experiment %s (try table1|table2|exploit|aes_proof|fixes|baseline|latency|flush_tdd|parallel|opt|campaign|smoke|bechamel|all)\n"
+        "unknown experiment %s (try table1|table2|exploit|aes_proof|fixes|baseline|latency|flush_tdd|parallel|opt|campaign|robustness|smoke|bechamel|all)\n"
         other;
       exit 1

@@ -96,7 +96,19 @@ let ft_for name dut ~stage ~threshold =
 
 (* {1 analyze} *)
 
+(* [--timeout]/[--conflict-budget] become a per-solver-run [Bmc.budget];
+   [--retries n] becomes a [Retry] policy with n retries over escalated
+   budgets and the portfolio's alternate configurations. *)
+let budget_of timeout conflicts =
+  match (timeout, conflicts) with
+  | None, None -> Bmc.no_budget
+  | _ -> Bmc.budget ?wall_s:timeout ?conflicts ()
+
+let retry_of retries =
+  if retries = 0 then None else Some (Retry.policy ~max_attempts:(retries + 1) ())
+
 let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfolio
+    timeout conflict_budget retries
     opt_level fix_m2 fix_m3 fix_c1 fix_c2 fix_c3 full_flush verbose vcd trace
     log_json log_level =
   with_telemetry trace log_json log_level @@ fun () ->
@@ -131,17 +143,20 @@ let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfol
      else if jobs > 1 then Printf.sprintf " (%d worker domains)" jobs
      else "");
   let t0 = Unix.gettimeofday () in
+  let budget = budget_of timeout conflict_budget in
+  let retry = retry_of retries in
   let outcome =
     if jobs > 1 || portfolio > 1 then begin
       let portfolio = if portfolio > 1 then Some portfolio else None in
       let outcome, detail =
-        Autocc.Ft.check_detailed ~max_depth ~progress ~jobs ?portfolio ~opt ft
+        Autocc.Ft.check_detailed ~max_depth ~progress ~jobs ?portfolio ~budget
+          ?retry ~opt ft
       in
       Format.printf "Parallel run: %a@." Autocc.Report.pp_merged
         (Autocc.Report.merge_stats detail);
       outcome
     end
-    else Autocc.Ft.check ~max_depth ~progress ~opt ft
+    else Autocc.Ft.check ~max_depth ~progress ~budget ?retry ~opt ft
   in
   let report_opt (stats : Bmc.stats) =
     match stats.Bmc.opt with
@@ -166,15 +181,24 @@ let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfol
   | Bmc.Bounded_proof stats ->
       report_opt stats;
       Format.printf "@.Bounded proof: no CEX up to depth %d (%.2fs in the solver).@."
-        stats.Bmc.depth_reached stats.Bmc.solve_time);
+        stats.Bmc.depth_reached stats.Bmc.solve_time
+  | Bmc.Unknown (reason, stats) ->
+      report_opt stats;
+      Format.printf
+        "@.Unknown (%s): %s, inconclusive beyond (%.2fs in the solver). Raise \
+         --timeout/--conflict-budget or --retries to go further.@."
+        (Bmc.unknown_reason_to_string reason)
+        (if stats.Bmc.depth_reached < 0 then "no depth completed"
+         else Printf.sprintf "clean up to depth %d" stats.Bmc.depth_reached)
+        stats.Bmc.solve_time);
   Format.printf "@.Total wall-clock: %.2fs@." (Unix.gettimeofday () -. t0);
   if Obs.Metrics.enabled () then print_metrics_summary ();
   0
 
 (* {1 prove} *)
 
-let prove dut_name verilog top stage threshold max_depth jobs opt_level verbose
-    vcd trace log_json log_level =
+let prove dut_name verilog top stage threshold max_depth jobs timeout
+    conflict_budget retries opt_level verbose vcd trace log_json log_level =
   with_telemetry trace log_json log_level @@ fun () ->
   let dut =
     match verilog with
@@ -200,7 +224,11 @@ let prove dut_name verilog top stage threshold max_depth jobs opt_level verbose
     (Opt.level_to_int opt)
     (if jobs > 1 then Printf.sprintf " (%d worker domains)" jobs else "");
   let t0 = Unix.gettimeofday () in
-  let outcome = Autocc.Ft.prove ~max_depth ~progress ~jobs ~opt ft in
+  let outcome =
+    Autocc.Ft.prove ~max_depth ~progress ~jobs
+      ~budget:(budget_of timeout conflict_budget)
+      ?retry:(retry_of retries) ~opt ft
+  in
   (match outcome with
   | Bmc.Proved (k, stats) ->
       Format.printf
@@ -219,9 +247,11 @@ let prove dut_name verilog top stage threshold max_depth jobs opt_level verbose
           Autocc.Report.dump_vcd ~path ft cex;
           Format.printf "@.Waveform written to %s@." path
       | None -> ())
-  | Bmc.Unknown stats ->
+  | Bmc.Unknown (reason, stats) ->
       Format.printf
-        "@.Unknown: neither proved nor refuted within depth %d (%.2fs in the solver).@."
+        "@.Unknown (%s): neither proved nor refuted within depth %d (%.2fs in \
+         the solver).@."
+        (Bmc.unknown_reason_to_string reason)
         stats.Bmc.depth_reached stats.Bmc.solve_time);
   Format.printf "@.Total wall-clock: %.2fs@." (Unix.gettimeofday () -. t0);
   if Obs.Metrics.enabled () then print_metrics_summary ();
@@ -279,7 +309,11 @@ let synthesize algorithm max_depth =
       | `Proof depth ->
           Format.printf "flush {%s}: proof to depth %d@."
             (String.concat ", " step.Autocc.Synthesis.step_flush)
-            (depth + 1))
+            (depth + 1)
+      | `Unknown reason ->
+          Format.printf "flush {%s}: inconclusive (%s)@."
+            (String.concat ", " step.Autocc.Synthesis.step_flush)
+            reason)
     r.Autocc.Synthesis.steps;
   Format.printf "flush set: {%s} proved=%b@."
     (String.concat ", " r.Autocc.Synthesis.flush_set)
@@ -333,14 +367,19 @@ let stats dut_name max_depth jobs opt_level trace log_json log_level =
       Autocc.Report.pp_first_divergence Format.std_formatter ft cex;
       Format.printf "@."
   | Bmc.Bounded_proof st ->
-      Format.printf "verdict: bounded proof to depth %d@." st.Bmc.depth_reached);
+      Format.printf "verdict: bounded proof to depth %d@." st.Bmc.depth_reached
+  | Bmc.Unknown (reason, st) ->
+      Format.printf "verdict: unknown (%s), clean to depth %d@."
+        (Bmc.unknown_reason_to_string reason)
+        st.Bmc.depth_reached);
   Format.printf "wall: %.2fs@." (Unix.gettimeofday () -. t0);
   print_metrics_summary ();
   0
 
 (* {1 campaign} *)
 
-let campaign duts threshold max_depth opt_level out_dir trace log_json log_level =
+let campaign duts threshold max_depth timeout conflict_budget retries resume
+    opt_level out_dir trace log_json log_level =
   with_telemetry trace log_json log_level @@ fun () ->
   (* The artifacts embed a telemetry snapshot, so the registry is always
      on for a campaign. *)
@@ -368,7 +407,11 @@ let campaign duts threshold max_depth opt_level out_dir trace log_json log_level
      slice, minimize and cluster.@.@."
     (String.concat ", " duts) max_depth (Opt.level_to_int opt);
   let t0 = Unix.gettimeofday () in
-  let result = Explain.Campaign.run ~opt ~out_dir entries in
+  let result =
+    Explain.Campaign.run ~opt
+      ~budget:(budget_of timeout conflict_budget)
+      ?retry:(retry_of retries) ~resume ~out_dir entries
+  in
   Explain.Campaign.pp Format.std_formatter result;
   Format.printf "@.Total wall-clock: %.2fs@." (Unix.gettimeofday () -. t0);
   List.iter
@@ -420,6 +463,57 @@ let nonneg_int what =
     | Error _ as e -> e
   in
   Arg.conv (parse, Arg.conv_printer Arg.int)
+
+(* Strictly-positive converters for the resource budgets: a zero or
+   negative budget would make every run Unknown at depth 0, which is
+   never what the user meant — reject it at parse time like --jobs
+   does. *)
+let pos_float what =
+  let parse s =
+    match Arg.conv_parser Arg.float s with
+    | Ok x when x > 0. -> Ok x
+    | Ok x -> Error (`Msg (Printf.sprintf "%s must be > 0 (got %g)" what x))
+    | Error _ as e -> e
+  in
+  Arg.conv (parse, Arg.conv_printer Arg.float)
+
+let pos_int what =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Ok n when n > 0 -> Ok n
+    | Ok n -> Error (`Msg (Printf.sprintf "%s must be > 0 (got %d)" what n))
+    | Error _ as e -> e
+  in
+  Arg.conv (parse, Arg.conv_printer Arg.int)
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some (pos_float "--timeout")) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget per solver run. Exhaustion yields an Unknown \
+           verdict (with the deepest fully-checked depth), never a wrong \
+           one.")
+
+let conflict_budget_arg =
+  Arg.(
+    value
+    & opt (some (pos_int "--conflict-budget")) None
+    & info [ "conflict-budget" ] ~docv:"N"
+        ~doc:
+          "Conflict budget per solver run; exhaustion yields an Unknown \
+           verdict.")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt (nonneg_int "--retries") 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry inconclusive (budget/fault) verdicts up to $(docv) times \
+           with escalated budgets, alternate solver configurations and \
+           capped exponential backoff. 0 (the default) disables retries.")
 
 let jobs_arg =
   Arg.(
@@ -497,7 +591,8 @@ let analyze_cmd =
           & opt string ""
           & info [ "blackbox" ]
               ~doc:"Comma-separated submodule boundaries/instances to blackbox.")
-      $ stage_arg $ threshold_arg $ max_depth_arg $ jobs_arg $ portfolio_arg $ opt_arg
+      $ stage_arg $ threshold_arg $ max_depth_arg $ jobs_arg $ portfolio_arg
+      $ timeout_arg $ conflict_budget_arg $ retries_arg $ opt_arg
       $ flag "fix-m2" "Apply the MAPLE M2 fix."
       $ flag "fix-m3" "Apply the MAPLE M3 fix."
       $ flag "fix-c1" "Apply the CVA6 C1 fix."
@@ -521,7 +616,8 @@ let prove_cmd =
           value
           & opt (some string) None
           & info [ "top" ] ~doc:"Top module of a multi-module Verilog source.")
-      $ stage_arg $ threshold_arg $ max_depth_arg $ jobs_arg $ opt_arg
+      $ stage_arg $ threshold_arg $ max_depth_arg $ jobs_arg $ timeout_arg
+      $ conflict_budget_arg $ retries_arg $ opt_arg
       $ flag "verbose" "Print per-depth progress."
       $ Arg.(
           value
@@ -592,15 +688,29 @@ let campaign_cmd =
              channel_*.json per deduplicated channel, and a self-contained \
              report.html.")
   in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Reuse conclusive entries from an existing campaign directory: an \
+             entry whose persisted record is done with zero unknowns and \
+             whose channel artifacts still validate is not re-solved. \
+             Entries that were failed, inconclusive, or interrupted are \
+             recomputed.")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
          "Sweep DUT configurations with a per-assertion CEX search, then \
           slice, minimize and cluster every counterexample into named covert \
           channels (Table-1 style), writing one JSON artifact per channel \
-          and an HTML report.")
+          and an HTML report. The index and report are checkpointed after \
+          every entry, so an interrupted campaign can be finished with \
+          --resume.")
     Term.(
-      const campaign $ duts $ threshold_arg $ max_depth_arg $ opt_arg $ out_dir
+      const campaign $ duts $ threshold_arg $ max_depth_arg $ timeout_arg
+      $ conflict_budget_arg $ retries_arg $ resume $ opt_arg $ out_dir
       $ trace_arg $ log_json_arg $ log_level_arg)
 
 let export_cmd =
@@ -622,19 +732,36 @@ let export_cmd =
     term
 
 let () =
+  (* Test builds inject deterministic faults via AUTOCC_FAULT; a no-op
+     (one atomic load per probe) when the variable is unset. *)
+  Fault.arm_from_env ();
   let info =
     Cmd.info "autocc" ~version:"1.0"
       ~doc:"Automatic discovery of covert channels in time-shared hardware."
   in
+  let cmd =
+    Cmd.group info
+      [
+        analyze_cmd;
+        prove_cmd;
+        exploit_cmd;
+        synthesize_cmd;
+        export_cmd;
+        stats_cmd;
+        campaign_cmd;
+      ]
+  in
+  (* Operational errors (unwritable --out, missing file, unknown DUT)
+     exit with a one-line diagnostic, not an uncaught exception and a
+     backtrace. *)
   exit
-    (Cmd.eval'
-       (Cmd.group info
-          [
-            analyze_cmd;
-            prove_cmd;
-            exploit_cmd;
-            synthesize_cmd;
-            export_cmd;
-            stats_cmd;
-            campaign_cmd;
-          ]))
+    (* [catch:false]: cmdliner would otherwise intercept exceptions as
+       "internal error" (exit 125) before the one-line diagnostics below. *)
+    (try Cmd.eval' ~catch:false cmd with
+    | Failure msg | Sys_error msg ->
+        Format.eprintf "autocc: %s@." msg;
+        1
+    | Unix.Unix_error (err, fn, arg) ->
+        Format.eprintf "autocc: %s: %s%s@." fn (Unix.error_message err)
+          (if arg = "" then "" else " (" ^ arg ^ ")");
+        1)

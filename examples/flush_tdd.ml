@@ -42,7 +42,11 @@ let pp_steps steps =
       | `Proof depth ->
           Format.printf "  flush {%s}: bounded proof to depth %d@."
             (String.concat ", " step.Autocc.Synthesis.step_flush)
-            (depth + 1))
+            (depth + 1)
+      | `Unknown reason ->
+          Format.printf "  flush {%s}: inconclusive (%s)@."
+            (String.concat ", " step.Autocc.Synthesis.step_flush)
+            reason)
     steps
 
 let () =

@@ -47,6 +47,11 @@ let () =
           "@.[round %d] no further channels up to depth %d (suppressed: %s)@."
           round stats.Bmc.depth_reached
           (String.concat ", " arch_regs)
+    | Bmc.Unknown (reason, stats) ->
+        Format.printf "@.[round %d] inconclusive (%s), clean to depth %d@."
+          round
+          (Bmc.unknown_reason_to_string reason)
+          stats.Bmc.depth_reached
   in
   refine 1 [];
   Format.printf

@@ -40,7 +40,10 @@ let () =
   | Bmc.Cex (cex, stats) ->
       Format.printf "    covert channel found in %.2fs!@.@." stats.Bmc.solve_time;
       Autocc.Report.explain Format.std_formatter ft cex
-  | Bmc.Bounded_proof _ -> Format.printf "    unexpectedly clean!@.");
+  | Bmc.Bounded_proof _ -> Format.printf "    unexpectedly clean!@."
+  | Bmc.Unknown (reason, _) ->
+      Format.printf "    inconclusive (%s)?!@."
+        (Bmc.unknown_reason_to_string reason));
 
   (* Phase 4: fix the RTL — flush the stash during the context switch —
      and re-run AutoCC to validate the fix, as in Sec. 4's (b)/(c). *)
@@ -58,3 +61,6 @@ let () =
         stats.Bmc.depth_reached stats.Bmc.solve_time
   | Bmc.Cex (cex, _) ->
       Format.printf "    still leaking: %s@." (Autocc.Report.summary ft' cex)
+  | Bmc.Unknown (reason, _) ->
+      Format.printf "    inconclusive (%s)?!@."
+        (Bmc.unknown_reason_to_string reason)

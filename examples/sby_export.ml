@@ -36,6 +36,10 @@ let () =
         Format.printf "  arch_regs=[%s]: proof to depth %d@."
           (String.concat ";" arch_regs)
           stats.Bmc.depth_reached
+    | Bmc.Unknown (reason, _) ->
+        Format.printf "  arch_regs=[%s]: inconclusive (%s)@."
+          (String.concat ";" arch_regs)
+          (Bmc.unknown_reason_to_string reason)
   in
   check [ "base"; "tlb_en" ];
   check [];

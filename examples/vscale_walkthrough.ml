@@ -25,6 +25,11 @@ let () =
           Format.printf "%-48s PROOF to depth %d  %6.2fs@."
             (Duts.Vscale.stage_name stage)
             (stats.Bmc.depth_reached + 1)
+            (elapsed ())
+      | Bmc.Unknown (reason, _) ->
+          Format.printf "%-48s UNKNOWN (%s)  %6.2fs@."
+            (Duts.Vscale.stage_name stage)
+            (Bmc.unknown_reason_to_string reason)
             (elapsed ()))
     Duts.Vscale.stages;
   Format.printf

@@ -26,10 +26,81 @@ type stats = {
   opt : Opt.stats option;
 }
 
-type outcome = Cex of cex * stats | Bounded_proof of stats
+type budget = {
+  bud_wall_s : float option;
+  bud_conflicts : int option;
+  bud_learnts : int option;
+}
+
+let no_budget = { bud_wall_s = None; bud_conflicts = None; bud_learnts = None }
+
+let budget ?wall_s ?conflicts ?learnts () =
+  let pos what = function
+    | Some v when v <= 0 -> invalid_arg ("Bmc.budget: " ^ what ^ " must be positive")
+    | o -> o
+  in
+  (match wall_s with
+  | Some s when s <= 0. -> invalid_arg "Bmc.budget: wall_s must be positive"
+  | _ -> ());
+  {
+    bud_wall_s = wall_s;
+    bud_conflicts = pos "conflicts" conflicts;
+    bud_learnts = pos "learnts" learnts;
+  }
+
+type case = Base | Step
+
+type unknown_reason =
+  | Bound_exhausted
+  | Budget_exhausted of {
+      ub_budget : S.budget_kind;
+      ub_depth : int;
+      ub_case : case;
+    }
+  | Faulted of string
+
+let case_to_string = function Base -> "base" | Step -> "step"
+
+let unknown_reason_to_string = function
+  | Bound_exhausted -> "bound"
+  | Budget_exhausted { ub_budget; ub_depth; ub_case } ->
+      Printf.sprintf "budget:%s@%d:%s"
+        (S.budget_kind_to_string ub_budget)
+        ub_depth (case_to_string ub_case)
+  | Faulted site -> "fault:" ^ site
+
+let pp_unknown_reason fmt r =
+  Format.pp_print_string fmt (unknown_reason_to_string r)
+
+type outcome =
+  | Cex of cex * stats
+  | Bounded_proof of stats
+  | Unknown of unknown_reason * stats
 
 exception Replay_mismatch of string
 exception Cancelled of stats
+
+(* Relative budget -> absolute solver budget: the deadline is pinned to
+   the wall clock at engine entry, so retries get a fresh allowance. *)
+let solver_budget b =
+  match (b.bud_wall_s, b.bud_conflicts, b.bud_learnts) with
+  | None, None, None -> S.no_budget
+  | _ ->
+      let clock = Unix.gettimeofday in
+      {
+        S.b_deadline = Option.map (fun s -> clock () +. s) b.bud_wall_s;
+        b_conflicts = b.bud_conflicts;
+        b_learnts = b.bud_learnts;
+        b_clock = clock;
+      }
+
+(* Compose the fault probe into the stop hook: an armed [sat.stop] site
+   raises {!Fault.Injected} from the polling points, which the engine
+   downgrades to [Unknown (Faulted _)] — distinguishable from a real
+   external cancellation, which raises {!Sat.Solver.Stopped}. *)
+let fault_stop stop () =
+  Fault.point "sat.stop";
+  stop ()
 
 let check_width_1 what s =
   if Signal.width s <> 1 then
@@ -169,16 +240,57 @@ let flush_solver_metrics solvers =
       solvers
 
 let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
-    ?(stop = fun () -> false) ?(opt = Opt.O0) circuit property =
+    ?(stop = fun () -> false) ?(opt = Opt.O0) ?(budget = no_budget) circuit
+    property =
   check_property "Bmc.check" property;
   let full = instrument circuit property in
+  let stop = fault_stop stop in
+  let solve_time = ref 0. in
+  let cur_depth = ref 0 in
+  (* Filled in as the run sets up, so that abort paths (budget, fault,
+     cancellation) can report honest statistics even when the failure
+     precedes solver creation (e.g. a fault inside an opt pass). *)
+  let solver_ref = ref None in
+  let opt_ref = ref None in
+  let stats depth =
+    match !solver_ref with
+    | None ->
+        {
+          depth_reached = depth;
+          solve_time = !solve_time;
+          vars = 0;
+          clauses = 0;
+          conflicts = 0;
+          decisions = 0;
+          propagations = 0;
+          restarts = 0;
+          opt = !opt_ref;
+        }
+    | Some solver ->
+        flush_solver_metrics [ solver ];
+        let st = S.stats solver in
+        {
+          depth_reached = depth;
+          solve_time = !solve_time;
+          vars = st.S.s_vars;
+          clauses = st.S.s_clauses;
+          conflicts = st.S.s_conflicts;
+          decisions = st.S.s_decisions;
+          propagations = st.S.s_propagations;
+          restarts = st.S.s_restarts;
+          opt = !opt_ref;
+        }
+  in
+  let run () =
   let circuit, sprop, widen, opt_stats =
     optimize_instrumented ~opt full property
   in
+  opt_ref := opt_stats;
   let solver = S.create ?config:solver_config ~stop () in
+  S.set_budget solver (solver_budget budget);
+  solver_ref := Some solver;
   attach_sampling "check" solver;
   let blaster = Cnf.Blast.create solver circuit in
-  let solve_time = ref 0. in
   let timed_solve ~depth ~assumptions () =
     Obs.span "sat.solve" ~attrs:[ ("depth", Obs.Json.Int depth) ] @@ fun () ->
     let t0 = Unix.gettimeofday () in
@@ -186,22 +298,6 @@ let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
     solve_time := !solve_time +. (Unix.gettimeofday () -. t0);
     r
   in
-  let stats depth =
-    flush_solver_metrics [ solver ];
-    let st = S.stats solver in
-    {
-      depth_reached = depth;
-      solve_time = !solve_time;
-      vars = st.S.s_vars;
-      clauses = st.S.s_clauses;
-      conflicts = st.S.s_conflicts;
-      decisions = st.S.s_decisions;
-      propagations = st.S.s_propagations;
-      restarts = st.S.s_restarts;
-      opt = opt_stats;
-    }
-  in
-  let cur_depth = ref 0 in
   let rec go depth =
     if depth > max_depth then Bounded_proof (stats max_depth)
     else begin
@@ -213,6 +309,7 @@ let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
         Obs.span "bmc.depth" ~attrs:[ ("depth", Obs.Json.Int depth) ]
         @@ fun () ->
         Obs.log ~attrs:[ ("depth", Obs.Json.Int depth) ] Debug "bmc.depth";
+        Fault.point "bmc.alloc";
         Cnf.Blast.unroll_cycle blaster;
         (* Assumptions hold unconditionally on every cycle. *)
         List.iter
@@ -276,7 +373,16 @@ let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
       match found with Some outcome -> outcome | None -> go (depth + 1)
     end
   in
-  try go 0 with S.Stopped -> raise (Cancelled (stats !cur_depth))
+  go 0
+  in
+  try run () with
+  | S.Stopped -> raise (Cancelled (stats !cur_depth))
+  | S.Out_of_budget kind ->
+      Unknown
+        ( Budget_exhausted
+            { ub_budget = kind; ub_depth = !cur_depth; ub_case = Base },
+          stats (!cur_depth - 1) )
+  | Fault.Injected site -> Unknown (Faulted site, stats (!cur_depth - 1))
 
 (* One independent bounded check per assertion, every assumption kept.
    Where [check] stops at the first (shallowest) failure of {e any}
@@ -284,16 +390,18 @@ let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
    CEX pool a campaign dedups into distinct channels. Each check runs on
    its own solver; the per-assertion cone restriction at [-O1]/[-O2]
    keeps the instances small. *)
-let check_each ?max_depth ?progress ?solver_config ?stop ?opt circuit property
-    =
+let check_each ?max_depth ?progress ?solver_config ?stop ?opt ?budget circuit
+    property =
   List.map
     (fun (name, a) ->
       let sub = { assumes = property.assumes; asserts = [ (name, a) ] } in
       ( name,
         Obs.span "bmc.check_each" ~attrs:[ ("assert", Obs.Json.Str name) ]
           (fun () ->
-            check ?max_depth ?progress ?solver_config ?stop ?opt circuit sub)
-      ))
+            (* [budget] granted afresh per assertion: one diverging
+               assertion degrades to Unknown without starving the rest. *)
+            check ?max_depth ?progress ?solver_config ?stop ?opt ?budget
+              circuit sub) ))
     property.asserts
 
 let pp_cex fmt cex =
@@ -314,23 +422,54 @@ let pp_cex fmt cex =
 type induction_outcome =
   | Proved of int * stats
   | Refuted of cex * stats
-  | Unknown of stats
+  | Unknown of unknown_reason * stats
 
 let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
-    ?(stop = fun () -> false) ?(opt = Opt.O0) circuit property =
+    ?(stop = fun () -> false) ?(opt = Opt.O0) ?(budget = no_budget) circuit
+    property =
   check_property "Bmc.prove" property;
   let full = instrument circuit property in
+  let stop = fault_stop stop in
+  let solve_time = ref 0. in
+  let cur_depth = ref 0 in
+  let cur_case = ref Base in
+  let solvers_ref = ref [] in
+  let opt_ref = ref None in
+  let stats depth =
+    flush_solver_metrics !solvers_ref;
+    let sum f =
+      List.fold_left (fun acc s -> acc + f (S.stats s)) 0 !solvers_ref
+    in
+    {
+      depth_reached = depth;
+      solve_time = !solve_time;
+      vars = sum (fun st -> st.S.s_vars);
+      clauses = sum (fun st -> st.S.s_clauses);
+      conflicts = sum (fun st -> st.S.s_conflicts);
+      decisions = sum (fun st -> st.S.s_decisions);
+      propagations = sum (fun st -> st.S.s_propagations);
+      restarts = sum (fun st -> st.S.s_restarts);
+      opt = !opt_ref;
+    }
+  in
+  let run () =
   let circuit, sprop, widen, opt_stats =
     optimize_instrumented ~opt full property
   in
+  opt_ref := opt_stats;
+  (* One absolute deadline shared by both solvers. *)
+  let sbud = solver_budget budget in
   let base_solver = S.create ?config:solver_config ~stop () in
+  S.set_budget base_solver sbud;
   attach_sampling "base" base_solver;
   let base = Cnf.Blast.create base_solver circuit in
   let step_solver = S.create ?config:solver_config ~stop () in
+  S.set_budget step_solver sbud;
   attach_sampling "step" step_solver;
   let step = Cnf.Blast.create ~free_init:true step_solver circuit in
-  let solve_time = ref 0. in
+  solvers_ref := [ base_solver; step_solver ];
   let timed ~case ~depth solver assumptions =
+    cur_case := (match case with "base" -> Base | _ -> Step);
     Obs.span ("bmc." ^ case) ~attrs:[ ("depth", Obs.Json.Int depth) ]
     @@ fun () ->
     let t0 = Unix.gettimeofday () in
@@ -342,23 +481,9 @@ let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
     solve_time := !solve_time +. (Unix.gettimeofday () -. t0);
     r
   in
-  let stats depth =
-    flush_solver_metrics [ base_solver; step_solver ];
-    let b = S.stats base_solver and s = S.stats step_solver in
-    {
-      depth_reached = depth;
-      solve_time = !solve_time;
-      vars = b.S.s_vars + s.S.s_vars;
-      clauses = b.S.s_clauses + s.S.s_clauses;
-      conflicts = b.S.s_conflicts + s.S.s_conflicts;
-      decisions = b.S.s_decisions + s.S.s_decisions;
-      propagations = b.S.s_propagations + s.S.s_propagations;
-      restarts = b.S.s_restarts + s.S.s_restarts;
-      opt = opt_stats;
-    }
-  in
   (* Shared per-cycle constraint installation for either blaster. *)
   let install blaster depth =
+    Fault.point "bmc.alloc";
     Cnf.Blast.unroll_cycle blaster;
     let solver = Cnf.Blast.solver blaster in
     List.iter
@@ -379,9 +504,8 @@ let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
       (fun (_, a) -> S.add_clause solver [ Cnf.Blast.lit1 blaster ~cycle:depth a ])
       sprop.asserts
   in
-  let cur_depth = ref 0 in
   let rec go k =
-    if k > max_depth then Unknown (stats max_depth)
+    if k > max_depth then Unknown (Bound_exhausted, stats max_depth)
     else begin
       cur_depth := k;
       if stop () then raise S.Stopped;
@@ -434,7 +558,16 @@ let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
               go (k + 1))
     end
   in
-  try go 0 with S.Stopped -> raise (Cancelled (stats !cur_depth))
+  go 0
+  in
+  try run () with
+  | S.Stopped -> raise (Cancelled (stats !cur_depth))
+  | S.Out_of_budget kind ->
+      Unknown
+        ( Budget_exhausted
+            { ub_budget = kind; ub_depth = !cur_depth; ub_case = !cur_case },
+          stats (!cur_depth - 1) )
+  | Fault.Injected site -> Unknown (Faulted site, stats (!cur_depth - 1))
 
 let miter c1 c2 =
   let module T = Rtl.Transform in

@@ -40,10 +40,68 @@ type stats = {
           [None] at [-O0] *)
 }
 
+(** {1 Resource budgets and the [Unknown] verdict}
+
+    Industrial FPV flows treat {e inconclusive} as a first-class verdict
+    with per-property budgets; so does this engine. A {!budget} bounds
+    one [check]/[prove] call (and each sub-check of [check_each]), and
+    exhaustion yields an [Unknown] verdict carrying a structured
+    {!unknown_reason} instead of hanging or raising — exhaustion while
+    exploring depth [k] still reports a result whose
+    [stats.depth_reached] is [k - 1] ("clean up to [k - 1]"; [-1] when
+    nothing completed).
+
+    Soundness: [Unknown] is only ever a {e downgrade}. A budget or an
+    injected fault ({!Fault}) can turn a would-be [Cex]/[Bounded_proof]
+    into [Unknown], but never a [Cex] into a proof or vice versa —
+    counterexamples are still simulation-replayed and proofs still
+    require an exhaustive search of the bound. *)
+
+type budget = {
+  bud_wall_s : float option;  (** wall-clock budget in seconds *)
+  bud_conflicts : int option;  (** SAT conflict budget per solver *)
+  bud_learnts : int option;
+      (** live learnt-clause watermark per solver (memory proxy) *)
+}
+(** Pure data (relative limits), so retry policies ({!Retry}) can scale
+    it without touching a clock; the engine converts it into an absolute
+    {!Sat.Solver.budget} at call entry. *)
+
+val no_budget : budget
+
+val budget :
+  ?wall_s:float -> ?conflicts:int -> ?learnts:int -> unit -> budget
+(** Raises [Invalid_argument] on a non-positive limit. *)
+
+type case =
+  | Base  (** reset-rooted search: all of [check], or [prove]'s base *)
+  | Step  (** the arbitrary-start inductive step of [prove] *)
+
+type unknown_reason =
+  | Bound_exhausted
+      (** [prove] reached [max_depth] without an answer — the
+          completeness threshold was not reached *)
+  | Budget_exhausted of {
+      ub_budget : Sat.Solver.budget_kind;  (** which budget fired *)
+      ub_depth : int;  (** the depth being explored when it fired *)
+      ub_case : case;  (** base vs step *)
+    }
+  | Faulted of string
+      (** an injected or internal failure (the {!Fault} site name)
+          downgraded the run instead of crashing it *)
+
+val unknown_reason_to_string : unknown_reason -> string
+(** Stable machine-readable rendering, e.g.
+    ["budget:conflicts@4:base"], ["bound"], ["fault:opt.pass"]. *)
+
+val pp_unknown_reason : Format.formatter -> unknown_reason -> unit
+
 type outcome =
   | Cex of cex * stats
   | Bounded_proof of stats
       (** no assertion can fail within [max_depth] cycles *)
+  | Unknown of unknown_reason * stats
+      (** gave up; clean up to [stats.depth_reached] *)
 
 exception Replay_mismatch of string
 (** Raised if a SAT counterexample fails to reproduce in simulation —
@@ -61,10 +119,16 @@ val check :
   ?solver_config:Sat.Solver.config ->
   ?stop:(unit -> bool) ->
   ?opt:Opt.level ->
+  ?budget:budget ->
   Rtl.Circuit.t ->
   property ->
   outcome
 (** [check circuit property] with [max_depth] defaulting to 30 cycles.
+
+    [budget] (default {!no_budget}) bounds the whole call; exhaustion
+    returns [Unknown (Budget_exhausted _, stats)] with [stats] honest
+    about the deepest fully-checked cycle. An injected fault
+    ({!Fault.Injected}) likewise returns [Unknown (Faulted _, stats)].
 
     [opt] (default {!Opt.O0}) runs the {!Opt} netlist pipeline over the
     instrumented circuit, restricted to the property's
@@ -92,6 +156,7 @@ val check_each :
   ?solver_config:Sat.Solver.config ->
   ?stop:(unit -> bool) ->
   ?opt:Opt.level ->
+  ?budget:budget ->
   Rtl.Circuit.t ->
   property ->
   (string * outcome) list
@@ -101,7 +166,10 @@ val check_each :
     sweep returns a witness (or bounded proof) for {e every} assertion —
     the raw counterexample pool a campaign deduplicates into distinct
     covert channels. Optional arguments behave as in {!check} and apply
-    to each sub-check. *)
+    to each sub-check; in particular [budget] is granted {e per
+    assertion} (the per-property timeout discipline of industrial FPV
+    runners), so one diverging assertion degrades to [Unknown] without
+    starving the rest of the sweep. *)
 
 val instrument : Rtl.Circuit.t -> property -> Rtl.Circuit.t
 (** The extended circuit [check] verifies: the original outputs plus one
@@ -161,9 +229,9 @@ val equiv :
 type induction_outcome =
   | Proved of int * stats  (** property holds unboundedly; [k] reached *)
   | Refuted of cex * stats  (** genuine counterexample from reset *)
-  | Unknown of stats
-      (** neither proved nor refuted within [max_depth] — the
-          completeness threshold was not reached *)
+  | Unknown of unknown_reason * stats
+      (** neither proved nor refuted: [Bound_exhausted] when [max_depth]
+          was reached without an answer, or a budget/fault downgrade *)
 
 val prove :
   ?max_depth:int ->
@@ -171,6 +239,7 @@ val prove :
   ?solver_config:Sat.Solver.config ->
   ?stop:(unit -> bool) ->
   ?opt:Opt.level ->
+  ?budget:budget ->
   Rtl.Circuit.t ->
   property ->
   induction_outcome

@@ -36,7 +36,7 @@ type job_verdict =
   | Job_cex of Bmc.cex
   | Job_bounded
   | Job_proved of int
-  | Job_unknown
+  | Job_unknown of Bmc.unknown_reason
   | Job_cancelled
   | Job_failed of exn
 
@@ -44,6 +44,7 @@ type job_result = {
   job_label : string;
   job_verdict : job_verdict;
   job_stats : Bmc.stats;
+  job_retries : int;
   job_wall : float;
   job_cpu : float;
       (* CPU seconds consumed by the domain that ran the job; filled in
@@ -94,7 +95,7 @@ let run_job ~index task ~tick =
             | Job_cex c -> Printf.sprintf "cex@%d" c.Bmc.cex_depth
             | Job_bounded -> "bounded"
             | Job_proved k -> Printf.sprintf "proved@%d" k
-            | Job_unknown -> "unknown"
+            | Job_unknown r -> "unknown:" ^ Bmc.unknown_reason_to_string r
             | Job_cancelled -> "cancelled"
             | Job_failed _ -> "failed") );
         ("wall_s", Obs.Json.Float r.job_wall);
@@ -324,9 +325,68 @@ let shallowest results =
     results;
   !best
 
+(* {1 Retry}
+
+   The effectful half of {!Retry}: run attempts on the worker domain
+   until either the verdict is conclusive or the policy stops
+   escalating. Only transient Unknowns (budget exhaustion, injected
+   faults) are retried — each retry sleeps the capped exponential
+   backoff, then re-runs with the scaled budget and, when the policy
+   carries alternates, a different solver configuration. [retries]
+   counts the extra attempts for per-job accounting. *)
+let unknown_of_outcome : Bmc.outcome -> Bmc.unknown_reason option = function
+  | Bmc.Unknown (r, _) -> Some r
+  | _ -> None
+
+let unknown_of_induction : Bmc.induction_outcome -> Bmc.unknown_reason option =
+  function
+  | Bmc.Unknown (r, _) -> Some r
+  | _ -> None
+
+let with_retries ~retry ~stop ~retries ~reason_of run =
+  let rec loop attempt =
+    let r = run ~attempt in
+    match reason_of r with
+    | Some reason
+      when (not (stop ())) && Retry.should_retry retry ~attempt reason ->
+        incr retries;
+        Obs.log
+          ~attrs:
+            [
+              ("attempt", Obs.Json.Int (attempt + 1));
+              ("reason", Obs.Json.Str (Bmc.unknown_reason_to_string reason));
+            ]
+          Debug "par.retry";
+        let d = Retry.backoff_s retry ~attempt:(attempt + 1) in
+        if d > 0. then Unix.sleepf d;
+        loop (attempt + 1)
+    | _ -> r
+  in
+  loop 0
+
+(* Merged "clean up to" depth when no job found a CEX but some came back
+   Unknown: the weakest job bounds the claim. *)
+let clean_depth ~max_depth results =
+  Array.fold_left
+    (fun acc r ->
+      match r.job_verdict with
+      | Job_unknown _ | Job_cancelled -> min acc r.job_stats.Bmc.depth_reached
+      | _ -> acc)
+    max_depth results
+
+(* First Unknown reason in job order, for deterministic merged reports. *)
+let first_unknown results =
+  Array.fold_left
+    (fun acc r ->
+      match (acc, r.job_verdict) with
+      | None, Job_unknown reason -> Some reason
+      | acc, _ -> acc)
+    None results
+
 (* {1 Assertion sharding} *)
 
-let check_sharded ~workers ~group_size ~max_depth ~progress ~opt circuit property =
+let check_sharded ~workers ~group_size ~max_depth ~progress ~opt ~budget ~retry
+    circuit property =
   let groups = chunk (max 1 group_size) property.Bmc.asserts in
   (* Slim per-shard circuits, built in the calling domain: outputs are
      only this group's assertions, so each shard blasts only their cone
@@ -340,6 +400,7 @@ let check_sharded ~workers ~group_size ~max_depth ~progress ~opt circuit propert
   let t_req = Atomic.make infinity in
   let task g c ~tick =
     let cur = ref 0 in
+    let retries = ref 0 in
     let stop () = Atomic.get halt || Atomic.get best <= !cur in
     let t0 = Unix.gettimeofday () in
     let finish verdict stats =
@@ -347,24 +408,32 @@ let check_sharded ~workers ~group_size ~max_depth ~progress ~opt circuit propert
         job_label = label_of_group g;
         job_verdict = verdict;
         job_stats = stats;
+        job_retries = !retries;
         job_wall = Unix.gettimeofday () -. t0;
         job_cpu = 0.;
       }
     in
     try
       match
-        Bmc.check ~max_depth
-          ~progress:(fun d ->
-            cur := d;
-            tick d)
-          ~stop ~opt c
-          { Bmc.assumes = property.Bmc.assumes; asserts = g }
+        with_retries ~retry ~stop ~retries
+          ~reason_of:unknown_of_outcome
+          (fun ~attempt ->
+            Bmc.check ~max_depth
+              ~progress:(fun d ->
+                cur := d;
+                tick d)
+              ?solver_config:(Retry.config_for retry ~attempt)
+              ~stop ~opt
+              ~budget:(Retry.budget_for retry budget ~attempt)
+              c
+              { Bmc.assumes = property.Bmc.assumes; asserts = g })
       with
       | Bmc.Cex (cex, st) ->
           atomic_min best cex.Bmc.cex_depth;
           note_cancel_request t_req;
           finish (Job_cex cex) st
       | Bmc.Bounded_proof st -> finish Job_bounded st
+      | Bmc.Unknown (reason, st) -> finish (Job_unknown reason) st
     with
     | Bmc.Cancelled st ->
         observe_cancelled t_req;
@@ -384,18 +453,29 @@ let check_sharded ~workers ~group_size ~max_depth ~progress ~opt circuit propert
       ~t0:t0_run results
   in
   match shallowest results with
-  | None -> (Bmc.Bounded_proof (merge_stats ~depth:max_depth results), detail)
   | Some win ->
       let cex = widen_cex circuit property win in
       (Bmc.Cex (cex, merge_stats ~depth:win.Bmc.cex_depth results), detail)
+  | None -> (
+      (* No CEX anywhere. An Unknown shard weakens the merged claim from
+         a bounded proof to Unknown-with-clean-prefix: the bound only
+         holds up to the weakest shard's fully-checked depth. *)
+      match first_unknown results with
+      | Some reason ->
+          ( Bmc.Unknown
+              (reason, merge_stats ~depth:(clean_depth ~max_depth results) results),
+            detail )
+      | None -> (Bmc.Bounded_proof (merge_stats ~depth:max_depth results), detail))
 
 (* {1 Portfolio} *)
 
-let check_portfolio ~workers ~k ~max_depth ~progress ~opt circuit property =
+let check_portfolio ~workers ~k ~max_depth ~progress ~opt ~budget ~retry
+    circuit property =
   let configs = S.portfolio k in
   let finished = Atomic.make false in
   let t_req = Atomic.make infinity in
   let task cfg ~tick =
+    let retries = ref 0 in
     let stop () = Atomic.get finished in
     let t0 = Unix.gettimeofday () in
     let finish verdict stats =
@@ -403,12 +483,25 @@ let check_portfolio ~workers ~k ~max_depth ~progress ~opt circuit property =
         job_label = cfg.S.cfg_name;
         job_verdict = verdict;
         job_stats = stats;
+        job_retries = !retries;
         job_wall = Unix.gettimeofday () -. t0;
         job_cpu = 0.;
       }
     in
     try
-      match Bmc.check ~max_depth ~progress:tick ~solver_config:cfg ~stop ~opt circuit property with
+      match
+        with_retries ~retry ~stop ~retries
+          ~reason_of:unknown_of_outcome
+          (fun ~attempt ->
+            let cfg =
+              match Retry.config_for retry ~attempt with
+              | Some c -> c
+              | None -> cfg
+            in
+            Bmc.check ~max_depth ~progress:tick ~solver_config:cfg ~stop ~opt
+              ~budget:(Retry.budget_for retry budget ~attempt)
+              circuit property)
+      with
       | Bmc.Cex (cex, st) ->
           Atomic.set finished true;
           note_cancel_request t_req;
@@ -417,6 +510,10 @@ let check_portfolio ~workers ~k ~max_depth ~progress ~opt circuit property =
           Atomic.set finished true;
           note_cancel_request t_req;
           finish Job_bounded st
+      | Bmc.Unknown (reason, st) ->
+          (* An exhausted racer does NOT end the race: the other
+             configurations may still answer within their budgets. *)
+          finish (Job_unknown reason) st
     with
     | Bmc.Cancelled st ->
         observe_cancelled t_req;
@@ -440,26 +537,47 @@ let check_portfolio ~workers ~k ~max_depth ~progress ~opt circuit property =
      order keeps reports deterministic modulo the race. *)
   match shallowest results with
   | Some win -> (Bmc.Cex (win, merge_stats ~depth:win.Bmc.cex_depth results), detail)
-  | None -> (Bmc.Bounded_proof (merge_stats ~depth:max_depth results), detail)
+  | None -> (
+      match
+        Array.find_opt
+          (fun r -> match r.job_verdict with Job_bounded -> true | _ -> false)
+          results
+      with
+      | Some _ -> (Bmc.Bounded_proof (merge_stats ~depth:max_depth results), detail)
+      | None -> (
+          match first_unknown results with
+          | Some reason ->
+              ( Bmc.Unknown
+                  ( reason,
+                    merge_stats ~depth:(clean_depth ~max_depth results) results ),
+                detail )
+          | None ->
+              (Bmc.Bounded_proof (merge_stats ~depth:max_depth results), detail)))
 
 (* {1 Entry points} *)
 
 let check_detailed ?jobs ?portfolio ?(group_size = 1) ?(max_depth = 30)
-    ?(progress = fun _ -> ()) ?(opt = Opt.O0) circuit property =
+    ?(progress = fun _ -> ()) ?(opt = Opt.O0) ?(budget = Bmc.no_budget)
+    ?(retry = Retry.default) circuit property =
   validate_property "Parallel.check" property;
   let workers = match jobs with Some j -> max 1 j | None -> default_jobs () in
   match portfolio with
   | Some k when k > 1 ->
-      check_portfolio ~workers ~k ~max_depth ~progress ~opt circuit property
-  | _ -> check_sharded ~workers ~group_size ~max_depth ~progress ~opt circuit property
+      check_portfolio ~workers ~k ~max_depth ~progress ~opt ~budget ~retry
+        circuit property
+  | _ ->
+      check_sharded ~workers ~group_size ~max_depth ~progress ~opt ~budget
+        ~retry circuit property
 
-let check ?jobs ?portfolio ?group_size ?max_depth ?progress ?opt circuit property =
+let check ?jobs ?portfolio ?group_size ?max_depth ?progress ?opt ?budget ?retry
+    circuit property =
   fst
-    (check_detailed ?jobs ?portfolio ?group_size ?max_depth ?progress ?opt circuit
-       property)
+    (check_detailed ?jobs ?portfolio ?group_size ?max_depth ?progress ?opt
+       ?budget ?retry circuit property)
 
 let prove_detailed ?jobs ?(group_size = 1) ?(max_depth = 30)
-    ?(progress = fun _ -> ()) ?(opt = Opt.O0) circuit property =
+    ?(progress = fun _ -> ()) ?(opt = Opt.O0) ?(budget = Bmc.no_budget)
+    ?(retry = Retry.default) circuit property =
   validate_property "Parallel.prove" property;
   let workers = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let groups = chunk (max 1 group_size) property.Bmc.asserts in
@@ -471,6 +589,7 @@ let prove_detailed ?jobs ?(group_size = 1) ?(max_depth = 30)
   let t_req = Atomic.make infinity in
   let task g c ~tick =
     let cur = ref 0 in
+    let retries = ref 0 in
     (* Only refutations cancel the others: a shard that proves its own
        assertions says nothing about the remaining shards. *)
     let stop () = Atomic.get halt || Atomic.get best <= !cur in
@@ -480,25 +599,32 @@ let prove_detailed ?jobs ?(group_size = 1) ?(max_depth = 30)
         job_label = label_of_group g;
         job_verdict = verdict;
         job_stats = stats;
+        job_retries = !retries;
         job_wall = Unix.gettimeofday () -. t0;
         job_cpu = 0.;
       }
     in
     try
       match
-        Bmc.prove ~max_depth
-          ~progress:(fun d ->
-            cur := d;
-            tick d)
-          ~stop ~opt c
-          { Bmc.assumes = property.Bmc.assumes; asserts = g }
+        with_retries ~retry ~stop ~retries
+          ~reason_of:unknown_of_induction
+          (fun ~attempt ->
+            Bmc.prove ~max_depth
+              ~progress:(fun d ->
+                cur := d;
+                tick d)
+              ?solver_config:(Retry.config_for retry ~attempt)
+              ~stop ~opt
+              ~budget:(Retry.budget_for retry budget ~attempt)
+              c
+              { Bmc.assumes = property.Bmc.assumes; asserts = g })
       with
       | Bmc.Proved (k, st) -> finish (Job_proved k) st
       | Bmc.Refuted (cex, st) ->
           atomic_min best cex.Bmc.cex_depth;
           note_cancel_request t_req;
           finish (Job_cex cex) st
-      | Bmc.Unknown st -> finish Job_unknown st
+      | Bmc.Unknown (reason, st) -> finish (Job_unknown reason) st
     with
     | Bmc.Cancelled st ->
         observe_cancelled t_req;
@@ -525,10 +651,18 @@ let prove_detailed ?jobs ?(group_size = 1) ?(max_depth = 30)
       let unknown =
         Array.exists
           (fun r ->
-            match r.job_verdict with Job_unknown | Job_cancelled -> true | _ -> false)
+            match r.job_verdict with
+            | Job_unknown _ | Job_cancelled -> true
+            | _ -> false)
           results
       in
-      if unknown then (Bmc.Unknown (merge_stats ~depth:max_depth results), detail)
+      if unknown then
+        let reason =
+          match first_unknown results with
+          | Some r -> r
+          | None -> Bmc.Bound_exhausted
+        in
+        (Bmc.Unknown (reason, merge_stats ~depth:max_depth results), detail)
       else
         let k =
           Array.fold_left
@@ -538,8 +672,11 @@ let prove_detailed ?jobs ?(group_size = 1) ?(max_depth = 30)
         in
         (Bmc.Proved (k, merge_stats ~depth:k results), detail)
 
-let prove ?jobs ?group_size ?max_depth ?progress ?opt circuit property =
-  fst (prove_detailed ?jobs ?group_size ?max_depth ?progress ?opt circuit property)
+let prove ?jobs ?group_size ?max_depth ?progress ?opt ?budget ?retry circuit
+    property =
+  fst
+    (prove_detailed ?jobs ?group_size ?max_depth ?progress ?opt ?budget ?retry
+       circuit property)
 
 let equiv ?jobs ?max_depth ?opt c1 c2 =
   (* Interface validation happens in the calling domain, inside miter —

@@ -47,7 +47,10 @@ type job_verdict =
   | Job_cex of Bmc.cex  (** this job found a counterexample *)
   | Job_bounded  (** no CEX within the bound *)
   | Job_proved of int  (** k-induction succeeded at the carried [k] *)
-  | Job_unknown  (** induction inconclusive within the bound *)
+  | Job_unknown of Bmc.unknown_reason
+      (** inconclusive, after every retry the policy allowed: bound
+          reached without an inductive answer, a budget fired, or a
+          fault was injected *)
   | Job_cancelled  (** stopped because another job answered first *)
   | Job_failed of exn  (** the job raised; re-raised after the pool drains *)
 
@@ -55,6 +58,9 @@ type job_result = {
   job_label : string;  (** assertion names (shard) or config name (portfolio) *)
   job_verdict : job_verdict;
   job_stats : Bmc.stats;  (** this job's own solver statistics *)
+  job_retries : int;
+      (** extra attempts the {!Retry} policy spent on this job (0 when
+          the first attempt was conclusive or retries were disabled) *)
   job_wall : float;  (** seconds of wall-clock this job occupied a worker *)
   job_cpu : float;
       (** CPU seconds of the worker domain while it ran this job
@@ -78,6 +84,8 @@ val check :
   ?max_depth:int ->
   ?progress:(int -> unit) ->
   ?opt:Opt.level ->
+  ?budget:Bmc.budget ->
+  ?retry:Retry.policy ->
   Rtl.Circuit.t ->
   Bmc.property ->
   Bmc.outcome
@@ -94,7 +102,23 @@ val check :
     @param opt netlist-optimization level (default {!Opt.O0}), forwarded
       to the sequential engine inside each job — every shard optimizes
       its own slim circuit independently, in its worker domain, so the
-      optimization work is parallelized along with the solving. *)
+      optimization work is parallelized along with the solving.
+    @param budget per-{e job} resource budget (default {!Bmc.no_budget}):
+      each shard or portfolio member gets its own wall-clock deadline
+      pinned at its attempt's start, so one straggler exhausts {e its}
+      budget, frees its worker, and degrades to [Job_unknown] without
+      dragging down the rest of the run.
+    @param retry retry policy for inconclusive jobs (default
+      {!Retry.default}, i.e. no retries): transient Unknowns are re-run
+      on the same worker with escalated budgets and (in shard mode)
+      alternate solver configurations, after capped exponential backoff.
+
+    Merged verdicts order as [Cex > Unknown > Bounded_proof]: any
+    counterexample wins outright; otherwise any job still inconclusive
+    after retries weakens the whole answer to [Unknown] whose
+    [stats.depth_reached] is the weakest job's fully-checked depth. In
+    portfolio mode one conclusive racer is enough — an exhausted racer
+    neither wins nor cancels the race. *)
 
 val check_detailed :
   ?jobs:int ->
@@ -103,6 +127,8 @@ val check_detailed :
   ?max_depth:int ->
   ?progress:(int -> unit) ->
   ?opt:Opt.level ->
+  ?budget:Bmc.budget ->
+  ?retry:Retry.policy ->
   Rtl.Circuit.t ->
   Bmc.property ->
   Bmc.outcome * detail
@@ -114,6 +140,8 @@ val prove :
   ?max_depth:int ->
   ?progress:(int -> unit) ->
   ?opt:Opt.level ->
+  ?budget:Bmc.budget ->
+  ?retry:Retry.policy ->
   Rtl.Circuit.t ->
   Bmc.property ->
   Bmc.induction_outcome
@@ -131,6 +159,8 @@ val prove_detailed :
   ?max_depth:int ->
   ?progress:(int -> unit) ->
   ?opt:Opt.level ->
+  ?budget:Bmc.budget ->
+  ?retry:Retry.policy ->
   Rtl.Circuit.t ->
   Bmc.property ->
   Bmc.induction_outcome * detail

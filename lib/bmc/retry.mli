@@ -1,0 +1,64 @@
+(** Retry policies for inconclusive verification jobs.
+
+    When a job comes back [Unknown] because a budget fired or a fault
+    was injected, the runtime may try again with an escalated budget
+    and/or an alternate solver configuration, after a capped exponential
+    backoff. This module is the {e pure} decision core of that loop —
+    every function is a total function of its arguments, so the whole
+    schedule is unit-testable without clocks, solvers, or domains. The
+    effectful half (sleeping, re-running) lives in {!Parallel}.
+
+    Attempts are numbered from 0 (the original try); a policy with
+    [max_attempts = 1] never retries. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts, including the first; >= 1 *)
+  growth : float;  (** budget multiplier per retry; >= 1 *)
+  cap : float;  (** ceiling on the cumulative multiplier *)
+  backoff_base_s : float;  (** delay before the first retry *)
+  backoff_cap_s : float;  (** ceiling on the retry delay *)
+  alternate_configs : Sat.Solver.config list;
+      (** solver configurations rotated through on retries; empty means
+          every attempt keeps the caller's configuration *)
+}
+
+val default : policy
+(** [max_attempts = 1] — no retries, zero behaviour change. *)
+
+val policy :
+  ?max_attempts:int ->
+  ?growth:float ->
+  ?cap:float ->
+  ?backoff_base_s:float ->
+  ?backoff_cap_s:float ->
+  ?alternate_configs:Sat.Solver.config list ->
+  unit ->
+  policy
+(** Defaults: [max_attempts = 3], [growth = 4.], [cap = 64.],
+    [backoff_base_s = 0.05], [backoff_cap_s = 2.], alternates drawn from
+    {!Sat.Solver.portfolio}[ 4] minus its head (the default config).
+    Raises [Invalid_argument] on [max_attempts < 1], [growth < 1.], or
+    negative delays. *)
+
+val scale : policy -> attempt:int -> float
+(** The budget multiplier for [attempt]: [min (growth ^ attempt) cap].
+    [scale ~attempt:0 = 1.] always. *)
+
+val budget_for : policy -> Bmc.budget -> attempt:int -> Bmc.budget
+(** [budget] with every set limit multiplied by [scale ~attempt]
+    (integer limits rounded down, kept >= 1). Unset limits stay unset. *)
+
+val config_for : policy -> attempt:int -> Sat.Solver.config option
+(** [None] for attempt 0 (keep the caller's configuration) or when
+    [alternate_configs] is empty; otherwise the alternates cycled in
+    order starting from the first retry. *)
+
+val backoff_s : policy -> attempt:int -> float
+(** Delay to wait before launching [attempt] (>= 1):
+    [min (backoff_base_s *. 2. ^ (attempt - 1)) backoff_cap_s]. *)
+
+val should_retry : policy -> attempt:int -> Bmc.unknown_reason -> bool
+(** True iff another attempt is allowed ([attempt + 1 < max_attempts])
+    and the reason is transient: budget exhaustion or an injected fault.
+    [Bound_exhausted] is never retried — a deeper bound needs a
+    different [max_depth], not a bigger budget. *)

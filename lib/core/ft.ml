@@ -198,25 +198,32 @@ let generate ?(threshold = 4) ?(sync = Flush_end) ?(common = []) ?(blackbox = []
 
 (* [jobs]/[portfolio] route through the parallel engine; the default (no
    jobs, no portfolio) stays on the sequential engine so existing callers
-   and the differential-fuzz baseline are untouched. [opt] defaults to
-   O2 here — the product path always optimizes the miter; engines keep
-   their raw O0 default for direct callers. *)
-let check ?max_depth ?progress ?jobs ?portfolio ?(opt = Opt.O2) ft =
-  match (jobs, portfolio) with
-  | (None | Some 1), None ->
-      Bmc.check ?max_depth ?progress ~opt ft.wrapper ft.property
+   and the differential-fuzz baseline are untouched. A [retry] policy
+   also routes through the parallel engine (which owns the retry loop)
+   even at one job. [opt] defaults to O2 here — the product path always
+   optimizes the miter; engines keep their raw O0 default for direct
+   callers. *)
+let check ?max_depth ?progress ?jobs ?portfolio ?budget ?retry
+    ?(opt = Opt.O2) ft =
+  match (jobs, portfolio, retry) with
+  | (None | Some 1), None, None ->
+      Bmc.check ?max_depth ?progress ?budget ~opt ft.wrapper ft.property
   | _ ->
-      Parallel.check ?jobs ?portfolio ?max_depth ?progress ~opt ft.wrapper
+      Parallel.check ?jobs ?portfolio ?max_depth ?progress ?budget ?retry ~opt
+        ft.wrapper ft.property
+
+let check_detailed ?max_depth ?progress ?jobs ?portfolio ?budget ?retry
+    ?(opt = Opt.O2) ft =
+  Parallel.check_detailed ?jobs ?portfolio ?max_depth ?progress ?budget ?retry
+    ~opt ft.wrapper ft.property
+
+let prove ?max_depth ?progress ?jobs ?budget ?retry ?(opt = Opt.O2) ft =
+  match (jobs, retry) with
+  | (None | Some 1), None ->
+      Bmc.prove ?max_depth ?progress ?budget ~opt ft.wrapper ft.property
+  | _ ->
+      Parallel.prove ?jobs ?max_depth ?progress ?budget ?retry ~opt ft.wrapper
         ft.property
-
-let check_detailed ?max_depth ?progress ?jobs ?portfolio ?(opt = Opt.O2) ft =
-  Parallel.check_detailed ?jobs ?portfolio ?max_depth ?progress ~opt ft.wrapper
-    ft.property
-
-let prove ?max_depth ?progress ?jobs ?(opt = Opt.O2) ft =
-  match jobs with
-  | None | Some 1 -> Bmc.prove ?max_depth ?progress ~opt ft.wrapper ft.property
-  | _ -> Parallel.prove ?jobs ?max_depth ?progress ~opt ft.wrapper ft.property
 
 let spy_start_cycle ft cex =
   match Bmc.replay_values cex [ ft.spy_mode ] with

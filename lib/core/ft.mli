@@ -85,6 +85,8 @@ val check :
   ?progress:(int -> unit) ->
   ?jobs:int ->
   ?portfolio:int ->
+  ?budget:Bmc.budget ->
+  ?retry:Retry.policy ->
   ?opt:Opt.level ->
   t ->
   Bmc.outcome
@@ -92,15 +94,21 @@ val check :
     [portfolio] set the work runs on the parallel engine ({!Parallel}):
     assertion sharding by default, a configuration race with
     [~portfolio:k]. Without either, the sequential engine is used
-    unchanged. [opt] (default {!Opt.O2} — this is the product path) runs
-    the {!Opt} netlist pipeline on the miter before blasting; verdicts
-    and CEX depths are unchanged by construction. *)
+    unchanged — except that a [retry] policy also routes through the
+    parallel engine (which owns the retry loop), even at one job.
+    [budget] bounds each solver run; exhaustion yields
+    {!Bmc.outcome.Unknown} rather than an exception. [opt] (default
+    {!Opt.O2} — this is the product path) runs the {!Opt} netlist
+    pipeline on the miter before blasting; verdicts and CEX depths are
+    unchanged by construction. *)
 
 val check_detailed :
   ?max_depth:int ->
   ?progress:(int -> unit) ->
   ?jobs:int ->
   ?portfolio:int ->
+  ?budget:Bmc.budget ->
+  ?retry:Retry.policy ->
   ?opt:Opt.level ->
   t ->
   Bmc.outcome * Parallel.detail
@@ -111,13 +119,16 @@ val prove :
   ?max_depth:int ->
   ?progress:(int -> unit) ->
   ?jobs:int ->
+  ?budget:Bmc.budget ->
+  ?retry:Retry.policy ->
   ?opt:Opt.level ->
   t ->
   Bmc.induction_outcome
 (** Attempt an unbounded proof of the property set by k-induction — the
     "full proof" the paper reaches on the AES accelerator. [jobs] > 1
     shards assertions across domains (see the completeness caveat on
-    {!Parallel.prove}). *)
+    {!Parallel.prove}); as with {!check}, a [retry] policy forces the
+    parallel engine. *)
 
 val spy_start_cycle : t -> Bmc.cex -> int option
 (** First cycle at which [spy_mode] is set along a counterexample

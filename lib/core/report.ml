@@ -83,6 +83,9 @@ type merged_stats = {
   m_jobs : int;
   m_workers : int;
   m_cancelled : int;
+  m_unknown : int;
+  m_timeout : int;
+  m_retries : int;
   m_solve_time : float;
   m_critical_path : float;
   m_wall : float;
@@ -105,6 +108,18 @@ let merge_stats (d : Parallel.detail) =
         m_cancelled =
           (acc.m_cancelled
           + match r.Parallel.job_verdict with Parallel.Job_cancelled -> 1 | _ -> 0);
+        m_unknown =
+          (acc.m_unknown
+          + match r.Parallel.job_verdict with Parallel.Job_unknown _ -> 1 | _ -> 0);
+        m_timeout =
+          (acc.m_timeout
+          +
+          match r.Parallel.job_verdict with
+          | Parallel.Job_unknown
+              (Bmc.Budget_exhausted { ub_budget = Sat.Solver.Wall_clock; _ }) ->
+              1
+          | _ -> 0);
+        m_retries = acc.m_retries + r.Parallel.job_retries;
         m_solve_time = acc.m_solve_time +. r.Parallel.job_stats.Bmc.solve_time;
         m_critical_path = Float.max acc.m_critical_path r.Parallel.job_wall;
         m_busy = acc.m_busy +. r.Parallel.job_wall;
@@ -126,6 +141,9 @@ let merge_stats (d : Parallel.detail) =
       m_jobs = List.length d.Parallel.par_results;
       m_workers = d.Parallel.par_workers;
       m_cancelled = 0;
+      m_unknown = 0;
+      m_timeout = 0;
+      m_retries = 0;
       m_solve_time = 0.;
       m_critical_path = 0.;
       m_wall = d.Parallel.par_wall;
@@ -143,9 +161,12 @@ let merge_stats (d : Parallel.detail) =
 
 let pp_merged fmt m =
   Format.fprintf fmt
-    "%s: %d jobs on %d workers (%d cancelled), solver %.3fs total / %.3fs critical path, %d vars %d clauses %d conflicts"
-    m.m_strategy m.m_jobs m.m_workers m.m_cancelled m.m_solve_time
-    m.m_critical_path m.m_vars m.m_clauses m.m_conflicts;
+    "%s: %d jobs on %d workers (%d cancelled%s), solver %.3fs total / %.3fs critical path, %d vars %d clauses %d conflicts"
+    m.m_strategy m.m_jobs m.m_workers m.m_cancelled
+    ((if m.m_unknown > 0 then Printf.sprintf ", %d unknown" m.m_unknown else "")
+    ^
+    if m.m_retries > 0 then Printf.sprintf ", %d retries" m.m_retries else "")
+    m.m_solve_time m.m_critical_path m.m_vars m.m_clauses m.m_conflicts;
   Format.fprintf fmt
     "@.pool: %.3fs wall, %.3fs busy, %.3fs cpu (utilization %.0f%%)" m.m_wall
     m.m_busy m.m_cpu
@@ -203,6 +224,9 @@ let json_of_merged m =
       ("jobs", Json.Int m.m_jobs);
       ("workers", Json.Int m.m_workers);
       ("cancelled", Json.Int m.m_cancelled);
+      ("unknown", Json.Int m.m_unknown);
+      ("timeout", Json.Int m.m_timeout);
+      ("retries", Json.Int m.m_retries);
       ("solve_s", Json.Float m.m_solve_time);
       ("critical_path_s", Json.Float m.m_critical_path);
       ("wall_s", Json.Float m.m_wall);

@@ -31,6 +31,11 @@ type merged_stats = {
   m_jobs : int;
   m_workers : int;
   m_cancelled : int;  (** jobs abandoned after another job answered *)
+  m_unknown : int;  (** jobs that ended [Job_unknown] after all retries *)
+  m_timeout : int;
+      (** subset of [m_unknown] whose final reason was the wall-clock
+          budget *)
+  m_retries : int;  (** re-runs performed across all jobs *)
   m_solve_time : float;  (** total solver seconds, summed across jobs *)
   m_critical_path : float;
       (** longest single job's wall-clock — the lower bound on parallel

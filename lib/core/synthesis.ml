@@ -3,7 +3,8 @@ module Circuit = Rtl.Circuit
 
 type step = {
   step_flush : string list;
-  step_result : [ `Cex of string * int | `Proof of int ];
+  step_result :
+    [ `Cex of string * int | `Proof of int | `Unknown of string ];
 }
 
 type result = { flush_set : string list; steps : step list; proved : bool }
@@ -42,6 +43,15 @@ let incremental ?max_depth ?threshold ?(arch_regs = []) ~candidates dut =
     | Bmc.Bounded_proof stats ->
         let step = { step_flush = flush_set; step_result = `Proof stats.Bmc.depth_reached } in
         { flush_set; steps = List.rev (step :: steps); proved = true }
+    | Bmc.Unknown (reason, _) ->
+        (* An inconclusive check proves nothing: stop, honestly unproved. *)
+        let step =
+          {
+            step_flush = flush_set;
+            step_result = `Unknown (Bmc.unknown_reason_to_string reason);
+          }
+        in
+        { flush_set; steps = List.rev (step :: steps); proved = false }
     | Bmc.Cex (cex, _) -> (
         match find_cause ft cex ~candidates ~already_flushed:flush_set with
         | None ->
@@ -80,6 +90,18 @@ let decremental ?max_depth ?threshold ?(arch_regs = []) ?initial ~candidates dut
           [ { step_flush = initial; step_result = `Cex ("<initial>", cex.Bmc.cex_depth) } ];
         proved = false;
       }
+  | Bmc.Unknown (reason, _) ->
+      {
+        flush_set = initial;
+        steps =
+          [
+            {
+              step_flush = initial;
+              step_result = `Unknown (Bmc.unknown_reason_to_string reason);
+            };
+          ];
+        proved = false;
+      }
   | Bmc.Bounded_proof stats0 ->
       let steps = ref [ { step_flush = initial; step_result = `Proof stats0.Bmc.depth_reached } ] in
       let flush_set =
@@ -97,6 +119,16 @@ let decremental ?max_depth ?threshold ?(arch_regs = []) ?initial ~candidates dut
               | Bmc.Cex (cex, _) ->
                   steps :=
                     { step_flush = attempt; step_result = `Cex (candidate, cex.Bmc.cex_depth) }
+                    :: !steps;
+                  flush_set
+              | Bmc.Unknown (reason, _) ->
+                  (* Removal unconfirmed: keep the candidate flushed. *)
+                  steps :=
+                    {
+                      step_flush = attempt;
+                      step_result =
+                        `Unknown (Bmc.unknown_reason_to_string reason);
+                    }
                     :: !steps;
                   flush_set
             end)

@@ -15,16 +15,23 @@
 
 type step = {
   step_flush : string list;  (** flush set tried at this step *)
-  step_result : [ `Cex of string * int | `Proof of int ];
+  step_result :
+    [ `Cex of string * int | `Proof of int | `Unknown of string ];
       (** [`Cex (culprit, depth)]: the register added (incremental) or
           re-inserted (decremental) and the counterexample depth;
-          [`Proof d]: bounded proof of depth [d]. *)
+          [`Proof d]: bounded proof of depth [d]; [`Unknown reason]: the
+          check was inconclusive (budget or fault — the rendered
+          {!Bmc.unknown_reason}). An inconclusive check never counts as
+          a proof: incremental stops unproved, decremental keeps the
+          candidate flushed. *)
 }
 
 type result = {
   flush_set : string list;
   steps : step list;  (** in execution order *)
-  proved : bool;  (** false if the algorithm ran out of candidates *)
+  proved : bool;
+      (** false if the algorithm ran out of candidates or a required
+          check came back [`Unknown] *)
 }
 
 val find_cause :

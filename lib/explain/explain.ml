@@ -499,14 +499,25 @@ module Campaign = struct
     e_max_depth : int;
   }
 
+  type channel_ref = {
+    cr_name : string;
+    cr_culprit : string option;
+    cr_min_depth : int;
+    cr_artifact : string;
+  }
+
   type entry_result = {
     r_label : string;
     r_dut : string;
+    r_status : [ `Done | `Failed of string ];
     r_channels : channel list;
+    r_index : channel_ref list;
     r_raw_cexs : int;
     r_asserts : int;
+    r_unknowns : int;
     r_depth : int;
-    r_wall : float;
+    r_wall_ms : int;
+    r_resumed : bool;
   }
 
   type t = { c_results : entry_result list; c_artifacts : string list }
@@ -580,38 +591,55 @@ module Campaign = struct
         ("telemetry", Obs.Metrics.json_of_snapshot ());
       ]
 
+  let ref_of_channel ~label i ch =
+    {
+      cr_name = ch.ch_name;
+      cr_culprit = ch.ch_culprit;
+      cr_min_depth = ch.ch_min.mn_cex.Bmc.cex_depth;
+      cr_artifact = artifact_name label i;
+    }
+
+  (* The campaign index (schema 2) is the resume ledger, so it must be
+     byte-stable across re-emission: every field is an Int/Str/Null
+     (wall clock in integer milliseconds — the float printer is not
+     read-back exact), field order is fixed here, and no volatile
+     telemetry snapshot is embedded (it lives in the HTML report and the
+     per-channel artifacts instead). Re-parsing a record and printing it
+     again reproduces the original bytes. *)
+  let json_of_entry r =
+    Json.Obj
+      [
+        ("label", Json.Str r.r_label);
+        ("dut", Json.Str r.r_dut);
+        ( "status",
+          Json.Str (match r.r_status with `Done -> "done" | `Failed _ -> "failed")
+        );
+        ( "error",
+          match r.r_status with `Done -> Json.Null | `Failed m -> Json.Str m );
+        ("asserts", Json.Int r.r_asserts);
+        ("raw_cexs", Json.Int r.r_raw_cexs);
+        ("unknowns", Json.Int r.r_unknowns);
+        ("max_depth", Json.Int r.r_depth);
+        ("wall_ms", Json.Int r.r_wall_ms);
+        ( "channels",
+          Json.List
+            (List.map
+               (fun cr ->
+                 Json.Obj
+                   [
+                     ("name", Json.Str cr.cr_name);
+                     ("culprit", json_opt_str cr.cr_culprit);
+                     ("minimized_depth", Json.Int cr.cr_min_depth);
+                     ("artifact", Json.Str cr.cr_artifact);
+                   ])
+               r.r_index) );
+      ]
+
   let json_of_campaign t =
     Json.Obj
       [
-        ("schema", Json.Str "autocc.campaign/1");
-        ( "entries",
-          Json.List
-            (List.map
-               (fun r ->
-                 Json.Obj
-                   [
-                     ("label", Json.Str r.r_label);
-                     ("dut", Json.Str r.r_dut);
-                     ("asserts", Json.Int r.r_asserts);
-                     ("raw_cexs", Json.Int r.r_raw_cexs);
-                     ("max_depth", Json.Int r.r_depth);
-                     ("wall_s", Json.Float r.r_wall);
-                     ( "channels",
-                       Json.List
-                         (List.mapi
-                            (fun i ch ->
-                              Json.Obj
-                                [
-                                  ("name", Json.Str ch.ch_name);
-                                  ("culprit", json_opt_str ch.ch_culprit);
-                                  ( "minimized_depth",
-                                    Json.Int ch.ch_min.mn_cex.Bmc.cex_depth );
-                                  ("artifact", Json.Str (artifact_name r.r_label i));
-                                ])
-                            r.r_channels) );
-                   ])
-               t.c_results) );
-        ("telemetry", Obs.Metrics.json_of_snapshot ());
+        ("schema", Json.Str "autocc.campaign/2");
+        ("entries", Json.List (List.map json_of_entry t.c_results));
       ]
 
   let html_escape s =
@@ -648,22 +676,59 @@ h3 { margin-bottom: 0.2em; }
 <h1>AutoCC campaign report</h1>
 |};
     pf
-      "<table><tr><th>entry</th><th>DUT</th><th>assertions</th><th>raw \
-       CEXs</th><th>channels</th><th>max depth</th><th>wall (s)</th></tr>\n";
+      "<table><tr><th>entry</th><th>DUT</th><th>status</th><th>assertions</th><th>raw \
+       CEXs</th><th>unknown</th><th>channels</th><th>max depth</th><th>wall \
+       (s)</th></tr>\n";
     List.iter
       (fun r ->
-        pf "<tr><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%.3f</td></tr>\n"
-          (html_escape r.r_label) (html_escape r.r_dut) r.r_asserts r.r_raw_cexs
-          (List.length r.r_channels) r.r_depth r.r_wall)
+        pf
+          "<tr><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%.3f</td></tr>\n"
+          (html_escape r.r_label) (html_escape r.r_dut)
+          (match r.r_status with
+          | `Done when r.r_resumed -> "done (resumed)"
+          | `Done -> "done"
+          | `Failed _ -> "failed")
+          r.r_asserts r.r_raw_cexs r.r_unknowns
+          (List.length r.r_index)
+          r.r_depth
+          (float_of_int r.r_wall_ms /. 1000.))
       t.c_results;
     pf "</table>\n";
     List.iter
       (fun r ->
         pf "<h2>%s <span class=\"meta\">(%s)</span></h2>\n" (html_escape r.r_label)
           (html_escape r.r_dut);
-        if r.r_channels = [] then
-          pf "<p>No channel: every assertion has a bounded proof to depth %d.</p>\n"
-            r.r_depth
+        (match r.r_status with
+        | `Failed msg ->
+            pf "<p class=\"meta\">entry failed: <code>%s</code></p>\n"
+              (html_escape msg)
+        | `Done -> ());
+        if r.r_unknowns > 0 then
+          pf
+            "<p class=\"meta\">%d assertion%s inconclusive (budget or fault) — \
+             rerun with <code>--resume</code> and a larger budget.</p>\n"
+            r.r_unknowns
+            (if r.r_unknowns = 1 then "" else "s");
+        if r.r_resumed then begin
+          (* Resumed entries re-list their persisted artifacts; the
+             sliced traces needed for waveform strips are not serialized,
+             so the compact index links to the channel JSON instead. *)
+          pf "<p>Channels (from persisted artifacts):</p>\n<ul>\n";
+          List.iter
+            (fun cr ->
+              pf "<li><b>%s</b> — culprit <code>%s</code>, minimized depth %d: <a href=\"%s\">%s</a></li>\n"
+                (html_escape cr.cr_name)
+                (html_escape (Option.value ~default:"(in-flight)" cr.cr_culprit))
+                (cr.cr_min_depth + 1)
+                (html_escape cr.cr_artifact) (html_escape cr.cr_artifact))
+            r.r_index;
+          pf "</ul>\n"
+        end
+        else if r.r_channels = [] then begin
+          if r.r_status = `Done && r.r_unknowns = 0 then
+            pf "<p>No channel: every assertion has a bounded proof to depth %d.</p>\n"
+              r.r_depth
+        end
         else
           List.iter
             (fun ch ->
@@ -733,94 +798,342 @@ h3 { margin-bottom: 0.2em; }
       try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
     end
 
-  let run ?opt ?out_dir entries =
+  (* {2 Resume support}
+
+     The resume ledger is campaign.json itself: a persisted entry is
+     reusable only when it is conclusively done — status "done", zero
+     unknowns, the DUT and depth unchanged, and every referenced channel
+     artifact still parsing with the autocc.channel/1 schema. Anything
+     less (failed, inconclusive, missing or corrupt artifact) is
+     recomputed. Reused entries re-emit their persisted records through
+     the same fixed-order integer-only printer, so resuming a finished
+     campaign rewrites campaign.json byte-identically. *)
+
+  type persisted = {
+    p_dut : string;
+    p_asserts : int;
+    p_raw_cexs : int;
+    p_depth : int;
+    p_wall_ms : int;
+    p_refs : channel_ref list;
+  }
+
+  let read_json path =
+    try
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Json.parse s with Ok j -> Some j | Error _ -> None
+    with Sys_error _ -> None
+
+  let jstr = function Some (Json.Str s) -> Some s | _ -> None
+  let jint = function Some (Json.Int i) -> Some i | _ -> None
+
+  let ref_of_json j =
+    let ( let* ) = Option.bind in
+    let* name = jstr (Json.member "name" j) in
+    let culprit = jstr (Json.member "culprit" j) in
+    let* depth = jint (Json.member "minimized_depth" j) in
+    let* artifact = jstr (Json.member "artifact" j) in
+    (* Artifact names are generated by [artifact_name]; refuse anything
+       that could escape the campaign directory. *)
+    if Filename.basename artifact <> artifact then None
+    else Some { cr_name = name; cr_culprit = culprit; cr_min_depth = depth; cr_artifact = artifact }
+
+  let persisted_of_json dir j =
+    let ( let* ) = Option.bind in
+    let* label = jstr (Json.member "label" j) in
+    let* dut = jstr (Json.member "dut" j) in
+    let* status = jstr (Json.member "status" j) in
+    let* asserts = jint (Json.member "asserts" j) in
+    let* raw_cexs = jint (Json.member "raw_cexs" j) in
+    let* unknowns = jint (Json.member "unknowns" j) in
+    let* depth = jint (Json.member "max_depth" j) in
+    let* wall_ms = jint (Json.member "wall_ms" j) in
+    let* chans =
+      match Json.member "channels" j with Some (Json.List l) -> Some l | _ -> None
+    in
+    if status <> "done" || unknowns <> 0 then None
+    else
+      let* refs =
+        List.fold_left
+          (fun acc cj ->
+            let* acc = acc in
+            let* r = ref_of_json cj in
+            Some (r :: acc))
+          (Some []) chans
+      in
+      let refs = List.rev refs in
+      let artifact_ok cr =
+        match read_json (Filename.concat dir cr.cr_artifact) with
+        | Some cj -> jstr (Json.member "schema" cj) = Some "autocc.channel/1"
+        | None -> false
+      in
+      if List.for_all artifact_ok refs then
+        Some
+          ( label,
+            {
+              p_dut = dut;
+              p_asserts = asserts;
+              p_raw_cexs = raw_cexs;
+              p_depth = depth;
+              p_wall_ms = wall_ms;
+              p_refs = refs;
+            } )
+      else None
+
+  let load_resume dir =
+    match read_json (Filename.concat dir "campaign.json") with
+    | Some j when jstr (Json.member "schema" j) = Some "autocc.campaign/2" -> (
+        match Json.member "entries" j with
+        | Some (Json.List l) -> List.filter_map (persisted_of_json dir) l
+        | _ -> [])
+    | _ -> []
+
+  (* {2 The per-entry sweep}
+
+     [check_each] with a per-assertion budget, then retry rounds: only
+     the assertions whose verdict is a transient Unknown (budget or
+     fault) are re-swept, with the policy's escalated budget and
+     alternate configuration, after the capped backoff. Conclusive
+     verdicts from earlier rounds are never re-run and never change. *)
+  let sweep ?opt ~budget ~retry ft ~max_depth =
+    let property = ft.Ft.property in
+    let run_asserts ~attempt asserts =
+      Bmc.check_each ~max_depth ?opt
+        ?solver_config:(Retry.config_for retry ~attempt)
+        ~budget:(Retry.budget_for retry budget ~attempt)
+        ft.Ft.wrapper
+        { Bmc.assumes = property.Bmc.assumes; asserts }
+    in
+    let rec refine attempt (outcomes : (string * Bmc.outcome) list) =
+      let transient =
+        List.filter_map
+          (fun ((n, o) : string * Bmc.outcome) ->
+            match o with
+            | Bmc.Unknown (r, _) when Retry.should_retry retry ~attempt r ->
+                Some n
+            | _ -> None)
+          outcomes
+      in
+      if transient = [] then outcomes
+      else begin
+        let attempt = attempt + 1 in
+        Obs.log
+          ~attrs:
+            [
+              ("attempt", Json.Int attempt);
+              ("asserts", Json.Int (List.length transient));
+            ]
+          Obs.Debug "explain.retry";
+        let d = Retry.backoff_s retry ~attempt in
+        if d > 0. then Unix.sleepf d;
+        let redo =
+          run_asserts ~attempt
+            (List.filter (fun (n, _) -> List.mem n transient) property.Bmc.asserts)
+        in
+        refine attempt
+          (List.map
+             (fun (n, o) ->
+               match List.assoc_opt n redo with Some o' -> (n, o') | None -> (n, o))
+             outcomes)
+      end
+    in
+    refine 0 (run_asserts ~attempt:0 property.Bmc.asserts)
+
+  let run ?opt ?(budget = Bmc.no_budget) ?(retry = Retry.default)
+      ?(resume = false) ?out_dir entries =
     Obs.span "explain.campaign"
       ~attrs:[ ("entries", Json.Int (List.length entries)) ]
     @@ fun () ->
-    let results =
-      List.map
-        (fun e ->
-          Obs.span "explain.campaign.entry" ~attrs:[ ("label", Json.Str e.e_label) ]
-          @@ fun () ->
-          let t0 = Unix.gettimeofday () in
-          let ft = e.e_ft () in
-          let outcomes =
-            Bmc.check_each ~max_depth:e.e_max_depth ?opt ft.Ft.wrapper
-              ft.Ft.property
-          in
-          let cexs =
-            List.filter_map
-              (function _, Bmc.Cex (c, _) -> Some c | _, Bmc.Bounded_proof _ -> None)
-              outcomes
-          in
-          let channels = cluster ft cexs in
+    (* Fail fast on an unusable output directory, before any solving. *)
+    (match out_dir with
+    | None -> ()
+    | Some dir -> (
+        mkdir_p dir;
+        if not (Sys.file_exists dir && Sys.is_directory dir) then
+          failwith ("campaign: cannot create output directory " ^ dir);
+        let probe = Filename.concat dir ".autocc_write_probe" in
+        try
+          let oc = open_out probe in
+          close_out oc;
+          Sys.remove probe
+        with Sys_error _ ->
+          failwith ("campaign: output directory " ^ dir ^ " is not writable")));
+    let persisted =
+      match (resume, out_dir) with
+      | true, Some dir -> load_resume dir
+      | _ -> []
+    in
+    let failed e t0 msg =
+      {
+        r_label = e.e_label;
+        r_dut = e.e_dut;
+        r_status = `Failed msg;
+        r_channels = [];
+        r_index = [];
+        r_raw_cexs = 0;
+        r_asserts = 0;
+        r_unknowns = 0;
+        r_depth = e.e_max_depth;
+        r_wall_ms = int_of_float ((Unix.gettimeofday () -. t0) *. 1000.);
+        r_resumed = false;
+      }
+    in
+    let run_entry e =
+      Obs.span "explain.campaign.entry" ~attrs:[ ("label", Json.Str e.e_label) ]
+      @@ fun () ->
+      let t0 = Unix.gettimeofday () in
+      let fresh () =
+        let ft = e.e_ft () in
+        let outcomes = sweep ?opt ~budget ~retry ft ~max_depth:e.e_max_depth in
+        let cexs =
+          List.filter_map
+            (fun (_, o) -> match o with Bmc.Cex (c, _) -> Some c | _ -> None)
+            outcomes
+        in
+        let unknowns =
+          List.length
+            (List.filter
+               (fun ((_, o) : string * Bmc.outcome) ->
+                 match o with Bmc.Unknown _ -> true | _ -> false)
+               outcomes)
+        in
+        let channels = cluster ft cexs in
+        Obs.log
+          ~attrs:
+            [
+              ("label", Json.Str e.e_label);
+              ("raw_cexs", Json.Int (List.length cexs));
+              ("channels", Json.Int (List.length channels));
+              ("unknowns", Json.Int unknowns);
+            ]
+          Obs.Info "explain.entry_done";
+        {
+          r_label = e.e_label;
+          r_dut = e.e_dut;
+          r_status = `Done;
+          r_channels = channels;
+          r_index =
+            List.mapi (fun i ch -> ref_of_channel ~label:e.e_label i ch) channels;
+          r_raw_cexs = List.length cexs;
+          r_asserts = List.length outcomes;
+          r_unknowns = unknowns;
+          r_depth = e.e_max_depth;
+          r_wall_ms = int_of_float ((Unix.gettimeofday () -. t0) *. 1000.);
+          r_resumed = false;
+        }
+      in
+      match List.assoc_opt e.e_label persisted with
+      | Some p when p.p_dut = e.e_dut && p.p_depth = e.e_max_depth ->
           Obs.log
-            ~attrs:
-              [
-                ("label", Json.Str e.e_label);
-                ("raw_cexs", Json.Int (List.length cexs));
-                ("channels", Json.Int (List.length channels));
-              ]
-            Obs.Info "explain.entry_done";
+            ~attrs:[ ("label", Json.Str e.e_label) ]
+            Obs.Info "explain.entry_resumed";
           {
             r_label = e.e_label;
             r_dut = e.e_dut;
-            r_channels = channels;
-            r_raw_cexs = List.length cexs;
-            r_asserts = List.length outcomes;
-            r_depth = e.e_max_depth;
-            r_wall = Unix.gettimeofday () -. t0;
-          })
-        entries
+            r_status = `Done;
+            r_channels = [];
+            r_index = p.p_refs;
+            r_raw_cexs = p.p_raw_cexs;
+            r_asserts = p.p_asserts;
+            r_unknowns = 0;
+            r_depth = p.p_depth;
+            r_wall_ms = p.p_wall_ms;
+            r_resumed = true;
+          }
+      | _ -> (
+          (* Crash isolation: an exception inside one entry downgrades
+             that entry to a persisted failure record; the remaining
+             entries still run and the campaign still reports. *)
+          try fresh () with
+          | Fault.Injected site -> failed e t0 ("fault:" ^ site)
+          | exn -> failed e t0 (Printexc.to_string exn))
     in
+    let artifacts = ref [] in
+    let checkpoint results_rev =
+      match out_dir with
+      | None -> ()
+      | Some dir ->
+          let t = { c_results = List.rev results_rev; c_artifacts = [] } in
+          Json.write_file
+            ~path:(Filename.concat dir "campaign.json")
+            (json_of_campaign t);
+          let oc = open_out (Filename.concat dir "report.html") in
+          output_string oc (html_report t);
+          close_out oc
+    in
+    let results_rev =
+      List.fold_left
+        (fun acc e ->
+          let r = run_entry e in
+          (* Flush this entry's channel artifacts, then checkpoint the
+             index and report: a kill between entries loses at most the
+             entry that was in flight, and [--resume] picks up there. *)
+          (match out_dir with
+          | Some dir when not r.r_resumed ->
+              List.iteri
+                (fun i ch ->
+                  let path = Filename.concat dir (artifact_name r.r_label i) in
+                  Json.write_file ~path
+                    (json_of_channel ~label:r.r_label ~dut:r.r_dut ch);
+                  artifacts := path :: !artifacts)
+                r.r_channels
+          | Some dir ->
+              List.iter
+                (fun cr ->
+                  artifacts := Filename.concat dir cr.cr_artifact :: !artifacts)
+                r.r_index
+          | None -> ());
+          let acc = r :: acc in
+          checkpoint acc;
+          acc)
+        [] entries
+    in
+    let results = List.rev results_rev in
     (* Each [cluster] call set the gauge to its own count; leave the
        campaign total behind, so the end-of-run snapshot reflects the
        whole sweep rather than the last entry. *)
     Obs.Metrics.set (Lazy.force m_clusters)
       (float_of_int
-         (List.fold_left (fun n r -> n + List.length r.r_channels) 0 results));
-    let t = { c_results = results; c_artifacts = [] } in
+         (List.fold_left (fun n r -> n + List.length r.r_index) 0 results));
     match out_dir with
-    | None -> t
+    | None -> { c_results = results; c_artifacts = [] }
     | Some dir ->
-        mkdir_p dir;
-        let channel_paths =
-          List.concat_map
-            (fun r ->
-              List.mapi
-                (fun i ch ->
-                  let path = Filename.concat dir (artifact_name r.r_label i) in
-                  Json.write_file ~path
-                    (json_of_channel ~label:r.r_label ~dut:r.r_dut ch);
-                  path)
-                r.r_channels)
-            results
-        in
         let index = Filename.concat dir "campaign.json" in
-        Json.write_file ~path:index (json_of_campaign t);
         let html = Filename.concat dir "report.html" in
-        let oc = open_out html in
-        output_string oc (html_report t);
-        close_out oc;
-        { t with c_artifacts = (index :: channel_paths) @ [ html ] }
+        { c_results = results; c_artifacts = (index :: List.rev !artifacts) @ [ html ] }
 
   let pp fmt t =
     List.iter
       (fun r ->
-        Format.fprintf fmt "%s (%s): %d assertion%s, %d raw CEX%s, %d channel%s, %.3fs@."
-          r.r_label r.r_dut r.r_asserts
+        Format.fprintf fmt
+          "%s (%s): %s%d assertion%s, %d raw CEX%s, %d unknown%s, %d channel%s, %.3fs%s@."
+          r.r_label r.r_dut
+          (match r.r_status with `Failed m -> "FAILED (" ^ m ^ "): " | `Done -> "")
+          r.r_asserts
           (if r.r_asserts = 1 then "" else "s")
           r.r_raw_cexs
           (if r.r_raw_cexs = 1 then "" else "s")
-          (List.length r.r_channels)
-          (if List.length r.r_channels = 1 then "" else "s")
-          r.r_wall;
-        List.iter
-          (fun ch ->
-            Format.fprintf fmt "  %-40s depth %d  via %s@." ch.ch_name
-              (ch.ch_min.mn_cex.Bmc.cex_depth + 1)
-              (String.concat " -> "
-                 (List.map (fun l -> l.link_label) ch.ch_slice.sl_chain)))
-          r.r_channels)
+          r.r_unknowns
+          (if r.r_unknowns = 1 then "" else "s")
+          (List.length r.r_index)
+          (if List.length r.r_index = 1 then "" else "s")
+          (float_of_int r.r_wall_ms /. 1000.)
+          (if r.r_resumed then " (resumed)" else "");
+        if r.r_resumed then
+          List.iter
+            (fun cr ->
+              Format.fprintf fmt "  %-40s depth %d  (%s)@." cr.cr_name
+                (cr.cr_min_depth + 1) cr.cr_artifact)
+            r.r_index
+        else
+          List.iter
+            (fun ch ->
+              Format.fprintf fmt "  %-40s depth %d  via %s@." ch.ch_name
+                (ch.ch_min.mn_cex.Bmc.cex_depth + 1)
+                (String.concat " -> "
+                   (List.map (fun l -> l.link_label) ch.ch_slice.sl_chain)))
+            r.r_channels)
       t.c_results
 end

@@ -130,14 +130,34 @@ module Campaign : sig
     e_max_depth : int;
   }
 
+  type channel_ref = {
+    cr_name : string;
+    cr_culprit : string option;
+    cr_min_depth : int;  (** [cex_depth] of the minimized witness *)
+    cr_artifact : string;  (** artifact basename in the campaign directory *)
+  }
+  (** What [campaign.json] records per channel — enough to index and
+      link the per-channel artifact without re-solving. Resumed entries
+      carry only these refs (their full {!channel} values live in the
+      persisted artifacts). *)
+
   type entry_result = {
     r_label : string;
     r_dut : string;
-    r_channels : channel list;  (** empty for a bounded proof *)
+    r_status : [ `Done | `Failed of string ];
+        (** [`Failed msg]: the entry raised; the campaign recorded the
+            failure and moved on (crash isolation). *)
+    r_channels : channel list;
+        (** empty for a bounded proof, a failed entry, or a resumed
+            entry (see {!field-r_index}) *)
+    r_index : channel_ref list;  (** one ref per channel, fresh or resumed *)
     r_raw_cexs : int;  (** size of the per-assertion CEX pool *)
     r_asserts : int;  (** assertions swept *)
+    r_unknowns : int;
+        (** assertions still inconclusive after all retry rounds *)
     r_depth : int;  (** max depth checked *)
-    r_wall : float;
+    r_wall_ms : int;
+    r_resumed : bool;  (** reused from a previous run's artifacts *)
   }
 
   type t = {
@@ -147,16 +167,36 @@ module Campaign : sig
 
   val run :
     ?opt:Opt.level ->
+    ?budget:Bmc.budget ->
+    ?retry:Retry.policy ->
+    ?resume:bool ->
     ?out_dir:string ->
     entry list ->
     t
   (** Sweep the entries: per entry, run {!Bmc.check_each} over the FT's
-      property set, explain and {!cluster} every counterexample. With
-      [out_dir] set, persist the artifacts: [campaign.json] (index),
-      one [channel_<entry>_<n>.json] per channel ({!json_of_channel},
-      schema ["autocc.channel/1"]) and a self-contained [report.html]
-      with a waveform strip per channel. The directory is created if
-      missing. *)
+      property set ([budget] granted per assertion), explain and
+      {!cluster} every counterexample. Assertions left [Unknown] by a
+      transient cause (budget, fault) are re-swept under [retry]'s
+      escalated budgets / alternate solver configs with capped backoff;
+      whatever remains inconclusive is counted in [r_unknowns]. An
+      exception inside one entry downgrades it to a [`Failed] record
+      instead of aborting the campaign.
+
+      With [out_dir] set, persist the artifacts: [campaign.json]
+      (index), one [channel_<entry>_<n>.json] per channel
+      ({!json_of_channel}, schema ["autocc.channel/1"]) and a
+      self-contained [report.html] with a waveform strip per channel.
+      The index and report are rewritten after {e every} entry, so a
+      killed campaign keeps all completed work. The directory is
+      created if missing; an unwritable directory raises [Failure]
+      before any solving starts.
+
+      With [resume] set (requires [out_dir]), entries whose persisted
+      record is conclusive — status ["done"], zero unknowns, same DUT
+      and depth, every channel artifact present and valid — are reused
+      without re-solving ([r_resumed = true]); all others are
+      recomputed. Resuming an already-complete campaign rewrites
+      [campaign.json] byte-identically. *)
 
   val json_of_channel : label:string -> dut:string -> channel -> Obs.Json.t
   (** The per-channel artifact: schema tag, channel naming, provenance
@@ -164,9 +204,11 @@ module Campaign : sig
       and a telemetry snapshot. *)
 
   val json_of_campaign : t -> Obs.Json.t
-  (** The [campaign.json] index: schema ["autocc.campaign/1"], one entry
-      per result with channel names and artifact paths, plus the metric
-      registry snapshot. *)
+  (** The [campaign.json] index: schema ["autocc.campaign/2"], one entry
+      per result with status, counters and channel refs. Values are
+      integers and strings only (wall time as [wall_ms]) with a fixed
+      field order, so re-emitting a parsed index is byte-identical —
+      the property [--resume] relies on. *)
 
   val html_report : t -> string
   (** The self-contained static HTML report. *)

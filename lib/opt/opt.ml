@@ -718,6 +718,10 @@ let run_optimize ~level ?keep_outputs circuit =
           };
       }
   | O1 | O2 ->
+      (* Fault-injection probe for the robustness tests: an armed
+         [opt.pass] site makes the pipeline raise here, which the BMC
+         engines downgrade to an Unknown verdict instead of crashing. *)
+      Fault.point "opt.pass";
       let all_ports = Circuit.outputs circuit in
       let kept =
         match keep_outputs with

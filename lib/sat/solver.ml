@@ -61,6 +61,27 @@ let portfolio k =
 
 exception Stopped
 
+type budget_kind = Wall_clock | Conflicts | Memory
+
+type budget = {
+  b_deadline : float option;
+  b_conflicts : int option;
+  b_learnts : int option;
+  b_clock : unit -> float;
+}
+
+let no_budget =
+  { b_deadline = None; b_conflicts = None; b_learnts = None; b_clock = (fun () -> 0.) }
+
+exception Out_of_budget of budget_kind
+
+let budget_kind_to_string = function
+  | Wall_clock -> "wall_clock"
+  | Conflicts -> "conflicts"
+  | Memory -> "memory"
+
+type interrupt = I_stopped | I_budget of budget_kind
+
 type clause = {
   lits : int array;
   learnt : bool;
@@ -107,6 +128,11 @@ type t = {
      with no hook the per-conflict cost is one comparison. *)
   mutable sample_every : int;
   mutable sample_hook : (stats -> unit) option;
+  (* Resource governance: [budget] bounds this instance; [interrupt]
+     records why the last solve aborted, so reports can tell budget
+     exhaustion from external cancellation. *)
+  mutable budget : budget;
+  mutable interrupt : interrupt option;
 }
 
 and stats = {
@@ -119,6 +145,7 @@ and stats = {
   s_restarts : int;
   s_reduces : int;
   s_learned_total : int;
+  s_interrupt : interrupt option;
 }
 
 let lit v sign = if sign then 2 * v else (2 * v) + 1
@@ -160,7 +187,11 @@ let create ?(config = default_config) ?(stop = fun () -> false) () =
     learned_total = 0;
     sample_every = 0;
     sample_hook = None;
+    budget = no_budget;
+    interrupt = None;
   }
+
+let set_budget s b = s.budget <- b
 
 let num_vars s = s.nvars
 let num_clauses s = Vec.size s.clauses
@@ -180,7 +211,29 @@ let stats s =
     s_restarts = s.restarts;
     s_reduces = s.reduces;
     s_learned_total = s.learned_total;
+    s_interrupt = s.interrupt;
   }
+
+(* Abort helpers: every interruption path records its cause before
+   unwinding, so [stats] can report it after the exception. *)
+let abort_stopped s =
+  s.interrupt <- Some I_stopped;
+  raise Stopped
+
+let abort_budget s kind =
+  s.interrupt <- Some (I_budget kind);
+  raise (Out_of_budget kind)
+
+(* Budget poll, shared by the propagation cancellation point and the
+   solve entry. The conflict cap is checked where conflicts happen (in
+   the search loop); here we watch the clock and the learnt watermark. *)
+let check_budget s =
+  (match s.budget.b_deadline with
+  | Some d when s.budget.b_clock () > d -> abort_budget s Wall_clock
+  | _ -> ());
+  match s.budget.b_learnts with
+  | Some m when Vec.size s.learnts > m -> abort_budget s Memory
+  | _ -> ()
 
 let on_sample s ~every hook =
   if every <= 0 then invalid_arg "Sat.Solver.on_sample: every must be positive";
@@ -354,9 +407,13 @@ let propagate s =
       s.qhead <- s.qhead + 1;
       s.propagations <- s.propagations + 1;
       (* Cancellation point: cheap modulo check so the poll costs nothing
-         on the hot path; a firing stop aborts the whole solve and leaves
-         the solver in an undefined search state (see {!Stopped}). *)
-      if s.propagations land 1023 = 0 && s.stop () then raise Stopped;
+         on the hot path; a firing stop or an exhausted budget aborts the
+         whole solve and leaves the solver in an undefined search state
+         (see {!Stopped} / {!Out_of_budget}). *)
+      if s.propagations land 1023 = 0 then begin
+        if s.stop () then abort_stopped s;
+        check_budget s
+      end;
       let false_lit = neg p in
       let ws = s.watches.(false_lit) in
       let n = Vec.size ws in
@@ -599,8 +656,16 @@ let decide s =
 
 let solve ?(assumptions = []) s =
   s.model_valid <- false;
+  s.interrupt <- None;
   if not s.ok then Unsat
   else begin
+    (* A deadline that already passed (or a conflict cap already spent by
+       earlier incremental calls) must abort even if this query would
+       propagate to an answer without ever reaching a poll point. *)
+    check_budget s;
+    (match s.budget.b_conflicts with
+    | Some cap when s.conflicts >= cap -> abort_budget s Conflicts
+    | _ -> ());
     let assumptions = Array.of_list assumptions in
     let max_learnts = ref (float_of_int (max 1000 (Vec.size s.clauses / 3))) in
     let restart = ref 0 in
@@ -618,6 +683,9 @@ let solve ?(assumptions = []) s =
         | Some confl ->
             s.conflicts <- s.conflicts + 1;
             incr conflict_count;
+            (match s.budget.b_conflicts with
+            | Some cap when s.conflicts >= cap -> abort_budget s Conflicts
+            | _ -> ());
             (match s.sample_hook with
             | Some hook when s.conflicts mod s.sample_every = 0 -> hook (stats s)
             | _ -> ());

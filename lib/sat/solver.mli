@@ -46,11 +46,56 @@ exception Stopped
     and the instance must be discarded — the mechanism used to cancel
     still-running jobs once a counterexample is found elsewhere. *)
 
+(** {1 Resource budgets}
+
+    Long unattended campaigns need a solver that {e gives up} instead of
+    hanging: a budget bounds one solver instance by wall-clock deadline,
+    cumulative conflicts, and a live learnt-clause watermark (the memory
+    proxy — learnt clauses are where an incremental CDCL instance's
+    footprint grows without bound). Budgets compose with the [stop]
+    hook, and exhaustion is distinguishable from external cancellation:
+    a fired budget raises {!Out_of_budget} (never {!Stopped}) and leaves
+    its cause in {!stats}[.s_interrupt]. *)
+
+type budget_kind =
+  | Wall_clock  (** the deadline passed *)
+  | Conflicts  (** the cumulative conflict cap was hit *)
+  | Memory  (** the live learnt-clause watermark was crossed *)
+
+type budget = {
+  b_deadline : float option;
+      (** absolute time on the [b_clock] axis after which {!solve}
+          aborts; checked at the propagation poll point *)
+  b_conflicts : int option;  (** cap on this instance's total conflicts *)
+  b_learnts : int option;  (** watermark on live learnt clauses *)
+  b_clock : unit -> float;
+      (** the clock [b_deadline] is measured against — supplied by the
+          caller so this library stays dependency-free (and so tests can
+          mock time); consulted only when a deadline is set *)
+}
+
+val no_budget : budget
+(** No limits; [b_clock] is never called. *)
+
+exception Out_of_budget of budget_kind
+(** Raised from inside {!solve} when a budget is exhausted. Exactly like
+    {!Stopped}, the search state is afterwards undefined and the
+    instance must be discarded; unlike {!Stopped}, the cause is a
+    resource limit, not an external cancellation. *)
+
+val budget_kind_to_string : budget_kind -> string
+(** ["wall_clock" | "conflicts" | "memory"] — the machine-readable names
+    used in reports and JSON artifacts. *)
+
 val create : ?config:config -> ?stop:(unit -> bool) -> unit -> t
 (** [create ()] uses {!default_config} and a never-firing stop hook.
     [stop] is polled from the propagation loop (roughly once per thousand
     propagations); it must be cheap and safe to call from the domain
     running the solve. *)
+
+val set_budget : t -> budget -> unit
+(** Install (or replace, between [solve]s) the instance's budget.
+    Freshly-created solvers carry {!no_budget}. *)
 
 val config : t -> config
 
@@ -92,6 +137,10 @@ val num_propagations : t -> int
     stats struct and a periodic callback, and the telemetry layer
     ({!Obs}) is wired in by callers ({!Bmc}) that can see both. *)
 
+type interrupt =
+  | I_stopped  (** the external [stop] hook fired *)
+  | I_budget of budget_kind  (** a resource budget was exhausted *)
+
 type stats = {
   s_vars : int;
   s_clauses : int;  (** problem clauses *)
@@ -102,6 +151,10 @@ type stats = {
   s_restarts : int;  (** Luby restart periods completed *)
   s_reduces : int;  (** learnt-database reductions *)
   s_learned_total : int;  (** learnt clauses ever recorded (incl. units) *)
+  s_interrupt : interrupt option;
+      (** why the last {!solve} was aborted, if it was — the field that
+          keeps budget exhaustion distinguishable from external
+          cancellation in merged reports *)
 }
 
 val stats : t -> stats

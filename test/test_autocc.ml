@@ -49,6 +49,8 @@ let test_leak_found () =
       (* The summary mentions the culprit. *)
       let s = Autocc.Report.summary ft cex in
       Alcotest.(check bool) "summary names stash" true (contains s "stash")
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 let test_flush_fixes_leak () =
   let dut = fixed_dut () in
@@ -60,6 +62,8 @@ let test_flush_fixes_leak () =
       Alcotest.(check bool) "reasonable depth" true (stats.Bmc.depth_reached >= 10)
   | Bmc.Cex (cex, _) ->
       Alcotest.failf "leak should be closed, got CEX at depth %d" cex.Bmc.cex_depth
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 let test_flush_instrument_sim () =
   (* The instrumented flush behaves in simulation. *)
@@ -99,12 +103,16 @@ let test_arch_refinement () =
        Alcotest.(check bool) "regfile blamed" true
          (List.exists
             (fun (n, _, _) -> n = "regfile")
-            (Autocc.Ft.state_diff ft cex ~cycle)));
+            (Autocc.Ft.state_diff ft cex ~cycle))
+   | Bmc.Unknown (r, _) ->
+       Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r));
   (* With the regfile declared architectural: proof. *)
   let _, outcome = find_cex ~arch_regs:[ "regfile" ] (arch_dut ()) in
   match outcome with
   | Bmc.Bounded_proof _ -> ()
   | Bmc.Cex _ -> Alcotest.fail "arch_regs refinement should close the CEX"
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 (* Common inputs: a debug input forwarded to an output is a false channel
    unless shared between universes. *)
@@ -118,11 +126,15 @@ let test_common_inputs () =
   (let _, outcome = find_cex (debug_dut ()) in
    match outcome with
    | Bmc.Cex _ -> Alcotest.fail "duplicated debug inputs are assumed equal in spy mode"
-   | Bmc.Bounded_proof _ -> ());
+   | Bmc.Bounded_proof _ -> ()
+   | Bmc.Unknown (r, _) ->
+       Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r));
   let _, outcome = find_cex ~common:[ "debug" ] (debug_dut ()) in
   match outcome with
   | Bmc.Bounded_proof _ -> ()
   | Bmc.Cex _ -> Alcotest.fail "common debug input cannot leak"
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 (* Transactions: an accumulator exposed only under a valid response. With
    the transaction annotation the channel is found; without it the FT is
@@ -153,12 +165,16 @@ let test_transactions () =
        Alcotest.(check bool) "payload assertion fails" true
          (List.mem "as__resp_data_eq" cex.Bmc.cex_failed
          || List.mem "as__resp_valid_eq" cex.Bmc.cex_failed)
-   | Bmc.Bounded_proof _ -> Alcotest.fail "annotated FT must find the accumulator channel");
+   | Bmc.Bounded_proof _ -> Alcotest.fail "annotated FT must find the accumulator channel"
+   | Bmc.Unknown (r, _) ->
+       Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r));
   let _, outcome = find_cex ~max_depth:8 (tx_dut ~annotate:false ()) in
   match outcome with
   | Bmc.Bounded_proof _ -> ()
   | Bmc.Cex _ ->
       Alcotest.fail "without the annotation the strict FT is overconstrained"
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 (* Blackboxing: a CSR-like submodule holds state; cutting its boundary
    removes that state from the DUT and replaces it with interface
@@ -188,11 +204,15 @@ let test_blackbox () =
    ignore ft;
    match outcome with
    | Bmc.Cex _ -> ()
-   | Bmc.Bounded_proof _ -> Alcotest.fail "CSR state must leak without blackboxing");
+   | Bmc.Bounded_proof _ -> Alcotest.fail "CSR state must leak without blackboxing"
+   | Bmc.Unknown (r, _) ->
+       Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r));
   let ft, outcome = find_cex ~blackbox:[ "csr" ] (csr_dut ()) in
   (match outcome with
   | Bmc.Bounded_proof _ -> ()
-  | Bmc.Cex _ -> Alcotest.fail "blackboxed CSR leaves no state to leak");
+  | Bmc.Cex _ -> Alcotest.fail "blackboxed CSR leaves no state to leak"
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r));
   (* The blackboxed DUT exposes the boundary wires as interface ports. *)
   let names = List.map (fun p -> p.Circuit.port_name) (Circuit.inputs ft.Autocc.Ft.dut) in
   Alcotest.(check bool) "bb input present" true (List.mem "bb_csr_rdata" names);
@@ -264,7 +284,9 @@ let test_legal_input_assumptions () =
    | Bmc.Cex (cex, _) ->
        Alcotest.(check (list string)) "spurious CEX from illegal input"
          [ "as__status_eq" ] cex.Bmc.cex_failed
-   | Bmc.Bounded_proof _ -> Alcotest.fail "unconstrained environment must look leaky");
+   | Bmc.Bounded_proof _ -> Alcotest.fail "unconstrained environment must look leaky"
+   | Bmc.Unknown (r, _) ->
+       Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r));
   let legal dut map_a map_b =
     (* No response without an outstanding request, in either universe. *)
     let resp = Circuit.find_input dut "resp" in
@@ -276,6 +298,8 @@ let test_legal_input_assumptions () =
   match Autocc.Ft.check ~max_depth:10 ft with
   | Bmc.Bounded_proof _ -> ()
   | Bmc.Cex _ -> Alcotest.fail "legal-input assumption should remove the spurious CEX"
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 (* Flush-start synchronization (Sec. 3.2): a flush whose latency depends
    on prior execution is invisible with end-sync and a CEX with
@@ -314,7 +338,9 @@ let test_flush_start_sync () =
    in
    match Autocc.Ft.check ~max_depth:12 ft with
    | Bmc.Bounded_proof _ -> ()
-   | Bmc.Cex _ -> Alcotest.fail "end-sync is blind to flush latency");
+   | Bmc.Cex _ -> Alcotest.fail "end-sync is blind to flush latency"
+   | Bmc.Unknown (r, _) ->
+       Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r));
   (* Start-sync: the modulated latency is a covert channel. *)
   (let ft =
      Autocc.Ft.generate ~threshold:2 ~sync:Autocc.Ft.Flush_start
@@ -325,7 +351,9 @@ let test_flush_start_sync () =
    | Bmc.Cex (cex, _) ->
        Alcotest.(check (list string)) "busy timing leaks" [ "as__busy_eq" ]
          cex.Bmc.cex_failed
-   | Bmc.Bounded_proof _ -> Alcotest.fail "start-sync must expose the latency channel");
+   | Bmc.Bounded_proof _ -> Alcotest.fail "start-sync must expose the latency channel"
+   | Bmc.Unknown (r, _) ->
+       Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r));
   (* Worst-case padding closes it. *)
   let ft =
     Autocc.Ft.generate ~threshold:2 ~sync:Autocc.Ft.Flush_start
@@ -335,6 +363,8 @@ let test_flush_start_sync () =
   match Autocc.Ft.check ~max_depth:12 ft with
   | Bmc.Bounded_proof _ -> ()
   | Bmc.Cex _ -> Alcotest.fail "padding should close the latency channel"
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 let read_lines path =
   let ic = open_in path in
@@ -437,6 +467,8 @@ let test_vcd_dump () =
       Alcotest.(check bool) "vector changes present" true (vector > 0);
       Alcotest.(check bool) "several variables" true (vars > 4)
   | Bmc.Bounded_proof _ -> Alcotest.fail "expected CEX"
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 let test_blackbox_two_boundaries () =
   (* Two independent stash submodules; cutting one leaves the other's
@@ -468,10 +500,14 @@ let test_blackbox_two_boundaries () =
       let cycle = Option.get (Autocc.Ft.spy_start_cycle ft cex) in
       Alcotest.(check bool) "remaining channel is ub's" true
         (List.exists (fun (n, _, _) -> n = "ub_stash") (Autocc.Ft.state_diff ft cex ~cycle))
-  | _, Bmc.Bounded_proof _ -> Alcotest.fail "ub's channel must remain");
+  | _, Bmc.Bounded_proof _ -> Alcotest.fail "ub's channel must remain"
+  | _, Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r));
   match find_cex ~blackbox:[ "ua"; "ub" ] (two_unit_dut ()) with
   | _, Bmc.Bounded_proof _ -> ()
   | _, Bmc.Cex _ -> Alcotest.fail "both cut: no state left"
+  | _, Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 let test_report_renders () =
   let ft, outcome = find_cex (leaky_dut ()) in
@@ -480,6 +516,8 @@ let test_report_renders () =
       let text = Format.asprintf "%a" (fun fmt -> Autocc.Report.explain fmt ft) cex in
       Alcotest.(check bool) "mentions spy" true (contains text "Spy process begins")
   | Bmc.Bounded_proof _ -> Alcotest.fail "expected CEX"
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 let () =
   Alcotest.run "autocc"

@@ -24,6 +24,8 @@ let test_counter_cex_depth () =
       Alcotest.(check int) "shallowest depth" 5 cex.Bmc.cex_depth;
       Alcotest.(check (list string)) "failed assertion" [ "count_ne_5" ] cex.Bmc.cex_failed
   | Bmc.Bounded_proof _ -> Alcotest.fail "expected a counterexample"
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 let test_counter_bounded_proof () =
   let c = counter_circuit () in
@@ -31,6 +33,8 @@ let test_counter_bounded_proof () =
   | Bmc.Cex _ -> Alcotest.fail "count cannot reach 50 in 10 cycles"
   | Bmc.Bounded_proof stats ->
       Alcotest.(check int) "checked all depths" 10 stats.Bmc.depth_reached
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 let test_assumption_blocks_cex () =
   let c = counter_circuit () in
@@ -43,6 +47,8 @@ let test_assumption_blocks_cex () =
   match Bmc.check ~max_depth:8 c property with
   | Bmc.Cex _ -> Alcotest.fail "assumption should prevent counting"
   | Bmc.Bounded_proof _ -> ()
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 let test_multi_assert_reports_failure () =
   let c = counter_circuit () in
@@ -62,6 +68,8 @@ let test_multi_assert_reports_failure () =
       Alcotest.(check int) "first failure depth" 2 cex.Bmc.cex_depth;
       Alcotest.(check (list string)) "ne_2 fails first" [ "ne_2" ] cex.Bmc.cex_failed
   | Bmc.Bounded_proof _ -> Alcotest.fail "expected a counterexample"
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 let test_replay_values () =
   let c = counter_circuit () in
@@ -75,6 +83,8 @@ let test_replay_values () =
             (Bitvec.to_int values.(cex.Bmc.cex_depth))
       | _ -> Alcotest.fail "one watched signal expected")
   | Bmc.Bounded_proof _ -> Alcotest.fail "expected a counterexample"
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 (* A state machine with a hidden unlock sequence: the checker must find
    the exact 3-step combination. This is the classic "lock" example that
@@ -115,6 +125,8 @@ let test_lock_combination () =
       | [ 0xA; 0x3; 0x7; _ ] -> ()
       | _ -> Alcotest.failf "unexpected combination")
   | Bmc.Bounded_proof _ -> Alcotest.fail "expected the lock to open"
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 (* {1 k-induction} *)
 
@@ -151,7 +163,13 @@ let test_induction_unknown () =
     { Bmc.assumes = []; asserts = [ ("ne200", count <>: of_int ~width:8 200) ] }
   in
   match Bmc.prove ~max_depth:8 c p with
-  | Bmc.Unknown stats -> Alcotest.(check int) "bound respected" 8 stats.Bmc.depth_reached
+  | Bmc.Unknown (reason, stats) ->
+      Alcotest.(check int) "bound respected" 8 stats.Bmc.depth_reached;
+      (match reason with
+      | Bmc.Bound_exhausted -> ()
+      | r ->
+          Alcotest.failf "expected bound exhaustion, got %s"
+            (Bmc.unknown_reason_to_string r))
   | Bmc.Proved _ -> Alcotest.fail "count does reach 200 eventually"
   | Bmc.Refuted _ -> Alcotest.fail "not within 8 cycles"
 

@@ -8,6 +8,10 @@ module M = Duts.Maple
 module A = Duts.Aes
 module C = Duts.Cva6lite
 
+(* Budget-free runs must stay conclusive; an [Unknown] is a test failure. *)
+let unexpected_unknown r =
+  Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
+
 (* {1 Vscale} *)
 
 (* Drive the core against an instruction memory image; unset addresses
@@ -92,7 +96,8 @@ let test_vscale_refinement_walk () =
             (Autocc.Report.summary ft cex)
       | _, Bmc.Cex _ -> ()
       | s, Bmc.Bounded_proof _ ->
-          Alcotest.failf "stage %s should yield a CEX" (V.stage_name s))
+          Alcotest.failf "stage %s should yield a CEX" (V.stage_name s)
+      | _, Bmc.Unknown (r, _) -> unexpected_unknown r)
     V.stages
 
 (* {1 MAPLE} *)
@@ -117,6 +122,7 @@ let test_maple_m2_m3 () =
   | _, Bmc.Bounded_proof _ -> ()
   | ft, Bmc.Cex (cex, _) ->
       Alcotest.failf "fixed MAPLE should prove: %s" (Autocc.Report.summary ft cex)
+  | _, Bmc.Unknown (r, _) -> unexpected_unknown r
 
 let test_maple_m1 () =
   (* With the register fixes in place, the remaining channel without the
@@ -130,6 +136,7 @@ let test_maple_m1 () =
       Alcotest.(check bool) "outbuf state differs" true
         (List.exists (fun (n, _, _) -> String.length n >= 6 && String.sub n 0 6 = "outbuf") diffs)
   | _, Bmc.Bounded_proof _ -> Alcotest.fail "M1 channel expected"
+  | _, Bmc.Unknown (r, _) -> unexpected_unknown r
 
 let test_maple_latency_channel () =
   let dut pad = M.create ~config:M.fixed ~pad_flush:pad () in
@@ -141,7 +148,8 @@ let test_maple_latency_channel () =
           (dut false))
    with
   | Bmc.Bounded_proof _ -> ()
-  | Bmc.Cex _ -> Alcotest.fail "end-sync should still prove");
+  | Bmc.Cex _ -> Alcotest.fail "end-sync should still prove"
+  | Bmc.Unknown (r, _) -> unexpected_unknown r);
   (* Start-sync exposes it. *)
   (match
      Autocc.Ft.check ~max_depth:12
@@ -153,7 +161,8 @@ let test_maple_latency_channel () =
       Alcotest.(check bool) "invalidation timing leaks" true
         (List.mem "as__inval_idle_eq" cex.Bmc.cex_failed
         || List.mem "as__resp_valid_eq" cex.Bmc.cex_failed)
-  | Bmc.Bounded_proof _ -> Alcotest.fail "latency channel expected");
+  | Bmc.Bounded_proof _ -> Alcotest.fail "latency channel expected"
+  | Bmc.Unknown (r, _) -> unexpected_unknown r);
   (* Worst-case padding restores the proof. *)
   match
     Autocc.Ft.check ~max_depth:12
@@ -163,6 +172,7 @@ let test_maple_latency_channel () =
   with
   | Bmc.Bounded_proof _ -> ()
   | Bmc.Cex _ -> Alcotest.fail "padding should close the latency channel"
+  | Bmc.Unknown (r, _) -> unexpected_unknown r
 
 let test_maple_inval_latency_sim () =
   (* The invalidation takes 1 + occupancy cycles; padded: always 3. *)
@@ -239,13 +249,15 @@ let test_aes_a1_and_proof () =
         (List.exists
            (fun n -> n = "as__resp_valid_eq" || n = "as__resp_ct_eq")
            cex.Bmc.cex_failed)
-  | Bmc.Bounded_proof _ -> Alcotest.fail "A1 expected");
+  | Bmc.Bounded_proof _ -> Alcotest.fail "A1 expected"
+  | Bmc.Unknown (r, _) -> unexpected_unknown r);
   match
     Autocc.Ft.check ~max_depth:12
       (Autocc.Ft.generate ~threshold:2 ~flush_done:(A.flush_done_idle ()) dut)
   with
   | Bmc.Bounded_proof _ -> ()
   | Bmc.Cex _ -> Alcotest.fail "idle-flush refinement should reach a proof"
+  | Bmc.Unknown (r, _) -> unexpected_unknown r
 
 (* {1 CVA6-lite} *)
 
@@ -372,22 +384,28 @@ let test_cva6_sim_fence_clears () =
 let test_cva6_channels () =
   (match cva6_check C.plain_fence with
   | Bmc.Cex _ -> ()
-  | Bmc.Bounded_proof _ -> Alcotest.fail "a plain fence flushes nothing");
+  | Bmc.Bounded_proof _ -> Alcotest.fail "a plain fence flushes nothing"
+  | Bmc.Unknown (r, _) -> unexpected_unknown r);
   (match cva6_check C.full_flush with
   | Bmc.Cex _ -> ()
-  | Bmc.Bounded_proof _ -> Alcotest.fail "full flush leaves in-flight state (known channels)");
+  | Bmc.Bounded_proof _ -> Alcotest.fail "full flush leaves in-flight state (known channels)"
+  | Bmc.Unknown (r, _) -> unexpected_unknown r);
   (match cva6_check ~max_depth:15 (C.with_fixes ~fix_c1:false C.Microreset) with
   | Bmc.Cex _ -> ()
-  | Bmc.Bounded_proof _ -> Alcotest.fail "C1 expected");
+  | Bmc.Bounded_proof _ -> Alcotest.fail "C1 expected"
+  | Bmc.Unknown (r, _) -> unexpected_unknown r);
   (match cva6_check (C.with_fixes ~fix_c2:false C.Microreset) with
   | Bmc.Cex _ -> ()
-  | Bmc.Bounded_proof _ -> Alcotest.fail "C2 expected");
+  | Bmc.Bounded_proof _ -> Alcotest.fail "C2 expected"
+  | Bmc.Unknown (r, _) -> unexpected_unknown r);
   (match cva6_check (C.with_fixes ~fix_c3:false C.Microreset) with
   | Bmc.Cex _ -> ()
-  | Bmc.Bounded_proof _ -> Alcotest.fail "C3 expected");
+  | Bmc.Bounded_proof _ -> Alcotest.fail "C3 expected"
+  | Bmc.Unknown (r, _) -> unexpected_unknown r);
   match cva6_check C.microreset_fixed with
   | Bmc.Bounded_proof _ -> ()
   | Bmc.Cex _ -> Alcotest.fail "fixed microreset should prove"
+  | Bmc.Unknown (r, _) -> unexpected_unknown r
 
 (* {1 Divider (Sec. 5 discussion)} *)
 
@@ -437,7 +455,8 @@ let test_divider_channels () =
      constant-time software both close it. *)
   (match Autocc.Ft.check ~max_depth:12 (Autocc.Ft.generate ~threshold:2 (Duts.Divider.create ())) with
   | Bmc.Cex _ -> ()
-  | Bmc.Bounded_proof _ -> Alcotest.fail "in-flight division must leak");
+  | Bmc.Bounded_proof _ -> Alcotest.fail "in-flight division must leak"
+  | Bmc.Unknown (r, _) -> unexpected_unknown r);
   (match
      Autocc.Ft.check ~max_depth:12
        (Autocc.Ft.generate ~threshold:2
@@ -445,7 +464,8 @@ let test_divider_channels () =
           (Duts.Divider.create ()))
    with
   | Bmc.Bounded_proof _ -> ()
-  | Bmc.Cex _ -> Alcotest.fail "idle allocation should prove");
+  | Bmc.Cex _ -> Alcotest.fail "idle allocation should prove"
+  | Bmc.Unknown (r, _) -> unexpected_unknown r);
   match
     Autocc.Ft.check ~max_depth:12
       (Autocc.Ft.generate ~threshold:2 ~assumes:Duts.Divider.constant_time_software
@@ -453,6 +473,7 @@ let test_divider_channels () =
   with
   | Bmc.Bounded_proof _ -> ()
   | Bmc.Cex _ -> Alcotest.fail "constant-time software should prove"
+  | Bmc.Unknown (r, _) -> unexpected_unknown r
 
 let test_cva6_lsu_blackbox () =
   (* Sec. 3.4: blackboxing the load unit removes its state and still
@@ -468,6 +489,7 @@ let test_cva6_lsu_blackbox () =
   | Bmc.Bounded_proof _ -> ()
   | Bmc.Cex (cex, _) ->
       Alcotest.failf "blackboxed LSU should prove: %s" (Autocc.Report.summary ft cex)
+  | Bmc.Unknown (r, _) -> unexpected_unknown r
 
 let test_aes_unbounded_proof () =
   let ft =

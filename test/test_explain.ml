@@ -46,6 +46,8 @@ let find_cex ?(max_depth = 12) dut =
   match Autocc.Ft.check ~max_depth ft with
   | Bmc.Cex (cex, _) -> (ft, cex)
   | Bmc.Bounded_proof _ -> Alcotest.fail "expected a covert-channel CEX"
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 let test_slice () =
   let ft, cex = find_cex (leaky_dut ()) in
@@ -154,7 +156,8 @@ let test_cluster () =
     Bmc.check_each ~max_depth:12 ft.Autocc.Ft.wrapper ft.Autocc.Ft.property
     |> List.filter_map (function
          | _, Bmc.Cex (cex, _) -> Some cex
-         | _, Bmc.Bounded_proof _ -> None)
+         | _, Bmc.Bounded_proof _ -> None
+         | _, Bmc.Unknown _ -> None)
   in
   Alcotest.(check int) "one raw CEX per leaking output" 2 (List.length cexs);
   let channels = Explain.cluster ft cexs in
@@ -232,7 +235,7 @@ let test_campaign () =
     match Json.member "schema" j with Some (Json.Str s) -> s | _ -> "?"
   in
   let index = parse (Filename.concat out_dir "campaign.json") in
-  Alcotest.(check string) "index schema" "autocc.campaign/1" (schema index);
+  Alcotest.(check string) "index schema" "autocc.campaign/2" (schema index);
   let channel_file =
     match Json.member "entries" index with
     | Some (Json.List [ entry ]) -> (

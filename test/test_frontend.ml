@@ -163,7 +163,9 @@ let test_round_trip_formal () =
       | Bmc.Bounded_proof _ -> ()
       | Bmc.Cex (cex, _) ->
           Alcotest.failf "%s: formally inequivalent after round trip (depth %d)" name
-            cex.Bmc.cex_depth)
+            cex.Bmc.cex_depth
+      | Bmc.Unknown (r, _) ->
+          Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r))
     [ ("maple", Duts.Maple.create ()); ("divider", Duts.Divider.create ()) ]
 
 let prop_random_circuit_round_trip seed =
@@ -232,13 +234,17 @@ let test_hierarchy_blackbox () =
      (declared purely in source) removes that state. *)
   (match Autocc.Ft.check ~max_depth:10 (Autocc.Ft.generate ~threshold:2 dut) with
   | Bmc.Cex _ -> ()
-  | Bmc.Bounded_proof _ -> Alcotest.fail "the stash instance must leak");
+  | Bmc.Bounded_proof _ -> Alcotest.fail "the stash instance must leak"
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r));
   match
     Autocc.Ft.check ~max_depth:10
       (Autocc.Ft.generate ~threshold:2 ~blackbox:[ "u0" ] dut)
   with
   | Bmc.Bounded_proof _ -> ()
   | Bmc.Cex _ -> Alcotest.fail "blackboxing the instance removes the state"
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 let test_nested_hierarchy () =
   (* Two levels of instantiation; state and boundaries nest with dotted
@@ -338,6 +344,8 @@ let test_sv_to_covert_channel () =
             (List.exists
                (fun (n, _, _) -> n = "stash")
                (Autocc.Ft.state_diff ft cex ~cycle)))
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 let test_sv_fix_and_prove () =
   (* Instrument the parsed module with a flush and prove the channel
@@ -351,6 +359,8 @@ let test_sv_fix_and_prove () =
   match Autocc.Ft.check ~max_depth:12 ft with
   | Bmc.Bounded_proof _ -> ()
   | Bmc.Cex _ -> Alcotest.fail "flushing the stash closes the channel"
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 let () =
   Alcotest.run "frontend"

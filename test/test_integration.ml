@@ -130,6 +130,8 @@ let test_first_divergence_order () =
           | Some c2 -> Alcotest.(check bool) "echo later" true (c2 > c1)
           | None -> Alcotest.fail "echo must also diverge")
       | [] -> Alcotest.fail "divergence expected")
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 (* {1 VCD identifiers} *)
 

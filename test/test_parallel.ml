@@ -56,6 +56,7 @@ let inductive_property n =
 let cex_depth = function
   | Bmc.Cex (cex, _) -> Some cex.Bmc.cex_depth
   | Bmc.Bounded_proof _ -> None
+  | Bmc.Unknown _ -> None
 
 (* {1 Deterministic engine tests} *)
 
@@ -79,7 +80,9 @@ let test_shard_agrees () =
             "replays" [ "ne3" ]
             (Bmc.validate cex.Bmc.cex_circuit property cex.Bmc.cex_inputs
                cex.Bmc.cex_depth)
-      | Bmc.Bounded_proof _ -> Alcotest.fail "expected a CEX")
+      | Bmc.Bounded_proof _ -> Alcotest.fail "expected a CEX"
+      | Bmc.Unknown (r, _) ->
+          Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r))
     [ 1; 4 ]
 
 let test_shard_bounded () =
@@ -89,6 +92,8 @@ let test_shard_bounded () =
   | Bmc.Bounded_proof st ->
       Alcotest.(check int) "depth reached" 10 st.Bmc.depth_reached
   | Bmc.Cex _ -> Alcotest.fail "unexpected CEX"
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 let test_portfolio_agrees () =
   let circuit, property = counter_property [ 7; 11 ] in
@@ -164,6 +169,8 @@ let test_equiv_parallel () =
   match Parallel.equiv ~jobs ~max_depth:6 (mk "x") (mk "y") with
   | Bmc.Bounded_proof _ -> ()
   | Bmc.Cex _ -> Alcotest.fail "identical circuits reported different"
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 (* {1 Solver-configuration determinism}
 
@@ -184,6 +191,8 @@ let test_config_determinism () =
         | Bmc.Cex (cex, stats) ->
             (Some (cex.Bmc.cex_depth, cex.Bmc.cex_inputs), stats.Bmc.conflicts)
         | Bmc.Bounded_proof stats -> (None, stats.Bmc.conflicts)
+        | Bmc.Unknown (r, _) ->
+            Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
       in
       let m1, c1 = run () in
       let m2, c2 = run () in

@@ -1,0 +1,443 @@
+(* Tests of the resource-governed runtime: the pure retry schedule, the
+   budget -> Unknown downgrade path, deterministic fault injection (a
+   fault may only downgrade a verdict, never flip it), campaign crash
+   isolation and crash-safe resume. *)
+
+module S = Sat.Solver
+
+let unknown_to_string = Bmc.unknown_reason_to_string
+
+(* {1 Retry: the pure schedule} *)
+
+let test_retry_scale () =
+  let p = Retry.policy ~growth:4. ~cap:64. () in
+  Alcotest.(check (float 0.)) "attempt 0 is the identity" 1. (Retry.scale p ~attempt:0);
+  Alcotest.(check (float 0.)) "attempt 1" 4. (Retry.scale p ~attempt:1);
+  Alcotest.(check (float 0.)) "attempt 2" 16. (Retry.scale p ~attempt:2);
+  Alcotest.(check (float 0.)) "attempt 3" 64. (Retry.scale p ~attempt:3);
+  Alcotest.(check (float 0.)) "capped" 64. (Retry.scale p ~attempt:9)
+
+let test_retry_budget_for () =
+  let p = Retry.policy ~growth:4. ~cap:64. () in
+  let b = Bmc.budget ~wall_s:2. ~conflicts:100 () in
+  let b1 = Retry.budget_for p b ~attempt:1 in
+  Alcotest.(check (option (float 1e-9))) "wall escalated" (Some 8.) b1.Bmc.bud_wall_s;
+  Alcotest.(check (option int)) "conflicts escalated" (Some 400) b1.Bmc.bud_conflicts;
+  Alcotest.(check (option int)) "unset limit stays unset" None b1.Bmc.bud_learnts;
+  let b0 = Retry.budget_for p Bmc.no_budget ~attempt:3 in
+  Alcotest.(check bool) "no_budget is a fixed point" true (b0 = Bmc.no_budget)
+
+let test_retry_config_for () =
+  let alts = [ List.nth (S.portfolio 4) 1; List.nth (S.portfolio 4) 2 ] in
+  let p = Retry.policy ~alternate_configs:alts () in
+  Alcotest.(check bool) "attempt 0 keeps the caller's config" true
+    (Retry.config_for p ~attempt:0 = None);
+  Alcotest.(check bool) "attempt 1 takes the first alternate" true
+    (Retry.config_for p ~attempt:1 = Some (List.nth alts 0));
+  Alcotest.(check bool) "attempt 2 the second" true
+    (Retry.config_for p ~attempt:2 = Some (List.nth alts 1));
+  Alcotest.(check bool) "alternates cycle" true
+    (Retry.config_for p ~attempt:3 = Some (List.nth alts 0));
+  let no_alts = Retry.policy ~alternate_configs:[] () in
+  Alcotest.(check bool) "no alternates: every attempt keeps the config" true
+    (Retry.config_for no_alts ~attempt:2 = None)
+
+let test_retry_backoff () =
+  let p = Retry.policy ~backoff_base_s:0.05 ~backoff_cap_s:0.12 () in
+  Alcotest.(check (float 1e-9)) "first retry" 0.05 (Retry.backoff_s p ~attempt:1);
+  Alcotest.(check (float 1e-9)) "doubles" 0.1 (Retry.backoff_s p ~attempt:2);
+  Alcotest.(check (float 1e-9)) "capped" 0.12 (Retry.backoff_s p ~attempt:3)
+
+let test_retry_should_retry () =
+  let p = Retry.policy ~max_attempts:3 () in
+  let budget_fired =
+    Bmc.Budget_exhausted { ub_budget = S.Wall_clock; ub_depth = 2; ub_case = Bmc.Base }
+  in
+  Alcotest.(check bool) "budget exhaustion is transient" true
+    (Retry.should_retry p ~attempt:0 budget_fired);
+  Alcotest.(check bool) "faults are transient" true
+    (Retry.should_retry p ~attempt:1 (Bmc.Faulted "sat.stop"));
+  Alcotest.(check bool) "bound exhaustion is permanent" false
+    (Retry.should_retry p ~attempt:0 Bmc.Bound_exhausted);
+  Alcotest.(check bool) "attempts are finite" false
+    (Retry.should_retry p ~attempt:2 budget_fired);
+  let once = Retry.policy ~max_attempts:1 () in
+  Alcotest.(check bool) "max_attempts 1 never retries" false
+    (Retry.should_retry once ~attempt:0 budget_fired)
+
+(* {1 Budgets: exhaustion downgrades to Unknown} *)
+
+module Signal = Rtl.Signal
+
+let leaky_dut () =
+  let open Signal in
+  let din = input "din" 4 in
+  let capture = input "capture" 1 in
+  let query = input "query" 4 in
+  let stash = reg "stash" 4 in
+  reg_set_next stash (mux2 capture din stash);
+  Rtl.Circuit.create ~name:"leaky" ~outputs:[ ("hit", query ==: stash) ] ()
+
+let test_wall_budget_unknown () =
+  (* An already-expired deadline: the engine must answer Unknown at the
+     first poll on any machine, reporting clean up to the depth before
+     the one it was exploring. *)
+  let ft = Autocc.Ft.generate ~threshold:2 (leaky_dut ()) in
+  match
+    Autocc.Ft.check ~max_depth:8 ~budget:(Bmc.budget ~wall_s:1e-9 ()) ft
+  with
+  | Bmc.Unknown ((Bmc.Budget_exhausted { ub_budget = S.Wall_clock; ub_depth; _ } as r), stats)
+    ->
+      Alcotest.(check int) "clean up to the depth before exhaustion"
+        (ub_depth - 1) stats.Bmc.depth_reached;
+      Alcotest.(check bool) "reason renders as a budget" true
+        (String.length (unknown_to_string r) >= 6
+        && String.sub (unknown_to_string r) 0 6 = "budget")
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "wrong unknown reason: %s" (unknown_to_string r)
+  | Bmc.Cex _ | Bmc.Bounded_proof _ ->
+      Alcotest.fail "an expired deadline cannot produce a conclusive verdict"
+
+let test_conflict_budget_unknown () =
+  (* MAPLE needs real search; one conflict cannot be enough. *)
+  let ft = Autocc.Ft.generate ~threshold:2 (Duts.Maple.create ()) in
+  match
+    Autocc.Ft.check ~max_depth:8 ~budget:(Bmc.budget ~conflicts:1 ()) ft
+  with
+  | Bmc.Unknown (Bmc.Budget_exhausted { ub_budget = S.Conflicts; _ }, _) -> ()
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "wrong unknown reason: %s" (unknown_to_string r)
+  | Bmc.Cex _ | Bmc.Bounded_proof _ ->
+      Alcotest.fail "one conflict cannot decide MAPLE"
+
+let test_budget_escalation_recovers () =
+  (* A starved first attempt plus an escalating retry policy must end
+     conclusive: the parallel engine re-runs the job with grown budgets. *)
+  let ft = Autocc.Ft.generate ~threshold:2 (leaky_dut ()) in
+  let retry =
+    Retry.policy ~max_attempts:6 ~growth:100. ~cap:1e9 ~backoff_base_s:0.001
+      ~backoff_cap_s:0.002 ()
+  in
+  match
+    Autocc.Ft.check ~max_depth:8 ~jobs:2
+      ~budget:(Bmc.budget ~wall_s:1e-6 ())
+      ~retry ft
+  with
+  | Bmc.Cex _ -> ()
+  | Bmc.Bounded_proof _ -> Alcotest.fail "the leaky DUT must yield a CEX"
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "escalation to ~100s never fired: %s" (unknown_to_string r)
+
+(* {1 Fault injection: verdicts only ever degrade} *)
+
+let test_fault_determinism () =
+  (* The per-hit die is a pure function of (seed, site, n): two armed
+     runs replay the same decisions. *)
+  let burst () =
+    Fault.arm ~rate:0.3 ~seed:1234 ();
+    let fired = List.init 200 (fun _ -> Fault.fire "site.a") in
+    let hits = Fault.hits () and count = Fault.fired () in
+    Fault.disarm ();
+    (fired, hits, count)
+  in
+  let f1, h1, c1 = burst () in
+  let f2, h2, c2 = burst () in
+  Alcotest.(check (list bool)) "same decisions" f1 f2;
+  Alcotest.(check int) "same hit count" h1 h2;
+  Alcotest.(check int) "same fired count" c1 c2;
+  Alcotest.(check bool) "the die does fire at rate 0.3" true (c1 > 0);
+  Alcotest.(check bool) "but not every time" true (c1 < h1);
+  Fault.arm ~rate:0.3 ~seed:4321 ();
+  let f3 = List.init 200 (fun _ -> Fault.fire "site.a") in
+  Fault.disarm ();
+  Alcotest.(check bool) "a different seed gives a different trace" true (f1 <> f3)
+
+let verdict_flip ref_outcome outcome =
+  match (ref_outcome, outcome) with
+  | Bmc.Cex (c1, _), Bmc.Cex (c2, _) -> c1.Bmc.cex_depth <> c2.Bmc.cex_depth
+  | Bmc.Bounded_proof _, Bmc.Bounded_proof _ -> false
+  | _, Bmc.Unknown _ -> false (* a downgrade, not a flip *)
+  | Bmc.Cex _, Bmc.Bounded_proof _ | Bmc.Bounded_proof _, Bmc.Cex _ -> true
+  | Bmc.Unknown _, _ -> true (* the fault-free reference must be conclusive *)
+
+let test_fault_fuzz () =
+  (* Random circuits under seeded fault injection, single-domain and
+     multi-domain: the governed engine may answer Unknown but must never
+     contradict the fault-free reference verdict. *)
+  let total_fired = ref 0 in
+  for seed = 1 to 8 do
+    let st = Random.State.make [| seed |] in
+    let circuit = Gen_circuit.random_circuit st ~num_nodes:25 ~num_regs:3 in
+    let property = Gen_circuit.random_property st circuit ~num_asserts:3 in
+    let reference = Bmc.check ~max_depth:5 circuit property in
+    (match reference with
+    | Bmc.Unknown (r, _) ->
+        Alcotest.failf "seed %d: fault-free reference is unknown (%s)" seed
+          (unknown_to_string r)
+    | _ -> ());
+    List.iter
+      (fun jobs ->
+        Fault.arm ~rate:0.05 ~seed ();
+        let outcome =
+          Fun.protect
+            ~finally:(fun () ->
+              total_fired := !total_fired + Fault.fired ();
+              Fault.disarm ())
+            (fun () -> Parallel.check ~jobs ~max_depth:5 circuit property)
+        in
+        if verdict_flip reference outcome then
+          Alcotest.failf "seed %d jobs %d: fault flipped the verdict" seed jobs)
+      [ 1; 4 ]
+  done;
+  Alcotest.(check bool) "the corpus did exercise fault points" true (!total_fired > 0)
+
+let test_fault_fuzz_with_retry () =
+  (* Same contract when a retry policy is allowed to rescue faulted
+     jobs; retries raise the odds of a conclusive (hence equal) verdict
+     but must never manufacture a contradicting one. *)
+  let retry =
+    Retry.policy ~max_attempts:3 ~backoff_base_s:0.001 ~backoff_cap_s:0.002 ()
+  in
+  for seed = 11 to 16 do
+    let st = Random.State.make [| seed |] in
+    let circuit = Gen_circuit.random_circuit st ~num_nodes:25 ~num_regs:3 in
+    let property = Gen_circuit.random_property st circuit ~num_asserts:3 in
+    let reference = Bmc.check ~max_depth:5 circuit property in
+    (match reference with
+    | Bmc.Unknown (r, _) ->
+        Alcotest.failf "seed %d: fault-free reference is unknown (%s)" seed
+          (unknown_to_string r)
+    | _ -> ());
+    Fault.arm ~rate:0.05 ~seed ();
+    let outcome =
+      Fun.protect
+        ~finally:(fun () -> Fault.disarm ())
+        (fun () -> Parallel.check ~jobs:4 ~retry ~max_depth:5 circuit property)
+    in
+    if verdict_flip reference outcome then
+      Alcotest.failf "seed %d: fault flipped the verdict under retry" seed
+  done
+
+(* {1 Campaigns: crash isolation and resume} *)
+
+let two_leak_dut () =
+  let open Signal in
+  let din = input "din" 4 in
+  let cap1 = input "cap1" 1 in
+  let cap2 = input "cap2" 1 in
+  let query = input "query" 4 in
+  let stash1 = reg "stash1" 4 in
+  let stash2 = reg "stash2" 4 in
+  reg_set_next stash1 (mux2 cap1 din stash1);
+  reg_set_next stash2 (mux2 cap2 din stash2);
+  Rtl.Circuit.create ~name:"twoleak"
+    ~outputs:[ ("hit1", query ==: stash1); ("hit2", query ==: stash2) ]
+    ()
+
+let entry label dut ?(max_depth = 8) () =
+  {
+    Explain.Campaign.e_label = label;
+    e_dut = label;
+    e_ft = (fun () -> Autocc.Ft.generate ~threshold:2 (dut ()));
+    e_max_depth = max_depth;
+  }
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let tmp_dir name =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "autocc_test_%s_%d" name (Unix.getpid ()))
+  in
+  rm_rf dir;
+  dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let channel_names result =
+  List.sort compare
+    (List.concat_map
+       (fun r ->
+         List.map
+           (fun cr -> cr.Explain.Campaign.cr_name)
+           r.Explain.Campaign.r_index)
+       result.Explain.Campaign.c_results)
+
+let test_campaign_crash_isolation () =
+  (* A crashing entry is downgraded to a Failed record; the rest of the
+     campaign still runs and persists. *)
+  let dir = tmp_dir "crash" in
+  let crashing =
+    {
+      Explain.Campaign.e_label = "crashing";
+      e_dut = "crashing";
+      e_ft = (fun () -> raise (Fault.Injected "test.site"));
+      e_max_depth = 8;
+    }
+  in
+  let result =
+    Explain.Campaign.run ~opt:Opt.O2 ~out_dir:dir
+      [ crashing; entry "leaky" leaky_dut () ]
+  in
+  (match result.Explain.Campaign.c_results with
+  | [ bad; good ] ->
+      (match bad.Explain.Campaign.r_status with
+      | `Failed msg -> Alcotest.(check string) "fault site named" "fault:test.site" msg
+      | `Done -> Alcotest.fail "the crashing entry cannot be Done");
+      (match good.Explain.Campaign.r_status with
+      | `Done -> ()
+      | `Failed m -> Alcotest.failf "healthy entry dragged down: %s" m);
+      Alcotest.(check bool) "healthy entry found its channel" true
+        (good.Explain.Campaign.r_index <> [])
+  | rs -> Alcotest.failf "expected 2 results, got %d" (List.length rs));
+  (* The persisted index records both. *)
+  let index =
+    match Obs.Json.parse (read_file (Filename.concat dir "campaign.json")) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "campaign.json does not parse: %s" e
+  in
+  (match Obs.Json.member "entries" index with
+  | Some (Obs.Json.List [ e1; e2 ]) ->
+      let status e =
+        match Obs.Json.member "status" e with
+        | Some (Obs.Json.Str s) -> s
+        | _ -> "?"
+      in
+      Alcotest.(check string) "failed persisted" "failed" (status e1);
+      Alcotest.(check string) "done persisted" "done" (status e2)
+  | _ -> Alcotest.fail "index must carry both entries");
+  rm_rf dir
+
+let test_campaign_resume_bytes () =
+  (* Resuming an already-complete campaign re-solves nothing and
+     rewrites campaign.json byte-identically. *)
+  let dir = tmp_dir "resume_bytes" in
+  let entries = [ entry "leaky" leaky_dut (); entry "twoleak" two_leak_dut () ] in
+  let first = Explain.Campaign.run ~opt:Opt.O2 ~out_dir:dir entries in
+  let bytes_before = read_file (Filename.concat dir "campaign.json") in
+  let second =
+    Explain.Campaign.run ~opt:Opt.O2 ~out_dir:dir ~resume:true entries
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.Explain.Campaign.r_label ^ " resumed")
+        true r.Explain.Campaign.r_resumed)
+    second.Explain.Campaign.c_results;
+  let bytes_after = read_file (Filename.concat dir "campaign.json") in
+  Alcotest.(check string) "campaign.json byte-identical" bytes_before bytes_after;
+  Alcotest.(check (list string)) "same channel set"
+    (channel_names first) (channel_names second);
+  Alcotest.(check (list string)) "same artifact list"
+    (List.sort compare first.Explain.Campaign.c_artifacts)
+    (List.sort compare second.Explain.Campaign.c_artifacts);
+  rm_rf dir
+
+let test_campaign_interrupted_resume () =
+  (* Simulate a campaign killed between entries: only the first entry's
+     work is on disk. Resume completes the rest and the final channel
+     set matches an uninterrupted run. *)
+  let e1 = entry "leaky" leaky_dut () in
+  let e2 = entry "twoleak" two_leak_dut () in
+  let full_dir = tmp_dir "uninterrupted" in
+  let full = Explain.Campaign.run ~opt:Opt.O2 ~out_dir:full_dir [ e1; e2 ] in
+  let dir = tmp_dir "interrupted" in
+  let _partial = Explain.Campaign.run ~opt:Opt.O2 ~out_dir:dir [ e1 ] in
+  let resumed =
+    Explain.Campaign.run ~opt:Opt.O2 ~out_dir:dir ~resume:true [ e1; e2 ]
+  in
+  (match resumed.Explain.Campaign.c_results with
+  | [ r1; r2 ] ->
+      Alcotest.(check bool) "completed entry reused" true
+        r1.Explain.Campaign.r_resumed;
+      Alcotest.(check bool) "missing entry recomputed" false
+        r2.Explain.Campaign.r_resumed
+  | rs -> Alcotest.failf "expected 2 results, got %d" (List.length rs));
+  Alcotest.(check (list string)) "channel set matches the uninterrupted run"
+    (channel_names full) (channel_names resumed);
+  rm_rf full_dir;
+  rm_rf dir
+
+let test_campaign_resume_validates () =
+  (* A persisted entry is only reused when it still matches: a changed
+     max_depth forces recomputation. *)
+  let dir = tmp_dir "revalidate" in
+  let _ = Explain.Campaign.run ~opt:Opt.O2 ~out_dir:dir [ entry "leaky" leaky_dut () ] in
+  let deeper =
+    Explain.Campaign.run ~opt:Opt.O2 ~out_dir:dir ~resume:true
+      [ entry "leaky" leaky_dut ~max_depth:9 () ]
+  in
+  (match deeper.Explain.Campaign.c_results with
+  | [ r ] ->
+      Alcotest.(check bool) "depth change invalidates the record" false
+        r.Explain.Campaign.r_resumed
+  | _ -> Alcotest.fail "one result expected");
+  (* And a corrupted channel artifact also invalidates it. *)
+  let _ = Explain.Campaign.run ~opt:Opt.O2 ~out_dir:dir [ entry "leaky" leaky_dut () ] in
+  let oc = open_out (Filename.concat dir "channel_leaky_0.json") in
+  output_string oc "not json";
+  close_out oc;
+  let resumed =
+    Explain.Campaign.run ~opt:Opt.O2 ~out_dir:dir ~resume:true
+      [ entry "leaky" leaky_dut () ]
+  in
+  (match resumed.Explain.Campaign.c_results with
+  | [ r ] ->
+      Alcotest.(check bool) "corrupt artifact invalidates the record" false
+        r.Explain.Campaign.r_resumed
+  | _ -> Alcotest.fail "one result expected");
+  rm_rf dir
+
+let test_campaign_unwritable_out_dir () =
+  (* A file where the output directory should be: diagnosed before any
+     solving (works even as root, where permission bits don't bite). *)
+  let path = Filename.temp_file "autocc_not_a_dir" "" in
+  (match
+     Explain.Campaign.run ~out_dir:path [ entry "leaky" leaky_dut () ]
+   with
+  | exception Failure msg ->
+      Alcotest.(check bool) "diagnostic names the problem" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "an unusable out_dir must fail fast");
+  Sys.remove path
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "retry",
+        [
+          Alcotest.test_case "scale schedule" `Quick test_retry_scale;
+          Alcotest.test_case "budget escalation" `Quick test_retry_budget_for;
+          Alcotest.test_case "config rotation" `Quick test_retry_config_for;
+          Alcotest.test_case "capped backoff" `Quick test_retry_backoff;
+          Alcotest.test_case "transience" `Quick test_retry_should_retry;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "wall-clock exhaustion" `Quick test_wall_budget_unknown;
+          Alcotest.test_case "conflict exhaustion" `Quick test_conflict_budget_unknown;
+          Alcotest.test_case "escalation recovers" `Quick test_budget_escalation_recovers;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "seeded determinism" `Quick test_fault_determinism;
+          Alcotest.test_case "fuzz: no verdict flips" `Quick test_fault_fuzz;
+          Alcotest.test_case "fuzz under retry" `Quick test_fault_fuzz_with_retry;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "crash isolation" `Quick test_campaign_crash_isolation;
+          Alcotest.test_case "resume is byte-stable" `Quick test_campaign_resume_bytes;
+          Alcotest.test_case "interrupted resume" `Quick test_campaign_interrupted_resume;
+          Alcotest.test_case "resume validates records" `Quick test_campaign_resume_validates;
+          Alcotest.test_case "unwritable out dir" `Quick test_campaign_unwritable_out_dir;
+        ] );
+    ]

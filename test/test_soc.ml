@@ -77,6 +77,8 @@ let test_baseline_misses_wide () =
   with
   | Bmc.Cex _ -> ()
   | Bmc.Bounded_proof _ -> Alcotest.fail "BMC must find the wide channel"
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown (%s)" (Bmc.unknown_reason_to_string r)
 
 let test_baseline_flush_script () =
   (* With a scripted cleanup, the fixed MAPLE shows no divergence. *)

@@ -3,9 +3,9 @@
 
      validate_explain.exe CAMPAIGN.json CHANNEL.json REPORT.html
 
-   Checks that the campaign index follows the autocc.campaign/1 schema
-   (entries with label/dut/counters and channel records that reference
-   their per-channel artifacts), that the channel artifact follows
+   Checks that the campaign index follows the autocc.campaign/2 schema
+   (entries with label/dut/status/counters and channel records that
+   reference their per-channel artifacts), that the channel artifact follows
    autocc.channel/1 (channel naming, replay-minimized witness with one
    input record per cycle, a non-empty provenance chain ending at an
    observable output, slice metadata, telemetry snapshot), that the two
@@ -44,11 +44,6 @@ let int_field what name j =
   | Some (Json.Int i) -> i
   | _ -> fail "%s lacks int field %S: %s" what name (Json.to_string j)
 
-let num_field what name j =
-  match Json.member name j with
-  | Some (Json.Float _ | Json.Int _) -> ()
-  | _ -> fail "%s lacks numeric field %S: %s" what name (Json.to_string j)
-
 let list_field what name j =
   match Json.member name j with
   | Some (Json.List l) -> l
@@ -67,8 +62,7 @@ let require_schema what tag j =
    first channel so the caller can cross-check the channel artifact. *)
 let check_campaign path =
   let j = parse path in
-  require_schema path "autocc.campaign/1" j;
-  ignore (obj_field path "telemetry" j);
+  require_schema path "autocc.campaign/2" j;
   let entries = list_field path "entries" j in
   if entries = [] then fail "%s has no entries" path;
   let first = ref None in
@@ -76,10 +70,20 @@ let check_campaign path =
     (fun e ->
       let label = str_field path "label" e in
       ignore (str_field path "dut" e);
+      let status = str_field path "status" e in
+      (match (status, Json.member "error" e) with
+      | "done", Some Json.Null -> ()
+      | "failed", Some (Json.Str _) -> ()
+      | "done", _ -> fail "%s: entry %s is done but carries an error" path label
+      | "failed", _ -> fail "%s: entry %s failed without an error message" path label
+      | s, _ -> fail "%s: entry %s has unknown status %S" path label s);
       let asserts = int_field path "asserts" e in
       let raw = int_field path "raw_cexs" e in
+      if int_field path "unknowns" e < 0 then
+        fail "%s: entry %s has a negative unknown count" path label;
       ignore (int_field path "max_depth" e);
-      num_field path "wall_s" e;
+      if int_field path "wall_ms" e < 0 then
+        fail "%s: entry %s has a negative wall time" path label;
       let channels = list_field path "channels" e in
       if raw > asserts then
         fail "%s: entry %s reports more raw CEXs than assertions" path label;
