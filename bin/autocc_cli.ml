@@ -109,8 +109,9 @@ let retry_of retries =
 
 let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfolio
     timeout conflict_budget retries
-    opt_level fix_m2 fix_m3 fix_c1 fix_c2 fix_c3 full_flush verbose vcd trace
-    log_json log_level =
+    opt_level no_incremental fix_m2 fix_m3 fix_c1 fix_c2 fix_c3 full_flush
+    verbose vcd trace log_json log_level =
+  let incremental = not no_incremental in
   with_telemetry trace log_json log_level @@ fun () ->
   let dut =
     match verilog with
@@ -150,13 +151,13 @@ let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfol
       let portfolio = if portfolio > 1 then Some portfolio else None in
       let outcome, detail =
         Autocc.Ft.check_detailed ~max_depth ~progress ~jobs ?portfolio ~budget
-          ?retry ~opt ft
+          ?retry ~opt ~incremental ft
       in
       Format.printf "Parallel run: %a@." Autocc.Report.pp_merged
         (Autocc.Report.merge_stats detail);
       outcome
     end
-    else Autocc.Ft.check ~max_depth ~progress ~budget ?retry ~opt ft
+    else Autocc.Ft.check ~max_depth ~progress ~budget ?retry ~opt ~incremental ft
   in
   let report_opt (stats : Bmc.stats) =
     match stats.Bmc.opt with
@@ -198,7 +199,9 @@ let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfol
 (* {1 prove} *)
 
 let prove dut_name verilog top stage threshold max_depth jobs timeout
-    conflict_budget retries opt_level verbose vcd trace log_json log_level =
+    conflict_budget retries opt_level no_incremental verbose vcd trace log_json
+    log_level =
+  let incremental = not no_incremental in
   with_telemetry trace log_json log_level @@ fun () ->
   let dut =
     match verilog with
@@ -227,7 +230,7 @@ let prove dut_name verilog top stage threshold max_depth jobs timeout
   let outcome =
     Autocc.Ft.prove ~max_depth ~progress ~jobs
       ~budget:(budget_of timeout conflict_budget)
-      ?retry:(retry_of retries) ~opt ft
+      ?retry:(retry_of retries) ~opt ~incremental ft
   in
   (match outcome with
   | Bmc.Proved (k, stats) ->
@@ -379,7 +382,8 @@ let stats dut_name max_depth jobs opt_level trace log_json log_level =
 (* {1 campaign} *)
 
 let campaign duts threshold max_depth timeout conflict_budget retries resume
-    opt_level out_dir trace log_json log_level =
+    opt_level no_incremental out_dir trace log_json log_level =
+  let incremental = not no_incremental in
   with_telemetry trace log_json log_level @@ fun () ->
   (* The artifacts embed a telemetry snapshot, so the registry is always
      on for a campaign. *)
@@ -408,7 +412,7 @@ let campaign duts threshold max_depth timeout conflict_budget retries resume
     (String.concat ", " duts) max_depth (Opt.level_to_int opt);
   let t0 = Unix.gettimeofday () in
   let result =
-    Explain.Campaign.run ~opt
+    Explain.Campaign.run ~opt ~incremental
       ~budget:(budget_of timeout conflict_budget)
       ?retry:(retry_of retries) ~resume ~out_dir entries
   in
@@ -554,6 +558,17 @@ let opt_arg =
            2 (the default) adds SAT sweeping and register correspondence. \
            Verdicts and counterexample depths are unaffected.")
 
+let no_incremental_arg =
+  Arg.(
+    value & flag
+    & info [ "no-incremental" ]
+        ~doc:
+          "Disable incremental (persistent-solver) BMC and re-blast every \
+           depth on a fresh solver instead. Slower, but an independent \
+           search trajectory — the differential oracle the incremental \
+           engine is validated against. Verdicts and counterexample depths \
+           are identical either way.")
+
 let flag name doc = Arg.(value & flag & info [ name ] ~doc)
 
 let trace_arg =
@@ -593,6 +608,7 @@ let analyze_cmd =
               ~doc:"Comma-separated submodule boundaries/instances to blackbox.")
       $ stage_arg $ threshold_arg $ max_depth_arg $ jobs_arg $ portfolio_arg
       $ timeout_arg $ conflict_budget_arg $ retries_arg $ opt_arg
+      $ no_incremental_arg
       $ flag "fix-m2" "Apply the MAPLE M2 fix."
       $ flag "fix-m3" "Apply the MAPLE M3 fix."
       $ flag "fix-c1" "Apply the CVA6 C1 fix."
@@ -617,7 +633,7 @@ let prove_cmd =
           & opt (some string) None
           & info [ "top" ] ~doc:"Top module of a multi-module Verilog source.")
       $ stage_arg $ threshold_arg $ max_depth_arg $ jobs_arg $ timeout_arg
-      $ conflict_budget_arg $ retries_arg $ opt_arg
+      $ conflict_budget_arg $ retries_arg $ opt_arg $ no_incremental_arg
       $ flag "verbose" "Print per-depth progress."
       $ Arg.(
           value
@@ -710,8 +726,9 @@ let campaign_cmd =
           --resume.")
     Term.(
       const campaign $ duts $ threshold_arg $ max_depth_arg $ timeout_arg
-      $ conflict_budget_arg $ retries_arg $ resume $ opt_arg $ out_dir
-      $ trace_arg $ log_json_arg $ log_level_arg)
+      $ conflict_budget_arg $ retries_arg $ resume $ opt_arg
+      $ no_incremental_arg $ out_dir $ trace_arg $ log_json_arg
+      $ log_level_arg)
 
 let export_cmd =
   let dir =

@@ -173,11 +173,14 @@ let prop_output_names property =
    (cone-dropped inputs are provably irrelevant, so zeros do) — the CEX
    is then validated against the unoptimized circuit, which catches any
    optimizer unsoundness as a {!Replay_mismatch}. *)
-let optimize_instrumented ~opt full property =
+let optimize_instrumented ?sweep_solver ~opt full property =
   match opt with
   | Opt.O0 -> (full, property, (fun inputs -> inputs), None)
   | _ ->
-      let o = Opt.optimize ~level:opt ~keep_outputs:(prop_output_names property) full in
+      let o =
+        Opt.optimize ~level:opt ?sweep_solver
+          ~keep_outputs:(prop_output_names property) full
+      in
       let property' =
         {
           assumes = List.map o.Opt.opt_map property.assumes;
@@ -239,9 +242,17 @@ let flush_solver_metrics solvers =
         Obs.Metrics.add (Lazy.force m_sat_learned) st.S.s_learned_total)
       solvers
 
-let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
-    ?(stop = fun () -> false) ?(opt = Opt.O0) ?(budget = no_budget) circuit
-    property =
+(* The incremental engine: ONE solver instance lives for the whole run.
+   The optimizer's sweep queries run on it first (guarded, then retired
+   and simplified away — see {!Opt.optimize}), then each depth adds only
+   the new transition frame (a [Template] instantiation) and selects the
+   per-depth property via an activation literal: clauses [¬act_k ∨ …]
+   are inert until [solve ~assumptions:[act_k]], and a depth moving on
+   retires [act_k] with a unit clause. Learnt clauses and variable
+   activity therefore survive across depths — the amortization the whole
+   refactor is for. *)
+let check_incremental ~max_depth ~progress ?solver_config ~stop ~opt ~budget
+    circuit property =
   check_property "Bmc.check" property;
   let full = instrument circuit property in
   let stop = fault_stop stop in
@@ -282,15 +293,18 @@ let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
         }
   in
   let run () =
-  let circuit, sprop, widen, opt_stats =
-    optimize_instrumented ~opt full property
-  in
-  opt_ref := opt_stats;
   let solver = S.create ?config:solver_config ~stop () in
   S.set_budget solver (solver_budget budget);
   solver_ref := Some solver;
   attach_sampling "check" solver;
-  let blaster = Cnf.Blast.create solver circuit in
+  (* The O2 sweep borrows the persistent solver: its queries obey this
+     run's budget/stop hooks, and the search heuristics arrive at depth
+     0 already warm. *)
+  let circuit, sprop, widen, opt_stats =
+    optimize_instrumented ~sweep_solver:solver ~opt full property
+  in
+  opt_ref := opt_stats;
+  let blaster = Cnf.Blast.create ~mode:Cnf.Blast.Template solver circuit in
   let timed_solve ~depth ~assumptions () =
     Obs.span "sat.solve" ~attrs:[ ("depth", Obs.Json.Int depth) ] @@ fun () ->
     let t0 = Unix.gettimeofday () in
@@ -309,6 +323,10 @@ let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
         Obs.span "bmc.depth" ~attrs:[ ("depth", Obs.Json.Int depth) ]
         @@ fun () ->
         Obs.log ~attrs:[ ("depth", Obs.Json.Int depth) ] Debug "bmc.depth";
+        (* Fault probe for the incremental path: fires between depth
+           [k-1]'s clean verdict and depth [k]'s clause addition, so the
+           robustness fuzz can hit the solver-reuse window specifically. *)
+        if depth > 0 then Fault.point "bmc.incr";
         Fault.point "bmc.alloc";
         Cnf.Blast.unroll_cycle blaster;
         (* Assumptions hold unconditionally on every cycle. *)
@@ -384,25 +402,397 @@ let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
           stats (!cur_depth - 1) )
   | Fault.Injected site -> Unknown (Faulted site, stats (!cur_depth - 1))
 
-(* One independent bounded check per assertion, every assumption kept.
-   Where [check] stops at the first (shallowest) failure of {e any}
-   assertion, this sweep reports a witness per failing output — the raw
-   CEX pool a campaign dedups into distinct channels. Each check runs on
-   its own solver; the per-assertion cone restriction at [-O1]/[-O2]
-   keeps the instances small. *)
-let check_each ?max_depth ?progress ?solver_config ?stop ?opt ?budget circuit
-    property =
-  List.map
-    (fun (name, a) ->
-      let sub = { assumes = property.assumes; asserts = [ (name, a) ] } in
-      ( name,
-        Obs.span "bmc.check_each" ~attrs:[ ("assert", Obs.Json.Str name) ]
-          (fun () ->
-            (* [budget] granted afresh per assertion: one diverging
-               assertion degrades to Unknown without starving the rest. *)
-            check ?max_depth ?progress ?solver_config ?stop ?opt ?budget
-              circuit sub) ))
-    property.asserts
+(* The scratch oracle (`--no-incremental`): every depth gets a fresh
+   solver and a fresh [Direct] re-blast of cycles 0..k, so nothing —
+   learnt clauses, activity, watch lists — survives between depths. Its
+   value is not speed (it is quadratic in depth) but independence: a
+   different CNF shape and a different search trajectory that must still
+   agree with the incremental engine on verdict and CEX depth, which is
+   what the differential harness checks.
+
+   Semantics mirror the incremental engine: facts proven at earlier
+   depths (no assertion fails before k) are re-asserted, so both report
+   the shallowest failing depth. The wall deadline is pinned once at
+   entry and shared by every per-depth solver; the conflict cap is
+   cumulative — depth k's solver receives the cap minus what earlier
+   depths spent — so [Out_of_budget] fires when the run as a whole
+   exceeds the grant and the report stays clean up to depth k-1. *)
+let check_scratch ~max_depth ~progress ?solver_config ~stop ~opt ~budget
+    circuit property =
+  check_property "Bmc.check" property;
+  let full = instrument circuit property in
+  let stop = fault_stop stop in
+  let solve_time = ref 0. in
+  let cur_depth = ref 0 in
+  let opt_ref = ref None in
+  let sbud = solver_budget budget in
+  (* Counters fold in as each per-depth solver retires; the size fields
+     track the deepest (= largest) instance. *)
+  let acc_conflicts = ref 0 and acc_decisions = ref 0 in
+  let acc_propagations = ref 0 and acc_restarts = ref 0 in
+  let last_vars = ref 0 and last_clauses = ref 0 in
+  let live = ref None in
+  let retire_solver () =
+    match !live with
+    | None -> ()
+    | Some solver ->
+        flush_solver_metrics [ solver ];
+        let st = S.stats solver in
+        acc_conflicts := !acc_conflicts + st.S.s_conflicts;
+        acc_decisions := !acc_decisions + st.S.s_decisions;
+        acc_propagations := !acc_propagations + st.S.s_propagations;
+        acc_restarts := !acc_restarts + st.S.s_restarts;
+        last_vars := st.S.s_vars;
+        last_clauses := st.S.s_clauses;
+        live := None
+  in
+  let stats depth =
+    retire_solver ();
+    {
+      depth_reached = depth;
+      solve_time = !solve_time;
+      vars = !last_vars;
+      clauses = !last_clauses;
+      conflicts = !acc_conflicts;
+      decisions = !acc_decisions;
+      propagations = !acc_propagations;
+      restarts = !acc_restarts;
+      opt = !opt_ref;
+    }
+  in
+  let run () =
+    let circuit, sprop, widen, opt_stats =
+      optimize_instrumented ~opt full property
+    in
+    opt_ref := opt_stats;
+    let rec go depth =
+      if depth > max_depth then Bounded_proof (stats max_depth)
+      else begin
+        cur_depth := depth;
+        if stop () then raise S.Stopped;
+        progress depth;
+        let t_depth = Unix.gettimeofday () in
+        let found =
+          Obs.span "bmc.depth" ~attrs:[ ("depth", Obs.Json.Int depth) ]
+          @@ fun () ->
+          Obs.log ~attrs:[ ("depth", Obs.Json.Int depth) ] Debug "bmc.depth";
+          Fault.point "bmc.alloc";
+          let solver = S.create ?config:solver_config ~stop () in
+          S.set_budget solver
+            {
+              sbud with
+              S.b_conflicts =
+                Option.map
+                  (fun cap -> cap - !acc_conflicts)
+                  budget.bud_conflicts;
+            };
+          attach_sampling "check" solver;
+          live := Some solver;
+          let blaster = Cnf.Blast.create solver circuit in
+          for cycle = 0 to depth do
+            Cnf.Blast.unroll_cycle blaster;
+            List.iter
+              (fun a -> S.add_clause solver [ Cnf.Blast.lit1 blaster ~cycle a ])
+              sprop.assumes;
+            if cycle < depth then
+              List.iter
+                (fun (_, a) ->
+                  S.add_clause solver [ Cnf.Blast.lit1 blaster ~cycle a ])
+                sprop.asserts
+          done;
+          let act = Cnf.Blast.fresh_var blaster in
+          S.add_clause solver
+            (S.neg act
+            :: List.map
+                 (fun (_, a) -> S.neg (Cnf.Blast.lit1 blaster ~cycle:depth a))
+                 sprop.asserts);
+          let r =
+            Obs.span "sat.solve" ~attrs:[ ("depth", Obs.Json.Int depth) ]
+            @@ fun () ->
+            let t0 = Unix.gettimeofday () in
+            let r = S.solve ~assumptions:[ act ] solver in
+            solve_time := !solve_time +. (Unix.gettimeofday () -. t0);
+            r
+          in
+          match r with
+          | S.Sat ->
+              let inputs =
+                Array.init (depth + 1) (fun cycle ->
+                    List.map
+                      (fun p ->
+                        ( p.Circuit.port_name,
+                          Cnf.Blast.input_value blaster ~cycle
+                            p.Circuit.port_name ))
+                      (Circuit.inputs circuit))
+              in
+              let inputs = widen inputs in
+              let failed = validate full property inputs depth in
+              Obs.instant ~attrs:[ ("depth", Obs.Json.Int depth) ] "bmc.cex";
+              Some
+                (Cex
+                   ( {
+                       cex_depth = depth;
+                       cex_inputs = inputs;
+                       cex_failed = failed;
+                       cex_circuit = full;
+                     },
+                     stats depth ))
+          | S.Unsat ->
+              retire_solver ();
+              None
+        in
+        if Obs.Metrics.enabled () then
+          Obs.Metrics.record (Lazy.force m_depth_seconds)
+            (Unix.gettimeofday () -. t_depth);
+        match found with Some outcome -> outcome | None -> go (depth + 1)
+      end
+    in
+    go 0
+  in
+  try run () with
+  | S.Stopped -> raise (Cancelled (stats !cur_depth))
+  | S.Out_of_budget kind ->
+      Unknown
+        ( Budget_exhausted
+            { ub_budget = kind; ub_depth = !cur_depth; ub_case = Base },
+          stats (!cur_depth - 1) )
+  | Fault.Injected site -> Unknown (Faulted site, stats (!cur_depth - 1))
+
+let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
+    ?(stop = fun () -> false) ?(opt = Opt.O0) ?(budget = no_budget)
+    ?(incremental = true) circuit property =
+  if incremental then
+    check_incremental ~max_depth ~progress ?solver_config ~stop ~opt ~budget
+      circuit property
+  else
+    check_scratch ~max_depth ~progress ?solver_config ~stop ~opt ~budget
+      circuit property
+
+(* One bounded check per assertion, every assumption kept. Where [check]
+   stops at the first (shallowest) failure of {e any} assertion, this
+   sweep reports a witness per failing output — the raw CEX pool a
+   campaign dedups into distinct channels.
+
+   Incremental mode shares ONE solver session across the whole sweep:
+   the circuit is optimized once over the union of the assertion cones
+   (a trade-off against the per-assertion cone restriction of the
+   scratch path: one bigger instance, paid for once), the unrolling is
+   shared, and each per-assertion Unsat verdict is recorded as a unit
+   fact — sound to share because "assertion A holds at cycle c" is an
+   unconditional theorem under the assumptions, independent of which
+   assertion's search proved it. The [budget] is still granted afresh
+   per assertion (fresh deadline; conflict/learnt caps re-based on the
+   session's current counters), so one diverging assertion degrades to
+   Unknown without starving the rest; a budget abort or injected fault
+   leaves the solver's search state undefined, so the poisoned session
+   is dropped and the next assertion rebuilds it.
+
+   Scratch mode keeps the historical semantics exactly: one fresh
+   [check ~incremental:false] per assertion, each optimized down to its
+   own cone. *)
+let check_each ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
+    ?(stop = fun () -> false) ?(opt = Opt.O0) ?(budget = no_budget)
+    ?(incremental = true) circuit property =
+  if property.asserts = [] then []
+  else if not incremental then
+    List.map
+      (fun (name, a) ->
+        let sub = { assumes = property.assumes; asserts = [ (name, a) ] } in
+        ( name,
+          Obs.span "bmc.check_each" ~attrs:[ ("assert", Obs.Json.Str name) ]
+            (fun () ->
+              check ~max_depth ~progress ?solver_config ~stop ~opt ~budget
+                ~incremental:false circuit sub) ))
+      property.asserts
+  else begin
+    check_property "Bmc.check_each" property;
+    let full = instrument circuit property in
+    let stop = fault_stop stop in
+    let opt_memo = ref None in
+    let session = ref None in
+    let all_solvers = ref [] in
+    let get_session () =
+      match !session with
+      | Some s -> s
+      | None ->
+          let solver = S.create ?config:solver_config ~stop () in
+          attach_sampling "check_each" solver;
+          all_solvers := solver :: !all_solvers;
+          let opt_result =
+            match !opt_memo with
+            | Some r -> r
+            | None ->
+                (* The O2 sweep borrows the session solver under its own
+                   budget grant; its warm-up benefits every assertion. *)
+                S.set_budget solver (solver_budget budget);
+                let r =
+                  optimize_instrumented ~sweep_solver:solver ~opt full property
+                in
+                opt_memo := Some r;
+                r
+          in
+          let circuit', _, _, _ = opt_result in
+          let blaster =
+            Cnf.Blast.create ~mode:Cnf.Blast.Template solver circuit'
+          in
+          let s = (solver, blaster, opt_result) in
+          session := Some s;
+          s
+    in
+    (* Unroll (and constrain with the assumptions) up to [depth]; cycles
+       unrolled during an earlier assertion's search are reused as-is. *)
+    let ensure_cycle solver blaster sprop depth =
+      while Cnf.Blast.cycles blaster <= depth do
+        let cycle = Cnf.Blast.cycles blaster in
+        Fault.point "bmc.alloc";
+        Cnf.Blast.unroll_cycle blaster;
+        List.iter
+          (fun a -> S.add_clause solver [ Cnf.Blast.lit1 blaster ~cycle a ])
+          sprop.assumes
+      done
+    in
+    let opt_stats_of () =
+      match !opt_memo with Some (_, _, _, o) -> o | None -> None
+    in
+    let run_one idx (name, orig_a) =
+      Obs.span "bmc.check_each" ~attrs:[ ("assert", Obs.Json.Str name) ]
+      @@ fun () ->
+      let solve_time = ref 0. in
+      let cur_depth = ref 0 in
+      let baseline = ref None in
+      (* Per-assertion view of the shared instance: counters are deltas
+         against the session snapshot taken when this assertion started;
+         sizes stay absolute (the instance the query actually ran on). *)
+      let stats depth =
+        match !baseline with
+        | None ->
+            {
+              depth_reached = depth;
+              solve_time = !solve_time;
+              vars = 0;
+              clauses = 0;
+              conflicts = 0;
+              decisions = 0;
+              propagations = 0;
+              restarts = 0;
+              opt = opt_stats_of ();
+            }
+        | Some (solver, st0) ->
+            let st = S.stats solver in
+            {
+              depth_reached = depth;
+              solve_time = !solve_time;
+              vars = st.S.s_vars;
+              clauses = st.S.s_clauses;
+              conflicts = st.S.s_conflicts - st0.S.s_conflicts;
+              decisions = st.S.s_decisions - st0.S.s_decisions;
+              propagations = st.S.s_propagations - st0.S.s_propagations;
+              restarts = st.S.s_restarts - st0.S.s_restarts;
+              opt = opt_stats_of ();
+            }
+      in
+      let run () =
+        let solver, blaster, (_, sprop, widen, _) = get_session () in
+        let st0 = S.stats solver in
+        baseline := Some (solver, st0);
+        (* Fresh grant on the shared instance: new deadline, caps re-based
+           on what the session has already spent. *)
+        let sbud = solver_budget budget in
+        S.set_budget solver
+          {
+            sbud with
+            S.b_conflicts =
+              Option.map
+                (fun cap -> st0.S.s_conflicts + cap)
+                budget.bud_conflicts;
+            b_learnts =
+              Option.map (fun cap -> st0.S.s_learnts + cap) budget.bud_learnts;
+          };
+        let asig = snd (List.nth sprop.asserts idx) in
+        let sub = { assumes = property.assumes; asserts = [ (name, orig_a) ] } in
+        let rec go depth =
+          if depth > max_depth then Bounded_proof (stats max_depth)
+          else begin
+            cur_depth := depth;
+            if stop () then raise S.Stopped;
+            progress depth;
+            let found =
+              Obs.span "bmc.depth" ~attrs:[ ("depth", Obs.Json.Int depth) ]
+              @@ fun () ->
+              if depth > 0 then Fault.point "bmc.incr";
+              ensure_cycle solver blaster sprop depth;
+              let alit = Cnf.Blast.lit1 blaster ~cycle:depth asig in
+              let act = Cnf.Blast.fresh_var blaster in
+              S.add_clause solver [ S.neg act; S.neg alit ];
+              let r =
+                Obs.span "sat.solve" ~attrs:[ ("depth", Obs.Json.Int depth) ]
+                @@ fun () ->
+                let t0 = Unix.gettimeofday () in
+                let r = S.solve ~assumptions:[ act ] solver in
+                solve_time := !solve_time +. (Unix.gettimeofday () -. t0);
+                r
+              in
+              match r with
+              | S.Sat ->
+                  S.add_clause solver [ S.neg act ];
+                  let inputs =
+                    Array.init (depth + 1) (fun cycle ->
+                        List.map
+                          (fun p ->
+                            ( p.Circuit.port_name,
+                              Cnf.Blast.input_value blaster ~cycle
+                                p.Circuit.port_name ))
+                          (Circuit.inputs (Cnf.Blast.circuit blaster)))
+                  in
+                  let inputs = widen inputs in
+                  let failed = validate full sub inputs depth in
+                  Obs.instant
+                    ~attrs:[ ("depth", Obs.Json.Int depth) ]
+                    "bmc.cex";
+                  Some
+                    (Cex
+                       ( {
+                           cex_depth = depth;
+                           cex_inputs = inputs;
+                           cex_failed = failed;
+                           cex_circuit = full;
+                         },
+                         stats depth ))
+              | S.Unsat ->
+                  (* Retire the query and record the theorem: this
+                     assertion holds at [depth], for every later search. *)
+                  S.add_clause solver [ S.neg act ];
+                  S.add_clause solver [ alit ];
+                  None
+            in
+            match found with Some outcome -> outcome | None -> go (depth + 1)
+          end
+        in
+        go 0
+      in
+      try run () with
+      | S.Stopped ->
+          session := None;
+          raise (Cancelled (stats !cur_depth))
+      | S.Out_of_budget kind ->
+          session := None;
+          Unknown
+            ( Budget_exhausted
+                { ub_budget = kind; ub_depth = !cur_depth; ub_case = Base },
+              stats (!cur_depth - 1) )
+      | Fault.Injected site ->
+          session := None;
+          Unknown (Faulted site, stats (!cur_depth - 1))
+    in
+    let flush () = flush_solver_metrics !all_solvers in
+    match List.mapi (fun i (name, a) -> (name, run_one i (name, a))) property.asserts with
+    | results ->
+        flush ();
+        results
+    | exception e ->
+        flush ();
+        raise e
+  end
 
 let pp_cex fmt cex =
   Format.fprintf fmt "CEX at depth %d, failing: %s@."
@@ -424,9 +814,15 @@ type induction_outcome =
   | Refuted of cex * stats
   | Unknown of unknown_reason * stats
 
-let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
-    ?(stop = fun () -> false) ?(opt = Opt.O0) ?(budget = no_budget) circuit
-    property =
+(* Incremental k-induction: the base and step solvers are each created
+   once and live across every round — round k adds one [Template] frame,
+   the round's activation literal, and (step side) the uniqueness
+   constraints pairing cycle k against earlier cycles; the previously
+   installed pairs persist, so after round k the step instance carries
+   the full loop-free condition over cycles 0..k. The O2 sweep borrows
+   the base solver. *)
+let prove_incremental ~max_depth ~progress ?solver_config ~stop ~opt ~budget
+    circuit property =
   check_property "Bmc.prove" property;
   let full = instrument circuit property in
   let stop = fault_stop stop in
@@ -453,20 +849,24 @@ let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
     }
   in
   let run () =
-  let circuit, sprop, widen, opt_stats =
-    optimize_instrumented ~opt full property
-  in
-  opt_ref := opt_stats;
   (* One absolute deadline shared by both solvers. *)
   let sbud = solver_budget budget in
   let base_solver = S.create ?config:solver_config ~stop () in
   S.set_budget base_solver sbud;
   attach_sampling "base" base_solver;
-  let base = Cnf.Blast.create base_solver circuit in
+  solvers_ref := [ base_solver ];
+  let circuit, sprop, widen, opt_stats =
+    optimize_instrumented ~sweep_solver:base_solver ~opt full property
+  in
+  opt_ref := opt_stats;
+  let base = Cnf.Blast.create ~mode:Cnf.Blast.Template base_solver circuit in
   let step_solver = S.create ?config:solver_config ~stop () in
   S.set_budget step_solver sbud;
   attach_sampling "step" step_solver;
-  let step = Cnf.Blast.create ~free_init:true step_solver circuit in
+  let step =
+    Cnf.Blast.create ~free_init:true ~mode:Cnf.Blast.Template step_solver
+      circuit
+  in
   solvers_ref := [ base_solver; step_solver ];
   let timed ~case ~depth solver assumptions =
     cur_case := (match case with "base" -> Base | _ -> Step);
@@ -512,6 +912,7 @@ let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
       progress k;
       let t_depth = Unix.gettimeofday () in
       Obs.log ~attrs:[ ("depth", Obs.Json.Int k) ] Debug "bmc.induction_depth";
+      if k > 0 then Fault.point "bmc.incr";
       (* Base case: bad at cycle k, from reset. *)
       let base_act = install base k in
       match timed ~case:"base" ~depth:k base_solver [ base_act ] with
@@ -569,6 +970,194 @@ let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
           stats (!cur_depth - 1) )
   | Fault.Injected site -> Unknown (Faulted site, stats (!cur_depth - 1))
 
+(* Scratch k-induction oracle: each round builds a fresh base and a
+   fresh step solver with [Direct] unrollings of cycles 0..k, assertion
+   facts below k, and — step side — the full loop-free condition (every
+   pair of cycles i < j <= k distinct, since nothing persists from
+   earlier rounds). The wall deadline is shared by every solver ever
+   created; the conflict cap is cumulative across them (each new solver
+   gets the cap minus what its predecessors spent). *)
+let prove_scratch ~max_depth ~progress ?solver_config ~stop ~opt ~budget
+    circuit property =
+  check_property "Bmc.prove" property;
+  let full = instrument circuit property in
+  let stop = fault_stop stop in
+  let solve_time = ref 0. in
+  let cur_depth = ref 0 in
+  let cur_case = ref Base in
+  let opt_ref = ref None in
+  let sbud = solver_budget budget in
+  let acc_conflicts = ref 0 and acc_decisions = ref 0 in
+  let acc_propagations = ref 0 and acc_restarts = ref 0 in
+  let last_vars = ref 0 and last_clauses = ref 0 in
+  let live = ref [] in
+  let retire_solvers () =
+    match !live with
+    | [] -> ()
+    | solvers ->
+        flush_solver_metrics solvers;
+        last_vars := 0;
+        last_clauses := 0;
+        List.iter
+          (fun solver ->
+            let st = S.stats solver in
+            acc_conflicts := !acc_conflicts + st.S.s_conflicts;
+            acc_decisions := !acc_decisions + st.S.s_decisions;
+            acc_propagations := !acc_propagations + st.S.s_propagations;
+            acc_restarts := !acc_restarts + st.S.s_restarts;
+            last_vars := !last_vars + st.S.s_vars;
+            last_clauses := !last_clauses + st.S.s_clauses)
+          solvers;
+        live := []
+  in
+  let stats depth =
+    retire_solvers ();
+    {
+      depth_reached = depth;
+      solve_time = !solve_time;
+      vars = !last_vars;
+      clauses = !last_clauses;
+      conflicts = !acc_conflicts;
+      decisions = !acc_decisions;
+      propagations = !acc_propagations;
+      restarts = !acc_restarts;
+      opt = !opt_ref;
+    }
+  in
+  let run () =
+    let circuit, sprop, widen, opt_stats =
+      optimize_instrumented ~opt full property
+    in
+    opt_ref := opt_stats;
+    let new_solver label =
+      let solver = S.create ?config:solver_config ~stop () in
+      S.set_budget solver
+        {
+          sbud with
+          S.b_conflicts =
+            Option.map (fun cap -> cap - !acc_conflicts) budget.bud_conflicts;
+        };
+      attach_sampling label solver;
+      live := solver :: !live;
+      solver
+    in
+    let timed ~case ~depth solver assumptions =
+      cur_case := (match case with "base" -> Base | _ -> Step);
+      Obs.span ("bmc." ^ case) ~attrs:[ ("depth", Obs.Json.Int depth) ]
+      @@ fun () ->
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Obs.span "sat.solve"
+          ~attrs:[ ("case", Obs.Json.Str case); ("depth", Obs.Json.Int depth) ]
+          (fun () -> S.solve ~assumptions solver)
+      in
+      solve_time := !solve_time +. (Unix.gettimeofday () -. t0);
+      r
+    in
+    (* Unroll cycles 0..k into a fresh blaster: assumptions everywhere,
+       assertion facts strictly below k, activation clause at k. *)
+    let build blaster k =
+      let solver = Cnf.Blast.solver blaster in
+      for cycle = 0 to k do
+        Cnf.Blast.unroll_cycle blaster;
+        List.iter
+          (fun a -> S.add_clause solver [ Cnf.Blast.lit1 blaster ~cycle a ])
+          sprop.assumes;
+        if cycle < k then
+          List.iter
+            (fun (_, a) ->
+              S.add_clause solver [ Cnf.Blast.lit1 blaster ~cycle a ])
+            sprop.asserts
+      done;
+      let act = Cnf.Blast.fresh_var blaster in
+      S.add_clause solver
+        (S.neg act
+        :: List.map
+             (fun (_, a) -> S.neg (Cnf.Blast.lit1 blaster ~cycle:k a))
+             sprop.asserts);
+      act
+    in
+    let rec go k =
+      if k > max_depth then Unknown (Bound_exhausted, stats max_depth)
+      else begin
+        cur_depth := k;
+        if stop () then raise S.Stopped;
+        progress k;
+        let t_depth = Unix.gettimeofday () in
+        Obs.log ~attrs:[ ("depth", Obs.Json.Int k) ] Debug
+          "bmc.induction_depth";
+        Fault.point "bmc.alloc";
+        let base_solver = new_solver "base" in
+        let base = Cnf.Blast.create base_solver circuit in
+        let base_act = build base k in
+        match timed ~case:"base" ~depth:k base_solver [ base_act ] with
+        | S.Sat ->
+            let inputs =
+              Array.init (k + 1) (fun cycle ->
+                  List.map
+                    (fun p ->
+                      ( p.Circuit.port_name,
+                        Cnf.Blast.input_value base ~cycle p.Circuit.port_name ))
+                    (Circuit.inputs circuit))
+            in
+            let inputs = widen inputs in
+            let failed = validate full property inputs k in
+            Obs.instant ~attrs:[ ("depth", Obs.Json.Int k) ] "bmc.cex";
+            Refuted
+              ( {
+                  cex_depth = k;
+                  cex_inputs = inputs;
+                  cex_failed = failed;
+                  cex_circuit = full;
+                },
+                stats k )
+        | S.Unsat ->
+            (* Fold the base instance in before granting the step solver
+               its share of the conflict cap. *)
+            retire_solvers ();
+            Fault.point "bmc.alloc";
+            let step_solver = new_solver "step" in
+            let step = Cnf.Blast.create ~free_init:true step_solver circuit in
+            let step_act = build step k in
+            for i = 0 to k - 1 do
+              for j = i + 1 to k do
+                S.add_clause step_solver [ Cnf.Blast.state_distinct step i j ]
+              done
+            done;
+            (match timed ~case:"step" ~depth:k step_solver [ step_act ] with
+            | S.Unsat ->
+                Obs.instant ~attrs:[ ("depth", Obs.Json.Int k) ] "bmc.proved";
+                Obs.log ~attrs:[ ("k", Obs.Json.Int k) ] Info "bmc.proved";
+                Proved (k, stats k)
+            | S.Sat ->
+                retire_solvers ();
+                if Obs.Metrics.enabled () then
+                  Obs.Metrics.record (Lazy.force m_depth_seconds)
+                    (Unix.gettimeofday () -. t_depth);
+                go (k + 1))
+      end
+    in
+    go 0
+  in
+  try run () with
+  | S.Stopped -> raise (Cancelled (stats !cur_depth))
+  | S.Out_of_budget kind ->
+      Unknown
+        ( Budget_exhausted
+            { ub_budget = kind; ub_depth = !cur_depth; ub_case = !cur_case },
+          stats (!cur_depth - 1) )
+  | Fault.Injected site -> Unknown (Faulted site, stats (!cur_depth - 1))
+
+let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
+    ?(stop = fun () -> false) ?(opt = Opt.O0) ?(budget = no_budget)
+    ?(incremental = true) circuit property =
+  if incremental then
+    prove_incremental ~max_depth ~progress ?solver_config ~stop ~opt ~budget
+      circuit property
+  else
+    prove_scratch ~max_depth ~progress ?solver_config ~stop ~opt ~budget
+      circuit property
+
 let miter c1 c2 =
   let module T = Rtl.Transform in
   let port_names c =
@@ -606,6 +1195,6 @@ let miter c1 c2 =
   in
   (miter, { assumes = []; asserts })
 
-let equiv ?max_depth ?opt c1 c2 =
+let equiv ?max_depth ?opt ?incremental c1 c2 =
   let m, p = miter c1 c2 in
-  check ?max_depth ?opt m p
+  check ?max_depth ?opt ?incremental m p

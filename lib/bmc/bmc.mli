@@ -120,10 +120,27 @@ val check :
   ?stop:(unit -> bool) ->
   ?opt:Opt.level ->
   ?budget:budget ->
+  ?incremental:bool ->
   Rtl.Circuit.t ->
   property ->
   outcome
 (** [check circuit property] with [max_depth] defaulting to 30 cycles.
+
+    [incremental] (default [true]) selects the engine. Incrementally,
+    ONE solver instance lives for the whole run: the [-O2] sweep borrows
+    it first, the transition relation is blasted once as a template and
+    stamped out per depth, and each depth's property is selected by an
+    activation literal that a clean verdict retires — learnt clauses and
+    branching activity survive across depths. With [~incremental:false]
+    every depth gets a fresh solver and a fresh direct re-blast of
+    cycles [0..k]: slower (quadratic in depth) but with an independent
+    CNF shape and search trajectory, which is what makes it the
+    differential oracle the incremental engine is fuzzed against (the
+    [--no-incremental] escape hatch of the CLI). Both engines report the
+    same verdicts, counterexample depths, and [Unknown] reasons; under a
+    budget, exhaustion mid-sequence still reports clean up to depth
+    [k - 1] in either mode (the conflict cap is cumulative across the
+    scratch engine's per-depth solvers).
 
     [budget] (default {!no_budget}) bounds the whole call; exhaustion
     returns [Unknown (Budget_exhausted _, stats)] with [stats] honest
@@ -157,19 +174,32 @@ val check_each :
   ?stop:(unit -> bool) ->
   ?opt:Opt.level ->
   ?budget:budget ->
+  ?incremental:bool ->
   Rtl.Circuit.t ->
   property ->
   (string * outcome) list
-(** [check_each circuit property] runs one independent {!check} per
-    assertion (all assumptions kept), in declaration order. Where
-    {!check} stops at the shallowest failure of {e any} assertion, this
-    sweep returns a witness (or bounded proof) for {e every} assertion —
-    the raw counterexample pool a campaign deduplicates into distinct
-    covert channels. Optional arguments behave as in {!check} and apply
-    to each sub-check; in particular [budget] is granted {e per
-    assertion} (the per-property timeout discipline of industrial FPV
-    runners), so one diverging assertion degrades to [Unknown] without
-    starving the rest of the sweep. *)
+(** [check_each circuit property] runs one bounded check per assertion
+    (all assumptions kept), in declaration order. Where {!check} stops
+    at the shallowest failure of {e any} assertion, this sweep returns a
+    witness (or bounded proof) for {e every} assertion — the raw
+    counterexample pool a campaign deduplicates into distinct covert
+    channels. Optional arguments behave as in {!check}; in particular
+    [budget] is granted {e per assertion} (the per-property timeout
+    discipline of industrial FPV runners), so one diverging assertion
+    degrades to [Unknown] without starving the rest of the sweep.
+
+    Incrementally (the default) the whole sweep shares one solver
+    session: the circuit is optimized once over the union of the
+    assertion cones, the unrolling is shared, and each per-assertion
+    "holds at cycle [c]" verdict is asserted as a unit fact for every
+    later search — sound because such verdicts are unconditional
+    theorems under the assumptions. The per-assertion budget grant is
+    re-based on the session's current counters (fresh deadline,
+    [current + cap] conflict/learnt limits); a budget abort or injected
+    fault poisons the session, which the next assertion silently
+    rebuilds. With [~incremental:false] each assertion runs a fully
+    independent scratch {!check} restricted to its own cone — the
+    historical semantics, kept as the differential oracle. *)
 
 val instrument : Rtl.Circuit.t -> property -> Rtl.Circuit.t
 (** The extended circuit [check] verifies: the original outputs plus one
@@ -209,7 +239,12 @@ val miter : Rtl.Circuit.t -> Rtl.Circuit.t -> Rtl.Circuit.t * property
     spawns. *)
 
 val equiv :
-  ?max_depth:int -> ?opt:Opt.level -> Rtl.Circuit.t -> Rtl.Circuit.t -> outcome
+  ?max_depth:int ->
+  ?opt:Opt.level ->
+  ?incremental:bool ->
+  Rtl.Circuit.t ->
+  Rtl.Circuit.t ->
+  outcome
 (** [equiv a b] checks that two circuits with identical port interfaces
     are cycle-for-cycle observationally equal: a miter drives both with
     the same inputs and asserts every output pair equal, bounded to
@@ -240,12 +275,19 @@ val prove :
   ?stop:(unit -> bool) ->
   ?opt:Opt.level ->
   ?budget:budget ->
+  ?incremental:bool ->
   Rtl.Circuit.t ->
   property ->
   induction_outcome
 (** [prove circuit property] interleaves the base case and the inductive
     step, deepening [k] until one of them answers. [progress],
-    [solver_config], [stop] and [opt] behave exactly as in {!check}
-    (including the calling-domain-only contract on [progress]). The
-    register merges {!Opt} commits are inductive invariants, so they are
-    sound under the arbitrary-start-state encoding of the step case. *)
+    [solver_config], [stop], [opt] and [incremental] behave exactly as
+    in {!check} (including the calling-domain-only contract on
+    [progress]). Incrementally the base and step solvers each persist
+    across rounds (template frames, per-round activation literals, the
+    accumulated loop-free condition) and the [-O2] sweep borrows the
+    base solver; the scratch oracle rebuilds both instances per round
+    with direct unrollings and the full pairwise uniqueness constraint.
+    The register merges {!Opt} commits are inductive invariants, so they
+    are sound under the arbitrary-start-state encoding of the step
+    case. *)

@@ -86,6 +86,7 @@ val check :
   ?opt:Opt.level ->
   ?budget:Bmc.budget ->
   ?retry:Retry.policy ->
+  ?incremental:bool ->
   Rtl.Circuit.t ->
   Bmc.property ->
   Bmc.outcome
@@ -112,6 +113,11 @@ val check :
       {!Retry.default}, i.e. no retries): transient Unknowns are re-run
       on the same worker with escalated budgets and (in shard mode)
       alternate solver configurations, after capped exponential backoff.
+    @param incremental engine selection, forwarded verbatim to
+      {!Bmc.check} inside every job (default [true]): each shard or
+      portfolio member keeps one persistent solver across its depth
+      sequence. [false] selects the scratch differential oracle in every
+      job.
 
     Merged verdicts order as [Cex > Unknown > Bounded_proof]: any
     counterexample wins outright; otherwise any job still inconclusive
@@ -129,6 +135,7 @@ val check_detailed :
   ?opt:Opt.level ->
   ?budget:Bmc.budget ->
   ?retry:Retry.policy ->
+  ?incremental:bool ->
   Rtl.Circuit.t ->
   Bmc.property ->
   Bmc.outcome * detail
@@ -142,6 +149,7 @@ val prove :
   ?opt:Opt.level ->
   ?budget:Bmc.budget ->
   ?retry:Retry.policy ->
+  ?incremental:bool ->
   Rtl.Circuit.t ->
   Bmc.property ->
   Bmc.induction_outcome
@@ -161,6 +169,7 @@ val prove_detailed :
   ?opt:Opt.level ->
   ?budget:Bmc.budget ->
   ?retry:Retry.policy ->
+  ?incremental:bool ->
   Rtl.Circuit.t ->
   Bmc.property ->
   Bmc.induction_outcome * detail
@@ -169,6 +178,7 @@ val equiv :
   ?jobs:int ->
   ?max_depth:int ->
   ?opt:Opt.level ->
+  ?incremental:bool ->
   Rtl.Circuit.t ->
   Rtl.Circuit.t ->
   Bmc.outcome

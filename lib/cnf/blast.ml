@@ -2,11 +2,47 @@ module S = Sat.Solver
 module Signal = Rtl.Signal
 module Circuit = Rtl.Circuit
 
+(* {1 Gate context}
+
+   The Tseitin encoders are written once, over an abstract literal type:
+   instantiated at [S.lit] they emit clauses straight into a solver
+   (direct mode, and cycle 0 of every mode); instantiated at [int] they
+   build the reusable transition-frame template that incremental mode
+   stamps out per cycle with a variable substitution. *)
+
+type 'l ctx = {
+  ctrue : 'l;
+  cfalse : 'l;
+  cneg : 'l -> 'l;
+  cfresh : unit -> 'l;
+  cemit : 'l list -> unit;
+}
+
+type mode = Direct | Template
+
+(* A template variable is either the constant-true variable, a variable
+   fresh at every instantiation (primary inputs and gate outputs), or a
+   placeholder for a previous-frame literal (a register reading its
+   next-state function from the prior cycle). *)
+type tkind = K_true | K_fresh | K_prev of int * int
+
+(* Template literals use the solver's own encoding: [2v] positive,
+   [2v+1] negative; variable 0 is the constant true. *)
+type template = {
+  tpl_nvars : int;
+  tpl_kinds : tkind array;
+  tpl_clauses : int array array;
+  tpl_frame : int array array; (* node index -> per-bit template lits *)
+}
+
 type t = {
   solver : S.t;
   circuit : Circuit.t;
   t_lit : S.lit; (* literal that is constant true *)
   free_init : bool;
+  mode : mode;
+  guard : S.lit option;
+  mutable tpl : template option;
   mutable frames : S.lit array array list; (* per cycle, newest first *)
   mutable ncycles : int;
 }
@@ -19,10 +55,40 @@ let lit_false t = S.neg t.t_lit
 
 let fresh_var t = S.lit (S.new_var t.solver) true
 
-let create ?(free_init = false) solver circuit =
+(* All clauses of a guarded blaster carry the guard's negation, so the
+   whole blast is inert without the guard assumption and can be retired
+   wholesale with one unit clause (see [create ?guard]). *)
+let emit t lits =
+  match t.guard with
+  | None -> S.add_clause t.solver lits
+  | Some g -> S.add_clause t.solver (S.neg g :: lits)
+
+let scx t =
+  {
+    ctrue = t.t_lit;
+    cfalse = S.neg t.t_lit;
+    cneg = S.neg;
+    cfresh = (fun () -> fresh_var t);
+    cemit = (fun ls -> emit t ls);
+  }
+
+let create ?(free_init = false) ?(mode = Direct) ?guard solver circuit =
   let t_lit = S.lit (S.new_var solver) true in
-  S.add_clause solver [ t_lit ];
-  { solver; circuit; t_lit; free_init; frames = []; ncycles = 0 }
+  let t =
+    {
+      solver;
+      circuit;
+      t_lit;
+      free_init;
+      mode;
+      guard;
+      tpl = None;
+      frames = [];
+      ncycles = 0;
+    }
+  in
+  emit t [ t_lit ];
+  t
 
 (* {1 Gate helpers}
 
@@ -30,122 +96,241 @@ let create ?(free_init = false) solver circuit =
    clauses as needed, with local simplification on constant or equal
    operands. *)
 
-let is_true t l = l = t.t_lit
-let is_false t l = l = S.neg t.t_lit
+let is_true cx l = l = cx.ctrue
+let is_false cx l = l = cx.cfalse
 
-let gand t a b =
-  if is_false t a || is_false t b then lit_false t
-  else if is_true t a then b
-  else if is_true t b then a
+let gand cx a b =
+  if is_false cx a || is_false cx b then cx.cfalse
+  else if is_true cx a then b
+  else if is_true cx b then a
   else if a = b then a
-  else if a = S.neg b then lit_false t
+  else if a = cx.cneg b then cx.cfalse
   else begin
-    let x = fresh_var t in
-    S.add_clause t.solver [ S.neg x; a ];
-    S.add_clause t.solver [ S.neg x; b ];
-    S.add_clause t.solver [ x; S.neg a; S.neg b ];
+    let x = cx.cfresh () in
+    cx.cemit [ cx.cneg x; a ];
+    cx.cemit [ cx.cneg x; b ];
+    cx.cemit [ x; cx.cneg a; cx.cneg b ];
     x
   end
 
-let gor t a b = S.neg (gand t (S.neg a) (S.neg b))
+let gor cx a b = cx.cneg (gand cx (cx.cneg a) (cx.cneg b))
 
-let gxor t a b =
-  if is_false t a then b
-  else if is_false t b then a
-  else if is_true t a then S.neg b
-  else if is_true t b then S.neg a
-  else if a = b then lit_false t
-  else if a = S.neg b then lit_true t
+let gxor cx a b =
+  if is_false cx a then b
+  else if is_false cx b then a
+  else if is_true cx a then cx.cneg b
+  else if is_true cx b then cx.cneg a
+  else if a = b then cx.cfalse
+  else if a = cx.cneg b then cx.ctrue
   else begin
-    let x = fresh_var t in
-    S.add_clause t.solver [ S.neg x; a; b ];
-    S.add_clause t.solver [ S.neg x; S.neg a; S.neg b ];
-    S.add_clause t.solver [ x; S.neg a; b ];
-    S.add_clause t.solver [ x; a; S.neg b ];
+    let x = cx.cfresh () in
+    cx.cemit [ cx.cneg x; a; b ];
+    cx.cemit [ cx.cneg x; cx.cneg a; cx.cneg b ];
+    cx.cemit [ x; cx.cneg a; b ];
+    cx.cemit [ x; a; cx.cneg b ];
     x
   end
 
-let gmux t sel a b =
+let gmux cx sel a b =
   (* x = sel ? a : b *)
-  if is_true t sel then a
-  else if is_false t sel then b
+  if is_true cx sel then a
+  else if is_false cx sel then b
   else if a = b then a
   else begin
-    let x = fresh_var t in
-    S.add_clause t.solver [ S.neg sel; S.neg x; a ];
-    S.add_clause t.solver [ S.neg sel; x; S.neg a ];
-    S.add_clause t.solver [ sel; S.neg x; b ];
-    S.add_clause t.solver [ sel; x; S.neg b ];
+    let x = cx.cfresh () in
+    cx.cemit [ cx.cneg sel; cx.cneg x; a ];
+    cx.cemit [ cx.cneg sel; x; cx.cneg a ];
+    cx.cemit [ sel; cx.cneg x; b ];
+    cx.cemit [ sel; x; cx.cneg b ];
     x
   end
 
-let gand_list t = function
-  | [] -> lit_true t
-  | l :: rest -> List.fold_left (gand t) l rest
+let gand_list cx = function
+  | [] -> cx.ctrue
+  | l :: rest -> List.fold_left (gand cx) l rest
 
 (* {1 Word-level encodings} *)
 
-let enc_add t a b =
+let enc_add cx a b =
   let n = Array.length a in
-  let out = Array.make n (lit_false t) in
-  let carry = ref (lit_false t) in
+  let out = Array.make n cx.cfalse in
+  let carry = ref cx.cfalse in
   for i = 0 to n - 1 do
-    let axb = gxor t a.(i) b.(i) in
-    out.(i) <- gxor t axb !carry;
+    let axb = gxor cx a.(i) b.(i) in
+    out.(i) <- gxor cx axb !carry;
     (* majority(a, b, c) = (a & b) | (c & (a ^ b)) *)
-    carry := gor t (gand t a.(i) b.(i)) (gand t !carry axb)
+    carry := gor cx (gand cx a.(i) b.(i)) (gand cx !carry axb)
   done;
   out
 
-let enc_neg t a =
+let enc_neg cx a =
   let n = Array.length a in
-  let inv = Array.map S.neg a in
-  let one = Array.init n (fun i -> if i = 0 then lit_true t else lit_false t) in
-  enc_add t inv one
+  let inv = Array.map cx.cneg a in
+  let one = Array.init n (fun i -> if i = 0 then cx.ctrue else cx.cfalse) in
+  enc_add cx inv one
 
-let enc_sub t a b = enc_add t a (enc_neg t b)
+let enc_sub cx a b = enc_add cx a (enc_neg cx b)
 
-let enc_eq t a b =
-  let bits = Array.to_list (Array.map2 (fun x y -> S.neg (gxor t x y)) a b) in
-  gand_list t bits
+let enc_eq cx a b =
+  let bits = Array.to_list (Array.map2 (fun x y -> cx.cneg (gxor cx x y)) a b) in
+  gand_list cx bits
 
-let enc_ult t a b =
+let enc_ult cx a b =
   (* From lsb to msb: lt = (~a & b) | ((a xnor b) & lt_prev). *)
-  let lt = ref (lit_false t) in
+  let lt = ref cx.cfalse in
   Array.iteri
     (fun i ai ->
       let bi = b.(i) in
-      let eq = S.neg (gxor t ai bi) in
-      lt := gor t (gand t (S.neg ai) bi) (gand t eq !lt))
+      let eq = cx.cneg (gxor cx ai bi) in
+      lt := gor cx (gand cx (cx.cneg ai) bi) (gand cx eq !lt))
     a;
   !lt
 
-let enc_slt t a b =
+let enc_slt cx a b =
   let n = Array.length a in
   let a' = Array.copy a and b' = Array.copy b in
-  a'.(n - 1) <- S.neg a.(n - 1);
-  b'.(n - 1) <- S.neg b.(n - 1);
-  enc_ult t a' b'
+  a'.(n - 1) <- cx.cneg a.(n - 1);
+  b'.(n - 1) <- cx.cneg b.(n - 1);
+  enc_ult cx a' b'
 
-let enc_mul t a b =
+let enc_mul cx a b =
   let n = Array.length a in
-  let acc = ref (Array.make n (lit_false t)) in
+  let acc = ref (Array.make n cx.cfalse) in
   for i = 0 to n - 1 do
-    if not (is_false t b.(i)) then begin
+    if not (is_false cx b.(i)) then begin
       (* Partial product: (a << i) masked by b_i. *)
       let partial =
-        Array.init n (fun j -> if j < i then lit_false t else gand t a.(j - i) b.(i))
+        Array.init n (fun j -> if j < i then cx.cfalse else gand cx a.(j - i) b.(i))
       in
-      acc := enc_add t !acc partial
+      acc := enc_add cx !acc partial
     end
   done;
   !acc
 
 (* {1 Unrolling} *)
 
+(* One topological pass over the circuit, encoding every node into the
+   given context. [const], [input] and [reg] close over the per-mode
+   policy (solver constants vs template kinds, previous-frame lookup vs
+   placeholder variables); everything combinational is shared. *)
+let encode_frame cx circuit ~const ~input ~reg =
+  let topo = Circuit.topo circuit in
+  let f = Array.make (Array.length topo) [||] in
+  Array.iteri
+    (fun i s ->
+      let get k = f.(Circuit.node_index circuit (Signal.args s).(k)) in
+      let encoded =
+        match Signal.op s with
+        | Signal.Const v -> const v
+        | Signal.Input _ -> input s
+        | Signal.Reg r -> reg s r
+        | Signal.Not -> Array.map cx.cneg (get 0)
+        | Signal.And -> Array.map2 (gand cx) (get 0) (get 1)
+        | Signal.Or -> Array.map2 (gor cx) (get 0) (get 1)
+        | Signal.Xor -> Array.map2 (gxor cx) (get 0) (get 1)
+        | Signal.Add -> enc_add cx (get 0) (get 1)
+        | Signal.Sub -> enc_sub cx (get 0) (get 1)
+        | Signal.Mul -> enc_mul cx (get 0) (get 1)
+        | Signal.Eq -> [| enc_eq cx (get 0) (get 1) |]
+        | Signal.Ult -> [| enc_ult cx (get 0) (get 1) |]
+        | Signal.Slt -> [| enc_slt cx (get 0) (get 1) |]
+        | Signal.Mux ->
+            let sel = (get 0).(0) in
+            Array.map2 (gmux cx sel) (get 1) (get 2)
+        | Signal.Concat ->
+            (* Args are msb first; bit arrays are lsb first. *)
+            let parts = Array.to_list (Array.mapi (fun k _ -> get k) (Signal.args s)) in
+            Array.concat (List.rev parts)
+        | Signal.Slice (hi, lo) -> Array.sub (get 0) lo (hi - lo + 1)
+      in
+      f.(i) <- encoded)
+    topo;
+  f
+
 let const_lits t v =
   Array.init (Bitvec.width v) (fun i ->
       if Bitvec.bit v i then lit_true t else lit_false t)
+
+let direct_frame t =
+  let prev = if t.ncycles = 0 then None else Some (List.hd t.frames) in
+  encode_frame (scx t) t.circuit
+    ~const:(fun v -> const_lits t v)
+    ~input:(fun s -> Array.init (Signal.width s) (fun _ -> fresh_var t))
+    ~reg:(fun s r ->
+      match prev with
+      | None ->
+          if t.free_init then Array.init (Signal.width s) (fun _ -> fresh_var t)
+          else const_lits t r.Signal.init
+      | Some pf ->
+          let next = Option.get r.Signal.next in
+          pf.(Circuit.node_index t.circuit next))
+
+(* Blast the transition cone once, symbolically: registers become
+   [K_prev] placeholders for the previous frame's next-state literals,
+   inputs and gate outputs become [K_fresh]. Constants stay literal over
+   template variable 0, so constant folding inside the template is as
+   strong as in direct mode; what the template cannot fold is whatever
+   would have required knowing the reset values — [S.add_clause]'s
+   level-0 simplification recovers most of that at instantiation. *)
+let build_template circuit =
+  let nvars = ref 1 in
+  let kinds = ref [ K_true ] in
+  let clauses = ref [] in
+  let fresh_kind k =
+    let v = !nvars in
+    incr nvars;
+    kinds := k :: !kinds;
+    2 * v
+  in
+  let cx =
+    {
+      ctrue = 0;
+      cfalse = 1;
+      cneg = (fun l -> l lxor 1);
+      cfresh = (fun () -> fresh_kind K_fresh);
+      cemit = (fun ls -> clauses := Array.of_list ls :: !clauses);
+    }
+  in
+  let frame =
+    encode_frame cx circuit
+      ~const:(fun v ->
+        Array.init (Bitvec.width v) (fun i -> if Bitvec.bit v i then 0 else 1))
+      ~input:(fun s -> Array.init (Signal.width s) (fun _ -> cx.cfresh ()))
+      ~reg:(fun s r ->
+        let next = Option.get r.Signal.next in
+        let nidx = Circuit.node_index circuit next in
+        Array.init (Signal.width s) (fun b -> fresh_kind (K_prev (nidx, b))))
+  in
+  {
+    tpl_nvars = !nvars;
+    tpl_kinds = Array.of_list (List.rev !kinds);
+    tpl_clauses = Array.of_list (List.rev !clauses);
+    tpl_frame = frame;
+  }
+
+(* Stamp the template out as cycle [ncycles]: allocate a block of fresh
+   solver variables for the [K_fresh] kinds, substitute the previous
+   frame's literals for the [K_prev] kinds, and replay the template
+   clauses under the substitution. Two template variables may land on
+   the same solver literal (two registers sharing one next-state
+   signal); [S.add_clause] de-duplicates. *)
+let instantiate t tpl prev =
+  let map = Array.make tpl.tpl_nvars t.t_lit in
+  Array.iteri
+    (fun v k ->
+      match k with
+      | K_true -> ()
+      | K_fresh -> map.(v) <- fresh_var t
+      | K_prev (nidx, b) -> map.(v) <- prev.(nidx).(b))
+    tpl.tpl_kinds;
+  let subst l =
+    let sv = map.(l lsr 1) in
+    if l land 1 = 0 then sv else S.neg sv
+  in
+  Array.iter
+    (fun cl -> emit t (Array.to_list (Array.map subst cl)))
+    tpl.tpl_clauses;
+  Array.map (fun bits -> Array.map subst bits) tpl.tpl_frame
 
 let frame t cycle =
   if cycle < 0 || cycle >= t.ncycles then
@@ -172,48 +357,25 @@ let m_cnf_cycles = lazy (Obs.Metrics.counter "cnf.cycles_unrolled")
 let unroll_cycle t =
   Obs.span "cnf.unroll" ~attrs:[ ("cycle", Obs.Json.Int t.ncycles) ]
   @@ fun () ->
-  let topo = Circuit.topo t.circuit in
-  let f = Array.make (Array.length topo) [||] in
-  let prev = if t.ncycles = 0 then None else Some (List.hd t.frames) in
-  Array.iteri
-    (fun i s ->
-      let get k = f.(Circuit.node_index t.circuit (Signal.args s).(k)) in
-      let encoded =
-        match Signal.op s with
-        | Signal.Const v -> const_lits t v
-        | Signal.Input _ ->
-            Array.init (Signal.width s) (fun _ -> fresh_var t)
-        | Signal.Reg r -> (
-            match prev with
-            | None ->
-                if t.free_init then
-                  Array.init (Signal.width s) (fun _ -> fresh_var t)
-                else const_lits t r.Signal.init
-            | Some pf ->
-                let next = Option.get r.Signal.next in
-                pf.(Circuit.node_index t.circuit next))
-        | Signal.Not -> Array.map S.neg (get 0)
-        | Signal.And -> Array.map2 (gand t) (get 0) (get 1)
-        | Signal.Or -> Array.map2 (gor t) (get 0) (get 1)
-        | Signal.Xor -> Array.map2 (gxor t) (get 0) (get 1)
-        | Signal.Add -> enc_add t (get 0) (get 1)
-        | Signal.Sub -> enc_sub t (get 0) (get 1)
-        | Signal.Mul -> enc_mul t (get 0) (get 1)
-        | Signal.Eq -> [| enc_eq t (get 0) (get 1) |]
-        | Signal.Ult -> [| enc_ult t (get 0) (get 1) |]
-        | Signal.Slt -> [| enc_slt t (get 0) (get 1) |]
-        | Signal.Mux ->
-            let sel = (get 0).(0) in
-            Array.map2 (gmux t sel) (get 1) (get 2)
-        | Signal.Concat ->
-            (* Args are msb first; bit arrays are lsb first. *)
-            let parts = Array.to_list (Array.mapi (fun k _ -> get k) (Signal.args s)) in
-            Array.concat (List.rev parts)
-        | Signal.Slice (hi, lo) ->
-            Array.sub (get 0) lo (hi - lo + 1)
-      in
-      f.(i) <- encoded)
-    topo;
+  let f =
+    match (t.mode, t.ncycles) with
+    | Direct, _ | Template, 0 ->
+        (* Cycle 0 is always encoded directly: reset values are concrete
+           (unless [free_init]), so constant folding prunes most of the
+           cone — the template, which must stay symbolic in the state,
+           could not. *)
+        direct_frame t
+    | Template, _ ->
+        let tpl =
+          match t.tpl with
+          | Some tpl -> tpl
+          | None ->
+              let tpl = build_template t.circuit in
+              t.tpl <- Some tpl;
+              tpl
+        in
+        instantiate t tpl (List.hd t.frames)
+  in
   t.frames <- f :: t.frames;
   t.ncycles <- t.ncycles + 1;
   if Obs.Metrics.enabled () then begin
@@ -233,14 +395,15 @@ let reg_lits t ~cycle =
   Array.concat (List.map (fun r -> lits t ~cycle r) (Circuit.regs t.circuit))
 
 let state_distinct t i j =
+  let cx = scx t in
   let a = reg_lits t ~cycle:i and b = reg_lits t ~cycle:j in
   if Array.length a = 0 then lit_false t
   else
-    let xors = Array.to_list (Array.map2 (gxor t) a b) in
+    let xors = Array.to_list (Array.map2 (gxor cx) a b) in
     (* One literal implied by the disjunction of the per-bit differences. *)
     let d = fresh_var t in
-    S.add_clause t.solver (S.neg d :: xors);
-    List.iter (fun x -> S.add_clause t.solver [ d; S.neg x ]) xors;
+    emit t (S.neg d :: xors);
+    List.iter (fun x -> emit t [ d; S.neg x ]) xors;
     d
 
 let node_value t ~cycle s =
@@ -255,4 +418,4 @@ let node_value t ~cycle s =
 let input_value t ~cycle name =
   node_value t ~cycle (Circuit.find_input t.circuit name)
 
-let xor_lit = gxor
+let xor_lit t a b = gxor (scx t) a b

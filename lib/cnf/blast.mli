@@ -12,13 +12,47 @@
 
 type t
 
-val create : ?free_init:bool -> Sat.Solver.t -> Rtl.Circuit.t -> t
+type mode =
+  | Direct
+      (** Re-encode every cycle from the circuit graph. Constant folding
+          sees the concrete reset state, so early frames are smaller;
+          each cycle costs a full topological walk. The encoding used by
+          the scratch (non-incremental) differential oracle. *)
+  | Template
+      (** Blast the transition cone once, symbolically, and stamp it out
+          per cycle with a variable-offset substitution (registers bind
+          to the previous frame's next-state literals, inputs and gate
+          outputs take a fresh block). Cycle 0 is still encoded
+          directly. The two universes of a two-universe miter circuit
+          live inside one transition cone, so the single template covers
+          both and is instantiated with distinct substitutions per
+          cycle. *)
+
+val create :
+  ?free_init:bool ->
+  ?mode:mode ->
+  ?guard:Sat.Solver.lit ->
+  Sat.Solver.t ->
+  Rtl.Circuit.t ->
+  t
 (** Attach to a solver. The solver may be shared with other constraints;
     the blaster allocates its own variables.
 
     With [free_init] (default false), registers take fresh variables at
     cycle 0 instead of their reset values — the arbitrary-start-state
-    encoding used by the inductive step of k-induction. *)
+    encoding used by the inductive step of k-induction.
+
+    [mode] (default [Direct]) selects the per-cycle encoding strategy;
+    the two produce equisatisfiable unrollings with identical node
+    semantics but different CNF shapes.
+
+    With [guard], {e every} clause the blaster emits (including the
+    constant-true unit) is weakened by the guard's negation: the whole
+    blast is inert unless [guard] is assumed, and one
+    [Sat.Solver.retire] of the guard followed by [Sat.Solver.simplify]
+    physically removes it — how a temporary session (e.g. the
+    optimizer's SAT sweep) borrows a long-lived solver and cleans up
+    after itself. *)
 
 val reg_lits : t -> cycle:int -> Sat.Solver.lit array
 (** The concatenated literals of every register at a cycle, in a fixed

@@ -204,26 +204,29 @@ let generate ?(threshold = 4) ?(sync = Flush_end) ?(common = []) ?(blackbox = []
    optimizes the miter; engines keep their raw O0 default for direct
    callers. *)
 let check ?max_depth ?progress ?jobs ?portfolio ?budget ?retry
-    ?(opt = Opt.O2) ft =
+    ?(opt = Opt.O2) ?incremental ft =
   match (jobs, portfolio, retry) with
   | (None | Some 1), None, None ->
-      Bmc.check ?max_depth ?progress ?budget ~opt ft.wrapper ft.property
+      Bmc.check ?max_depth ?progress ?budget ~opt ?incremental ft.wrapper
+        ft.property
   | _ ->
       Parallel.check ?jobs ?portfolio ?max_depth ?progress ?budget ?retry ~opt
-        ft.wrapper ft.property
+        ?incremental ft.wrapper ft.property
 
 let check_detailed ?max_depth ?progress ?jobs ?portfolio ?budget ?retry
-    ?(opt = Opt.O2) ft =
+    ?(opt = Opt.O2) ?incremental ft =
   Parallel.check_detailed ?jobs ?portfolio ?max_depth ?progress ?budget ?retry
-    ~opt ft.wrapper ft.property
+    ~opt ?incremental ft.wrapper ft.property
 
-let prove ?max_depth ?progress ?jobs ?budget ?retry ?(opt = Opt.O2) ft =
+let prove ?max_depth ?progress ?jobs ?budget ?retry ?(opt = Opt.O2)
+    ?incremental ft =
   match (jobs, retry) with
   | (None | Some 1), None ->
-      Bmc.prove ?max_depth ?progress ?budget ~opt ft.wrapper ft.property
-  | _ ->
-      Parallel.prove ?jobs ?max_depth ?progress ?budget ?retry ~opt ft.wrapper
+      Bmc.prove ?max_depth ?progress ?budget ~opt ?incremental ft.wrapper
         ft.property
+  | _ ->
+      Parallel.prove ?jobs ?max_depth ?progress ?budget ?retry ~opt
+        ?incremental ft.wrapper ft.property
 
 let spy_start_cycle ft cex =
   match Bmc.replay_values cex [ ft.spy_mode ] with

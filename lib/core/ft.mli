@@ -88,6 +88,7 @@ val check :
   ?budget:Bmc.budget ->
   ?retry:Retry.policy ->
   ?opt:Opt.level ->
+  ?incremental:bool ->
   t ->
   Bmc.outcome
 (** Run BMC over the generated property set. With [jobs] > 1 or
@@ -110,6 +111,7 @@ val check_detailed :
   ?budget:Bmc.budget ->
   ?retry:Retry.policy ->
   ?opt:Opt.level ->
+  ?incremental:bool ->
   t ->
   Bmc.outcome * Parallel.detail
 (** {!check} via the parallel engine, returning per-job accounting
@@ -122,6 +124,7 @@ val prove :
   ?budget:Bmc.budget ->
   ?retry:Retry.policy ->
   ?opt:Opt.level ->
+  ?incremental:bool ->
   t ->
   Bmc.induction_outcome
 (** Attempt an unbounded proof of the property set by k-induction — the

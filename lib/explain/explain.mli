@@ -167,6 +167,7 @@ module Campaign : sig
 
   val run :
     ?opt:Opt.level ->
+    ?incremental:bool ->
     ?budget:Bmc.budget ->
     ?retry:Retry.policy ->
     ?resume:bool ->
@@ -174,7 +175,9 @@ module Campaign : sig
     entry list ->
     t
   (** Sweep the entries: per entry, run {!Bmc.check_each} over the FT's
-      property set ([budget] granted per assertion), explain and
+      property set ([budget] granted per assertion; [incremental]
+      forwarded to the engine — [false] selects the scratch differential
+      oracle), explain and
       {!cluster} every counterexample. Assertions left [Unknown] by a
       transient cause (budget, fault) are re-swept under [retry]'s
       escalated budgets / alternate solver configs with capped backoff;

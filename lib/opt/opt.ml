@@ -403,11 +403,21 @@ type sweep_counters = {
    nodes by their value sequences. Sampling reachable states (rather
    than random state valuations) keeps as candidates the pairs that are
    equal on every reachable state but differ on some unreachable one —
-   exactly the merges only the inductive pass below can discharge. *)
+   exactly the merges only the inductive pass below can discharge.
+
+   Signatures are accumulated as integer hashes rather than value lists:
+   [Bitvec.t] is normalized (structural equality coincides with value
+   equality), so [Hashtbl.hash] is value-stable and two nodes with equal
+   trace behaviour always hash equal. A collision between inequivalent
+   nodes merely creates a candidate pair the SAT pass refutes — never an
+   unsound merge — at one query of cost, for a signature phase with no
+   string building or per-node allocation. *)
+let sig_combine h v = ((h * 31) + Hashtbl.hash v) land max_int
+
 let trace_signatures ?(free_state = false) st ~ntraces ~len circuit =
   let topo = Circuit.topo circuit in
   let n = Array.length topo in
-  let sigs = Array.make n [] in
+  let sigs = Array.make n 0 in
   let vals = Array.make n (Bitvec.zero 1) in
   let state = Array.make n (Bitvec.zero 1) in
   let regs = Circuit.regs circuit in
@@ -445,7 +455,7 @@ let trace_signatures ?(free_state = false) st ~ntraces ~len circuit =
             | Signal.Slice (hi, lo) -> Bitvec.extract ~hi ~lo (arg 0)
           in
           vals.(i) <- v;
-          sigs.(i) <- v :: sigs.(i))
+          sigs.(i) <- sig_combine sigs.(i) v)
         topo;
       List.iter
         (fun r ->
@@ -456,10 +466,11 @@ let trace_signatures ?(free_state = false) st ~ntraces ~len circuit =
   done;
   sigs
 
-(* Group a list by a key function, preserving first-seen key order and
-   within-class element order; classes of fewer than two elements drop. *)
+(* Group a list by a key function (any hashable key), preserving
+   first-seen key order and within-class element order; classes of fewer
+   than two elements drop. *)
 let group_by key elems =
-  let tbl : (string, Signal.t list) Hashtbl.t = Hashtbl.create 64 in
+  let tbl = Hashtbl.create 64 in
   let order = ref [] in
   List.iter
     (fun s ->
@@ -476,7 +487,7 @@ let group_by key elems =
          | _ :: _ :: _ as cls -> Some cls
          | _ -> None)
 
-let sweep ?(max_queries = 4000) circuit =
+let sweep ?solver ?(max_queries = 4000) circuit =
   let sc =
     { sw_cand = 0; sw_merged = 0; sw_refuted = 0; sw_regs = 0; sw_queries = 0 }
   in
@@ -489,14 +500,8 @@ let sweep ?(max_queries = 4000) circuit =
      profitable speculative merge, even when its from-reset traces
      agree — every candidate filtered here saves a refuting SAT query. *)
   let free_sigs = trace_signatures ~free_state:true st ~ntraces:64 ~len:1 circuit in
-  let sig_of s =
-    String.concat ","
-      (List.map Bitvec.to_hex_string sigs.(Circuit.node_index circuit s))
-  in
-  let free_sig_of s =
-    String.concat ","
-      (List.map Bitvec.to_hex_string free_sigs.(Circuit.node_index circuit s))
-  in
+  let sig_of s = sigs.(Circuit.node_index circuit s) in
+  let free_sig_of s = free_sigs.(Circuit.node_index circuit s) in
   (* Combinational candidate classes: topo order puts the representative
      (the class head) strictly before its members, so a member's cone can
      never contain its representative and merging cannot create cycles.
@@ -511,8 +516,7 @@ let sweep ?(max_queries = 4000) circuit =
     Array.to_list topo
     |> List.filter (fun s ->
            match Signal.op s with Signal.Reg _ -> false | _ -> true)
-    |> group_by (fun s ->
-           Printf.sprintf "%d:%s:%s" (Signal.width s) (sig_of s) (free_sig_of s))
+    |> group_by (fun s -> (Signal.width s, sig_of s, free_sig_of s))
     |> List.filter_map (fun cls ->
            match cls with
            | rep :: members -> (
@@ -525,10 +529,7 @@ let sweep ?(max_queries = 4000) circuit =
      from-reset behaviour on the sampled traces. *)
   let reg_classes =
     group_by
-      (fun r ->
-        Printf.sprintf "%d:%s:%s" (Signal.width r)
-          (Bitvec.to_hex_string (Signal.reg_of r).Signal.init)
-          (sig_of r))
+      (fun r -> (Signal.width r, (Signal.reg_of r).Signal.init, sig_of r))
       (Circuit.regs circuit)
   in
   let all_classes = comb_classes @ reg_classes in
@@ -537,21 +538,30 @@ let sweep ?(max_queries = 4000) circuit =
     all_classes;
   if all_classes = [] then (merges, sc)
   else begin
+    (* Both SAT instances live on ONE solver — the caller's persistent
+       solver when [solver] is given (the BMC engine lends its instance
+       so learnt clauses and variable activity seeded here survive into
+       the depth queries that follow), a private one otherwise. When the
+       solver is borrowed, every clause this session emits is weakened
+       by a session guard so the whole sweep can be retired and
+       physically deleted before handing the solver back. *)
+    let ssolver = match solver with Some s -> s | None -> S.create () in
+    let guard = Option.map (fun _ -> S.new_act ssolver) solver in
+    let session_assumptions = match guard with None -> [] | Some g -> [ g ] in
     (* Induction step instance: two unrolled frames with a free starting
        state. Assuming the candidate equalities on frame 0 and proving a
        pair equal on frame 1 discharges the induction step for every
        (state, input) pair at once; registers read their frame-1 value
        from their frame-0 next-state cone, so combinational nodes and
        registers are handled uniformly. *)
-    let ssolver = S.create () in
-    let sblaster = Blast.create ~free_init:true ssolver circuit in
+    let sblaster = Blast.create ~free_init:true ?guard ssolver circuit in
     Blast.unroll_cycle sblaster;
     Blast.unroll_cycle sblaster;
     (* Base-case instance: one frame from the genuine reset state, inputs
        free. Register pairs in a class share a reset value, so their
        frame-0 literals coincide and the base case is free for them. *)
-    let bsolver = S.create () in
-    let bblaster = Blast.create bsolver circuit in
+    let bsolver = ssolver in
+    let bblaster = Blast.create ?guard bsolver circuit in
     Blast.unroll_cycle bblaster;
     (* A literal whose assumption forces [a <> b] at [cycle]; [None] when
        the two nodes already blast to identical literals. *)
@@ -577,9 +587,7 @@ let sweep ?(max_queries = 4000) circuit =
        re-partition all classes at once. Structures full of same-shape
        but inequivalent nodes (cache lines) collapse to singletons in a
        couple of models instead of one SAT query per member per round. *)
-    let model_key s =
-      Bitvec.to_hex_string (Blast.node_value sblaster ~cycle:1 s)
-    in
+    let model_key s = Blast.node_value sblaster ~cycle:1 s in
     let split_by_model classes = List.concat_map (group_by model_key) classes in
     let rec refine classes round =
       if classes = [] then []
@@ -622,7 +630,11 @@ let sweep ?(max_queries = 4000) circuit =
                       | None -> go ms
                       | Some d ->
                           sc.sw_queries <- sc.sw_queries + 1;
-                          let r = S.solve ~assumptions:[ act; d ] ssolver in
+                          let r =
+                            S.solve
+                              ~assumptions:(act :: d :: session_assumptions)
+                              ssolver
+                          in
                           let resplit =
                             match r with
                             | S.Sat -> Some (split_by_model classes)
@@ -668,7 +680,11 @@ let sweep ?(max_queries = 4000) circuit =
                                 end
                                 else begin
                                   sc.sw_queries <- sc.sw_queries + 1;
-                                  let r = S.solve ~assumptions:[ d ] bsolver in
+                                  let r =
+                                    S.solve
+                                      ~assumptions:(d :: session_assumptions)
+                                      bsolver
+                                  in
                                   S.add_clause bsolver [ S.neg d ];
                                   if r <> S.Unsat then dropped := true;
                                   r = S.Unsat
@@ -697,12 +713,27 @@ let sweep ?(max_queries = 4000) circuit =
         | [] -> ())
       (establish all_classes);
     sc.sw_refuted <- sc.sw_cand - sc.sw_merged - sc.sw_regs;
+    (* Hand a borrowed solver back clean: one unit clause disables every
+       guarded clause of the session, and [simplify] physically deletes
+       them, leaving only dead variables behind. *)
+    (match guard with
+    | Some g ->
+        S.retire ssolver g;
+        S.simplify ssolver
+    | None -> ());
     (merges, sc)
   end
 
 (* {1 Driver} *)
 
-let run_optimize ~level ?keep_outputs circuit =
+(* Smallest post-structural cone worth sweeping.  Tuned on the bench
+   DUTs: the AES and MAPLE cones land near 200-240 nodes and solve in
+   single-digit milliseconds, so the sweep's fixed setup time dominates;
+   the Vscale and CVA6 cones (260+) recoup it comfortably. *)
+let sweep_min_nodes = 250
+
+let run_optimize ~level ?keep_outputs ?sweep_solver
+    ?(sweep_min = sweep_min_nodes) circuit =
   let t0 = Unix.gettimeofday () in
   let nodes_before = Circuit.num_nodes circuit in
   match level with
@@ -748,9 +779,18 @@ let run_optimize ~level ?keep_outputs circuit =
         Circuit.create ~name:(Circuit.name circuit) ~outputs:roots1 ()
       in
       let final, map2, sc =
-        if level = O1 then (mid, None, None)
+        (* The sweep's fixed cost — signature simulation plus a two-frame
+           induction instance — is only recouped when blasting and
+           solving dominate the run. Below a few hundred kept nodes the
+           structural passes have already saturated the gain, so [O2]
+           degenerates gracefully to the [O1] result (skipping a sound
+           reduction is itself sound). *)
+        if level = O1 || Circuit.num_nodes mid < sweep_min then
+          (mid, None, None)
         else
-          let merges, sc = Obs.span "opt.sweep" (fun () -> sweep mid) in
+          let merges, sc =
+            Obs.span "opt.sweep" (fun () -> sweep ?solver:sweep_solver mid)
+          in
           if Hashtbl.length merges = 0 then (mid, None, Some sc)
           else begin
             let rec resolve s =
@@ -814,7 +854,7 @@ let m_opt_time = lazy (Obs.Metrics.series "opt.pass_seconds")
 
 let level_name = function O0 -> "O0" | O1 -> "O1" | O2 -> "O2"
 
-let optimize ?(level = O2) ?keep_outputs circuit =
+let optimize ?(level = O2) ?keep_outputs ?sweep_solver ?sweep_min circuit =
   Obs.span "opt.optimize"
     ~attrs:
       [
@@ -822,7 +862,7 @@ let optimize ?(level = O2) ?keep_outputs circuit =
         ("nodes", Obs.Json.Int (Circuit.num_nodes circuit));
       ]
   @@ fun () ->
-  let res = run_optimize ~level ?keep_outputs circuit in
+  let res = run_optimize ~level ?keep_outputs ?sweep_solver ?sweep_min circuit in
   let st = res.opt_stats in
   if Obs.Metrics.enabled () then begin
     Obs.Metrics.add (Lazy.force m_opt_nodes_removed)

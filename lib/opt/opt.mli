@@ -88,7 +88,30 @@ type result = {
 }
 
 val optimize :
-  ?level:level -> ?keep_outputs:string list -> Rtl.Circuit.t -> result
+  ?level:level ->
+  ?keep_outputs:string list ->
+  ?sweep_solver:Sat.Solver.t ->
+  ?sweep_min:int ->
+  Rtl.Circuit.t ->
+  result
 (** [optimize circuit] runs the pipeline (default level {!O2}) over the
     outputs named in [keep_outputs] (default: all outputs). At {!O0} the
-    circuit is returned unchanged with the identity map. *)
+    circuit is returned unchanged with the identity map.
+
+    The {!O2} sweep only runs when the post-structural circuit has at
+    least [sweep_min] nodes (default a few hundred): the sweep's fixed
+    cost — signature simulation plus an inductive discharge instance —
+    cannot be recouped on cones that already solve in milliseconds.
+    Pass [~sweep_min:0] to force the sweep regardless of size.
+
+    With [sweep_solver], the {!O2} sweep runs on the given (persistent)
+    solver instead of private instances: every clause of the sweep
+    session carries a session guard, and the session retires the guard
+    and calls {!Sat.Solver.simplify} before returning, so the solver
+    comes back with no live sweep clauses — only the learnt clauses and
+    variable activity seeded by the sweep queries, which is the point:
+    the BMC engine that lends its solver here starts its depth queries
+    warm. The borrowed solver's budget and stop hook govern the sweep
+    queries too, so a deadline or cancellation fires inside [optimize]
+    (as {!Sat.Solver.Out_of_budget} / {!Sat.Solver.Stopped}) rather
+    than being ignored until blasting begins. *)

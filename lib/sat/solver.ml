@@ -133,6 +133,16 @@ type t = {
      exhaustion from external cancellation. *)
   mutable budget : budget;
   mutable interrupt : interrupt option;
+  (* Counter snapshots taken at every [solve] entry, so [last_solve] can
+     report the work of the most recent query alone — the number an
+     incremental caller wants when the cumulative counters span many
+     queries. *)
+  mutable base_conflicts : int;
+  mutable base_decisions : int;
+  mutable base_propagations : int;
+  mutable base_restarts : int;
+  mutable base_reduces : int;
+  mutable base_learned : int;
 }
 
 and stats = {
@@ -189,6 +199,12 @@ let create ?(config = default_config) ?(stop = fun () -> false) () =
     sample_hook = None;
     budget = no_budget;
     interrupt = None;
+    base_conflicts = 0;
+    base_decisions = 0;
+    base_propagations = 0;
+    base_restarts = 0;
+    base_reduces = 0;
+    base_learned = 0;
   }
 
 let set_budget s b = s.budget <- b
@@ -211,6 +227,23 @@ let stats s =
     s_restarts = s.restarts;
     s_reduces = s.reduces;
     s_learned_total = s.learned_total;
+    s_interrupt = s.interrupt;
+  }
+
+(* The delta view: cumulative counters minus the snapshot taken when the
+   last [solve] began. Size-like fields (vars, clauses, live learnts) are
+   absolute — a delta of those is meaningless. *)
+let last_solve s =
+  {
+    s_vars = s.nvars;
+    s_clauses = Vec.size s.clauses;
+    s_learnts = Vec.size s.learnts;
+    s_conflicts = s.conflicts - s.base_conflicts;
+    s_decisions = s.decisions - s.base_decisions;
+    s_propagations = s.propagations - s.base_propagations;
+    s_restarts = s.restarts - s.base_restarts;
+    s_reduces = s.reduces - s.base_reduces;
+    s_learned_total = s.learned_total - s.base_learned;
     s_interrupt = s.interrupt;
   }
 
@@ -657,6 +690,12 @@ let decide s =
 let solve ?(assumptions = []) s =
   s.model_valid <- false;
   s.interrupt <- None;
+  s.base_conflicts <- s.conflicts;
+  s.base_decisions <- s.decisions;
+  s.base_propagations <- s.propagations;
+  s.base_restarts <- s.restarts;
+  s.base_reduces <- s.reduces;
+  s.base_learned <- s.learned_total;
   if not s.ok then Unsat
   else begin
     (* A deadline that already passed (or a conflict cap already spent by
@@ -739,6 +778,57 @@ let solve ?(assumptions = []) s =
 let value s v =
   if not s.model_valid then failwith "Sat.value: no model available";
   if v < Array.length s.model then s.model.(v) else false
+
+(* {1 Activation literals}
+
+   The incremental-BMC protocol: guard a clause group with a fresh
+   literal [a] by adding each clause as [¬a ∨ C], solve under the
+   assumption [a] to activate the group, and retire the group forever
+   with the unit clause [¬a] — after which every guarded clause is
+   satisfied at level 0 and {!simplify} may physically delete it. *)
+
+let new_act s = lit (new_var s) true
+let add_clause_act s ~act lits = add_clause s (neg act :: lits)
+let retire s act = add_clause s [ neg act ]
+
+(* Delete every clause satisfied at level 0 (retired groups, subsumed
+   problem clauses, satisfied learnts) and rebuild the watch lists.
+
+   Safe at decision level 0 only. Reason clauses of level-0 implied
+   literals are kept ([is_locked]) even when satisfied: level-0 vars are
+   never unassigned, and keeping their reasons means no dangling
+   pointer question ever arises. Every surviving clause's watch
+   positions 0/1 are non-false at the level-0 fixpoint (propagation
+   moved the watches, or the clause was satisfied and is now gone), so
+   re-watching positions 0 and 1 preserves the watch invariant. *)
+let simplify s =
+  if s.ok then begin
+    assert (decision_level s = 0);
+    (match propagate s with Some _ -> s.ok <- false | None -> ());
+    if s.ok then begin
+      let compact vec =
+        let keep = ref [] in
+        Vec.iter
+          (fun c ->
+            if
+              (not c.deleted)
+              && (not (is_locked s c))
+              && Array.exists (fun l -> value_lit s l = 1) c.lits
+            then c.deleted <- true;
+            if not c.deleted then keep := c :: !keep)
+          vec;
+        Vec.clear vec;
+        List.iter (Vec.push vec) (List.rev !keep)
+      in
+      compact s.clauses;
+      compact s.learnts;
+      for l = 0 to (2 * s.nvars) - 1 do
+        Vec.clear s.watches.(l)
+      done;
+      Vec.iter (fun c -> watch_clause s c) s.clauses;
+      Vec.iter (fun c -> watch_clause s c) s.learnts
+    end
+  end
 
 let config s = s.config
 

@@ -120,6 +120,38 @@ val solve : ?assumptions:lit list -> t -> result
 (** Solve under the given assumptions. After [Sat], {!value} reads the
     model. After [Unsat] under assumptions, the solver remains usable. *)
 
+(** {1 Activation literals}
+
+    The protocol behind incremental BMC: a clause group guarded by a
+    fresh activation literal [a] is dormant until a {!solve} call
+    carries [a] as an assumption, and is permanently disabled by
+    {!retire} — the unit clause [¬a] — after which {!simplify} may
+    physically delete the group. Learnt clauses derived while [a] was
+    assumed mention [¬a] wherever they depend on the group, so they
+    remain sound (and become satisfied, then collectable) once the
+    group is retired. *)
+
+val new_act : t -> lit
+(** A fresh activation literal (a positive literal over a fresh
+    variable). *)
+
+val add_clause_act : t -> act:lit -> lit list -> unit
+(** [add_clause_act s ~act c] adds the guarded clause [¬act ∨ c]: inert
+    until [act] is assumed, indistinguishable from a plain clause while
+    it is. *)
+
+val retire : t -> lit -> unit
+(** [retire s act] adds the unit clause [¬act], permanently disabling
+    every clause guarded by [act]. The guarded clauses keep consuming
+    watch-list slots until the next {!simplify}. *)
+
+val simplify : t -> unit
+(** Physically delete every clause satisfied at decision level 0 —
+    retired groups and any clause satisfied by a root-level fact — and
+    rebuild the watch lists. Callable only between [solve]s. Cheap
+    relative to a solve (one pass over the clause database), so call it
+    after retiring a large group rather than after every query. *)
+
 val value : t -> int -> bool
 (** Model value of a variable after a [Sat] answer. Unconstrained
     variables read [false]. Raises [Failure] if the last call was not
@@ -160,6 +192,15 @@ type stats = {
 val stats : t -> stats
 (** A consistent snapshot; callable between (not during) [solve]s from
     the owning domain, and from the sampling hook. *)
+
+val last_solve : t -> stats
+(** Like {!stats}, but the counter fields ([s_conflicts],
+    [s_decisions], [s_propagations], [s_restarts], [s_reduces],
+    [s_learned_total]) cover only the most recent {!solve} call: each
+    call snapshots the cumulative counters on entry and this view
+    subtracts the snapshot. Size fields ([s_vars], [s_clauses],
+    [s_learnts]) remain absolute. The per-query cost view an
+    incremental caller wants when one instance serves many queries. *)
 
 val on_sample : t -> every:int -> (stats -> unit) -> unit
 (** Install a hook called every [every] conflicts from inside [solve],

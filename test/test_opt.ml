@@ -140,7 +140,9 @@ let test_sweep_comb_merge () =
   let circuit =
     Circuit.create ~name:"sweep" ~outputs:[ ("o0", x1); ("o1", x2) ] ()
   in
-  let r = Opt.optimize ~level:Opt.O2 circuit in
+  (* ~sweep_min:0 bypasses the size gate — these circuits are far below
+     the production threshold, and the point here is the sweep itself. *)
+  let r = Opt.optimize ~level:Opt.O2 ~sweep_min:0 circuit in
   Alcotest.(check bool) "sweep merged" true
     (r.Opt.opt_stats.Opt.o_sweep_merged >= 1);
   let outs = Circuit.outputs r.Opt.opt_circuit in
@@ -162,7 +164,7 @@ let test_reg_correspondence () =
   let circuit =
     Circuit.create ~name:"twins" ~outputs:[ ("eq", r1 ==: r2) ] ()
   in
-  let r = Opt.optimize ~level:Opt.O2 circuit in
+  let r = Opt.optimize ~level:Opt.O2 ~sweep_min:0 circuit in
   Alcotest.(check bool) "registers merged" true
     (r.Opt.opt_stats.Opt.o_regs_merged >= 1);
   (* With r1 and r2 merged, eq folds to constant 1 — after which the
@@ -184,7 +186,7 @@ let test_sweep_respects_difference () =
   let circuit =
     Circuit.create ~name:"twins_ne" ~outputs:[ ("eq", r1 ==: r2) ] ()
   in
-  let r = Opt.optimize ~level:Opt.O2 circuit in
+  let r = Opt.optimize ~level:Opt.O2 ~sweep_min:0 circuit in
   Alcotest.(check int) "no register merged" 0 r.Opt.opt_stats.Opt.o_regs_merged;
   let property =
     { Bmc.assumes = []; asserts = [ ("ne", ~:(r1 ==: r2)) ] }
@@ -216,7 +218,7 @@ let check_opt seed =
   let st = Random.State.make [| seed |] in
   let circuit = Gen_circuit.random_circuit st ~num_nodes:25 ~num_regs:3 in
   (* Simulator cross-check on the full circuit (all outputs kept). *)
-  let r = Opt.optimize ~level:Opt.O2 circuit in
+  let r = Opt.optimize ~level:Opt.O2 ~sweep_min:0 circuit in
   let cycles = List.init 8 (fun _ -> Gen_circuit.random_inputs st) in
   if not (outputs_agree circuit r.Opt.opt_circuit cycles) then false
   else

@@ -218,6 +218,82 @@ let test_fault_fuzz_with_retry () =
       Alcotest.failf "seed %d: fault flipped the verdict under retry" seed
   done
 
+let test_fault_incr_site () =
+  (* The incremental engine's between-depths fault point. Armed at rate
+     1.0 on just "bmc.incr", every incremental run faults the moment it
+     tries to extend the persistent solver past depth 0, and must
+     downgrade to Unknown (Faulted "bmc.incr") with clean accounting up
+     to depth 0; the scratch engine never passes the site and must be
+     untouched by the same arming. *)
+  let circuit, property =
+    let open Signal in
+    let cnt = reg "cnt" 4 in
+    reg_set_next cnt (cnt +: one 4);
+    ( Rtl.Circuit.create ~name:"counter" ~outputs:[ ("cnt", cnt) ] (),
+      { Bmc.assumes = []; asserts = [ ("ne5", ~:(cnt ==: of_int ~width:4 5)) ] }
+    )
+  in
+  Fault.arm ~sites:[ "bmc.incr" ] ~rate:1. ~seed:7 ();
+  Fun.protect
+    ~finally:(fun () -> Fault.disarm ())
+    (fun () ->
+      (match Bmc.check ~max_depth:8 ~incremental:true circuit property with
+      | Bmc.Unknown (Bmc.Faulted site, stats) ->
+          Alcotest.(check string) "site named" "bmc.incr" site;
+          Alcotest.(check int) "clean up to depth 0" 0 stats.Bmc.depth_reached
+      | Bmc.Unknown (r, _) ->
+          Alcotest.failf "wrong unknown reason: %s" (unknown_to_string r)
+      | Bmc.Cex _ | Bmc.Bounded_proof _ ->
+          Alcotest.fail "a certain fault cannot leave the verdict conclusive");
+      match Bmc.check ~max_depth:8 ~incremental:false circuit property with
+      | Bmc.Cex (c, _) -> Alcotest.(check int) "scratch unaffected" 5 c.Bmc.cex_depth
+      | o ->
+          Alcotest.failf "the scratch engine has no bmc.incr site (got %s)"
+            (match o with
+            | Bmc.Bounded_proof _ -> "bounded proof"
+            | Bmc.Unknown (r, _) -> unknown_to_string r
+            | Bmc.Cex _ -> assert false))
+
+let test_fault_incr_fuzz () =
+  (* Seeded fuzz restricted to the "bmc.incr" site: random circuits on
+     the incremental engine (sequential and parallel) may downgrade to
+     Unknown but must never contradict the fault-free scratch
+     reference. *)
+  let total_fired = ref 0 in
+  for seed = 21 to 28 do
+    let st = Random.State.make [| seed |] in
+    let circuit = Gen_circuit.random_circuit st ~num_nodes:25 ~num_regs:3 in
+    let property = Gen_circuit.random_property st circuit ~num_asserts:3 in
+    let reference = Bmc.check ~max_depth:5 ~incremental:false circuit property in
+    (match reference with
+    | Bmc.Unknown (r, _) ->
+        Alcotest.failf "seed %d: fault-free reference is unknown (%s)" seed
+          (unknown_to_string r)
+    | _ -> ());
+    List.iter
+      (fun jobs ->
+        Fault.arm ~sites:[ "bmc.incr" ] ~rate:0.3 ~seed ();
+        let outcome =
+          Fun.protect
+            ~finally:(fun () ->
+              total_fired := !total_fired + Fault.fired ();
+              Fault.disarm ())
+            (fun () ->
+              Parallel.check ~jobs ~incremental:true ~max_depth:5 circuit
+                property)
+        in
+        if verdict_flip reference outcome then
+          Alcotest.failf "seed %d jobs %d: bmc.incr fault flipped the verdict"
+            seed jobs;
+        match outcome with
+        | Bmc.Unknown (Bmc.Faulted site, _) ->
+            Alcotest.(check string) "only the armed site fires" "bmc.incr" site
+        | _ -> ())
+      [ 1; 4 ]
+  done;
+  Alcotest.(check bool) "the corpus did pass the bmc.incr site" true
+    (!total_fired > 0)
+
 (* {1 Campaigns: crash isolation and resume} *)
 
 let two_leak_dut () =
@@ -431,6 +507,10 @@ let () =
           Alcotest.test_case "seeded determinism" `Quick test_fault_determinism;
           Alcotest.test_case "fuzz: no verdict flips" `Quick test_fault_fuzz;
           Alcotest.test_case "fuzz under retry" `Quick test_fault_fuzz_with_retry;
+          Alcotest.test_case "bmc.incr site downgrades cleanly" `Quick
+            test_fault_incr_site;
+          Alcotest.test_case "fuzz: bmc.incr never flips" `Quick
+            test_fault_incr_fuzz;
         ] );
       ( "campaign",
         [

@@ -215,6 +215,113 @@ let test_xor_chain_unsat () =
   S.add_clause s [ S.lit (y (n - 1)) false ];
   Alcotest.(check bool) "xor chain unsat" true (S.solve s = S.Unsat)
 
+(* {1 Activation literals and per-query statistics — the incremental
+   BMC protocol} *)
+
+let test_activation_lifecycle () =
+  (* One clause group per activation literal: dormant until assumed,
+     selectable per query, permanently disabled by [retire], and
+     physically deleted by [simplify]. *)
+  let s = make_solver 1 in
+  let a1 = S.new_act s in
+  let a2 = S.new_act s in
+  S.add_clause_act s ~act:a1 [ S.lit 0 true ];
+  S.add_clause_act s ~act:a2 [ S.lit 0 false ];
+  (* Dormant groups constrain nothing. *)
+  Alcotest.(check bool) "dormant" true (S.solve s = S.Sat);
+  (* Each group is selectable on its own... *)
+  Alcotest.(check bool) "group 1" true
+    (S.solve ~assumptions:[ a1 ] s = S.Sat && S.value s 0);
+  Alcotest.(check bool) "group 2" true
+    (S.solve ~assumptions:[ a2 ] s = S.Sat && not (S.value s 0));
+  (* ...and the two together are contradictory. *)
+  Alcotest.(check bool) "both groups" true
+    (S.solve ~assumptions:[ a1; a2 ] s = S.Unsat);
+  (* Retiring group 1 disables it even when its literal is assumed. *)
+  S.retire s a1;
+  Alcotest.(check bool) "retired group cannot be re-selected" true
+    (S.solve ~assumptions:[ a1 ] s = S.Unsat);
+  Alcotest.(check bool) "survivor unaffected" true
+    (S.solve ~assumptions:[ a2 ] s = S.Sat && not (S.value s 0));
+  (* [simplify] deletes the retired group; live clauses stay. *)
+  let before = S.num_clauses s in
+  S.simplify s;
+  Alcotest.(check bool) "simplify shrinks the clause db" true
+    (S.num_clauses s < before);
+  (* A fresh group can take over the retired one's role. *)
+  let a3 = S.new_act s in
+  S.add_clause_act s ~act:a3 [ S.lit 0 true ];
+  Alcotest.(check bool) "re-added group selectable" true
+    (S.solve ~assumptions:[ a3 ] s = S.Sat && S.value s 0);
+  Alcotest.(check bool) "re-added vs survivor unsat" true
+    (S.solve ~assumptions:[ a3; a2 ] s = S.Unsat)
+
+(* Pigeonhole clauses over a fresh or shared solver, guarded by [act]
+   when given: the crafted hard instance for the reuse tests. *)
+let add_php ?act s ~pigeons ~holes ~base =
+  let v p h = base + (p * holes) + h in
+  let add =
+    match act with
+    | Some act -> fun c -> S.add_clause_act s ~act c
+    | None -> fun c -> S.add_clause s c
+  in
+  for p = 0 to pigeons - 1 do
+    add (List.init holes (fun h -> S.lit (v p h) true))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        add [ S.lit (v p1 h) false; S.lit (v p2 h) false ]
+      done
+    done
+  done
+
+let test_learnt_survival () =
+  (* The point of keeping one solver alive: clauses learnt by query N
+     make query N+1 cheaper than solving it from scratch. Query the same
+     guarded pigeonhole group twice on one instance; a fresh solver
+     facing the identical question is the scratch baseline. *)
+  let pigeons = 6 and holes = 5 in
+  let persistent = make_solver (pigeons * holes) in
+  let act = S.new_act persistent in
+  add_php ~act persistent ~pigeons ~holes ~base:0;
+  Alcotest.(check bool) "query 1 unsat" true
+    (S.solve ~assumptions:[ act ] persistent = S.Unsat);
+  let first = (S.last_solve persistent).S.s_conflicts in
+  Alcotest.(check bool) "query 1 needed real search" true (first > 0);
+  Alcotest.(check bool) "query 2 unsat" true
+    (S.solve ~assumptions:[ act ] persistent = S.Unsat);
+  let second = (S.last_solve persistent).S.s_conflicts in
+  let scratch = make_solver (pigeons * holes) in
+  add_php scratch ~pigeons ~holes ~base:0;
+  Alcotest.(check bool) "scratch baseline unsat" true (S.solve scratch = S.Unsat);
+  let baseline = (S.last_solve scratch).S.s_conflicts in
+  if second >= baseline then
+    Alcotest.failf
+      "learnt clauses did not survive: query 2 took %d conflicts, scratch %d"
+      second baseline
+
+let test_last_solve_resets () =
+  (* [last_solve] is a per-query delta — each solve re-bases it — while
+     [stats] stays cumulative across the instance's lifetime. *)
+  let s = make_solver 20 in
+  add_php s ~pigeons:5 ~holes:4 ~base:0;
+  Alcotest.(check bool) "unsat" true (S.solve s = S.Unsat);
+  let q1 = (S.last_solve s).S.s_conflicts in
+  let total1 = (S.stats s).S.s_conflicts in
+  Alcotest.(check int) "first query: delta equals cumulative" total1 q1;
+  Alcotest.(check bool) "the instance was not free" true (q1 > 0);
+  (* A root-level-unsat instance answers immediately: the delta must
+     re-base to 0, not carry query 1's conflicts. *)
+  Alcotest.(check bool) "still unsat" true (S.solve s = S.Unsat);
+  let q2 = (S.last_solve s).S.s_conflicts in
+  Alcotest.(check int) "second query: delta re-based" 0 q2;
+  Alcotest.(check int) "cumulative untouched by re-basing" total1
+    (S.stats s).S.s_conflicts;
+  (* Size fields stay absolute in both views. *)
+  Alcotest.(check int) "last_solve vars absolute" (S.num_vars s)
+    (S.last_solve s).S.s_vars
+
 let qprop name f =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~count:300 ~name QCheck.(make Gen.(int_bound 1_000_000)) f)
@@ -232,6 +339,14 @@ let () =
           Alcotest.test_case "dense random" `Quick test_larger_random_unsat;
           Alcotest.test_case "implication chain" `Quick test_implication_chain;
           Alcotest.test_case "xor chain" `Quick test_xor_chain_unsat;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "activation lifecycle" `Quick test_activation_lifecycle;
+          Alcotest.test_case "learnt clauses survive queries" `Quick
+            test_learnt_survival;
+          Alcotest.test_case "last_solve re-bases per query" `Quick
+            test_last_solve_resets;
         ] );
       ( "properties",
         [

@@ -1,0 +1,134 @@
+(* Validates BENCH_incremental.json from a real `bench incremental`
+   run — the [@incremental-smoke] gate. Usage:
+
+     validate_incremental.exe BENCH_incremental.json
+
+   The bench runs each row's whole depth sequence twice at -O2: once on
+   the persistent-solver incremental engine and once on the per-depth
+   scratch oracle. This checks the artifact structurally (every row has
+   both outcomes with verdict/depth/wall_s/stats), re-derives the
+   agreement and speedup counters instead of trusting the recorded
+   ones, requires zero mismatches, and gates the headline claim: the
+   two deep-proof rows (V and C0+) — where depth unrolling dominates
+   and clause reuse has the most to amortize — must each show at least
+   a 1.5x cumulative-depth speedup. Exits non-zero on the first
+   violation. *)
+
+module Json = Obs.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  contents
+
+let parse path =
+  match Json.parse (read_file path) with
+  | Ok j ->
+      (match Json.parse (Json.to_string j) with
+      | Ok j' when j' = j -> ()
+      | Ok _ -> fail "%s does not round-trip through the JSON printer" path
+      | Error e -> fail "%s re-parse failed: %s" path e);
+      j
+  | Error e -> fail "%s does not parse: %s" path e
+
+let str_field what name j =
+  match Json.member name j with
+  | Some (Json.Str s) -> s
+  | _ -> fail "%s lacks string field %S: %s" what name (Json.to_string j)
+
+let int_field what name j =
+  match Json.member name j with
+  | Some (Json.Int i) -> i
+  | _ -> fail "%s lacks int field %S: %s" what name (Json.to_string j)
+
+let num_field what name j =
+  match Json.member name j with
+  | Some (Json.Float f) -> f
+  | Some (Json.Int i) -> float_of_int i
+  | _ -> fail "%s lacks numeric field %S: %s" what name (Json.to_string j)
+
+let bool_field what name j =
+  match Json.member name j with
+  | Some (Json.Bool b) -> b
+  | _ -> fail "%s lacks bool field %S" what name
+
+let obj_field what name j =
+  match Json.member name j with
+  | Some (Json.Obj _ as o) -> o
+  | _ -> fail "%s lacks object field %S" what name
+
+(* One engine's outcome record; returns (verdict, depth). *)
+let check_outcome what name j =
+  let o = obj_field what name j in
+  let verdict = str_field what "verdict" o in
+  let depth = int_field what "depth" o in
+  (match Json.member "wall_s" o with
+  | Some (Json.Float _ | Json.Int _) -> ()
+  | _ -> fail "%s: %s lacks wall_s" what name);
+  ignore (obj_field what "stats" o);
+  (verdict, depth)
+
+let check_row path j =
+  let id = str_field path "id" j in
+  let what = Printf.sprintf "%s row %s" path id in
+  ignore (str_field what "description" j);
+  ignore (int_field what "max_depth" j);
+  let sv, sd = check_outcome what "scratch" j in
+  let iv, id_ = check_outcome what "incremental" j in
+  if not (bool_field what "agree" j) then
+    fail "%s: recorded as a mismatch" what;
+  (* Re-derive the agreement from the outcomes instead of trusting the
+     bench's own flag. *)
+  if sv <> iv then
+    fail "%s: engines disagree on the verdict (scratch %S, incremental %S)"
+      what sv iv;
+  if sd <> id_ then
+    fail "%s: engines agree on %S but at different depths (%d vs %d)" what sv
+      sd id_;
+  if sv = "unknown" then fail "%s: inconclusive on both engines" what;
+  let speedup = num_field what "speedup" j in
+  (id, speedup)
+
+let () =
+  match Sys.argv with
+  | [| _; path |] ->
+      let j = parse path in
+      if str_field path "bench" j <> "incremental" then
+        fail "%s is not an incremental bench record" path;
+      let rows =
+        match Json.member "rows" j with
+        | Some (Json.List l) -> l
+        | _ -> fail "%s lacks a rows list" path
+      in
+      if rows = [] then fail "%s has no rows" path;
+      let checked = List.map (check_row path) rows in
+      if int_field path "mismatches" j <> 0 then
+        fail "%s: the bench recorded engine mismatches" path;
+      let fast = List.length (List.filter (fun (_, s) -> s >= 1.5) checked) in
+      if int_field path "rows_speedup_ge_1_5" j <> fast then
+        fail "%s: rows_speedup_ge_1_5 disagrees with the recorded speedups"
+          path;
+      (* The headline gate: on the deep-proof rows, where the scratch
+         engine re-pays blasting and re-learns the same clauses at every
+         depth, persistence must buy at least 1.5x end to end. *)
+      List.iter
+        (fun gated ->
+          match List.assoc_opt gated checked with
+          | None -> fail "%s: gated row %S is missing" path gated
+          | Some s when s < 1.5 ->
+              fail "%s: row %S speedup %.2fx is below the 1.5x gate" path
+                gated s
+          | Some _ -> ())
+        [ "V"; "C0+" ];
+      ignore (obj_field path "telemetry" j);
+      Printf.printf
+        "incremental bench OK: %s (%d rows, %d at >= 1.5x, gated rows V=%.2fx C0+=%.2fx)\n"
+        path (List.length checked) fast
+        (List.assoc "V" checked)
+        (List.assoc "C0+" checked)
+  | _ ->
+      prerr_endline "usage: validate_incremental BENCH_incremental.json";
+      exit 2
