@@ -8,8 +8,8 @@
 
    Usage: dune exec bench/main.exe [table1|table2|exploit|aes_proof|
                                     fixes|baseline|flush_tdd|parallel|
-                                    opt|incremental|campaign|smoke|
-                                    bechamel|all]
+                                    opt|incremental|cache|symmetric|
+                                    campaign|smoke|bechamel|all]
 
    The [parallel] subcommand re-runs representative Table 1 rows on the
    sequential engine and on the domain-sharded parallel engine
@@ -689,7 +689,15 @@ let opt_bench () =
     "Optimizer — end-to-end BMC at -O0 vs -O2 (identical verdicts and CEX depths, wall-clock speedup)";
   Obs.Metrics.reset ();
   Obs.Metrics.enable ();
-  let results = List.map opt_row (opt_rows ()) in
+  let wanted =
+    match Sys.getenv_opt "AUTOCC_BENCH_ROWS" with
+    | None | Some "" -> List.map (fun (id, _, _, _) -> id) (opt_rows ())
+    | Some s -> String.split_on_char ',' s
+  in
+  let results =
+    List.map opt_row
+      (List.filter (fun (id, _, _, _) -> List.mem id wanted) (opt_rows ()))
+  in
   let mismatches = List.length (List.filter (fun (_, a, _) -> not a) results) in
   let fast = List.length (List.filter (fun (_, _, s) -> s >= 1.5) results) in
   print_newline ();
@@ -735,10 +743,22 @@ let outcomes_agree scr inc =
   | _ -> false
 
 let incremental_row ~force_mismatch (id, description, mk_ft, max_depth) =
+  (* The shared -O2 front end (FT generation + instrument + netlist
+     pipeline) runs ONCE, outside both timed intervals: the arms then
+     differ only in solver-session reuse, so the walls measure solving,
+     not re-optimization. [setup_s] is reported as its own field. *)
+  let ft = mk_ft () in
+  let su = Unix.gettimeofday () in
+  let circuit, property, sym, _ =
+    Bmc.preoptimize ~opt:Opt.O2 ~sym:ft.Autocc.Ft.sym ft.Autocc.Ft.wrapper
+      ft.Autocc.Ft.property
+  in
+  let setup_s = Unix.gettimeofday () -. su in
   let run incremental =
-    let ft = mk_ft () in
     let t0 = Unix.gettimeofday () in
-    let outcome = Autocc.Ft.check ~max_depth ~incremental ft in
+    let outcome =
+      Bmc.check ~max_depth ~incremental ~opt:Opt.O0 ~sym circuit property
+    in
     (outcome, Unix.gettimeofday () -. t0)
   in
   let scr, scr_t = run false in
@@ -752,8 +772,8 @@ let incremental_row ~force_mismatch (id, description, mk_ft, max_depth) =
   in
   let speedup = scr_t /. Float.max 1e-9 inc_t in
   Printf.printf
-    "%-4s %-44s scratch %-14s %7.2fs | incr %-14s %7.2fs | %5.2fx%s\n" id
-    description (describe scr) scr_t (describe inc) inc_t speedup
+    "%-4s %-44s scratch %-14s %7.2fs | incr %-14s %7.2fs | %5.2fx (setup %.2fs)%s\n"
+    id description (describe scr) scr_t (describe inc) inc_t speedup setup_s
     (if agree then "" else "  MISMATCH");
   let json =
     Json.Obj
@@ -761,6 +781,7 @@ let incremental_row ~force_mismatch (id, description, mk_ft, max_depth) =
         ("id", Json.Str id);
         ("description", Json.Str description);
         ("max_depth", Json.Int max_depth);
+        ("setup_s", Json.Float setup_s);
         ("scratch", json_of_outcome scr ~wall:scr_t);
         ("incremental", json_of_outcome inc ~wall:inc_t);
         ("speedup", Json.Float speedup);
@@ -780,12 +801,19 @@ let incremental_row ~force_mismatch (id, description, mk_ft, max_depth) =
    assertion stand for the side (for the incremental side those are
    session totals, since the session's counters are cumulative). *)
 let incremental_each_row ~force_mismatch (id, description, mk_ft, max_depth) =
+  (* As in [incremental_row]: one shared -O2 setup outside the timed
+     intervals, arms at -O0 on the preoptimized cone. *)
+  let ft = mk_ft () in
+  let su = Unix.gettimeofday () in
+  let circuit, property, sym, _ =
+    Bmc.preoptimize ~opt:Opt.O2 ~sym:ft.Autocc.Ft.sym ft.Autocc.Ft.wrapper
+      ft.Autocc.Ft.property
+  in
+  let setup_s = Unix.gettimeofday () -. su in
   let run incremental =
-    let ft = mk_ft () in
     let t0 = Unix.gettimeofday () in
     let rs =
-      Bmc.check_each ~max_depth ~incremental ft.Autocc.Ft.wrapper
-        ft.Autocc.Ft.property
+      Bmc.check_each ~max_depth ~incremental ~opt:Opt.O0 ~sym circuit property
     in
     (rs, Unix.gettimeofday () -. t0)
   in
@@ -826,8 +854,8 @@ let incremental_each_row ~force_mismatch (id, description, mk_ft, max_depth) =
   in
   let speedup = scr_t /. Float.max 1e-9 inc_t in
   Printf.printf
-    "%-4s %-44s scratch %-14s %7.2fs | incr %-14s %7.2fs | %5.2fx%s\n" id
-    description (describe scr) scr_t (describe inc) inc_t speedup
+    "%-4s %-44s scratch %-14s %7.2fs | incr %-14s %7.2fs | %5.2fx (setup %.2fs)%s\n"
+    id description (describe scr) scr_t (describe inc) inc_t speedup setup_s
     (if agree then "" else "  MISMATCH");
   let json =
     Json.Obj
@@ -835,6 +863,7 @@ let incremental_each_row ~force_mismatch (id, description, mk_ft, max_depth) =
         ("id", Json.Str id);
         ("description", Json.Str description);
         ("max_depth", Json.Int max_depth);
+        ("setup_s", Json.Float setup_s);
         ("assertions", Json.Int (List.length scr));
         ("scratch", json_of_outcome (aggregate scr) ~wall:scr_t);
         ("incremental", json_of_outcome (aggregate inc) ~wall:inc_t);
@@ -901,6 +930,251 @@ let incremental_bench () =
       "     all incremental verdicts and CEX depths match the scratch engine"
   else begin
     Printf.printf "     %d MISMATCH(ES) between incremental and scratch runs\n"
+      mismatches;
+    exit 1
+  end
+
+(* {1 Verdict-cache benchmark: cold solve vs warm on-disk replay} *)
+
+(* Cold phase: a fresh store, every verdict solved and persisted. Warm
+   phase: a NEW [Cache.create] over the same directory, so every hit
+   rides the JSONL codec + integrity digest + CEX replay-revalidation
+   path — exactly what a re-run campaign exercises — rather than the
+   in-memory table. Verdicts must agree (kind, depth) row by row and
+   every warm row must hit; either failure exits nonzero. *)
+let cache_row_ids = [ "V5"; "M3"; "A1"; "C0" ]
+
+let cache_bench () =
+  header
+    "Verdict cache — cold solve vs warm content-addressed replay (identical verdicts, on-disk round trip)";
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  let force_mismatch = Sys.getenv_opt "AUTOCC_BENCH_FORCE_MISMATCH" <> None in
+  let wanted =
+    match Sys.getenv_opt "AUTOCC_BENCH_ROWS" with
+    | None | Some "" -> cache_row_ids
+    | Some s -> String.split_on_char ',' s
+  in
+  let rows =
+    List.filter (fun (id, _, _, _) -> List.mem id wanted) (opt_rows ())
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "autocc_bench_cache_%d" (Unix.getpid ()))
+  in
+  (* Fresh store: drop leftovers from a previous run under this pid. *)
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+  let run_all cache =
+    List.map
+      (fun (id, description, mk_ft, max_depth) ->
+        let ft = mk_ft () in
+        let t0 = Unix.gettimeofday () in
+        let outcome = Autocc.Ft.check ~max_depth ~cache ft in
+        (id, description, max_depth, outcome, Unix.gettimeofday () -. t0))
+      rows
+  in
+  let cold_cache = Cache.create ~dir () in
+  let cold = run_all cold_cache in
+  let cold_stats = Cache.stats cold_cache in
+  let warm_cache = Cache.create ~dir () in
+  let warm = run_all warm_cache in
+  let warm_stats = Cache.stats warm_cache in
+  let describe = function
+    | Bmc.Cex (cex, _) -> Printf.sprintf "CEX depth %d" (cex.Bmc.cex_depth + 1)
+    | Bmc.Bounded_proof st ->
+        Printf.sprintf "proof to %d" (st.Bmc.depth_reached + 1)
+    | Bmc.Unknown (r, _) ->
+        Printf.sprintf "unknown (%s)" (Bmc.unknown_reason_to_string r)
+  in
+  let results =
+    List.map2
+      (fun (id, description, max_depth, c_out, c_t) (_, _, _, w_out, w_t) ->
+        let agree = (not force_mismatch) && outcomes_agree c_out w_out in
+        let speedup = c_t /. Float.max 1e-9 w_t in
+        Printf.printf
+          "%-4s %-44s cold %-14s %7.2fs | warm %-14s %7.2fs | %7.1fx%s\n" id
+          description (describe c_out) c_t (describe w_out) w_t speedup
+          (if agree then "" else "  MISMATCH");
+        let json =
+          Json.Obj
+            [
+              ("id", Json.Str id);
+              ("description", Json.Str description);
+              ("max_depth", Json.Int max_depth);
+              ("cold", json_of_outcome c_out ~wall:c_t);
+              ("warm", json_of_outcome w_out ~wall:w_t);
+              ("speedup", Json.Float speedup);
+              ("agree", Json.Bool agree);
+            ]
+        in
+        (json, agree, c_t, w_t))
+      cold warm
+  in
+  let mismatches =
+    List.length (List.filter (fun (_, a, _, _) -> not a) results)
+  in
+  let cold_s = List.fold_left (fun acc (_, _, c, _) -> acc +. c) 0. results in
+  let warm_s = List.fold_left (fun acc (_, _, _, w) -> acc +. w) 0. results in
+  let speedup = cold_s /. Float.max 1e-9 warm_s in
+  print_newline ();
+  let json_of_stats (s : Cache.stats) =
+    Json.Obj
+      [
+        ("hits", Json.Int s.Cache.hits);
+        ("misses", Json.Int s.Cache.misses);
+        ("stores", Json.Int s.Cache.stores);
+        ("rejects", Json.Int s.Cache.rejects);
+      ]
+  in
+  let out =
+    Option.value (Sys.getenv_opt "AUTOCC_BENCH_OUT") ~default:"BENCH_cache.json"
+  in
+  Json.write ~path:out
+    (Json.Obj
+       [
+         ("bench", Json.Str "cache");
+         ("rows", Json.List (List.map (fun (j, _, _, _) -> j) results));
+         ("mismatches", Json.Int mismatches);
+         ("cold_s", Json.Float cold_s);
+         ("warm_s", Json.Float warm_s);
+         ("speedup", Json.Float speedup);
+         ("cold_cache", json_of_stats cold_stats);
+         ("warm_cache", json_of_stats warm_stats);
+         ("telemetry", Obs.Metrics.json_of_snapshot ());
+       ]);
+  Printf.printf
+    "     cold %.2fs (%d stores) -> warm %.2fs (%d hits, %d rejects): %.1fx\n"
+    cold_s cold_stats.Cache.stores warm_s warm_stats.Cache.hits
+    warm_stats.Cache.rejects speedup;
+  if mismatches = 0 && warm_stats.Cache.hits > 0 then
+    print_endline "     all warm verdicts match the cold solve"
+  else begin
+    if warm_stats.Cache.hits = 0 then
+      print_endline "     FAILURE: warm run produced zero cache hits";
+    if mismatches > 0 then
+      Printf.printf "     %d MISMATCH(ES) between cold and warm runs\n"
+        mismatches;
+    exit 1
+  end
+
+(* {1 Symmetric-blasting benchmark: mirrored template vs double blast} *)
+
+(* End-to-end differential ([--no-symmetric] is the double-blast oracle)
+   plus a template-construction micro-measure: the end-to-end walls are
+   solver-dominated, so the second number times exactly the code the
+   flag shortens — building the per-cycle transition-relation template
+   on the -O2 cone, with and without the symmetric pairs (min-of-3). *)
+let symmetric_row_ids = [ "V5"; "M3"; "A1"; "C0" ]
+
+let symmetric_row ~force_mismatch (id, description, mk_ft, max_depth) =
+  let run symmetric =
+    let ft = mk_ft () in
+    let t0 = Unix.gettimeofday () in
+    let outcome = Autocc.Ft.check ~max_depth ~symmetric ft in
+    (outcome, Unix.gettimeofday () -. t0)
+  in
+  let dbl, dbl_t = run false in
+  let sym, sym_t = run true in
+  let agree = (not force_mismatch) && outcomes_agree dbl sym in
+  let ft = mk_ft () in
+  let circuit, _, pairs, _ =
+    Bmc.preoptimize ~opt:Opt.O2 ~sym:ft.Autocc.Ft.sym ft.Autocc.Ft.wrapper
+      ft.Autocc.Ft.property
+  in
+  let template_time sym_pairs =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let solver = Sat.Solver.create () in
+      let b =
+        Cnf.Blast.create ~mode:Cnf.Blast.Template ~sym:sym_pairs solver circuit
+      in
+      (* Cycle 0 is encoded directly (identical in both arms, so kept
+         outside the timed interval); cycle 1 builds and stamps the
+         transition-relation template — the cost the flag shortens. *)
+      Cnf.Blast.unroll_cycle b;
+      let t0 = Unix.gettimeofday () in
+      Cnf.Blast.unroll_cycle b;
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let tpl_dbl = template_time [] in
+  let tpl_sym = template_time pairs in
+  let describe = function
+    | Bmc.Cex (cex, _) -> Printf.sprintf "CEX depth %d" (cex.Bmc.cex_depth + 1)
+    | Bmc.Bounded_proof st ->
+        Printf.sprintf "proof to %d" (st.Bmc.depth_reached + 1)
+    | Bmc.Unknown (r, _) ->
+        Printf.sprintf "unknown (%s)" (Bmc.unknown_reason_to_string r)
+  in
+  let tpl_speedup = tpl_dbl /. Float.max 1e-9 tpl_sym in
+  Printf.printf
+    "%-4s %-44s 2x-blast %-14s %7.2fs | sym %-14s %7.2fs | template %5.2fx (%d pairs)%s\n"
+    id description (describe dbl) dbl_t (describe sym) sym_t tpl_speedup
+    (List.length pairs)
+    (if agree then "" else "  MISMATCH");
+  let json =
+    Json.Obj
+      [
+        ("id", Json.Str id);
+        ("description", Json.Str description);
+        ("max_depth", Json.Int max_depth);
+        ("sym_pairs", Json.Int (List.length pairs));
+        ("double_blast", json_of_outcome dbl ~wall:dbl_t);
+        ("symmetric", json_of_outcome sym ~wall:sym_t);
+        ("template_double_s", Json.Float tpl_dbl);
+        ("template_symmetric_s", Json.Float tpl_sym);
+        ("template_speedup", Json.Float tpl_speedup);
+        ("agree", Json.Bool agree);
+      ]
+  in
+  (json, agree, tpl_speedup)
+
+let symmetric_bench () =
+  header
+    "Symmetric blasting — mirrored two-universe template vs double blast (identical verdicts, template-build speedup)";
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  let force_mismatch = Sys.getenv_opt "AUTOCC_BENCH_FORCE_MISMATCH" <> None in
+  let wanted =
+    match Sys.getenv_opt "AUTOCC_BENCH_ROWS" with
+    | None | Some "" -> symmetric_row_ids
+    | Some s -> String.split_on_char ',' s
+  in
+  let rows =
+    List.filter (fun (id, _, _, _) -> List.mem id wanted) (opt_rows ())
+  in
+  let results = List.map (symmetric_row ~force_mismatch) rows in
+  let mismatches = List.length (List.filter (fun (_, a, _) -> not a) results) in
+  let faster =
+    List.length (List.filter (fun (_, _, s) -> s > 1.0) results)
+  in
+  print_newline ();
+  let out =
+    Option.value
+      (Sys.getenv_opt "AUTOCC_BENCH_OUT")
+      ~default:"BENCH_symmetric.json"
+  in
+  Json.write ~path:out
+    (Json.Obj
+       [
+         ("bench", Json.Str "symmetric");
+         ("rows", Json.List (List.map (fun (j, _, _) -> j) results));
+         ("mismatches", Json.Int mismatches);
+         ("rows_template_faster", Json.Int faster);
+         ("telemetry", Obs.Metrics.json_of_snapshot ());
+       ]);
+  Printf.printf "     %d/%d rows build the template faster symmetrically\n"
+    faster (List.length results);
+  if mismatches = 0 then
+    print_endline
+      "     all symmetric verdicts and CEX depths match the double-blast oracle"
+  else begin
+    Printf.printf "     %d MISMATCH(ES) between symmetric and double-blast runs\n"
       mismatches;
     exit 1
   end
@@ -1211,6 +1485,8 @@ let () =
   | "parallel" -> parallel_bench ()
   | "opt" -> opt_bench ()
   | "incremental" -> incremental_bench ()
+  | "cache" -> cache_bench ()
+  | "symmetric" -> symmetric_bench ()
   | "campaign" -> campaign_bench ()
   | "robustness" -> robustness_bench ()
   | "smoke" -> smoke ()
@@ -1218,6 +1494,6 @@ let () =
   | "all" -> all ()
   | other ->
       Printf.eprintf
-        "unknown experiment %s (try table1|table2|exploit|aes_proof|fixes|baseline|latency|flush_tdd|parallel|opt|incremental|campaign|robustness|smoke|bechamel|all)\n"
+        "unknown experiment %s (try table1|table2|exploit|aes_proof|fixes|baseline|latency|flush_tdd|parallel|opt|incremental|cache|symmetric|campaign|robustness|smoke|bechamel|all)\n"
         other;
       exit 1

@@ -107,11 +107,30 @@ let budget_of timeout conflicts =
 let retry_of retries =
   if retries = 0 then None else Some (Retry.policy ~max_attempts:(retries + 1) ())
 
+(* The verdict cache is on only when a directory is given (--cache-dir
+   or AUTOCC_CACHE_DIR): a single CLI invocation has nothing to gain
+   from a purely in-memory cache, the payoff is cross-run. *)
+let cache_of cache_dir no_cache =
+  if no_cache then None
+  else Option.map (fun d -> Cache.create ~dir:d ()) cache_dir
+
+let print_cache_summary cache =
+  match cache with
+  | None -> ()
+  | Some c ->
+      let st = Cache.stats c in
+      Format.printf "Cache: %d hits, %d misses, %d stores, %d rejects (%s)@."
+        st.Cache.hits st.Cache.misses st.Cache.stores st.Cache.rejects
+        (match Cache.dir c with Some d -> d | None -> "memory")
+
 let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfolio
     timeout conflict_budget retries
-    opt_level no_incremental fix_m2 fix_m3 fix_c1 fix_c2 fix_c3 full_flush
+    opt_level no_incremental no_symmetric cache_dir no_cache
+    fix_m2 fix_m3 fix_c1 fix_c2 fix_c3 full_flush
     verbose vcd trace log_json log_level =
   let incremental = not no_incremental in
+  let symmetric = not no_symmetric in
+  let cache = cache_of cache_dir no_cache in
   with_telemetry trace log_json log_level @@ fun () ->
   let dut =
     match verilog with
@@ -151,13 +170,15 @@ let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfol
       let portfolio = if portfolio > 1 then Some portfolio else None in
       let outcome, detail =
         Autocc.Ft.check_detailed ~max_depth ~progress ~jobs ?portfolio ~budget
-          ?retry ~opt ~incremental ft
+          ?retry ~opt ~incremental ~symmetric ?cache ft
       in
       Format.printf "Parallel run: %a@." Autocc.Report.pp_merged
         (Autocc.Report.merge_stats detail);
       outcome
     end
-    else Autocc.Ft.check ~max_depth ~progress ~budget ?retry ~opt ~incremental ft
+    else
+      Autocc.Ft.check ~max_depth ~progress ~budget ?retry ~opt ~incremental
+        ~symmetric ?cache ft
   in
   let report_opt (stats : Bmc.stats) =
     match stats.Bmc.opt with
@@ -192,6 +213,7 @@ let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfol
         (if stats.Bmc.depth_reached < 0 then "no depth completed"
          else Printf.sprintf "clean up to depth %d" stats.Bmc.depth_reached)
         stats.Bmc.solve_time);
+  print_cache_summary cache;
   Format.printf "@.Total wall-clock: %.2fs@." (Unix.gettimeofday () -. t0);
   if Obs.Metrics.enabled () then print_metrics_summary ();
   0
@@ -199,9 +221,11 @@ let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfol
 (* {1 prove} *)
 
 let prove dut_name verilog top stage threshold max_depth jobs timeout
-    conflict_budget retries opt_level no_incremental verbose vcd trace log_json
-    log_level =
+    conflict_budget retries opt_level no_incremental no_symmetric cache_dir
+    no_cache verbose vcd trace log_json log_level =
   let incremental = not no_incremental in
+  let symmetric = not no_symmetric in
+  let cache = cache_of cache_dir no_cache in
   with_telemetry trace log_json log_level @@ fun () ->
   let dut =
     match verilog with
@@ -230,7 +254,7 @@ let prove dut_name verilog top stage threshold max_depth jobs timeout
   let outcome =
     Autocc.Ft.prove ~max_depth ~progress ~jobs
       ~budget:(budget_of timeout conflict_budget)
-      ?retry:(retry_of retries) ~opt ~incremental ft
+      ?retry:(retry_of retries) ~opt ~incremental ~symmetric ?cache ft
   in
   (match outcome with
   | Bmc.Proved (k, stats) ->
@@ -256,6 +280,7 @@ let prove dut_name verilog top stage threshold max_depth jobs timeout
          the solver).@."
         (Bmc.unknown_reason_to_string reason)
         stats.Bmc.depth_reached stats.Bmc.solve_time);
+  print_cache_summary cache;
   Format.printf "@.Total wall-clock: %.2fs@." (Unix.gettimeofday () -. t0);
   if Obs.Metrics.enabled () then print_metrics_summary ();
   0
@@ -382,8 +407,11 @@ let stats dut_name max_depth jobs opt_level trace log_json log_level =
 (* {1 campaign} *)
 
 let campaign duts threshold max_depth timeout conflict_budget retries resume
-    opt_level no_incremental out_dir trace log_json log_level =
+    opt_level no_incremental no_symmetric cache_dir no_cache out_dir trace
+    log_json log_level =
   let incremental = not no_incremental in
+  let symmetric = not no_symmetric in
+  let cache = cache_of cache_dir no_cache in
   with_telemetry trace log_json log_level @@ fun () ->
   (* The artifacts embed a telemetry snapshot, so the registry is always
      on for a campaign. *)
@@ -412,11 +440,12 @@ let campaign duts threshold max_depth timeout conflict_budget retries resume
     (String.concat ", " duts) max_depth (Opt.level_to_int opt);
   let t0 = Unix.gettimeofday () in
   let result =
-    Explain.Campaign.run ~opt ~incremental
+    Explain.Campaign.run ~opt ~incremental ~symmetric ?cache
       ~budget:(budget_of timeout conflict_budget)
       ?retry:(retry_of retries) ~resume ~out_dir entries
   in
   Explain.Campaign.pp Format.std_formatter result;
+  print_cache_summary cache;
   Format.printf "@.Total wall-clock: %.2fs@." (Unix.gettimeofday () -. t0);
   List.iter
     (fun p -> Format.printf "artifact: %s@." p)
@@ -571,6 +600,36 @@ let no_incremental_arg =
 
 let flag name doc = Arg.(value & flag & info [ name ] ~doc)
 
+let no_symmetric_arg =
+  Arg.(
+    value & flag
+    & info [ "no-symmetric" ]
+        ~doc:
+          "Disable the symmetric-universe template encoding and blast both \
+           universes of the miter independently. Slower template \
+           construction, identical verdicts and counterexample depths — the \
+           differential oracle the symmetric encoder is validated against.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~env:(Cmd.Env.info "AUTOCC_CACHE_DIR")
+        ~doc:
+          "Persist conclusive verdicts to $(docv)/verdicts.jsonl, keyed by a \
+           canonical structural hash of each property cone plus the engine \
+           configuration. A later run (of this or any command) re-verifies \
+           only cones that actually changed; cached counterexamples are \
+           replayed on the simulator before being trusted. Corrupted \
+           entries are rejected and recomputed.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Ignore --cache-dir / AUTOCC_CACHE_DIR and solve everything fresh.")
+
 let trace_arg =
   Arg.(
     value
@@ -608,7 +667,7 @@ let analyze_cmd =
               ~doc:"Comma-separated submodule boundaries/instances to blackbox.")
       $ stage_arg $ threshold_arg $ max_depth_arg $ jobs_arg $ portfolio_arg
       $ timeout_arg $ conflict_budget_arg $ retries_arg $ opt_arg
-      $ no_incremental_arg
+      $ no_incremental_arg $ no_symmetric_arg $ cache_dir_arg $ no_cache_arg
       $ flag "fix-m2" "Apply the MAPLE M2 fix."
       $ flag "fix-m3" "Apply the MAPLE M3 fix."
       $ flag "fix-c1" "Apply the CVA6 C1 fix."
@@ -634,6 +693,7 @@ let prove_cmd =
           & info [ "top" ] ~doc:"Top module of a multi-module Verilog source.")
       $ stage_arg $ threshold_arg $ max_depth_arg $ jobs_arg $ timeout_arg
       $ conflict_budget_arg $ retries_arg $ opt_arg $ no_incremental_arg
+      $ no_symmetric_arg $ cache_dir_arg $ no_cache_arg
       $ flag "verbose" "Print per-depth progress."
       $ Arg.(
           value
@@ -727,8 +787,8 @@ let campaign_cmd =
     Term.(
       const campaign $ duts $ threshold_arg $ max_depth_arg $ timeout_arg
       $ conflict_budget_arg $ retries_arg $ resume $ opt_arg
-      $ no_incremental_arg $ out_dir $ trace_arg $ log_json_arg
-      $ log_level_arg)
+      $ no_incremental_arg $ no_symmetric_arg $ cache_dir_arg $ no_cache_arg
+      $ out_dir $ trace_arg $ log_json_arg $ log_level_arg)
 
 let export_cmd =
   let dir =

@@ -151,12 +151,21 @@ let check_property what property =
 (* Property signals are usually fresh nodes over the circuit's graph;
    elaborate an extended circuit that carries them as outputs so that the
    blaster and the replay simulator both know them. Creates no new signal
-   nodes, so it is safe to call from worker domains. *)
+   nodes, so it is safe to call from worker domains. Idempotent: ports
+   from an earlier instrumentation (a {!preoptimize}d circuit) are
+   dropped before the current property's are appended. *)
+let is_prop_port name =
+  String.length name >= 6 && String.sub name 0 6 = "__bmc_"
+
 let instrument circuit property =
   Rtl.Circuit.create
     ~name:(Rtl.Circuit.name circuit ^ "_prop")
     ~outputs:
-      (List.map (fun p -> (p.Circuit.port_name, p.Circuit.signal)) (Circuit.outputs circuit)
+      (List.filter_map
+         (fun p ->
+           if is_prop_port p.Circuit.port_name then None
+           else Some (p.Circuit.port_name, p.Circuit.signal))
+         (Circuit.outputs circuit)
       @ List.mapi (fun i a -> (Printf.sprintf "__bmc_assume_%d" i, a)) property.assumes
       @ List.map (fun (n, a) -> ("__bmc_assert_" ^ n, a)) property.asserts)
     ()
@@ -172,10 +181,22 @@ let prop_output_names property =
    assignment of the original instrumented circuit's inputs
    (cone-dropped inputs are provably irrelevant, so zeros do) — the CEX
    is then validated against the unoptimized circuit, which catches any
-   optimizer unsoundness as a {!Replay_mismatch}. *)
-let optimize_instrumented ?sweep_solver ~opt full property =
+   optimizer unsoundness as a {!Replay_mismatch}. Symmetric-universe
+   pairs are re-rooted alongside the property; pairs whose cone the
+   optimizer dropped, or that it merged into one node, disappear (the
+   blaster re-verifies the survivors structurally anyway). *)
+let map_sym o sym =
+  List.filter_map
+    (fun (a, b) ->
+      match (o.Opt.opt_map a, o.Opt.opt_map b) with
+      | a', b' when a' != b' -> Some (a', b')
+      | _ -> None
+      | exception Not_found -> None)
+    sym
+
+let optimize_instrumented ?sweep_solver ~opt ?(sym = []) full property =
   match opt with
-  | Opt.O0 -> (full, property, (fun inputs -> inputs), None)
+  | Opt.O0 -> (full, property, (fun inputs -> inputs), None, sym)
   | _ ->
       let o =
         Opt.optimize ~level:opt ?sweep_solver
@@ -199,7 +220,19 @@ let optimize_instrumented ?sweep_solver ~opt full property =
               (Circuit.inputs full))
           inputs
       in
-      (o.Opt.opt_circuit, property', widen, Some o.Opt.opt_stats)
+      (o.Opt.opt_circuit, property', widen, Some o.Opt.opt_stats, map_sym o sym)
+
+(* Instrument + optimize once, outside any engine: callers that run the
+   same circuit/property through several engines (benchmarks comparing
+   them, a portfolio) can pay the optimizer once and hand each engine
+   the slim circuit with [~opt:O0]. *)
+let preoptimize ?(opt = Opt.O2) ?(sym = []) circuit property =
+  check_property "Bmc.preoptimize" property;
+  let full = instrument circuit property in
+  let circuit', property', _, stats, sym' =
+    optimize_instrumented ~opt ~sym full property
+  in
+  (circuit', property', sym', stats)
 
 (* {1 Telemetry}
 
@@ -252,7 +285,7 @@ let flush_solver_metrics solvers =
    activity therefore survive across depths — the amortization the whole
    refactor is for. *)
 let check_incremental ~max_depth ~progress ?solver_config ~stop ~opt ~budget
-    circuit property =
+    ~sym circuit property =
   check_property "Bmc.check" property;
   let full = instrument circuit property in
   let stop = fault_stop stop in
@@ -300,11 +333,13 @@ let check_incremental ~max_depth ~progress ?solver_config ~stop ~opt ~budget
   (* The O2 sweep borrows the persistent solver: its queries obey this
      run's budget/stop hooks, and the search heuristics arrive at depth
      0 already warm. *)
-  let circuit, sprop, widen, opt_stats =
-    optimize_instrumented ~sweep_solver:solver ~opt full property
+  let circuit, sprop, widen, opt_stats, sym =
+    optimize_instrumented ~sweep_solver:solver ~opt ~sym full property
   in
   opt_ref := opt_stats;
-  let blaster = Cnf.Blast.create ~mode:Cnf.Blast.Template solver circuit in
+  let blaster =
+    Cnf.Blast.create ~mode:Cnf.Blast.Template ~sym solver circuit
+  in
   let timed_solve ~depth ~assumptions () =
     Obs.span "sat.solve" ~attrs:[ ("depth", Obs.Json.Int depth) ] @@ fun () ->
     let t0 = Unix.gettimeofday () in
@@ -461,7 +496,7 @@ let check_scratch ~max_depth ~progress ?solver_config ~stop ~opt ~budget
     }
   in
   let run () =
-    let circuit, sprop, widen, opt_stats =
+    let circuit, sprop, widen, opt_stats, _ =
       optimize_instrumented ~opt full property
     in
     opt_ref := opt_stats;
@@ -558,15 +593,194 @@ let check_scratch ~max_depth ~progress ?solver_config ~stop ~opt ~budget
           stats (!cur_depth - 1) )
   | Fault.Injected site -> Unknown (Faulted site, stats (!cur_depth - 1))
 
+(* {1 Verdict cache}
+
+   The cache fronts the engines: the key is {!Cache.canon} over the
+   property cone (structure only — isomorphic, alpha-renamed circuits
+   share entries) combined with a fingerprint of everything else that
+   could influence the verdict: engine, depth bound, opt level, engine
+   variant, solver configuration and budget. Only conclusive verdicts
+   are stored, and a cached counterexample is never trusted as-is: it is
+   re-materialized onto the fresh circuit (by canonical input ordinal,
+   so names are immaterial) and replayed on the simulator; a failed
+   replay evicts the entry and falls through to a fresh run. A cache hit
+   can therefore never flip a verdict a fresh run would have produced:
+   Bounded/Proved entries assert exactly what the identical query
+   proved, and Cex entries carry their own machine-checkable witness. *)
+
+let cache_config ~engine ~max_depth ~opt ~incremental ~solver_config ~budget =
+  let cfg =
+    match solver_config with
+    | None -> "default"
+    | Some c ->
+        Printf.sprintf "%s;%g;%d;%b;%g;%d" c.S.cfg_name c.S.var_decay
+          c.S.restart_first c.S.default_polarity c.S.random_freq c.S.seed
+  in
+  let fl = function None -> "-" | Some f -> Printf.sprintf "%g" f in
+  let it = function None -> "-" | Some i -> string_of_int i in
+  Printf.sprintf "%s|d=%d|o=%d|i=%b|s=%s|b=%s,%s,%s" engine max_depth
+    (Opt.level_to_int opt) incremental cfg (fl budget.bud_wall_s)
+    (it budget.bud_conflicts) (it budget.bud_learnts)
+
+(* Statistics for a run the cache answered: no solver existed. *)
+let hit_stats depth =
+  {
+    depth_reached = depth;
+    solve_time = 0.;
+    vars = 0;
+    clauses = 0;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+    opt = None;
+  }
+
+let cache_entry_of_cex canon property cex =
+  let ord_of_name = Hashtbl.create 16 in
+  Array.iteri
+    (fun i s ->
+      match Signal.op s with
+      | Signal.Input n -> Hashtbl.replace ord_of_name n i
+      | _ -> ())
+    canon.Cache.c_inputs;
+  let inputs =
+    Array.map
+      (fun assignments ->
+        List.filter_map
+          (fun (n, v) ->
+            match Hashtbl.find_opt ord_of_name n with
+            | Some i when not (Bitvec.is_zero v) -> Some (i, v)
+            | _ -> None)
+          assignments)
+      cex.cex_inputs
+  in
+  let failed =
+    List.filter_map
+      (fun n ->
+        let rec pos i = function
+          | [] -> None
+          | (n', _) :: _ when n' = n -> Some i
+          | _ :: rest -> pos (i + 1) rest
+        in
+        pos 0 property.asserts)
+      cex.cex_failed
+  in
+  { Cache.v_depth = cex.cex_depth; v_inputs = inputs; v_failed = failed }
+
+(* Re-materialize a cached witness onto the current circuit: canonical
+   input ordinal -> this circuit's input of the same structural
+   position; inputs outside the hashed cone are not part of the entry
+   and zeros do (they cannot influence the property). *)
+let cex_inputs_of_entry canon full cc =
+  let name_of_ord i =
+    if i < 0 || i >= Array.length canon.Cache.c_inputs then None
+    else
+      match Signal.op canon.Cache.c_inputs.(i) with
+      | Signal.Input n -> Some n
+      | _ -> None
+  in
+  Array.map
+    (fun cycle ->
+      let assigned = Hashtbl.create 16 in
+      List.iter
+        (fun (ord, v) ->
+          match name_of_ord ord with
+          | Some n -> Hashtbl.replace assigned n v
+          | None -> ())
+        cycle;
+      List.map
+        (fun p ->
+          let n = p.Circuit.port_name in
+          match Hashtbl.find_opt assigned n with
+          | Some v when Bitvec.width v = Signal.width p.Circuit.signal ->
+              (n, v)
+          | _ -> (n, Bitvec.zero (Signal.width p.Circuit.signal)))
+        (Circuit.inputs full))
+    cc.Cache.v_inputs
+
+(* The soundness backstop: a cached counterexample is only surfaced if
+   it replays as a genuine violation on the fresh circuit. Anything
+   else — wrong depth, wrong shape, stale structure that slipped
+   through a hash collision — evicts the entry and reports a miss. *)
+let revalidate_cached_cex cache key canon full property max_depth cc =
+  if
+    cc.Cache.v_depth < 0
+    || cc.Cache.v_depth > max_depth
+    || Array.length cc.Cache.v_inputs <> cc.Cache.v_depth + 1
+  then begin
+    Cache.remove cache key;
+    None
+  end
+  else
+    let inputs = cex_inputs_of_entry canon full cc in
+    match validate full property inputs cc.Cache.v_depth with
+    | failed ->
+        Obs.instant "cache.cex_replayed";
+        Some
+          {
+            cex_depth = cc.Cache.v_depth;
+            cex_inputs = inputs;
+            cex_failed = failed;
+            cex_circuit = full;
+          }
+    | exception Replay_mismatch _ ->
+        Cache.remove cache key;
+        None
+
+let cached_check cache key canon full property max_depth =
+  match Cache.find cache key with
+  | None -> None
+  | Some (Cache.Bounded d) when d = max_depth ->
+      Some (Bounded_proof (hit_stats d))
+  | Some (Cache.Bounded _) | Some (Cache.Proved _) ->
+      (* Malformed under this key (the depth bound and engine are part
+         of it): evict and recompute. *)
+      Cache.remove cache key;
+      None
+  | Some (Cache.Cex cc) ->
+      Option.map
+        (fun cex -> Cex (cex, hit_stats cex.cex_depth))
+        (revalidate_cached_cex cache key canon full property max_depth cc)
+
+let store_check cache key canon property = function
+  | Bounded_proof st -> Cache.add cache key (Cache.Bounded st.depth_reached)
+  | Cex (cex, _) ->
+      Cache.add cache key (Cache.Cex (cache_entry_of_cex canon property cex))
+  | Unknown _ -> ()
+
 let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
     ?(stop = fun () -> false) ?(opt = Opt.O0) ?(budget = no_budget)
-    ?(incremental = true) circuit property =
-  if incremental then
-    check_incremental ~max_depth ~progress ?solver_config ~stop ~opt ~budget
-      circuit property
-  else
-    check_scratch ~max_depth ~progress ?solver_config ~stop ~opt ~budget
-      circuit property
+    ?(incremental = true) ?(sym = []) ?cache circuit property =
+  let engine () =
+    if incremental then
+      check_incremental ~max_depth ~progress ?solver_config ~stop ~opt ~budget
+        ~sym circuit property
+    else
+      check_scratch ~max_depth ~progress ?solver_config ~stop ~opt ~budget
+        circuit property
+  in
+  match cache with
+  | None -> engine ()
+  | Some c -> (
+      check_property "Bmc.check" property;
+      let canon =
+        Cache.canon ~assumes:property.assumes
+          ~asserts:(List.map snd property.asserts)
+      in
+      let key =
+        Cache.key canon
+          ~config:
+            (cache_config ~engine:"check" ~max_depth ~opt ~incremental
+               ~solver_config ~budget)
+      in
+      let full = instrument circuit property in
+      match cached_check c key canon full property max_depth with
+      | Some o -> o
+      | None ->
+          let o = engine () in
+          store_check c key canon property o;
+          o)
 
 (* One bounded check per assertion, every assumption kept. Where [check]
    stops at the first (shallowest) failure of {e any} assertion, this
@@ -592,7 +806,7 @@ let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
    own cone. *)
 let check_each ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
     ?(stop = fun () -> false) ?(opt = Opt.O0) ?(budget = no_budget)
-    ?(incremental = true) circuit property =
+    ?(incremental = true) ?(sym = []) ?cache circuit property =
   if property.asserts = [] then []
   else if not incremental then
     List.map
@@ -602,7 +816,7 @@ let check_each ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
           Obs.span "bmc.check_each" ~attrs:[ ("assert", Obs.Json.Str name) ]
             (fun () ->
               check ~max_depth ~progress ?solver_config ~stop ~opt ~budget
-                ~incremental:false circuit sub) ))
+                ~incremental:false ?cache circuit sub) ))
       property.asserts
   else begin
     check_property "Bmc.check_each" property;
@@ -626,14 +840,15 @@ let check_each ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
                    budget grant; its warm-up benefits every assertion. *)
                 S.set_budget solver (solver_budget budget);
                 let r =
-                  optimize_instrumented ~sweep_solver:solver ~opt full property
+                  optimize_instrumented ~sweep_solver:solver ~opt ~sym full
+                    property
                 in
                 opt_memo := Some r;
                 r
           in
-          let circuit', _, _, _ = opt_result in
+          let circuit', _, _, _, sym' = opt_result in
           let blaster =
-            Cnf.Blast.create ~mode:Cnf.Blast.Template solver circuit'
+            Cnf.Blast.create ~mode:Cnf.Blast.Template ~sym:sym' solver circuit'
           in
           let s = (solver, blaster, opt_result) in
           session := Some s;
@@ -652,7 +867,7 @@ let check_each ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
       done
     in
     let opt_stats_of () =
-      match !opt_memo with Some (_, _, _, o) -> o | None -> None
+      match !opt_memo with Some (_, _, _, o, _) -> o | None -> None
     in
     let run_one idx (name, orig_a) =
       Obs.span "bmc.check_each" ~attrs:[ ("assert", Obs.Json.Str name) ]
@@ -692,7 +907,7 @@ let check_each ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
             }
       in
       let run () =
-        let solver, blaster, (_, sprop, widen, _) = get_session () in
+        let solver, blaster, (_, sprop, widen, _, _) = get_session () in
         let st0 = S.stats solver in
         baseline := Some (solver, st0);
         (* Fresh grant on the shared instance: new deadline, caps re-based
@@ -784,8 +999,36 @@ let check_each ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
           session := None;
           Unknown (Faulted site, stats (!cur_depth - 1))
     in
+    (* Per-assertion cache entries use the same key shape as a
+       single-assertion [check] at the same configuration — the verdict
+       for one assertion is a theorem about its own cone, independent of
+       which engine variant established it. A hit skips the session
+       entirely for that assertion. *)
+    let run_cached idx (name, orig_a) =
+      match cache with
+      | None -> run_one idx (name, orig_a)
+      | Some c -> (
+          let canon =
+            Cache.canon ~assumes:property.assumes ~asserts:[ orig_a ]
+          in
+          let key =
+            Cache.key canon
+              ~config:
+                (cache_config ~engine:"check" ~max_depth ~opt ~incremental:true
+                   ~solver_config ~budget)
+          in
+          let sub =
+            { assumes = property.assumes; asserts = [ (name, orig_a) ] }
+          in
+          match cached_check c key canon full sub max_depth with
+          | Some o -> o
+          | None ->
+              let o = run_one idx (name, orig_a) in
+              store_check c key canon sub o;
+              o)
+    in
     let flush () = flush_solver_metrics !all_solvers in
-    match List.mapi (fun i (name, a) -> (name, run_one i (name, a))) property.asserts with
+    match List.mapi (fun i (name, a) -> (name, run_cached i (name, a))) property.asserts with
     | results ->
         flush ();
         results
@@ -822,7 +1065,7 @@ type induction_outcome =
    the full loop-free condition over cycles 0..k. The O2 sweep borrows
    the base solver. *)
 let prove_incremental ~max_depth ~progress ?solver_config ~stop ~opt ~budget
-    circuit property =
+    ~sym circuit property =
   check_property "Bmc.prove" property;
   let full = instrument circuit property in
   let stop = fault_stop stop in
@@ -855,16 +1098,18 @@ let prove_incremental ~max_depth ~progress ?solver_config ~stop ~opt ~budget
   S.set_budget base_solver sbud;
   attach_sampling "base" base_solver;
   solvers_ref := [ base_solver ];
-  let circuit, sprop, widen, opt_stats =
-    optimize_instrumented ~sweep_solver:base_solver ~opt full property
+  let circuit, sprop, widen, opt_stats, sym =
+    optimize_instrumented ~sweep_solver:base_solver ~opt ~sym full property
   in
   opt_ref := opt_stats;
-  let base = Cnf.Blast.create ~mode:Cnf.Blast.Template base_solver circuit in
+  let base =
+    Cnf.Blast.create ~mode:Cnf.Blast.Template ~sym base_solver circuit
+  in
   let step_solver = S.create ?config:solver_config ~stop () in
   S.set_budget step_solver sbud;
   attach_sampling "step" step_solver;
   let step =
-    Cnf.Blast.create ~free_init:true ~mode:Cnf.Blast.Template step_solver
+    Cnf.Blast.create ~free_init:true ~mode:Cnf.Blast.Template ~sym step_solver
       circuit
   in
   solvers_ref := [ base_solver; step_solver ];
@@ -1025,7 +1270,7 @@ let prove_scratch ~max_depth ~progress ?solver_config ~stop ~opt ~budget
     }
   in
   let run () =
-    let circuit, sprop, widen, opt_stats =
+    let circuit, sprop, widen, opt_stats, _ =
       optimize_instrumented ~opt full property
     in
     opt_ref := opt_stats;
@@ -1150,13 +1395,52 @@ let prove_scratch ~max_depth ~progress ?solver_config ~stop ~opt ~budget
 
 let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
     ?(stop = fun () -> false) ?(opt = Opt.O0) ?(budget = no_budget)
-    ?(incremental = true) circuit property =
-  if incremental then
-    prove_incremental ~max_depth ~progress ?solver_config ~stop ~opt ~budget
-      circuit property
-  else
-    prove_scratch ~max_depth ~progress ?solver_config ~stop ~opt ~budget
-      circuit property
+    ?(incremental = true) ?(sym = []) ?cache circuit property =
+  let engine () =
+    if incremental then
+      prove_incremental ~max_depth ~progress ?solver_config ~stop ~opt ~budget
+        ~sym circuit property
+    else
+      prove_scratch ~max_depth ~progress ?solver_config ~stop ~opt ~budget
+        circuit property
+  in
+  match cache with
+  | None -> engine ()
+  | Some c -> (
+      check_property "Bmc.prove" property;
+      let canon =
+        Cache.canon ~assumes:property.assumes
+          ~asserts:(List.map snd property.asserts)
+      in
+      let key =
+        Cache.key canon
+          ~config:
+            (cache_config ~engine:"prove" ~max_depth ~opt ~incremental
+               ~solver_config ~budget)
+      in
+      let full = instrument circuit property in
+      let miss () =
+        let o = engine () in
+        (match o with
+        | Proved (k, _) -> Cache.add c key (Cache.Proved k)
+        | Refuted (cex, _) ->
+            Cache.add c key (Cache.Cex (cache_entry_of_cex canon property cex))
+        | Unknown _ -> ());
+        o
+      in
+      match Cache.find c key with
+      | Some (Cache.Proved k) when k >= 0 && k <= max_depth ->
+          Proved (k, hit_stats k)
+      | Some (Cache.Cex cc) -> (
+          match
+            revalidate_cached_cex c key canon full property max_depth cc
+          with
+          | Some cex -> Refuted (cex, hit_stats cex.cex_depth)
+          | None -> miss ())
+      | Some (Cache.Proved _) | Some (Cache.Bounded _) ->
+          Cache.remove c key;
+          miss ()
+      | None -> miss ())
 
 let miter c1 c2 =
   let module T = Rtl.Transform in

@@ -121,6 +121,8 @@ val check :
   ?opt:Opt.level ->
   ?budget:budget ->
   ?incremental:bool ->
+  ?sym:(Rtl.Signal.t * Rtl.Signal.t) list ->
+  ?cache:Cache.t ->
   Rtl.Circuit.t ->
   property ->
   outcome
@@ -165,7 +167,28 @@ val check :
     [solver_config] selects the SAT heuristics (see
     {!Sat.Solver.config}); [stop] is polled in the solver's propagation
     loop and between depths, and a firing stop aborts the run by raising
-    {!Cancelled}. *)
+    {!Cancelled}.
+
+    [sym] (default none; incremental engine only) declares symmetric
+    node pairs of a two-universe miter — see {!Cnf.Blast.create}. The
+    pairs are remapped through the optimizer's node map (pairs the
+    optimizer breaks or merges are dropped) and handed to the template
+    blaster, which encodes one universe and derives the other by
+    variable renaming. Verdicts and counterexample depths are
+    unchanged by construction; the flag only shortens template
+    construction. The scratch engine ignores it, which keeps
+    [~incremental:false] a differential oracle for the symmetric path
+    too.
+
+    [cache] (default none) memoizes conclusive verdicts behind a
+    content-addressed key (see {!Cache}): the canonical structural hash
+    of the property cone plus a fingerprint of [max_depth], [opt],
+    [incremental], [solver_config] and [budget]. Only [Cex] and
+    [Bounded_proof] outcomes are stored — never [Unknown]. A cached
+    counterexample is re-materialized by canonical input ordinal and
+    replayed on the simulator before being trusted; entries that fail
+    replay (or are structurally malformed) are evicted and recomputed,
+    so a hit can never flip a verdict a fresh run would produce. *)
 
 val check_each :
   ?max_depth:int ->
@@ -175,6 +198,8 @@ val check_each :
   ?opt:Opt.level ->
   ?budget:budget ->
   ?incremental:bool ->
+  ?sym:(Rtl.Signal.t * Rtl.Signal.t) list ->
+  ?cache:Cache.t ->
   Rtl.Circuit.t ->
   property ->
   (string * outcome) list
@@ -199,13 +224,38 @@ val check_each :
     fault poisons the session, which the next assertion silently
     rebuilds. With [~incremental:false] each assertion runs a fully
     independent scratch {!check} restricted to its own cone — the
-    historical semantics, kept as the differential oracle. *)
+    historical semantics, kept as the differential oracle.
+
+    [sym] and [cache] behave as in {!check}. Cache entries are {e per
+    assertion} — keyed on the single-assertion cone, with the same key
+    shape as a one-assertion [check] — so a campaign resuming after a
+    DUT edit re-verifies only the assertions whose cones actually
+    changed; a hit skips the shared session entirely for that
+    assertion. *)
 
 val instrument : Rtl.Circuit.t -> property -> Rtl.Circuit.t
 (** The extended circuit [check] verifies: the original outputs plus one
     output per assumption ([__bmc_assume_<i>]) and per assertion
     ([__bmc_assert_<name>]). Allocates no new signal nodes, so it is safe
-    to call concurrently from several domains on a shared signal graph. *)
+    to call concurrently from several domains on a shared signal graph.
+    Idempotent: property ports from an earlier instrumentation are
+    replaced, not duplicated. *)
+
+val preoptimize :
+  ?opt:Opt.level ->
+  ?sym:(Rtl.Signal.t * Rtl.Signal.t) list ->
+  Rtl.Circuit.t ->
+  property ->
+  Rtl.Circuit.t * property * (Rtl.Signal.t * Rtl.Signal.t) list
+  * Opt.stats option
+(** [preoptimize circuit property] runs the same instrument-and-optimize
+    front end {!check} runs (at [opt], default {!Opt.O2}), and returns
+    the optimized circuit, the remapped property, the surviving
+    symmetric pairs, and the optimizer statistics. Feeding the result
+    back into {!check} at [~opt:O0] reproduces the optimized run while
+    keeping the optimization cost out of the measured interval — the
+    benchmark harness uses it to share one O2 setup between the arms it
+    compares. The SAT sweep runs on a private throwaway solver here. *)
 
 val validate :
   Rtl.Circuit.t ->
@@ -276,6 +326,8 @@ val prove :
   ?opt:Opt.level ->
   ?budget:budget ->
   ?incremental:bool ->
+  ?sym:(Rtl.Signal.t * Rtl.Signal.t) list ->
+  ?cache:Cache.t ->
   Rtl.Circuit.t ->
   property ->
   induction_outcome
@@ -290,4 +342,5 @@ val prove :
     with direct unrollings and the full pairwise uniqueness constraint.
     The register merges {!Opt} commits are inductive invariants, so they
     are sound under the arbitrary-start-state encoding of the step
-    case. *)
+    case. [sym] and [cache] behave as in {!check} ([Proved] joins the
+    cacheable verdict set; [Unknown] is still never stored). *)

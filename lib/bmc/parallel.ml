@@ -386,7 +386,7 @@ let first_unknown results =
 (* {1 Assertion sharding} *)
 
 let check_sharded ~workers ~group_size ~max_depth ~progress ~opt ~budget ~retry
-    ~incremental circuit property =
+    ~incremental ~sym ~cache circuit property =
   let groups = chunk (max 1 group_size) property.Bmc.asserts in
   (* Slim per-shard circuits, built in the calling domain: outputs are
      only this group's assertions, so each shard blasts only their cone
@@ -425,7 +425,7 @@ let check_sharded ~workers ~group_size ~max_depth ~progress ~opt ~budget ~retry
               ?solver_config:(Retry.config_for retry ~attempt)
               ~stop ~opt
               ~budget:(Retry.budget_for retry budget ~attempt)
-              ~incremental c
+              ~incremental ~sym ?cache c
               { Bmc.assumes = property.Bmc.assumes; asserts = g })
       with
       | Bmc.Cex (cex, st) ->
@@ -470,7 +470,7 @@ let check_sharded ~workers ~group_size ~max_depth ~progress ~opt ~budget ~retry
 (* {1 Portfolio} *)
 
 let check_portfolio ~workers ~k ~max_depth ~progress ~opt ~budget ~retry
-    ~incremental circuit property =
+    ~incremental ~sym ~cache circuit property =
   let configs = S.portfolio k in
   let finished = Atomic.make false in
   let t_req = Atomic.make infinity in
@@ -500,7 +500,7 @@ let check_portfolio ~workers ~k ~max_depth ~progress ~opt ~budget ~retry
             in
             Bmc.check ~max_depth ~progress:tick ~solver_config:cfg ~stop ~opt
               ~budget:(Retry.budget_for retry budget ~attempt)
-              ~incremental circuit property)
+              ~incremental ~sym ?cache circuit property)
       with
       | Bmc.Cex (cex, st) ->
           Atomic.set finished true;
@@ -558,26 +558,28 @@ let check_portfolio ~workers ~k ~max_depth ~progress ~opt ~budget ~retry
 
 let check_detailed ?jobs ?portfolio ?(group_size = 1) ?(max_depth = 30)
     ?(progress = fun _ -> ()) ?(opt = Opt.O0) ?(budget = Bmc.no_budget)
-    ?(retry = Retry.default) ?(incremental = true) circuit property =
+    ?(retry = Retry.default) ?(incremental = true) ?(sym = []) ?cache circuit
+    property =
   validate_property "Parallel.check" property;
   let workers = match jobs with Some j -> max 1 j | None -> default_jobs () in
   match portfolio with
   | Some k when k > 1 ->
       check_portfolio ~workers ~k ~max_depth ~progress ~opt ~budget ~retry
-        ~incremental circuit property
+        ~incremental ~sym ~cache circuit property
   | _ ->
       check_sharded ~workers ~group_size ~max_depth ~progress ~opt ~budget
-        ~retry ~incremental circuit property
+        ~retry ~incremental ~sym ~cache circuit property
 
 let check ?jobs ?portfolio ?group_size ?max_depth ?progress ?opt ?budget ?retry
-    ?incremental circuit property =
+    ?incremental ?sym ?cache circuit property =
   fst
     (check_detailed ?jobs ?portfolio ?group_size ?max_depth ?progress ?opt
-       ?budget ?retry ?incremental circuit property)
+       ?budget ?retry ?incremental ?sym ?cache circuit property)
 
 let prove_detailed ?jobs ?(group_size = 1) ?(max_depth = 30)
     ?(progress = fun _ -> ()) ?(opt = Opt.O0) ?(budget = Bmc.no_budget)
-    ?(retry = Retry.default) ?(incremental = true) circuit property =
+    ?(retry = Retry.default) ?(incremental = true) ?(sym = []) ?cache circuit
+    property =
   validate_property "Parallel.prove" property;
   let workers = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let groups = chunk (max 1 group_size) property.Bmc.asserts in
@@ -616,7 +618,7 @@ let prove_detailed ?jobs ?(group_size = 1) ?(max_depth = 30)
               ?solver_config:(Retry.config_for retry ~attempt)
               ~stop ~opt
               ~budget:(Retry.budget_for retry budget ~attempt)
-              ~incremental c
+              ~incremental ~sym ?cache c
               { Bmc.assumes = property.Bmc.assumes; asserts = g })
       with
       | Bmc.Proved (k, st) -> finish (Job_proved k) st
@@ -673,10 +675,10 @@ let prove_detailed ?jobs ?(group_size = 1) ?(max_depth = 30)
         (Bmc.Proved (k, merge_stats ~depth:k results), detail)
 
 let prove ?jobs ?group_size ?max_depth ?progress ?opt ?budget ?retry
-    ?incremental circuit property =
+    ?incremental ?sym ?cache circuit property =
   fst
     (prove_detailed ?jobs ?group_size ?max_depth ?progress ?opt ?budget ?retry
-       ?incremental circuit property)
+       ?incremental ?sym ?cache circuit property)
 
 let equiv ?jobs ?max_depth ?opt ?incremental c1 c2 =
   (* Interface validation happens in the calling domain, inside miter —

@@ -87,6 +87,8 @@ val check :
   ?budget:Bmc.budget ->
   ?retry:Retry.policy ->
   ?incremental:bool ->
+  ?sym:(Rtl.Signal.t * Rtl.Signal.t) list ->
+  ?cache:Cache.t ->
   Rtl.Circuit.t ->
   Bmc.property ->
   Bmc.outcome
@@ -118,6 +120,14 @@ val check :
       portfolio member keeps one persistent solver across its depth
       sequence. [false] selects the scratch differential oracle in every
       job.
+    @param sym symmetric node pairs of a two-universe miter, forwarded
+      to every job's {!Bmc.check}; pairs outside a shard's cone are
+      dropped by the per-job optimizer remap, so sharding composes with
+      symmetric blasting unchanged.
+    @param cache one shared verdict cache (see {!Cache}). Lookups and
+      stores are mutex-guarded and the store keeps a single writer, so
+      all jobs may share the one instance; per-shard keys are the same
+      single-assertion keys {!Bmc.check_each} uses.
 
     Merged verdicts order as [Cex > Unknown > Bounded_proof]: any
     counterexample wins outright; otherwise any job still inconclusive
@@ -136,6 +146,8 @@ val check_detailed :
   ?budget:Bmc.budget ->
   ?retry:Retry.policy ->
   ?incremental:bool ->
+  ?sym:(Rtl.Signal.t * Rtl.Signal.t) list ->
+  ?cache:Cache.t ->
   Rtl.Circuit.t ->
   Bmc.property ->
   Bmc.outcome * detail
@@ -150,6 +162,8 @@ val prove :
   ?budget:Bmc.budget ->
   ?retry:Retry.policy ->
   ?incremental:bool ->
+  ?sym:(Rtl.Signal.t * Rtl.Signal.t) list ->
+  ?cache:Cache.t ->
   Rtl.Circuit.t ->
   Bmc.property ->
   Bmc.induction_outcome
@@ -170,6 +184,8 @@ val prove_detailed :
   ?budget:Bmc.budget ->
   ?retry:Retry.policy ->
   ?incremental:bool ->
+  ?sym:(Rtl.Signal.t * Rtl.Signal.t) list ->
+  ?cache:Cache.t ->
   Rtl.Circuit.t ->
   Bmc.property ->
   Bmc.induction_outcome * detail

@@ -42,6 +42,7 @@ type t = {
   free_init : bool;
   mode : mode;
   guard : S.lit option;
+  sym : (Signal.t * Signal.t) list;
   mutable tpl : template option;
   mutable frames : S.lit array array list; (* per cycle, newest first *)
   mutable ncycles : int;
@@ -72,7 +73,8 @@ let scx t =
     cemit = (fun ls -> emit t ls);
   }
 
-let create ?(free_init = false) ?(mode = Direct) ?guard solver circuit =
+let create ?(free_init = false) ?(mode = Direct) ?guard ?(sym = []) solver
+    circuit =
   let t_lit = S.lit (S.new_var solver) true in
   let t =
     {
@@ -82,6 +84,7 @@ let create ?(free_init = false) ?(mode = Direct) ?guard solver circuit =
       free_init;
       mode;
       guard;
+      sym;
       tpl = None;
       frames = [];
       ncycles = 0;
@@ -212,14 +215,18 @@ let enc_mul cx a b =
 (* One topological pass over the circuit, encoding every node into the
    given context. [const], [input] and [reg] close over the per-mode
    policy (solver constants vs template kinds, previous-frame lookup vs
-   placeholder variables); everything combinational is shared. *)
-let encode_frame cx circuit ~const ~input ~reg =
+   placeholder variables); everything combinational is shared. [wrap],
+   when given, intercepts each node with (index, node, frame accessor,
+   default encoder) — the symmetric template uses it to replace the
+   default encoding of one universe with a renamed image of the
+   other's. *)
+let encode_frame ?wrap cx circuit ~const ~input ~reg =
   let topo = Circuit.topo circuit in
   let f = Array.make (Array.length topo) [||] in
   Array.iteri
     (fun i s ->
       let get k = f.(Circuit.node_index circuit (Signal.args s).(k)) in
-      let encoded =
+      let default () =
         match Signal.op s with
         | Signal.Const v -> const v
         | Signal.Input _ -> input s
@@ -243,6 +250,9 @@ let encode_frame cx circuit ~const ~input ~reg =
             Array.concat (List.rev parts)
         | Signal.Slice (hi, lo) -> Array.sub (get 0) lo (hi - lo + 1)
       in
+      let encoded =
+        match wrap with None -> default () | Some w -> w i s (fun j -> f.(j)) default
+      in
       f.(i) <- encoded)
     topo;
   f
@@ -265,34 +275,194 @@ let direct_frame t =
           let next = Option.get r.Signal.next in
           pf.(Circuit.node_index t.circuit next))
 
+let m_sym_substituted = lazy (Obs.Metrics.counter "cnf.sym_substituted")
+let m_sym_direct = lazy (Obs.Metrics.counter "cnf.sym_direct")
+
 (* Blast the transition cone once, symbolically: registers become
    [K_prev] placeholders for the previous frame's next-state literals,
    inputs and gate outputs become [K_fresh]. Constants stay literal over
    template variable 0, so constant folding inside the template is as
    strong as in direct mode; what the template cannot fold is whatever
    would have required knowing the reset values — [S.add_clause]'s
-   level-0 simplification recovers most of that at instantiation. *)
-let build_template circuit =
+   level-0 simplification recovers most of that at instantiation.
+
+   [sym] lists pairs of nodes known to compute the same function of
+   corresponding operands — the two universes of a miter. The template
+   encodes the first (in topological order) member of each pair through
+   the full Tseitin machinery and, where a structural check confirms
+   the pairing, derives the second member's encoding as a pure variable
+   renaming of the first's recorded clauses: fresh template variables
+   get fresh twins, a paired register's placeholders map to placeholders
+   over its *own* next-state node, and variables owned by shared
+   operands map to themselves. Renaming preserves literal (in)equality
+   both ways (the twin map is injective and sign-preserving), so the
+   image is exactly what direct encoding of the second member would have
+   produced — the per-cycle CNF is isomorphic to the unshared build,
+   only cheaper to construct. Pairs that fail the check (optimizer
+   merged the universes asymmetrically, widths differ, operands not
+   pairwise shared-or-paired) silently fall back to direct encoding. *)
+let build_template ?(sym = []) circuit =
+  let topo = Circuit.topo circuit in
+  let n = Array.length topo in
+  (* Resolve pairs to node indices, oriented source-before-image in
+     topological order (the relation is symmetric, the substitution is
+     not: the image replays clauses the source has already emitted).
+     First pairing of a node wins; conflicting re-pairings are dropped. *)
+  let partner = Array.make n (-1) (* source -> image *)
+  and rpartner = Array.make n (-1) (* image -> source *) in
+  List.iter
+    (fun (a, b) ->
+      if Circuit.mem_node circuit a && Circuit.mem_node circuit b then begin
+        let ia = Circuit.node_index circuit a
+        and ib = Circuit.node_index circuit b in
+        if ia <> ib then begin
+          let ia, ib = if ia < ib then (ia, ib) else (ib, ia) in
+          if
+            partner.(ia) < 0 && rpartner.(ia) < 0 && partner.(ib) < 0
+            && rpartner.(ib) < 0
+          then begin
+            partner.(ia) <- ib;
+            rpartner.(ib) <- ia
+          end
+        end
+      end)
+    sym;
+  (* A paired image node is substitutable iff it mirrors its source
+     structurally: same operator (payloads included), same width, and
+     every operand either physically shared or itself a substitutable
+     pair in the same position. Operands precede their users in [topo],
+     so one forward pass settles the predicate. Registers and inputs
+     need only the width: their images are re-encoded faithfully from
+     their own semantics (own next-state placeholder / fresh vars) and
+     the pairing merely names the variable correspondence. *)
+  let ok = Array.make n false in
+  let arg_ok xa xb =
+    let ka = Circuit.node_index circuit xa
+    and kb = Circuit.node_index circuit xb in
+    ka = kb || (partner.(ka) = kb && ok.(kb))
+  in
+  for ib = 0 to n - 1 do
+    let ia = rpartner.(ib) in
+    if ia >= 0 then begin
+      let a = topo.(ia) and b = topo.(ib) in
+      ok.(ib) <-
+        Signal.width a = Signal.width b
+        &&
+        match (Signal.op a, Signal.op b) with
+        | Signal.Input _, Signal.Input _ -> true
+        | Signal.Reg ra, Signal.Reg rb ->
+            ra.Signal.next <> None && rb.Signal.next <> None
+        | Signal.Const va, Signal.Const vb -> Bitvec.equal va vb
+        | opa, opb ->
+            opa = opb
+            &&
+            let aa = Signal.args a and ab = Signal.args b in
+            Array.length aa = Array.length ab
+            && Array.for_all2 arg_ok aa ab
+    end
+  done;
   let nvars = ref 1 in
-  let kinds = ref [ K_true ] in
-  let clauses = ref [] in
+  let kinds = ref (Array.make 1024 K_true) in
+  let owner = ref (Array.make 1024 (-1)) in
+  let cur_node = ref (-1) in
   let fresh_kind k =
     let v = !nvars in
     incr nvars;
-    kinds := k :: !kinds;
+    if v >= Array.length !kinds then begin
+      let bigger = Array.make (2 * v) K_true in
+      Array.blit !kinds 0 bigger 0 v;
+      kinds := bigger;
+      let bigger_o = Array.make (2 * v) (-1) in
+      Array.blit !owner 0 bigger_o 0 v;
+      owner := bigger_o
+    end;
+    !kinds.(v) <- k;
+    !owner.(v) <- !cur_node;
     2 * v
   in
+  let clauses = ref (Array.make 1024 [||]) in
+  let nclauses = ref 0 in
+  let push_clause cl =
+    if !nclauses >= Array.length !clauses then begin
+      let bigger = Array.make (2 * !nclauses) [||] in
+      Array.blit !clauses 0 bigger 0 !nclauses;
+      clauses := bigger
+    end;
+    !clauses.(!nclauses) <- cl;
+    incr nclauses
+  in
+  (* Per-node clause ranges, so an image node can replay exactly the
+     clauses its source emitted (including ranges that are themselves
+     replayed images, which is what makes substitution chains work). *)
+  let cstart = Array.make n 0 and cstop = Array.make n 0 in
   let cx =
     {
       ctrue = 0;
       cfalse = 1;
       cneg = (fun l -> l lxor 1);
       cfresh = (fun () -> fresh_kind K_fresh);
-      cemit = (fun ls -> clauses := Array.of_list ls :: !clauses);
+      cemit = (fun ls -> push_clause (Array.of_list ls));
     }
   in
+  (* var -> twin var. Variable 0 (constant true) is its own twin; a
+     variable owned by the source being replayed gets a fresh twin
+     (lazily, first time the renaming meets it); any other variable
+     reached the source's clauses through a physically shared operand's
+     frame and must stay itself. *)
+  let twin : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.replace twin 0 0;
+  let substituted = ref 0 and direct_nodes = ref 0 in
+  let wrap i s getf default =
+    cur_node := i;
+    if ok.(i) then begin
+      incr substituted;
+      let ia = rpartner.(i) in
+      let fa = getf ia in
+      let start = !nclauses in
+      let res =
+        match Signal.op s with
+        | Signal.Reg r ->
+            (* The image register is encoded from its own semantics —
+               placeholders over its own next-state node — and each
+               source placeholder is twinned to the matching bit. *)
+            let nidx = Circuit.node_index circuit (Option.get r.Signal.next) in
+            Array.mapi
+              (fun b la ->
+                let l = fresh_kind (K_prev (nidx, b)) in
+                Hashtbl.replace twin (la lsr 1) (l lsr 1);
+                l)
+              fa
+        | _ ->
+            let twin_var v =
+              match Hashtbl.find_opt twin v with
+              | Some tv -> tv
+              | None ->
+                  let tv =
+                    if !owner.(v) = ia then fresh_kind K_fresh lsr 1 else v
+                  in
+                  Hashtbl.replace twin v tv;
+                  tv
+            in
+            let twin_lit l = (2 * twin_var (l lsr 1)) lor (l land 1) in
+            for c = cstart.(ia) to cstop.(ia) - 1 do
+              push_clause (Array.map twin_lit !clauses.(c))
+            done;
+            Array.map twin_lit fa
+      in
+      cstart.(i) <- start;
+      cstop.(i) <- !nclauses;
+      res
+    end
+    else begin
+      incr direct_nodes;
+      cstart.(i) <- !nclauses;
+      let res = default () in
+      cstop.(i) <- !nclauses;
+      res
+    end
+  in
   let frame =
-    encode_frame cx circuit
+    encode_frame ~wrap cx circuit
       ~const:(fun v ->
         Array.init (Bitvec.width v) (fun i -> if Bitvec.bit v i then 0 else 1))
       ~input:(fun s -> Array.init (Signal.width s) (fun _ -> cx.cfresh ()))
@@ -301,10 +471,14 @@ let build_template circuit =
         let nidx = Circuit.node_index circuit next in
         Array.init (Signal.width s) (fun b -> fresh_kind (K_prev (nidx, b))))
   in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.add (Lazy.force m_sym_substituted) !substituted;
+    Obs.Metrics.add (Lazy.force m_sym_direct) !direct_nodes
+  end;
   {
     tpl_nvars = !nvars;
-    tpl_kinds = Array.of_list (List.rev !kinds);
-    tpl_clauses = Array.of_list (List.rev !clauses);
+    tpl_kinds = Array.sub !kinds 0 !nvars;
+    tpl_clauses = Array.sub !clauses 0 !nclauses;
     tpl_frame = frame;
   }
 
@@ -370,7 +544,7 @@ let unroll_cycle t =
           match t.tpl with
           | Some tpl -> tpl
           | None ->
-              let tpl = build_template t.circuit in
+              let tpl = build_template ~sym:t.sym t.circuit in
               t.tpl <- Some tpl;
               tpl
         in

@@ -32,6 +32,7 @@ val create :
   ?free_init:bool ->
   ?mode:mode ->
   ?guard:Sat.Solver.lit ->
+  ?sym:(Rtl.Signal.t * Rtl.Signal.t) list ->
   Sat.Solver.t ->
   Rtl.Circuit.t ->
   t
@@ -45,6 +46,19 @@ val create :
     [mode] (default [Direct]) selects the per-cycle encoding strategy;
     the two produce equisatisfiable unrollings with identical node
     semantics but different CNF shapes.
+
+    [sym] (Template mode only; ignored by [Direct]) declares pairs of
+    nodes that compute the same function of corresponding operands —
+    the two universes of a symmetric miter. The template encoder blasts
+    one member of each pair and derives the other's encoding as a pure
+    variable renaming of the recorded clauses, roughly halving template
+    construction on a two-universe circuit. Every pair is re-verified
+    structurally (operator, width, operands pairwise shared-or-paired)
+    before being used; pairs the optimizer broke fall back to direct
+    encoding. The instantiated CNF is variable-for-variable isomorphic
+    to the unshared build, so verdicts and counterexample depths are
+    unchanged by construction — the [cnf.sym_substituted] /
+    [cnf.sym_direct] metrics record how much of the cone was shared.
 
     With [guard], {e every} clause the blaster emits (including the
     constant-true unit) is weakened by the guard's negation: the whole

@@ -14,6 +14,7 @@ type t = {
   eq_cnt : Signal.t;
   flush_done : Signal.t;
   property : Bmc.property;
+  sym : (Signal.t * Signal.t) list;
 }
 
 let clog2 n =
@@ -184,6 +185,20 @@ let generate ?(threshold = 4) ?(sync = Flush_end) ?(common = []) ?(blackbox = []
       ~name:("ft_" ^ Circuit.name dut)
       ~outputs:wrapper_outputs ()
   in
+  (* The two universes are clones of one circuit, so every DUT node
+     yields a symmetric (α, β) pair — except nodes the clones physically
+     share (common inputs and anything fed only by them), which need no
+     pair. Handed to the blaster so the transition-relation template is
+     encoded once and mirrored. *)
+  let sym =
+    List.filter_map
+      (fun n ->
+        match (map_a n, map_b n) with
+        | a, b when a != b -> Some (a, b)
+        | _ -> None
+        | exception Not_found -> None)
+      (Array.to_list (Circuit.topo dut))
+  in
   {
     wrapper;
     dut;
@@ -194,6 +209,7 @@ let generate ?(threshold = 4) ?(sync = Flush_end) ?(common = []) ?(blackbox = []
     eq_cnt;
     flush_done = flush_done_sig;
     property = { Bmc.assumes; asserts };
+    sym;
   }
 
 (* [jobs]/[portfolio] route through the parallel engine; the default (no
@@ -203,30 +219,34 @@ let generate ?(threshold = 4) ?(sync = Flush_end) ?(common = []) ?(blackbox = []
    even at one job. [opt] defaults to O2 here — the product path always
    optimizes the miter; engines keep their raw O0 default for direct
    callers. *)
+let sym_of ~symmetric ft = if symmetric then ft.sym else []
+
 let check ?max_depth ?progress ?jobs ?portfolio ?budget ?retry
-    ?(opt = Opt.O2) ?incremental ft =
+    ?(opt = Opt.O2) ?incremental ?(symmetric = true) ?cache ft =
+  let sym = sym_of ~symmetric ft in
   match (jobs, portfolio, retry) with
   | (None | Some 1), None, None ->
-      Bmc.check ?max_depth ?progress ?budget ~opt ?incremental ft.wrapper
-        ft.property
+      Bmc.check ?max_depth ?progress ?budget ~opt ?incremental ~sym ?cache
+        ft.wrapper ft.property
   | _ ->
       Parallel.check ?jobs ?portfolio ?max_depth ?progress ?budget ?retry ~opt
-        ?incremental ft.wrapper ft.property
+        ?incremental ~sym ?cache ft.wrapper ft.property
 
 let check_detailed ?max_depth ?progress ?jobs ?portfolio ?budget ?retry
-    ?(opt = Opt.O2) ?incremental ft =
+    ?(opt = Opt.O2) ?incremental ?(symmetric = true) ?cache ft =
   Parallel.check_detailed ?jobs ?portfolio ?max_depth ?progress ?budget ?retry
-    ~opt ?incremental ft.wrapper ft.property
+    ~opt ?incremental ~sym:(sym_of ~symmetric ft) ?cache ft.wrapper ft.property
 
 let prove ?max_depth ?progress ?jobs ?budget ?retry ?(opt = Opt.O2)
-    ?incremental ft =
+    ?incremental ?(symmetric = true) ?cache ft =
+  let sym = sym_of ~symmetric ft in
   match (jobs, retry) with
   | (None | Some 1), None ->
-      Bmc.prove ?max_depth ?progress ?budget ~opt ?incremental ft.wrapper
-        ft.property
+      Bmc.prove ?max_depth ?progress ?budget ~opt ?incremental ~sym ?cache
+        ft.wrapper ft.property
   | _ ->
       Parallel.prove ?jobs ?max_depth ?progress ?budget ?retry ~opt
-        ?incremental ft.wrapper ft.property
+        ?incremental ~sym ?cache ft.wrapper ft.property
 
 let spy_start_cycle ft cex =
   match Bmc.replay_values cex [ ft.spy_mode ] with

@@ -36,6 +36,11 @@ type t = {
   eq_cnt : Rtl.Signal.t;
   flush_done : Rtl.Signal.t;
   property : Bmc.property;
+  sym : (Rtl.Signal.t * Rtl.Signal.t) list;
+      (** symmetric (α, β) node pairs — the image of every DUT node
+          under the two universe mappings, minus nodes the universes
+          physically share. Fed to the blaster's symmetric template
+          encoder (see {!Cnf.Blast.create}). *)
 }
 
 type sync = Flush_end | Flush_start
@@ -89,6 +94,8 @@ val check :
   ?retry:Retry.policy ->
   ?opt:Opt.level ->
   ?incremental:bool ->
+  ?symmetric:bool ->
+  ?cache:Cache.t ->
   t ->
   Bmc.outcome
 (** Run BMC over the generated property set. With [jobs] > 1 or
@@ -101,7 +108,15 @@ val check :
     {!Bmc.outcome.Unknown} rather than an exception. [opt] (default
     {!Opt.O2} — this is the product path) runs the {!Opt} netlist
     pipeline on the miter before blasting; verdicts and CEX depths are
-    unchanged by construction. *)
+    unchanged by construction.
+
+    [symmetric] (default [true]) hands the two-universe pairing to the
+    incremental engine's template blaster, which encodes the shared
+    transition cone once and mirrors it — a pure construction-time
+    saving; verdicts and CEX depths are identical by construction, and
+    [~symmetric:false] (the CLI's [--no-symmetric]) is the differential
+    oracle for that claim. [cache] memoizes conclusive verdicts across
+    runs (see {!Cache} and {!Bmc.check}). *)
 
 val check_detailed :
   ?max_depth:int ->
@@ -112,6 +127,8 @@ val check_detailed :
   ?retry:Retry.policy ->
   ?opt:Opt.level ->
   ?incremental:bool ->
+  ?symmetric:bool ->
+  ?cache:Cache.t ->
   t ->
   Bmc.outcome * Parallel.detail
 (** {!check} via the parallel engine, returning per-job accounting
@@ -125,6 +142,8 @@ val prove :
   ?retry:Retry.policy ->
   ?opt:Opt.level ->
   ?incremental:bool ->
+  ?symmetric:bool ->
+  ?cache:Cache.t ->
   t ->
   Bmc.induction_outcome
 (** Attempt an unbounded proof of the property set by k-induction — the

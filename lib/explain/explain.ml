@@ -897,10 +897,13 @@ h3 { margin-bottom: 0.2em; }
      fault) are re-swept, with the policy's escalated budget and
      alternate configuration, after the capped backoff. Conclusive
      verdicts from earlier rounds are never re-run and never change. *)
-  let sweep ?opt ?incremental ~budget ~retry ft ~max_depth =
+  let sweep ?opt ?incremental ?(symmetric = true) ?cache ~budget ~retry ft
+      ~max_depth =
     let property = ft.Ft.property in
     let run_asserts ~attempt asserts =
       Bmc.check_each ~max_depth ?opt ?incremental
+        ~sym:(if symmetric then ft.Ft.sym else [])
+        ?cache
         ?solver_config:(Retry.config_for retry ~attempt)
         ~budget:(Retry.budget_for retry budget ~attempt)
         ft.Ft.wrapper
@@ -941,8 +944,8 @@ h3 { margin-bottom: 0.2em; }
     in
     refine 0 (run_asserts ~attempt:0 property.Bmc.asserts)
 
-  let run ?opt ?incremental ?(budget = Bmc.no_budget) ?(retry = Retry.default)
-      ?(resume = false) ?out_dir entries =
+  let run ?opt ?incremental ?symmetric ?cache ?(budget = Bmc.no_budget)
+      ?(retry = Retry.default) ?(resume = false) ?out_dir entries =
     Obs.span "explain.campaign"
       ~attrs:[ ("entries", Json.Int (List.length entries)) ]
     @@ fun () ->
@@ -987,7 +990,8 @@ h3 { margin-bottom: 0.2em; }
       let fresh () =
         let ft = e.e_ft () in
         let outcomes =
-          sweep ?opt ?incremental ~budget ~retry ft ~max_depth:e.e_max_depth
+          sweep ?opt ?incremental ?symmetric ?cache ~budget ~retry ft
+            ~max_depth:e.e_max_depth
         in
         let cexs =
           List.filter_map

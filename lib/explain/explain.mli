@@ -168,6 +168,8 @@ module Campaign : sig
   val run :
     ?opt:Opt.level ->
     ?incremental:bool ->
+    ?symmetric:bool ->
+    ?cache:Cache.t ->
     ?budget:Bmc.budget ->
     ?retry:Retry.policy ->
     ?resume:bool ->
@@ -183,7 +185,13 @@ module Campaign : sig
       escalated budgets / alternate solver configs with capped backoff;
       whatever remains inconclusive is counted in [r_unknowns]. An
       exception inside one entry downgrades it to a [`Failed] record
-      instead of aborting the campaign.
+      instead of aborting the campaign. [symmetric] (default [true])
+      enables the two-universe symmetric template encoding inside each
+      sweep; [cache] memoizes per-assertion verdicts content-addressed
+      by cone structure (see {!Cache}), so a resumed or re-run campaign
+      over an edited DUT re-solves only the assertions whose cones
+      changed — complementary to [resume], which reuses whole-entry
+      artifacts only when {e nothing} changed.
 
       With [out_dir] set, persist the artifacts: [campaign.json]
       (index), one [channel_<entry>_<n>.json] per channel

@@ -5,6 +5,13 @@ let rebuild ?(subst = fun _ -> None)
     ?(map_reg_name = fun n -> n) ?(instrument_next = fun ~reg:_ ~next -> next)
     roots =
   let memo : (int, Signal.t) Hashtbl.t = Hashtbl.create 1024 in
+  (* Registers whose next-state function still needs cloning. Wiring is
+     deferred until every root's combinational cone is done: recursing
+     into [next] eagerly would re-enter the feedback loop while the
+     combinational ancestors are still mid-clone (unmemoized) and
+     duplicate them, leaving the copy semantically equal but not
+     isomorphic to the original. *)
+  let pending : (Signal.reg * Signal.t) Queue.t = Queue.create () in
   let copy_name old fresh =
     match Signal.name old with
     | Some n -> ignore (Signal.( -- ) fresh n)
@@ -36,17 +43,8 @@ let rebuild ?(subst = fun _ -> None)
                     (Signal.width s)
                 in
                 copy_name s s';
-                (* Memoize before recursing: next-state functions typically
-                   refer back to the register itself. *)
                 Hashtbl.replace memo (Signal.uid s) s';
-                let next =
-                  match r.Signal.next with
-                  | Some n -> clone n
-                  | None ->
-                      failwith
-                        ("Transform.rebuild: register without next: " ^ r.Signal.reg_name)
-                in
-                Signal.reg_set_next s' (instrument_next ~reg:s' ~next);
+                Queue.add (r, s') pending;
                 s'
             | op ->
                 let args = Array.map clone (Signal.args s) in
@@ -74,6 +72,23 @@ let rebuild ?(subst = fun _ -> None)
         assert false (* handled above *)
   in
   let roots' = List.map clone roots in
+  (* Wire the deferred next-state functions; cloning one may discover
+     further registers, which join the queue. *)
+  let rec drain () =
+    match Queue.take_opt pending with
+    | None -> ()
+    | Some (r, s') ->
+        let next =
+          match r.Signal.next with
+          | Some n -> clone n
+          | None ->
+              failwith
+                ("Transform.rebuild: register without next: " ^ r.Signal.reg_name)
+        in
+        Signal.reg_set_next s' (instrument_next ~reg:s' ~next);
+        drain ()
+  in
+  drain ();
   let mapping s = Hashtbl.find memo (Signal.uid s) in
   (roots', mapping)
 

@@ -177,6 +177,66 @@ let test_prove_agrees () =
       Alcotest.(check int) "induction depth" k1 k2
   | _ -> Alcotest.fail "expected Proved from both engines"
 
+(* {1 Directed: symmetric template vs double blast} *)
+
+let test_symmetric_duts_agree () =
+  (* [~symmetric:false] re-blasts both universes separately — the
+     double-blast oracle. The single-universe template stamped twice
+     through the α/β pairs must give the same verdict, CEX depth and a
+     replay-valid trace on every real DUT row. *)
+  List.iter
+    (fun (id, mk_ft, max_depth) ->
+      let ft_s = mk_ft () and ft_d = mk_ft () in
+      let sym = Autocc.Ft.check ~max_depth ~symmetric:true ft_s in
+      let dbl = Autocc.Ft.check ~max_depth ~symmetric:false ft_d in
+      if
+        not
+          (outcomes_agree ft_s.Autocc.Ft.property ft_d.Autocc.Ft.property sym
+             dbl)
+      then
+        Alcotest.failf "%s: symmetric %s disagrees with double-blast %s" id
+          (describe sym) (describe dbl))
+    (dut_rows ())
+
+let test_symmetric_substitution_fires () =
+  (* Guard against the encoder silently degrading to the direct path:
+     the miter must expose α/β pairs, and a symmetric run must actually
+     substitute template clauses through them. *)
+  let ft = (fun () -> V.ft_for_stage V.Arch_pipeline (V.create ())) () in
+  Alcotest.(check bool) "the miter exposes symmetric pairs" true
+    (ft.Autocc.Ft.sym <> []);
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.disable ();
+      Obs.Metrics.reset ())
+    (fun () ->
+      ignore (Autocc.Ft.check ~max_depth:8 ~symmetric:true ft);
+      match Obs.Metrics.find "cnf.sym_substituted" with
+      | Some (Obs.Metrics.Counter n) ->
+          Alcotest.(check bool) "template clauses were substituted" true (n > 0)
+      | _ -> Alcotest.fail "cnf.sym_substituted was never recorded")
+
+let test_symmetric_random_miters () =
+  (* Random DUTs through the full [Ft.generate] miter construction:
+     whatever α/β pair set falls out, symmetric and double-blast runs
+     must agree. *)
+  for seed = 61 to 66 do
+    let st = Random.State.make [| seed |] in
+    let dut = Gen_circuit.random_circuit st ~num_nodes:20 ~num_regs:3 in
+    let mk () = Autocc.Ft.generate ~threshold:1 dut in
+    let ft_s = mk () and ft_d = mk () in
+    let sym = Autocc.Ft.check ~max_depth:5 ~symmetric:true ft_s in
+    let dbl = Autocc.Ft.check ~max_depth:5 ~symmetric:false ft_d in
+    if
+      not
+        (outcomes_agree ft_s.Autocc.Ft.property ft_d.Autocc.Ft.property sym dbl)
+    then
+      Alcotest.failf "seed %d: symmetric %s disagrees with double-blast %s" seed
+        (describe sym) (describe dbl)
+  done
+
 (* {1 Budgets: starved runs downgrade identically} *)
 
 let test_expired_wall_identical () =
@@ -312,6 +372,15 @@ let () =
           Alcotest.test_case "check_each with no asserts" `Quick test_check_each_empty;
           Alcotest.test_case "induction agrees across engines" `Quick
             test_prove_agrees;
+        ] );
+      ( "symmetric",
+        [
+          Alcotest.test_case "four DUTs agree with the double-blast oracle"
+            `Quick test_symmetric_duts_agree;
+          Alcotest.test_case "template substitution fires" `Quick
+            test_symmetric_substitution_fires;
+          Alcotest.test_case "random miters agree" `Quick
+            test_symmetric_random_miters;
         ] );
       ( "budget",
         [

@@ -294,6 +294,63 @@ let test_fault_incr_fuzz () =
   Alcotest.(check bool) "the corpus did pass the bmc.incr site" true
     (!total_fired > 0)
 
+let test_fault_cache_store_fuzz () =
+  (* The "cache.store" site models torn/corrupted persistence: a fired
+     fault writes half a JSONL line and degrades the store to
+     memory-only. The contract is the same as every other site — a
+     faulted cache may lose entries but must never flip a verdict:
+     neither in the faulted cold run itself, nor in a warm run that
+     reloads the half-written store from disk. *)
+  let total_fired = ref 0 and total_rejects = ref 0 in
+  for seed = 31 to 38 do
+    let st = Random.State.make [| seed |] in
+    let circuit = Gen_circuit.random_circuit st ~num_nodes:25 ~num_regs:3 in
+    let property = Gen_circuit.random_property st circuit ~num_asserts:3 in
+    let reference = Bmc.check ~max_depth:5 circuit property in
+    (match reference with
+    | Bmc.Unknown (r, _) ->
+        Alcotest.failf "seed %d: fault-free reference is unknown (%s)" seed
+          (unknown_to_string r)
+    | _ -> ());
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "autocc_test_cachefault_%d_%d" (Unix.getpid ()) seed)
+    in
+    if Sys.file_exists dir then
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    (* Cold, with every store torn mid-write. *)
+    Fault.arm ~sites:[ "cache.store" ] ~rate:1.0 ~seed ();
+    let cold =
+      Fun.protect
+        ~finally:(fun () ->
+          total_fired := !total_fired + Fault.fired ();
+          Fault.disarm ())
+        (fun () ->
+          let cache = Cache.create ~dir () in
+          Bmc.check ~max_depth:5 ~cache circuit property)
+    in
+    if verdict_flip reference cold then
+      Alcotest.failf "seed %d: cache.store fault flipped the cold verdict" seed;
+    (* Warm, fault-free, reloading whatever half-written garbage the
+       faulted run left on disk: corrupt lines must be rejected at load,
+       and the verdict recomputed, never flipped. *)
+    let warm_cache = Cache.create ~dir () in
+    let warm = Bmc.check ~max_depth:5 ~cache:warm_cache circuit property in
+    total_rejects := !total_rejects + (Cache.stats warm_cache).Cache.rejects;
+    if verdict_flip reference warm then
+      Alcotest.failf
+        "seed %d: a corrupted store flipped the warm verdict" seed;
+    match warm with
+    | Bmc.Unknown _ ->
+        Alcotest.failf "seed %d: a fault-free warm run must be conclusive" seed
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "the corpus did pass the cache.store site" true
+    (!total_fired > 0);
+  Alcotest.(check bool) "torn writes were rejected at reload" true
+    (!total_rejects > 0)
+
 (* {1 Campaigns: crash isolation and resume} *)
 
 let two_leak_dut () =
@@ -509,6 +566,8 @@ let () =
           Alcotest.test_case "fuzz under retry" `Quick test_fault_fuzz_with_retry;
           Alcotest.test_case "bmc.incr site downgrades cleanly" `Quick
             test_fault_incr_site;
+          Alcotest.test_case "fuzz: cache.store never flips" `Quick
+            test_fault_cache_store_fuzz;
           Alcotest.test_case "fuzz: bmc.incr never flips" `Quick
             test_fault_incr_fuzz;
         ] );

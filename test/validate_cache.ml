@@ -1,0 +1,145 @@
+(* Validates BENCH_cache.json from a real `bench cache` run — the
+   [@cache-smoke] gate. Usage:
+
+     validate_cache.exe BENCH_cache.json
+
+   The bench runs each row cold (empty store, every verdict solved and
+   persisted) and then warm through a fresh [Cache.create] over the same
+   directory, so the warm phase exercises the JSONL codec and the CEX
+   replay re-validation end to end. This checks the artifact
+   structurally (every row has both outcomes with
+   verdict/depth/wall_s/stats), re-derives agreement and speedups from
+   the recorded outcomes instead of trusting the bench's own flags,
+   requires zero mismatches and zero rejects, demands that the warm
+   phase actually hit the store, and gates the headline claim: the
+   aggregate warm re-run must be at least 5x faster than the cold
+   solve. Exits non-zero on the first violation. *)
+
+module Json = Obs.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  contents
+
+let parse path =
+  match Json.parse (read_file path) with
+  | Ok j ->
+      (match Json.parse (Json.to_string j) with
+      | Ok j' when j' = j -> ()
+      | Ok _ -> fail "%s does not round-trip through the JSON printer" path
+      | Error e -> fail "%s re-parse failed: %s" path e);
+      j
+  | Error e -> fail "%s does not parse: %s" path e
+
+let str_field what name j =
+  match Json.member name j with
+  | Some (Json.Str s) -> s
+  | _ -> fail "%s lacks string field %S: %s" what name (Json.to_string j)
+
+let int_field what name j =
+  match Json.member name j with
+  | Some (Json.Int i) -> i
+  | _ -> fail "%s lacks int field %S: %s" what name (Json.to_string j)
+
+let num_field what name j =
+  match Json.member name j with
+  | Some (Json.Float f) -> f
+  | Some (Json.Int i) -> float_of_int i
+  | _ -> fail "%s lacks numeric field %S: %s" what name (Json.to_string j)
+
+let bool_field what name j =
+  match Json.member name j with
+  | Some (Json.Bool b) -> b
+  | _ -> fail "%s lacks bool field %S" what name
+
+let obj_field what name j =
+  match Json.member name j with
+  | Some (Json.Obj _ as o) -> o
+  | _ -> fail "%s lacks object field %S" what name
+
+(* One phase's outcome record; returns (verdict, depth, wall). *)
+let check_outcome what name j =
+  let o = obj_field what name j in
+  let verdict = str_field what "verdict" o in
+  let depth = int_field what "depth" o in
+  let wall = num_field what "wall_s" o in
+  ignore (obj_field what "stats" o);
+  (verdict, depth, wall)
+
+let check_row path j =
+  let id = str_field path "id" j in
+  let what = Printf.sprintf "%s row %s" path id in
+  ignore (str_field what "description" j);
+  ignore (int_field what "max_depth" j);
+  let cv, cd, cw = check_outcome what "cold" j in
+  let wv, wd, ww = check_outcome what "warm" j in
+  if not (bool_field what "agree" j) then fail "%s: recorded as a mismatch" what;
+  (* Re-derive the agreement from the outcomes instead of trusting the
+     bench's own flag — the whole point of the cache contract is that a
+     hit is byte-identical to a solve. *)
+  if cv <> wv then
+    fail "%s: warm verdict %S differs from cold %S" what wv cv;
+  if cd <> wd then
+    fail "%s: verdicts agree on %S but at different depths (%d vs %d)" what cv
+      cd wd;
+  if cv = "unknown" then fail "%s: inconclusive in both phases" what;
+  (cw, ww)
+
+let check_stats what j =
+  ( int_field what "hits" j,
+    int_field what "misses" j,
+    int_field what "stores" j,
+    int_field what "rejects" j )
+
+let () =
+  match Sys.argv with
+  | [| _; path |] ->
+      let j = parse path in
+      if str_field path "bench" j <> "cache" then
+        fail "%s is not a cache bench record" path;
+      let rows =
+        match Json.member "rows" j with
+        | Some (Json.List l) -> l
+        | _ -> fail "%s lacks a rows list" path
+      in
+      if rows = [] then fail "%s has no rows" path;
+      let walls = List.map (check_row path) rows in
+      if int_field path "mismatches" j <> 0 then
+        fail "%s: the bench recorded cold/warm mismatches" path;
+      let cold_s = List.fold_left (fun a (c, _) -> a +. c) 0. walls in
+      let warm_s = List.fold_left (fun a (_, w) -> a +. w) 0. walls in
+      if abs_float (num_field path "cold_s" j -. cold_s) > 1e-6 then
+        fail "%s: cold_s disagrees with the per-row walls" path;
+      if abs_float (num_field path "warm_s" j -. warm_s) > 1e-6 then
+        fail "%s: warm_s disagrees with the per-row walls" path;
+      let speedup = cold_s /. Float.max 1e-9 warm_s in
+      let c_hits, _, c_stores, c_rejects =
+        check_stats (path ^ " cold_cache") (obj_field path "cold_cache" j)
+      in
+      let w_hits, _, w_stores, w_rejects =
+        check_stats (path ^ " warm_cache") (obj_field path "warm_cache" j)
+      in
+      if c_hits <> 0 then fail "%s: the cold phase hit a supposedly empty store" path;
+      if c_stores = 0 then fail "%s: the cold phase persisted nothing" path;
+      if w_hits = 0 then fail "%s: the warm phase never hit the store" path;
+      if w_stores <> 0 then
+        fail "%s: the warm phase re-solved and re-stored (%d stores)" path
+          w_stores;
+      if c_rejects <> 0 || w_rejects <> 0 then
+        fail "%s: the store rejected entries (%d cold, %d warm)" path c_rejects
+          w_rejects;
+      (* The headline gate: replaying a persisted verdict must be far
+         cheaper than re-solving it. *)
+      if speedup < 5.0 then
+        fail "%s: warm speedup %.2fx is below the 5x gate" path speedup;
+      ignore (obj_field path "telemetry" j);
+      Printf.printf
+        "cache bench OK: %s (%d rows, cold %.2fs -> warm %.2fs, %.1fx, %d warm hits)\n"
+        path (List.length walls) cold_s warm_s speedup w_hits
+  | _ ->
+      prerr_endline "usage: validate_cache BENCH_cache.json";
+      exit 2
