@@ -9,7 +9,7 @@
    Usage: dune exec bench/main.exe [table1|table2|exploit|aes_proof|
                                     fixes|baseline|flush_tdd|parallel|
                                     opt|incremental|cache|symmetric|
-                                    campaign|smoke|bechamel|all]
+                                    campaign|smoke|diff|bechamel|all]
 
    The [parallel] subcommand re-runs representative Table 1 rows on the
    sequential engine and on the domain-sharded parallel engine
@@ -1227,7 +1227,27 @@ let smoke () =
     print_endline "     smoke FAILED: telemetry-enabled overhead above 1.25x budget";
     exit 1
   end
-  else print_endline "     smoke OK: telemetry overhead within budget"
+  else print_endline "     smoke OK: telemetry overhead within budget";
+  (* Same gate for the event bus: metrics plus a live bus with a JSONL
+     file sink (the `campaign --out` configuration) — every depth, CEX,
+     job and cache event stamped, ring-buffered and flushed to disk —
+     must also stay within 1.25x of the plain run. *)
+  let events_path = Filename.temp_file "autocc_smoke" ".events.jsonl" in
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  Obs.Bus.attach ~file:events_path ();
+  let bus_on = min_of_two time_once in
+  Obs.shutdown ();
+  (try Sys.remove events_path with Sys_error _ -> ());
+  let bus_ratio = bus_on /. Float.max 1e-9 plain in
+  Printf.printf
+    "     event-bus overhead: plain %.3fs, bus+file sink %.3fs (%.2fx)\n" plain
+    bus_on bus_ratio;
+  if bus_ratio > 1.25 then begin
+    print_endline "     smoke FAILED: event-bus-enabled overhead above 1.25x budget";
+    exit 1
+  end
+  else print_endline "     smoke OK: event-bus overhead within budget"
 
 (* {1 Campaign: per-assertion sweep + provenance/clustering over the
    Table-1 row set, one JSON artifact per deduplicated channel} *)
@@ -1458,6 +1478,161 @@ let bechamel () =
       | _ -> Printf.printf "%-40s (no estimate)\n" name)
     (List.sort compare rows)
 
+(* {1 bench diff — perf-regression gate over two BENCH_*.json files}
+
+   [bench diff BASELINE FRESH] re-reads two machine-readable result
+   files (same subcommand, two commits/runs), matches their rows by
+   "id", and gates only the metrics whose regression is meaningful:
+   time-like leaves (keys ending in [_s]: wall_s, solve_s, opt_time_s —
+   lower is better) and [speedup] (higher is better). Everything else
+   (conflicts, vars, depths) varies freely with the search trajectory
+   and is provenance, not a gate. A row is regressed when the fresh
+   value is worse by more than a noise ratio (AUTOCC_DIFF_RATIO, default
+   1.5x) AND by more than an absolute floor (AUTOCC_DIFF_FLOOR_S,
+   default 0.02s) — the floor keeps microsecond rows from tripping the
+   ratio on scheduler noise. A baseline row missing from the fresh file
+   is a regression (a silently dropped benchmark is worse than a slow
+   one); a fresh row missing from the baseline is informational. Exits 1
+   on any regression. *)
+
+let diff_read path =
+  let ic =
+    try open_in_bin path
+    with Sys_error e -> failwith (Printf.sprintf "bench diff: %s" e)
+  in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.parse s with
+  | Ok j -> j
+  | Error e -> failwith (Printf.sprintf "bench diff: %s: %s" path e)
+
+let diff_rows j =
+  match Json.member "rows" j with
+  | Some (Json.List rows) ->
+      List.filter_map
+        (fun r ->
+          match Json.member "id" r with
+          | Some (Json.Str id) -> Some (id, r)
+          | _ -> None)
+        rows
+  | _ -> []
+
+(* Flatten a row to its numeric leaves, dotted-path keyed:
+   "o2.stats.solve_s" -> 0.319. *)
+let rec diff_leaves prefix j acc =
+  let child k = if prefix = "" then k else prefix ^ "." ^ k in
+  match j with
+  | Json.Obj kvs ->
+      List.fold_left (fun acc (k, v) -> diff_leaves (child k) v acc) acc kvs
+  | Json.List l ->
+      List.fold_left
+        (fun (i, acc) v -> (i + 1, diff_leaves (child (string_of_int i)) v acc))
+        (0, acc) l
+      |> snd
+  | Json.Int n -> (prefix, float_of_int n) :: acc
+  | Json.Float f -> (prefix, f) :: acc
+  | Json.Null | Json.Bool _ | Json.Str _ -> acc
+
+let diff_gated path =
+  let last =
+    match String.rindex_opt path '.' with
+    | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+    | None -> path
+  in
+  let n = String.length last in
+  if last = "speedup" then Some `Higher_better
+  else if n > 2 && String.sub last (n - 2) 2 = "_s" then Some `Lower_better
+  else None
+
+let diff_env_float name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some f when f > 0. -> f
+      | _ -> failwith (Printf.sprintf "bench diff: %s must be a positive float" name))
+
+let diff_bench base_path fresh_path =
+  header "Bench diff — perf-regression gate";
+  let ratio = diff_env_float "AUTOCC_DIFF_RATIO" 1.5 in
+  let floor_s = diff_env_float "AUTOCC_DIFF_FLOOR_S" 0.02 in
+  let base = diff_read base_path and fresh = diff_read fresh_path in
+  let bench_of j =
+    match Json.member "bench" j with Some (Json.Str s) -> s | _ -> "?"
+  in
+  Printf.printf "     baseline: %s (%s)\n" base_path (bench_of base);
+  Printf.printf "     fresh   : %s (%s)\n" fresh_path (bench_of fresh);
+  Printf.printf "     noise thresholds: ratio %.2fx, floor %.3fs\n\n" ratio
+    floor_s;
+  if bench_of base <> bench_of fresh then
+    Printf.printf "     WARNING: comparing different benches (%s vs %s)\n\n"
+      (bench_of base) (bench_of fresh);
+  let base_rows = diff_rows base and fresh_rows = diff_rows fresh in
+  let regressions = ref 0 in
+  Printf.printf "     %-6s %-28s %10s %10s %7s  %s\n" "ROW" "METRIC" "BASE"
+    "FRESH" "RATIO" "STATUS";
+  List.iter
+    (fun (id, brow) ->
+      match List.assoc_opt id fresh_rows with
+      | None ->
+          incr regressions;
+          Printf.printf "     %-6s %-28s %10s %10s %7s  %s\n" id "(row)" "-"
+            "missing" "-" "REGRESSED"
+      | Some frow ->
+          let fleaves = diff_leaves "" frow [] in
+          List.iter
+            (fun (key, bv) ->
+              match diff_gated key with
+              | None -> ()
+              | Some direction -> (
+                  match List.assoc_opt key fleaves with
+                  | None ->
+                      incr regressions;
+                      Printf.printf "     %-6s %-28s %10.3f %10s %7s  %s\n" id
+                        key bv "missing" "-" "REGRESSED"
+                  | Some fv ->
+                      let regressed =
+                        match direction with
+                        | `Lower_better ->
+                            fv > (bv *. ratio) && fv -. bv > floor_s
+                        | `Higher_better ->
+                            (* Speedups are dimensionless; the floor
+                               guards absolute drop instead. *)
+                            fv < (bv /. ratio) && bv -. fv > floor_s
+                      in
+                      if regressed then incr regressions;
+                      (* Keep the table to the signal: regressions and
+                         the headline wall_s rows. *)
+                      if regressed || diff_gated key = Some `Higher_better
+                         || String.length key < 12
+                      then
+                        Printf.printf "     %-6s %-28s %10.3f %10.3f %7.2f  %s\n"
+                          id key bv fv
+                          (fv /. Float.max 1e-9 bv)
+                          (if regressed then "REGRESSED" else "ok")))
+            (diff_leaves "" brow []))
+    base_rows;
+  List.iter
+    (fun (id, _) ->
+      if not (List.mem_assoc id base_rows) then
+        Printf.printf "     %-6s %-28s %10s %10s %7s  %s\n" id "(row)" "absent"
+          "new" "-" "new row")
+    fresh_rows;
+  print_newline ();
+  if base_rows = [] then
+    print_endline "     WARNING: baseline has no rows; nothing gated";
+  if !regressions > 0 then begin
+    Printf.printf "     bench diff FAILED: %d regression(s) beyond %.2fx+%.3fs\n"
+      !regressions ratio floor_s;
+    exit 1
+  end
+  else
+    Printf.printf "     bench diff OK: %d rows within %.2fx+%.3fs of baseline\n"
+      (List.length base_rows) ratio floor_s
+
 let all () =
   table2 ();
   table1 ();
@@ -1490,10 +1665,16 @@ let () =
   | "campaign" -> campaign_bench ()
   | "robustness" -> robustness_bench ()
   | "smoke" -> smoke ()
+  | "diff" ->
+      if Array.length Sys.argv < 4 then begin
+        Printf.eprintf "usage: bench diff BASELINE.json FRESH.json\n";
+        exit 1
+      end;
+      diff_bench Sys.argv.(2) Sys.argv.(3)
   | "bechamel" -> bechamel ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
-        "unknown experiment %s (try table1|table2|exploit|aes_proof|fixes|baseline|latency|flush_tdd|parallel|opt|incremental|cache|symmetric|campaign|robustness|smoke|bechamel|all)\n"
+        "unknown experiment %s (try table1|table2|exploit|aes_proof|fixes|baseline|latency|flush_tdd|parallel|opt|incremental|cache|symmetric|campaign|robustness|smoke|diff|bechamel|all)\n"
         other;
       exit 1

@@ -19,19 +19,25 @@ open Cmdliner
    so the run's counters land in the [stats]-style summary and the
    structured logs. *)
 
-let setup_telemetry trace log_json log_level =
+let setup_telemetry ?metrics_file trace log_json log_level =
   (match Obs.level_of_string log_level with
   | Ok l -> Obs.set_level l
   | Error msg -> failwith msg);
   Option.iter Obs.trace_to_file trace;
   Option.iter Obs.log_to_file log_json;
-  if trace <> None || log_json <> None then Obs.Metrics.enable ()
+  if trace <> None || log_json <> None || metrics_file <> None then
+    Obs.Metrics.enable ();
+  (* --metrics-file: a Prometheus text snapshot of the whole registry,
+     atomically rewritten on a ticker for the lifetime of the command
+     (and once more at shutdown). *)
+  Option.iter (fun p -> Obs.Exposition.start p) metrics_file
 
-let with_telemetry trace log_json log_level f =
-  setup_telemetry trace log_json log_level;
+let with_telemetry ?metrics_file trace log_json log_level f =
+  setup_telemetry ?metrics_file trace log_json log_level;
   let r = Fun.protect ~finally:Obs.shutdown f in
   Option.iter (fun p -> Format.printf "Trace written to %s (load at ui.perfetto.dev)@." p) trace;
   Option.iter (fun p -> Format.printf "Structured log written to %s@." p) log_json;
+  Option.iter (fun p -> Format.printf "Metrics snapshot written to %s@." p) metrics_file;
   r
 
 let print_metrics_summary () =
@@ -119,19 +125,22 @@ let print_cache_summary cache =
   | None -> ()
   | Some c ->
       let st = Cache.stats c in
-      Format.printf "Cache: %d hits, %d misses, %d stores, %d rejects (%s)@."
+      Format.printf
+        "Cache: %d hits, %d misses, %d stores, %d rejects, %d evictions, %d \
+         live entries (%s)@."
         st.Cache.hits st.Cache.misses st.Cache.stores st.Cache.rejects
+        st.Cache.evictions st.Cache.size
         (match Cache.dir c with Some d -> d | None -> "memory")
 
 let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfolio
     timeout conflict_budget retries
     opt_level no_incremental no_symmetric cache_dir no_cache
     fix_m2 fix_m3 fix_c1 fix_c2 fix_c3 full_flush
-    verbose vcd trace log_json log_level =
+    verbose vcd trace log_json log_level metrics_file =
   let incremental = not no_incremental in
   let symmetric = not no_symmetric in
   let cache = cache_of cache_dir no_cache in
-  with_telemetry trace log_json log_level @@ fun () ->
+  with_telemetry ?metrics_file trace log_json log_level @@ fun () ->
   let dut =
     match verilog with
     | Some path ->
@@ -222,11 +231,11 @@ let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfol
 
 let prove dut_name verilog top stage threshold max_depth jobs timeout
     conflict_budget retries opt_level no_incremental no_symmetric cache_dir
-    no_cache verbose vcd trace log_json log_level =
+    no_cache verbose vcd trace log_json log_level metrics_file =
   let incremental = not no_incremental in
   let symmetric = not no_symmetric in
   let cache = cache_of cache_dir no_cache in
-  with_telemetry trace log_json log_level @@ fun () ->
+  with_telemetry ?metrics_file trace log_json log_level @@ fun () ->
   let dut =
     match verilog with
     | Some path -> Frontend.Elaborate.circuit_of_file ?top path
@@ -364,8 +373,9 @@ let export dut_name dir threshold depth arch_regs =
 
 (* {1 stats} *)
 
-let stats dut_name max_depth jobs opt_level trace log_json log_level =
-  with_telemetry trace log_json log_level @@ fun () ->
+let stats dut_name max_depth jobs opt_level trace log_json log_level
+    metrics_file =
+  with_telemetry ?metrics_file trace log_json log_level @@ fun () ->
   List.iter
     (fun name ->
       let dut =
@@ -388,7 +398,12 @@ let stats dut_name max_depth jobs opt_level trace log_json log_level =
   Format.printf "@.Instrumented BMC on %s to depth %d at -O%d...@." dut_name
     max_depth (Opt.level_to_int opt);
   let t0 = Unix.gettimeofday () in
-  let outcome = Autocc.Ft.check ~max_depth ~jobs ~opt ft in
+  (* An in-memory cache so the cache.* counters (hits/misses/stores and
+     the live-size gauge) show up in the metric table alongside the
+     solver counters — the sweep re-queries shared cones, so even a
+     single run exercises them. *)
+  let cache = Cache.create () in
+  let outcome = Autocc.Ft.check ~max_depth ~jobs ~opt ~cache ft in
   (match outcome with
   | Bmc.Cex (cex, _) ->
       Format.printf "verdict: CEX at depth %d@." cex.Bmc.cex_depth;
@@ -401,6 +416,7 @@ let stats dut_name max_depth jobs opt_level trace log_json log_level =
         (Bmc.unknown_reason_to_string reason)
         st.Bmc.depth_reached);
   Format.printf "wall: %.2fs@." (Unix.gettimeofday () -. t0);
+  print_cache_summary (Some cache);
   print_metrics_summary ();
   0
 
@@ -408,11 +424,11 @@ let stats dut_name max_depth jobs opt_level trace log_json log_level =
 
 let campaign duts threshold max_depth timeout conflict_budget retries resume
     opt_level no_incremental no_symmetric cache_dir no_cache out_dir trace
-    log_json log_level =
+    log_json log_level metrics_file =
   let incremental = not no_incremental in
   let symmetric = not no_symmetric in
   let cache = cache_of cache_dir no_cache in
-  with_telemetry trace log_json log_level @@ fun () ->
+  with_telemetry ?metrics_file trace log_json log_level @@ fun () ->
   (* The artifacts embed a telemetry snapshot, so the registry is always
      on for a campaign. *)
   Obs.Metrics.enable ();
@@ -452,6 +468,150 @@ let campaign duts threshold max_depth timeout conflict_budget retries resume
     result.Explain.Campaign.c_artifacts;
   if Obs.Metrics.enabled () then print_metrics_summary ();
   0
+
+(* {1 top} *)
+
+(* Heartbeat sidecar of a campaign directory (written atomically by
+   Explain.Campaign): owner pid plus per-entry start/beat timestamps.
+   Parsed here rather than through Explain so [top] depends only on the
+   artifact schema, exactly like an external dashboard would. *)
+type heartbeats = {
+  hb_pid : int;
+  hb_entries : (string * (float * bool)) list;  (* label -> beat_s, done *)
+}
+
+let read_heartbeats dir =
+  let path = Filename.concat dir "heartbeats.json" in
+  if not (Sys.file_exists path) then None
+  else
+    try
+      let ic = open_in_bin path in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Obs.Json.parse s with
+      | Error _ -> None
+      | Ok j
+        when Obs.Json.member "schema" j
+             <> Some (Obs.Json.Str "autocc.heartbeat/1") ->
+          None
+      | Ok j ->
+        let pid =
+          match Obs.Json.member "pid" j with Some (Obs.Json.Int p) -> p | _ -> 0
+        in
+        let entries =
+          match Obs.Json.member "entries" j with
+          | Some (Obs.Json.Obj kvs) ->
+              List.filter_map
+                (fun (label, e) ->
+                  match
+                    (Obs.Json.member "beat_s" e, Obs.Json.member "done" e)
+                  with
+                  | Some (Obs.Json.Float b), Some (Obs.Json.Bool d) ->
+                      Some (label, (b, d))
+                  | _ -> None)
+                kvs
+          | _ -> []
+        in
+        Some { hb_pid = pid; hb_entries = entries }
+    with Sys_error _ | Failure _ -> None
+
+let pid_alive pid =
+  pid > 0
+  && (try
+        Unix.kill pid 0;
+        true
+      with Unix.Unix_error _ -> false)
+
+(* The cockpit row labels are "entry" or "entry/assertion"; heartbeats
+   are keyed by entry. *)
+let entry_of_label label =
+  match String.index_opt label '/' with
+  | Some i -> String.sub label 0 i
+  | None -> label
+
+let heartbeat_note hb ~stale ~now label =
+  match hb with
+  | None -> None
+  | Some hb -> (
+      match List.assoc_opt (entry_of_label label) hb.hb_entries with
+      | Some (beat, false) when now -. beat > stale ->
+          if pid_alive hb.hb_pid then
+            Some (Printf.sprintf "SLOW (beat %.0fs ago)" (now -. beat))
+          else Some "CRASHED (pid gone)"
+      | _ -> None)
+
+let top out_dir once interval duration stale =
+  let events_path = Filename.concat out_dir "events.jsonl" in
+  let cockpit = Obs.Cockpit.create () in
+  let offset = ref 0 in
+  let partial = Buffer.create 256 in
+  (* Cross-process tailing: re-open the file each tick, seek past what
+     we've already consumed, and feed only complete lines — a torn
+     trailing line (the writer mid-append) is carried to the next tick
+     instead of being miscounted as corrupt. *)
+  let drain () =
+    match open_in_bin events_path with
+    | exception Sys_error _ -> ()
+    | ic ->
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+        let len = in_channel_length ic in
+        if len < !offset then begin
+          (* Truncated/replaced file (fresh campaign in the same dir):
+             start over. *)
+          offset := 0;
+          Buffer.clear partial
+        end;
+        seek_in ic !offset;
+        Buffer.add_string partial (really_input_string ic (len - !offset));
+        offset := len;
+        let data = Buffer.contents partial in
+        Buffer.clear partial;
+        let rec lines from =
+          match String.index_from_opt data from '\n' with
+          | Some i ->
+              Obs.Cockpit.feed_line cockpit (String.sub data from (i - from));
+              lines (i + 1)
+          | None ->
+              Buffer.add_substring partial data from (String.length data - from)
+        in
+        lines 0
+  in
+  let t_start = Unix.gettimeofday () in
+  let rec frame () =
+    drain ();
+    let now = Unix.gettimeofday () in
+    let hb = read_heartbeats out_dir in
+    if not once then print_string "\027[2J\027[H";
+    print_string (Obs.Cockpit.render ~now ~note:(heartbeat_note hb ~stale ~now) cockpit);
+    flush stdout;
+    let finished =
+      (* The campaign is over when its heartbeat file marks every entry
+         done, or when the owning process is gone and nothing is
+         running any more. *)
+      match hb with
+      | Some { hb_entries = _ :: _ as entries; hb_pid } ->
+          List.for_all (fun (_, (_, d)) -> d) entries
+          || (not (pid_alive hb_pid))
+             && List.for_all
+                  (fun r -> r.Obs.Cockpit.ro_verdict <> "running")
+                  (Obs.Cockpit.rows cockpit)
+      | _ -> false
+    in
+    let timed_out =
+      match duration with Some d -> now -. t_start >= d | None -> false
+    in
+    if once || finished || timed_out then 0
+    else begin
+      Unix.sleepf interval;
+      frame ()
+    end
+  in
+  if (not (Sys.file_exists events_path)) && not (Sys.file_exists out_dir) then
+    failwith (Printf.sprintf "no campaign directory at %s" out_dir);
+  frame ()
 
 (* {1 Terms} *)
 
@@ -652,6 +812,17 @@ let log_level_arg =
     & info [ "log-level" ] ~docv:"LEVEL"
         ~doc:"Structured-log verbosity: error, warn, info or debug.")
 
+let metrics_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-file" ] ~docv:"FILE"
+        ~doc:
+          "Expose the metric registry as a Prometheus text-format snapshot at \
+           $(docv), atomically rewritten every couple of seconds while the \
+           command runs (point a node_exporter textfile collector or a watch \
+           at it). Implies metrics collection.")
+
 let analyze_cmd =
   let term =
     Term.(
@@ -679,7 +850,7 @@ let analyze_cmd =
           value
           & opt (some string) None
           & info [ "vcd" ] ~doc:"Write the counterexample waveform to this VCD file.")
-      $ trace_arg $ log_json_arg $ log_level_arg)
+      $ trace_arg $ log_json_arg $ log_level_arg $ metrics_file_arg)
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Generate the AutoCC FT for a DUT and search for covert channels.") term
 
@@ -700,7 +871,7 @@ let prove_cmd =
           & opt (some string) None
           & info [ "vcd" ]
               ~doc:"Write the refutation waveform to this VCD file.")
-      $ trace_arg $ log_json_arg $ log_level_arg)
+      $ trace_arg $ log_json_arg $ log_level_arg $ metrics_file_arg)
   in
   Cmd.v
     (Cmd.info "prove"
@@ -743,7 +914,7 @@ let stats_cmd =
           timings).")
     Term.(
       const stats $ dut $ max_depth_arg $ jobs_arg $ opt_arg $ trace_arg
-      $ log_json_arg $ log_level_arg)
+      $ log_json_arg $ log_level_arg $ metrics_file_arg)
 
 let campaign_cmd =
   let duts =
@@ -788,7 +959,52 @@ let campaign_cmd =
       const campaign $ duts $ threshold_arg $ max_depth_arg $ timeout_arg
       $ conflict_budget_arg $ retries_arg $ resume $ opt_arg
       $ no_incremental_arg $ no_symmetric_arg $ cache_dir_arg $ no_cache_arg
-      $ out_dir $ trace_arg $ log_json_arg $ log_level_arg)
+      $ out_dir $ trace_arg $ log_json_arg $ log_level_arg $ metrics_file_arg)
+
+let top_cmd =
+  let out_dir =
+    Arg.(
+      value & opt string "autocc_campaign"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Campaign directory to attach to (same as campaign --out).")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Render a single frame (no screen clearing) and exit.")
+  in
+  let interval =
+    Arg.(
+      value
+      & opt (pos_float "--interval") 1.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period.")
+  in
+  let duration =
+    Arg.(
+      value
+      & opt (some (pos_float "--duration")) None
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Exit after $(docv) even if the campaign is still running.")
+  in
+  let stale =
+    Arg.(
+      value
+      & opt (pos_float "--stale") 10.0
+      & info [ "stale" ] ~docv:"SECONDS"
+          ~doc:
+            "Flag an unfinished entry whose last heartbeat is older than \
+             $(docv) as SLOW (owner process alive) or CRASHED (owner gone).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live cockpit for a running (or finished) campaign: tails \
+          DIR/events.jsonl — no IPC with the campaign process — and renders \
+          per-entry depth, verdict, cache hit ratio, solver conflict rate \
+          and an ETA, annotating stalled workers from DIR/heartbeats.json. \
+          Exits when the campaign completes.")
+    Term.(const top $ out_dir $ once $ interval $ duration $ stale)
 
 let export_cmd =
   let dir =
@@ -812,6 +1028,9 @@ let () =
   (* Test builds inject deterministic faults via AUTOCC_FAULT; a no-op
      (one atomic load per probe) when the variable is unset. *)
   Fault.arm_from_env ();
+  (* AUTOCC_WATCHDOG tunes (or disarms) the solver-health watchdog:
+     "every=N,window=N,patience=N,min_cps=F,min_lps=F,rebudget=0|1". *)
+  Obs.Watchdog.arm_from_env ();
   let info =
     Cmd.info "autocc" ~version:"1.0"
       ~doc:"Automatic discovery of covert channels in time-shared hardware."
@@ -826,6 +1045,7 @@ let () =
         export_cmd;
         stats_cmd;
         campaign_cmd;
+        top_cmd;
       ]
   in
   (* Operational errors (unwritable --out, missing file, unknown DUT)

@@ -248,17 +248,44 @@ let m_sat_reduces = lazy (Obs.Metrics.counter "sat.reduces")
 let m_sat_learned = lazy (Obs.Metrics.counter "sat.learned_clauses")
 let m_depth_seconds = lazy (Obs.Metrics.series "bmc.depth_seconds")
 
-(* Emit solver-progress counter tracks every 1024 conflicts while
-   tracing. The hook runs on the domain executing the solve. *)
+(* Emit solver-progress counter tracks while tracing, feed the solver
+   health watchdog, and publish progress/stall events on the bus. The
+   hook runs on the domain executing the solve. A stalled query with
+   [p_rebudget] set trips the solver budget: the query surfaces as
+   [Out_of_budget Wall_clock] -> [Unknown (Budget_exhausted ...)], which
+   the retry schedule already treats as transient — the "rebudget early"
+   hint without [lib/sat] ever depending on [lib/obs]. *)
 let attach_sampling label solver =
-  if Obs.enabled () then
-    S.on_sample solver ~every:1024 (fun st ->
+  if Obs.enabled () then begin
+    let policy = Obs.Watchdog.policy () in
+    let dog =
+      Obs.Watchdog.create ~policy
+        ~on_stall:(fun ~cps:_ ~lps:_ ->
+          if policy.Obs.Watchdog.p_rebudget then
+            S.trip_budget solver S.Wall_clock)
+        ()
+    in
+    S.on_sample solver ~every:policy.Obs.Watchdog.p_every (fun st ->
         Obs.counter_event ("sat." ^ label)
           [
             ("conflicts", float_of_int st.S.s_conflicts);
             ("propagations", float_of_int st.S.s_propagations);
             ("learnts", float_of_int st.S.s_learnts);
-          ])
+          ];
+        Obs.Watchdog.feed dog ~conflicts:st.S.s_conflicts
+          ~learnts:st.S.s_learned_total ~now:(Unix.gettimeofday ());
+        if Obs.Bus.enabled () then begin
+          let cps = Obs.Watchdog.conflicts_per_s dog in
+          if not (Float.is_nan cps) then
+            Obs.Bus.publish
+              (Obs.Bus.Solver_progress
+                 {
+                   conflicts = st.S.s_conflicts;
+                   learnts = st.S.s_learnts;
+                   conflicts_per_s = cps;
+                 })
+        end)
+  end
 
 (* Fold a run's final solver counters into the metric registry; each
    engine entry point calls this exactly once, on any exit path. *)
@@ -420,9 +447,13 @@ let check_incremental ~max_depth ~progress ?solver_config ~stop ~opt ~budget
               sprop.asserts;
             None
       in
+      let depth_s = Unix.gettimeofday () -. t_depth in
       if Obs.Metrics.enabled () then
-        Obs.Metrics.record (Lazy.force m_depth_seconds)
-          (Unix.gettimeofday () -. t_depth);
+        Obs.Metrics.record (Lazy.force m_depth_seconds) depth_s;
+      (match found with
+      | Some _ -> Obs.Bus.publish (Obs.Bus.Cex_found { depth })
+      | None ->
+          Obs.Bus.publish (Obs.Bus.Depth_solved { depth; seconds = depth_s }));
       match found with Some outcome -> outcome | None -> go (depth + 1)
     end
   in
@@ -435,7 +466,9 @@ let check_incremental ~max_depth ~progress ?solver_config ~stop ~opt ~budget
         ( Budget_exhausted
             { ub_budget = kind; ub_depth = !cur_depth; ub_case = Base },
           stats (!cur_depth - 1) )
-  | Fault.Injected site -> Unknown (Faulted site, stats (!cur_depth - 1))
+  | Fault.Injected site ->
+      Obs.Bus.publish (Obs.Bus.Fault_injected { site });
+      Unknown (Faulted site, stats (!cur_depth - 1))
 
 (* The scratch oracle (`--no-incremental`): every depth gets a fresh
    solver and a fresh [Direct] re-blast of cycles 0..k, so nothing —
@@ -576,9 +609,13 @@ let check_scratch ~max_depth ~progress ?solver_config ~stop ~opt ~budget
               retire_solver ();
               None
         in
+        let depth_s = Unix.gettimeofday () -. t_depth in
         if Obs.Metrics.enabled () then
-          Obs.Metrics.record (Lazy.force m_depth_seconds)
-            (Unix.gettimeofday () -. t_depth);
+          Obs.Metrics.record (Lazy.force m_depth_seconds) depth_s;
+        (match found with
+        | Some _ -> Obs.Bus.publish (Obs.Bus.Cex_found { depth })
+        | None ->
+            Obs.Bus.publish (Obs.Bus.Depth_solved { depth; seconds = depth_s }));
         match found with Some outcome -> outcome | None -> go (depth + 1)
       end
     in
@@ -591,7 +628,9 @@ let check_scratch ~max_depth ~progress ?solver_config ~stop ~opt ~budget
         ( Budget_exhausted
             { ub_budget = kind; ub_depth = !cur_depth; ub_case = Base },
           stats (!cur_depth - 1) )
-  | Fault.Injected site -> Unknown (Faulted site, stats (!cur_depth - 1))
+  | Fault.Injected site ->
+      Obs.Bus.publish (Obs.Bus.Fault_injected { site });
+      Unknown (Faulted site, stats (!cur_depth - 1))
 
 (* {1 Verdict cache}
 
@@ -931,6 +970,7 @@ let check_each ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
             cur_depth := depth;
             if stop () then raise S.Stopped;
             progress depth;
+            let t_depth = Unix.gettimeofday () in
             let found =
               Obs.span "bmc.depth" ~attrs:[ ("depth", Obs.Json.Int depth) ]
               @@ fun () ->
@@ -980,6 +1020,14 @@ let check_each ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
                   S.add_clause solver [ alit ];
                   None
             in
+            let depth_s = Unix.gettimeofday () -. t_depth in
+            if Obs.Metrics.enabled () then
+              Obs.Metrics.record (Lazy.force m_depth_seconds) depth_s;
+            (match found with
+            | Some _ -> Obs.Bus.publish (Obs.Bus.Cex_found { depth })
+            | None ->
+                Obs.Bus.publish
+                  (Obs.Bus.Depth_solved { depth; seconds = depth_s }));
             match found with Some outcome -> outcome | None -> go (depth + 1)
           end
         in
@@ -997,6 +1045,7 @@ let check_each ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
               stats (!cur_depth - 1) )
       | Fault.Injected site ->
           session := None;
+          Obs.Bus.publish (Obs.Bus.Fault_injected { site });
           Unknown (Faulted site, stats (!cur_depth - 1))
     in
     (* Per-assertion cache entries use the same key shape as a
@@ -1005,27 +1054,52 @@ let check_each ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
        which engine variant established it. A hit skips the session
        entirely for that assertion. *)
     let run_cached idx (name, orig_a) =
-      match cache with
-      | None -> run_one idx (name, orig_a)
-      | Some c -> (
-          let canon =
-            Cache.canon ~assumes:property.assumes ~asserts:[ orig_a ]
-          in
-          let key =
-            Cache.key canon
-              ~config:
-                (cache_config ~engine:"check" ~max_depth ~opt ~incremental:true
-                   ~solver_config ~budget)
-          in
-          let sub =
-            { assumes = property.assumes; asserts = [ (name, orig_a) ] }
-          in
-          match cached_check c key canon full sub max_depth with
-          | Some o -> o
-          | None ->
-              let o = run_one idx (name, orig_a) in
-              store_check c key canon sub o;
-              o)
+      (* Per-assertion bus scope: events from this query (depths, CEX,
+         solver progress) carry "parent/assertion" so the cockpit shows
+         one row per assertion of a multi-assert sweep. *)
+      Obs.Bus.with_label (Obs.Bus.sub_label name) @@ fun () ->
+      let t_job = Unix.gettimeofday () in
+      Obs.Bus.publish (Obs.Bus.Job_start { goal_depth = max_depth });
+      let o =
+        match cache with
+        | None -> run_one idx (name, orig_a)
+        | Some c -> (
+            let canon =
+              Cache.canon ~assumes:property.assumes ~asserts:[ orig_a ]
+            in
+            let key =
+              Cache.key canon
+                ~config:
+                  (cache_config ~engine:"check" ~max_depth ~opt
+                     ~incremental:true ~solver_config ~budget)
+            in
+            let sub =
+              { assumes = property.assumes; asserts = [ (name, orig_a) ] }
+            in
+            match cached_check c key canon full sub max_depth with
+            | Some o -> o
+            | None ->
+                let o = run_one idx (name, orig_a) in
+                store_check c key canon sub o;
+                o)
+      in
+      if Obs.Bus.enabled () then begin
+        (match o with
+        | Unknown (reason, _) ->
+            Obs.Bus.publish
+              (Obs.Bus.Unknown { reason = unknown_reason_to_string reason })
+        | Cex _ | Bounded_proof _ -> ());
+        let verdict =
+          match o with
+          | Cex _ -> "cex"
+          | Bounded_proof _ -> "proof"
+          | Unknown _ -> "unknown"
+        in
+        Obs.Bus.publish
+          (Obs.Bus.Job_done
+             { verdict; wall_s = Unix.gettimeofday () -. t_job })
+      end;
+      o
     in
     let flush () = flush_solver_metrics !all_solvers in
     match List.mapi (fun i (name, a) -> (name, run_cached i (name, a))) property.asserts with
@@ -1213,7 +1287,9 @@ let prove_incremental ~max_depth ~progress ?solver_config ~stop ~opt ~budget
         ( Budget_exhausted
             { ub_budget = kind; ub_depth = !cur_depth; ub_case = !cur_case },
           stats (!cur_depth - 1) )
-  | Fault.Injected site -> Unknown (Faulted site, stats (!cur_depth - 1))
+  | Fault.Injected site ->
+      Obs.Bus.publish (Obs.Bus.Fault_injected { site });
+      Unknown (Faulted site, stats (!cur_depth - 1))
 
 (* Scratch k-induction oracle: each round builds a fresh base and a
    fresh step solver with [Direct] unrollings of cycles 0..k, assertion
@@ -1391,7 +1467,9 @@ let prove_scratch ~max_depth ~progress ?solver_config ~stop ~opt ~budget
         ( Budget_exhausted
             { ub_budget = kind; ub_depth = !cur_depth; ub_case = !cur_case },
           stats (!cur_depth - 1) )
-  | Fault.Injected site -> Unknown (Faulted site, stats (!cur_depth - 1))
+  | Fault.Injected site ->
+      Obs.Bus.publish (Obs.Bus.Fault_injected { site });
+      Unknown (Faulted site, stats (!cur_depth - 1))
 
 let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
     ?(stop = fun () -> false) ?(opt = Opt.O0) ?(budget = no_budget)

@@ -78,26 +78,38 @@ let zero_stats =
    domains must never write user-visible output directly — see the
    reentrancy contract on [Bmc.check]'s [progress]), and the executing
    domain's CPU time measured around the job. *)
-let run_job ~index task ~tick =
+let run_job ~scope ~index task ~tick =
+  (* [scope] is the coordinator's bus label, captured at [run_tasks]
+     entry: the domain-local label scope does not cross [Domain.spawn],
+     so each job re-establishes it (suffixed per job) on the domain that
+     actually runs it. *)
+  let job_scope =
+    if scope = "" then Printf.sprintf "j%d" index
+    else Printf.sprintf "%s/j%d" scope index
+  in
+  Obs.Bus.with_label job_scope @@ fun () ->
   Obs.span "par.job" ~attrs:[ ("index", Obs.Json.Int index) ] @@ fun () ->
   Obs.log ~attrs:[ ("index", Obs.Json.Int index) ] Debug "par.job_start";
+  Obs.Bus.publish (Obs.Bus.Job_start { goal_depth = -1 });
   let c0 = Obs.Clock.thread_cpu_s () in
   let r = task ~tick in
   let r = { r with job_cpu = Obs.Clock.thread_cpu_s () -. c0 } in
+  let verdict =
+    match r.job_verdict with
+    | Job_cex c -> Printf.sprintf "cex@%d" c.Bmc.cex_depth
+    | Job_bounded -> "bounded"
+    | Job_proved k -> Printf.sprintf "proved@%d" k
+    | Job_unknown r -> "unknown:" ^ Bmc.unknown_reason_to_string r
+    | Job_cancelled -> "cancelled"
+    | Job_failed _ -> "failed"
+  in
+  Obs.Bus.publish (Obs.Bus.Job_done { verdict; wall_s = r.job_wall });
   Obs.log
     ~attrs:
       [
         ("index", Obs.Json.Int index);
         ("label", Obs.Json.Str r.job_label);
-        ( "verdict",
-          Obs.Json.Str
-            (match r.job_verdict with
-            | Job_cex c -> Printf.sprintf "cex@%d" c.Bmc.cex_depth
-            | Job_bounded -> "bounded"
-            | Job_proved k -> Printf.sprintf "proved@%d" k
-            | Job_unknown r -> "unknown:" ^ Bmc.unknown_reason_to_string r
-            | Job_cancelled -> "cancelled"
-            | Job_failed _ -> "failed") );
+        ("verdict", Obs.Json.Str verdict);
         ("wall_s", Obs.Json.Float r.job_wall);
         ("cpu_s", Obs.Json.Float r.job_cpu);
       ]
@@ -107,6 +119,7 @@ let run_job ~index task ~tick =
 let run_tasks ~workers ~progress (tasks : (tick:(int -> unit) -> job_result) array)
     =
   let n = Array.length tasks in
+  let scope = Obs.Bus.current_label () in
   let reported = ref (-1) in
   let report d =
     if d > !reported then begin
@@ -118,7 +131,7 @@ let run_tasks ~workers ~progress (tasks : (tick:(int -> unit) -> job_result) arr
   if workers = 1 then
     (* Single-domain fallback (-j 1): same jobs, same merge path, ticks
        delivered directly — no domains are spawned at all. *)
-    Array.mapi (fun i task -> run_job ~index:i task ~tick:report) tasks
+    Array.mapi (fun i task -> run_job ~scope ~index:i task ~tick:report) tasks
   else begin
     let results = Array.make n None in
     let cursor = Atomic.make 0 in
@@ -137,7 +150,7 @@ let run_tasks ~workers ~progress (tasks : (tick:(int -> unit) -> job_result) arr
         let i = Atomic.fetch_and_add cursor 1 in
         if i < n then begin
           let r =
-            run_job ~index:i tasks.(i)
+            run_job ~scope ~index:i tasks.(i)
               ~tick:(fun d -> post (fun () -> Queue.push d ticks))
           in
           post (fun () ->
@@ -350,11 +363,14 @@ let with_retries ~retry ~stop ~retries ~reason_of run =
     | Some reason
       when (not (stop ())) && Retry.should_retry retry ~attempt reason ->
         incr retries;
+        let reason_s = Bmc.unknown_reason_to_string reason in
+        Obs.Bus.publish
+          (Obs.Bus.Retry { attempt = attempt + 1; reason = reason_s });
         Obs.log
           ~attrs:
             [
               ("attempt", Obs.Json.Int (attempt + 1));
-              ("reason", Obs.Json.Str (Bmc.unknown_reason_to_string reason));
+              ("reason", Obs.Json.Str reason_s);
             ]
           Debug "par.retry";
         let d = Retry.backoff_s retry ~attempt:(attempt + 1) in

@@ -203,7 +203,14 @@ let verdict_of_json j =
 
 (* {1 Store} *)
 
-type stats = { hits : int; misses : int; stores : int; rejects : int }
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  rejects : int;
+  evictions : int;
+  size : int;
+}
 
 type t = {
   table : (string, verdict) Hashtbl.t;
@@ -214,14 +221,22 @@ type t = {
   mutable misses : int;
   mutable stores : int;
   mutable rejects : int;
+  mutable evictions : int;
 }
 
 let m_hits = lazy (Obs.Metrics.counter "cache.hits")
 let m_misses = lazy (Obs.Metrics.counter "cache.misses")
 let m_stores = lazy (Obs.Metrics.counter "cache.stores")
 let m_rejects = lazy (Obs.Metrics.counter "cache.rejects")
+let m_evictions = lazy (Obs.Metrics.counter "cache.evictions")
+let m_size = lazy (Obs.Metrics.gauge "cache.size")
 
 let count m = if Obs.Metrics.enabled () then Obs.Metrics.add (Lazy.force m) 1
+
+let gauge_size t =
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.set (Lazy.force m_size)
+      (float_of_int (Hashtbl.length t.table))
 
 (* A disk line is {"k":key,"d":md5(payload),"v":payload}: the digest is
    computed over the canonical printing of the payload JSON, which is
@@ -275,16 +290,21 @@ let create ?dir () =
         in
         (oc, Some path)
   in
-  {
-    table;
-    mutex = Mutex.create ();
-    chan;
-    path;
-    hits = 0;
-    misses = 0;
-    stores = 0;
-    rejects = !rejects;
-  }
+  let t =
+    {
+      table;
+      mutex = Mutex.create ();
+      chan;
+      path;
+      hits = 0;
+      misses = 0;
+      stores = 0;
+      rejects = !rejects;
+      evictions = 0;
+    }
+  in
+  gauge_size t;
+  t
 
 let dir t = Option.map Filename.dirname t.path
 
@@ -299,10 +319,12 @@ let find t k =
   | Some v ->
       t.hits <- t.hits + 1;
       count m_hits;
+      Obs.Bus.publish Obs.Bus.Cache_hit;
       Some v
   | None ->
       t.misses <- t.misses + 1;
       count m_misses;
+      Obs.Bus.publish Obs.Bus.Cache_miss;
       None
 
 let add t k v =
@@ -310,6 +332,7 @@ let add t k v =
   Hashtbl.replace t.table k v;
   t.stores <- t.stores + 1;
   count m_stores;
+  gauge_size t;
   match t.chan with
   | None -> ()
   | Some oc -> (
@@ -348,10 +371,24 @@ let remove t k =
   locked t @@ fun () ->
   if Hashtbl.mem t.table k then begin
     Hashtbl.remove t.table k;
+    (* An eviction is also a reject (the entry failed revalidation) —
+       [rejects] keeps its historical "anything distrusted" meaning
+       while [evictions] isolates live removals from load-time parse
+       failures. *)
     t.rejects <- t.rejects + 1;
-    count m_rejects
+    count m_rejects;
+    t.evictions <- t.evictions + 1;
+    count m_evictions;
+    gauge_size t
   end
 
 let stats t =
   locked t @@ fun () ->
-  { hits = t.hits; misses = t.misses; stores = t.stores; rejects = t.rejects }
+  {
+    hits = t.hits;
+    misses = t.misses;
+    stores = t.stores;
+    rejects = t.rejects;
+    evictions = t.evictions;
+    size = Hashtbl.length t.table;
+  }

@@ -83,7 +83,16 @@ type t
     be shared by concurrent domains (operations are mutex-guarded; the
     sharing engine keeps a single writer). *)
 
-type stats = { hits : int; misses : int; stores : int; rejects : int }
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  rejects : int;
+      (** everything ever distrusted: load-time parse/digest failures
+          plus live evictions *)
+  evictions : int;  (** live {!remove}s alone (a subset of [rejects]) *)
+  size : int;  (** entries currently in the table *)
+}
 
 val create : ?dir:string -> unit -> t
 (** [create ()] is a purely in-memory cache. [create ~dir ()] loads any
@@ -105,9 +114,9 @@ val add : t -> string -> verdict -> unit
 
 val remove : t -> string -> unit
 (** Drop an entry whose payload failed downstream validation (e.g. a
-    cached counterexample that no longer replays); counted as a
-    reject. The recomputed verdict's subsequent {!add} supersedes the
-    stale disk line (last write wins at load). *)
+    cached counterexample that no longer replays); counted as both a
+    reject and an eviction. The recomputed verdict's subsequent {!add}
+    supersedes the stale disk line (last write wins at load). *)
 
 val stats : t -> stats
 (** Counters since [create] (loads count neither hits nor misses;

@@ -897,11 +897,12 @@ h3 { margin-bottom: 0.2em; }
      fault) are re-swept, with the policy's escalated budget and
      alternate configuration, after the capped backoff. Conclusive
      verdicts from earlier rounds are never re-run and never change. *)
-  let sweep ?opt ?incremental ?(symmetric = true) ?cache ~budget ~retry ft
-      ~max_depth =
+  let sweep ?opt ?incremental ?(symmetric = true) ?cache ?(beat = fun () -> ())
+      ~budget ~retry ft ~max_depth =
     let property = ft.Ft.property in
     let run_asserts ~attempt asserts =
       Bmc.check_each ~max_depth ?opt ?incremental
+        ~progress:(fun _ -> beat ())
         ~sym:(if symmetric then ft.Ft.sym else [])
         ?cache
         ?solver_config:(Retry.config_for retry ~attempt)
@@ -915,13 +916,21 @@ h3 { margin-bottom: 0.2em; }
           (fun ((n, o) : string * Bmc.outcome) ->
             match o with
             | Bmc.Unknown (r, _) when Retry.should_retry retry ~attempt r ->
-                Some n
+                Some (n, r)
             | _ -> None)
           outcomes
       in
+      let transient_names = List.map fst transient in
       if transient = [] then outcomes
       else begin
         let attempt = attempt + 1 in
+        List.iter
+          (fun (n, r) ->
+            Obs.Bus.publish
+              ~label:(Obs.Bus.sub_label n)
+              (Obs.Bus.Retry
+                 { attempt; reason = Bmc.unknown_reason_to_string r }))
+          transient;
         Obs.log
           ~attrs:
             [
@@ -933,7 +942,9 @@ h3 { margin-bottom: 0.2em; }
         if d > 0. then Unix.sleepf d;
         let redo =
           run_asserts ~attempt
-            (List.filter (fun (n, _) -> List.mem n transient) property.Bmc.asserts)
+            (List.filter
+               (fun (n, _) -> List.mem n transient_names)
+               property.Bmc.asserts)
         in
         refine attempt
           (List.map
@@ -943,6 +954,57 @@ h3 { margin-bottom: 0.2em; }
       end
     in
     refine 0 (run_asserts ~attempt:0 property.Bmc.asserts)
+
+  (* {2 Heartbeats}
+
+     [heartbeats.json] lives beside [campaign.json] but is deliberately
+     a separate file: campaign.json must stay byte-identical across a
+     no-op [--resume] (the robustness smoke [cmp]s it), while heartbeats
+     are volatile liveness state. Schema [autocc.heartbeat/1]:
+     [{schema, pid, entries: {label: {started_s, beat_s, done}}}],
+     rewritten atomically (tmp + rename) so [autocc top] never reads a
+     torn file. A reader pairs [beat_s] with a liveness probe of [pid]
+     to tell a crashed campaign (pid dead, beat frozen) from a slow one
+     (pid alive, beat advancing or recent). *)
+
+  let heartbeat_path dir = Filename.concat dir "heartbeats.json"
+
+  let read_heartbeat_pid dir =
+    match read_json (heartbeat_path dir) with
+    | Some j when jstr (Json.member "schema" j) = Some "autocc.heartbeat/1"
+      -> (
+        match Json.member "pid" j with Some (Json.Int p) -> Some p | _ -> None)
+    | _ -> None
+
+  let write_heartbeats dir (hb : (string, float * float * bool) Hashtbl.t) =
+    let entries =
+      List.sort compare
+        (Hashtbl.fold
+           (fun label (started, beat, finished) acc ->
+             ( label,
+               Json.Obj
+                 [
+                   ("started_s", Json.Float started);
+                   ("beat_s", Json.Float beat);
+                   ("done", Json.Bool finished);
+                 ] )
+             :: acc)
+           hb [])
+    in
+    let j =
+      Json.Obj
+        [
+          ("schema", Json.Str "autocc.heartbeat/1");
+          ("pid", Json.Int (Unix.getpid ()));
+          ("entries", Json.Obj entries);
+        ]
+    in
+    let path = heartbeat_path dir in
+    let tmp = path ^ ".tmp" in
+    try
+      Json.write_file ~path:tmp j;
+      Sys.rename tmp path
+    with Sys_error _ -> ()
 
   let run ?opt ?incremental ?symmetric ?cache ?(budget = Bmc.no_budget)
       ?(retry = Retry.default) ?(resume = false) ?out_dir entries =
@@ -963,6 +1025,67 @@ h3 { margin-bottom: 0.2em; }
           Sys.remove probe
         with Sys_error _ ->
           failwith ("campaign: output directory " ^ dir ^ " is not writable")));
+    (* Live observability: a campaign with an output directory publishes
+       its event stream to <dir>/events.jsonl (append-only, flushed per
+       event) unless the caller already attached a bus of its own. *)
+    let bus_owned = ref false in
+    (match out_dir with
+    | Some dir when not (Obs.Bus.enabled ()) ->
+        Obs.Bus.attach ~file:(Filename.concat dir "events.jsonl") ();
+        bus_owned := true
+    | _ -> ());
+    (* A resume against a directory whose heartbeat file names a live,
+       different process is almost certainly a concurrent campaign on
+       the same state — warn, don't refuse (the pid may be recycled). *)
+    (match (resume, out_dir) with
+    | true, Some dir -> (
+        match read_heartbeat_pid dir with
+        | Some pid
+          when pid <> Unix.getpid ()
+               && (try
+                     Unix.kill pid 0;
+                     true
+                   with Unix.Unix_error _ -> false) ->
+            Obs.log
+              ~attrs:[ ("pid", Json.Int pid) ]
+              Obs.Warn "explain.live_campaign_conflict"
+        | _ -> ())
+    | _ -> ());
+    let hb : (string, float * float * bool) Hashtbl.t = Hashtbl.create 8 in
+    let hb_last = ref 0. in
+    let hb_flush ~force () =
+      match out_dir with
+      | None -> ()
+      | Some dir ->
+          let now = Unix.gettimeofday () in
+          (* Beats arrive per solved depth; throttle the rewrite so a
+             fast sweep doesn't turn into an fsync storm. *)
+          if force || now -. !hb_last >= 0.2 then begin
+            hb_last := now;
+            write_heartbeats dir hb
+          end
+    in
+    let hb_start label =
+      let now = Unix.gettimeofday () in
+      Hashtbl.replace hb label (now, now, false);
+      hb_flush ~force:true ()
+    in
+    let hb_beat label =
+      (match Hashtbl.find_opt hb label with
+      | Some (started, _, finished) ->
+          Hashtbl.replace hb label (started, Unix.gettimeofday (), finished)
+      | None -> ());
+      hb_flush ~force:false ()
+    in
+    let hb_done label =
+      (match Hashtbl.find_opt hb label with
+      | Some (started, _, _) ->
+          Hashtbl.replace hb label (started, Unix.gettimeofday (), true)
+      | None -> ());
+      hb_flush ~force:true ()
+    in
+    Fun.protect ~finally:(fun () -> if !bus_owned then Obs.Bus.detach ())
+    @@ fun () ->
     let persisted =
       match (resume, out_dir) with
       | true, Some dir -> load_resume dir
@@ -984,14 +1107,18 @@ h3 { margin-bottom: 0.2em; }
       }
     in
     let run_entry e =
+      Obs.Bus.with_label e.e_label @@ fun () ->
       Obs.span "explain.campaign.entry" ~attrs:[ ("label", Json.Str e.e_label) ]
       @@ fun () ->
       let t0 = Unix.gettimeofday () in
+      hb_start e.e_label;
+      Obs.Bus.publish (Obs.Bus.Job_start { goal_depth = e.e_max_depth });
       let fresh () =
         let ft = e.e_ft () in
         let outcomes =
-          sweep ?opt ?incremental ?symmetric ?cache ~budget ~retry ft
-            ~max_depth:e.e_max_depth
+          sweep ?opt ?incremental ?symmetric ?cache
+            ~beat:(fun () -> hb_beat e.e_label)
+            ~budget ~retry ft ~max_depth:e.e_max_depth
         in
         let cexs =
           List.filter_map
@@ -1030,31 +1157,52 @@ h3 { margin-bottom: 0.2em; }
           r_resumed = false;
         }
       in
-      match List.assoc_opt e.e_label persisted with
-      | Some p when p.p_dut = e.e_dut && p.p_depth = e.e_max_depth ->
-          Obs.log
-            ~attrs:[ ("label", Json.Str e.e_label) ]
-            Obs.Info "explain.entry_resumed";
-          {
-            r_label = e.e_label;
-            r_dut = e.e_dut;
-            r_status = `Done;
-            r_channels = [];
-            r_index = p.p_refs;
-            r_raw_cexs = p.p_raw_cexs;
-            r_asserts = p.p_asserts;
-            r_unknowns = 0;
-            r_depth = p.p_depth;
-            r_wall_ms = p.p_wall_ms;
-            r_resumed = true;
-          }
-      | _ -> (
-          (* Crash isolation: an exception inside one entry downgrades
-             that entry to a persisted failure record; the remaining
-             entries still run and the campaign still reports. *)
-          try fresh () with
-          | Fault.Injected site -> failed e t0 ("fault:" ^ site)
-          | exn -> failed e t0 (Printexc.to_string exn))
+      let r =
+        match List.assoc_opt e.e_label persisted with
+        | Some p when p.p_dut = e.e_dut && p.p_depth = e.e_max_depth ->
+            Obs.log
+              ~attrs:[ ("label", Json.Str e.e_label) ]
+              Obs.Info "explain.entry_resumed";
+            {
+              r_label = e.e_label;
+              r_dut = e.e_dut;
+              r_status = `Done;
+              r_channels = [];
+              r_index = p.p_refs;
+              r_raw_cexs = p.p_raw_cexs;
+              r_asserts = p.p_asserts;
+              r_unknowns = 0;
+              r_depth = p.p_depth;
+              r_wall_ms = p.p_wall_ms;
+              r_resumed = true;
+            }
+        | _ -> (
+            (* Crash isolation: an exception inside one entry downgrades
+               that entry to a persisted failure record; the remaining
+               entries still run and the campaign still reports. *)
+            try fresh () with
+            | Fault.Injected site ->
+                Obs.Bus.publish (Obs.Bus.Fault_injected { site });
+                failed e t0 ("fault:" ^ site)
+            | exn -> failed e t0 (Printexc.to_string exn))
+      in
+      (if Obs.Bus.enabled () then
+         let verdict =
+           if r.r_resumed then "resumed"
+           else
+             match r.r_status with
+             | `Failed _ -> "failed"
+             | `Done ->
+                 if r.r_raw_cexs > 0 then
+                   Printf.sprintf "cex:%d" r.r_raw_cexs
+                 else if r.r_unknowns > 0 then "unknown"
+                 else "proof"
+         in
+         Obs.Bus.publish
+           (Obs.Bus.Job_done
+              { verdict; wall_s = Unix.gettimeofday () -. t0 }));
+      hb_done e.e_label;
+      r
     in
     let artifacts = ref [] in
     let checkpoint results_rev =

@@ -684,9 +684,762 @@ module Metrics = struct
     Json.Obj (List.map (fun (name, v) -> (name, json_of_value v)) (snapshot ()))
 end
 
-let enabled () = tracing () || Atomic.get log_on || Metrics.enabled ()
+(* {1 Event bus}
+
+   Structured, typed events for live campaign observability. Publishers
+   (BMC depth loop, the parallel engine, the cache, campaign drivers)
+   call {!Bus.publish}; when the bus is detached that is one atomic
+   load. When attached, every event is stamped (monotone sequence
+   number, wall-clock timestamp, domain id, the current label scope)
+   under one mutex and lands in a bounded in-process ring buffer and —
+   when a file sink is attached — as one JSON line appended and flushed
+   immediately, so a crash loses at most the event being written and a
+   separate process can tail the file with no IPC. *)
+
+module Bus = struct
+  type event =
+    | Depth_solved of { depth : int; seconds : float }
+    | Cex_found of { depth : int }
+    | Cache_hit
+    | Cache_miss
+    | Retry of { attempt : int; reason : string }
+    | Unknown of { reason : string }
+    | Fault_injected of { site : string }
+    | Job_start of { goal_depth : int }
+    | Job_done of { verdict : string; wall_s : float }
+    | Solver_progress of {
+        conflicts : int;
+        learnts : int;
+        conflicts_per_s : float;
+      }
+    | Solver_stalled of { conflicts_per_s : float; learnts_per_s : float }
+    | Heartbeat
+
+  type stamped = { seq : int; ts : float; tid : int; label : string; ev : event }
+
+  (* The label scope names whose work the events describe (a campaign
+     entry, then entry/assertion inside [check_each]). It is
+     domain-local: worker domains must re-establish it — [Parallel]
+     captures the coordinator's label when it builds its job wrappers. *)
+  let label_key = Domain.DLS.new_key (fun () -> "")
+  let current_label () = Domain.DLS.get label_key
+
+  let with_label label f =
+    let old = Domain.DLS.get label_key in
+    Domain.DLS.set label_key label;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set label_key old) f
+
+  let sub_label name =
+    match current_label () with "" -> name | l -> l ^ "/" ^ name
+
+  let on = Atomic.make false
+  let enabled () = Atomic.get on
+  let bus_mutex = Mutex.create ()
+  let seq = ref 0
+  let ring_buf : stamped array ref = ref [||]
+  let ring_start = ref 0
+  let ring_len = ref 0
+  let dropped_count = ref 0
+  let chan : out_channel option ref = ref None
+
+  let type_name = function
+    | Depth_solved _ -> "depth_solved"
+    | Cex_found _ -> "cex_found"
+    | Cache_hit -> "cache_hit"
+    | Cache_miss -> "cache_miss"
+    | Retry _ -> "retry"
+    | Unknown _ -> "unknown"
+    | Fault_injected _ -> "fault_injected"
+    | Job_start _ -> "job_start"
+    | Job_done _ -> "job_done"
+    | Solver_progress _ -> "solver_progress"
+    | Solver_stalled _ -> "solver_stalled"
+    | Heartbeat -> "heartbeat"
+
+  let payload = function
+    | Depth_solved { depth; seconds } ->
+        [ ("depth", Json.Int depth); ("seconds", Json.Float seconds) ]
+    | Cex_found { depth } -> [ ("depth", Json.Int depth) ]
+    | Cache_hit | Cache_miss | Heartbeat -> []
+    | Retry { attempt; reason } ->
+        [ ("attempt", Json.Int attempt); ("reason", Json.Str reason) ]
+    | Unknown { reason } -> [ ("reason", Json.Str reason) ]
+    | Fault_injected { site } -> [ ("site", Json.Str site) ]
+    | Job_start { goal_depth } -> [ ("goal_depth", Json.Int goal_depth) ]
+    | Job_done { verdict; wall_s } ->
+        [ ("verdict", Json.Str verdict); ("wall_s", Json.Float wall_s) ]
+    | Solver_progress { conflicts; learnts; conflicts_per_s } ->
+        [
+          ("conflicts", Json.Int conflicts);
+          ("learnts", Json.Int learnts);
+          ("conflicts_per_s", Json.Float conflicts_per_s);
+        ]
+    | Solver_stalled { conflicts_per_s; learnts_per_s } ->
+        [
+          ("conflicts_per_s", Json.Float conflicts_per_s);
+          ("learnts_per_s", Json.Float learnts_per_s);
+        ]
+
+  let json_of_stamped st =
+    Json.Obj
+      (("seq", Json.Int st.seq)
+      :: ("ts", Json.Float st.ts)
+      :: ("tid", Json.Int st.tid)
+      :: ("label", Json.Str st.label)
+      :: ("type", Json.Str (type_name st.ev))
+      :: payload st.ev)
+
+  let stamped_of_json j =
+    let str name =
+      match Json.member name j with
+      | Some (Json.Str s) -> Ok s
+      | _ -> Error (Printf.sprintf "missing string field %S" name)
+    in
+    let int name =
+      match Json.member name j with
+      | Some (Json.Int i) -> Ok i
+      | _ -> Error (Printf.sprintf "missing int field %S" name)
+    in
+    let num name =
+      match Json.member name j with
+      | Some (Json.Float f) -> Ok f
+      | Some (Json.Int i) -> Ok (float_of_int i)
+      | _ -> Error (Printf.sprintf "missing numeric field %S" name)
+    in
+    let ( let* ) = Result.bind in
+    let* seq = int "seq" in
+    let* ts = num "ts" in
+    let* tid = int "tid" in
+    let* label = str "label" in
+    let* ty = str "type" in
+    let* ev =
+      match ty with
+      | "depth_solved" ->
+          let* depth = int "depth" in
+          let* seconds = num "seconds" in
+          Ok (Depth_solved { depth; seconds })
+      | "cex_found" ->
+          let* depth = int "depth" in
+          Ok (Cex_found { depth })
+      | "cache_hit" -> Ok Cache_hit
+      | "cache_miss" -> Ok Cache_miss
+      | "retry" ->
+          let* attempt = int "attempt" in
+          let* reason = str "reason" in
+          Ok (Retry { attempt; reason })
+      | "unknown" ->
+          let* reason = str "reason" in
+          Ok (Unknown { reason })
+      | "fault_injected" ->
+          let* site = str "site" in
+          Ok (Fault_injected { site })
+      | "job_start" ->
+          let* goal_depth = int "goal_depth" in
+          Ok (Job_start { goal_depth })
+      | "job_done" ->
+          let* verdict = str "verdict" in
+          let* wall_s = num "wall_s" in
+          Ok (Job_done { verdict; wall_s })
+      | "solver_progress" ->
+          let* conflicts = int "conflicts" in
+          let* learnts = int "learnts" in
+          let* conflicts_per_s = num "conflicts_per_s" in
+          Ok (Solver_progress { conflicts; learnts; conflicts_per_s })
+      | "solver_stalled" ->
+          let* conflicts_per_s = num "conflicts_per_s" in
+          let* learnts_per_s = num "learnts_per_s" in
+          Ok (Solver_stalled { conflicts_per_s; learnts_per_s })
+      | "heartbeat" -> Ok Heartbeat
+      | other -> Error (Printf.sprintf "unknown event type %S" other)
+    in
+    Ok { seq; ts; tid; label; ev }
+
+  let push_locked st =
+    let buf = !ring_buf in
+    let cap = Array.length buf in
+    if cap > 0 then
+      if !ring_len < cap then begin
+        buf.((!ring_start + !ring_len) mod cap) <- st;
+        incr ring_len
+      end
+      else begin
+        (* Full: overwrite the oldest. The file sink (when attached)
+           still has it; only the in-process view drops. *)
+        buf.(!ring_start) <- st;
+        ring_start := (!ring_start + 1) mod cap;
+        incr dropped_count
+      end
+
+  let publish ?label ev =
+    if Atomic.get on then begin
+      let label = match label with Some l -> l | None -> current_label () in
+      let tid = domain_id () in
+      Mutex.lock bus_mutex;
+      incr seq;
+      let st = { seq = !seq; ts = Clock.wall_s (); tid; label; ev } in
+      push_locked st;
+      (match !chan with
+      | Some oc -> (
+          try
+            output_string oc (Json.to_string (json_of_stamped st));
+            output_char oc '\n';
+            flush oc
+          with Sys_error _ -> chan := None)
+      | None -> ());
+      Mutex.unlock bus_mutex
+    end
+
+  let attach ?(ring_capacity = 1024) ?file () =
+    if ring_capacity <= 0 then
+      invalid_arg "Obs.Bus.attach: ring_capacity must be positive";
+    Mutex.lock bus_mutex;
+    (match !chan with Some oc -> (try close_out oc with _ -> ()) | None -> ());
+    let dummy =
+      { seq = 0; ts = 0.; tid = 0; label = ""; ev = Heartbeat }
+    in
+    ring_buf := Array.make ring_capacity dummy;
+    ring_start := 0;
+    ring_len := 0;
+    dropped_count := 0;
+    (* Each attach opens a fresh run: seq restarts at 1, which is how
+       readers of a shared events.jsonl (Cockpit, validators) detect a
+       process boundary after --resume. *)
+    seq := 0;
+    chan :=
+      Option.map (fun p -> open_out_gen [ Open_append; Open_creat ] 0o644 p) file;
+    Atomic.set on true;
+    Mutex.unlock bus_mutex
+
+  let detach () =
+    if Atomic.get on then begin
+      Atomic.set on false;
+      Mutex.lock bus_mutex;
+      (match !chan with Some oc -> (try close_out oc with _ -> ()) | None -> ());
+      chan := None;
+      Mutex.unlock bus_mutex
+    end
+
+  let ring () =
+    Mutex.lock bus_mutex;
+    let buf = !ring_buf in
+    let cap = Array.length buf in
+    let r =
+      List.init !ring_len (fun i -> buf.((!ring_start + i) mod cap))
+    in
+    Mutex.unlock bus_mutex;
+    r
+
+  let dropped () =
+    Mutex.lock bus_mutex;
+    let d = !dropped_count in
+    Mutex.unlock bus_mutex;
+    d
+end
+
+(* {1 Solver health watchdog}
+
+   Slope detection over the solver's periodic samples: the BMC layer
+   feeds (cumulative conflicts, cumulative learnt clauses, now) every
+   [p_every] conflicts; the watchdog computes conflict-rate and
+   learnt-growth slopes over a sliding window of those samples and
+   latches "stalled" after [p_patience] consecutive windows with both
+   slopes below threshold. Because sampling is conflict-driven, a query
+   whose conflict rate merely collapses is caught; one wedged inside a
+   single propagation never samples again and is left to the budget
+   deadline / stop hook. *)
+
+module Watchdog = struct
+  type policy = {
+    p_every : int;
+    p_window : int;
+    p_patience : int;
+    p_min_conflicts_per_s : float;
+    p_min_learnts_per_s : float;
+    p_rebudget : bool;
+  }
+
+  let default_policy =
+    {
+      p_every = 1024;
+      p_window = 4;
+      p_patience = 4;
+      p_min_conflicts_per_s = 25.;
+      p_min_learnts_per_s = 25.;
+      p_rebudget = false;
+    }
+
+  let current = ref default_policy
+  let policy () = !current
+  let set_policy p = current := p
+
+  (* "every=64,window=4,patience=2,min_cps=100,min_lps=0,rebudget=1" —
+     unset keys keep their default. *)
+  let policy_of_string s =
+    let ( let* ) = Result.bind in
+    List.fold_left
+      (fun acc kv ->
+        let* p = acc in
+        match String.index_opt kv '=' with
+        | None -> Error (Printf.sprintf "bad AUTOCC_WATCHDOG item %S" kv)
+        | Some i -> (
+            let k = String.sub kv 0 i in
+            let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+            let int () =
+              match int_of_string_opt v with
+              | Some n when n > 0 -> Ok n
+              | _ -> Error (Printf.sprintf "bad AUTOCC_WATCHDOG value %S" kv)
+            in
+            let flt () =
+              match float_of_string_opt v with
+              | Some f -> Ok f
+              | None -> Error (Printf.sprintf "bad AUTOCC_WATCHDOG value %S" kv)
+            in
+            match k with
+            | "every" ->
+                let* n = int () in
+                Ok { p with p_every = n }
+            | "window" ->
+                let* n = int () in
+                Ok { p with p_window = max 2 n }
+            | "patience" ->
+                let* n = int () in
+                Ok { p with p_patience = n }
+            | "min_cps" ->
+                let* f = flt () in
+                Ok { p with p_min_conflicts_per_s = f }
+            | "min_lps" ->
+                let* f = flt () in
+                Ok { p with p_min_learnts_per_s = f }
+            | "rebudget" -> Ok { p with p_rebudget = v = "1" || v = "true" }
+            | _ -> Error (Printf.sprintf "unknown AUTOCC_WATCHDOG key %S" k)))
+      (Ok default_policy)
+      (List.filter (fun s -> s <> "") (String.split_on_char ',' s))
+
+  let arm_from_env () =
+    match Sys.getenv_opt "AUTOCC_WATCHDOG" with
+    | None | Some "" -> ()
+    | Some s -> (
+        match policy_of_string s with
+        | Ok p -> current := p
+        | Error msg -> failwith msg)
+
+  type t = {
+    w_policy : policy;
+    w_times : float array;
+    w_confl : int array;
+    w_learn : int array;
+    mutable w_n : int; (* samples fed so far *)
+    mutable w_below : int;
+    mutable w_stalled : bool;
+    mutable w_cps : float;
+    mutable w_lps : float;
+    w_on_stall : cps:float -> lps:float -> unit;
+  }
+
+  let create ?policy ?(on_stall = fun ~cps:_ ~lps:_ -> ()) () =
+    let p = match policy with Some p -> p | None -> !current in
+    let w = max 2 p.p_window in
+    {
+      w_policy = { p with p_window = w };
+      w_times = Array.make w 0.;
+      w_confl = Array.make w 0;
+      w_learn = Array.make w 0;
+      w_n = 0;
+      w_below = 0;
+      w_stalled = false;
+      w_cps = Float.nan;
+      w_lps = Float.nan;
+      w_on_stall = on_stall;
+    }
+
+  let feed t ~conflicts ~learnts ~now =
+    let p = t.w_policy in
+    let w = p.p_window in
+    t.w_times.(t.w_n mod w) <- now;
+    t.w_confl.(t.w_n mod w) <- conflicts;
+    t.w_learn.(t.w_n mod w) <- learnts;
+    t.w_n <- t.w_n + 1;
+    if t.w_n >= w then begin
+      (* The slot about to be overwritten holds the oldest sample still
+         in the window. *)
+      let j = t.w_n mod w in
+      let dt = now -. t.w_times.(j) in
+      if dt > 0. then begin
+        t.w_cps <- float_of_int (conflicts - t.w_confl.(j)) /. dt;
+        t.w_lps <- float_of_int (learnts - t.w_learn.(j)) /. dt;
+        if
+          t.w_cps < p.p_min_conflicts_per_s
+          && t.w_lps < p.p_min_learnts_per_s
+        then t.w_below <- t.w_below + 1
+        else t.w_below <- 0;
+        if t.w_below >= p.p_patience && not t.w_stalled then begin
+          t.w_stalled <- true;
+          Bus.publish
+            (Bus.Solver_stalled
+               { conflicts_per_s = t.w_cps; learnts_per_s = t.w_lps });
+          t.w_on_stall ~cps:t.w_cps ~lps:t.w_lps
+        end
+      end
+    end
+
+  let stalled t = t.w_stalled
+  let conflicts_per_s t = t.w_cps
+  let learnts_per_s t = t.w_lps
+end
+
+(* {1 Prometheus text exposition} *)
+
+module Prometheus = struct
+  let sanitize name =
+    "autocc_"
+    ^ String.map
+        (fun c ->
+          match c with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+          | _ -> '_')
+        name
+
+  let fmt_float f =
+    if Float.is_nan f then "NaN"
+    else if f = Float.infinity then "+Inf"
+    else if f = Float.neg_infinity then "-Inf"
+    else Printf.sprintf "%.9g" f
+
+  let add_metric buf name value =
+    let p = Buffer.add_string buf in
+    match value with
+    | Metrics.Counter n ->
+        p (Printf.sprintf "# TYPE %s counter\n%s %d\n" name name n)
+    | Metrics.Gauge g ->
+        p (Printf.sprintf "# TYPE %s gauge\n%s %s\n" name name (fmt_float g))
+    | Metrics.Histogram { buckets; counts; sum; count } ->
+        p (Printf.sprintf "# TYPE %s histogram\n" name);
+        let cum = ref 0 in
+        Array.iteri
+          (fun i b ->
+            cum := !cum + counts.(i);
+            p
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (fmt_float b)
+                 !cum))
+          buckets;
+        p (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name count);
+        p (Printf.sprintf "%s_sum %s\n" name (fmt_float sum));
+        p (Printf.sprintf "%s_count %d\n" name count)
+    | Metrics.Series vs ->
+        (* Series are unbounded per-step sequences (e.g. seconds per BMC
+           depth); exposition reduces them to count/sum/last gauges. *)
+        let n = Array.length vs in
+        let sum = Array.fold_left ( +. ) 0. vs in
+        p (Printf.sprintf "# TYPE %s_count gauge\n%s_count %d\n" name name n);
+        p
+          (Printf.sprintf "# TYPE %s_sum gauge\n%s_sum %s\n" name name
+             (fmt_float sum));
+        if n > 0 then
+          p
+            (Printf.sprintf "# TYPE %s_last gauge\n%s_last %s\n" name name
+               (fmt_float vs.(n - 1)))
+
+  let of_snapshot snap =
+    let buf = Buffer.create 1024 in
+    List.iter (fun (name, v) -> add_metric buf (sanitize name) v) snap;
+    Buffer.contents buf
+
+  let render () = of_snapshot (Metrics.snapshot ())
+
+  (* Atomic replace: a scraper (or `cat`) never sees a half-written
+     snapshot. The temp file lives next to the target so the rename
+     stays within one filesystem. *)
+  let write_file path =
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    output_string oc (render ());
+    close_out oc;
+    Sys.rename tmp path
+end
+
+module Exposition = struct
+  let stop_flag = Atomic.make true
+  let ticker : unit Domain.t option ref = ref None
+  let exp_mutex = Mutex.create ()
+  let exp_path = ref None
+
+  let stop () =
+    Mutex.lock exp_mutex;
+    let t = !ticker in
+    let path = !exp_path in
+    ticker := None;
+    exp_path := None;
+    Atomic.set stop_flag true;
+    Mutex.unlock exp_mutex;
+    (match t with Some d -> Domain.join d | None -> ());
+    (* One final rewrite so the file reflects the end-of-run registry. *)
+    match path with
+    | Some p -> ( try Prometheus.write_file p with Sys_error _ -> ())
+    | None -> ()
+
+  let start ?(interval_s = 2.0) path =
+    if interval_s <= 0. then
+      invalid_arg "Obs.Exposition.start: interval must be positive";
+    stop ();
+    (try Prometheus.write_file path with Sys_error _ -> ());
+    Atomic.set stop_flag false;
+    let d =
+      Domain.spawn (fun () ->
+          while not (Atomic.get stop_flag) do
+            (* Sleep in short naps so [stop] is prompt at CLI exit. *)
+            let left = ref interval_s in
+            while !left > 0. && not (Atomic.get stop_flag) do
+              let nap = Float.min 0.05 !left in
+              Unix.sleepf nap;
+              left := !left -. nap
+            done;
+            if not (Atomic.get stop_flag) then
+              try Prometheus.write_file path with Sys_error _ -> ()
+          done)
+    in
+    Mutex.lock exp_mutex;
+    ticker := Some d;
+    exp_path := Some path;
+    Mutex.unlock exp_mutex
+
+  let running () = not (Atomic.get stop_flag)
+end
+
+(* {1 Cockpit: the aggregation model behind `autocc top`}
+
+   A pure fold over stamped events (usually parsed back from an
+   events.jsonl a campaign process is appending to) into one row per
+   label: current depth, verdict, cache hit ratio, conflict rate, and
+   an ETA extrapolated from the per-depth solve times. The CLI tails
+   the file and re-renders; tests feed lines directly. *)
+
+module Cockpit = struct
+  type row = {
+    ro_label : string;
+    mutable ro_goal : int; (* target depth; -1 unknown *)
+    mutable ro_depth : int; (* deepest solved depth; -1 none *)
+    mutable ro_times : float list; (* per-depth seconds, newest first *)
+    mutable ro_verdict : string;
+    mutable ro_hits : int;
+    mutable ro_misses : int;
+    mutable ro_retries : int;
+    mutable ro_faults : int;
+    mutable ro_cps : float;
+    mutable ro_stalled : bool;
+    mutable ro_first_ts : float;
+    mutable ro_last_ts : float;
+    mutable ro_wall : float;
+  }
+
+  type t = {
+    c_rows : (string, row) Hashtbl.t;
+    mutable c_events : int;
+    mutable c_bad : int;
+    mutable c_last_seq : int;
+  }
+
+  let create () =
+    { c_rows = Hashtbl.create 16; c_events = 0; c_bad = 0; c_last_seq = 0 }
+
+  let find_row t label ts =
+    match Hashtbl.find_opt t.c_rows label with
+    | Some r -> r
+    | None ->
+        let r =
+          {
+            ro_label = label;
+            ro_goal = -1;
+            ro_depth = -1;
+            ro_times = [];
+            ro_verdict = "running";
+            ro_hits = 0;
+            ro_misses = 0;
+            ro_retries = 0;
+            ro_faults = 0;
+            ro_cps = Float.nan;
+            ro_stalled = false;
+            ro_first_ts = ts;
+            ro_last_ts = ts;
+            ro_wall = Float.nan;
+          }
+        in
+        Hashtbl.replace t.c_rows label r;
+        r
+
+  let feed t (st : Bus.stamped) =
+    t.c_events <- t.c_events + 1;
+    (* Sequence numbers are per-process: a resumed campaign restarts at
+       1, which is not a gap. *)
+    t.c_last_seq <- st.Bus.seq;
+    let r = find_row t st.Bus.label st.Bus.ts in
+    r.ro_last_ts <- Float.max r.ro_last_ts st.Bus.ts;
+    match st.Bus.ev with
+    | Bus.Job_start { goal_depth } ->
+        r.ro_goal <- goal_depth;
+        r.ro_verdict <- "running";
+        r.ro_first_ts <- st.Bus.ts
+    | Bus.Depth_solved { depth; seconds } ->
+        r.ro_depth <- max r.ro_depth depth;
+        r.ro_times <- seconds :: r.ro_times
+    | Bus.Cex_found { depth } ->
+        r.ro_depth <- max r.ro_depth depth;
+        r.ro_verdict <- "cex"
+    | Bus.Job_done { verdict; wall_s } ->
+        r.ro_verdict <- verdict;
+        r.ro_wall <- wall_s
+    | Bus.Unknown { reason } ->
+        if r.ro_verdict = "running" then r.ro_verdict <- "unknown:" ^ reason
+    | Bus.Retry { attempt = _; reason = _ } ->
+        r.ro_retries <- r.ro_retries + 1;
+        r.ro_verdict <- "running"
+    | Bus.Cache_hit -> r.ro_hits <- r.ro_hits + 1
+    | Bus.Cache_miss -> r.ro_misses <- r.ro_misses + 1
+    | Bus.Fault_injected _ -> r.ro_faults <- r.ro_faults + 1
+    | Bus.Solver_progress { conflicts_per_s; _ } -> r.ro_cps <- conflicts_per_s
+    | Bus.Solver_stalled { conflicts_per_s; _ } ->
+        r.ro_stalled <- true;
+        r.ro_cps <- conflicts_per_s
+    | Bus.Heartbeat -> ()
+
+  let feed_line t line =
+    if String.trim line = "" then ()
+    else
+      match Json.parse line with
+      | Error _ -> t.c_bad <- t.c_bad + 1
+      | Ok j -> (
+          match Bus.stamped_of_json j with
+          | Ok st -> feed t st
+          | Error _ -> t.c_bad <- t.c_bad + 1)
+
+  let rows t =
+    List.sort
+      (fun a b -> compare a.ro_label b.ro_label)
+      (Hashtbl.fold (fun _ r acc -> r :: acc) t.c_rows [])
+
+  let events t = t.c_events
+  let bad_lines t = t.c_bad
+
+  (* ETA from the recorded per-depth solve times: per-depth cost in a
+     CDCL-backed BMC grows roughly geometrically, so extrapolate with
+     the (clamped) mean growth ratio of the most recent depths. *)
+  let eta_s row =
+    if row.ro_verdict <> "running" then None
+    else if row.ro_goal < 0 || row.ro_depth < 0 then None
+    else if row.ro_depth >= row.ro_goal then Some 0.
+    else
+      match row.ro_times with
+      | [] -> None
+      | last :: older ->
+          let ratios =
+            let rec go acc newer = function
+              | [] -> acc
+              | _ when List.length acc >= 4 -> acc
+              | prev :: rest ->
+                  let acc =
+                    if prev > 1e-9 then (newer /. prev) :: acc else acc
+                  in
+                  go acc prev rest
+            in
+            go [] last older
+          in
+          let r =
+            match ratios with
+            | [] -> 1.5
+            | rs ->
+                let mean =
+                  List.fold_left ( +. ) 0. rs /. float_of_int (List.length rs)
+                in
+                Float.max 1.0 (Float.min 3.0 mean)
+          in
+          let remaining = min 64 (row.ro_goal - row.ro_depth) in
+          let eta = ref 0. in
+          let step = ref last in
+          for _ = 1 to remaining do
+            step := !step *. r;
+            eta := !eta +. !step
+          done;
+          Some !eta
+
+  let fmt_eta = function
+    | None -> "-"
+    | Some s when s < 0.0005 -> "0s"
+    | Some s when s < 60. -> Printf.sprintf "%.1fs" s
+    | Some s when s < 3600. -> Printf.sprintf "%.1fm" (s /. 60.)
+    | Some s -> Printf.sprintf "%.1fh" (s /. 3600.)
+
+  let render ?now ?(note = fun _ -> None) t =
+    let now = match now with Some n -> n | None -> Clock.wall_s () in
+    let buf = Buffer.create 1024 in
+    let rs = rows t in
+    let hits, misses =
+      List.fold_left
+        (fun (h, m) r -> (h + r.ro_hits, m + r.ro_misses))
+        (0, 0) rs
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "autocc top — %d events, %d rows%s | cache %d/%d%s\n" t.c_events
+         (List.length rs)
+         (if t.c_bad > 0 then Printf.sprintf ", %d bad lines" t.c_bad else "")
+         hits (hits + misses)
+         (if hits + misses > 0 then
+            Printf.sprintf " (%.0f%% hit)"
+              (100. *. float_of_int hits /. float_of_int (hits + misses))
+          else ""));
+    Buffer.add_string buf
+      (Printf.sprintf "%-34s %7s  %-18s %7s %9s %7s  %s\n" "LABEL" "DEPTH"
+         "VERDICT" "CACHE" "CONF/S" "ETA" "NOTE");
+    List.iter
+      (fun r ->
+        let depth =
+          if r.ro_depth < 0 then
+            if r.ro_goal >= 0 then Printf.sprintf "-/%d" r.ro_goal else "-"
+          else if r.ro_goal >= 0 then
+            Printf.sprintf "%d/%d" r.ro_depth r.ro_goal
+          else string_of_int r.ro_depth
+        in
+        let cache =
+          if r.ro_hits + r.ro_misses = 0 then "-"
+          else Printf.sprintf "%d/%d" r.ro_hits (r.ro_hits + r.ro_misses)
+        in
+        let cps =
+          if Float.is_nan r.ro_cps then "-"
+          else Printf.sprintf "%.3g" r.ro_cps
+        in
+        let age = now -. r.ro_last_ts in
+        let notes =
+          List.filter
+            (fun s -> s <> "")
+            [
+              (if r.ro_stalled then "STALLED" else "");
+              (if r.ro_retries > 0 then Printf.sprintf "%d retries" r.ro_retries
+               else "");
+              (if r.ro_faults > 0 then Printf.sprintf "%d faults" r.ro_faults
+               else "");
+              (if r.ro_verdict = "running" && age > 10. then
+                 Printf.sprintf "silent %.0fs" age
+               else "");
+              (match note r.ro_label with Some s -> s | None -> "");
+            ]
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%-34s %7s  %-18s %7s %9s %7s  %s\n"
+             (if String.length r.ro_label > 34 then
+                String.sub r.ro_label 0 34
+              else r.ro_label)
+             depth r.ro_verdict cache cps
+             (fmt_eta (eta_s r))
+             (String.concat ", " notes)))
+      rs;
+    Buffer.contents buf
+end
+
+let enabled () =
+  tracing () || Atomic.get log_on || Metrics.enabled () || Bus.enabled ()
 
 let shutdown () =
+  Exposition.stop ();
   close_trace ();
   close_log ();
+  Bus.detach ();
   Metrics.disable ()

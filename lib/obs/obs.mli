@@ -213,10 +213,223 @@ module Metrics : sig
       ["telemetry"] field of [BENCH_*.json]. *)
 end
 
+(** {1 Event bus}
+
+    Typed, structured events for live campaign observability. Publishers
+    (the BMC depth loop, the parallel engine, the verdict cache and the
+    campaign driver) call {!Bus.publish}; with the bus detached (the
+    default) that costs one atomic load. When attached, each event is
+    stamped — monotone per-process sequence number, wall-clock
+    timestamp, domain id, current {!Bus.with_label} scope — into a
+    bounded in-process ring buffer and, when a file sink was given, as
+    one JSON line appended and flushed to an [events.jsonl], so another
+    process ([autocc top]) can follow a live campaign by tailing the
+    file with no IPC and a crash loses at most one partial line. *)
+module Bus : sig
+  type event =
+    | Depth_solved of { depth : int; seconds : float }
+        (** One BMC depth closed without a CEX; [seconds] is the wall
+            time spent at that depth. *)
+    | Cex_found of { depth : int }
+    | Cache_hit
+    | Cache_miss
+    | Retry of { attempt : int; reason : string }
+    | Unknown of { reason : string }
+    | Fault_injected of { site : string }
+    | Job_start of { goal_depth : int }  (** [-1] when unknown. *)
+    | Job_done of { verdict : string; wall_s : float }
+    | Solver_progress of {
+        conflicts : int;
+        learnts : int;
+        conflicts_per_s : float;
+      }  (** Periodic sample from the solver health watchdog. *)
+    | Solver_stalled of { conflicts_per_s : float; learnts_per_s : float }
+    | Heartbeat
+
+  type stamped = { seq : int; ts : float; tid : int; label : string; ev : event }
+  (** [seq] is monotone within one publishing process (a resumed
+      campaign restarts it); [ts] is [Clock.wall_s]. *)
+
+  val attach : ?ring_capacity:int -> ?file:string -> unit -> unit
+  (** Turn the bus on. [ring_capacity] bounds the in-process buffer
+      (default 1024; oldest events are dropped on overflow — the file
+      sink, which never drops, still has them). [file] is opened in
+      append mode and flushed per event. Replaces any previous
+      attachment. *)
+
+  val detach : unit -> unit
+  (** Turn the bus off and close the file sink. The ring remains
+      readable. Idempotent. *)
+
+  val enabled : unit -> bool
+
+  val publish : ?label:string -> event -> unit
+  (** One atomic load when detached. [label] defaults to
+      {!current_label}. *)
+
+  val with_label : string -> (unit -> 'a) -> 'a
+  (** Run [f] with the domain-local label scope set — campaign entries
+      use their label, [check_each] nests [entry/assertion]. The scope
+      does {e not} cross [Domain.spawn]; the parallel engine re-applies
+      the coordinator's label inside each worker job. *)
+
+  val current_label : unit -> string
+  (** The innermost {!with_label} scope, or [""]. *)
+
+  val sub_label : string -> string
+  (** [sub_label n] is ["scope/n"], or just [n] at top level. *)
+
+  val ring : unit -> stamped list
+  (** The buffered events, oldest first. *)
+
+  val dropped : unit -> int
+  (** Events evicted from the ring since {!attach}. *)
+
+  val json_of_stamped : stamped -> Json.t
+  val stamped_of_json : Json.t -> (stamped, string) result
+end
+
+(** {1 Solver health watchdog}
+
+    Slope detection over the solver's periodic conflict-driven samples
+    ([Sat.Solver.on_sample]): the BMC layer feeds cumulative conflict
+    and learnt-clause counts; the watchdog computes their rates over a
+    sliding window and, after [p_patience] consecutive windows with both
+    rates below threshold, latches "stalled", publishes
+    {!Bus.Solver_stalled} once, and invokes [on_stall] (which the BMC
+    layer uses to trip the solver's budget early when [p_rebudget] is
+    set, handing the query to the retry schedule). Sampling is
+    conflict-driven, so a query wedged inside one propagation never
+    samples again — that case is left to the budget deadline. *)
+module Watchdog : sig
+  type policy = {
+    p_every : int;  (** sample every N conflicts *)
+    p_window : int;  (** slope window, in samples (>= 2) *)
+    p_patience : int;  (** consecutive below-threshold windows to stall *)
+    p_min_conflicts_per_s : float;
+    p_min_learnts_per_s : float;
+    p_rebudget : bool;  (** trip the solver budget on stall *)
+  }
+
+  val default_policy : policy
+  val policy : unit -> policy
+  val set_policy : policy -> unit
+
+  val policy_of_string : string -> (policy, string) result
+  (** ["every=64,window=4,patience=2,min_cps=100,min_lps=0,rebudget=1"];
+      unset keys keep their defaults. *)
+
+  val arm_from_env : unit -> unit
+  (** Install the policy from [AUTOCC_WATCHDOG] if set; raises [Failure]
+      on a malformed value. *)
+
+  type t
+
+  val create :
+    ?policy:policy -> ?on_stall:(cps:float -> lps:float -> unit) -> unit -> t
+  (** One instance per solver query ([policy] defaults to the global
+      one). *)
+
+  val feed : t -> conflicts:int -> learnts:int -> now:float -> unit
+  val stalled : t -> bool
+  val conflicts_per_s : t -> float
+  (** [nan] until the window fills (same for {!learnts_per_s}). *)
+
+  val learnts_per_s : t -> float
+end
+
+(** {1 Prometheus text exposition} *)
+module Prometheus : sig
+  val sanitize : string -> string
+  (** Metric-name mangling: non-[[a-zA-Z0-9_]] becomes ['_'], and
+      everything is prefixed [autocc_]. *)
+
+  val render : unit -> string
+  (** The whole {!Metrics.snapshot} in Prometheus text format: counters
+      and gauges verbatim, histograms as cumulative [_bucket{le=...}] +
+      [_sum] + [_count], series reduced to [_count]/[_sum]/[_last]
+      gauges. *)
+
+  val of_snapshot : (string * Metrics.value) list -> string
+
+  val write_file : string -> unit
+  (** Atomic replace (write to [path ^ ".tmp"], then rename), so a
+      scraper never observes a torn snapshot. *)
+end
+
+(** A background ticker rewriting the Prometheus snapshot — the
+    [--metrics-file] flag. *)
+module Exposition : sig
+  val start : ?interval_s:float -> string -> unit
+  (** Write the snapshot now and then every [interval_s] (default 2.0)
+      seconds from a dedicated domain, until {!stop}. Replaces any
+      previous ticker. *)
+
+  val stop : unit -> unit
+  (** Join the ticker and write one final snapshot. Idempotent; wired to
+      {!shutdown}. *)
+
+  val running : unit -> bool
+end
+
+(** {1 Cockpit}
+
+    The aggregation model behind [autocc top]: a fold over stamped
+    events (normally parsed back from a campaign's [events.jsonl]) into
+    one row per label — current depth, verdict, cache hit ratio,
+    conflict rate, and an ETA extrapolated from the per-depth solve
+    times. Pure state + renderer, so tests drive it by feeding lines. *)
+module Cockpit : sig
+  type row = {
+    ro_label : string;
+    mutable ro_goal : int;  (** target depth; [-1] unknown *)
+    mutable ro_depth : int;  (** deepest solved depth; [-1] none *)
+    mutable ro_times : float list;  (** per-depth seconds, newest first *)
+    mutable ro_verdict : string;
+        (** ["running"] until a [Job_done]/[Cex_found]/[Unknown] *)
+    mutable ro_hits : int;
+    mutable ro_misses : int;
+    mutable ro_retries : int;
+    mutable ro_faults : int;
+    mutable ro_cps : float;
+    mutable ro_stalled : bool;
+    mutable ro_first_ts : float;
+    mutable ro_last_ts : float;
+    mutable ro_wall : float;
+  }
+
+  type t
+
+  val create : unit -> t
+  val feed : t -> Bus.stamped -> unit
+
+  val feed_line : t -> string -> unit
+  (** Parse one [events.jsonl] line and fold it in; malformed lines are
+      counted ({!bad_lines}), not fatal — the file's last line may be
+      mid-write. *)
+
+  val rows : t -> row list
+  (** Sorted by label. *)
+
+  val events : t -> int
+  val bad_lines : t -> int
+
+  val eta_s : row -> float option
+  (** Remaining-time estimate for a running row: geometric extrapolation
+      of the recorded per-depth times with a clamped growth ratio.
+      [None] when the row is finished or has no depth data yet. *)
+
+  val render : ?now:float -> ?note:(string -> string option) -> t -> string
+  (** The terminal table: a header (event/cache totals) and one line per
+      row. [note] appends an extra annotation per label (used by [top]
+      for heartbeat staleness). *)
+end
+
 val enabled : unit -> bool
-(** True when any face is on (tracing, logging, or metrics) — the gate
-    instrumented layers use before installing sampling hooks. *)
+(** True when any face is on (tracing, logging, metrics, or the event
+    bus) — the gate instrumented layers use before installing sampling
+    hooks. *)
 
 val shutdown : unit -> unit
-(** [close_trace], [close_log], [Metrics.disable] — idempotent; wired
-    to CLI exit. *)
+(** [Exposition.stop], [close_trace], [close_log], [Bus.detach],
+    [Metrics.disable] — idempotent; wired to CLI exit. *)

@@ -133,6 +133,11 @@ type t = {
      exhaustion from external cancellation. *)
   mutable budget : budget;
   mutable interrupt : interrupt option;
+  (* External early-exhaustion request ([trip_budget]): set from a
+     sample hook (which must not raise into the search loop itself),
+     consumed at the next [check_budget] poll as a normal budget
+     abort. *)
+  mutable tripped : budget_kind option;
   (* Counter snapshots taken at every [solve] entry, so [last_solve] can
      report the work of the most recent query alone — the number an
      incremental caller wants when the cumulative counters span many
@@ -199,6 +204,7 @@ let create ?(config = default_config) ?(stop = fun () -> false) () =
     sample_hook = None;
     budget = no_budget;
     interrupt = None;
+    tripped = None;
     base_conflicts = 0;
     base_decisions = 0;
     base_propagations = 0;
@@ -261,12 +267,22 @@ let abort_budget s kind =
    solve entry. The conflict cap is checked where conflicts happen (in
    the search loop); here we watch the clock and the learnt watermark. *)
 let check_budget s =
+  (match s.tripped with
+  | Some kind ->
+      (* Clear before aborting so the solver stays reusable after the
+         exception is handled (a retry with a fresh budget must not
+         re-trip on entry). *)
+      s.tripped <- None;
+      abort_budget s kind
+  | None -> ());
   (match s.budget.b_deadline with
   | Some d when s.budget.b_clock () > d -> abort_budget s Wall_clock
   | _ -> ());
   match s.budget.b_learnts with
   | Some m when Vec.size s.learnts > m -> abort_budget s Memory
   | _ -> ()
+
+let trip_budget s kind = s.tripped <- Some kind
 
 let on_sample s ~every hook =
   if every <= 0 then invalid_arg "Sat.Solver.on_sample: every must be positive";

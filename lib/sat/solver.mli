@@ -97,6 +97,16 @@ val set_budget : t -> budget -> unit
 (** Install (or replace, between [solve]s) the instance's budget.
     Freshly-created solvers carry {!no_budget}. *)
 
+val trip_budget : t -> budget_kind -> unit
+(** Request early budget exhaustion: the next budget poll inside
+    {!solve} aborts with [Out_of_budget kind] exactly as if the real
+    limit had fired. Safe to call from an {!on_sample} hook (which must
+    not raise into the search loop itself) — this is how a solver-health
+    watchdog hands a stalled query to the retry schedule without the
+    solver depending on the telemetry layer. The request is consumed by
+    the abort, so a later [solve] (e.g. a retry with a fresh budget)
+    starts clean. *)
+
 val config : t -> config
 
 val new_var : t -> int

@@ -289,6 +289,359 @@ let test_log_levels () =
       Alcotest.(check string) "level name" "warn" (str_field "level" ev)
   | Error _ -> assert false)
 
+(* {1 Metrics under concurrent domain writes}
+
+   The registry is shared mutable state behind one mutex; hammer one
+   counter, one histogram and one series from four domains and demand
+   exact totals — a lost update would show up as a short count. *)
+
+let test_concurrent_metrics () =
+  with_clean_obs @@ fun () ->
+  Obs.Metrics.enable ();
+  let c = Obs.Metrics.counter "conc.ctr" in
+  let h = Obs.Metrics.histogram ~buckets:[| 10.; 100. |] "conc.hist" in
+  let s = Obs.Metrics.series "conc.series" in
+  let per_domain = 500 and domains = 4 in
+  let worker _ =
+    Domain.spawn (fun () ->
+        for i = 1 to per_domain do
+          Obs.Metrics.add c 1;
+          Obs.Metrics.observe h (float_of_int i);
+          Obs.Metrics.record s 1.0
+        done)
+  in
+  List.iter Domain.join (List.init domains worker);
+  Alcotest.(check bool) "counter exact" true
+    (Obs.Metrics.find "conc.ctr"
+    = Some (Obs.Metrics.Counter (domains * per_domain)));
+  (match Obs.Metrics.find "conc.hist" with
+  | Some (Obs.Metrics.Histogram { count; sum; _ }) ->
+      Alcotest.(check int) "histogram count exact" (domains * per_domain) count;
+      let expected =
+        float_of_int domains *. float_of_int (per_domain * (per_domain + 1) / 2)
+      in
+      Alcotest.(check (float 1e-6)) "histogram sum exact" expected sum
+  | _ -> Alcotest.fail "conc.hist missing");
+  match Obs.Metrics.find "conc.series" with
+  | Some (Obs.Metrics.Series vs) ->
+      Alcotest.(check int) "series length exact" (domains * per_domain)
+        (Array.length vs)
+  | _ -> Alcotest.fail "conc.series missing"
+
+(* {1 Event bus} *)
+
+let with_bus ?ring_capacity ?file f =
+  with_clean_obs @@ fun () ->
+  Obs.Bus.attach ?ring_capacity ?file ();
+  Fun.protect ~finally:Obs.Bus.detach f
+
+let seqs () = List.map (fun (s : Obs.Bus.stamped) -> s.Obs.Bus.seq) (Obs.Bus.ring ())
+
+let test_bus_ordering () =
+  with_bus ~ring_capacity:64 @@ fun () ->
+  for d = 1 to 10 do
+    Obs.Bus.publish (Obs.Bus.Depth_solved { depth = d; seconds = 0.01 })
+  done;
+  Obs.Bus.publish (Obs.Bus.Cex_found { depth = 11 });
+  Alcotest.(check (list int)) "seqs are 1..11 in publish order"
+    (List.init 11 (fun i -> i + 1))
+    (seqs ());
+  let ring = Obs.Bus.ring () in
+  ignore
+    (List.fold_left
+       (fun prev (s : Obs.Bus.stamped) ->
+         Alcotest.(check bool) "timestamps non-decreasing" true
+           (s.Obs.Bus.ts >= prev);
+         s.Obs.Bus.ts)
+       0. ring);
+  Alcotest.(check int) "nothing dropped" 0 (Obs.Bus.dropped ())
+
+let test_bus_ring_overflow () =
+  with_bus ~ring_capacity:8 @@ fun () ->
+  for d = 1 to 20 do
+    Obs.Bus.publish (Obs.Bus.Depth_solved { depth = d; seconds = 0. })
+  done;
+  Alcotest.(check (list int)) "ring keeps the newest 8"
+    [ 13; 14; 15; 16; 17; 18; 19; 20 ]
+    (seqs ());
+  Alcotest.(check int) "oldest 12 dropped" 12 (Obs.Bus.dropped ())
+
+let test_bus_concurrent_publish () =
+  with_bus ~ring_capacity:1024 @@ fun () ->
+  let domains = 4 and per_domain = 50 in
+  let worker d =
+    Domain.spawn (fun () ->
+        Obs.Bus.with_label (Printf.sprintf "d%d" d) @@ fun () ->
+        for i = 1 to per_domain do
+          Obs.Bus.publish (Obs.Bus.Retry { attempt = i; reason = "conc" })
+        done)
+  in
+  List.iter Domain.join (List.init domains worker);
+  let got = List.sort compare (seqs ()) in
+  Alcotest.(check (list int)) "seqs contiguous and unique across domains"
+    (List.init (domains * per_domain) (fun i -> i + 1))
+    got;
+  (* Every publish kept the domain-local label of its publisher. *)
+  List.iter
+    (fun (s : Obs.Bus.stamped) ->
+      Alcotest.(check bool) "label is some d<i>" true
+        (String.length s.Obs.Bus.label = 2 && s.Obs.Bus.label.[0] = 'd'))
+    (Obs.Bus.ring ())
+
+let all_events =
+  [
+    Obs.Bus.Depth_solved { depth = 3; seconds = 0.25 };
+    Obs.Bus.Cex_found { depth = 4 };
+    Obs.Bus.Cache_hit;
+    Obs.Bus.Cache_miss;
+    Obs.Bus.Retry { attempt = 2; reason = "budget:wall_clock" };
+    Obs.Bus.Unknown { reason = "faulted:bmc.incr" };
+    Obs.Bus.Fault_injected { site = "bmc.incr" };
+    Obs.Bus.Job_start { goal_depth = 12 };
+    Obs.Bus.Job_done { verdict = "cex"; wall_s = 1.5 };
+    Obs.Bus.Solver_progress { conflicts = 10; learnts = 5; conflicts_per_s = 2.5 };
+    Obs.Bus.Solver_stalled { conflicts_per_s = 0.5; learnts_per_s = 0.25 };
+    Obs.Bus.Heartbeat;
+  ]
+
+let test_bus_file_sink_roundtrip () =
+  let path = Filename.temp_file "test_obs" ".events.jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  (with_bus ~file:path @@ fun () ->
+   Obs.Bus.with_label "rt" @@ fun () ->
+   List.iter Obs.Bus.publish all_events);
+  let ic = open_in path in
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | l -> go (l :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  in
+  Alcotest.(check int) "one line per event" (List.length all_events)
+    (List.length lines);
+  let parsed =
+    List.map
+      (fun line ->
+        match Json.parse line with
+        | Error e -> Alcotest.failf "sink line does not parse: %s (%s)" line e
+        | Ok j -> (
+            match Obs.Bus.stamped_of_json j with
+            | Error e -> Alcotest.failf "line is not a stamped event: %s" e
+            | Ok s -> s))
+      lines
+  in
+  Alcotest.(check bool) "file sink round-trips every constructor" true
+    (List.map (fun (s : Obs.Bus.stamped) -> s.Obs.Bus.ev) parsed = all_events);
+  List.iter
+    (fun (s : Obs.Bus.stamped) ->
+      Alcotest.(check string) "label survives the file" "rt" s.Obs.Bus.label)
+    parsed
+
+(* {1 Cockpit: state reconstructed from event lines alone}
+
+   Feed the cockpit two successive batches of serialized lines — as the
+   [top] command does when tailing events.jsonl — and check the visible
+   state advances between batches. *)
+
+let test_cockpit_incremental () =
+  let stamp seq label ev = { Obs.Bus.seq; ts = float_of_int seq; tid = 0; label; ev } in
+  let line s = Json.to_string (Obs.Bus.json_of_stamped s) in
+  let t = Obs.Cockpit.create () in
+  List.iter
+    (fun s -> Obs.Cockpit.feed_line t (line s))
+    [
+      stamp 1 "maple" (Obs.Bus.Job_start { goal_depth = 8 });
+      stamp 2 "maple" (Obs.Bus.Depth_solved { depth = 0; seconds = 0.1 });
+      stamp 3 "maple" (Obs.Bus.Depth_solved { depth = 1; seconds = 0.2 });
+      stamp 4 "maple" Obs.Bus.Cache_miss;
+    ];
+  (match Obs.Cockpit.rows t with
+  | [ r ] ->
+      Alcotest.(check string) "running after batch 1" "running"
+        r.Obs.Cockpit.ro_verdict;
+      Alcotest.(check int) "depth 1 after batch 1" 1 r.Obs.Cockpit.ro_depth;
+      Alcotest.(check bool) "ETA available while running" true
+        (Obs.Cockpit.eta_s r <> None)
+  | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows));
+  List.iter
+    (fun s -> Obs.Cockpit.feed_line t (line s))
+    [
+      stamp 5 "maple" (Obs.Bus.Depth_solved { depth = 2; seconds = 0.4 });
+      stamp 6 "maple" (Obs.Bus.Cex_found { depth = 3 });
+      stamp 7 "maple" (Obs.Bus.Job_done { verdict = "cex"; wall_s = 1.0 });
+    ];
+  (match Obs.Cockpit.rows t with
+  | [ r ] ->
+      Alcotest.(check string) "verdict updated by batch 2" "cex"
+        r.Obs.Cockpit.ro_verdict;
+      Alcotest.(check int) "depth updated by batch 2" 3 r.Obs.Cockpit.ro_depth
+  | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows));
+  Obs.Cockpit.feed_line t "{ torn half-line";
+  Alcotest.(check int) "torn line counted, not fatal" 1 (Obs.Cockpit.bad_lines t);
+  Alcotest.(check int) "events counted" 7 (Obs.Cockpit.events t);
+  let rendered = Obs.Cockpit.render ~now:8. t in
+  Alcotest.(check bool) "render mentions the row" true
+    (String.length rendered > 0
+    &&
+    let n = String.length rendered in
+    let rec mentions i =
+      i + 5 <= n && (String.sub rendered i 5 = "maple" || mentions (i + 1))
+    in
+    mentions 0)
+
+(* {1 Solver-health watchdog} *)
+
+let watchdog_policy =
+  {
+    Obs.Watchdog.p_every = 1;
+    p_window = 3;
+    p_patience = 2;
+    p_min_conflicts_per_s = 100.;
+    p_min_learnts_per_s = 100.;
+    p_rebudget = false;
+  }
+
+let test_watchdog_stall () =
+  with_clean_obs @@ fun () ->
+  let fired = ref 0 in
+  let dog =
+    Obs.Watchdog.create ~policy:watchdog_policy
+      ~on_stall:(fun ~cps:_ ~lps:_ -> incr fired)
+      ()
+  in
+  (* 10 conflicts/s against a 100/s floor: below threshold every window. *)
+  for i = 1 to 10 do
+    Obs.Watchdog.feed dog ~conflicts:i ~learnts:i ~now:(float_of_int i /. 10.)
+  done;
+  Alcotest.(check bool) "stall latched" true (Obs.Watchdog.stalled dog);
+  Alcotest.(check int) "on_stall fired exactly once" 1 !fired;
+  Alcotest.(check bool) "measured rate below floor" true
+    (Obs.Watchdog.conflicts_per_s dog < 100.)
+
+let test_watchdog_healthy () =
+  with_clean_obs @@ fun () ->
+  let fired = ref 0 in
+  let dog =
+    Obs.Watchdog.create ~policy:watchdog_policy
+      ~on_stall:(fun ~cps:_ ~lps:_ -> incr fired)
+      ()
+  in
+  (* 1000 conflicts/s: comfortably above the floor. *)
+  for i = 1 to 10 do
+    Obs.Watchdog.feed dog ~conflicts:(i * 100) ~learnts:(i * 100)
+      ~now:(float_of_int i /. 10.)
+  done;
+  Alcotest.(check bool) "no stall" false (Obs.Watchdog.stalled dog);
+  Alcotest.(check int) "on_stall never fired" 0 !fired
+
+let test_watchdog_policy_of_string () =
+  (match
+     Obs.Watchdog.policy_of_string
+       "every=64,window=8,patience=3,min_cps=12.5,min_lps=7,rebudget=1"
+   with
+  | Ok p ->
+      Alcotest.(check int) "every" 64 p.Obs.Watchdog.p_every;
+      Alcotest.(check int) "window" 8 p.Obs.Watchdog.p_window;
+      Alcotest.(check int) "patience" 3 p.Obs.Watchdog.p_patience;
+      Alcotest.(check (float 0.)) "min_cps" 12.5 p.Obs.Watchdog.p_min_conflicts_per_s;
+      Alcotest.(check bool) "rebudget" true p.Obs.Watchdog.p_rebudget
+  | Error e -> Alcotest.failf "policy_of_string rejected valid input: %s" e);
+  (match Obs.Watchdog.policy_of_string "window=1" with
+  | Ok p ->
+      Alcotest.(check int) "window clamped to 2 (slope needs 2 samples)" 2
+        p.Obs.Watchdog.p_window
+  | Error e -> Alcotest.failf "window=1 should clamp, not error: %s" e);
+  match Obs.Watchdog.policy_of_string "every=0" with
+  | Ok _ -> Alcotest.fail "every=0 must be rejected"
+  | Error _ -> ()
+
+(* Rebudget end-to-end: an absurd conflict-rate floor plus rebudget=1
+   makes the watchdog trip the solver's wall-clock budget mid-search, so
+   a run with no explicit budget comes back Unknown(Budget_exhausted
+   Wall_clock) instead of hanging on a "stalled" solver. A 16-bit adder
+   associativity proof supplies the conflicts. *)
+let test_watchdog_rebudget () =
+  with_clean_obs @@ fun () ->
+  let saved = Obs.Watchdog.policy () in
+  Fun.protect ~finally:(fun () -> Obs.Watchdog.set_policy saved) @@ fun () ->
+  Obs.Watchdog.set_policy
+    {
+      Obs.Watchdog.p_every = 1;
+      p_window = 2;
+      p_patience = 1;
+      p_min_conflicts_per_s = 1e12;
+      p_min_learnts_per_s = 1e12;
+      p_rebudget = true;
+    };
+  Obs.Metrics.enable ();
+  let a = Signal.input "a" 16
+  and b = Signal.input "b" 16
+  and c = Signal.input "c" 16 in
+  let open Signal in
+  let circuit =
+    Circuit.create ~name:"assoc" ~outputs:[ ("out", bit (a +: b) 0) ] ()
+  in
+  let property =
+    {
+      Bmc.assumes = [];
+      asserts = [ ("assoc", a +: b +: c ==: a +: (b +: c)) ];
+    }
+  in
+  match Bmc.check ~max_depth:4 ~opt:Opt.O0 circuit property with
+  | Bmc.Unknown (Bmc.Budget_exhausted { ub_budget; _ }, _) ->
+      Alcotest.(check bool) "tripped budget reads as wall-clock" true
+        (ub_budget = Sat.Solver.Wall_clock)
+  | Bmc.Unknown (r, _) ->
+      Alcotest.failf "unexpected unknown reason %s"
+        (Bmc.unknown_reason_to_string r)
+  | Bmc.Cex _ -> Alcotest.fail "associativity refuted?!"
+  | Bmc.Bounded_proof _ ->
+      Alcotest.fail "watchdog never tripped the budget (proof completed)"
+
+(* {1 Prometheus exposition} *)
+
+let test_prometheus_render () =
+  with_clean_obs @@ fun () ->
+  Obs.Metrics.enable ();
+  Obs.Metrics.add (Obs.Metrics.counter "sat.conflicts") 42;
+  Obs.Metrics.set (Obs.Metrics.gauge "cache.size") 7.;
+  Obs.Metrics.observe
+    (Obs.Metrics.histogram ~buckets:[| 1.; 10. |] "bmc.t")
+    3.5;
+  let body = Obs.Prometheus.render () in
+  let has sub =
+    let n = String.length sub and h = String.length body in
+    let rec go i = i + n <= h && (String.sub body i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter line" true (has "autocc_sat_conflicts 42");
+  Alcotest.(check bool) "counter typed" true
+    (has "# TYPE autocc_sat_conflicts counter");
+  Alcotest.(check bool) "gauge line" true (has "autocc_cache_size 7");
+  Alcotest.(check bool) "histogram buckets cumulative" true
+    (has "autocc_bmc_t_bucket{le=\"10\"} 1");
+  Alcotest.(check bool) "histogram +Inf" true
+    (has "autocc_bmc_t_bucket{le=\"+Inf\"} 1");
+  Alcotest.(check bool) "histogram count" true (has "autocc_bmc_t_count 1");
+  (* Atomic file write: the snapshot parses back line-by-line. *)
+  let path = Filename.temp_file "test_obs" ".prom" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Obs.Prometheus.write_file path;
+  let ic = open_in path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Alcotest.(check string) "file equals render" body contents
+
 (* {1 Determinism: telemetry must not change verdicts}
 
    The same random circuit and property, checked with every telemetry
@@ -353,5 +706,39 @@ let () =
           Alcotest.test_case "counter/gauge/series" `Quick test_counter_gauge_series;
         ] );
       ("log", [ Alcotest.test_case "levels and line shape" `Quick test_log_levels ]);
+      ( "concurrency",
+        [
+          Alcotest.test_case "metrics exact under 4 domains" `Quick
+            test_concurrent_metrics;
+        ] );
+      ( "bus",
+        [
+          Alcotest.test_case "publish order and stamping" `Quick
+            test_bus_ordering;
+          Alcotest.test_case "ring drops oldest on overflow" `Quick
+            test_bus_ring_overflow;
+          Alcotest.test_case "concurrent publish from 4 domains" `Quick
+            test_bus_concurrent_publish;
+          Alcotest.test_case "file sink round-trips every event" `Quick
+            test_bus_file_sink_roundtrip;
+        ] );
+      ( "cockpit",
+        [
+          Alcotest.test_case "state advances from event lines alone" `Quick
+            test_cockpit_incremental;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "slow solver latches a stall" `Quick
+            test_watchdog_stall;
+          Alcotest.test_case "healthy solver never stalls" `Quick
+            test_watchdog_healthy;
+          Alcotest.test_case "policy string parsing" `Quick
+            test_watchdog_policy_of_string;
+          Alcotest.test_case "rebudget turns a stall into Unknown" `Quick
+            test_watchdog_rebudget;
+        ] );
+      ( "prometheus",
+        [ Alcotest.test_case "text format and atomic write" `Quick test_prometheus_render ] );
       ("fuzz", [ fuzz_determinism ]);
     ]

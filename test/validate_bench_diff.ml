@@ -1,0 +1,48 @@
+(* Forced-regression self-test for the `bench diff` gate: copy a
+   BENCH_*.json, multiplying every time-like leaf (keys ending in _s)
+   by 10 — far beyond any noise threshold — so the @obs-smoke rule can
+   prove the gate actually exits 1 on a regressed file while the
+   untouched copy passes.
+
+     validate_bench_diff.exe slow SRC.json DST.json *)
+
+let time_like k =
+  let n = String.length k in
+  n > 2 && String.sub k (n - 2) 2 = "_s"
+
+let rec slow j =
+  match j with
+  | Obs.Json.Obj kvs ->
+      Obs.Json.Obj
+        (List.map
+           (fun (k, v) ->
+             match v with
+             | Obs.Json.Float f when time_like k -> (k, Obs.Json.Float (f *. 10.))
+             | Obs.Json.Int i when time_like k ->
+                 (k, Obs.Json.Float (float_of_int i *. 10.))
+             | v -> (k, slow v))
+           kvs)
+  | Obs.Json.List l -> Obs.Json.List (List.map slow l)
+  | (Obs.Json.Null | Obs.Json.Bool _ | Obs.Json.Int _ | Obs.Json.Float _
+    | Obs.Json.Str _) as v ->
+      v
+
+let () =
+  match Sys.argv with
+  | [| _; "slow"; src; dst |] -> (
+      let ic = open_in_bin src in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Obs.Json.parse s with
+      | Error e ->
+          Printf.eprintf "FAIL: %s: %s\n" src e;
+          exit 1
+      | Ok j ->
+          Obs.Json.write_file ~path:dst (slow j);
+          Printf.printf "slowed copy of %s written to %s\n" src dst)
+  | _ ->
+      prerr_endline "usage: validate_bench_diff.exe slow SRC.json DST.json";
+      exit 2
