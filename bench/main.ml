@@ -1520,45 +1520,14 @@ let diff_rows j =
         rows
   | _ -> []
 
-(* Flatten a row to its numeric leaves, dotted-path keyed:
-   "o2.stats.solve_s" -> 0.319. *)
-let rec diff_leaves prefix j acc =
-  let child k = if prefix = "" then k else prefix ^ "." ^ k in
-  match j with
-  | Json.Obj kvs ->
-      List.fold_left (fun acc (k, v) -> diff_leaves (child k) v acc) acc kvs
-  | Json.List l ->
-      List.fold_left
-        (fun (i, acc) v -> (i + 1, diff_leaves (child (string_of_int i)) v acc))
-        (0, acc) l
-      |> snd
-  | Json.Int n -> (prefix, float_of_int n) :: acc
-  | Json.Float f -> (prefix, f) :: acc
-  | Json.Null | Json.Bool _ | Json.Str _ -> acc
-
-let diff_gated path =
-  let last =
-    match String.rindex_opt path '.' with
-    | Some i -> String.sub path (i + 1) (String.length path - i - 1)
-    | None -> path
-  in
-  let n = String.length last in
-  if last = "speedup" then Some `Higher_better
-  else if n > 2 && String.sub last (n - 2) 2 = "_s" then Some `Lower_better
-  else None
-
-let diff_env_float name default =
-  match Sys.getenv_opt name with
-  | None -> default
-  | Some s -> (
-      match float_of_string_opt s with
-      | Some f when f > 0. -> f
-      | _ -> failwith (Printf.sprintf "bench diff: %s must be a positive float" name))
+(* The leaf flattening ("o2.stats.solve_s" -> 0.319), the
+   suffix-directed gate, and the ratio+floor regression predicate are
+   Obs.Numdiff — shared verbatim with [autocc diff-runs], so the two
+   gates can never drift apart. *)
 
 let diff_bench base_path fresh_path =
   header "Bench diff — perf-regression gate";
-  let ratio = diff_env_float "AUTOCC_DIFF_RATIO" 1.5 in
-  let floor_s = diff_env_float "AUTOCC_DIFF_FLOOR_S" 0.02 in
+  let ratio, floor_s = Obs.Numdiff.thresholds () in
   let base = diff_read base_path and fresh = diff_read fresh_path in
   let bench_of j =
     match Json.member "bench" j with Some (Json.Str s) -> s | _ -> "?"
@@ -1582,10 +1551,10 @@ let diff_bench base_path fresh_path =
           Printf.printf "     %-6s %-28s %10s %10s %7s  %s\n" id "(row)" "-"
             "missing" "-" "REGRESSED"
       | Some frow ->
-          let fleaves = diff_leaves "" frow [] in
+          let fleaves = Obs.Numdiff.leaves frow in
           List.iter
             (fun (key, bv) ->
-              match diff_gated key with
+              match Obs.Numdiff.gate key with
               | None -> ()
               | Some direction -> (
                   match List.assoc_opt key fleaves with
@@ -1595,25 +1564,21 @@ let diff_bench base_path fresh_path =
                         key bv "missing" "-" "REGRESSED"
                   | Some fv ->
                       let regressed =
-                        match direction with
-                        | `Lower_better ->
-                            fv > (bv *. ratio) && fv -. bv > floor_s
-                        | `Higher_better ->
-                            (* Speedups are dimensionless; the floor
-                               guards absolute drop instead. *)
-                            fv < (bv /. ratio) && bv -. fv > floor_s
+                        Obs.Numdiff.regressed direction ~ratio ~floor:floor_s
+                          ~base:bv ~fresh:fv
                       in
                       if regressed then incr regressions;
                       (* Keep the table to the signal: regressions and
                          the headline wall_s rows. *)
-                      if regressed || diff_gated key = Some `Higher_better
+                      if regressed
+                         || direction = Obs.Numdiff.Higher_better
                          || String.length key < 12
                       then
                         Printf.printf "     %-6s %-28s %10.3f %10.3f %7.2f  %s\n"
                           id key bv fv
                           (fv /. Float.max 1e-9 bv)
                           (if regressed then "REGRESSED" else "ok")))
-            (diff_leaves "" brow []))
+            (Obs.Numdiff.leaves brow))
     base_rows;
   List.iter
     (fun (id, _) ->
@@ -1645,8 +1610,38 @@ let all () =
   scaling ();
   flush_tdd ()
 
+(* One run-ledger row per bench invocation (tool "bench", subject = the
+   subcommand) when a ledger directory is resolvable from the
+   environment — a single line-flushed append after the work, so the
+   smoke overhead gates never see it.  Best-effort like the CLI's. *)
+let ledger_record sub ~t0 ~cpu0 =
+  match Obs.Ledger.resolve_dir () with
+  | None -> ()
+  | Some dir -> (
+      try
+        Obs.Ledger.append ~dir
+          {
+            Obs.Ledger.r_id = Obs.Ledger.run_id ();
+            r_tool = "bench";
+            r_subject = sub;
+            r_config = "";
+            r_dut_hash = "";
+            r_ts = Unix.gettimeofday ();
+            r_wall_s = Unix.gettimeofday () -. t0;
+            r_cpu_s = Sys.time () -. cpu0;
+            r_cache_hits = 0;
+            r_cache_misses = 0;
+            r_cache_stores = 0;
+            r_asserts = [];
+            r_artifacts = [];
+          }
+      with Sys_error _ -> ())
+
 let () =
-  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  let sub = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let t0 = Unix.gettimeofday () in
+  let cpu0 = Sys.time () in
+  (match sub with
   | "table1" -> table1 ()
   | "table2" -> table2 ()
   | "exploit" -> exploit ()
@@ -1677,4 +1672,5 @@ let () =
       Printf.eprintf
         "unknown experiment %s (try table1|table2|exploit|aes_proof|fixes|baseline|latency|flush_tdd|parallel|opt|incremental|cache|symmetric|campaign|robustness|smoke|diff|bechamel|all)\n"
         other;
-      exit 1
+      exit 1);
+  ledger_record sub ~t0 ~cpu0

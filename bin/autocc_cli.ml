@@ -32,9 +32,80 @@ let setup_telemetry ?metrics_file trace log_json log_level =
      (and once more at shutdown). *)
   Option.iter (fun p -> Obs.Exposition.start p) metrics_file
 
-let with_telemetry ?metrics_file trace log_json log_level f =
+(* {2 Run ledger}
+
+   Verifying subcommands deposit a run record here (sans timings); the
+   telemetry wrapper patches in the whole-command wall/CPU and appends
+   it to <dir>/runs.jsonl on the way out, so the row covers everything
+   from argument parsing to the last artifact write.  The ledger
+   directory defaults to the verdict-cache directory: the cache's
+   provenance records cite run ids, so the two stores belong together. *)
+
+let pending_run : Obs.Ledger.run option ref = ref None
+
+let cache_counts cache =
+  match cache with
+  | None -> (0, 0, 0)
+  | Some c ->
+      let st = Cache.stats c in
+      (st.Cache.hits, st.Cache.misses, st.Cache.stores)
+
+let record_run ?(asserts = []) ?(artifacts = []) ?(config = "")
+    ?(dut_hash = "") ~tool ~subject cache =
+  let hits, misses, stores = cache_counts cache in
+  pending_run :=
+    Some
+      {
+        Obs.Ledger.r_id = Obs.Ledger.run_id ();
+        r_tool = tool;
+        r_subject = subject;
+        r_config = config;
+        r_dut_hash = dut_hash;
+        r_ts = Unix.gettimeofday ();
+        (* patched by [with_telemetry] at append time *)
+        r_wall_s = 0.;
+        r_cpu_s = 0.;
+        r_cache_hits = hits;
+        r_cache_misses = misses;
+        r_cache_stores = stores;
+        r_asserts = asserts;
+        r_artifacts = List.filter Sys.file_exists artifacts;
+      }
+
+let with_telemetry ?metrics_file ?ledger_dir ~cmd trace log_json log_level f =
   setup_telemetry ?metrics_file trace log_json log_level;
-  let r = Fun.protect ~finally:Obs.shutdown f in
+  pending_run := None;
+  let t0 = Unix.gettimeofday () in
+  let cpu0 = Sys.time () in
+  let r =
+    Fun.protect ~finally:Obs.shutdown @@ fun () ->
+    (* The root span covers the whole command, so [autocc profile]'s
+       attributed total matches the ledger row's wall to within the
+       setup/teardown epsilon. *)
+    let r = Obs.span ("cli." ^ cmd) f in
+    (match !pending_run with
+    | None -> ()
+    | Some run -> (
+        match Obs.Ledger.resolve_dir ?explicit:ledger_dir () with
+        | None -> ()
+        | Some dir -> (
+            let run =
+              {
+                run with
+                Obs.Ledger.r_wall_s = Unix.gettimeofday () -. t0;
+                r_cpu_s = Sys.time () -. cpu0;
+              }
+            in
+            try
+              Obs.Ledger.append ~dir run;
+              Format.printf "Run %s recorded in %s@." run.Obs.Ledger.r_id
+                (Obs.Ledger.path dir)
+            with Sys_error msg ->
+              (* Best-effort, like the verdict cache's disk half: an
+                 unwritable ledger never fails the verification run. *)
+              Format.eprintf "autocc: run ledger skipped: %s@." msg)));
+    r
+  in
   Option.iter (fun p -> Format.printf "Trace written to %s (load at ui.perfetto.dev)@." p) trace;
   Option.iter (fun p -> Format.printf "Structured log written to %s@." p) log_json;
   Option.iter (fun p -> Format.printf "Metrics snapshot written to %s@." p) metrics_file;
@@ -140,7 +211,9 @@ let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfol
   let incremental = not no_incremental in
   let symmetric = not no_symmetric in
   let cache = cache_of cache_dir no_cache in
-  with_telemetry ?metrics_file trace log_json log_level @@ fun () ->
+  with_telemetry ?metrics_file ?ledger_dir:cache_dir ~cmd:"analyze" trace
+    log_json log_level
+  @@ fun () ->
   let dut =
     match verilog with
     | Some path ->
@@ -223,7 +296,38 @@ let analyze dut_name verilog top blackbox stage threshold max_depth jobs portfol
          else Printf.sprintf "clean up to depth %d" stats.Bmc.depth_reached)
         stats.Bmc.solve_time);
   print_cache_summary cache;
-  Format.printf "@.Total wall-clock: %.2fs@." (Unix.gettimeofday () -. t0);
+  let wall = Unix.gettimeofday () -. t0 in
+  Format.printf "@.Total wall-clock: %.2fs@." wall;
+  (let subject =
+     match (dut_name, verilog) with
+     | Some n, _ -> n
+     | None, Some p -> Filename.basename p
+     | None, None -> "?"
+   in
+   let dut_hash, _key, config =
+     Bmc.cache_fingerprint ~engine:"check" ~max_depth ~opt ~incremental ~budget
+       ft.Autocc.Ft.property
+   in
+   let a_verdict, a_depth =
+     match outcome with
+     | Bmc.Cex (cex, _) -> ("cex", cex.Bmc.cex_depth)
+     | Bmc.Bounded_proof st -> ("proof", st.Bmc.depth_reached)
+     | Bmc.Unknown (reason, st) ->
+         ("unknown:" ^ Bmc.unknown_reason_to_string reason, st.Bmc.depth_reached)
+   in
+   let hits, _, _ = cache_counts cache in
+   record_run ~tool:"analyze" ~subject ~config ~dut_hash cache
+     ~asserts:
+       [
+         {
+           Obs.Ledger.a_name = "property";
+           a_verdict;
+           a_depth;
+           a_wall_s = wall;
+           a_cached = hits > 0;
+         };
+       ]
+     ~artifacts:(List.filter_map Fun.id [ vcd; trace; log_json; metrics_file ]));
   if Obs.Metrics.enabled () then print_metrics_summary ();
   0
 
@@ -235,7 +339,9 @@ let prove dut_name verilog top stage threshold max_depth jobs timeout
   let incremental = not no_incremental in
   let symmetric = not no_symmetric in
   let cache = cache_of cache_dir no_cache in
-  with_telemetry ?metrics_file trace log_json log_level @@ fun () ->
+  with_telemetry ?metrics_file ?ledger_dir:cache_dir ~cmd:"prove" trace
+    log_json log_level
+  @@ fun () ->
   let dut =
     match verilog with
     | Some path -> Frontend.Elaborate.circuit_of_file ?top path
@@ -260,9 +366,9 @@ let prove dut_name verilog top stage threshold max_depth jobs timeout
     (Opt.level_to_int opt)
     (if jobs > 1 then Printf.sprintf " (%d worker domains)" jobs else "");
   let t0 = Unix.gettimeofday () in
+  let budget = budget_of timeout conflict_budget in
   let outcome =
-    Autocc.Ft.prove ~max_depth ~progress ~jobs
-      ~budget:(budget_of timeout conflict_budget)
+    Autocc.Ft.prove ~max_depth ~progress ~jobs ~budget
       ?retry:(retry_of retries) ~opt ~incremental ~symmetric ?cache ft
   in
   (match outcome with
@@ -290,7 +396,38 @@ let prove dut_name verilog top stage threshold max_depth jobs timeout
         (Bmc.unknown_reason_to_string reason)
         stats.Bmc.depth_reached stats.Bmc.solve_time);
   print_cache_summary cache;
-  Format.printf "@.Total wall-clock: %.2fs@." (Unix.gettimeofday () -. t0);
+  let wall = Unix.gettimeofday () -. t0 in
+  Format.printf "@.Total wall-clock: %.2fs@." wall;
+  (let subject =
+     match (dut_name, verilog) with
+     | Some n, _ -> n
+     | None, Some p -> Filename.basename p
+     | None, None -> "?"
+   in
+   let dut_hash, _key, config =
+     Bmc.cache_fingerprint ~engine:"prove" ~max_depth ~opt ~incremental ~budget
+       ft.Autocc.Ft.property
+   in
+   let a_verdict, a_depth =
+     match outcome with
+     | Bmc.Proved (k, _) -> ("proved", k)
+     | Bmc.Refuted (cex, _) -> ("refuted", cex.Bmc.cex_depth)
+     | Bmc.Unknown (reason, st) ->
+         ("unknown:" ^ Bmc.unknown_reason_to_string reason, st.Bmc.depth_reached)
+   in
+   let hits, _, _ = cache_counts cache in
+   record_run ~tool:"prove" ~subject ~config ~dut_hash cache
+     ~asserts:
+       [
+         {
+           Obs.Ledger.a_name = "property";
+           a_verdict;
+           a_depth;
+           a_wall_s = wall;
+           a_cached = hits > 0;
+         };
+       ]
+     ~artifacts:(List.filter_map Fun.id [ vcd; trace; log_json; metrics_file ]));
   if Obs.Metrics.enabled () then print_metrics_summary ();
   0
 
@@ -375,7 +512,7 @@ let export dut_name dir threshold depth arch_regs =
 
 let stats dut_name max_depth jobs opt_level trace log_json log_level
     metrics_file =
-  with_telemetry ?metrics_file trace log_json log_level @@ fun () ->
+  with_telemetry ?metrics_file ~cmd:"stats" trace log_json log_level @@ fun () ->
   List.iter
     (fun name ->
       let dut =
@@ -428,7 +565,9 @@ let campaign duts threshold max_depth timeout conflict_budget retries resume
   let incremental = not no_incremental in
   let symmetric = not no_symmetric in
   let cache = cache_of cache_dir no_cache in
-  with_telemetry ?metrics_file trace log_json log_level @@ fun () ->
+  with_telemetry ?metrics_file ?ledger_dir:cache_dir ~cmd:"campaign" trace
+    log_json log_level
+  @@ fun () ->
   (* The artifacts embed a telemetry snapshot, so the registry is always
      on for a campaign. *)
   Obs.Metrics.enable ();
@@ -466,6 +605,35 @@ let campaign duts threshold max_depth timeout conflict_budget retries resume
   List.iter
     (fun p -> Format.printf "artifact: %s@." p)
     result.Explain.Campaign.c_artifacts;
+  (let config =
+     Bmc.cache_config ~engine:"check" ~max_depth ~opt ~incremental
+       ~solver_config:None
+       ~budget:(budget_of timeout conflict_budget)
+   in
+   let asserts =
+     List.map
+       (fun (r : Explain.Campaign.entry_result) ->
+         let a_verdict =
+           match r.Explain.Campaign.r_status with
+           | `Failed msg -> "failed:" ^ msg
+           | `Done ->
+               Printf.sprintf "done:%d-channels%s"
+                 (List.length r.Explain.Campaign.r_index)
+                 (if r.Explain.Campaign.r_unknowns > 0 then
+                    Printf.sprintf ",%d-unknown" r.Explain.Campaign.r_unknowns
+                  else "")
+         in
+         {
+           Obs.Ledger.a_name = r.Explain.Campaign.r_label;
+           a_verdict;
+           a_depth = r.Explain.Campaign.r_depth;
+           a_wall_s = float_of_int r.Explain.Campaign.r_wall_ms /. 1000.;
+           a_cached = r.Explain.Campaign.r_resumed;
+         })
+       result.Explain.Campaign.c_results
+   in
+   record_run ~tool:"campaign" ~subject:(String.concat "," duts) ~config cache
+     ~asserts ~artifacts:result.Explain.Campaign.c_artifacts);
   if Obs.Metrics.enabled () then print_metrics_summary ();
   0
 
@@ -543,50 +711,36 @@ let heartbeat_note hb ~stale ~now label =
           else Some "CRASHED (pid gone)"
       | _ -> None)
 
-let top out_dir once interval duration stale =
+let top out_dir once json interval duration stale =
+  let once = once || json in
   let events_path = Filename.concat out_dir "events.jsonl" in
   let cockpit = Obs.Cockpit.create () in
-  let offset = ref 0 in
-  let partial = Buffer.create 256 in
-  (* Cross-process tailing: re-open the file each tick, seek past what
-     we've already consumed, and feed only complete lines — a torn
-     trailing line (the writer mid-append) is carried to the next tick
-     instead of being miscounted as corrupt. *)
+  (* Cross-process tailing (truncation-aware, torn trailing line carried
+     to the next tick) is Obs.Tail — the same machinery the tests drive
+     against a writer mid-append. *)
+  let tail = Obs.Tail.create events_path in
   let drain () =
-    match open_in_bin events_path with
-    | exception Sys_error _ -> ()
-    | ic ->
-        Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
-        let len = in_channel_length ic in
-        if len < !offset then begin
-          (* Truncated/replaced file (fresh campaign in the same dir):
-             start over. *)
-          offset := 0;
-          Buffer.clear partial
-        end;
-        seek_in ic !offset;
-        Buffer.add_string partial (really_input_string ic (len - !offset));
-        offset := len;
-        let data = Buffer.contents partial in
-        Buffer.clear partial;
-        let rec lines from =
-          match String.index_from_opt data from '\n' with
-          | Some i ->
-              Obs.Cockpit.feed_line cockpit (String.sub data from (i - from));
-              lines (i + 1)
-          | None ->
-              Buffer.add_substring partial data from (String.length data - from)
-        in
-        lines 0
+    List.iter (Obs.Cockpit.feed_line cockpit) (Obs.Tail.poll tail)
   in
   let t_start = Unix.gettimeofday () in
   let rec frame () =
     drain ();
     let now = Unix.gettimeofday () in
     let hb = read_heartbeats out_dir in
-    if not once then print_string "\027[2J\027[H";
-    print_string (Obs.Cockpit.render ~now ~note:(heartbeat_note hb ~stale ~now) cockpit);
+    let note = heartbeat_note hb ~stale ~now in
+    if json then
+      print_string
+        (Obs.Json.to_string (Obs.Cockpit.render_json ~now ~note cockpit) ^ "\n")
+    else begin
+      if not once then print_string "\027[2J\027[H";
+      print_string (Obs.Cockpit.render ~now ~note cockpit)
+    end;
     flush stdout;
+    let settled () =
+      List.for_all
+        (fun r -> r.Obs.Cockpit.ro_verdict <> "running")
+        (Obs.Cockpit.rows cockpit)
+    in
     let finished =
       (* The campaign is over when its heartbeat file marks every entry
          done, or when the owning process is gone and nothing is
@@ -594,11 +748,15 @@ let top out_dir once interval duration stale =
       match hb with
       | Some { hb_entries = _ :: _ as entries; hb_pid } ->
           List.for_all (fun (_, (_, d)) -> d) entries
-          || (not (pid_alive hb_pid))
-             && List.for_all
-                  (fun r -> r.Obs.Cockpit.ro_verdict <> "running")
-                  (Obs.Cockpit.rows cockpit)
-      | _ -> false
+          || ((not (pid_alive hb_pid)) && settled ())
+      | _ ->
+          (* A cleanly completed campaign deletes its heartbeat sidecar
+             on exit, so "events but no heartbeat file, and every row is
+             settled" also means over.  A campaign that has not produced
+             events yet has no rows and keeps us polling. *)
+          Obs.Cockpit.rows cockpit <> []
+          && (not (Sys.file_exists (Filename.concat out_dir "heartbeats.json")))
+          && settled ()
     in
     let timed_out =
       match duration with Some d -> now -. t_start >= d | None -> false
@@ -612,6 +770,288 @@ let top out_dir once interval duration stale =
   if (not (Sys.file_exists events_path)) && not (Sys.file_exists out_dir) then
     failwith (Printf.sprintf "no campaign directory at %s" out_dir);
   frame ()
+
+(* {1 history / diff-runs / why / profile}
+
+   Post-mortem archaeology over the run ledger and the verdict cache.
+   These are strictly read-only: they record no ledger row of their own
+   and never touch the cache's hit/miss counters. *)
+
+let ledger_dir_of ledger_dir =
+  match Obs.Ledger.resolve_dir ?explicit:ledger_dir () with
+  | Some dir -> dir
+  | None ->
+      failwith
+        "no ledger directory: give --ledger-dir, or set AUTOCC_LEDGER_DIR or \
+         AUTOCC_CACHE_DIR"
+
+let fmt_ts ts =
+  let tm = Unix.localtime ts in
+  Printf.sprintf "%04d-%02d-%02d %02d:%02d:%02d" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let clip n s = if String.length s <= n then s else String.sub s 0 (n - 2) ^ ".."
+
+(* "3 cex, 1 unknown"-style roll-up of a run's assertion records, keyed
+   by the verdict kind (the part before any ':' detail). *)
+let verdict_summary = function
+  | [] -> "-"
+  | asserts ->
+      let tally = Hashtbl.create 4 in
+      let order = ref [] in
+      List.iter
+        (fun (a : Obs.Ledger.assert_record) ->
+          let k =
+            match String.index_opt a.Obs.Ledger.a_verdict ':' with
+            | Some i -> String.sub a.Obs.Ledger.a_verdict 0 i
+            | None -> a.Obs.Ledger.a_verdict
+          in
+          if not (Hashtbl.mem tally k) then order := k :: !order;
+          Hashtbl.replace tally k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tally k)))
+        asserts;
+      String.concat ", "
+        (List.rev_map
+           (fun k -> Printf.sprintf "%d %s" (Hashtbl.find tally k) k)
+           !order)
+
+let rec list_drop n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: t -> list_drop (n - 1) t
+
+let history ledger_dir tool subject last =
+  let dir = ledger_dir_of ledger_dir in
+  let runs, bad = Obs.Ledger.load dir in
+  let keep (r : Obs.Ledger.run) =
+    (match tool with None -> true | Some t -> r.Obs.Ledger.r_tool = t)
+    && match subject with None -> true | Some s -> r.Obs.Ledger.r_subject = s
+  in
+  let runs = List.filter keep runs in
+  let runs =
+    if last > 0 then list_drop (List.length runs - last) runs else runs
+  in
+  if runs = [] then
+    Format.printf "no matching runs in %s@." (Obs.Ledger.path dir)
+  else begin
+    Format.printf "%-18s %-8s %-18s %-19s %9s %11s  %s@." "RUN" "TOOL"
+      "SUBJECT" "WHEN" "WALL" "CACHE H/Q" "VERDICTS";
+    List.iter
+      (fun (r : Obs.Ledger.run) ->
+        Format.printf "%-18s %-8s %-18s %-19s %8.2fs %5d/%-5d  %s@."
+          r.Obs.Ledger.r_id r.r_tool (clip 18 r.r_subject) (fmt_ts r.r_ts)
+          r.r_wall_s r.r_cache_hits
+          (r.r_cache_hits + r.r_cache_misses)
+          (verdict_summary r.r_asserts))
+      runs
+  end;
+  if bad > 0 then
+    Format.printf "(%d unparseable ledger line%s skipped)@." bad
+      (if bad = 1 then "" else "s");
+  0
+
+let diff_runs ledger_dir ref_base ref_fresh =
+  let dir = ledger_dir_of ledger_dir in
+  let resolve r =
+    match Obs.Ledger.find dir ~ref:r with
+    | Some run -> run
+    | None ->
+        failwith
+          (Printf.sprintf "no run matching %S in %s" r (Obs.Ledger.path dir))
+  in
+  let base = resolve ref_base in
+  let fresh = resolve ref_fresh in
+  Format.printf "base : %s  %s %s  (%s)@." base.Obs.Ledger.r_id
+    base.Obs.Ledger.r_tool base.Obs.Ledger.r_subject
+    (fmt_ts base.Obs.Ledger.r_ts);
+  Format.printf "fresh: %s  %s %s  (%s)@." fresh.Obs.Ledger.r_id
+    fresh.Obs.Ledger.r_tool fresh.Obs.Ledger.r_subject
+    (fmt_ts fresh.Obs.Ledger.r_ts);
+  if base.Obs.Ledger.r_config <> fresh.Obs.Ledger.r_config then
+    Format.printf
+      "note : configurations differ — flips below may be config-induced@.  \
+       base : %s@.  fresh: %s@."
+      base.Obs.Ledger.r_config fresh.Obs.Ledger.r_config;
+  (* Verdict flips: every base assertion record must persist with the
+     same verdict; disappearing or changing is a flip. *)
+  let flips = ref 0 in
+  List.iter
+    (fun (a : Obs.Ledger.assert_record) ->
+      match
+        List.find_opt
+          (fun (b : Obs.Ledger.assert_record) ->
+            b.Obs.Ledger.a_name = a.Obs.Ledger.a_name)
+          fresh.Obs.Ledger.r_asserts
+      with
+      | None ->
+          incr flips;
+          Format.printf "FLIP %-24s %s -> (missing)@." a.Obs.Ledger.a_name
+            a.Obs.Ledger.a_verdict
+      | Some b when b.Obs.Ledger.a_verdict <> a.Obs.Ledger.a_verdict ->
+          incr flips;
+          Format.printf "FLIP %-24s %s -> %s@." a.Obs.Ledger.a_name
+            a.Obs.Ledger.a_verdict b.Obs.Ledger.a_verdict
+      | Some _ -> ())
+    base.Obs.Ledger.r_asserts;
+  (* Timing: the same dotted-leaf ratio+floor gate as [bench diff],
+     applied to the two ledger rows. *)
+  let ratio, floor = Obs.Numdiff.thresholds () in
+  let fresh_leaves = Obs.Numdiff.leaves (Obs.Ledger.json_of_run fresh) in
+  let regressions = ref 0 in
+  Format.printf "@.%-32s %12s %12s %9s@." "leaf" "base" "fresh" "ratio";
+  List.iter
+    (fun (path, bv) ->
+      match Obs.Numdiff.gate path with
+      | None -> ()
+      | Some d -> (
+          match List.assoc_opt path fresh_leaves with
+          | None -> ()
+          | Some fv ->
+              let reg =
+                Obs.Numdiff.regressed d ~ratio ~floor ~base:bv ~fresh:fv
+              in
+              if reg then incr regressions;
+              Format.printf "%-32s %12.4f %12.4f %9s%s@." path bv fv
+                (if bv = 0. then "-"
+                 else Printf.sprintf "%.2fx" (fv /. bv))
+                (if reg then "  REGRESSED" else "")))
+    (Obs.Numdiff.leaves (Obs.Ledger.json_of_run base));
+  if !flips = 0 && !regressions = 0 then begin
+    Format.printf
+      "@.OK: no verdict flips, no timing regressions (ratio %g, floor %gs)@."
+      ratio floor;
+    0
+  end
+  else begin
+    Format.printf "@.%d verdict flip(s), %d timing regression(s)@." !flips
+      !regressions;
+    1
+  end
+
+let why dut_name assertion stage threshold max_depth timeout conflict_budget
+    opt_level no_incremental cache_dir no_cache ledger_dir =
+  let incremental = not no_incremental in
+  let opt = Opt.level_of_int opt_level in
+  let budget = budget_of timeout conflict_budget in
+  let cache =
+    match cache_of cache_dir no_cache with
+    | Some c -> c
+    | None ->
+        failwith
+          "why needs the verdict cache: give --cache-dir or set \
+           AUTOCC_CACHE_DIR"
+  in
+  let dut =
+    build_dut dut_name ~stage ~fix_m2:false ~fix_m3:false ~fix_c1:false
+      ~fix_c2:false ~fix_c3:false ~full_flush:false
+  in
+  let ft = ft_for dut_name dut ~stage ~threshold in
+  let property = ft.Autocc.Ft.property in
+  let runs =
+    match Obs.Ledger.resolve_dir ?explicit:ledger_dir () with
+    | Some dir -> fst (Obs.Ledger.load dir)
+    | None -> []
+  in
+  let print_run_row p_run =
+    match
+      List.find_opt
+        (fun (r : Obs.Ledger.run) -> r.Obs.Ledger.r_id = p_run)
+        runs
+    with
+    | Some r ->
+        Format.printf "  producing run  : %s (%s %s, %s, wall %.2fs, cache %d/%d)@."
+          r.Obs.Ledger.r_id r.r_tool r.r_subject (fmt_ts r.r_ts) r.r_wall_s
+          r.r_cache_hits
+          (r.r_cache_hits + r.r_cache_misses)
+    | None ->
+        Format.printf "  producing run  : %s (%s)@." p_run
+          (if runs = [] then "no ledger loaded" else "not in the ledger")
+  in
+  (* Recompute exactly the (structural hash, key, config) triple the
+     engine addressed the cache with, then peek — no counters touched. *)
+  let audit title prop ~engine ~incremental =
+    let dut_hash, key, config =
+      Bmc.cache_fingerprint ~engine ~max_depth ~opt ~incremental ~budget prop
+    in
+    Format.printf "@.%s@." title;
+    Format.printf "  structural hash: %s@." dut_hash;
+    Format.printf "  config         : %s@." config;
+    Format.printf "  cache key      : %s@." key;
+    match Cache.peek cache key with
+    | None ->
+        Format.printf "  verdict        : (not cached)@.";
+        false
+    | Some (v, prov) ->
+        Format.printf "  verdict        : %s@."
+          (match v with
+          | Cache.Bounded d -> Printf.sprintf "bounded proof to depth %d" d
+          | Cache.Proved k -> Printf.sprintf "proved by %d-induction" k
+          | Cache.Cex c ->
+              Printf.sprintf "counterexample at depth %d" c.Cache.v_depth);
+        (match prov with
+        | None ->
+            Format.printf
+              "  provenance     : none recorded (pre-provenance store)@."
+        | Some p ->
+            Format.printf "  stored         : %s by run %s (engine %s)@."
+              (fmt_ts p.Cache.p_ts) p.Cache.p_run p.Cache.p_engine;
+            print_run_row p.Cache.p_run);
+        true
+  in
+  let found =
+    match assertion with
+    | None ->
+        (* The property-level entries analyze (engine "check") and prove
+           (engine "prove") store; audit both unconditionally so the
+           output says which one exists. *)
+        let a =
+          audit "property-level entry (engine check)" property ~engine:"check"
+            ~incremental
+        in
+        let b =
+          audit "property-level entry (engine prove)" property ~engine:"prove"
+            ~incremental
+        in
+        a || b
+    | Some name -> (
+        match
+          List.find_opt (fun (n, _) -> n = name) property.Bmc.asserts
+        with
+        | None ->
+            failwith
+              (Printf.sprintf "no assertion %S in the %s FT (have: %s)" name
+                 dut_name
+                 (String.concat ", " (List.map fst property.Bmc.asserts)))
+        | Some (n, s) ->
+            (* Per-assertion entries (campaign sweeps / the sharded
+               engine) key the single-assertion sub-property, always on
+               a persistent solver. *)
+            let sub = { property with Bmc.asserts = [ (n, s) ] } in
+            audit
+              (Printf.sprintf "per-assertion entry %S" n)
+              sub ~engine:"check" ~incremental:true)
+  in
+  if found then 0
+  else begin
+    Format.printf
+      "@.No cached verdict under this configuration — run analyze, prove or \
+       campaign with the same flags and this cache directory first.@.";
+    1
+  end
+
+let profile trace_path svg =
+  match Obs.Profile.of_file trace_path with
+  | Result.Error msg -> failwith msg
+  | Result.Ok p ->
+      print_string (Obs.Profile.table p);
+      (match svg with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc (Obs.Profile.flamegraph_svg p));
+          Format.printf "Flamegraph written to %s@." path);
+      0
 
 (* {1 Terms} *)
 
@@ -974,6 +1414,14 @@ let top_cmd =
       & info [ "once" ]
           ~doc:"Render a single frame (no screen clearing) and exit.")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print one machine-readable autocc.top/1 JSON snapshot instead of \
+             the table and exit (implies --once).")
+  in
   let interval =
     Arg.(
       value
@@ -1004,7 +1452,7 @@ let top_cmd =
           per-entry depth, verdict, cache hit ratio, solver conflict rate \
           and an ETA, annotating stalled workers from DIR/heartbeats.json. \
           Exits when the campaign completes.")
-    Term.(const top $ out_dir $ once $ interval $ duration $ stale)
+    Term.(const top $ out_dir $ once $ json $ interval $ duration $ stale)
 
 let export_cmd =
   let dir =
@@ -1023,6 +1471,120 @@ let export_cmd =
     (Cmd.info "export"
        ~doc:"Emit the DUT and its AutoCC testbench as SystemVerilog + SBY project.")
     term
+
+let ledger_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger-dir" ] ~docv:"DIR"
+        ~env:(Cmd.Env.info "AUTOCC_LEDGER_DIR")
+        ~doc:
+          "Directory holding the runs.jsonl run ledger. Defaults to \
+           AUTOCC_LEDGER_DIR, then AUTOCC_CACHE_DIR — the ledger lives \
+           beside the verdict cache whose provenance records cite it.")
+
+let history_cmd =
+  let tool =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tool" ] ~docv:"TOOL"
+          ~doc:"Only runs recorded by $(docv): analyze, prove, campaign or bench.")
+  in
+  let subject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "subject" ] ~docv:"NAME"
+          ~doc:"Only runs whose subject (DUT, DUT list or bench subcommand) is $(docv).")
+  in
+  let last =
+    Arg.(
+      value
+      & opt (nonneg_int "--last") 0
+      & info [ "last" ] ~docv:"N"
+          ~doc:"Only the newest $(docv) matching runs (0, the default, lists all).")
+  in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:
+         "List the run ledger (runs.jsonl): one row per recorded \
+          analyze/prove/campaign/bench invocation with its config \
+          fingerprint, wall/CPU time, cache hit ratio and verdict \
+          roll-up. Rows are addressable by id prefix or ~N (Nth newest) \
+          in diff-runs.")
+    Term.(const history $ ledger_dir_arg $ tool $ subject $ last)
+
+let diff_runs_cmd =
+  let base =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASE"
+          ~doc:"Base run: ~N (Nth newest, ~1 = latest) or a run-id prefix.")
+  in
+  let fresh =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"FRESH" ~doc:"Run to compare against BASE.")
+  in
+  Cmd.v
+    (Cmd.info "diff-runs"
+       ~doc:
+         "Compare two ledger rows: report per-assertion verdict flips and \
+          gate duration leaves with the same ratio+floor machinery as \
+          bench diff (AUTOCC_DIFF_RATIO / AUTOCC_DIFF_FLOOR_S). Exits 1 \
+          on any flip or timing regression.")
+    Term.(const diff_runs $ ledger_dir_arg $ base $ fresh)
+
+let why_cmd =
+  let assertion =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "assert" ] ~docv:"NAME"
+          ~doc:
+            "Audit the per-assertion cache entry for $(docv) (the shape \
+             campaign sweeps store) instead of the property-level entry.")
+  in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:
+         "Audit a cached verdict: recompute the structural hash, config \
+          fingerprint and cache key the engine would use for this DUT under \
+          these flags, peek the verdict cache without touching its \
+          counters, and resolve the stored provenance back to the ledger \
+          row of the run that earned it. Exits 1 when nothing is cached \
+          under that key.")
+    Term.(
+      const why $ dut_arg_required $ assertion $ stage_arg $ threshold_arg
+      $ max_depth_arg $ timeout_arg $ conflict_budget_arg $ opt_arg
+      $ no_incremental_arg $ cache_dir_arg $ no_cache_arg $ ledger_dir_arg)
+
+let profile_cmd =
+  let trace =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE"
+          ~doc:"Chrome trace-event JSON written by --trace.")
+  in
+  let svg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "svg" ] ~docv:"FILE"
+          ~doc:"Also write a self-contained flamegraph SVG to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Fold a recorded --trace profile into a merged span tree: total/self \
+          time and call counts per span, self time per category (sat, cnf, \
+          opt, bmc, cache, explain, ...), an attributed-vs-wall coverage \
+          headline, and optionally a flamegraph SVG.")
+    Term.(const profile $ trace $ svg)
 
 let () =
   (* Test builds inject deterministic faults via AUTOCC_FAULT; a no-op
@@ -1046,6 +1608,10 @@ let () =
         stats_cmd;
         campaign_cmd;
         top_cmd;
+        history_cmd;
+        diff_runs_cmd;
+        why_cmd;
+        profile_cmd;
       ]
   in
   (* Operational errors (unwritable --out, missing file, unknown DUT)

@@ -661,6 +661,48 @@ let cache_config ~engine ~max_depth ~opt ~incremental ~solver_config ~budget =
     (Opt.level_to_int opt) incremental cfg (fl budget.bud_wall_s)
     (it budget.bud_conflicts) (it budget.bud_learnts)
 
+(* The exact (structural digest, cache key, config fingerprint) triple
+   {!check}/{!prove} would use for [property] — what `autocc why`
+   recomputes to address the store, and what the run ledger records. *)
+let cache_fingerprint ~engine ?(max_depth = 30) ?(opt = Opt.O0)
+    ?(incremental = true) ?solver_config ?(budget = no_budget) property =
+  let canon =
+    Cache.canon ~assumes:property.assumes
+      ~asserts:(List.map snd property.asserts)
+  in
+  let config =
+    cache_config ~engine ~max_depth ~opt ~incremental ~solver_config ~budget
+  in
+  (canon.Cache.c_digest, Cache.key canon ~config, config)
+
+(* Provenance stamped onto every store: this process's ledger run id
+   plus the full fingerprint, so a later warm hit is auditable back to
+   the run that carried the solve. *)
+let prov_now ~engine ~config ~key =
+  {
+    Cache.p_run = Obs.Ledger.run_id ();
+    p_engine = engine;
+    p_config = config;
+    p_key = key;
+    p_ts = Unix.gettimeofday ();
+  }
+
+(* On a warm hit, surface who earned the verdict (when a log sink is
+   attached): the audit trail costs nothing on the default path. *)
+let log_provenance cache key =
+  if Obs.logging Obs.Info then
+    match Cache.peek cache key with
+    | Some (_, Some p) ->
+        Obs.log Obs.Info "cache.provenance"
+          ~attrs:
+            [
+              ("key", Obs.Json.Str key);
+              ("run", Obs.Json.Str p.Cache.p_run);
+              ("engine", Obs.Json.Str p.Cache.p_engine);
+              ("config", Obs.Json.Str p.Cache.p_config);
+            ]
+    | _ -> ()
+
 (* Statistics for a run the cache answered: no solver existed. *)
 let hit_stats depth =
   {
@@ -771,6 +813,7 @@ let cached_check cache key canon full property max_depth =
   match Cache.find cache key with
   | None -> None
   | Some (Cache.Bounded d) when d = max_depth ->
+      log_provenance cache key;
       Some (Bounded_proof (hit_stats d))
   | Some (Cache.Bounded _) | Some (Cache.Proved _) ->
       (* Malformed under this key (the depth bound and engine are part
@@ -779,13 +822,19 @@ let cached_check cache key canon full property max_depth =
       None
   | Some (Cache.Cex cc) ->
       Option.map
-        (fun cex -> Cex (cex, hit_stats cex.cex_depth))
+        (fun cex ->
+          log_provenance cache key;
+          Cex (cex, hit_stats cex.cex_depth))
         (revalidate_cached_cex cache key canon full property max_depth cc)
 
-let store_check cache key canon property = function
-  | Bounded_proof st -> Cache.add cache key (Cache.Bounded st.depth_reached)
+let store_check cache key canon property ~config = function
+  | Bounded_proof st ->
+      Cache.add cache key (Cache.Bounded st.depth_reached)
+        ~prov:(prov_now ~engine:"check" ~config ~key)
   | Cex (cex, _) ->
-      Cache.add cache key (Cache.Cex (cache_entry_of_cex canon property cex))
+      Cache.add cache key
+        (Cache.Cex (cache_entry_of_cex canon property cex))
+        ~prov:(prov_now ~engine:"check" ~config ~key)
   | Unknown _ -> ()
 
 let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
@@ -807,18 +856,17 @@ let check ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
         Cache.canon ~assumes:property.assumes
           ~asserts:(List.map snd property.asserts)
       in
-      let key =
-        Cache.key canon
-          ~config:
-            (cache_config ~engine:"check" ~max_depth ~opt ~incremental
-               ~solver_config ~budget)
+      let config =
+        cache_config ~engine:"check" ~max_depth ~opt ~incremental
+          ~solver_config ~budget
       in
+      let key = Cache.key canon ~config in
       let full = instrument circuit property in
       match cached_check c key canon full property max_depth with
       | Some o -> o
       | None ->
           let o = engine () in
-          store_check c key canon property o;
+          store_check c key canon property ~config o;
           o)
 
 (* One bounded check per assertion, every assumption kept. Where [check]
@@ -1067,12 +1115,11 @@ let check_each ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
             let canon =
               Cache.canon ~assumes:property.assumes ~asserts:[ orig_a ]
             in
-            let key =
-              Cache.key canon
-                ~config:
-                  (cache_config ~engine:"check" ~max_depth ~opt
-                     ~incremental:true ~solver_config ~budget)
+            let config =
+              cache_config ~engine:"check" ~max_depth ~opt ~incremental:true
+                ~solver_config ~budget
             in
+            let key = Cache.key canon ~config in
             let sub =
               { assumes = property.assumes; asserts = [ (name, orig_a) ] }
             in
@@ -1080,7 +1127,7 @@ let check_each ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
             | Some o -> o
             | None ->
                 let o = run_one idx (name, orig_a) in
-                store_check c key canon sub o;
+                store_check c key canon sub ~config o;
                 o)
       in
       if Obs.Bus.enabled () then begin
@@ -1490,30 +1537,34 @@ let prove ?(max_depth = 30) ?(progress = fun _ -> ()) ?solver_config
         Cache.canon ~assumes:property.assumes
           ~asserts:(List.map snd property.asserts)
       in
-      let key =
-        Cache.key canon
-          ~config:
-            (cache_config ~engine:"prove" ~max_depth ~opt ~incremental
-               ~solver_config ~budget)
+      let config =
+        cache_config ~engine:"prove" ~max_depth ~opt ~incremental
+          ~solver_config ~budget
       in
+      let key = Cache.key canon ~config in
       let full = instrument circuit property in
       let miss () =
         let o = engine () in
+        let prov = prov_now ~engine:"prove" ~config ~key in
         (match o with
-        | Proved (k, _) -> Cache.add c key (Cache.Proved k)
+        | Proved (k, _) -> Cache.add ~prov c key (Cache.Proved k)
         | Refuted (cex, _) ->
-            Cache.add c key (Cache.Cex (cache_entry_of_cex canon property cex))
+            Cache.add ~prov c key
+              (Cache.Cex (cache_entry_of_cex canon property cex))
         | Unknown _ -> ());
         o
       in
       match Cache.find c key with
       | Some (Cache.Proved k) when k >= 0 && k <= max_depth ->
+          log_provenance c key;
           Proved (k, hit_stats k)
       | Some (Cache.Cex cc) -> (
           match
             revalidate_cached_cex c key canon full property max_depth cc
           with
-          | Some cex -> Refuted (cex, hit_stats cex.cex_depth)
+          | Some cex ->
+              log_provenance c key;
+              Refuted (cex, hit_stats cex.cex_depth)
           | None -> miss ())
       | Some (Cache.Proved _) | Some (Cache.Bounded _) ->
           Cache.remove c key;

@@ -113,6 +113,38 @@ exception Cancelled of stats
     [depth_reached] is the depth that was being explored. Used by
     {!Parallel} to abandon jobs once a shallower counterexample exists. *)
 
+val cache_config :
+  engine:string ->
+  max_depth:int ->
+  opt:Opt.level ->
+  incremental:bool ->
+  solver_config:Sat.Solver.config option ->
+  budget:budget ->
+  string
+(** The configuration fingerprint folded into every cache key:
+    everything beyond the property's structure that can influence a
+    verdict ([engine|d=..|o=..|i=..|s=..|b=..]). Also recorded verbatim
+    in run-ledger rows and provenance records, so `autocc why` can show
+    which configuration earned a cached verdict. *)
+
+val cache_fingerprint :
+  engine:string ->
+  ?max_depth:int ->
+  ?opt:Opt.level ->
+  ?incremental:bool ->
+  ?solver_config:Sat.Solver.config ->
+  ?budget:budget ->
+  property ->
+  string * string * string
+(** [(structural digest, cache key, config fingerprint)] — exactly the
+    triple {!check} (engine ["check"]) or {!prove} (engine ["prove"])
+    would address the verdict cache with for [property] under this
+    configuration (defaults match theirs: depth 30, [O0], incremental,
+    no solver config, no budget). [autocc why] uses this to locate and
+    audit entries without running any engine; per-assertion entries of
+    {!check_each} use the same shape on the single-assertion
+    sub-property with [~incremental:true]. *)
+
 val check :
   ?max_depth:int ->
   ?progress:(int -> unit) ->

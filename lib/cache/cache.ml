@@ -170,6 +170,54 @@ let int_of_json = function J.Int i -> i | _ -> raise Bad_entry
 let member name j =
   match J.member name j with Some v -> v | None -> raise Bad_entry
 
+(* {1 Provenance}
+
+   Who earned a verdict: the producing process's ledger run id, the
+   engine, and the full config fingerprint that went into the key. The
+   record rides the JSONL line as an optional "p" field OUTSIDE the
+   integrity digest (which stays over the verdict payload alone), so
+   stores written before provenance existed still parse — they just
+   answer [None] to "who made this". Provenance is descriptive, never
+   load-bearing: no verdict decision reads it. *)
+
+type prov = {
+  p_run : string;
+  p_engine : string;
+  p_config : string;
+  p_key : string;
+  p_ts : float;
+}
+
+let json_of_prov p =
+  J.Obj
+    [
+      ("run", J.Str p.p_run);
+      ("engine", J.Str p.p_engine);
+      ("config", J.Str p.p_config);
+      ("key", J.Str p.p_key);
+      ("ts", J.Float p.p_ts);
+    ]
+
+let prov_of_json j =
+  match
+    (J.member "run" j, J.member "engine" j, J.member "config" j,
+     J.member "key" j)
+  with
+  | Some (J.Str r), Some (J.Str e), Some (J.Str c), Some (J.Str k) ->
+      Some
+        {
+          p_run = r;
+          p_engine = e;
+          p_config = c;
+          p_key = k;
+          p_ts =
+            (match J.member "ts" j with
+            | Some (J.Float f) -> f
+            | Some (J.Int n) -> float_of_int n
+            | _ -> 0.);
+        }
+  | _ -> None
+
 let verdict_of_json j =
   match member "v" j with
   | J.Str "bounded" -> Bounded (int_of_json (member "depth" j))
@@ -213,7 +261,7 @@ type stats = {
 }
 
 type t = {
-  table : (string, verdict) Hashtbl.t;
+  table : (string, verdict * prov option) Hashtbl.t;
   mutex : Mutex.t;
   mutable chan : out_channel option;
   path : string option;
@@ -238,9 +286,10 @@ let gauge_size t =
     Obs.Metrics.set (Lazy.force m_size)
       (float_of_int (Hashtbl.length t.table))
 
-(* A disk line is {"k":key,"d":md5(payload),"v":payload}: the digest is
-   computed over the canonical printing of the payload JSON, which is
-   re-derivable at load because the printer is deterministic. *)
+(* A disk line is {"k":key,"d":md5(payload),"v":payload,"p":prov?}: the
+   digest is computed over the canonical printing of the payload JSON,
+   which is re-derivable at load because the printer is deterministic.
+   The provenance field is optional and outside the digest (see above). *)
 let parse_line line =
   match J.parse line with
   | Error _ -> None
@@ -251,7 +300,13 @@ let parse_line line =
             let payload = member "v" j in
             if Digest.to_hex (Digest.string (J.to_string payload)) <> d then
               None
-            else Some (k, verdict_of_json payload)
+            else
+              let prov =
+                match J.member "p" j with
+                | Some pj -> prov_of_json pj
+                | None -> None
+              in
+              Some (k, verdict_of_json payload, prov)
         | _ -> None
       with Bad_entry -> None)
 
@@ -279,7 +334,7 @@ let create ?dir () =
                        (* Later lines supersede earlier ones: a
                           recomputed verdict wins over the stale entry
                           it replaced. *)
-                       | Some (k, v) -> Hashtbl.replace table k v
+                       | Some (k, v, p) -> Hashtbl.replace table k (v, p)
                        | None -> incr rejects
                    done
                  with End_of_file -> ())
@@ -316,7 +371,7 @@ let find t k =
   Obs.span "cache.lookup" @@ fun () ->
   locked t @@ fun () ->
   match Hashtbl.find_opt t.table k with
-  | Some v ->
+  | Some (v, _) ->
       t.hits <- t.hits + 1;
       count m_hits;
       Obs.Bus.publish Obs.Bus.Cache_hit;
@@ -327,9 +382,13 @@ let find t k =
       Obs.Bus.publish Obs.Bus.Cache_miss;
       None
 
-let add t k v =
+(* Audit lookup: no counters, no bus traffic — `autocc why` inspecting
+   a store must not perturb its hit/miss statistics. *)
+let peek t k = locked t @@ fun () -> Hashtbl.find_opt t.table k
+
+let add ?prov t k v =
   locked t @@ fun () ->
-  Hashtbl.replace t.table k v;
+  Hashtbl.replace t.table k (v, prov);
   t.stores <- t.stores + 1;
   count m_stores;
   gauge_size t;
@@ -340,12 +399,16 @@ let add t k v =
       let line =
         J.to_string
           (J.Obj
-             [
-               ("k", J.Str k);
-               ( "d",
-                 J.Str (Digest.to_hex (Digest.string (J.to_string payload))) );
-               ("v", payload);
-             ])
+             ([
+                ("k", J.Str k);
+                ( "d",
+                  J.Str (Digest.to_hex (Digest.string (J.to_string payload))) );
+                ("v", payload);
+              ]
+             @
+             match prov with
+             | Some p -> [ ("p", json_of_prov p) ]
+             | None -> []))
       in
       (* The fault site models a torn/partial write: the injected path
          persists a truncated line — which load-time integrity checking

@@ -75,6 +75,23 @@ type verdict =
   | Proved of int  (** k-induction succeeded at this k *)
   | Cex of cex
 
+(** {1 Provenance}
+
+    Who earned a verdict. The record is attached at store time, rides
+    the JSONL line as an optional field {e outside} the integrity digest
+    (pre-provenance stores still load; they answer [None]), and is
+    surfaced by [autocc why] to audit a warm hit back to the run that
+    carried the solve. Provenance is descriptive only — no verdict
+    decision ever reads it. *)
+
+type prov = {
+  p_run : string;  (** producing process's {!Obs.Ledger.run_id} *)
+  p_engine : string;  (** ["check"] or ["prove"] *)
+  p_config : string;  (** the full config fingerprint behind the key *)
+  p_key : string;  (** the cache key itself (self-describing lines) *)
+  p_ts : float;  (** store time, seconds since the epoch *)
+}
+
 (** {1 Store} *)
 
 type t
@@ -106,7 +123,11 @@ val find : t -> string -> verdict option
 (** Guarded lookup; counts a hit or a miss, under a [cache.lookup]
     telemetry span. *)
 
-val add : t -> string -> verdict -> unit
+val peek : t -> string -> (verdict * prov option) option
+(** Audit lookup for [autocc why]: the entry plus its provenance,
+    without touching the hit/miss counters or publishing bus events. *)
+
+val add : ?prov:prov -> t -> string -> verdict -> unit
 (** Memoize a conclusive verdict, appending it to the disk store when
     one is attached. The write path contains the [cache.store] fault
     site: an injected fault simulates a torn write (a truncated line

@@ -1254,6 +1254,13 @@ h3 { margin-bottom: 0.2em; }
     match out_dir with
     | None -> { c_results = results; c_artifacts = [] }
     | Some dir ->
+        (* Clean completion: the heartbeat sidecar is live-progress
+           state, meaningless once every entry has checkpointed —
+           leaving it behind would make the next `autocc top` of this
+           directory report a CRASHED owner pid. A campaign that dies
+           mid-run keeps its heartbeats, which is exactly the forensic
+           breadcrumb `top` needs. *)
+        (try Sys.remove (heartbeat_path dir) with Sys_error _ -> ());
         let index = Filename.concat dir "campaign.json" in
         let html = Filename.concat dir "report.html" in
         { c_results = results; c_artifacts = (index :: List.rev !artifacts) @ [ html ] }

@@ -854,6 +854,11 @@ module Bus = struct
     in
     Ok { seq; ts; tid; label; ev }
 
+  (* Overflow drops used to be invisible outside {!dropped}; surfacing
+     them in the metrics registry puts them on the Prometheus exposition
+     where a scraper can alert on ring under-sizing. *)
+  let m_dropped = lazy (Metrics.counter "bus.dropped_events")
+
   let push_locked st =
     let buf = !ring_buf in
     let cap = Array.length buf in
@@ -867,7 +872,8 @@ module Bus = struct
            still has it; only the in-process view drops. *)
         buf.(!ring_start) <- st;
         ring_start := (!ring_start + 1) mod cap;
-        incr dropped_count
+        incr dropped_count;
+        Metrics.add (Lazy.force m_dropped) 1
       end
 
   let publish ?label ev =
@@ -1107,13 +1113,22 @@ module Prometheus = struct
 
   let add_metric buf name value =
     let p = Buffer.add_string buf in
+    (* One HELP + one TYPE line per exposed metric name, in that order —
+       scrapers reject duplicated metadata lines, which the render
+       property test enforces. *)
+    let head n kind =
+      p (Printf.sprintf "# HELP %s autocc telemetry metric %s\n" n n);
+      p (Printf.sprintf "# TYPE %s %s\n" n kind)
+    in
     match value with
     | Metrics.Counter n ->
-        p (Printf.sprintf "# TYPE %s counter\n%s %d\n" name name n)
+        head name "counter";
+        p (Printf.sprintf "%s %d\n" name n)
     | Metrics.Gauge g ->
-        p (Printf.sprintf "# TYPE %s gauge\n%s %s\n" name name (fmt_float g))
+        head name "gauge";
+        p (Printf.sprintf "%s %s\n" name (fmt_float g))
     | Metrics.Histogram { buckets; counts; sum; count } ->
-        p (Printf.sprintf "# TYPE %s histogram\n" name);
+        head name "histogram";
         let cum = ref 0 in
         Array.iteri
           (fun i b ->
@@ -1130,14 +1145,14 @@ module Prometheus = struct
            depth); exposition reduces them to count/sum/last gauges. *)
         let n = Array.length vs in
         let sum = Array.fold_left ( +. ) 0. vs in
-        p (Printf.sprintf "# TYPE %s_count gauge\n%s_count %d\n" name name n);
-        p
-          (Printf.sprintf "# TYPE %s_sum gauge\n%s_sum %s\n" name name
-             (fmt_float sum));
-        if n > 0 then
-          p
-            (Printf.sprintf "# TYPE %s_last gauge\n%s_last %s\n" name name
-               (fmt_float vs.(n - 1)))
+        head (name ^ "_count") "gauge";
+        p (Printf.sprintf "%s_count %d\n" name n);
+        head (name ^ "_sum") "gauge";
+        p (Printf.sprintf "%s_sum %s\n" name (fmt_float sum));
+        if n > 0 then begin
+          head (name ^ "_last") "gauge";
+          p (Printf.sprintf "%s_last %s\n" name (fmt_float vs.(n - 1)))
+        end
 
   let of_snapshot snap =
     let buf = Buffer.create 1024 in
@@ -1431,6 +1446,710 @@ module Cockpit = struct
              (fmt_eta (eta_s r))
              (String.concat ", " notes)))
       rs;
+    Buffer.contents buf
+
+  (* Machine-readable snapshot of the same fold (`autocc top --json`):
+     one object per row, every number raw (no terminal formatting), so
+     scripts gate on verdicts or ETAs without scraping the table. *)
+  let render_json ?now ?(note = fun _ -> None) t =
+    let now = match now with Some n -> n | None -> Clock.wall_s () in
+    let opt_float f = if Float.is_nan f then Json.Null else Json.Float f in
+    let rows_json =
+      List.map
+        (fun r ->
+          Json.Obj
+            [
+              ("label", Json.Str r.ro_label);
+              ("goal_depth", Json.Int r.ro_goal);
+              ("depth", Json.Int r.ro_depth);
+              ("verdict", Json.Str r.ro_verdict);
+              ("cache_hits", Json.Int r.ro_hits);
+              ("cache_misses", Json.Int r.ro_misses);
+              ("retries", Json.Int r.ro_retries);
+              ("faults", Json.Int r.ro_faults);
+              ("conflicts_per_s", opt_float r.ro_cps);
+              ("stalled", Json.Bool r.ro_stalled);
+              ("eta_s", match eta_s r with Some e -> Json.Float e | None -> Json.Null);
+              ("wall_s", opt_float r.ro_wall);
+              ("silent_s", Json.Float (Float.max 0. (now -. r.ro_last_ts)));
+              ( "note",
+                match note r.ro_label with
+                | Some s -> Json.Str s
+                | None -> Json.Null );
+            ])
+        (rows t)
+    in
+    Json.Obj
+      [
+        ("schema", Json.Str "autocc.top/1");
+        ("ts", Json.Float now);
+        ("events", Json.Int t.c_events);
+        ("bad_lines", Json.Int t.c_bad);
+        ("rows", Json.List rows_json);
+      ]
+end
+
+(* {1 File tailing}
+
+   The cross-process half of the cockpit: follow an append-only JSONL
+   file (events.jsonl) by byte offset, carrying torn trailing lines to
+   the next poll and restarting from zero when the file shrinks (a new
+   campaign truncated/replaced it). Extracted from `autocc top` so the
+   truncation and seq-restart behavior is testable without a terminal. *)
+
+module Tail = struct
+  type t = { t_path : string; mutable t_offset : int; t_partial : Buffer.t }
+
+  let create path = { t_path = path; t_offset = 0; t_partial = Buffer.create 256 }
+  let offset t = t.t_offset
+
+  let poll t =
+    if not (Sys.file_exists t.t_path) then []
+    else
+      let ic = open_in_bin t.t_path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          if len < t.t_offset then begin
+            (* The file shrank: a fresh campaign replaced it. Restart,
+               dropping any torn tail of the dead run. *)
+            t.t_offset <- 0;
+            Buffer.clear t.t_partial
+          end;
+          if len = t.t_offset then []
+          else begin
+            seek_in ic t.t_offset;
+            let chunk = really_input_string ic (len - t.t_offset) in
+            t.t_offset <- len;
+            Buffer.add_string t.t_partial chunk;
+            let data = Buffer.contents t.t_partial in
+            Buffer.clear t.t_partial;
+            match String.rindex_opt data '\n' with
+            | None ->
+                (* No complete line yet: keep accumulating. *)
+                Buffer.add_string t.t_partial data;
+                []
+            | Some last ->
+                let complete = String.sub data 0 last in
+                Buffer.add_substring t.t_partial data (last + 1)
+                  (String.length data - last - 1);
+                List.filter
+                  (fun l -> String.trim l <> "")
+                  (String.split_on_char '\n' complete)
+          end)
+end
+
+(* {1 Numeric regression diffing}
+
+   The ratio+floor gate shared by `bench diff` and `autocc diff-runs`:
+   flatten a JSON document to dotted-path numeric leaves, gate only the
+   paths whose last segment names a duration (lower-better [*_s]) or a
+   [speedup] (higher-better), and call a fresh value regressed when it
+   is worse by more than a noise ratio AND an absolute floor. *)
+
+module Numdiff = struct
+  type direction = Lower_better | Higher_better
+
+  let leaves j =
+    let rec go prefix j acc =
+      let child k = if prefix = "" then k else prefix ^ "." ^ k in
+      match j with
+      | Json.Obj kvs ->
+          List.fold_left (fun acc (k, v) -> go (child k) v acc) acc kvs
+      | Json.List l ->
+          List.fold_left
+            (fun (i, acc) v -> (i + 1, go (child (string_of_int i)) v acc))
+            (0, acc) l
+          |> snd
+      | Json.Int n -> (prefix, float_of_int n) :: acc
+      | Json.Float f -> (prefix, f) :: acc
+      | Json.Null | Json.Bool _ | Json.Str _ -> acc
+    in
+    go "" j []
+
+  let gate path =
+    let last =
+      match String.rindex_opt path '.' with
+      | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+      | None -> path
+    in
+    let n = String.length last in
+    if last = "speedup" then Some Higher_better
+    else if n > 2 && String.sub last (n - 2) 2 = "_s" then Some Lower_better
+    else None
+
+  let env_float name default =
+    match Sys.getenv_opt name with
+    | None -> default
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some f when f > 0. -> f
+        | _ ->
+            failwith (Printf.sprintf "%s must be a positive float" name))
+
+  let thresholds () =
+    (env_float "AUTOCC_DIFF_RATIO" 1.5, env_float "AUTOCC_DIFF_FLOOR_S" 0.02)
+
+  let regressed direction ~ratio ~floor ~base ~fresh =
+    match direction with
+    | Lower_better -> fresh > (base *. ratio) && fresh -. base > floor
+    | Higher_better ->
+        (* Speedups are dimensionless; the floor guards the absolute
+           drop instead. *)
+        fresh < (base /. ratio) && base -. fresh > floor
+end
+
+(* {1 Run ledger}
+
+   The cross-run memory: every analyze/prove/campaign/bench appends one
+   [autocc.run/1] line to an append-only [runs.jsonl] (line-flushed,
+   crash loses at most the final partial line — same contract as
+   events.jsonl), recording the configuration fingerprint, the DUT's
+   structural hash, per-assertion verdicts and the cache traffic. The
+   cache's provenance records point back into this file by run id, which
+   is what makes a warm Unsat auditable: `autocc why` resolves the hit
+   to the run that actually carried the solve. *)
+
+module Ledger = struct
+  let schema = "autocc.run/1"
+
+  type assert_record = {
+    a_name : string;
+    a_verdict : string;
+    a_depth : int;  (* CEX/proof depth; -1 unknown *)
+    a_wall_s : float;
+    a_cached : bool;
+  }
+
+  type run = {
+    r_id : string;
+    r_tool : string;
+    r_subject : string;
+    r_config : string;
+    r_dut_hash : string;
+    r_ts : float;
+    r_wall_s : float;
+    r_cpu_s : float;
+    r_cache_hits : int;
+    r_cache_misses : int;
+    r_cache_stores : int;
+    r_asserts : assert_record list;
+    r_artifacts : string list;
+  }
+
+  (* One id per process: a CLI invocation is one run, and everything it
+     stores into the verdict cache cites this id as producer. Wall-clock
+     centiseconds + pid: concurrent processes differ by pid, successive
+     ones by time. *)
+  let generated = ref None
+  let id_mutex = Mutex.create ()
+
+  let run_id () =
+    Mutex.lock id_mutex;
+    let id =
+      match !generated with
+      | Some id -> id
+      | None ->
+          let id =
+            Printf.sprintf "r%011x-%05d"
+              (int_of_float (Unix.gettimeofday () *. 100.))
+              (Unix.getpid ())
+          in
+          generated := Some id;
+          id
+    in
+    Mutex.unlock id_mutex;
+    id
+
+  let resolve_dir ?explicit () =
+    let nonempty = function Some d when d <> "" -> Some d | _ -> None in
+    match explicit with
+    | Some d -> Some d
+    | None -> (
+        match nonempty (Sys.getenv_opt "AUTOCC_LEDGER_DIR") with
+        | Some d -> Some d
+        | None -> nonempty (Sys.getenv_opt "AUTOCC_CACHE_DIR"))
+
+  let path dir = Filename.concat dir "runs.jsonl"
+
+  let json_of_assert a =
+    Json.Obj
+      [
+        ("name", Json.Str a.a_name);
+        ("verdict", Json.Str a.a_verdict);
+        ("depth", Json.Int a.a_depth);
+        ("wall_s", Json.Float a.a_wall_s);
+        ("cached", Json.Bool a.a_cached);
+      ]
+
+  let json_of_run r =
+    Json.Obj
+      [
+        ("schema", Json.Str schema);
+        ("id", Json.Str r.r_id);
+        ("tool", Json.Str r.r_tool);
+        ("subject", Json.Str r.r_subject);
+        ("config", Json.Str r.r_config);
+        ("dut_hash", Json.Str r.r_dut_hash);
+        ("ts", Json.Float r.r_ts);
+        ("wall_s", Json.Float r.r_wall_s);
+        ("cpu_s", Json.Float r.r_cpu_s);
+        ( "cache",
+          Json.Obj
+            [
+              ("hits", Json.Int r.r_cache_hits);
+              ("misses", Json.Int r.r_cache_misses);
+              ("stores", Json.Int r.r_cache_stores);
+            ] );
+        ("asserts", Json.List (List.map json_of_assert r.r_asserts));
+        ("artifacts", Json.List (List.map (fun s -> Json.Str s) r.r_artifacts));
+      ]
+
+  let run_of_json j =
+    let ( let* ) = Result.bind in
+    let str k =
+      match Json.member k j with
+      | Some (Json.Str s) -> Ok s
+      | _ -> Error (Printf.sprintf "missing string field %S" k)
+    in
+    let num k d =
+      match Json.member k j with
+      | Some (Json.Float f) -> f
+      | Some (Json.Int n) -> float_of_int n
+      | _ -> d
+    in
+    let cache_int k =
+      match Json.member "cache" j with
+      | Some c -> (
+          match Json.member k c with Some (Json.Int n) -> n | _ -> 0)
+      | None -> 0
+    in
+    let* s = str "schema" in
+    if s <> schema then Error (Printf.sprintf "unknown schema %S" s)
+    else
+      let* id = str "id" in
+      let* tool = str "tool" in
+      let* subject = str "subject" in
+      let* config = str "config" in
+      let* dut_hash = str "dut_hash" in
+      let asserts =
+        match Json.member "asserts" j with
+        | Some (Json.List l) ->
+            List.filter_map
+              (fun a ->
+                match (Json.member "name" a, Json.member "verdict" a) with
+                | Some (Json.Str n), Some (Json.Str v) ->
+                    Some
+                      {
+                        a_name = n;
+                        a_verdict = v;
+                        a_depth =
+                          (match Json.member "depth" a with
+                          | Some (Json.Int d) -> d
+                          | _ -> -1);
+                        a_wall_s =
+                          (match Json.member "wall_s" a with
+                          | Some (Json.Float f) -> f
+                          | Some (Json.Int n) -> float_of_int n
+                          | _ -> -1.);
+                        a_cached =
+                          (match Json.member "cached" a with
+                          | Some (Json.Bool b) -> b
+                          | _ -> false);
+                      }
+                | _ -> None)
+              l
+        | _ -> []
+      in
+      let artifacts =
+        match Json.member "artifacts" j with
+        | Some (Json.List l) ->
+            List.filter_map
+              (function Json.Str s -> Some s | _ -> None)
+              l
+        | _ -> []
+      in
+      Ok
+        {
+          r_id = id;
+          r_tool = tool;
+          r_subject = subject;
+          r_config = config;
+          r_dut_hash = dut_hash;
+          r_ts = num "ts" 0.;
+          r_wall_s = num "wall_s" (-1.);
+          r_cpu_s = num "cpu_s" (-1.);
+          r_cache_hits = cache_int "hits";
+          r_cache_misses = cache_int "misses";
+          r_cache_stores = cache_int "stores";
+          r_asserts = asserts;
+          r_artifacts = artifacts;
+        }
+
+  let append ~dir r =
+    (try
+       if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+     with Unix.Unix_error _ -> ());
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 (path dir) in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Json.to_string (json_of_run r));
+        output_char oc '\n';
+        flush oc)
+
+  (* File order is run order. Unparseable lines (torn final line of a
+     crashed writer, foreign junk) are counted, not fatal. *)
+  let load dir =
+    let p = path dir in
+    if not (Sys.file_exists p) then ([], 0)
+    else
+      let ic = open_in p in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let runs = ref [] and bad = ref 0 in
+          (try
+             while true do
+               let line = input_line ic in
+               if String.trim line <> "" then
+                 match Json.parse line with
+                 | Error _ -> incr bad
+                 | Ok j -> (
+                     match run_of_json j with
+                     | Ok r -> runs := r :: !runs
+                     | Error _ -> incr bad)
+             done
+           with End_of_file -> ());
+          (List.rev !runs, !bad))
+
+  (* A run reference is either an id prefix or ["~N"]: the Nth run from
+     the end of the ledger (["~1"] = latest). *)
+  let find dir ~ref:r =
+    let runs, _ = load dir in
+    if String.length r > 1 && r.[0] = '~' then
+      match int_of_string_opt (String.sub r 1 (String.length r - 1)) with
+      | Some n when n >= 1 && n <= List.length runs ->
+          Some (List.nth runs (List.length runs - n))
+      | _ -> None
+    else
+      let matches =
+        List.filter
+          (fun run ->
+            String.length run.r_id >= String.length r
+            && String.sub run.r_id 0 (String.length r) = r)
+          runs
+      in
+      match List.rev matches with last :: _ -> Some last | [] -> None
+end
+
+(* {1 Span profiler}
+
+   Post-mortem answer to "where did the time go": fold the Chrome-trace
+   spans of a finished run back into a merged call tree (children with
+   the same name at the same stack position aggregate), attribute self
+   time per category (the [layer.] prefix: sat vs cnf vs opt vs bmc vs
+   cache vs explain), and render either a text table or a self-contained
+   flamegraph SVG. Nesting is reconstructed from interval containment
+   per domain: spans are recorded at exit but each fully contains its
+   children, so sorting by start time (ties: longer span first) and
+   running a stack gives the original tree. *)
+
+module Profile = struct
+  type node = {
+    pn_name : string;
+    mutable pn_total_us : float;
+    mutable pn_self_us : float;
+    mutable pn_count : int;
+    mutable pn_children : node list; (* insertion order, reversed *)
+  }
+
+  type t = {
+    p_roots : node list;
+    p_total_us : float;  (* sum of root totals = attributed time *)
+    p_wall_us : float;  (* extent of the trace: max end - min start *)
+    p_categories : (string * float) list;  (* category -> self us, desc *)
+    p_events : int;
+  }
+
+  let category name =
+    match String.index_opt name '.' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+
+  (* Sub-microsecond slack: timestamps round-trip through %.9g, so a
+     child's recorded end can exceed its parent's by a hair. *)
+  let eps = 0.5
+
+  let of_trace j =
+    match Json.member "traceEvents" j with
+    | Some (Json.List evs) ->
+        let num k e =
+          match Json.member k e with
+          | Some (Json.Float f) -> Some f
+          | Some (Json.Int n) -> Some (float_of_int n)
+          | _ -> None
+        in
+        let spans =
+          List.filter_map
+            (fun e ->
+              match (Json.member "ph" e, Json.member "name" e) with
+              | Some (Json.Str "X"), Some (Json.Str name) -> (
+                  match (num "ts" e, num "dur" e, num "tid" e) with
+                  | Some ts, Some dur, Some tid when dur >= 0. ->
+                      Some (tid, ts, dur, name)
+                  | _ -> None)
+              | _ -> None)
+            evs
+        in
+        let tids =
+          List.sort_uniq compare (List.map (fun (tid, _, _, _) -> tid) spans)
+        in
+        let roots = ref [] in
+        let find_or_create siblings name =
+          match List.find_opt (fun n -> n.pn_name = name) !siblings with
+          | Some n -> n
+          | None ->
+              let n =
+                {
+                  pn_name = name;
+                  pn_total_us = 0.;
+                  pn_self_us = 0.;
+                  pn_count = 0;
+                  pn_children = [];
+                }
+              in
+              siblings := n :: !siblings;
+              n
+        in
+        List.iter
+          (fun tid ->
+            let mine =
+              List.filter (fun (t, _, _, _) -> t = tid) spans
+              |> List.sort (fun (_, ts1, d1, _) (_, ts2, d2, _) ->
+                     match compare ts1 ts2 with
+                     | 0 -> compare d2 d1
+                     | c -> c)
+            in
+            (* Stack of (end_ts, node): pop until the current span fits
+               inside the top, then merge it into that level. *)
+            let stack = ref [] in
+            List.iter
+              (fun (_, ts, dur, name) ->
+                while
+                  match !stack with
+                  | (end_ts, _) :: rest when ts +. eps >= end_ts ->
+                      stack := rest;
+                      true
+                  | _ -> false
+                do
+                  ()
+                done;
+                let node =
+                  match !stack with
+                  | [] ->
+                      let n = find_or_create roots name in
+                      n
+                  | (_, parent) :: _ ->
+                      let siblings = ref parent.pn_children in
+                      let n = find_or_create siblings name in
+                      parent.pn_children <- !siblings;
+                      n
+                in
+                node.pn_total_us <- node.pn_total_us +. dur;
+                node.pn_count <- node.pn_count + 1;
+                stack := (ts +. dur, node) :: !stack)
+              mine)
+          tids;
+        (* Self time: total minus children (clamped — fp slack can make
+           the child sum overshoot by nanoseconds). *)
+        let rec finalize n =
+          n.pn_children <- List.rev n.pn_children;
+          List.iter finalize n.pn_children;
+          let child_total =
+            List.fold_left
+              (fun acc c -> acc +. c.pn_total_us)
+              0. n.pn_children
+          in
+          n.pn_self_us <- Float.max 0. (n.pn_total_us -. child_total)
+        in
+        let roots = List.rev !roots in
+        List.iter finalize roots;
+        let total =
+          List.fold_left (fun acc n -> acc +. n.pn_total_us) 0. roots
+        in
+        let wall =
+          match spans with
+          | [] -> 0.
+          | _ ->
+              let lo =
+                List.fold_left
+                  (fun acc (_, ts, _, _) -> Float.min acc ts)
+                  Float.infinity spans
+              and hi =
+                List.fold_left
+                  (fun acc (_, ts, dur, _) -> Float.max acc (ts +. dur))
+                  Float.neg_infinity spans
+              in
+              hi -. lo
+        in
+        let cats = Hashtbl.create 16 in
+        let rec walk n =
+          let c = category n.pn_name in
+          Hashtbl.replace cats c
+            (n.pn_self_us
+            +. (match Hashtbl.find_opt cats c with Some v -> v | None -> 0.));
+          List.iter walk n.pn_children
+        in
+        List.iter walk roots;
+        let categories =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) cats []
+          |> List.sort (fun (_, a) (_, b) -> compare b a)
+        in
+        Ok
+          {
+            p_roots = roots;
+            p_total_us = total;
+            p_wall_us = wall;
+            p_categories = categories;
+            p_events = List.length spans;
+          }
+    | _ -> Error "not a trace: no traceEvents array"
+
+  let of_file path =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error e -> Result.Error e
+    | body -> (
+        match Json.parse body with
+        | Result.Error e -> Result.Error (Printf.sprintf "%s: %s" path e)
+        | Ok j -> of_trace j)
+
+  let fmt_ms us =
+    if us >= 100000. then Printf.sprintf "%.2fs" (us /. 1e6)
+    else Printf.sprintf "%.2fms" (us /. 1e3)
+
+  let table t =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "attributed %.6fs of %.6fs wall (%.1f%% covered)\n"
+         (t.p_total_us /. 1e6) (t.p_wall_us /. 1e6)
+         (if t.p_wall_us > 0. then 100. *. t.p_total_us /. t.p_wall_us
+          else 0.));
+    Buffer.add_string buf
+      (Printf.sprintf "%10s %10s %6s %5s  %s\n" "TOTAL" "SELF" "COUNT" "%"
+         "SPAN");
+    let rec emit depth n =
+      Buffer.add_string buf
+        (Printf.sprintf "%10s %10s %6d %4.0f%%  %s%s\n"
+           (fmt_ms n.pn_total_us) (fmt_ms n.pn_self_us) n.pn_count
+           (if t.p_total_us > 0. then 100. *. n.pn_total_us /. t.p_total_us
+            else 0.)
+           (String.make (2 * depth) ' ')
+           n.pn_name);
+      List.iter (emit (depth + 1)) n.pn_children
+    in
+    List.iter (emit 0) t.p_roots;
+    Buffer.add_string buf "\nself time by category:\n";
+    List.iter
+      (fun (c, us) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-12s %10s %4.0f%%\n" c (fmt_ms us)
+             (if t.p_total_us > 0. then 100. *. us /. t.p_total_us else 0.)))
+      t.p_categories;
+    Buffer.contents buf
+
+  let xml_escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (function
+        | '<' -> Buffer.add_string buf "&lt;"
+        | '>' -> Buffer.add_string buf "&gt;"
+        | '&' -> Buffer.add_string buf "&amp;"
+        | '"' -> Buffer.add_string buf "&quot;"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  (* Deterministic per-category pastel: hash the category name to a hue. *)
+  let color name =
+    let c = category name in
+    let h = ref 17 in
+    String.iter (fun ch -> h := ((!h * 31) + Char.code ch) land 0xffffff) c;
+    Printf.sprintf "hsl(%d,65%%,%d%%)" (!h mod 360) (55 + (!h / 360 mod 15))
+
+  let flamegraph_svg t =
+    let width = 1200. in
+    let row_h = 17. in
+    let rec depth_of n =
+      1 + List.fold_left (fun acc c -> max acc (depth_of c)) 0 n.pn_children
+    in
+    let levels =
+      List.fold_left (fun acc n -> max acc (depth_of n)) 1 t.p_roots
+    in
+    let height = (float_of_int levels *. row_h) +. 40. in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<?xml version=\"1.0\" standalone=\"no\"?>\n\
+          <svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" \
+          height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n\
+          <style>text{font:11px monospace;fill:#111}rect{stroke:#fff;stroke-width:0.5}</style>\n\
+          <rect x=\"0\" y=\"0\" width=\"%.0f\" height=\"%.0f\" \
+          fill=\"#f8f8f8\"/>\n\
+          <text x=\"6\" y=\"14\">autocc profile — attributed %s of %s wall \
+          (%d spans)</text>\n"
+         width height width height width height
+         (fmt_ms t.p_total_us) (fmt_ms t.p_wall_us) t.p_events);
+    let scale =
+      if t.p_total_us > 0. then width /. t.p_total_us else 0.
+    in
+    (* Icicle layout: roots on top, children below their parent, widths
+       proportional to total time. *)
+    let rec emit x y n =
+      let w = n.pn_total_us *. scale in
+      if w >= 0.4 then begin
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<g><title>%s — %s total, %s self, ×%d (%.1f%%)</title><rect \
+              x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.0f\" \
+              fill=\"%s\"/>"
+             (xml_escape n.pn_name) (fmt_ms n.pn_total_us)
+             (fmt_ms n.pn_self_us) n.pn_count
+             (if t.p_total_us > 0. then
+                100. *. n.pn_total_us /. t.p_total_us
+              else 0.)
+             x y w (row_h -. 1.) (color n.pn_name));
+        if w > 40. then
+          Buffer.add_string buf
+            (Printf.sprintf "<text x=\"%.2f\" y=\"%.2f\">%s</text>" (x +. 3.)
+               (y +. 12.)
+               (xml_escape
+                  (let max_chars = int_of_float (w /. 7.) in
+                   if String.length n.pn_name > max_chars then
+                     String.sub n.pn_name 0 max_chars
+                   else n.pn_name)));
+        Buffer.add_string buf "</g>\n";
+        let cx = ref x in
+        List.iter
+          (fun c ->
+            emit !cx (y +. row_h) c;
+            cx := !cx +. (c.pn_total_us *. scale))
+          n.pn_children
+      end
+    in
+    let cx = ref 0. in
+    List.iter
+      (fun n ->
+        emit !cx 24. n;
+        cx := !cx +. (n.pn_total_us *. scale))
+      t.p_roots;
+    Buffer.add_string buf "</svg>\n";
     Buffer.contents buf
 end
 

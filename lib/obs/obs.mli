@@ -423,6 +423,168 @@ module Cockpit : sig
   (** The terminal table: a header (event/cache totals) and one line per
       row. [note] appends an extra annotation per label (used by [top]
       for heartbeat staleness). *)
+
+  val render_json : ?now:float -> ?note:(string -> string option) -> t -> Json.t
+  (** The same snapshot as an [autocc.top/1] JSON object (one element of
+      ["rows"] per cockpit row, raw numbers, [null] for unknowns) — the
+      [autocc top --json] payload for scripting. *)
+end
+
+(** {1 File tailing}
+
+    Follow an append-only JSONL file by byte offset — the cross-process
+    half of [autocc top]. Torn trailing lines (a writer mid-append) are
+    carried to the next poll; a file that shrank (a fresh campaign
+    truncated it) restarts the tail from byte zero. *)
+module Tail : sig
+  type t
+
+  val create : string -> t
+  (** [create path] starts a tail at offset 0. The file need not exist
+      yet. *)
+
+  val poll : t -> string list
+  (** Newly completed lines since the last poll (empty lines filtered),
+      or [[]] when the file is absent or unchanged. *)
+
+  val offset : t -> int
+  (** The byte offset consumed so far. *)
+end
+
+(** {1 Numeric regression diffing}
+
+    The ratio+floor regression gate shared by [bench diff] and
+    [autocc diff-runs]: JSON documents are flattened to dotted-path
+    numeric leaves and only duration ([*_s], lower-better) and [speedup]
+    (higher-better) paths are gated. *)
+module Numdiff : sig
+  type direction = Lower_better | Higher_better
+
+  val leaves : Json.t -> (string * float) list
+  (** Numeric leaves keyed by dotted path (["o2.stats.solve_s"]), in
+      document order. *)
+
+  val gate : string -> direction option
+  (** Gating direction for a path, decided by its last segment: [None]
+      means the leaf is informational only. *)
+
+  val thresholds : unit -> float * float
+  (** [(ratio, floor_s)] from [AUTOCC_DIFF_RATIO] (default 1.5) and
+      [AUTOCC_DIFF_FLOOR_S] (default 0.02); raises [Failure] on a
+      malformed value. *)
+
+  val regressed :
+    direction -> ratio:float -> floor:float -> base:float -> fresh:float -> bool
+  (** Worse by more than [ratio] AND by more than [floor] — both gates,
+      so microsecond leaves don't trip the ratio on scheduler noise. *)
+end
+
+(** {1 Run ledger}
+
+    Append-only cross-run provenance: one [autocc.run/1] JSON line per
+    CLI/bench invocation in [<dir>/runs.jsonl] (line-flushed; a crash
+    loses at most the trailing partial line). Verdict-cache provenance
+    records cite {!Ledger.run_id}, so [autocc why] can resolve a cache
+    hit back to the producing run's row here. *)
+module Ledger : sig
+  val schema : string
+  (** ["autocc.run/1"]. *)
+
+  type assert_record = {
+    a_name : string;
+    a_verdict : string;
+        (** ["cex"], ["proof"], ["proved"], ["refuted"],
+            ["unknown:<reason>"], or a campaign entry status. *)
+    a_depth : int;  (** CEX/proof depth; [-1] unknown. *)
+    a_wall_s : float;  (** [-1.] unknown. *)
+    a_cached : bool;
+  }
+
+  type run = {
+    r_id : string;
+    r_tool : string;  (** [analyze], [prove], [campaign] or [bench]. *)
+    r_subject : string;  (** DUT name(s) or bench subcommand. *)
+    r_config : string;  (** the {!Bmc.cache_config}-shaped fingerprint *)
+    r_dut_hash : string;  (** {!Cache.canon} structural digest, or [""] *)
+    r_ts : float;
+    r_wall_s : float;
+    r_cpu_s : float;
+    r_cache_hits : int;
+    r_cache_misses : int;
+    r_cache_stores : int;
+    r_asserts : assert_record list;
+    r_artifacts : string list;
+  }
+
+  val run_id : unit -> string
+  (** This process's run id — generated once, stable for the process
+      lifetime (time + pid). *)
+
+  val resolve_dir : ?explicit:string -> unit -> string option
+  (** Where the ledger lives: [explicit] if given, else
+      [AUTOCC_LEDGER_DIR], else [AUTOCC_CACHE_DIR] (the ledger defaults
+      to living beside the verdict cache), else [None]. *)
+
+  val path : string -> string
+  (** [path dir] is [dir ^ "/runs.jsonl"]. *)
+
+  val json_of_run : run -> Json.t
+  val run_of_json : Json.t -> (run, string) result
+
+  val append : dir:string -> run -> unit
+  (** Append one line (creating [dir] and the file as needed) and flush. *)
+
+  val load : string -> run list * int
+  (** [load dir] is all parseable runs of [path dir] in file
+      (= chronological) order, plus the count of rejected lines.
+      Missing file is [([], 0)]. *)
+
+  val find : string -> ref:string -> run option
+  (** Resolve a run reference in [dir]: ["~N"] is the Nth newest run
+      (["~1"] = latest), anything else an id prefix (newest match
+      wins). *)
+end
+
+(** {1 Span profiler}
+
+    Fold a recorded Chrome-trace file back into a merged span tree —
+    children with the same name at the same stack position aggregate
+    their durations — and attribute self time per category (the part of
+    the span name before the first ['.']: [sat], [cnf], [opt], [bmc],
+    [cache], [explain], ...). Rendered by [autocc profile] as a text
+    table or a self-contained flamegraph SVG. *)
+module Profile : sig
+  type node = {
+    pn_name : string;
+    mutable pn_total_us : float;
+    mutable pn_self_us : float;  (** total minus children (clamped >= 0) *)
+    mutable pn_count : int;
+    mutable pn_children : node list;
+  }
+
+  type t = {
+    p_roots : node list;
+    p_total_us : float;
+        (** Sum of root totals — the attributed time; within 5% of the
+            run's wall when the CLI's root span covers the command. *)
+    p_wall_us : float;  (** Trace extent: max span end - min span start. *)
+    p_categories : (string * float) list;  (** self us per category, desc *)
+    p_events : int;
+  }
+
+  val of_trace : Json.t -> (t, string) result
+  (** Fold a [{"traceEvents": [...]}] document (only ["X"] spans are
+      read; instants and counter samples are ignored). *)
+
+  val of_file : string -> (t, string) result
+
+  val table : t -> string
+  (** Text rendering: an ["attributed ... of ... wall"] headline, the
+      indented span tree, and the per-category self-time breakdown. *)
+
+  val flamegraph_svg : t -> string
+  (** A self-contained icicle-layout SVG (no external scripts or fonts);
+      hover titles carry exact totals. *)
 end
 
 val enabled : unit -> bool

@@ -237,6 +237,79 @@ let test_codec_rejects_corruption () =
     (Cache.find t' "k_tampered" = None);
   Alcotest.(check bool) "rejects counted" true ((Cache.stats t').Cache.rejects >= 2)
 
+(* {1 Provenance: rides the line outside the integrity digest} *)
+
+let test_provenance_roundtrip () =
+  let dir = fresh_dir "prov" in
+  let t = Cache.create ~dir () in
+  let prov =
+    {
+      Cache.p_run = "r00000000001-00042";
+      p_engine = "check";
+      p_config = "check|d=8|o=2|i=true|s=default|b=-";
+      p_key = "kp";
+      p_ts = 1234.5;
+    }
+  in
+  Cache.add ~prov t "kp" (Cache.Bounded 8);
+  Cache.add t "kq" (Cache.Proved 4);
+  let t' = Cache.create ~dir () in
+  (match Cache.peek t' "kp" with
+  | Some (Cache.Bounded 8, Some p) ->
+      Alcotest.(check string) "run id" "r00000000001-00042" p.Cache.p_run;
+      Alcotest.(check string) "engine" "check" p.Cache.p_engine;
+      Alcotest.(check string) "config" prov.Cache.p_config p.Cache.p_config;
+      Alcotest.(check string) "key" "kp" p.Cache.p_key;
+      Alcotest.(check (float 1e-6)) "store time" 1234.5 p.Cache.p_ts
+  | Some (_, None) -> Alcotest.fail "provenance lost on the disk round trip"
+  | _ -> Alcotest.fail "kp missing after reload");
+  (match Cache.peek t' "kq" with
+  | Some (_, None) -> ()
+  | Some (_, Some _) -> Alcotest.fail "phantom provenance on a bare store"
+  | None -> Alcotest.fail "kq missing after reload");
+  (* peek is an audit lookup: the hit/miss counters stay untouched. *)
+  let st = Cache.stats t' in
+  Alcotest.(check int) "peek counts no hits" 0 st.Cache.hits;
+  Alcotest.(check int) "peek counts no misses" 0 st.Cache.misses
+
+let test_provenance_outside_digest () =
+  (* Stripping the "p" member from a stored line must leave the entry
+     loadable with [None] provenance and zero rejects — the integrity
+     digest covers the verdict payload only, so pre-provenance stores
+     (and hand-edited ledgers) keep working. *)
+  let dir = fresh_dir "provstrip" in
+  let t = Cache.create ~dir () in
+  Cache.add
+    ~prov:
+      {
+        Cache.p_run = "r1";
+        p_engine = "prove";
+        p_config = "c";
+        p_key = "k_strip";
+        p_ts = 1.;
+      }
+    t "k_strip" (Cache.Proved 3);
+  let path = Filename.concat dir "verdicts.jsonl" in
+  let line =
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> input_line ic)
+  in
+  let stripped =
+    match J.parse line with
+    | Ok (J.Obj fields) ->
+        J.to_string (J.Obj (List.filter (fun (k, _) -> k <> "p") fields))
+    | _ -> Alcotest.fail "stored line does not parse"
+  in
+  let oc = open_out path in
+  output_string oc (stripped ^ "\n");
+  close_out oc;
+  let t' = Cache.create ~dir () in
+  Alcotest.(check int) "no rejects" 0 (Cache.stats t').Cache.rejects;
+  match Cache.peek t' "k_strip" with
+  | Some (Cache.Proved 3, None) -> ()
+  | Some (_, Some _) -> Alcotest.fail "provenance survived stripping?"
+  | _ -> Alcotest.fail "stripped line no longer loads"
+
 (* {1 BMC layer: cold/warm differential and corrupted-store soundness} *)
 
 let stash_circuit () =
@@ -384,6 +457,10 @@ let () =
           Alcotest.test_case "round trip" `Quick test_codec_round_trip;
           Alcotest.test_case "corruption rejection" `Quick
             test_codec_rejects_corruption;
+          Alcotest.test_case "provenance round trip and peek" `Quick
+            test_provenance_roundtrip;
+          Alcotest.test_case "provenance outside the digest" `Quick
+            test_provenance_outside_digest;
         ] );
       ( "bmc layer",
         [

@@ -642,6 +642,345 @@ let test_prometheus_render () =
   in
   Alcotest.(check string) "file equals render" body contents
 
+(* {1 Tail: cross-process file tailing} *)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc s)
+
+let append_file path s =
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc s)
+
+let test_tail_basic_and_truncation () =
+  let path = Filename.temp_file "test_obs" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Sys.remove path;
+  let tail = Obs.Tail.create path in
+  Alcotest.(check (list string)) "absent file" [] (Obs.Tail.poll tail);
+  append_file path "a\nb\npart";
+  Alcotest.(check (list string))
+    "complete lines only" [ "a"; "b" ] (Obs.Tail.poll tail);
+  Alcotest.(check (list string)) "unchanged file" [] (Obs.Tail.poll tail);
+  append_file path "ial\n\nc\n";
+  Alcotest.(check (list string))
+    "torn line reassembled, blanks dropped" [ "partial"; "c" ]
+    (Obs.Tail.poll tail);
+  (* Truncation (a fresh campaign reusing the directory) restarts the
+     tail at offset 0, and the stale torn tail must not leak into the
+     new stream. *)
+  append_file path "orph";
+  Alcotest.(check (list string)) "torn tail pending" [] (Obs.Tail.poll tail);
+  write_file path "x\ny\n";
+  Alcotest.(check (list string))
+    "restart after truncation" [ "x"; "y" ] (Obs.Tail.poll tail)
+
+let test_tail_seq_restart_mid_tail () =
+  with_clean_obs @@ fun () ->
+  let path = Filename.temp_file "test_obs" ".events.jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Sys.remove path;
+  let tail = Obs.Tail.create path in
+  let cockpit = Obs.Cockpit.create () in
+  let drain () =
+    List.iter (Obs.Cockpit.feed_line cockpit) (Obs.Tail.poll tail)
+  in
+  (* Authentic event lines: a real bus attachment per "campaign", whose
+     seq numbering restarts at 0 — exactly what a fresh campaign process
+     writing the same events.jsonl does. *)
+  let publish_campaign verdict =
+    Obs.Bus.attach ~file:path ();
+    Obs.Bus.with_label "leaky" (fun () ->
+        Obs.Bus.publish (Obs.Bus.Job_start { goal_depth = 8 });
+        Obs.Bus.publish (Obs.Bus.Depth_solved { depth = 1; seconds = 0.01 });
+        Obs.Bus.publish (Obs.Bus.Job_done { verdict; wall_s = 0.1 }));
+    Obs.Bus.detach ()
+  in
+  publish_campaign "cex";
+  drain ();
+  let n1 = Obs.Cockpit.events cockpit in
+  Alcotest.(check bool) "first campaign consumed" true (n1 >= 3);
+  (* Truncate mid-tail and replay a second campaign with restarted
+     seqs: every new event must land, none counted as corrupt. The
+     tailer detects truncation by size, so it must see the shrunken
+     file on some tick before the new stream outgrows the old offset —
+     which a once-per-second cockpit poll always does. *)
+  write_file path "";
+  drain ();
+  Alcotest.(check int) "offset restarts at 0" 0 (Obs.Tail.offset tail);
+  publish_campaign "proof";
+  drain ();
+  Alcotest.(check int)
+    "second stream fully consumed" (n1 + 3)
+    (Obs.Cockpit.events cockpit);
+  Alcotest.(check int) "no bad lines across the restart" 0
+    (Obs.Cockpit.bad_lines cockpit)
+
+(* {1 Bus: dropped-event counter mirrors the ring} *)
+
+let test_bus_dropped_metric () =
+  with_clean_obs @@ fun () ->
+  Obs.Metrics.enable ();
+  Obs.Bus.attach ~ring_capacity:4 ();
+  for _ = 1 to 10 do
+    Obs.Bus.publish Obs.Bus.Cache_hit
+  done;
+  Alcotest.(check int) "ring dropped" 6 (Obs.Bus.dropped ());
+  (match List.assoc_opt "bus.dropped_events" (Obs.Metrics.snapshot ()) with
+  | Some (Obs.Metrics.Counter n) ->
+      Alcotest.(check int) "metric mirrors ring drops" 6 n
+  | _ -> Alcotest.fail "bus.dropped_events counter missing from the registry");
+  Obs.Bus.detach ()
+
+(* {1 Prometheus: render invariants}
+
+   Property test over random observation sets: bucket counts are
+   cumulative (monotone in le), the +Inf bucket equals _count, _count
+   equals the number of observations, and no metric announces itself
+   with a duplicate HELP or TYPE header. *)
+
+let prom_invariants samples =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.shutdown ();
+      Obs.Metrics.reset ())
+  @@ fun () ->
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  let h = Obs.Metrics.histogram ~buckets:[| 0.01; 0.1; 1.; 10. |] "prop.t" in
+  List.iter (fun x -> Obs.Metrics.observe h x) samples;
+  Obs.Metrics.add (Obs.Metrics.counter "prop.n") (List.length samples);
+  Obs.Metrics.set (Obs.Metrics.gauge "prop.g") 1.5;
+  let lines =
+    List.filter (fun l -> l <> "")
+      (String.split_on_char '\n' (Obs.Prometheus.render ()))
+  in
+  let no_dup header =
+    let names =
+      List.filter_map
+        (fun l ->
+          match String.split_on_char ' ' l with
+          | "#" :: h :: name :: _ when h = header -> Some name
+          | _ -> None)
+        lines
+    in
+    names <> [] && List.length names = List.length (List.sort_uniq compare names)
+  in
+  let starts_with p l =
+    String.length l >= String.length p && String.sub l 0 (String.length p) = p
+  in
+  let buckets =
+    List.filter_map
+      (fun l ->
+        if not (starts_with "autocc_prop_t_bucket{le=" l) then None
+        else
+          match String.index_opt l '}' with
+          | Some j ->
+              float_of_string_opt
+                (String.sub l (j + 2) (String.length l - j - 2))
+          | None -> None)
+      lines
+  in
+  let rec monotone = function
+    | a :: (b :: _ as t) -> a <= b && monotone t
+    | _ -> true
+  in
+  let count =
+    match
+      List.find_opt (fun l -> starts_with "autocc_prop_t_count " l) lines
+    with
+    | Some l -> float_of_string (String.sub l 20 (String.length l - 20))
+    | None -> -1.
+  in
+  no_dup "HELP" && no_dup "TYPE"
+  && List.length buckets = 5 (* 4 finite + +Inf *)
+  && monotone buckets
+  && (match List.rev buckets with
+     | inf :: _ -> inf = count
+     | [] -> false)
+  && count = float_of_int (List.length samples)
+
+let fuzz_prometheus =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:30
+       ~name:"prometheus render: cumulative buckets, unique HELP/TYPE"
+       QCheck.(make Gen.(list_size (int_bound 40) (float_bound_inclusive 20.)))
+       prom_invariants)
+
+(* {1 Cockpit: JSON snapshot} *)
+
+let test_cockpit_render_json () =
+  with_clean_obs @@ fun () ->
+  let cockpit = Obs.Cockpit.create () in
+  let feed seq ev =
+    Obs.Cockpit.feed_line cockpit
+      (Json.to_string
+         (Obs.Bus.json_of_stamped
+            { Obs.Bus.seq; ts = 1000. +. float_of_int seq; tid = 0;
+              label = "leaky"; ev }))
+  in
+  feed 0 (Obs.Bus.Job_start { goal_depth = 8 });
+  feed 1 (Obs.Bus.Depth_solved { depth = 1; seconds = 0.01 });
+  feed 2 (Obs.Bus.Job_done { verdict = "cex"; wall_s = 0.2 });
+  let j = Obs.Cockpit.render_json ~now:1003. cockpit in
+  (match Json.parse (Json.to_string j) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "render_json does not re-parse: %s" e);
+  (match Json.member "schema" j with
+  | Some (Json.Str s) -> Alcotest.(check string) "schema" "autocc.top/1" s
+  | _ -> Alcotest.fail "snapshot lacks a schema field");
+  (match Json.member "events" j with
+  | Some (Json.Int 3) -> ()
+  | other ->
+      Alcotest.failf "events != 3: %s"
+        (match other with Some x -> Json.to_string x | None -> "absent"));
+  match Json.member "rows" j with
+  | Some (Json.List [ row ]) ->
+      (match Json.member "label" row with
+      | Some (Json.Str l) -> Alcotest.(check string) "row label" "leaky" l
+      | _ -> Alcotest.fail "row lacks label");
+      (match Json.member "verdict" row with
+      | Some (Json.Str v) -> Alcotest.(check string) "row verdict" "cex" v
+      | _ -> Alcotest.fail "row lacks verdict")
+  | _ -> Alcotest.fail "snapshot lacks its single row"
+
+(* {1 Ledger: round-trip, crash tolerance, run references} *)
+
+let test_ledger_roundtrip () =
+  let dir = Filename.temp_file "test_obs" ".ledger" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove (Obs.Ledger.path dir) with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let mk id ts =
+    {
+      Obs.Ledger.r_id = id;
+      r_tool = "analyze";
+      r_subject = "leaky";
+      r_config = "check|d=8|o=2|i=true|s=default|b=-";
+      r_dut_hash = "abc123";
+      r_ts = ts;
+      r_wall_s = 0.5;
+      r_cpu_s = 0.4;
+      r_cache_hits = 1;
+      r_cache_misses = 2;
+      r_cache_stores = 2;
+      r_asserts =
+        [
+          {
+            Obs.Ledger.a_name = "property";
+            a_verdict = "cex";
+            a_depth = 3;
+            a_wall_s = 0.25;
+            a_cached = false;
+          };
+        ];
+      r_artifacts = [ "trace.json" ];
+    }
+  in
+  Obs.Ledger.append ~dir (mk "r1" 100.);
+  Obs.Ledger.append ~dir (mk "r2aa" 200.);
+  (* A torn trailing line (crash mid-append) is rejected and counted,
+     never surfaced. *)
+  append_file (Obs.Ledger.path dir) "{\"schema\":\"autocc.run/1\",\"id\":\"to";
+  let runs, bad = Obs.Ledger.load dir in
+  Alcotest.(check int) "torn line rejected" 1 bad;
+  Alcotest.(check (list string))
+    "file order preserved" [ "r1"; "r2aa" ]
+    (List.map (fun (r : Obs.Ledger.run) -> r.Obs.Ledger.r_id) runs);
+  let r1 = List.hd runs in
+  Alcotest.(check string) "config round-trips"
+    "check|d=8|o=2|i=true|s=default|b=-" r1.Obs.Ledger.r_config;
+  Alcotest.(check int) "cache hits round-trip" 1 r1.Obs.Ledger.r_cache_hits;
+  (match r1.Obs.Ledger.r_asserts with
+  | [ a ] ->
+      Alcotest.(check string) "assert verdict" "cex" a.Obs.Ledger.a_verdict;
+      Alcotest.(check int) "assert depth" 3 a.Obs.Ledger.a_depth;
+      Alcotest.(check bool) "assert cached flag" false a.Obs.Ledger.a_cached
+  | l -> Alcotest.failf "expected 1 assert record, got %d" (List.length l));
+  let id_of ref_ =
+    Option.map
+      (fun (r : Obs.Ledger.run) -> r.Obs.Ledger.r_id)
+      (Obs.Ledger.find dir ~ref:ref_)
+  in
+  Alcotest.(check (option string)) "~1 is the newest" (Some "r2aa") (id_of "~1");
+  Alcotest.(check (option string)) "~2 is the older" (Some "r1") (id_of "~2");
+  Alcotest.(check (option string)) "id prefix" (Some "r2aa") (id_of "r2");
+  Alcotest.(check (option string)) "no match" None (id_of "zz")
+
+(* {1 Profile: span-tree folding} *)
+
+let test_profile_fold () =
+  with_clean_obs @@ fun () ->
+  (* Spans must dwarf the folder's 0.5us containment slack (which
+     absorbs clock jitter on real, ms-scale runs) or the nesting is
+     genuinely ambiguous — spin ~2ms in each. *)
+  let spin () =
+    let t = Unix.gettimeofday () in
+    while Unix.gettimeofday () -. t < 0.002 do
+      ignore (Sys.opaque_identity 0)
+    done
+  in
+  let (), events =
+    with_trace (fun () ->
+        Obs.span "cli.analyze" (fun () ->
+            Obs.span "bmc.depth" (fun () ->
+                Obs.span "sat.solve" (fun () -> spin ()));
+            Obs.span "bmc.depth" (fun () -> spin ())))
+  in
+  let doc = Json.Obj [ ("traceEvents", Json.List events) ] in
+  let p =
+    match Obs.Profile.of_trace doc with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "profile fold failed: %s" e
+  in
+  Alcotest.(check int) "span count" 4 p.Obs.Profile.p_events;
+  (match p.Obs.Profile.p_roots with
+  | [ root ] ->
+      Alcotest.(check string) "root name" "cli.analyze"
+        root.Obs.Profile.pn_name;
+      Alcotest.(check int) "root count" 1 root.Obs.Profile.pn_count;
+      (match root.Obs.Profile.pn_children with
+      | [ depth ] ->
+          Alcotest.(check string) "merged child" "bmc.depth"
+            depth.Obs.Profile.pn_name;
+          Alcotest.(check int) "two calls merged" 2 depth.Obs.Profile.pn_count;
+          Alcotest.(check (list string))
+            "grandchild" [ "sat.solve" ]
+            (List.map
+               (fun n -> n.Obs.Profile.pn_name)
+               depth.Obs.Profile.pn_children)
+      | l -> Alcotest.failf "expected 1 merged child, got %d" (List.length l))
+  | l -> Alcotest.failf "expected 1 root, got %d" (List.length l));
+  (* Attribution: the root's total is the attributed total, and no
+     node's children sum past its own total (self clamped at 0). *)
+  let root = List.hd p.Obs.Profile.p_roots in
+  Alcotest.(check bool) "total = root total" true
+    (Float.abs (p.Obs.Profile.p_total_us -. root.Obs.Profile.pn_total_us)
+    < 1e-6);
+  let cats = List.map fst p.Obs.Profile.p_categories in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " category present") true (List.mem c cats))
+    [ "cli"; "bmc"; "sat" ];
+  (* Text + SVG renderings stay self-contained and mention the hot
+     span. *)
+  let mentions hay sub =
+    let n = String.length sub and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "table names the span" true
+    (mentions (Obs.Profile.table p) "sat.solve");
+  let svg = Obs.Profile.flamegraph_svg p in
+  Alcotest.(check bool) "svg is an svg" true (mentions svg "<svg");
+  Alcotest.(check bool) "svg names the span" true (mentions svg "sat.solve");
+  Alcotest.(check bool) "svg carries no scripts" false (mentions svg "<script")
+
 (* {1 Determinism: telemetry must not change verdicts}
 
    The same random circuit and property, checked with every telemetry
@@ -721,11 +1060,32 @@ let () =
             test_bus_concurrent_publish;
           Alcotest.test_case "file sink round-trips every event" `Quick
             test_bus_file_sink_roundtrip;
+          Alcotest.test_case "dropped-event counter mirrors the ring" `Quick
+            test_bus_dropped_metric;
+        ] );
+      ( "tail",
+        [
+          Alcotest.test_case "torn lines and truncation restart" `Quick
+            test_tail_basic_and_truncation;
+          Alcotest.test_case "seq restart mid-tail" `Quick
+            test_tail_seq_restart_mid_tail;
         ] );
       ( "cockpit",
         [
           Alcotest.test_case "state advances from event lines alone" `Quick
             test_cockpit_incremental;
+          Alcotest.test_case "autocc.top/1 JSON snapshot" `Quick
+            test_cockpit_render_json;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "round-trip, torn line, run refs" `Quick
+            test_ledger_roundtrip;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "span tree folding and renderings" `Quick
+            test_profile_fold;
         ] );
       ( "watchdog",
         [
@@ -739,6 +1099,10 @@ let () =
             test_watchdog_rebudget;
         ] );
       ( "prometheus",
-        [ Alcotest.test_case "text format and atomic write" `Quick test_prometheus_render ] );
+        [
+          Alcotest.test_case "text format and atomic write" `Quick
+            test_prometheus_render;
+          fuzz_prometheus;
+        ] );
       ("fuzz", [ fuzz_determinism ]);
     ]

@@ -1,0 +1,172 @@
+(* Structural validator for the run ledger, run by the @ledger-smoke
+   rules against a real cold/warm `autocc analyze` pair sharing one
+   AUTOCC_CACHE_DIR:
+
+     validate_ledger.exe check LEDGER_DIR TRACE HISTORY WHY PROFILE SVG
+       LEDGER_DIR/runs.jsonl must hold the cold and warm analyze runs:
+       schema-clean, distinct run ids, identical config fingerprints
+       and DUT structural hashes, the cold run storing verdicts
+       (stores > 0, hits = 0) and the warm run hitting the cache
+       (hits > 0, every assert marked cached) with identical verdicts.
+       HISTORY (captured `autocc history`) must list both run ids; WHY
+       (captured `autocc why`) must resolve the warm cache hit back to
+       the cold producing run's id and print its config fingerprint and
+       structural hash; TRACE, refolded through Obs.Profile, must
+       attribute within 5% of the cold run's recorded wall; PROFILE and
+       SVG are the rendered table and flamegraph.
+
+     validate_ledger.exe slow LEDGER_DIR
+       Append a clone of the newest run under a fresh id with every
+       wall/cpu second scaled (x10 + 1s) — the forced-regression input
+       for the `diff-runs` exit-1 self-test. *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let mentions body sub =
+  let n = String.length sub and h = String.length body in
+  let rec go i = i + n <= h && (String.sub body i n = sub || go (i + 1)) in
+  go 0
+
+let load_runs dir =
+  let file = Obs.Ledger.path dir in
+  let runs, bad = Obs.Ledger.load dir in
+  if bad > 0 then fail "%s: %d unparseable ledger line(s)" file bad;
+  if runs = [] then fail "%s: empty run ledger" file;
+  runs
+
+let check dir trace history_out why_out profile_out svg_path =
+  let open Obs.Ledger in
+  let runs = load_runs dir in
+  let analyzes = List.filter (fun r -> r.r_tool = "analyze") runs in
+  (match analyzes with
+  | _ :: _ :: _ -> ()
+  | _ -> fail "%s: expected >= 2 analyze runs, found %d" dir
+           (List.length analyzes));
+  let cold = List.hd analyzes
+  and warm = List.nth analyzes (List.length analyzes - 1) in
+  if cold.r_id = warm.r_id then
+    fail "cold and warm runs share id %s" cold.r_id;
+  (* Both runs answered the same question: same subject, config
+     fingerprint and DUT structural hash — otherwise the warm cache hit
+     below proves nothing. *)
+  if cold.r_subject <> warm.r_subject then
+    fail "subject drifted: %s vs %s" cold.r_subject warm.r_subject;
+  if cold.r_config = "" then fail "cold run has empty config fingerprint";
+  if cold.r_config <> warm.r_config then
+    fail "config fingerprint drifted: %s vs %s" cold.r_config warm.r_config;
+  if cold.r_dut_hash = "" then fail "cold run has empty DUT hash";
+  if cold.r_dut_hash <> warm.r_dut_hash then
+    fail "DUT hash drifted: %s vs %s" cold.r_dut_hash warm.r_dut_hash;
+  List.iter
+    (fun r ->
+      if r.r_wall_s <= 0. then fail "run %s has wall %g <= 0" r.r_id r.r_wall_s;
+      if r.r_asserts = [] then fail "run %s recorded no asserts" r.r_id)
+    [ cold; warm ];
+  (* Cold solved fresh and stored; warm must have hit the store and
+     reproduced the exact verdicts. *)
+  if cold.r_cache_hits <> 0 then
+    fail "cold run %s has %d cache hits (stale lcache?)" cold.r_id
+      cold.r_cache_hits;
+  if cold.r_cache_stores = 0 then fail "cold run %s stored nothing" cold.r_id;
+  if warm.r_cache_hits = 0 then
+    fail "warm run %s never hit the cache" warm.r_id;
+  List.iter
+    (fun a ->
+      if not a.a_cached then
+        fail "warm run assert %s not marked cached" a.a_name)
+    warm.r_asserts;
+  let verdicts r = List.map (fun a -> (a.a_name, a.a_verdict, a.a_depth)) r.r_asserts in
+  if verdicts cold <> verdicts warm then
+    fail "warm verdicts differ from cold (cache returned something else)";
+  (* `history` lists both runs; `why` resolves the warm hit back to the
+     producing (cold) run and reprints the fingerprint it was keyed
+     under. *)
+  let history = read_file history_out in
+  List.iter
+    (fun r ->
+      if not (mentions history r.r_id) then
+        fail "%s: history does not list run %s" history_out r.r_id)
+    [ cold; warm ];
+  let why = read_file why_out in
+  if not (mentions why cold.r_id) then
+    fail "%s: why does not resolve the cache hit to producing run %s"
+      why_out cold.r_id;
+  if not (mentions why cold.r_config) then
+    fail "%s: why does not print config fingerprint %s" why_out cold.r_config;
+  if not (mentions why cold.r_dut_hash) then
+    fail "%s: why does not print structural hash %s" why_out cold.r_dut_hash;
+  (* Refold the cold run's span trace: the CLI's root span covers the
+     whole command, so the attributed total must sit within 5% of the
+     ledger's recorded wall (plus a small absolute slack for the
+     process-edge microseconds outside the root span). *)
+  let profile =
+    match Obs.Profile.of_file trace with
+    | Result.Ok p -> p
+    | Result.Error e -> fail "%s: unreadable trace: %s" trace e
+  in
+  if profile.Obs.Profile.p_events = 0 then fail "%s: no spans in trace" trace;
+  let attributed = profile.Obs.Profile.p_total_us /. 1e6 in
+  let wall = cold.r_wall_s in
+  let tolerance = Float.max (0.05 *. wall) 0.015 in
+  if Float.abs (attributed -. wall) > tolerance then
+    fail "%s: attributed %.4fs vs recorded wall %.4fs (tolerance %.4fs)" trace
+      attributed wall tolerance;
+  let table = read_file profile_out in
+  if not (mentions table "attributed") then
+    fail "%s: profile table missing attribution headline" profile_out;
+  if not (mentions table "cli.analyze") then
+    fail "%s: profile table missing the root cli.analyze span" profile_out;
+  let svg = read_file svg_path in
+  if not (mentions svg "<svg") then fail "%s: not an SVG" svg_path;
+  if not (mentions svg "cli.analyze") then
+    fail "%s: flamegraph missing the root cli.analyze span" svg_path;
+  if mentions svg "<script" then
+    fail "%s: flamegraph carries a script element" svg_path;
+  Printf.printf
+    "ledger OK: %s (cold %s stored %d, warm %s hit %d; attributed %.3fs of \
+     %.3fs wall)\n"
+    dir cold.r_id cold.r_cache_stores warm.r_id warm.r_cache_hits attributed
+    wall
+
+(* Clone the newest run under a fresh id, ten-times-plus-a-second
+   slower everywhere — guaranteed past both the diff ratio and any
+   sane absolute floor, so `diff-runs` over (previous, clone) must
+   exit 1. *)
+let slow dir =
+  let open Obs.Ledger in
+  let runs = load_runs dir in
+  let newest = List.nth runs (List.length runs - 1) in
+  let scale x = if x >= 0. then (x *. 10.) +. 1. else x in
+  let clone =
+    {
+      newest with
+      r_id = newest.r_id ^ "x10";
+      r_ts = newest.r_ts +. 1.;
+      r_wall_s = scale newest.r_wall_s;
+      r_cpu_s = scale newest.r_cpu_s;
+      r_asserts =
+        List.map
+          (fun a -> { a with a_wall_s = scale a.a_wall_s })
+          newest.r_asserts;
+    }
+  in
+  append ~dir clone;
+  Printf.printf "slow OK: appended %s (wall %.3fs -> %.3fs)\n" clone.r_id
+    newest.r_wall_s clone.r_wall_s
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "check"; dir; trace; history_out; why_out; profile_out; svg ] ->
+      check dir trace history_out why_out profile_out svg
+  | [ _; "slow"; dir ] -> slow dir
+  | _ ->
+      prerr_endline
+        "usage: validate_ledger.exe check LEDGER_DIR TRACE HISTORY WHY \
+         PROFILE SVG | slow LEDGER_DIR";
+      exit 2

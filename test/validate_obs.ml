@@ -10,8 +10,9 @@
        job_start/job_done pair and contain at least one depth_solved.
 
      validate_obs.exe prom FILE
-       FILE must be Prometheus text format: '# TYPE name counter|gauge'
-       headers and 'name value' samples only, every name autocc_*-
+       FILE must be Prometheus text format: '# HELP name text' and
+       '# TYPE name counter|gauge' headers (at most one of each per
+       metric) and 'name value' samples only, every name autocc_*-
        prefixed and [a-zA-Z0-9_:]*, every value a float; at least one
        solver metric must be present (the campaign runs the solver).
 
@@ -19,6 +20,11 @@
        FILE is a captured `autocc top --once` frame; it must carry the
        cockpit header and one row per campaign label — proving the
        cockpit reconstructed the campaign from events.jsonl alone.
+
+     validate_obs.exe topjson FILE LABEL,...
+       FILE is a captured `autocc top --once --json` snapshot: a single
+       autocc.top/1 JSON document with a positive event count and one
+       row (carrying a label and a verdict) per campaign label.
 
      validate_obs.exe stalled FILE
        FILE is the events.jsonl of a campaign run under an absurd
@@ -128,14 +134,27 @@ let validate_prom path =
   let lines = List.filter (fun l -> String.trim l <> "") (read_lines path) in
   if lines = [] then fail "%s: empty metrics snapshot" path;
   let samples = ref 0 in
+  (* Each metric may announce itself with at most one HELP and one TYPE
+     header — duplicates break Prometheus scrapers. *)
+  let seen_help = Hashtbl.create 16 and seen_type = Hashtbl.create 16 in
+  let once tbl what name ln =
+    if Hashtbl.mem tbl name then
+      fail "%s:%d: duplicate # %s for %s" path ln what name;
+    Hashtbl.replace tbl name ()
+  in
   List.iteri
     (fun i line ->
       let ln = i + 1 in
       if String.length line > 1 && line.[0] = '#' then begin
         match String.split_on_char ' ' line with
+        | "#" :: "HELP" :: name :: _ ->
+            if not (metric_name_ok name) then
+              fail "%s:%d: bad metric name %s" path ln name;
+            once seen_help "HELP" name ln
         | [ "#"; "TYPE"; name; kind ] ->
             if not (metric_name_ok name) then
               fail "%s:%d: bad metric name %s" path ln name;
+            once seen_type "TYPE" name ln;
             if kind <> "counter" && kind <> "gauge" && kind <> "histogram" then
               fail "%s:%d: bad metric kind %s" path ln kind
         | _ -> fail "%s:%d: bad comment line %S" path ln line
@@ -188,6 +207,40 @@ let validate_top path labels =
   Printf.printf "top OK: %s (%d campaign entries present)\n" path
     (List.length labels)
 
+let validate_topjson path labels =
+  let body = String.trim (read_file path) in
+  let j =
+    match Obs.Json.parse body with
+    | Error e -> fail "%s: unparseable JSON: %s" path e
+    | Ok j -> j
+  in
+  (match Obs.Json.member "schema" j with
+  | Some (Obs.Json.Str "autocc.top/1") -> ()
+  | _ -> fail "%s: missing or wrong schema member" path);
+  (match Obs.Json.member "events" j with
+  | Some (Obs.Json.Int n) when n > 0 -> ()
+  | _ -> fail "%s: missing or zero events count" path);
+  let rows =
+    match Obs.Json.member "rows" j with
+    | Some (Obs.Json.List l) -> l
+    | _ -> fail "%s: rows is not a list" path
+  in
+  let row_label r =
+    match Obs.Json.member "label" r with
+    | Some (Obs.Json.Str s) -> Some s
+    | _ -> None
+  in
+  List.iter
+    (fun label ->
+      match List.find_opt (fun r -> row_label r = Some label) rows with
+      | None -> fail "%s: no row for campaign entry %s" path label
+      | Some r -> (
+          match Obs.Json.member "verdict" r with
+          | Some (Obs.Json.Str _) -> ()
+          | _ -> fail "%s: row %s has no verdict" path label))
+    labels;
+  Printf.printf "topjson OK: %s (%d rows)\n" path (List.length rows)
+
 let validate_stalled path =
   let events = parse_events path in
   let count ty = List.length (List.filter (fun s -> type_of s = ty) events) in
@@ -206,8 +259,10 @@ let () =
   | [ _; "events"; path; labels ] -> validate_events path (split_labels labels)
   | [ _; "prom"; path ] -> validate_prom path
   | [ _; "top"; path; labels ] -> validate_top path (split_labels labels)
+  | [ _; "topjson"; path; labels ] -> validate_topjson path (split_labels labels)
   | [ _; "stalled"; path ] -> validate_stalled path
   | _ ->
       prerr_endline
-        "usage: validate_obs.exe events|prom|stalled FILE | top FILE LABELS";
+        "usage: validate_obs.exe events|prom|stalled FILE | top|topjson FILE \
+         LABELS";
       exit 2
