@@ -130,46 +130,18 @@ let print_metrics_summary () =
     (fun (name, v) -> Format.printf "%-26s %s@." name (render v))
     (Obs.Metrics.snapshot ())
 
-let known_duts = [ "vscale"; "maple"; "aes"; "cva6"; "divider"; "leaky" ]
+(* DUT-name -> circuit/property construction lives in [Duts.Bundled] so
+   the service worker processes build exactly what the CLI builds; these
+   wrappers only adapt the CLI's flat flag spelling. *)
+let known_duts = Duts.Bundled.known
 
 let build_dut name ~stage ~fix_m2 ~fix_m3 ~fix_c1 ~fix_c2 ~fix_c3 ~full_flush =
-  match name with
-  | "vscale" -> Duts.Vscale.create ()
-  | "maple" -> Duts.Maple.create ~config:{ Duts.Maple.fix_m2; fix_m3 } ()
-  | "aes" -> Duts.Aes.create ()
-  | "divider" -> Duts.Divider.create ()
-  | "cva6" ->
-      let mode = if full_flush then Duts.Cva6lite.Full_flush else Duts.Cva6lite.Microreset in
-      Duts.Cva6lite.create ~config:(Duts.Cva6lite.with_fixes ~fix_c1 ~fix_c2 ~fix_c3 mode) ()
-  | "leaky" ->
-      let open Rtl.Signal in
-      let din = input "din" 8 in
-      let capture = input "capture" 1 in
-      let query = input "query" 8 in
-      let stash = reg "stash" 8 in
-      reg_set_next stash (mux2 capture din stash);
-      Rtl.Circuit.create ~name:"leaky" ~outputs:[ ("hit", query ==: stash) ] ()
-  | other ->
-      ignore stage;
-      failwith ("unknown DUT " ^ other ^ " (expected " ^ String.concat "|" known_duts ^ ")")
+  ignore stage;
+  Duts.Bundled.build
+    ~fixes:{ Duts.Bundled.fix_m2; fix_m3; fix_c1; fix_c2; fix_c3; full_flush }
+    name
 
-let ft_for name dut ~stage ~threshold =
-  match name with
-  | "vscale" ->
-      let stages = Array.of_list Duts.Vscale.stages in
-      let stage = max 0 (min stage (Array.length stages - 1)) in
-      Duts.Vscale.ft_for_stage ~threshold stages.(stage) dut
-  | "maple" ->
-      Autocc.Ft.generate ~threshold
-        ~flush_done:(Duts.Maple.flush_done ~require_outbuf_empty:true ())
-        dut
-  | "aes" ->
-      Autocc.Ft.generate ~threshold ~flush_done:(Duts.Aes.flush_done_idle ()) dut
-  | "cva6" ->
-      Autocc.Ft.generate ~threshold ~flush_done:(Duts.Cva6lite.flush_done ()) dut
-  | "divider" ->
-      Autocc.Ft.generate ~threshold ~flush_done:(Duts.Divider.flush_done_idle ()) dut
-  | _ -> Autocc.Ft.generate ~threshold dut
+let ft_for name dut ~stage ~threshold = Duts.Bundled.ft_for ~stage ~threshold name dut
 
 (* {1 analyze} *)
 
@@ -594,11 +566,31 @@ let campaign duts threshold max_depth timeout conflict_budget retries resume
      slice, minimize and cluster.@.@."
     (String.concat ", " duts) max_depth (Opt.level_to_int opt);
   let t0 = Unix.gettimeofday () in
+  (* SIGTERM/SIGINT finish the entry in flight, skip the rest and exit
+     through the normal checkpoint path, so the campaign directory is
+     always resumable — `--resume` after a signal picks up exactly
+     where the persisted index stops, byte-stably. *)
+  let stop = Atomic.make false in
+  let stop_handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+  let prev_term = Sys.signal Sys.sigterm stop_handler in
+  let prev_int = Sys.signal Sys.sigint stop_handler in
   let result =
+    Fun.protect ~finally:(fun () ->
+        Sys.set_signal Sys.sigterm prev_term;
+        Sys.set_signal Sys.sigint prev_int)
+    @@ fun () ->
     Explain.Campaign.run ~opt ~incremental ~symmetric ?cache
       ~budget:(budget_of timeout conflict_budget)
-      ?retry:(retry_of retries) ~resume ~out_dir entries
+      ?retry:(retry_of retries) ~resume ~out_dir
+      ~should_stop:(fun () -> Atomic.get stop)
+      entries
   in
+  if Atomic.get stop then
+    Format.printf
+      "Interrupted: checkpoint persisted after %d/%d entries; finish with \
+       --resume.@.@."
+      (List.length result.Explain.Campaign.c_results)
+      (List.length entries);
   Explain.Campaign.pp Format.std_formatter result;
   print_cache_summary cache;
   Format.printf "@.Total wall-clock: %.2fs@." (Unix.gettimeofday () -. t0);
@@ -635,7 +627,9 @@ let campaign duts threshold max_depth timeout conflict_budget retries resume
    record_run ~tool:"campaign" ~subject:(String.concat "," duts) ~config cache
      ~asserts ~artifacts:result.Explain.Campaign.c_artifacts);
   if Obs.Metrics.enabled () then print_metrics_summary ();
-  0
+  (* 130 = interrupted, the conventional SIGINT exit; the checkpoint
+     above already made the interruption recoverable. *)
+  if Atomic.get stop then 130 else 0
 
 (* {1 top} *)
 
@@ -1586,6 +1580,245 @@ let profile_cmd =
           headline, and optionally a flamegraph SVG.")
     Term.(const profile $ trace $ svg)
 
+(* {1 serve / submit / status / worker} *)
+
+let serve_dir_arg =
+  Arg.(
+    value & opt string "autocc_serve"
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:
+          "Service directory: serve.sock, the persistent job queue \
+           (queue.json), per-job specs/heartbeats/results, worker logs, \
+           events.jsonl and runs.jsonl all live here.")
+
+let serve dir workers lease_s max_crashes shed retries cache_dir no_cache
+    metrics_file quiet =
+  let cfg =
+    {
+      (Serve.Daemon.default ~dir ~exe:Sys.executable_name) with
+      Serve.Daemon.d_workers = workers;
+      d_lease_s = lease_s;
+      d_max_crashes = max_crashes;
+      d_shed = shed;
+      d_retry =
+        (match retry_of retries with Some r -> r | None -> Retry.default);
+      d_cache_dir = (if no_cache then None else cache_dir);
+      d_metrics_file = metrics_file;
+      d_quiet = quiet;
+    }
+  in
+  Serve.Daemon.run cfg
+
+let worker dir job attempt = Serve.Worker.run ~dir ~job_id:job ~attempt
+
+let jfield_str j name =
+  match Obs.Json.member name j with Some (Obs.Json.Str s) -> s | _ -> ""
+
+let jfield_int j name =
+  match Obs.Json.member name j with Some (Obs.Json.Int i) -> i | _ -> 0
+
+let submit dir duts engine max_depth threshold wait =
+  let submitted =
+    List.map
+      (fun d ->
+        let spec =
+          {
+            Serve.Machine.sp_dut = d;
+            sp_engine = engine;
+            sp_depth = max_depth;
+            sp_threshold = threshold;
+          }
+        in
+        match Serve.Client.submit ~dir spec with
+        | Ok id ->
+            Format.printf "submitted %s (%s)@." id d;
+            Ok id
+        | Error msg ->
+            Format.eprintf "autocc submit: %s: %s@." d msg;
+            Error ())
+      duts
+  in
+  let rc = if List.exists Result.is_error submitted then 1 else 0 in
+  if not wait then rc
+  else
+    List.fold_left
+      (fun rc r ->
+        match r with
+        | Error () -> rc
+        | Ok id -> (
+            match Serve.Client.wait ~dir id with
+            | Error msg ->
+                Format.eprintf "autocc submit: wait %s: %s@." id msg;
+                1
+            | Ok resp ->
+                let job =
+                  Option.value ~default:(Obs.Json.Obj [])
+                    (Obs.Json.member "job" resp)
+                in
+                Format.printf "%s %s: %s (depth %d, %.2fs)@." id
+                  (jfield_str job "dut") (jfield_str job "verdict")
+                  (jfield_int job "depth")
+                  (float_of_int (jfield_int job "wall_ms") /. 1000.);
+                rc))
+      rc submitted
+
+let status dir as_json drain =
+  if drain then (
+    match Serve.Client.request ~dir (Serve.Proto.json_of_request Serve.Proto.Drain) with
+    | Ok _ ->
+        Format.printf "drain requested@.";
+        0
+    | Error msg ->
+        Format.eprintf "autocc status: %s@." msg;
+        1)
+  else
+    match Serve.Client.status ~dir with
+    | Error msg ->
+        Format.eprintf "autocc status: %s@." msg;
+        1
+    | Ok resp ->
+        if as_json then (
+          print_endline (Obs.Json.to_string resp);
+          0)
+        else begin
+          let jobs =
+            match Obs.Json.member "jobs" resp with
+            | Some (Obs.Json.List l) -> l
+            | _ -> []
+          in
+          Format.printf "%-6s %-10s %-7s %-12s %-8s %s@." "JOB" "DUT" "ENGINE"
+            "STATE" "CRASHES" "VERDICT";
+          List.iter
+            (fun j ->
+              Format.printf "%-6s %-10s %-7s %-12s %-8d %s@."
+                (jfield_str j "id") (jfield_str j "dut")
+                (jfield_str j "engine") (jfield_str j "state")
+                (jfield_int j "crashes") (jfield_str j "verdict"))
+            jobs;
+          (match Obs.Json.member "draining" resp with
+          | Some (Obs.Json.Bool true) -> Format.printf "(draining)@."
+          | _ -> ());
+          0
+        end
+
+let serve_cmd =
+  let workers =
+    Arg.(
+      value
+      & opt (nonneg_int "--workers") 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker pool size. 0 accepts and persists submissions but never \
+             dispatches — queue-only mode.")
+  in
+  let lease =
+    Arg.(
+      value
+      & opt (pos_float "--lease") 10.0
+      & info [ "lease" ] ~docv:"SECONDS"
+          ~doc:
+            "Heartbeat staleness horizon: a leased worker whose last renewal \
+             is older than $(docv) is presumed hung, SIGKILLed, and its job \
+             redelivered.")
+  in
+  let max_crashes =
+    Arg.(
+      value
+      & opt (pos_int "--max-crashes") 3
+      & info [ "max-crashes" ] ~docv:"N"
+          ~doc:
+            "Crashes before a job is quarantined as poison with the terminal \
+             verdict unknown:worker_crashed (which can never flip a \
+             conclusive verdict).")
+  in
+  let shed =
+    Arg.(
+      value
+      & opt (pos_int "--shed") 64
+      & info [ "shed" ] ~docv:"N"
+          ~doc:
+            "Live-job watermark past which submissions are refused with \
+             \"overloaded\" instead of growing the queue without bound.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the crash-isolated verification service: accept submissions on \
+          DIR/serve.sock, dispatch each job to a disposable worker process \
+          under a heartbeat lease, redeliver crashed jobs with exponential \
+          backoff, quarantine poison jobs, and drain gracefully on \
+          SIGTERM/SIGINT (the persisted queue survives a restart).")
+    Term.(
+      const serve $ serve_dir_arg $ workers $ lease $ max_crashes $ shed
+      $ retries_arg $ cache_dir_arg $ no_cache_arg $ metrics_file_arg
+      $ flag "quiet" "Suppress per-event lifecycle lines.")
+
+let submit_cmd =
+  let duts =
+    Arg.(
+      non_empty
+      & pos_all (enum (List.map (fun d -> (d, d)) known_duts)) []
+      & info [] ~docv:"DUT"
+          ~doc:"DUTs to submit, one job each (vscale, maple, aes, cva6, \
+                divider, leaky).")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt (enum [ ("check", "check"); ("prove", "prove") ]) "check"
+      & info [ "engine" ]
+          ~doc:"Verification engine: check (BMC) or prove (k-induction).")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit verification jobs to a running autocc serve daemon; with \
+          --wait, block until each is terminal and print its verdict.")
+    Term.(
+      const submit $ serve_dir_arg $ duts $ engine $ max_depth_arg
+      $ threshold_arg
+      $ flag "wait" "Block until each submitted job is terminal.")
+
+let status_cmd =
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Show the job table of a running autocc serve daemon (state, crash \
+          count and verdict per job).")
+    Term.(
+      const status $ serve_dir_arg
+      $ flag "json" "Print the raw autocc.serve/1 status response."
+      $ flag "drain"
+          "Ask the daemon to drain (same effect as SIGTERM) instead of \
+           printing status.")
+
+let worker_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Service directory.")
+  in
+  let job =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "job" ] ~docv:"ID" ~doc:"Job id to execute.")
+  in
+  let attempt =
+    Arg.(
+      value
+      & opt (nonneg_int "--attempt") 0
+      & info [ "attempt" ] ~docv:"N"
+          ~doc:"Delivery attempt; > 0 rotates the fault-injection seed.")
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Execute one leased service job and deposit its result (spawned by \
+          autocc serve; not intended for interactive use).")
+    Term.(const worker $ dir $ job $ attempt)
+
 let () =
   (* Test builds inject deterministic faults via AUTOCC_FAULT; a no-op
      (one atomic load per probe) when the variable is unset. *)
@@ -1607,6 +1840,10 @@ let () =
         export_cmd;
         stats_cmd;
         campaign_cmd;
+        serve_cmd;
+        submit_cmd;
+        status_cmd;
+        worker_cmd;
         top_cmd;
         history_cmd;
         diff_runs_cmd;

@@ -1,0 +1,72 @@
+type fixes = {
+  fix_m2 : bool;
+  fix_m3 : bool;
+  fix_c1 : bool;
+  fix_c2 : bool;
+  fix_c3 : bool;
+  full_flush : bool;
+}
+
+let no_fixes =
+  {
+    fix_m2 = false;
+    fix_m3 = false;
+    fix_c1 = false;
+    fix_c2 = false;
+    fix_c3 = false;
+    full_flush = false;
+  }
+
+let known = [ "vscale"; "maple"; "aes"; "cva6"; "divider"; "leaky" ]
+
+let build ?(fixes = no_fixes) name =
+  match name with
+  | "vscale" -> Vscale.create ()
+  | "maple" ->
+      Maple.create
+        ~config:{ Maple.fix_m2 = fixes.fix_m2; fix_m3 = fixes.fix_m3 }
+        ()
+  | "aes" -> Aes.create ()
+  | "divider" -> Divider.create ()
+  | "cva6" ->
+      let mode =
+        if fixes.full_flush then Cva6lite.Full_flush else Cva6lite.Microreset
+      in
+      Cva6lite.create
+        ~config:
+          (Cva6lite.with_fixes ~fix_c1:fixes.fix_c1 ~fix_c2:fixes.fix_c2
+             ~fix_c3:fixes.fix_c3 mode)
+        ()
+  | "leaky" ->
+      (* The textbook channel: one stash register a flush never clears,
+         read back through an equality probe. Small enough that every
+         smoke test can afford to solve it. *)
+      let open Rtl.Signal in
+      let din = input "din" 8 in
+      let capture = input "capture" 1 in
+      let query = input "query" 8 in
+      let stash = reg "stash" 8 in
+      reg_set_next stash (mux2 capture din stash);
+      Rtl.Circuit.create ~name:"leaky" ~outputs:[ ("hit", query ==: stash) ] ()
+  | other ->
+      failwith
+        ("unknown DUT " ^ other ^ " (expected " ^ String.concat "|" known ^ ")")
+
+let ft_for ?(stage = 0) ?(threshold = 2) name dut =
+  match name with
+  | "vscale" ->
+      let stages = Array.of_list Vscale.stages in
+      let stage = max 0 (min stage (Array.length stages - 1)) in
+      Vscale.ft_for_stage ~threshold stages.(stage) dut
+  | "maple" ->
+      Autocc.Ft.generate ~threshold
+        ~flush_done:(Maple.flush_done ~require_outbuf_empty:true ())
+        dut
+  | "aes" ->
+      Autocc.Ft.generate ~threshold ~flush_done:(Aes.flush_done_idle ()) dut
+  | "cva6" ->
+      Autocc.Ft.generate ~threshold ~flush_done:(Cva6lite.flush_done ()) dut
+  | "divider" ->
+      Autocc.Ft.generate ~threshold ~flush_done:(Divider.flush_done_idle ())
+        dut
+  | _ -> Autocc.Ft.generate ~threshold dut

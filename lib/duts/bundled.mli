@@ -1,0 +1,40 @@
+(** Named construction of the bundled DUT zoo.
+
+    The CLI subcommands and the [autocc serve] worker processes both
+    need to turn a DUT {e name} arriving as plain data (a command-line
+    flag, a job submission over the wire) into a circuit and its
+    flush-transparency property set. Keeping that mapping here — beside
+    the DUTs themselves — means a job spec solved by a service worker
+    names exactly the same circuit the one-shot CLI would build, which
+    is what makes "service verdicts match a crash-free one-shot
+    campaign" a meaningful invariant to test. *)
+
+type fixes = {
+  fix_m2 : bool;  (** maple: clear the M2 metadata latch on flush *)
+  fix_m3 : bool;  (** maple: drain the M3 output buffer on flush *)
+  fix_c1 : bool;  (** cva6lite: micro-reset the C1 predictor *)
+  fix_c2 : bool;  (** cva6lite: micro-reset the C2 prefetcher *)
+  fix_c3 : bool;  (** cva6lite: micro-reset the C3 line buffer *)
+  full_flush : bool;  (** cva6lite: full-flush mode instead of micro-reset *)
+}
+
+val no_fixes : fixes
+(** All fixes off — the leaky baseline every DUT ships as. *)
+
+val known : string list
+(** The recognized DUT names:
+    [["vscale"; "maple"; "aes"; "cva6"; "divider"; "leaky"]]. *)
+
+val build : ?fixes:fixes -> string -> Rtl.Circuit.t
+(** Construct the named DUT ([fixes] defaults to {!no_fixes}; only
+    maple and cva6 consult it). ["leaky"] is the one-register
+    stash/query textbook channel. Raises [Failure] on an unknown name,
+    listing {!known}. *)
+
+val ft_for :
+  ?stage:int -> ?threshold:int -> string -> Rtl.Circuit.t -> Autocc.Ft.t
+(** The flush-transparency property set for a DUT built by {!build}:
+    each DUT's own flush-done predicate where it has one, the generic
+    template otherwise. [stage] (default 0, clamped) selects the
+    pipeline stage for vscale; [threshold] (default 2) is the
+    flush-countdown bound. *)

@@ -1007,7 +1007,8 @@ h3 { margin-bottom: 0.2em; }
     with Sys_error _ -> ()
 
   let run ?opt ?incremental ?symmetric ?cache ?(budget = Bmc.no_budget)
-      ?(retry = Retry.default) ?(resume = false) ?out_dir entries =
+      ?(retry = Retry.default) ?(resume = false) ?out_dir
+      ?(should_stop = fun () -> false) entries =
     Obs.span "explain.campaign"
       ~attrs:[ ("entries", Json.Int (List.length entries)) ]
     @@ fun () ->
@@ -1220,6 +1221,12 @@ h3 { margin-bottom: 0.2em; }
     let results_rev =
       List.fold_left
         (fun acc e ->
+          (* A pending stop (SIGTERM/SIGINT checkpoint handler) is
+             honored at the entry boundary: every finished entry has
+             already checkpointed, and skipping the rest leaves a
+             campaign.json that [--resume] completes byte-stably. *)
+          if should_stop () then acc
+          else
           let r = run_entry e in
           (* Flush this entry's channel artifacts, then checkpoint the
              index and report: a kill between entries loses at most the

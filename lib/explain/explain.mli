@@ -174,6 +174,7 @@ module Campaign : sig
     ?retry:Retry.policy ->
     ?resume:bool ->
     ?out_dir:string ->
+    ?should_stop:(unit -> bool) ->
     entry list ->
     t
   (** Sweep the entries: per entry, run {!Bmc.check_each} over the FT's
@@ -207,7 +208,13 @@ module Campaign : sig
       and depth, every channel artifact present and valid — are reused
       without re-solving ([r_resumed = true]); all others are
       recomputed. Resuming an already-complete campaign rewrites
-      [campaign.json] byte-identically. *)
+      [campaign.json] byte-identically.
+
+      [should_stop] (default: never) is polled at each entry boundary;
+      when it returns [true] the remaining entries are skipped and the
+      already-checkpointed results returned — the hook signal handlers
+      use to turn SIGTERM/SIGINT into a clean, resumable checkpoint
+      instead of a mid-entry kill. *)
 
   val json_of_channel : label:string -> dut:string -> channel -> Obs.Json.t
   (** The per-channel artifact: schema tag, channel naming, provenance

@@ -40,6 +40,17 @@ let disarm () =
 
 let armed () = Atomic.get state <> None
 
+let reseed ~offset =
+  match Atomic.get state with
+  | None -> ()
+  | Some st ->
+      let c = st.config in
+      Mutex.lock lock;
+      Hashtbl.reset counters;
+      Atomic.set state
+        (Some { config = { c with seed = c.seed + offset }; hits = 0; fired = 0 });
+      Mutex.unlock lock
+
 let arm_from_env () =
   match Sys.getenv_opt "AUTOCC_FAULT" with
   | None | Some "" -> ()

@@ -40,6 +40,19 @@ val arm_from_env : unit -> unit
 val disarm : unit -> unit
 (** Return to the zero-cost disarmed state and reset counters. *)
 
+val reseed : offset:int -> unit
+(** Rotate the armed seed by [offset] (and reset counters); no-op when
+    disarmed. Fault decisions are a pure function of [(seed, site, n)]
+    and counters are per-process, so a respawned worker would otherwise
+    replay the exact fault sequence that killed its predecessor — a
+    redelivered job would crash forever and quarantine. The service
+    worker calls [reseed ~offset:attempt] so each delivery attempt rolls
+    a fresh (but still deterministic) die.
+
+    Known process-level sites probed by the serve worker:
+    ["serve.worker"] (worker self-[SIGKILL] mid-job) and ["serve.lease"]
+    (a heartbeat lease renewal silently dropped). *)
+
 val armed : unit -> bool
 
 val point : string -> unit

@@ -293,6 +293,60 @@ end
 
 let domain_id () = (Domain.self () :> int)
 
+(* {1 Atomic line appends}
+
+   The jsonl sinks (events.jsonl, runs.jsonl) used to go through
+   buffered out_channels, which is fine for a single process but tears
+   lines once service workers append from separate processes: stdio may
+   split one line across several write(2) calls, and two writers
+   interleave the halves. POSIX guarantees that a single write(2) on an
+   O_APPEND descriptor lands contiguously at the (atomically advanced)
+   end of file, so the fix is structural: every line is emitted as
+   exactly one write of "payload\n". *)
+
+module Appender = struct
+  type t = { fd : Unix.file_descr; mutable closed : bool }
+
+  let open_path path =
+    {
+      fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644;
+      closed = false;
+    }
+
+  (* One write(2) per line. A short write on a regular file only happens
+     under pathological conditions (ENOSPC, rlimit); we finish the tail
+     rather than drop bytes, accepting that only the first write is
+     tear-free. *)
+  let write_all fd b pos len =
+    let rec go pos len =
+      if len > 0 then begin
+        let n = Unix.single_write fd b pos len in
+        go (pos + n) (len - n)
+      end
+    in
+    go pos len
+
+  let line t s =
+    if t.closed then invalid_arg "Obs.Appender.line: closed";
+    let n = String.length s in
+    let b = Bytes.create (n + 1) in
+    Bytes.blit_string s 0 b 0 n;
+    Bytes.set b n '\n';
+    write_all t.fd b 0 (n + 1)
+
+  let json_line t j = line t (Json.to_string j)
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      try Unix.close t.fd with Unix.Unix_error _ -> ()
+    end
+
+  let with_path path f =
+    let t = open_path path in
+    Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+end
+
 (* {1 Structured logging} *)
 
 type level = Error | Warn | Info | Debug
@@ -740,7 +794,11 @@ module Bus = struct
   let ring_start = ref 0
   let ring_len = ref 0
   let dropped_count = ref 0
-  let chan : out_channel option ref = ref None
+
+  (* O_APPEND + single-write line emission: service workers from
+     separate processes append to the same events.jsonl, and buffered
+     channels would interleave partial lines. *)
+  let sink : Appender.t option ref = ref None
 
   let type_name = function
     | Depth_solved _ -> "depth_solved"
@@ -884,13 +942,12 @@ module Bus = struct
       incr seq;
       let st = { seq = !seq; ts = Clock.wall_s (); tid; label; ev } in
       push_locked st;
-      (match !chan with
-      | Some oc -> (
-          try
-            output_string oc (Json.to_string (json_of_stamped st));
-            output_char oc '\n';
-            flush oc
-          with Sys_error _ -> chan := None)
+      (match !sink with
+      | Some ap -> (
+          try Appender.json_line ap (json_of_stamped st)
+          with Sys_error _ | Unix.Unix_error _ ->
+            Appender.close ap;
+            sink := None)
       | None -> ());
       Mutex.unlock bus_mutex
     end
@@ -899,7 +956,7 @@ module Bus = struct
     if ring_capacity <= 0 then
       invalid_arg "Obs.Bus.attach: ring_capacity must be positive";
     Mutex.lock bus_mutex;
-    (match !chan with Some oc -> (try close_out oc with _ -> ()) | None -> ());
+    (match !sink with Some ap -> Appender.close ap | None -> ());
     let dummy =
       { seq = 0; ts = 0.; tid = 0; label = ""; ev = Heartbeat }
     in
@@ -911,8 +968,7 @@ module Bus = struct
        readers of a shared events.jsonl (Cockpit, validators) detect a
        process boundary after --resume. *)
     seq := 0;
-    chan :=
-      Option.map (fun p -> open_out_gen [ Open_append; Open_creat ] 0o644 p) file;
+    sink := Option.map Appender.open_path file;
     Atomic.set on true;
     Mutex.unlock bus_mutex
 
@@ -920,8 +976,8 @@ module Bus = struct
     if Atomic.get on then begin
       Atomic.set on false;
       Mutex.lock bus_mutex;
-      (match !chan with Some oc -> (try close_out oc with _ -> ()) | None -> ());
-      chan := None;
+      (match !sink with Some ap -> Appender.close ap | None -> ());
+      sink := None;
       Mutex.unlock bus_mutex
     end
 
@@ -1791,13 +1847,10 @@ module Ledger = struct
     (try
        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
      with Unix.Unix_error _ -> ());
-    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 (path dir) in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        output_string oc (Json.to_string (json_of_run r));
-        output_char oc '\n';
-        flush oc)
+    (* One write(2) per row: campaign coordinator and service workers
+       append concurrently from separate processes. *)
+    Appender.with_path (path dir) (fun ap ->
+        Appender.json_line ap (json_of_run r))
 
   (* File order is run order. Unparseable lines (torn final line of a
      crashed writer, foreign junk) are counted, not fatal. *)

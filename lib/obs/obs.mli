@@ -83,6 +83,38 @@ end
 val domain_id : unit -> int
 (** The calling domain's id — the [tid] of every event it records. *)
 
+(** {1 Atomic line appends}
+
+    Multi-process-safe jsonl emission. The ledger ([runs.jsonl]) and the
+    bus file sink ([events.jsonl]) are appended by the service's worker
+    processes concurrently with the daemon and any one-shot CLI runs;
+    buffered channels can split one line across several [write(2)] calls
+    and interleave the halves. An {!Appender} opens the file [O_APPEND]
+    and emits each line (payload + newline) as a single [write(2)],
+    which POSIX lands contiguously at the end of file — concurrent
+    writers can reorder whole lines but never tear one. *)
+
+module Appender : sig
+  type t
+
+  val open_path : string -> t
+  (** Open (creating if absent) for append-only line emission. *)
+
+  val line : t -> string -> unit
+  (** Append [s ^ "\n"] in one [write(2)]. [s] must not itself contain
+      newlines (jsonl payloads never do). Raises [Invalid_argument]
+      after {!close}. *)
+
+  val json_line : t -> Json.t -> unit
+  (** {!line} of the compact rendering of a JSON value. *)
+
+  val close : t -> unit
+  (** Idempotent. *)
+
+  val with_path : string -> (t -> 'a) -> 'a
+  (** Open, run, close (also on exception). *)
+end
+
 (** {1 Structured logging} *)
 
 type level = Error | Warn | Info | Debug

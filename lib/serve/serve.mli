@@ -1,0 +1,273 @@
+(** Crash-isolated verification service.
+
+    [autocc serve] turns the one-shot CLI into a supervised system: a
+    long-running daemon accepts DUT/property submissions over a
+    newline-delimited-JSON wire protocol on a Unix domain socket, keeps
+    a persistent job queue on disk, and dispatches each job to a
+    {e worker process} (fork/exec of [autocc worker], one job per
+    lease). Process isolation is the robustness boundary the OCaml 5
+    domain boundary cannot give: a segfaulting, OOM-killed or hung SAT
+    job takes down one worker, and the supervisor redelivers the job
+    instead of losing the campaign.
+
+    The supervisor owns the robustness contract:
+
+    - {b Leases.} A dispatched job is leased to one worker pid. The
+      worker renews the lease by atomically rewriting a per-job
+      heartbeat file at every solved depth; a lease whose beat goes
+      stale past the configured horizon is expired and the worker
+      SIGKILLed (it may be hung in the solver with signals blocked by
+      no one — SIGKILL is the only honest option).
+    - {b Crash detection.} [waitpid] reaping plus lease expiry. A
+      worker that exits without depositing a well-formed result file —
+      whatever the exit status — crashed.
+    - {b Redelivery.} A crashed job goes back to pending after the
+      capped exponential backoff of the {!Retry} schedule
+      ([backoff_s ~attempt:crashes]), and the respawned worker is told
+      its attempt number so it can rotate the fault-injection seed
+      ({!Fault.reseed}) — a deterministically replayed crash would
+      otherwise quarantine every faulted job.
+    - {b Quarantine.} After [max_crashes] crashes a job is parked as
+      poison with the terminal verdict ["unknown:worker_crashed"].
+      Quarantine only ever applies to jobs with {e no} conclusive
+      verdict, so — per the budget-governance invariant — a crash can
+      never flip a Sat/Unsat.
+    - {b Drain.} SIGTERM/SIGINT stop intake (submissions are refused
+      with ["draining"]), let leased jobs finish, persist the queue
+      byte-stably and exit 0; a restarted daemon reloads the queue and
+      re-solves only what never completed — against a warm verdict
+      cache that is mostly cache hits.
+    - {b Load shedding.} Submissions past the queue-depth watermark are
+      refused with ["overloaded"] instead of growing the queue without
+      bound.
+
+    Workers share the verdict cache ([AUTOCC_CACHE_DIR]) and append to
+    the service directory's run ledger and event stream; [autocc top],
+    the Prometheus exposition and the bench diff gate all attach to the
+    service directory unchanged. *)
+
+(** The supervisor state machine, kept pure — every daemon decision is
+    [step state event -> state * actions], so the whole
+    submit → lease → heartbeat → crash → redeliver → quarantine → drain
+    lifecycle is testable as a fold over events with no processes, no
+    clock and no filesystem. *)
+module Machine : sig
+  type spec = {
+    sp_dut : string;  (** a {!Duts.Bundled.known} name *)
+    sp_engine : string;  (** ["check"] (BMC) or ["prove"] (k-induction) *)
+    sp_depth : int;
+    sp_threshold : int;
+  }
+
+  (** What a worker deposits for a completed job. *)
+  type result = {
+    w_verdict : string;  (** ["cex"], ["proof"], ["proved"], ["refuted"]
+                             or ["unknown:<reason>"] *)
+    w_depth : int;
+    w_wall_ms : int;
+    w_cache_hits : int;
+  }
+
+  type jstate =
+    | Pending of { not_before : float }
+        (** queued; [not_before] is the redelivery backoff gate *)
+    | Leased of {
+        pid : int;  (** worker pid; [0] while the spawn is in flight *)
+        attempt : int;  (** = crashes when leased; forwarded to the worker *)
+        leased_at : float;
+        last_beat : float;
+      }
+    | Done of result
+    | Quarantined of { q_crashes : int }  (** poison; terminal *)
+
+  type job = {
+    j_id : string;
+    j_spec : spec;
+    j_crashes : int;
+    j_state : jstate;
+  }
+
+  type config = {
+    c_workers : int;  (** pool size; [0] = accept but never dispatch *)
+    c_lease_s : float;  (** beat staleness horizon before expiry *)
+    c_max_crashes : int;  (** crashes before quarantine *)
+    c_shed : int;  (** live-job watermark past which submits are shed *)
+    c_retry : Retry.policy;  (** redelivery backoff schedule *)
+  }
+
+  val default_config : config
+  (** 2 workers, 10s lease, quarantine after 3 crashes, shed at 64. *)
+
+  type t = {
+    m_cfg : config;
+    m_jobs : job list;  (** submit order *)
+    m_next : int;  (** next job id suffix *)
+    m_draining : bool;
+  }
+
+  (** Everything that can happen to the supervisor. [Tick] drives all
+      time-based behavior (expiry, backoff gates, spawning, drain
+      completion), so tests control the clock completely. *)
+  type event =
+    | Submit of spec
+    | Spawned of { id : string; pid : int; now : float }
+        (** the daemon forked a worker for a [Start] action *)
+    | Beat of { id : string; now : float }
+        (** lease renewal observed from the worker's heartbeat file *)
+    | Exited of { id : string; pid : int; result : result option; now : float }
+        (** worker reaped; [result] is its deposited result file, if a
+            well-formed one exists — [None] means the attempt crashed *)
+    | Tick of { now : float }
+    | Drain
+
+  (** Effects the daemon must perform; the machine never performs them
+      itself. *)
+  type action =
+    | Accept of { id : string }  (** reply to the submitter *)
+    | Reject of { reason : string }  (** ... negatively *)
+    | Start of { id : string; spec : spec; attempt : int }
+        (** fork/exec a worker; answer with [Spawned] *)
+    | Kill of { id : string; pid : int }  (** SIGKILL an expired/duplicate worker *)
+    | Redeliver of { id : string; attempt : int; backoff_s : float }
+    | Quarantine of { id : string; crashes : int }
+    | Complete of { id : string; verdict : string }
+    | Persist  (** the durable queue state changed *)
+    | Exit  (** drain finished; shut down *)
+
+  val create : config -> t
+  val step : t -> event -> t * action list
+
+  val find : t -> string -> job option
+
+  val live : t -> int
+  (** pending + leased *)
+
+  val leased : t -> int
+
+  val crashed_verdict : string
+  (** ["unknown:worker_crashed"] — the quarantine verdict. *)
+
+  val verdict_of : job -> string option
+  (** Terminal verdict: [Done]'s, {!crashed_verdict} for quarantined,
+      [None] while live. *)
+
+  val state_name : job -> string
+  (** ["pending" | "leased" | "done" | "quarantined"]. *)
+end
+
+(** Durable queue state: [<dir>/queue.json], schema [autocc.serve/1],
+    atomically rewritten (tmp + rename). The rendering is byte-stable —
+    fixed field order, integers and strings only, leases persisted as
+    pending (a lease never survives the daemon) — so save∘load is the
+    identity on bytes and a drain/restart cycle can be [cmp]ed. *)
+module Store : sig
+  val path : string -> string
+  (** [dir ^ "/queue.json"]. *)
+
+  val render : Machine.t -> string
+  (** The exact bytes {!save} writes (including trailing newline). *)
+
+  val save : dir:string -> Machine.t -> unit
+
+  val load : dir:string -> Machine.config -> (Machine.t option, string) result
+  (** [Ok None] when no queue file exists; [Error] on a malformed one
+      (refuse to run rather than silently drop jobs). *)
+end
+
+(** The [autocc.serve/1] wire protocol: one JSON request line in, one
+    JSON response line out, connection per request ([wait] holds its
+    connection open until the job is terminal). *)
+module Proto : sig
+  val schema : string
+
+  type request =
+    | Submit of Machine.spec
+    | Status
+    | Wait of string  (** block until the named job is terminal *)
+    | Drain  (** same effect as SIGTERM *)
+    | Ping
+
+  val json_of_request : request -> Obs.Json.t
+  val request_of_json : Obs.Json.t -> (request, string) result
+
+  val ok : (string * Obs.Json.t) list -> Obs.Json.t
+  (** [{"schema":…,"ok":true, fields…}]. *)
+
+  val error : string -> Obs.Json.t
+  (** [{"schema":…,"ok":false,"error":msg}]. *)
+
+  val json_of_job : Machine.job -> Obs.Json.t
+  (** The status row for one job (live state, unlike {!Store}'s durable
+      form). *)
+end
+
+(** Client side of the wire protocol, shared by [autocc submit],
+    [autocc status] and the smoke validator. *)
+module Client : sig
+  val socket_path : string -> string
+  (** [dir ^ "/serve.sock"]. *)
+
+  val request :
+    dir:string -> ?timeout_s:float -> Obs.Json.t -> (Obs.Json.t, string) result
+  (** One round trip; [Error] on connection failure, timeout (default
+      30s), EOF or a malformed/negative response. *)
+
+  val submit : dir:string -> Machine.spec -> (string, string) result
+  (** Returns the accepted job id. *)
+
+  val wait :
+    dir:string -> ?timeout_s:float -> string -> (Obs.Json.t, string) result
+  (** Block (default up to 600s) until the job is terminal; returns its
+      status row. *)
+
+  val status : dir:string -> (Obs.Json.t, string) result
+  val ping : dir:string -> bool
+end
+
+(** One leased job, executed inside a disposable process. *)
+module Worker : sig
+  val run : dir:string -> job_id:string -> attempt:int -> int
+  (** Read the job spec ([jobs/<id>.json]), build the DUT and property
+      set via {!Duts.Bundled}, solve with the verdict cache from
+      [AUTOCC_CACHE_DIR] (if set), renew the heartbeat lease
+      ([hb/<id>.json]) at every solved depth, deposit the result
+      atomically ([results/<id>.json]), append a ledger row and publish
+      [Job_start]/[Job_done] to the service's event stream. Returns the
+      process exit code (0 on any deposited verdict, including
+      [unknown:*]).
+
+      [attempt] > 0 rotates the fault-injection seed by the attempt
+      number, so an injected crash does not replay deterministically on
+      redelivery. Probes the ["serve.worker"] (self-SIGKILL) and
+      ["serve.lease"] (renewal dropped) fault sites at every depth. *)
+end
+
+(** The supervisor loop: owns the socket, the worker pool and the
+    queue; drives {!Machine} and performs its actions. *)
+module Daemon : sig
+  type config = {
+    d_dir : string;  (** service directory (created if missing) *)
+    d_workers : int;
+    d_lease_s : float;
+    d_max_crashes : int;
+    d_shed : int;
+    d_retry : Retry.policy;
+    d_exe : string;  (** binary to fork/exec as [<exe> worker …] *)
+    d_cache_dir : string option;  (** exported to workers as [AUTOCC_CACHE_DIR] *)
+    d_metrics_file : string option;  (** Prometheus snapshot ticker *)
+    d_quiet : bool;
+  }
+
+  val default : dir:string -> exe:string -> config
+
+  val run : config -> int
+  (** Serve until drained (SIGTERM/SIGINT or a [drain] request): bind
+      [<dir>/serve.sock], reload any persisted queue (leases revert to
+      pending; a pending job whose result file already exists is
+      absorbed without re-solving), then loop: accept, dispatch, reap,
+      observe heartbeats, tick. Maintains [<dir>/heartbeats.json] in
+      the [autocc.heartbeat/1] schema so [autocc top] renders service
+      jobs exactly like campaign entries. Refuses to start (exit 1)
+      when a live daemon already owns the directory. Exit 0 on a clean
+      drain. *)
+end

@@ -1,0 +1,415 @@
+(* End-to-end smoke for the crash-isolated verification service
+   (@serve-smoke): drives the real `autocc serve` daemon, real forked
+   workers and the real wire protocol through four phases, asserting
+   the ISSUE-level robustness contract:
+
+   B. a crash-free service run completes four DUTs with verdicts
+      identical to an in-process one-shot reference (and populates a
+      verdict cache);
+   C. a crash storm — every attempt-0 worker self-SIGKILLs mid-job via
+      the "serve.worker" fault site, with "serve.lease" renewal drops
+      armed alongside — must redeliver every job and converge to the
+      SAME verdicts, with zero quarantines;
+   D. a graceful SIGTERM drain of a queue-only daemon persists the
+      queue byte-stably across a restart (cmp-identical), sheds
+      submissions past the watermark, and a final restart against the
+      phase-B cache completes the queue with warm cache hits recorded
+      in the service ledger;
+   E. a SIGTERMed `autocc campaign` checkpoints, exits cleanly, and
+      `--resume` finishes it byte-stably.
+
+   Usage: validate_serve <path-to-autocc-cli-exe> *)
+
+module J = Obs.Json
+
+let exe = ref ""
+let failures = ref 0
+
+let failf fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.printf "FAILED: %s\n%!" s)
+    fmt
+
+let infof fmt = Printf.ksprintf (fun s -> Printf.printf "       %s\n%!" s) fmt
+let phase fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n%!" s) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* {1 Process helpers} *)
+
+let spawn ?(env = []) args =
+  let argv = Array.of_list (!exe :: args) in
+  let full_env =
+    Array.append (Unix.environment ()) (Array.of_list env)
+  in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let out =
+    Unix.openfile
+      (Printf.sprintf "serve_smoke_%s.log" (List.hd args))
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+      0o644
+  in
+  let pid = Unix.create_process_env !exe argv full_env devnull out out in
+  Unix.close devnull;
+  Unix.close out;
+  pid
+
+let wait_exit ?(timeout_s = 120.) pid =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+        if Unix.gettimeofday () -. t0 > timeout_s then (
+          Unix.kill pid Sys.sigkill;
+          ignore (Unix.waitpid [] pid);
+          None)
+        else (
+          Unix.sleepf 0.05;
+          go ())
+    | _, Unix.WEXITED c -> Some c
+    | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) -> Some (128 + s)
+  in
+  go ()
+
+let wait_for ?(timeout_s = 30.) what pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () -. t0 > timeout_s then (
+      failf "timed out waiting for %s" what;
+      false)
+    else (
+      Unix.sleepf 0.05;
+      go ())
+  in
+  go ()
+
+let start_daemon ?(env = []) ~dir args =
+  let pid = spawn ~env ([ "serve"; "--dir"; dir ] @ args) in
+  ignore
+    (wait_for ("daemon socket in " ^ dir) (fun () -> Serve.Client.ping ~dir));
+  pid
+
+let drain_daemon pid =
+  Unix.kill pid Sys.sigterm;
+  match wait_exit pid with
+  | Some 0 -> ()
+  | Some c -> failf "daemon exited %d after SIGTERM (want 0)" c
+  | None -> failf "daemon did not exit after SIGTERM"
+
+(* {1 Reference verdicts: the crash-free one-shot engine, in-process} *)
+
+let duts = [ "leaky"; "divider"; "maple"; "aes" ]
+let depth = 6
+let threshold = 2
+
+let reference =
+  lazy
+    (List.map
+       (fun name ->
+         let dut = Duts.Bundled.build name in
+         let ft = Duts.Bundled.ft_for ~threshold name dut in
+         let verdict, d =
+           match Autocc.Ft.check ~max_depth:depth ft with
+           | Bmc.Cex (cex, _) -> ("cex", cex.Bmc.cex_depth)
+           | Bmc.Bounded_proof st -> ("proof", st.Bmc.depth_reached)
+           | Bmc.Unknown (r, st) ->
+               ("unknown:" ^ Bmc.unknown_reason_to_string r, st.Bmc.depth_reached)
+         in
+         (name, (verdict, d)))
+       duts)
+
+(* Submit the four DUTs to a running daemon and wait each one out;
+   returns dut -> (verdict, depth, crashes). *)
+let run_jobs dir =
+  List.filter_map
+    (fun dut ->
+      let spec =
+        { Serve.Machine.sp_dut = dut; sp_engine = "check"; sp_depth = depth;
+          sp_threshold = threshold }
+      in
+      match Serve.Client.submit ~dir spec with
+      | Error e ->
+          failf "submit %s: %s" dut e;
+          None
+      | Ok id -> Some (dut, id))
+    duts
+  |> List.filter_map (fun (dut, id) ->
+         match Serve.Client.wait ~dir ~timeout_s:120. id with
+         | Error e ->
+             failf "wait %s (%s): %s" id dut e;
+             None
+         | Ok resp -> (
+             match J.member "job" resp with
+             | Some job ->
+                 let str n =
+                   match J.member n job with Some (J.Str s) -> s | _ -> ""
+                 in
+                 let int n =
+                   match J.member n job with Some (J.Int i) -> i | _ -> -1
+                 in
+                 Some (dut, (str "verdict", int "depth", int "crashes"))
+             | None ->
+                 failf "wait %s: no job row" id;
+                 None))
+
+let check_verdicts what rows =
+  List.iter
+    (fun (dut, (rv, rd)) ->
+      match List.assoc_opt dut rows with
+      | None -> failf "%s: no result for %s" what dut
+      | Some (v, d, _) ->
+          if v <> rv || d <> rd then
+            failf "%s: %s got %s@%d, reference is %s@%d" what dut v d rv rd)
+    (Lazy.force reference)
+
+(* {1 Phase C seed search}
+
+   The worker process arms AUTOCC_FAULT at startup and calls
+   Fault.reseed ~offset:attempt on redelivery, and every fault decision
+   is a pure function of (seed, site, n) — so we can roll the exact
+   dice a worker will roll, here, before spawning anything, and pick a
+   seed where attempt 0 dies at one of its first two "serve.worker"
+   probes while attempts 1 and 2 survive a full solve. Searching at
+   runtime keeps the smoke independent of the hash function. *)
+
+let storm_rate = 0.05
+
+let find_storm_seed () =
+  let fires_within seed ~offset n =
+    Fault.arm ~sites:[ "serve.worker" ] ~rate:storm_rate ~seed ();
+    if offset > 0 then Fault.reseed ~offset;
+    let fired = ref false in
+    for _ = 1 to n do
+      if Fault.fire "serve.worker" then fired := true
+    done;
+    !fired
+  in
+  let ok seed =
+    fires_within seed ~offset:0 2
+    && (not (fires_within seed ~offset:1 12))
+    && not (fires_within seed ~offset:2 12)
+  in
+  let rec search s =
+    if s > 100_000 then None else if ok s then Some s else search (s + 1)
+  in
+  let r = search 1 in
+  Fault.disarm ();
+  r
+
+(* {1 Phases} *)
+
+let phase_b () =
+  phase "B: crash-free service run, 4 DUTs, 2 workers, cold cache";
+  let dir = "sserve_b" in
+  let pid = start_daemon ~dir [ "--workers"; "2"; "--cache-dir"; "sserve_cache" ] in
+  let rows = run_jobs dir in
+  check_verdicts "crash-free" rows;
+  List.iter
+    (fun (dut, (_, _, crashes)) ->
+      if crashes <> 0 then failf "crash-free run recorded %d crashes for %s" crashes dut)
+    rows;
+  drain_daemon pid;
+  (* The service directory is self-describing: a ledger row per
+     delivery, an event stream where every line parses (the workers
+     append concurrently through the O_APPEND single-write appender). *)
+  let ledger = Filename.concat dir "runs.jsonl" in
+  if not (Sys.file_exists ledger) then failf "no service ledger at %s" ledger
+  else begin
+    let rows =
+      String.split_on_char '\n' (read_file ledger)
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    if List.length rows <> 4 then
+      failf "expected 4 worker ledger rows, found %d" (List.length rows)
+  end;
+  let events = Filename.concat dir "events.jsonl" in
+  if not (Sys.file_exists events) then failf "no event stream at %s" events
+  else
+    String.split_on_char '\n' (read_file events)
+    |> List.iter (fun l ->
+           if String.trim l <> "" then
+             match J.parse l with
+             | Ok _ -> ()
+             | Error e -> failf "torn/invalid event line %S: %s" l e);
+  infof "verdicts match the one-shot reference; ledger and event stream intact"
+
+let phase_c () =
+  phase "C: crash storm — attempt-0 workers self-SIGKILL mid-job";
+  match find_storm_seed () with
+  | None -> failf "no storm seed found (fault hash changed?)"
+  | Some seed ->
+      infof "storm seed %d (rate %g, sites serve.worker;serve.lease)" seed
+        storm_rate;
+      let dir = "sserve_c" in
+      let env =
+        [ Printf.sprintf "AUTOCC_FAULT=seed=%d,rate=%g,sites=serve.worker;serve.lease"
+            seed storm_rate ]
+      in
+      (* No cache: the storm must re-solve for real on redelivery. *)
+      let pid = start_daemon ~env ~dir [ "--workers"; "2"; "--no-cache" ] in
+      let rows = run_jobs dir in
+      check_verdicts "crash storm" rows;
+      let redelivered =
+        List.fold_left (fun n (_, (_, _, c)) -> n + c) 0 rows
+      in
+      if redelivered = 0 then
+        failf "storm run recorded no crashes — the fault site never fired";
+      List.iter
+        (fun (dut, (v, _, _)) ->
+          if v = Serve.Machine.crashed_verdict then
+            failf "%s was quarantined — redelivery failed to converge" dut)
+        rows;
+      drain_daemon pid;
+      infof
+        "%d crash(es) redelivered; all verdicts converged to the reference; \
+         no quarantine"
+        redelivered
+
+let phase_d () =
+  phase "D: drain persistence, byte-stable restart, shedding, warm cache";
+  let dir = "sserve_d" in
+  (* Queue-only daemon: accepts and persists, never dispatches. *)
+  let pid = start_daemon ~dir [ "--workers"; "0"; "--shed"; "4" ] in
+  List.iter
+    (fun dut ->
+      let spec =
+        { Serve.Machine.sp_dut = dut; sp_engine = "check"; sp_depth = depth;
+          sp_threshold = threshold }
+      in
+      match Serve.Client.submit ~dir spec with
+      | Ok _ -> ()
+      | Error e -> failf "queue submit %s: %s" dut e)
+    duts;
+  (* The watermark: a fifth live job must be shed, not queued. *)
+  (match
+     Serve.Client.submit ~dir
+       { Serve.Machine.sp_dut = "leaky"; sp_engine = "check"; sp_depth = depth;
+         sp_threshold = threshold }
+   with
+  | Error "overloaded" -> ()
+  | Error e -> failf "expected \"overloaded\", got %S" e
+  | Ok id -> failf "submission past the watermark was accepted as %s" id);
+  drain_daemon pid;
+  let q1 = read_file (Serve.Store.path dir) in
+  (* Restart + immediate drain: the persisted queue must survive the
+     cycle byte-identically. *)
+  let pid = start_daemon ~dir [ "--workers"; "0"; "--shed"; "4" ] in
+  drain_daemon pid;
+  let q2 = read_file (Serve.Store.path dir) in
+  if q1 <> q2 then failf "queue.json changed across a drain/restart cycle";
+  (* Final incarnation: real workers against the phase-B cache. The
+     queued jobs complete without re-solving — warm hits recorded in
+     the ledger. *)
+  let pid =
+    start_daemon ~dir [ "--workers"; "2"; "--cache-dir"; "sserve_cache" ]
+  in
+  let ids = [ "j1"; "j2"; "j3"; "j4" ] in
+  let rows =
+    List.filter_map
+      (fun id ->
+        match Serve.Client.wait ~dir ~timeout_s:120. id with
+        | Error e ->
+            failf "resumed wait %s: %s" id e;
+            None
+        | Ok resp -> (
+            match J.member "job" resp with
+            | Some job ->
+                let str n =
+                  match J.member n job with Some (J.Str s) -> s | _ -> ""
+                in
+                let int n =
+                  match J.member n job with Some (J.Int i) -> i | _ -> -1
+                in
+                Some (str "dut", (str "verdict", int "depth", int "crashes"))
+            | None ->
+                failf "resumed wait %s: no job row" id;
+                None))
+      ids
+  in
+  check_verdicts "resumed queue" rows;
+  drain_daemon pid;
+  let ledger = Filename.concat dir "runs.jsonl" in
+  let warm_hits =
+    if not (Sys.file_exists ledger) then 0
+    else
+      String.split_on_char '\n' (read_file ledger)
+      |> List.fold_left
+           (fun acc l ->
+             if String.trim l = "" then acc
+             else
+               match J.parse l with
+               | Ok j -> (
+                   match Option.bind (J.member "cache" j) (J.member "hits") with
+                   | Some (J.Int h) -> acc + h
+                   | _ -> acc)
+               | Error _ -> acc)
+           0
+  in
+  if warm_hits = 0 then
+    failf "restart re-solved everything: no warm cache hits in the ledger"
+  else infof "queue byte-stable across restart; %d warm cache hit(s)" warm_hits
+
+let phase_e () =
+  phase "E: SIGTERMed campaign checkpoints and resumes byte-stably";
+  let out = "sserve_camp" in
+  let args =
+    [ "campaign"; "--duts"; "leaky,divider,maple,aes"; "--max-depth"; "6";
+      "--out"; out ]
+  in
+  let pid = spawn args in
+  (* The index is checkpointed after every entry; signal as soon as the
+     first checkpoint lands so later entries are still outstanding. *)
+  ignore
+    (wait_for ~timeout_s:60. "first campaign checkpoint" (fun () ->
+         Sys.file_exists (Filename.concat out "campaign.json")));
+  Unix.kill pid Sys.sigterm;
+  (match wait_exit pid with
+  | Some 130 -> infof "campaign exited 130 (interrupted, checkpointed)"
+  | Some 0 ->
+      (* The campaign can legitimately win the race and finish; the
+         byte-stability assertions below still hold. *)
+      infof "campaign finished before the signal landed"
+  | Some c -> failf "signalled campaign exited %d (want 130 or 0)" c
+  | None -> failf "signalled campaign did not exit");
+  (* Finish it, snapshot, resume again: the second resume must rewrite
+     the index byte-identically. *)
+  (match wait_exit ~timeout_s:300. (spawn (args @ [ "--resume" ])) with
+  | Some 0 -> ()
+  | Some c -> failf "campaign --resume exited %d" c
+  | None -> failf "campaign --resume hung");
+  let snap = read_file (Filename.concat out "campaign.json") in
+  (match wait_exit ~timeout_s:300. (spawn (args @ [ "--resume" ])) with
+  | Some 0 -> ()
+  | Some c -> failf "second campaign --resume exited %d" c
+  | None -> failf "second campaign --resume hung");
+  if read_file (Filename.concat out "campaign.json") <> snap then
+    failf "campaign.json not byte-stable across --resume"
+  else infof "campaign.json byte-stable across --resume"
+
+let () =
+  if Array.length Sys.argv < 2 then (
+    prerr_endline "usage: validate_serve <autocc-cli-exe>";
+    exit 2);
+  (exe :=
+     let p = Sys.argv.(1) in
+     if Filename.is_relative p then Filename.concat (Sys.getcwd ()) p else p);
+  phase "A: in-process one-shot reference over %s" (String.concat ", " duts);
+  List.iter
+    (fun (dut, (v, d)) -> infof "%-8s %s (depth %d)" dut v d)
+    (Lazy.force reference);
+  phase_b ();
+  phase_c ();
+  phase_d ();
+  phase_e ();
+  if !failures > 0 then (
+    Printf.printf "serve smoke: %d FAILURE(S)\n" !failures;
+    exit 1)
+  else print_endline "serve smoke: service survived the crash storm, \
+                      drained byte-stably and reused the warm cache"
